@@ -1,0 +1,122 @@
+//! Criterion ablations of data-structure design choices called out in
+//! DESIGN.md:
+//!
+//! * **Bit-packed crossbar rows** (the paper's 1-bit synapse, credited
+//!   with 32× less storage than C2) vs an explicit adjacency-list row —
+//!   iteration cost at several densities, where the bitset walk wins by
+//!   touching 4 words per row regardless of fan-out bookkeeping.
+//! * **Spike buffer reuse** vs fresh allocation per tick — the engine
+//!   keeps workhorse buffers across ticks.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tn_core::prng::CorePrng;
+use tn_core::Crossbar;
+
+/// The C2-style alternative: explicit per-axon target lists.
+struct AdjacencyRows {
+    rows: Vec<Vec<u16>>,
+}
+
+impl AdjacencyRows {
+    fn from_crossbar(xb: &Crossbar) -> Self {
+        let rows = (0..256)
+            .map(|a| {
+                let mut v = Vec::new();
+                xb.for_each_in_row(a, |n| v.push(n as u16));
+                v
+            })
+            .collect();
+        Self { rows }
+    }
+
+    #[inline]
+    fn for_each_in_row(&self, axon: usize, mut f: impl FnMut(usize)) {
+        for &n in &self.rows[axon] {
+            f(usize::from(n));
+        }
+    }
+
+    fn bytes(&self) -> usize {
+        self.rows.iter().map(|r| r.len() * 2 + 24).sum()
+    }
+}
+
+fn build(density: f64) -> Crossbar {
+    let per_row = (density * 256.0) as usize;
+    let mut xb = Crossbar::new();
+    let mut prng = CorePrng::from_seed(5);
+    for a in 0..256 {
+        let mut placed = 0;
+        while placed < per_row {
+            let n = prng.next_below(256) as usize;
+            if !xb.get(a, n) {
+                xb.set(a, n, true);
+                placed += 1;
+            }
+        }
+    }
+    xb
+}
+
+fn bench_crossbar_representation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crossbar_repr");
+    for &density in &[0.05f64, 0.125, 0.5] {
+        let xb = build(density);
+        let adj = AdjacencyRows::from_crossbar(&xb);
+        // Report the storage ratio once per density in the bench id.
+        let bitset_bytes = 256 * 32;
+        let adj_bytes = adj.bytes();
+        g.bench_function(
+            format!("bitset_d{density}_({bitset_bytes}B)"),
+            |b| {
+                b.iter(|| {
+                    let mut acc = 0usize;
+                    for a in 0..256 {
+                        xb.for_each_in_row(a, |n| acc += n);
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+        g.bench_function(format!("adjacency_d{density}_({adj_bytes}B)"), |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for a in 0..256 {
+                    adj.for_each_in_row(a, |n| acc += n);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_buffer_reuse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spike_buffer");
+    let spikes = 512usize;
+    g.bench_function("reuse_workhorse", |b| {
+        let mut buf: Vec<u8> = Vec::new();
+        b.iter(|| {
+            buf.clear();
+            for i in 0..spikes {
+                buf.extend_from_slice(&(i as u64).to_le_bytes());
+                buf.extend_from_slice(&[0u8; 12]);
+            }
+            black_box(buf.len())
+        })
+    });
+    g.bench_function("fresh_allocation", |b| {
+        b.iter(|| {
+            let mut buf: Vec<u8> = Vec::new();
+            for i in 0..spikes {
+                buf.extend_from_slice(&(i as u64).to_le_bytes());
+                buf.extend_from_slice(&[0u8; 12]);
+            }
+            black_box(buf.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_crossbar_representation, bench_buffer_reuse);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Criterion benchmarks of the communication substrate: barrier
+//! implementations (the paper's custom-vs-native §VII-A comparison),
+//! Reduce-scatter cost versus communicator size (the driver of the
+//! weak-scaling overhead), mailbox throughput, and the PGAS epoch cycle.
+
+use compass_comm::barrier::{CentralizedBarrier, GlobalBarrier, SenseBarrier};
+use compass_comm::mailbox::{MailboxSet, Match};
+use compass_comm::{Communicator, PgasWorld, TransportMetrics};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+/// Runs one barrier episode per iteration across `n` threads; the measured
+/// thread is one participant, the helpers loop until told to stop.
+fn bench_barriers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("barrier_episode");
+    g.sample_size(20);
+    for n in [2usize, 4] {
+        for (name, barrier) in [
+            (
+                "centralized",
+                Arc::new(CentralizedBarrier::new(n)) as Arc<dyn GlobalBarrier>,
+            ),
+            ("sense_reversing", Arc::new(SenseBarrier::new(n)) as Arc<dyn GlobalBarrier>),
+        ] {
+            g.bench_function(format!("{name}_{n}threads"), |b| {
+                b.iter_custom(|iters| {
+                    // Every participant runs exactly `iters` episodes, so
+                    // all threads retire together — no release dance.
+                    let barrier = Arc::clone(&barrier);
+                    let started = std::time::Instant::now();
+                    std::thread::scope(|s| {
+                        for _ in 1..n {
+                            let barrier = Arc::clone(&barrier);
+                            s.spawn(move || {
+                                for _ in 0..iters {
+                                    black_box(barrier.wait());
+                                }
+                            });
+                        }
+                        for _ in 0..iters {
+                            black_box(barrier.wait());
+                        }
+                    });
+                    started.elapsed()
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Reduce-scatter latency versus communicator size — the collective whose
+/// growth the paper blames for its weak-scaling overhead.
+fn bench_reduce_scatter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reduce_scatter_vs_world");
+    g.sample_size(20);
+    for p in [2usize, 4, 8] {
+        g.bench_function(format!("{p}_ranks"), |b| {
+            b.iter_custom(|iters| {
+                let mail = MailboxSet::new(p, Arc::new(TransportMetrics::new()));
+                let started = std::time::Instant::now();
+                std::thread::scope(|s| {
+                    for r in 0..p {
+                        let mail = mail.clone();
+                        s.spawn(move || {
+                            let comm = Communicator::new(r, mail);
+                            let contrib: Vec<u64> = (0..p as u64).collect();
+                            for _ in 0..iters {
+                                black_box(comm.reduce_scatter_sum(&contrib));
+                            }
+                        });
+                    }
+                });
+                started.elapsed()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_mailbox(c: &mut Criterion) {
+    c.bench_function("mailbox_send_recv_1kb", |b| {
+        let mail = MailboxSet::new(2, Arc::new(TransportMetrics::new()));
+        let payload = vec![0u8; 1024];
+        b.iter(|| {
+            mail.send(0, 1, 7, payload.clone());
+            black_box(mail.mailbox(1).recv(Match::tag(7)))
+        })
+    });
+    c.bench_function("mailbox_tag_match_depth_16", |b| {
+        // Matching must skip 16 queued non-matching envelopes.
+        let mail = MailboxSet::new(2, Arc::new(TransportMetrics::new()));
+        for i in 0..16u64 {
+            mail.send(0, 1, 100 + i, vec![0u8; 32]);
+        }
+        b.iter(|| {
+            mail.send(0, 1, 7, vec![1u8; 32]);
+            black_box(mail.mailbox(1).recv(Match::tag(7)))
+        })
+    });
+}
+
+/// One full PGAS epoch (put + commit + drain) on a single rank — the
+/// overhead floor of the §VII communication model.
+fn bench_pgas_epoch(c: &mut Criterion) {
+    c.bench_function("pgas_epoch_put_commit_drain", |b| {
+        let world = Arc::new(PgasWorld::new(1, Arc::new(TransportMetrics::new())));
+        let ep = world.endpoint(0);
+        let payload = vec![0u8; 640]; // 32 spikes
+        b.iter(|| {
+            ep.put(0, &payload);
+            ep.commit();
+            let mut total = 0usize;
+            ep.drain(|_, bytes| total += bytes.len());
+            black_box(total)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_barriers,
+    bench_reduce_scatter,
+    bench_mailbox,
+    bench_pgas_epoch
+);
+criterion_main!(benches);

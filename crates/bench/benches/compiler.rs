@@ -1,0 +1,63 @@
+//! Criterion benchmarks of the Parallel Compass Compiler stages — §IV's
+//! set-up-time claims decomposed: planning (IPFP balancing +
+//! integerization over the 77-region matrix), the per-region shuffled
+//! target vectors, per-core genesis (crossbar + neurons), and the full
+//! serial compile.
+
+use compass_cocomac::macaque_network;
+use compass_pcc::{compile_serial, genesis::generate_core, plan};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_plan(c: &mut Criterion) {
+    let net = macaque_network(2012);
+    let mut g = c.benchmark_group("pcc_plan");
+    g.sample_size(20);
+    for cores in [308u64, 1232] {
+        g.bench_function(format!("cocomac_{cores}_cores"), |b| {
+            b.iter(|| black_box(plan(&net.object, cores, 4).expect("realizable")))
+        });
+    }
+    g.finish();
+}
+
+fn bench_target_vectors(c: &mut Criterion) {
+    let net = macaque_network(2012);
+    let p = plan(&net.object, 616, 4).expect("realizable");
+    c.bench_function("pcc_target_vector_largest_region", |b| {
+        let largest = (0..p.regions())
+            .max_by_key(|&r| p.region_budget(r))
+            .expect("regions exist");
+        b.iter(|| black_box(p.target_region_vector(largest)))
+    });
+}
+
+fn bench_genesis(c: &mut Criterion) {
+    let net = macaque_network(2012);
+    let p = plan(&net.object, 308, 1).expect("realizable");
+    c.bench_function("pcc_generate_core", |b| {
+        let mut id = 0u64;
+        b.iter(|| {
+            id = (id + 1) % 308;
+            black_box(generate_core(&p, id))
+        })
+    });
+}
+
+fn bench_full_compile(c: &mut Criterion) {
+    let net = macaque_network(2012);
+    let mut g = c.benchmark_group("pcc_compile_serial");
+    g.sample_size(10);
+    g.bench_function("cocomac_154_cores", |b| {
+        b.iter(|| black_box(compile_serial(&net.object, 154).expect("realizable")))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_plan,
+    bench_target_vectors,
+    bench_genesis,
+    bench_full_compile
+);
+criterion_main!(benches);

@@ -1,0 +1,159 @@
+//! Criterion micro-benchmarks of the simulator's hot paths: the crossbar
+//! row walk, the integrate-leak-fire step, the delay ring, the PRNG, and
+//! the spike wire codec — the per-tick inner loops whose cost the paper's
+//! Synapse and Neuron phases aggregate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tn_core::prng::CorePrng;
+use tn_core::{
+    CoreConfig, Crossbar, DelayBuffer, NeuronConfig, NeurosynapticCore, Spike, SpikeTarget,
+};
+
+fn bench_crossbar(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crossbar_row_walk");
+    for &density in &[0.05f64, 0.125, 0.5] {
+        let per_row = (density * 256.0) as usize;
+        let mut xb = Crossbar::new();
+        let mut prng = CorePrng::from_seed(1);
+        for a in 0..256 {
+            let mut placed = 0;
+            while placed < per_row {
+                let n = prng.next_below(256) as usize;
+                if !xb.get(a, n) {
+                    xb.set(a, n, true);
+                    placed += 1;
+                }
+            }
+        }
+        g.bench_function(format!("density_{density}"), |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for a in 0..256 {
+                    xb.for_each_in_row(a, |n| acc += n);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_neuron_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("neuron_ilf_step");
+    let det = NeuronConfig {
+        weights: [2, 1, -1, -2],
+        leak: -1,
+        threshold: 10,
+        floor: -100,
+        ..NeuronConfig::default()
+    };
+    let sto = NeuronConfig {
+        weights: [128, 64, -64, -128],
+        stochastic_weight: [true; 4],
+        stochastic_leak: true,
+        leak: 16,
+        threshold: 10,
+        floor: -100,
+        ..NeuronConfig::default()
+    };
+    let counts = [3u16, 2, 1, 2];
+    g.bench_function("deterministic", |b| {
+        let mut v = 0;
+        let mut p = CorePrng::from_seed(2);
+        b.iter(|| black_box(det.step(&mut v, black_box(&counts), &mut p)))
+    });
+    g.bench_function("stochastic", |b| {
+        let mut v = 0;
+        let mut p = CorePrng::from_seed(2);
+        b.iter(|| black_box(sto.step(&mut v, black_box(&counts), &mut p)))
+    });
+    g.finish();
+}
+
+fn bench_delay_ring(c: &mut Criterion) {
+    c.bench_function("delay_ring_schedule_take", |b| {
+        let mut d = DelayBuffer::new();
+        let mut t = 0u32;
+        b.iter(|| {
+            d.schedule(black_box((t % 256) as usize), t + 3);
+            let hit = d.take(((t + 13) % 256) as usize, t);
+            t += 1;
+            black_box(hit)
+        })
+    });
+}
+
+fn bench_prng(c: &mut Criterion) {
+    c.bench_function("prng_next_u64", |b| {
+        let mut p = CorePrng::from_seed(3);
+        b.iter(|| black_box(p.next_u64()))
+    });
+    c.bench_function("prng_bernoulli", |b| {
+        let mut p = CorePrng::from_seed(3);
+        b.iter(|| black_box(p.bernoulli_u8(64)))
+    });
+}
+
+fn bench_spike_codec(c: &mut Criterion) {
+    let spike = Spike {
+        fired_at: 123456,
+        target: SpikeTarget::new(0xABCD_EF01, 200, 7),
+    };
+    c.bench_function("spike_encode", |b| b.iter(|| black_box(spike.encode())));
+    let bytes = spike.encode();
+    c.bench_function("spike_decode", |b| {
+        b.iter(|| black_box(Spike::decode(black_box(&bytes))))
+    });
+    let mut buf = Vec::new();
+    for _ in 0..1000 {
+        spike.encode_into(&mut buf);
+    }
+    c.bench_function("spike_decode_buffer_1000", |b| {
+        b.iter(|| black_box(Spike::decode_buffer(black_box(&buf)).count()))
+    });
+}
+
+fn bench_core_tick(c: &mut Criterion) {
+    let mut g = c.benchmark_group("core_tick");
+    g.sample_size(30);
+    // A realistically loaded core: 12.5% crossbar, 32 active axons/tick.
+    let mut cfg = CoreConfig::blank(0, 7);
+    let mut prng = CorePrng::from_seed(4);
+    for a in 0..256 {
+        for _ in 0..32 {
+            cfg.crossbar.set(a, prng.next_below(256) as usize, true);
+        }
+        cfg.axon_types[a] = (a % 4) as u8;
+    }
+    for n in cfg.neurons.iter_mut() {
+        n.weights = [2, 1, -1, -2];
+        n.threshold = 10;
+        n.floor = -24;
+        n.target = Some(SpikeTarget::new(0, 0, 1));
+    }
+    let mut core = NeurosynapticCore::new(cfg).expect("valid");
+    g.bench_function("loaded_32_axons", |b| {
+        let mut t = 0u32;
+        b.iter(|| {
+            for a in 0..32 {
+                core.deliver(a * 8, t + 1);
+            }
+            let mut emitted = 0u32;
+            core.tick(t, |_| emitted += 1);
+            t += 1;
+            black_box(emitted)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_crossbar,
+    bench_neuron_step,
+    bench_delay_ring,
+    bench_prng,
+    bench_spike_codec,
+    bench_core_tick
+);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Ablation: Compass vs the C2-style baseline (paper §I's four contrasts).
+//!
+//! The paper positions Compass against its predecessor C2: the synapse
+//! shrinks from an explicit record to one crossbar bit ("32× less
+//! storage"), dynamics shrink from phenomenological floating-point models
+//! to hardware integer ILF, and the programming model gains threads. This
+//! binary measures the storage and throughput sides of that comparison at
+//! equal scale: same neuron count, same synapse count, both simulators on
+//! the same transport substrate.
+
+use compass_bench::banner;
+use compass_c2_baseline::{run_c2, C2Network};
+use compass_cocomac::{synthetic_realtime, SyntheticParams};
+use compass_comm::WorldConfig;
+use compass_sim::{run, Backend, EngineConfig};
+use tn_core::{CORE_NEURONS, CORE_SYNAPSES};
+
+fn main() {
+    let ranks = 2;
+    let ticks = 300u32;
+    banner(
+        "Ablation — Compass vs C2-style baseline",
+        "synapse as bit vs synapse as record (32x storage); integer ILF vs Izhikevich",
+        &format!("equal neurons & synapses, {ranks} ranks, {ticks} ticks"),
+    );
+
+    println!(
+        "{:>8} {:>9} | {:>13} {:>13} {:>8} | {:>11} {:>11} {:>8}",
+        "neurons", "synapses", "compass B", "c2 B", "ratio", "compass s", "c2 s", "speed"
+    );
+    for cores in [8u64, 32, 128] {
+        let neurons = cores * CORE_NEURONS as u64;
+        let density = 0.125;
+        let synapses = (cores as usize) * (CORE_SYNAPSES as f64 * density) as usize;
+        let fan_out = synapses / neurons as usize;
+
+        // Compass side: a synthetic model at matching scale (pacemakers at
+        // ~8 Hz; the crossbar is present and billed even though the
+        // synthetic workload exercises routing more than integration).
+        let compass_model = synthetic_realtime(SyntheticParams {
+            cores,
+            ranks,
+            local_fraction: 0.75,
+            rate_hz: 8,
+            seed: 1,
+        });
+        let compass_report = run(
+            &compass_model,
+            WorldConfig::flat(ranks),
+            &EngineConfig::new(ticks, Backend::Mpi),
+        )
+        .expect("valid model");
+        // Crossbar storage: 8 KiB per core, independent of density — the
+        // whole point of the bit representation.
+        let compass_bytes = cores as usize * (CORE_SYNAPSES / 8);
+
+        // C2 side: same neurons, same synapse count via fan_out.
+        let c2_net = C2Network::random_balanced(neurons as usize, fan_out, 1);
+        let c2_report = run_c2(&c2_net, ranks, ticks);
+
+        println!(
+            "{:>8} {:>9} | {:>13} {:>13} {:>7.1}x | {:>11.3} {:>11.3} {:>7.2}x",
+            neurons,
+            synapses,
+            compass_bytes,
+            c2_report.synapse_bytes,
+            c2_report.synapse_bytes as f64 / compass_bytes as f64,
+            compass_report.wall.as_secs_f64(),
+            c2_report.wall.as_secs_f64(),
+            c2_report.wall.as_secs_f64() / compass_report.wall.as_secs_f64(),
+        );
+    }
+    println!();
+    println!("notes:");
+    println!("  * storage ratio: the crossbar bills 1 bit/synapse regardless of use; the");
+    println!("    C2 record is 12 B + index. The paper quotes 32x counting a 4-byte");
+    println!("    record; any explicit-record design lands in that decade.");
+    println!("  * the speed column compares *different models* (integer ILF + routing vs");
+    println!("    Izhikevich float dynamics) at equal scale — the architectural trade,");
+    println!("    not an apples-to-apples microbenchmark.");
+}

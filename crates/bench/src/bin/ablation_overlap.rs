@@ -1,0 +1,66 @@
+//! Ablation: overlapping the Reduce-scatter with local delivery
+//! (DESIGN.md §5).
+//!
+//! §III/§VI: "Performance is improved since the processing of local
+//! spikes by non-master threads overlaps with the Reduce-Scatter
+//! operation performed by the master thread" — one of the design features
+//! the paper credits for Compass's scaling. This ablation serializes the
+//! two and measures the Network-phase cost on a workload with heavy local
+//! traffic.
+
+use compass_bench::{banner, ms};
+use compass_cocomac::{synthetic_realtime, SyntheticParams};
+use compass_comm::WorldConfig;
+use compass_sim::{run, Backend, EngineConfig};
+
+fn main() {
+    let ticks = 300u32;
+    banner(
+        "Ablation — overlap of collective with local spike delivery",
+        "overlap is credited for hiding Reduce-scatter latency",
+        &format!("synthetic 90% local workload, 2 ranks x 4 threads, {ticks} ticks"),
+    );
+
+    println!(
+        "{:>8} | {:>14} {:>14} | {:>14} {:>14} | {:>9}",
+        "cores", "overlap net ms", "overlap tot s", "serial net ms", "serial tot s", "penalty"
+    );
+    for cores in [32u64, 128, 512] {
+        let model = synthetic_realtime(SyntheticParams {
+            cores,
+            ranks: 2,
+            local_fraction: 0.9,
+            rate_hz: 50,
+            seed: 2,
+        });
+        let mut rows = Vec::new();
+        for overlap in [true, false] {
+            let report = run(
+                &model,
+                WorldConfig::new(2, 4),
+                &EngineConfig {
+                    ticks,
+                    backend: Backend::Mpi,
+                    overlap,
+                    ..EngineConfig::default()
+                },
+            )
+            .expect("valid model");
+            rows.push((report.phase_breakdown().network, report.wall.as_secs_f64()));
+        }
+        println!(
+            "{:>8} | {:>14} {:>14.3} | {:>14} {:>14.3} | {:>8.2}x",
+            cores,
+            ms(rows[0].0),
+            rows[0].1,
+            ms(rows[1].0),
+            rows[1].1,
+            rows[1].1 / rows[0].1,
+        );
+    }
+    println!();
+    println!("expected shape: with overlap on, part of the local delivery cost hides");
+    println!("behind the collective; serialized runs pay the two back to back. The gap");
+    println!("needs real hardware threads to show in wall time — on a 1-thread host the");
+    println!("network-phase composition still shifts, which is the structural signal.");
+}

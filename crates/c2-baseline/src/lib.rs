@@ -1,0 +1,30 @@
+//! # C2-style baseline simulator
+//!
+//! Compass's §I positions itself against its predecessor, the C2 cortical
+//! simulator (Ananthanarayanan & Modha, SC'07; "The cat is out of the
+//! bag", SC'09 Gordon Bell winner), by four explicit contrasts:
+//!
+//! 1. C2's *fundamental data structure is the synapse* — a per-synapse
+//!    record, costing 32× the storage of Compass's one crossbar bit;
+//! 2. C2 has no notion of intra-core (crossbar) vs inter-core (network)
+//!    anatomical structure;
+//! 3. C2 uses *single-compartment phenomenological dynamic neuron models*
+//!    (Izhikevich-style), not hardware-faithful integer dynamics;
+//! 4. C2 is *flat MPI* — one rank per CPU, no threading.
+//!
+//! To make those comparisons measurable rather than rhetorical, this crate
+//! implements a faithful miniature of the C2 design: explicit
+//! [`SynapseRecord`]s in compressed row storage, floating-point
+//! [`Izhikevich`] neurons integrated at 1 ms, per-neuron delayed current
+//! queues, and a flat (single-thread-per-rank) bulk-synchronous exchange
+//! over the same mailbox transport Compass uses. The
+//! `ablation_c2_comparison` bench then puts numbers on storage per synapse
+//! and time per synaptic event for the two designs.
+
+pub mod network;
+pub mod neuron;
+pub mod sim;
+
+pub use network::{C2Network, SynapseRecord};
+pub use neuron::Izhikevich;
+pub use sim::{run_c2, C2Report};

@@ -1,0 +1,240 @@
+//! C2-style network storage: the synapse as the fundamental data
+//! structure.
+//!
+//! Where Compass stores a synapse as one crossbar bit, C2 keeps an
+//! explicit record per synapse — target, weight, delay — which is what
+//! lets it model arbitrary graded connectivity but costs "32× more
+//! storage" (paper §I). A [`SynapseRecord`] occupies 12 bytes (with
+//! alignment); adding the CSR indexing overhead, the per-synapse cost
+//! lands near 100× the crossbar bit — the regime the paper describes.
+
+use crate::neuron::Izhikevich;
+use tn_core::prng::CorePrng;
+
+/// One explicit synapse: the C2 fundamental data structure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynapseRecord {
+    /// Global target neuron id.
+    pub target: u32,
+    /// Graded weight (current injected on arrival).
+    pub weight: f32,
+    /// Conduction delay in ticks (1..=15, as in the hardware comparison).
+    pub delay: u8,
+}
+
+/// A full C2-style network: neurons plus per-neuron outgoing synapse lists
+/// in compressed-row storage.
+#[derive(Debug, Clone)]
+pub struct C2Network {
+    /// Neuron dynamical state, indexed by global id.
+    pub neurons: Vec<Izhikevich>,
+    /// Background current injected into every neuron each tick (keeps the
+    /// network active, standing in for C2's thalamic noise drive).
+    pub background: Vec<f32>,
+    /// CSR row offsets into `synapses` (length `neurons.len() + 1`).
+    pub row_offsets: Vec<u32>,
+    /// All synapse records, grouped by source neuron.
+    pub synapses: Vec<SynapseRecord>,
+}
+
+impl C2Network {
+    /// Number of neurons.
+    pub fn neuron_count(&self) -> usize {
+        self.neurons.len()
+    }
+
+    /// Number of synapses.
+    pub fn synapse_count(&self) -> usize {
+        self.synapses.len()
+    }
+
+    /// The outgoing synapses of `neuron`.
+    pub fn out_synapses(&self, neuron: usize) -> &[SynapseRecord] {
+        let lo = self.row_offsets[neuron] as usize;
+        let hi = self.row_offsets[neuron + 1] as usize;
+        &self.synapses[lo..hi]
+    }
+
+    /// Bytes of synapse storage (records + CSR index) — the quantity the
+    /// paper's 32× claim is about.
+    pub fn synapse_storage_bytes(&self) -> usize {
+        self.synapses.len() * std::mem::size_of::<SynapseRecord>()
+            + self.row_offsets.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Validates CSR structure and record ranges.
+    ///
+    /// # Panics
+    /// Panics on malformed structure (a construction bug).
+    pub fn validate(&self) {
+        assert_eq!(self.row_offsets.len(), self.neurons.len() + 1);
+        assert_eq!(self.background.len(), self.neurons.len());
+        assert_eq!(*self.row_offsets.last().unwrap() as usize, self.synapses.len());
+        assert!(self.row_offsets.windows(2).all(|w| w[0] <= w[1]));
+        for s in &self.synapses {
+            assert!((s.target as usize) < self.neurons.len(), "dangling synapse");
+            assert!((1..=15).contains(&s.delay), "delay {} out of range", s.delay);
+        }
+    }
+
+    /// A random balanced network in the C2 style: `n` neurons (80%
+    /// regular-spiking excitatory, 20% fast-spiking inhibitory — the
+    /// classic cortical mix), `fan_out` synapses per neuron with uniform
+    /// random targets and delays, excitatory/inhibitory weights scaled for
+    /// sustained irregular activity under a small background drive.
+    pub fn random_balanced(n: usize, fan_out: usize, seed: u64) -> C2Network {
+        assert!(n >= 2, "need at least two neurons");
+        let mut prng = CorePrng::from_seed(seed ^ 0xC2C2);
+        let n_excit = n * 4 / 5;
+        let neurons: Vec<Izhikevich> = (0..n)
+            .map(|i| {
+                if i < n_excit {
+                    Izhikevich::regular_spiking()
+                } else {
+                    Izhikevich::fast_spiking()
+                }
+            })
+            .collect();
+        // Background drive: mild, randomized per neuron so activity is
+        // asynchronous (C2 injected Poisson thalamic input similarly).
+        let background: Vec<f32> = (0..n)
+            .map(|_| 3.0 + prng.next_below(300) as f32 / 100.0)
+            .collect();
+        let mut row_offsets = Vec::with_capacity(n + 1);
+        let mut synapses = Vec::with_capacity(n * fan_out);
+        row_offsets.push(0u32);
+        for src in 0..n {
+            for _ in 0..fan_out {
+                let mut target = prng.next_below(n as u32);
+                if target as usize == src {
+                    target = (target + 1) % n as u32;
+                }
+                let weight = if src < n_excit {
+                    0.5 + prng.next_below(100) as f32 / 200.0 // 0.5..1.0
+                } else {
+                    -(1.0 + prng.next_below(100) as f32 / 100.0) // -1..-2
+                };
+                let delay = 1 + prng.next_below(15) as u8;
+                synapses.push(SynapseRecord {
+                    target,
+                    weight,
+                    delay,
+                });
+            }
+            row_offsets.push(synapses.len() as u32);
+        }
+        let net = C2Network {
+            neurons,
+            background,
+            row_offsets,
+            synapses,
+        };
+        net.validate();
+        net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_network_has_requested_shape() {
+        let net = C2Network::random_balanced(100, 20, 1);
+        assert_eq!(net.neuron_count(), 100);
+        assert_eq!(net.synapse_count(), 2000);
+        for i in 0..100 {
+            assert_eq!(net.out_synapses(i).len(), 20);
+        }
+    }
+
+    #[test]
+    fn excitatory_inhibitory_split() {
+        let net = C2Network::random_balanced(100, 10, 2);
+        let excit_rows = 80;
+        for (src, _) in net.neurons.iter().enumerate() {
+            for s in net.out_synapses(src) {
+                if src < excit_rows {
+                    assert!(s.weight > 0.0);
+                } else {
+                    assert!(s.weight < 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_self_synapses() {
+        let net = C2Network::random_balanced(50, 30, 3);
+        for src in 0..50 {
+            for s in net.out_synapses(src) {
+                assert_ne!(s.target as usize, src);
+            }
+        }
+    }
+
+    #[test]
+    fn storage_accounting_is_per_record() {
+        let net = C2Network::random_balanced(10, 5, 4);
+        let bytes = net.synapse_storage_bytes();
+        let record = std::mem::size_of::<SynapseRecord>();
+        assert_eq!(bytes, 50 * record + 11 * 4);
+        // The paper's point: per-synapse cost is tens of bits (C2), vs
+        // 1 bit for the Compass crossbar — a >=32x gap.
+        let bits_per_synapse = bytes * 8 / net.synapse_count();
+        assert!(bits_per_synapse >= 32, "{bits_per_synapse} bits/synapse");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = C2Network::random_balanced(30, 10, 7);
+        let b = C2Network::random_balanced(30, 10, 7);
+        assert_eq!(a.synapses, b.synapses);
+        let c = C2Network::random_balanced(30, 10, 8);
+        assert_ne!(a.synapses, c.synapses);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Generated networks always validate, with exact shape, for any
+        /// size/fan-out/seed combination.
+        #[test]
+        fn random_networks_are_well_formed(
+            n in 2usize..200,
+            fan_out in 1usize..40,
+            seed in proptest::num::u64::ANY,
+        ) {
+            let net = C2Network::random_balanced(n, fan_out, seed);
+            net.validate(); // panics on malformation
+            prop_assert_eq!(net.neuron_count(), n);
+            prop_assert_eq!(net.synapse_count(), n * fan_out);
+            // Per-synapse storage is fixed by construction.
+            let expect = n * fan_out * std::mem::size_of::<SynapseRecord>()
+                + (n + 1) * std::mem::size_of::<u32>();
+            prop_assert_eq!(net.synapse_storage_bytes(), expect);
+        }
+
+        /// The 80/20 excitatory/inhibitory sign rule holds everywhere.
+        #[test]
+        fn sign_rule_holds(n in 5usize..100, seed in proptest::num::u64::ANY) {
+            let net = C2Network::random_balanced(n, 5, seed);
+            let n_excit = n * 4 / 5;
+            for src in 0..n {
+                for s in net.out_synapses(src) {
+                    if src < n_excit {
+                        prop_assert!(s.weight > 0.0);
+                    } else {
+                        prop_assert!(s.weight < 0.0);
+                    }
+                }
+            }
+        }
+    }
+}

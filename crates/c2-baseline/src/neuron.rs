@@ -1,0 +1,153 @@
+//! The Izhikevich phenomenological neuron — C2's model class.
+//!
+//! The Compass paper cites Izhikevich's "Which model to use for cortical
+//! spiking neurons" as the model family C2 focused on. The two-variable
+//! quadratic model:
+//!
+//! ```text
+//! v' = 0.04 v² + 5 v + 140 − u + I
+//! u' = a (b v − u)
+//! if v ≥ 30 mV: v ← c, u ← u + d
+//! ```
+//!
+//! integrated at 1 ms resolution (two 0.5 ms half-steps for `v`, as in
+//! Izhikevich's reference implementation). Contrast with TrueNorth's
+//! integer integrate-leak-fire: this model is richer dynamically but has
+//! no efficient hardware rendering — the trade the Compass paper calls
+//! out.
+
+/// Izhikevich model parameters and state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Izhikevich {
+    /// Recovery time scale.
+    pub a: f32,
+    /// Recovery sensitivity.
+    pub b: f32,
+    /// Post-spike reset potential (mV).
+    pub c: f32,
+    /// Post-spike recovery increment.
+    pub d: f32,
+    /// Membrane potential (mV).
+    pub v: f32,
+    /// Recovery variable.
+    pub u: f32,
+}
+
+impl Izhikevich {
+    /// Spike cutoff (mV).
+    pub const PEAK: f32 = 30.0;
+
+    /// Regular-spiking cortical excitatory neuron.
+    pub fn regular_spiking() -> Self {
+        Self::with_params(0.02, 0.2, -65.0, 8.0)
+    }
+
+    /// Fast-spiking cortical inhibitory neuron.
+    pub fn fast_spiking() -> Self {
+        Self::with_params(0.1, 0.2, -65.0, 2.0)
+    }
+
+    /// Chattering (bursting) neuron.
+    pub fn chattering() -> Self {
+        Self::with_params(0.02, 0.2, -50.0, 2.0)
+    }
+
+    /// Custom parameters, initialized at rest.
+    pub fn with_params(a: f32, b: f32, c: f32, d: f32) -> Self {
+        let v = c;
+        Self {
+            a,
+            b,
+            c,
+            d,
+            v,
+            u: b * v,
+        }
+    }
+
+    /// Advances one 1 ms step under input current `i`; returns `true` on a
+    /// spike. Uses Izhikevich's two half-steps for `v` for numerical
+    /// stability at 1 ms.
+    #[inline]
+    pub fn step(&mut self, i: f32) -> bool {
+        for _ in 0..2 {
+            self.v += 0.5 * (0.04 * self.v * self.v + 5.0 * self.v + 140.0 - self.u + i);
+        }
+        self.u += self.a * (self.b * self.v - self.u);
+        if self.v >= Self::PEAK {
+            self.v = self.c;
+            self.u += self.d;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rests_quietly_without_input() {
+        let mut n = Izhikevich::regular_spiking();
+        for _ in 0..500 {
+            assert!(!n.step(0.0), "no spontaneous spikes at rest");
+        }
+        // The RS fixed point without input sits near -70 mV (where
+        // 0.04v² + 5v + 140 = u = bv); it must neither blow up nor fire.
+        assert!((-90.0..-50.0).contains(&n.v), "v diverged: {}", n.v);
+    }
+
+    #[test]
+    fn fires_under_sustained_current() {
+        let mut n = Izhikevich::regular_spiking();
+        let fires = (0..1000).filter(|_| n.step(10.0)).count();
+        // RS neuron at I=10 fires in the tens of Hz (Izhikevich 2003).
+        assert!((10..100).contains(&fires), "RS rate {fires} Hz-ish");
+    }
+
+    #[test]
+    fn fast_spiking_outpaces_regular() {
+        let mut rs = Izhikevich::regular_spiking();
+        let mut fs = Izhikevich::fast_spiking();
+        let rs_fires = (0..1000).filter(|_| rs.step(10.0)).count();
+        let fs_fires = (0..1000).filter(|_| fs.step(10.0)).count();
+        assert!(fs_fires > rs_fires, "FS {fs_fires} vs RS {rs_fires}");
+    }
+
+    #[test]
+    fn reset_applies_on_spike() {
+        let mut n = Izhikevich::regular_spiking();
+        // Drive hard until the first spike.
+        let mut fired = false;
+        for _ in 0..200 {
+            if n.step(20.0) {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired);
+        assert_eq!(n.v, -65.0, "v resets to c");
+    }
+
+    #[test]
+    fn chattering_bursts() {
+        let mut n = Izhikevich::chattering();
+        let mut isis = Vec::new();
+        let mut last = None;
+        for t in 0..1000 {
+            if n.step(10.0) {
+                if let Some(l) = last {
+                    isis.push(t - l);
+                }
+                last = Some(t);
+            }
+        }
+        // Bursting = mixture of short (intra-burst) and long (inter-burst)
+        // inter-spike intervals.
+        let short = isis.iter().filter(|&&i| i <= 10).count();
+        let long = isis.iter().filter(|&&i| i > 20).count();
+        assert!(short > 0 && long > 0, "isis {isis:?}");
+    }
+}

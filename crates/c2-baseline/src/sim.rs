@@ -1,0 +1,252 @@
+//! The flat bulk-synchronous C2-style simulation loop.
+//!
+//! C2 distributes neurons across flat MPI ranks (no threads — contrast
+//! item 4 of the paper's §I comparison), stores synapses **post-
+//! synaptically** (each rank holds the incoming synapse lists of its
+//! neurons, keyed by source id, exactly so that a spike can be shipped as
+//! nothing but its source id), and advances in 1 ms bulk-synchronous
+//! steps: integrate, exchange fired source ids, deliver through the local
+//! synapse tables into per-neuron delayed-current queues.
+//!
+//! The exchange reuses the same mailbox transport and reduce-scatter as
+//! the Compass engine, so any measured difference between the two
+//! simulators comes from the *designs* (data structures, neuron models,
+//! threading) rather than the substrate.
+
+use crate::network::C2Network;
+use compass_comm::mailbox::Match;
+use compass_comm::{RankCtx, Tag, World, WorldConfig};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Slots in the delayed-current ring (delays 1..=15).
+const RING: usize = 16;
+
+/// Results of a C2 run.
+#[derive(Debug, Clone, Default)]
+pub struct C2Report {
+    /// Total spikes fired.
+    pub fires: u64,
+    /// Source-id notifications shipped between ranks.
+    pub remote_notifications: u64,
+    /// Aggregated messages sent.
+    pub messages: u64,
+    /// Wall-clock duration of the simulation loop.
+    pub wall: Duration,
+    /// Bytes of synapse storage across all ranks (the paper's 32× axis).
+    pub synapse_bytes: u64,
+}
+
+fn tick_tag(t: u32) -> Tag {
+    Tag::from(t)
+}
+
+/// Simulates `network` for `ticks` 1 ms steps over `ranks` flat ranks.
+///
+/// # Panics
+/// Panics if the network is malformed.
+pub fn run_c2(network: &C2Network, ranks: usize, ticks: u32) -> C2Report {
+    network.validate();
+    let n = network.neuron_count();
+    let started = Instant::now();
+    let reports = World::run(WorldConfig::flat(ranks), |ctx| run_rank(ctx, network, ticks));
+    let wall = started.elapsed();
+
+    let mut out = C2Report {
+        wall,
+        synapse_bytes: network.synapse_storage_bytes() as u64,
+        ..C2Report::default()
+    };
+    for r in reports {
+        out.fires += r.0;
+        out.remote_notifications += r.1;
+        out.messages += r.2;
+    }
+    debug_assert!(n > 0);
+    out
+}
+
+/// Per-rank loop. Returns (fires, remote notifications, messages).
+fn run_rank(ctx: &RankCtx, network: &C2Network, ticks: u32) -> (u64, u64, u64) {
+    let me = ctx.rank();
+    let world = ctx.world_size();
+    let n = network.neuron_count();
+    // Block partition of neurons.
+    let lo = n * me / world;
+    let hi = n * (me + 1) / world;
+    // Owner of a neuron under the same split.
+    let rank_of = |neuron: usize| -> usize {
+        // Find r with n*r/world <= neuron < n*(r+1)/world.
+        let mut r = neuron * world / n.max(1);
+        loop {
+            let rlo = n * r / world;
+            let rhi = n * (r + 1) / world;
+            if neuron < rlo {
+                r -= 1;
+            } else if neuron >= rhi {
+                r += 1;
+            } else {
+                return r;
+            }
+        }
+    };
+
+    // --- Setup: post-synaptic tables + subscriber map ------------------
+    // incoming[source] = list of (local target, weight, delay).
+    let mut incoming: HashMap<u32, Vec<(u32, f32, u8)>> = HashMap::new();
+    for src in 0..n {
+        for s in network.out_synapses(src) {
+            let t = s.target as usize;
+            if t >= lo && t < hi {
+                incoming
+                    .entry(src as u32)
+                    .or_default()
+                    .push(((t - lo) as u32, s.weight, s.delay));
+            }
+        }
+    }
+    // subscribers[local source] = remote ranks hosting at least one target.
+    let my_count = hi - lo;
+    let mut subscribers: Vec<Vec<usize>> = vec![Vec::new(); my_count];
+    for (li, subs) in subscribers.iter_mut().enumerate() {
+        let src = lo + li;
+        let mut ranks_hit = vec![false; world];
+        for s in network.out_synapses(src) {
+            ranks_hit[rank_of(s.target as usize)] = true;
+        }
+        for (r, hit) in ranks_hit.into_iter().enumerate() {
+            if hit && r != me {
+                subs.push(r);
+            }
+        }
+    }
+
+    // --- State ----------------------------------------------------------
+    let mut neurons: Vec<crate::neuron::Izhikevich> = network.neurons[lo..hi].to_vec();
+    let mut rings: Vec<[f32; RING]> = vec![[0.0; RING]; my_count];
+    let mut fires = 0u64;
+    let mut notifications = 0u64;
+    let mut messages = 0u64;
+    let mut send_bufs: Vec<Vec<u8>> = (0..world).map(|_| Vec::new()).collect();
+    let mut send_flags = vec![0u64; world];
+    let comm = ctx.comm();
+
+    let apply = |rings: &mut Vec<[f32; RING]>,
+                     incoming: &HashMap<u32, Vec<(u32, f32, u8)>>,
+                     source: u32,
+                     t: u32| {
+        if let Some(list) = incoming.get(&source) {
+            for &(tgt, w, d) in list {
+                rings[tgt as usize][(t as usize + d as usize) % RING] += w;
+            }
+        }
+    };
+
+    // --- Main loop --------------------------------------------------------
+    for t in 0..ticks {
+        // Integrate all local neurons; collect fired source ids.
+        let mut fired: Vec<u32> = Vec::new();
+        for (li, neuron) in neurons.iter_mut().enumerate() {
+            let slot = &mut rings[li][t as usize % RING];
+            let i = network.background[lo + li] + *slot;
+            *slot = 0.0;
+            if neuron.step(i) {
+                fired.push((lo + li) as u32);
+            }
+        }
+        fires += fired.len() as u64;
+
+        // Route: local applications immediately, remote ids into buffers.
+        for &src in &fired {
+            apply(&mut rings, &incoming, src, t);
+            for &r in &subscribers[(src as usize) - lo] {
+                send_bufs[r].extend_from_slice(&src.to_le_bytes());
+                notifications += 1;
+            }
+        }
+
+        // Exchange (flat, bulk-synchronous): one aggregated message per
+        // destination with traffic, reduce-scatter for the count.
+        send_flags.iter_mut().for_each(|f| *f = 0);
+        for (d, buf) in send_bufs.iter_mut().enumerate() {
+            if !buf.is_empty() {
+                comm.mailboxes().send(me, d, tick_tag(t), std::mem::take(buf));
+                send_flags[d] = 1;
+                messages += 1;
+            }
+        }
+        let expected = comm.reduce_scatter_sum(&send_flags);
+        // Collect all arrivals first and sort, so floating-point delivery
+        // order (and hence the trace) is deterministic per world size.
+        let mut arrivals: Vec<u32> = Vec::new();
+        for _ in 0..expected {
+            let env = comm.mailboxes().mailbox(me).recv(Match::tag(tick_tag(t)));
+            for chunk in env.payload.chunks_exact(4) {
+                arrivals.push(u32::from_le_bytes(chunk.try_into().expect("id width")));
+            }
+        }
+        arrivals.sort_unstable();
+        for src in arrivals {
+            apply(&mut rings, &incoming, src, t);
+        }
+    }
+    (fires, notifications, messages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_network_is_active_not_saturated() {
+        let net = C2Network::random_balanced(200, 30, 1);
+        let report = run_c2(&net, 1, 500);
+        let rate = report.fires as f64 / 200.0 / 0.5; // Hz
+        assert!(
+            (1.0..200.0).contains(&rate),
+            "rate {rate} Hz outside sanity band"
+        );
+    }
+
+    #[test]
+    fn fires_identical_across_rank_counts() {
+        // Deterministic because deliveries are sorted before the
+        // floating-point accumulation.
+        let net = C2Network::random_balanced(120, 20, 2);
+        let a = run_c2(&net, 1, 200).fires;
+        let b = run_c2(&net, 3, 200).fires;
+        let c = run_c2(&net, 4, 200).fires;
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert!(a > 0);
+    }
+
+    #[test]
+    fn remote_traffic_appears_with_ranks() {
+        let net = C2Network::random_balanced(100, 20, 3);
+        let single = run_c2(&net, 1, 100);
+        assert_eq!(single.remote_notifications, 0);
+        assert_eq!(single.messages, 0);
+        let multi = run_c2(&net, 4, 100);
+        assert!(multi.remote_notifications > 0);
+        assert!(multi.messages > 0);
+        assert_eq!(multi.fires, single.fires);
+    }
+
+    #[test]
+    fn storage_report_matches_network() {
+        let net = C2Network::random_balanced(50, 10, 4);
+        let report = run_c2(&net, 1, 10);
+        assert_eq!(report.synapse_bytes, net.synapse_storage_bytes() as u64);
+    }
+
+    #[test]
+    fn quiescent_without_background() {
+        let mut net = C2Network::random_balanced(50, 10, 5);
+        for b in &mut net.background {
+            *b = 0.0;
+        }
+        let report = run_c2(&net, 2, 200);
+        assert_eq!(report.fires, 0, "no drive, no spikes");
+    }
+}

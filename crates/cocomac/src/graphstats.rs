@@ -1,0 +1,198 @@
+//! Graph statistics for the merged CoCoMac network.
+//!
+//! The paper's §V argues that the macaque network's richness — many
+//! regions, dense asymmetric long-range edges, a wide degree spread
+//! between hubs and periphery — is what "challenges the communication and
+//! computational capabilities of Compass in a manner consistent with
+//! supporting brain-like networks". This module quantifies those
+//! properties for any [`MergedGraph`], both to validate the synthetic
+//! generator against the published statistics and as analysis tooling for
+//! user-supplied networks.
+
+use crate::hierarchy::MergedGraph;
+use std::collections::BTreeSet;
+
+/// Summary statistics of a merged region graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Vertices (regions).
+    pub regions: usize,
+    /// Regions with at least one edge.
+    pub connected_regions: usize,
+    /// Directed edges.
+    pub edges: usize,
+    /// Mean out-degree over connected regions.
+    pub mean_out_degree: f64,
+    /// Maximum out-degree and the region holding it.
+    pub max_out_degree: (usize, String),
+    /// Maximum in-degree and the region holding it.
+    pub max_in_degree: (usize, String),
+    /// Fraction of edges whose reverse edge also exists — anatomical
+    /// pathways are predominantly reciprocal in CoCoMac.
+    pub reciprocity: f64,
+    /// Total merge weight (raw study edges represented).
+    pub total_weight: u64,
+}
+
+/// Computes [`GraphStats`] for a merged graph.
+pub fn analyze(g: &MergedGraph) -> GraphStats {
+    let n = g.regions.len();
+    let mut out_deg = vec![0usize; n];
+    let mut in_deg = vec![0usize; n];
+    let mut pairs: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut total_weight = 0u64;
+    for &(s, d, w) in &g.edges {
+        out_deg[s] += 1;
+        in_deg[d] += 1;
+        pairs.insert((s, d));
+        total_weight += u64::from(w);
+    }
+    let reciprocal = pairs
+        .iter()
+        .filter(|&&(s, d)| pairs.contains(&(d, s)))
+        .count();
+    let connected = g.connected_regions();
+    let max_out = (0..n).max_by_key(|&i| out_deg[i]).unwrap_or(0);
+    let max_in = (0..n).max_by_key(|&i| in_deg[i]).unwrap_or(0);
+    GraphStats {
+        regions: n,
+        connected_regions: connected.len(),
+        edges: g.edges.len(),
+        mean_out_degree: if connected.is_empty() {
+            0.0
+        } else {
+            g.edges.len() as f64 / connected.len() as f64
+        },
+        max_out_degree: (out_deg[max_out], g.regions[max_out].0.clone()),
+        max_in_degree: (in_deg[max_in], g.regions[max_in].0.clone()),
+        reciprocity: if pairs.is_empty() {
+            0.0
+        } else {
+            reciprocal as f64 / pairs.len() as f64
+        },
+        total_weight,
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} regions ({} connected), {} directed edges ({} raw study edges)",
+            self.regions, self.connected_regions, self.edges, self.total_weight
+        )?;
+        writeln!(
+            f,
+            "mean out-degree {:.1}; top out {} ({}); top in {} ({})",
+            self.mean_out_degree,
+            self.max_out_degree.0,
+            self.max_out_degree.1,
+            self.max_in_degree.0,
+            self.max_in_degree.1
+        )?;
+        write!(f, "reciprocity {:.0}%", self.reciprocity * 100.0)
+    }
+}
+
+/// Renders the merged graph in GraphViz DOT form, edges weighted by merge
+/// multiplicity — the quick way to eyeball a generated network against
+/// Fig. 3's map (`dot -Tsvg network.dot > network.svg`).
+pub fn to_dot(g: &MergedGraph) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("digraph cocomac {\n  rankdir=LR;\n  node [shape=ellipse];\n");
+    let connected: BTreeSet<usize> = g.connected_regions().into_iter().collect();
+    for &i in &connected {
+        let (name, class) = &g.regions[i];
+        let color = match class {
+            crate::RegionClass::Cortical => "lightblue",
+            crate::RegionClass::Thalamic => "palegreen",
+            crate::RegionClass::BasalGanglia => "lightsalmon",
+        };
+        let _ = writeln!(out, "  \"{name}\" [style=filled, fillcolor={color}];");
+    }
+    for &(s, d, w) in &g.edges {
+        let _ = writeln!(
+            out,
+            "  \"{}\" -> \"{}\" [penwidth={:.1}];",
+            g.regions[s].0,
+            g.regions[d].0,
+            1.0 + (f64::from(w)).ln().max(0.0)
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::{generate_parcellation, merge_to_parents, stats};
+
+    fn merged() -> MergedGraph {
+        merge_to_parents(&generate_parcellation(7))
+    }
+
+    #[test]
+    fn counts_match_generator_guarantees() {
+        let s = analyze(&merged());
+        assert_eq!(s.regions, stats::MERGED_REGIONS);
+        assert_eq!(s.connected_regions, stats::CONNECTED_REGIONS);
+        assert_eq!(s.total_weight as usize, stats::FULL_EDGES);
+        assert!(s.edges > 500, "merged edge count {} implausible", s.edges);
+    }
+
+    #[test]
+    fn hubs_dominate() {
+        let s = analyze(&merged());
+        assert!(
+            s.max_out_degree.0 as f64 > 2.0 * s.mean_out_degree,
+            "hub out-degree {} vs mean {:.1}",
+            s.max_out_degree.0,
+            s.mean_out_degree
+        );
+    }
+
+    #[test]
+    fn network_is_substantially_reciprocal() {
+        // Zipf-weighted endpoints make reverse edges likely for hub pairs,
+        // as in the real database.
+        let s = analyze(&merged());
+        assert!(
+            s.reciprocity > 0.3,
+            "reciprocity {:.2} too low for an anatomical network",
+            s.reciprocity
+        );
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let text = analyze(&merged()).to_string();
+        assert!(text.contains("102 regions"));
+        assert!(text.contains("reciprocity"));
+    }
+
+    #[test]
+    fn dot_export_is_well_formed() {
+        let dot = to_dot(&merged());
+        assert!(dot.starts_with("digraph cocomac {"));
+        assert!(dot.ends_with("}\n"));
+        assert!(dot.contains("\"LGN\""));
+        assert!(dot.contains("->"));
+        assert!(dot.contains("palegreen"), "thalamic coloring present");
+        // One node line per connected region.
+        let nodes = dot.matches("style=filled").count();
+        assert_eq!(nodes, stats::CONNECTED_REGIONS);
+    }
+
+    #[test]
+    fn empty_graph_is_handled() {
+        let g = MergedGraph {
+            regions: vec![("A".into(), crate::RegionClass::Cortical)],
+            edges: vec![],
+        };
+        let s = analyze(&g);
+        assert_eq!(s.connected_regions, 0);
+        assert_eq!(s.reciprocity, 0.0);
+        assert_eq!(s.mean_out_degree, 0.0);
+    }
+}

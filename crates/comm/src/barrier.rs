@@ -1,0 +1,234 @@
+//! Reusable global barriers.
+//!
+//! §VII-A of the paper reports that the authors "experimented with writing
+//! \[their\] own custom synchronization primitives" (subgroup barriers) but
+//! found the platform-native barrier faster. We keep both families alive so
+//! the ablation bench can reproduce that comparison:
+//!
+//! * [`CentralizedBarrier`] — a mutex/condvar generation barrier, the right
+//!   default on oversubscribed hosts where spinning burns the one core the
+//!   other participants need.
+//! * [`SenseBarrier`] — a classic centralized sense-reversing barrier on
+//!   atomics with a yielding spin, the textbook HPC primitive.
+//!
+//! Both are *reusable*: the same instance synchronizes an unbounded sequence
+//! of episodes, one per simulated tick.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// A reusable barrier for a fixed set of `n` participants.
+pub trait GlobalBarrier: Send + Sync {
+    /// Blocks until all `n` participants have called `wait` for the current
+    /// episode. Returns `true` on exactly one participant per episode (the
+    /// "leader", by analogy with [`std::sync::BarrierWaitResult`]).
+    fn wait(&self) -> bool;
+
+    /// Number of participants this barrier synchronizes.
+    fn participants(&self) -> usize;
+}
+
+/// Mutex + condvar generation barrier.
+///
+/// Functionally identical to [`std::sync::Barrier`] but exposes the
+/// participant count and implements [`GlobalBarrier`] so the simulator can
+/// swap barrier implementations for the ablation study.
+#[derive(Debug)]
+pub struct CentralizedBarrier {
+    n: usize,
+    state: Mutex<CentralState>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct CentralState {
+    arrived: usize,
+    generation: u64,
+}
+
+impl CentralizedBarrier {
+    /// Creates a barrier for `n >= 1` participants.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "a barrier needs at least one participant");
+        Self {
+            n,
+            state: Mutex::new(CentralState {
+                arrived: 0,
+                generation: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+impl GlobalBarrier for CentralizedBarrier {
+    fn wait(&self) -> bool {
+        let mut st = self.state.lock();
+        st.arrived += 1;
+        if st.arrived == self.n {
+            st.arrived = 0;
+            st.generation = st.generation.wrapping_add(1);
+            self.cv.notify_all();
+            true
+        } else {
+            let gen = st.generation;
+            while st.generation == gen {
+                self.cv.wait(&mut st);
+            }
+            false
+        }
+    }
+
+    fn participants(&self) -> usize {
+        self.n
+    }
+}
+
+/// Centralized sense-reversing barrier (atomics + yielding spin).
+///
+/// The last arriver flips the global sense; everyone else spins (with
+/// [`std::thread::yield_now`]) until they observe the flip. Each participant
+/// carries thread-local sense state *inside* the barrier indexed by an
+/// episode counter, so callers need no per-thread handle: the local sense is
+/// derived from the episode parity, which is identical across participants
+/// within an episode by construction.
+#[derive(Debug)]
+pub struct SenseBarrier {
+    n: usize,
+    count: AtomicUsize,
+    sense: AtomicBool,
+}
+
+impl SenseBarrier {
+    /// Creates a barrier for `n >= 1` participants.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "a barrier needs at least one participant");
+        Self {
+            n,
+            count: AtomicUsize::new(0),
+            sense: AtomicBool::new(false),
+        }
+    }
+}
+
+impl GlobalBarrier for SenseBarrier {
+    fn wait(&self) -> bool {
+        // The sense observed on entry is this episode's "old" sense; the
+        // episode completes when the global sense differs from it.
+        let my_sense = self.sense.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            self.count.store(0, Ordering::Release);
+            self.sense.store(!my_sense, Ordering::Release);
+            true
+        } else {
+            while self.sense.load(Ordering::Acquire) == my_sense {
+                std::thread::yield_now();
+            }
+            false
+        }
+    }
+
+    fn participants(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    fn exercise(barrier: Arc<dyn GlobalBarrier>, n: usize, episodes: usize) {
+        // Each episode: every thread adds its id to a shared sum, barrier,
+        // checks the sum is complete, barrier, resets by leader.
+        let sum = Arc::new(AtomicU64::new(0));
+        let expected: u64 = (0..n as u64).sum();
+        let handles: Vec<_> = (0..n)
+            .map(|id| {
+                let b = barrier.clone();
+                let sum = sum.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..episodes {
+                        sum.fetch_add(id as u64, Ordering::SeqCst);
+                        b.wait();
+                        assert_eq!(sum.load(Ordering::SeqCst), expected);
+                        let leader = b.wait();
+                        if leader {
+                            sum.store(0, Ordering::SeqCst);
+                        }
+                        b.wait();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn centralized_barrier_synchronizes_episodes() {
+        exercise(Arc::new(CentralizedBarrier::new(4)), 4, 50);
+    }
+
+    #[test]
+    fn sense_barrier_synchronizes_episodes() {
+        exercise(Arc::new(SenseBarrier::new(4)), 4, 50);
+    }
+
+    #[test]
+    fn single_participant_is_always_leader() {
+        let b = CentralizedBarrier::new(1);
+        for _ in 0..10 {
+            assert!(b.wait());
+        }
+        let s = SenseBarrier::new(1);
+        for _ in 0..10 {
+            assert!(s.wait());
+        }
+    }
+
+    #[test]
+    fn exactly_one_leader_per_episode() {
+        let n = 3;
+        let b = Arc::new(CentralizedBarrier::new(n));
+        let leaders = Arc::new(AtomicU64::new(0));
+        let episodes = 20;
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                let b = b.clone();
+                let leaders = leaders.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..episodes {
+                        if b.wait() {
+                            leaders.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(leaders.load(Ordering::SeqCst), episodes as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn zero_participants_rejected() {
+        let _ = CentralizedBarrier::new(0);
+    }
+
+    #[test]
+    fn participants_reported() {
+        assert_eq!(CentralizedBarrier::new(5).participants(), 5);
+        assert_eq!(SenseBarrier::new(7).participants(), 7);
+    }
+}

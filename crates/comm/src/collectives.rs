@@ -1,0 +1,709 @@
+//! Collective operations built from point-to-point messages.
+//!
+//! Compass's Network phase begins with an `MPI_Reduce_scatter` over the
+//! per-destination send counts, so every rank learns how many incoming spike
+//! messages to expect (listing 1). The paper attributes most of the
+//! weak-scaling runtime growth to this collective, whose cost grows with
+//! communicator size; it is exactly what the PGAS variant of §VII
+//! eliminates. To reproduce those effects the collectives here are built
+//! from real point-to-point rounds using the classical algorithms:
+//!
+//! * [`Communicator::barrier`] — dissemination barrier, `⌈log₂ P⌉` rounds.
+//! * [`Communicator::reduce_scatter_sum`] — recursive halving for power-of-
+//!   two worlds, direct pairwise exchange otherwise.
+//! * [`Communicator::allreduce_sum`] / [`Communicator::allreduce_max`] /
+//!   [`Communicator::allreduce_sum_f64`] — recursive doubling with a
+//!   fold-in/fold-out step for non-power-of-two worlds.
+//! * [`Communicator::gather_to_root`] / [`Communicator::broadcast_from_root`]
+//!   — linear gather and binomial-tree broadcast.
+//! * [`Communicator::alltoallv`] — direct exchange, used by the parallel
+//!   compiler's axon-allocation handshake.
+//!
+//! Each rank owns one `Communicator`; collective calls must be made by all
+//! ranks in the same order (the usual MPI contract). Internal messages are
+//! tagged with a per-rank sequence number so that back-to-back collectives
+//! and application traffic can never cross-match.
+
+use crate::mailbox::{MailboxSet, Match, Tag};
+use crate::Rank;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Tag-space bit reserved for collective-internal messages. Application
+/// tags must keep this bit clear.
+pub const COLLECTIVE_TAG_BIT: Tag = 1 << 63;
+
+/// Per-rank handle for collective operations over a [`MailboxSet`].
+///
+/// `Sync` so the rank's master thread can drive collectives from inside a
+/// [`crate::ThreadTeam`] parallel region (Compass overlaps the master's
+/// Reduce-scatter with the workers' local spike delivery), but collective
+/// calls themselves must stay funneled through one thread per rank —
+/// mirroring `MPI_THREAD_FUNNELED` in the paper.
+pub struct Communicator {
+    me: Rank,
+    mail: MailboxSet,
+    seq: AtomicU64,
+}
+
+impl Communicator {
+    /// Creates rank `me`'s communicator.
+    pub fn new(me: Rank, mail: MailboxSet) -> Self {
+        Self {
+            me,
+            mail,
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// This rank's index.
+    pub fn rank(&self) -> Rank {
+        self.me
+    }
+
+    /// World size `P`.
+    pub fn size(&self) -> usize {
+        self.mail.ranks()
+    }
+
+    /// Underlying mailboxes (for application point-to-point traffic).
+    pub fn mailboxes(&self) -> &MailboxSet {
+        &self.mail
+    }
+
+    /// Allocates the tag base for the next collective episode on this rank.
+    /// All ranks call collectives in the same order, so sequence numbers
+    /// agree world-wide.
+    fn next_tags(&self) -> Tag {
+        let s = self.seq.fetch_add(1, Ordering::Relaxed);
+        COLLECTIVE_TAG_BIT | (s << 8)
+    }
+
+    fn send(&self, dst: Rank, tag: Tag, payload: Vec<u8>) {
+        self.mail.send_internal(self.me, dst, tag, payload)
+    }
+
+    fn recv(&self, src: Rank, tag: Tag) -> Vec<u8> {
+        self.mail.mailbox(self.me).recv(Match::from(src, tag)).payload
+    }
+
+    /// Dissemination barrier: `⌈log₂ P⌉` rounds of one send + one receive.
+    pub fn barrier(&self) {
+        let p = self.size();
+        let base = self.next_tags();
+        if p == 1 {
+            self.mail.metrics().record_barrier();
+            return;
+        }
+        let mut msgs = 0u64;
+        let mut dist = 1usize;
+        let mut round: Tag = 0;
+        while dist < p {
+            let to = (self.me + dist) % p;
+            let from = (self.me + p - dist) % p;
+            self.send(to, base | round, Vec::new());
+            let _ = self.recv(from, base | round);
+            msgs += 1;
+            dist *= 2;
+            round += 1;
+        }
+        self.mail.metrics().record_barrier();
+        self.mail.metrics().record_collective(msgs);
+    }
+
+    /// The `MPI_Reduce_scatter` of Compass's Network phase, specialized to
+    /// one `u64` per rank: every rank contributes `contrib` (length `P`),
+    /// and rank `r` receives `Σ_s contrib_s[r]`.
+    ///
+    /// Power-of-two worlds use recursive halving (`log₂ P` rounds, halving
+    /// payloads); other sizes use direct pairwise exchange. Both cost more
+    /// as `P` grows, which is the scaling effect the paper measures.
+    ///
+    /// # Panics
+    /// Panics if `contrib.len() != P`.
+    pub fn reduce_scatter_sum(&self, contrib: &[u64]) -> u64 {
+        let p = self.size();
+        assert_eq!(contrib.len(), p, "contribution vector must have P entries");
+        let base = self.next_tags();
+        if p == 1 {
+            self.mail.metrics().record_collective(0);
+            return contrib[0];
+        }
+        
+        if p.is_power_of_two() {
+            self.reduce_scatter_halving(contrib, base)
+        } else {
+            self.reduce_scatter_direct(contrib, base)
+        }
+    }
+
+    /// Recursive halving: my responsible block halves each round; I send the
+    /// half my partner keeps and fold in the half I keep.
+    fn reduce_scatter_halving(&self, contrib: &[u64], base: Tag) -> u64 {
+        let p = self.size();
+        let mut v = contrib.to_vec();
+        let mut lo = 0usize; // start of my responsible block
+        let mut len = p; // block length
+        let mut half = p / 2;
+        let mut round: Tag = 0;
+        let mut msgs = 0u64;
+        while half >= 1 {
+            let partner = self.me ^ half;
+            let keep_upper = self.me & half != 0;
+            let (keep_lo, send_lo) = if keep_upper {
+                (lo + half.min(len / 2), lo)
+            } else {
+                (lo, lo + len / 2)
+            };
+            let send_len = len / 2;
+            let keep_len = len - send_len;
+            // Ship the partner's half of my working vector.
+            let payload = encode_u64s(&v[send_lo..send_lo + send_len]);
+            self.send(partner, base | round, payload);
+            let incoming = decode_u64s(&self.recv(partner, base | round));
+            assert_eq!(incoming.len(), keep_len, "halving block mismatch");
+            for (dst, add) in v[keep_lo..keep_lo + keep_len].iter_mut().zip(&incoming) {
+                *dst = dst.wrapping_add(*add);
+            }
+            lo = keep_lo;
+            len = keep_len;
+            half /= 2;
+            round += 1;
+            msgs += 1;
+        }
+        debug_assert_eq!(lo, self.me);
+        debug_assert_eq!(len, 1);
+        self.mail.metrics().record_collective(msgs);
+        v[lo]
+    }
+
+    /// Direct pairwise exchange for non-power-of-two worlds: send
+    /// `contrib[d]` to every other rank `d`, then fold in `P - 1` receipts.
+    fn reduce_scatter_direct(&self, contrib: &[u64], base: Tag) -> u64 {
+        let p = self.size();
+        let mut msgs = 0u64;
+        for d in 0..p {
+            if d != self.me {
+                self.send(d, base, encode_u64s(&contrib[d..d + 1]));
+                msgs += 1;
+            }
+        }
+        let mut acc = contrib[self.me];
+        for s in 0..p {
+            if s != self.me {
+                let vals = decode_u64s(&self.recv(s, base));
+                acc = acc.wrapping_add(vals[0]);
+            }
+        }
+        self.mail.metrics().record_collective(msgs);
+        acc
+    }
+
+    /// All-reduce with an arbitrary associative, commutative combiner over a
+    /// fixed-width word type.
+    fn allreduce_with<T: WireWord>(&self, mine: T, combine: impl Fn(T, T) -> T) -> T {
+        let p = self.size();
+        let base = self.next_tags();
+        if p == 1 {
+            self.mail.metrics().record_collective(0);
+            return mine;
+        }
+        let mut msgs = 0u64;
+        let p2 = p.next_power_of_two() / if p.is_power_of_two() { 1 } else { 2 };
+        let mut acc = mine;
+        // Fold-in: ranks beyond the power-of-two core send their value to a
+        // core rank and idle until fold-out.
+        if self.me >= p2 {
+            self.send(self.me - p2, base | 0xF0, acc.to_wire().to_vec());
+            let back = self.recv(self.me - p2, base | 0xF1);
+            self.mail.metrics().record_collective(1);
+            return T::from_wire(&back);
+        }
+        if self.me + p2 < p {
+            let extra = T::from_wire(&self.recv(self.me + p2, base | 0xF0));
+            acc = combine(acc, extra);
+            msgs += 1;
+        }
+        // Recursive doubling within the core.
+        let mut dist = 1usize;
+        let mut round: Tag = 0;
+        while dist < p2 {
+            let partner = self.me ^ dist;
+            self.send(partner, base | round, acc.to_wire().to_vec());
+            let theirs = T::from_wire(&self.recv(partner, base | round));
+            acc = combine(acc, theirs);
+            msgs += 1;
+            dist *= 2;
+            round += 1;
+        }
+        // Fold-out.
+        if self.me + p2 < p {
+            self.send(self.me + p2, base | 0xF1, acc.to_wire().to_vec());
+            msgs += 1;
+        }
+        self.mail.metrics().record_collective(msgs);
+        acc
+    }
+
+    /// Sum of one `u64` contribution per rank, returned on every rank.
+    pub fn allreduce_sum(&self, mine: u64) -> u64 {
+        self.allreduce_with(mine, u64::wrapping_add)
+    }
+
+    /// Maximum of one `u64` contribution per rank, returned on every rank.
+    pub fn allreduce_max(&self, mine: u64) -> u64 {
+        self.allreduce_with(mine, u64::max)
+    }
+
+    /// Sum of one `f64` contribution per rank, returned on every rank.
+    ///
+    /// Combination order is fixed by the doubling schedule, so results are
+    /// bit-identical across runs with the same world size.
+    pub fn allreduce_sum_f64(&self, mine: f64) -> f64 {
+        self.allreduce_with(mine, |a, b| a + b)
+    }
+
+    /// All-gather of one `u64` per rank: returns the vector of every rank's
+    /// contribution, indexed by rank, on every rank. Built from a linear
+    /// gather plus a binomial broadcast.
+    pub fn allgather_u64(&self, mine: u64) -> Vec<u64> {
+        let gathered = self.gather_to_root(mine.to_le_bytes().to_vec());
+        let packed = match gathered {
+            Some(parts) => {
+                let mut buf = Vec::with_capacity(parts.len() * 8);
+                for p in parts {
+                    buf.extend_from_slice(&p);
+                }
+                self.broadcast_from_root(Some(buf))
+            }
+            None => self.broadcast_from_root(None),
+        };
+        decode_u64s(&packed)
+    }
+
+    /// Gathers every rank's payload at rank 0; returns `Some(payloads)` in
+    /// rank order on rank 0 and `None` elsewhere.
+    pub fn gather_to_root(&self, payload: Vec<u8>) -> Option<Vec<Vec<u8>>> {
+        let p = self.size();
+        let base = self.next_tags();
+        if self.me == 0 {
+            let mut all = Vec::with_capacity(p);
+            all.push(payload);
+            for s in 1..p {
+                all.push(self.recv(s, base));
+            }
+            self.mail.metrics().record_collective(0);
+            Some(all)
+        } else {
+            self.send(0, base, payload);
+            self.mail.metrics().record_collective(1);
+            None
+        }
+    }
+
+    /// Broadcasts rank 0's payload to every rank via a binomial tree.
+    /// Rank 0 passes `Some(payload)`; other ranks pass `None`.
+    ///
+    /// # Panics
+    /// Panics if the `Some`/`None` convention is violated.
+    pub fn broadcast_from_root(&self, payload: Option<Vec<u8>>) -> Vec<u8> {
+        let p = self.size();
+        let base = self.next_tags();
+        let data = if self.me == 0 {
+            payload.expect("root must supply the broadcast payload")
+        } else {
+            assert!(payload.is_none(), "non-root ranks must pass None");
+            // Receive from the parent in the binomial tree: the sender is
+            // me with its lowest set bit cleared.
+            let parent = self.me - (1 << self.me.trailing_zeros());
+            self.recv(parent, base)
+        };
+        // Forward to children: me + 2^k for each 2^k below my own lowest set
+        // bit (every power of two for rank 0), largest distance first — the
+        // classic latency-optimal schedule.
+        let mut msgs = 0u64;
+        let mut k = 0usize;
+        let mut children = Vec::new();
+        while (1usize << k) < p {
+            let child = self.me + (1 << k);
+            if child < p && is_binomial_child(self.me, child) {
+                children.push(child);
+            }
+            k += 1;
+        }
+        for &child in children.iter().rev() {
+            self.send(child, base, data.clone());
+            msgs += 1;
+        }
+        self.mail.metrics().record_collective(msgs);
+        data
+    }
+
+    /// Direct personalized all-to-all: sends `bufs[d]` to each rank `d` and
+    /// returns the `P` payloads received (indexed by source). `bufs[me]` is
+    /// returned in place without touching the network.
+    ///
+    /// # Panics
+    /// Panics if `bufs.len() != P`.
+    pub fn alltoallv(&self, mut bufs: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+        let p = self.size();
+        assert_eq!(bufs.len(), p, "alltoallv needs one buffer per rank");
+        let base = self.next_tags();
+        let mine = std::mem::take(&mut bufs[self.me]);
+        let mut msgs = 0u64;
+        for (d, buf) in bufs.iter_mut().enumerate() {
+            if d != self.me {
+                self.send(d, base, std::mem::take(buf));
+                msgs += 1;
+            }
+        }
+        let mut out: Vec<Vec<u8>> = (0..p).map(|_| Vec::new()).collect();
+        out[self.me] = mine;
+        for (s, slot) in out.iter_mut().enumerate() {
+            if s != self.me {
+                *slot = self.recv(s, base);
+            }
+        }
+        self.mail.metrics().record_collective(msgs);
+        out
+    }
+}
+
+/// True if `child` is a direct child of `parent` in the binomial broadcast
+/// tree rooted at 0 (child = parent + 2^k with 2^k above parent's span).
+fn is_binomial_child(parent: Rank, child: Rank) -> bool {
+    if child <= parent {
+        return false;
+    }
+    let d = child - parent;
+    if !d.is_power_of_two() {
+        return false;
+    }
+    if parent == 0 {
+        true
+    } else {
+        // parent's own lowest set bit must exceed the edge distance
+        d < (1 << parent.trailing_zeros())
+    }
+}
+
+/// Fixed-width word encodable on the wire.
+trait WireWord: Copy {
+    fn to_wire(self) -> [u8; 8];
+    fn from_wire(bytes: &[u8]) -> Self;
+}
+
+impl WireWord for u64 {
+    fn to_wire(self) -> [u8; 8] {
+        self.to_le_bytes()
+    }
+    fn from_wire(bytes: &[u8]) -> Self {
+        u64::from_le_bytes(bytes.try_into().expect("u64 wire width"))
+    }
+}
+
+impl WireWord for f64 {
+    fn to_wire(self) -> [u8; 8] {
+        self.to_le_bytes()
+    }
+    fn from_wire(bytes: &[u8]) -> Self {
+        f64::from_le_bytes(bytes.try_into().expect("f64 wire width"))
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::metrics::TransportMetrics;
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    fn run_world<T: Send + 'static>(
+        p: usize,
+        f: impl Fn(&Communicator) -> T + Sync + Send + Clone + 'static,
+    ) -> Vec<T> {
+        let mail = MailboxSet::new(p, Arc::new(TransportMetrics::new()));
+        let handles: Vec<_> = (0..p)
+            .map(|r| {
+                let mail = mail.clone();
+                let f = f.clone();
+                std::thread::spawn(move || f(&Communicator::new(r, mail)))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Reduce-scatter over random contributions equals the serial sum
+        /// for every world size, power-of-two or not.
+        #[test]
+        fn reduce_scatter_equals_serial(
+            p in 1usize..7,
+            table in proptest::collection::vec(0u64..1_000_000, 49),
+        ) {
+            // contrib_s[d] = table[s * p + d]
+            let table = std::sync::Arc::new(table);
+            let t2 = std::sync::Arc::clone(&table);
+            let got = run_world(p, move |c| {
+                let contrib: Vec<u64> =
+                    (0..p).map(|d| t2[c.rank() * p + d]).collect();
+                c.reduce_scatter_sum(&contrib)
+            });
+            for (d, v) in got.iter().enumerate() {
+                let expect: u64 = (0..p).map(|s| table[s * p + d]).sum();
+                prop_assert_eq!(*v, expect);
+            }
+        }
+
+        /// alltoallv routes arbitrary payloads to exactly the right place.
+        #[test]
+        fn alltoallv_routes_random_payloads(
+            p in 1usize..6,
+            salt in proptest::num::u8::ANY,
+        ) {
+            let got = run_world(p, move |c| {
+                let bufs: Vec<Vec<u8>> = (0..p)
+                    .map(|d| vec![salt, c.rank() as u8, d as u8])
+                    .collect();
+                c.alltoallv(bufs)
+            });
+            for (d, received) in got.iter().enumerate() {
+                for (s, payload) in received.iter().enumerate() {
+                    prop_assert_eq!(payload, &vec![salt, s as u8, d as u8]);
+                }
+            }
+        }
+
+        /// allgather returns the identical rank-indexed vector everywhere.
+        #[test]
+        fn allgather_consistent(
+            p in 1usize..7,
+            vals in proptest::collection::vec(proptest::num::u64::ANY, 7),
+        ) {
+            let v2 = vals.clone();
+            let got = run_world(p, move |c| c.allgather_u64(v2[c.rank()]));
+            let expect: Vec<u64> = vals[..p].to_vec();
+            for g in got {
+                prop_assert_eq!(&g, &expect);
+            }
+        }
+    }
+}
+
+fn encode_u64s(vals: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len() * 8);
+    for v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn decode_u64s(bytes: &[u8]) -> Vec<u64> {
+    assert!(bytes.len().is_multiple_of(8), "u64 vector payload misaligned");
+    bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("chunk width")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::TransportMetrics;
+    use std::sync::Arc;
+
+    /// Runs `f(comm)` on `p` rank threads and returns per-rank results.
+    fn run_world<T: Send + 'static>(
+        p: usize,
+        f: impl Fn(&Communicator) -> T + Sync + Send + Clone + 'static,
+    ) -> Vec<T> {
+        let mail = MailboxSet::new(p, Arc::new(TransportMetrics::new()));
+        let handles: Vec<_> = (0..p)
+            .map(|r| {
+                let mail = mail.clone();
+                let f = f.clone();
+                std::thread::spawn(move || f(&Communicator::new(r, mail)))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn barrier_completes_for_various_sizes() {
+        for p in [1, 2, 3, 4, 5, 8] {
+            run_world(p, |c| {
+                for _ in 0..5 {
+                    c.barrier();
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_matches_serial_sum_pow2() {
+        for p in [1usize, 2, 4, 8] {
+            let got = run_world(p, move |c| {
+                // contrib_s[d] = 100*s + d
+                let contrib: Vec<u64> = (0..p as u64).map(|d| 100 * c.rank() as u64 + d).collect();
+                c.reduce_scatter_sum(&contrib)
+            });
+            for (d, v) in got.iter().enumerate() {
+                let expect: u64 = (0..p as u64).map(|s| 100 * s + d as u64).sum();
+                assert_eq!(*v, expect, "p={p} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_matches_serial_sum_non_pow2() {
+        for p in [3usize, 5, 6, 7] {
+            let got = run_world(p, move |c| {
+                let contrib: Vec<u64> = (0..p as u64).map(|d| 7 * c.rank() as u64 + d * d).collect();
+                c.reduce_scatter_sum(&contrib)
+            });
+            for (d, v) in got.iter().enumerate() {
+                let expect: u64 = (0..p as u64).map(|s| 7 * s + (d as u64) * (d as u64)).sum();
+                assert_eq!(*v, expect, "p={p} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_sum_all_sizes() {
+        for p in [1usize, 2, 3, 4, 5, 7, 8] {
+            let got = run_world(p, |c| c.allreduce_sum(c.rank() as u64 + 1));
+            let expect: u64 = (1..=p as u64).sum();
+            assert!(got.iter().all(|&v| v == expect), "p={p} got={got:?}");
+        }
+    }
+
+    #[test]
+    fn allreduce_max_all_sizes() {
+        for p in [1usize, 3, 4, 6] {
+            let got = run_world(p, |c| c.allreduce_max((c.rank() as u64 * 13) % 7));
+            let expect = (0..p as u64).map(|r| (r * 13) % 7).max().unwrap();
+            assert!(got.iter().all(|&v| v == expect), "p={p}");
+        }
+    }
+
+    #[test]
+    fn allreduce_f64_sums() {
+        let got = run_world(4, |c| c.allreduce_sum_f64(0.5 * (c.rank() as f64 + 1.0)));
+        for v in got {
+            assert!((v - 5.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let got = run_world(4, |c| c.gather_to_root(vec![c.rank() as u8; c.rank() + 1]));
+        let root = got[0].as_ref().unwrap();
+        for (r, payload) in root.iter().enumerate() {
+            assert_eq!(payload, &vec![r as u8; r + 1]);
+        }
+        assert!(got[1..].iter().all(|g| g.is_none()));
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        for p in [1usize, 2, 3, 4, 5, 6, 7, 8] {
+            let got = run_world(p, |c| {
+                let payload = if c.rank() == 0 {
+                    Some(vec![42u8, 43, 44])
+                } else {
+                    None
+                };
+                c.broadcast_from_root(payload)
+            });
+            assert!(
+                got.iter().all(|v| v == &vec![42u8, 43, 44]),
+                "p={p} got={got:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn alltoallv_routes_every_pair() {
+        for p in [1usize, 2, 3, 5] {
+            let got = run_world(p, move |c| {
+                let bufs: Vec<Vec<u8>> = (0..p).map(|d| vec![c.rank() as u8, d as u8]).collect();
+                c.alltoallv(bufs)
+            });
+            for (d, received) in got.iter().enumerate() {
+                for (s, payload) in received.iter().enumerate() {
+                    assert_eq!(payload, &vec![s as u8, d as u8], "p={p} {s}->{d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_returns_rank_indexed_vector() {
+        for p in [1usize, 2, 3, 5, 8] {
+            let got = run_world(p, |c| c.allgather_u64(c.rank() as u64 * 10 + 1));
+            let expect: Vec<u64> = (0..p as u64).map(|r| r * 10 + 1).collect();
+            assert!(got.iter().all(|v| v == &expect), "p={p} got={got:?}");
+        }
+    }
+
+    #[test]
+    fn back_to_back_collectives_do_not_crosstalk() {
+        let got = run_world(4, |c| {
+            let a = c.allreduce_sum(1);
+            c.barrier();
+            let b = c.allreduce_sum(c.rank() as u64);
+            let contrib = vec![1u64; 4];
+            let d = c.reduce_scatter_sum(&contrib);
+            (a, b, d)
+        });
+        for (a, b, d) in got {
+            assert_eq!(a, 4);
+            assert_eq!(b, 6);
+            assert_eq!(d, 4);
+        }
+    }
+
+    #[test]
+    fn collective_traffic_not_counted_as_p2p() {
+        let mail = MailboxSet::new(2, Arc::new(TransportMetrics::new()));
+        let m2 = mail.clone();
+        let h = std::thread::spawn(move || Communicator::new(1, m2).allreduce_sum(1));
+        let c0 = Communicator::new(0, mail.clone());
+        let _ = c0.allreduce_sum(1);
+        h.join().unwrap();
+        let snap = mail.metrics().snapshot();
+        assert_eq!(snap.p2p_messages, 0);
+        assert!(snap.collective_messages > 0);
+    }
+
+    #[test]
+    fn wrapping_sums_do_not_panic() {
+        // Contributions near u64::MAX must wrap, not panic, matching the
+        // wrapping_add used in the reduction.
+        let got = run_world(4, |c| c.allreduce_sum(u64::MAX / 2));
+        let expect = (u64::MAX / 2).wrapping_mul(4);
+        assert!(got.iter().all(|&v| v == expect));
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // c is a rank id, not a slice walk
+    fn binomial_children_cover_tree() {
+        // For several P, walking parent->child edges from 0 must reach all.
+        for p in 1usize..=16 {
+            let mut reached = vec![false; p];
+            reached[0] = true;
+            let mut frontier = vec![0usize];
+            while let Some(n) = frontier.pop() {
+                for c in n + 1..p {
+                    if is_binomial_child(n, c) {
+                        assert!(!reached[c], "duplicate path to {c} (p={p})");
+                        reached[c] = true;
+                        frontier.push(c);
+                    }
+                }
+            }
+            assert!(reached.iter().all(|&r| r), "p={p} unreached");
+        }
+    }
+}

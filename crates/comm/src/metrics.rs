@@ -1,0 +1,211 @@
+//! Transport instrumentation.
+//!
+//! Compass's evaluation (Fig. 4b of the paper) analyses MPI message counts,
+//! spike counts, and data volume per simulated tick. Every primitive in this
+//! crate reports into a [`TransportMetrics`] so the benchmark harness can
+//! reproduce that analysis without touching the hot paths (all counters are
+//! relaxed atomics, incremented once per message, never per byte).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared counters for all communication performed by a [`crate::World`].
+///
+/// One instance is shared by every rank; counters use relaxed ordering
+/// because they are statistics, not synchronization.
+#[derive(Debug, Default)]
+pub struct TransportMetrics {
+    /// Two-sided point-to-point messages sent (mailbox `send`).
+    pub p2p_messages: AtomicU64,
+    /// Total payload bytes moved by two-sided messages.
+    pub p2p_bytes: AtomicU64,
+    /// One-sided puts performed through PGAS windows.
+    pub puts: AtomicU64,
+    /// Total payload bytes moved by one-sided puts.
+    pub put_bytes: AtomicU64,
+    /// Collective operations entered (each rank's participation counts once).
+    pub collective_ops: AtomicU64,
+    /// Point-to-point messages generated *internally* by collectives.
+    pub collective_messages: AtomicU64,
+    /// Global barrier episodes entered (each rank counts once).
+    pub barriers: AtomicU64,
+}
+
+impl TransportMetrics {
+    /// Creates a zeroed metrics block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one two-sided message of `bytes` payload bytes.
+    #[inline]
+    pub fn record_p2p(&self, bytes: usize) {
+        self.p2p_messages.fetch_add(1, Ordering::Relaxed);
+        self.p2p_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Records one one-sided put of `bytes` payload bytes.
+    #[inline]
+    pub fn record_put(&self, bytes: usize) {
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        self.put_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Records a rank entering a collective that internally generated
+    /// `messages` point-to-point messages on this rank.
+    #[inline]
+    pub fn record_collective(&self, messages: u64) {
+        self.collective_ops.fetch_add(1, Ordering::Relaxed);
+        self.collective_messages
+            .fetch_add(messages, Ordering::Relaxed);
+    }
+
+    /// Records a rank entering a global barrier.
+    #[inline]
+    pub fn record_barrier(&self) {
+        self.barriers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough point-in-time copy of all counters.
+    ///
+    /// Intended for use at quiescent points (between ticks, after a
+    /// barrier); individual counters are each exact, though mutually
+    /// unordered while traffic is in flight.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            p2p_messages: self.p2p_messages.load(Ordering::Relaxed),
+            p2p_bytes: self.p2p_bytes.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            put_bytes: self.put_bytes.load(Ordering::Relaxed),
+            collective_ops: self.collective_ops.load(Ordering::Relaxed),
+            collective_messages: self.collective_messages.load(Ordering::Relaxed),
+            barriers: self.barriers.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero (used between benchmark phases).
+    pub fn reset(&self) {
+        self.p2p_messages.store(0, Ordering::Relaxed);
+        self.p2p_bytes.store(0, Ordering::Relaxed);
+        self.puts.store(0, Ordering::Relaxed);
+        self.put_bytes.store(0, Ordering::Relaxed);
+        self.collective_ops.store(0, Ordering::Relaxed);
+        self.collective_messages.store(0, Ordering::Relaxed);
+        self.barriers.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A plain-data copy of [`TransportMetrics`] counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// See [`TransportMetrics::p2p_messages`].
+    pub p2p_messages: u64,
+    /// See [`TransportMetrics::p2p_bytes`].
+    pub p2p_bytes: u64,
+    /// See [`TransportMetrics::puts`].
+    pub puts: u64,
+    /// See [`TransportMetrics::put_bytes`].
+    pub put_bytes: u64,
+    /// See [`TransportMetrics::collective_ops`].
+    pub collective_ops: u64,
+    /// See [`TransportMetrics::collective_messages`].
+    pub collective_messages: u64,
+    /// See [`TransportMetrics::barriers`].
+    pub barriers: u64,
+}
+
+impl MetricsSnapshot {
+    /// Counter-wise difference `self - earlier`, for per-interval stats.
+    ///
+    /// # Panics
+    /// Panics in debug builds if any counter of `earlier` exceeds `self`'s
+    /// (i.e. the snapshots were taken out of order or across a reset).
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let sub = |a: u64, b: u64| {
+            debug_assert!(a >= b, "metrics snapshot taken out of order");
+            a.wrapping_sub(b)
+        };
+        MetricsSnapshot {
+            p2p_messages: sub(self.p2p_messages, earlier.p2p_messages),
+            p2p_bytes: sub(self.p2p_bytes, earlier.p2p_bytes),
+            puts: sub(self.puts, earlier.puts),
+            put_bytes: sub(self.put_bytes, earlier.put_bytes),
+            collective_ops: sub(self.collective_ops, earlier.collective_ops),
+            collective_messages: sub(self.collective_messages, earlier.collective_messages),
+            barriers: sub(self.barriers, earlier.barriers),
+        }
+    }
+
+    /// Total bytes moved by any mechanism (two-sided + one-sided).
+    pub fn total_bytes(&self) -> u64 {
+        self.p2p_bytes + self.put_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot_roundtrip() {
+        let m = TransportMetrics::new();
+        m.record_p2p(100);
+        m.record_p2p(28);
+        m.record_put(64);
+        m.record_collective(3);
+        m.record_barrier();
+
+        let s = m.snapshot();
+        assert_eq!(s.p2p_messages, 2);
+        assert_eq!(s.p2p_bytes, 128);
+        assert_eq!(s.puts, 1);
+        assert_eq!(s.put_bytes, 64);
+        assert_eq!(s.collective_ops, 1);
+        assert_eq!(s.collective_messages, 3);
+        assert_eq!(s.barriers, 1);
+        assert_eq!(s.total_bytes(), 192);
+    }
+
+    #[test]
+    fn since_subtracts_counterwise() {
+        let m = TransportMetrics::new();
+        m.record_p2p(10);
+        let a = m.snapshot();
+        m.record_p2p(20);
+        m.record_put(5);
+        let b = m.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.p2p_messages, 1);
+        assert_eq!(d.p2p_bytes, 20);
+        assert_eq!(d.puts, 1);
+        assert_eq!(d.put_bytes, 5);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let m = TransportMetrics::new();
+        m.record_p2p(10);
+        m.record_barrier();
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let m = std::sync::Arc::new(TransportMetrics::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        m.record_p2p(1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(m.snapshot().p2p_messages, 4000);
+        assert_eq!(m.snapshot().p2p_bytes, 4000);
+    }
+}

@@ -1,0 +1,170 @@
+//! Post-run analysis: mapping simulator output back onto the functional
+//! regions the compiler laid out.
+//!
+//! The paper uses Compass for "(b) studying TrueNorth dynamics" and
+//! "(f) hypotheses testing … regarding neural codes and function" — both
+//! need activity resolved to anatomical structure, not rank totals. Since
+//! the plan knows which cores belong to which region and the rank reports
+//! carry per-core fire counts, the join is mechanical; [`region_activity`]
+//! performs it.
+
+use crate::layout::CompilePlan;
+use compass_sim::RankReport;
+use tn_core::CORE_NEURONS;
+
+/// Activity of one functional region over a finished run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionActivity {
+    /// Region index in the plan.
+    pub region: usize,
+    /// Region name from the CoreObject.
+    pub name: String,
+    /// Cores allocated to the region.
+    pub cores: u64,
+    /// Total fires across the region's cores.
+    pub fires: u64,
+    /// Mean per-neuron firing rate in Hz (1 ms ticks).
+    pub rate_hz: f64,
+}
+
+/// Joins per-core fire counts against the plan's region layout.
+///
+/// `reports` must be the full per-rank output of the run (rank order), and
+/// must have been produced by an engine populating
+/// [`RankReport::fires_per_core`].
+///
+/// # Panics
+/// Panics if the reports do not match the plan's partition.
+pub fn region_activity(
+    plan: &CompilePlan,
+    reports: &[RankReport],
+    ticks: u32,
+) -> Vec<RegionActivity> {
+    assert_eq!(
+        reports.len(),
+        plan.partition.ranks(),
+        "one report per rank expected"
+    );
+    let mut fires = vec![0u64; plan.regions()];
+    for (rank, report) in reports.iter().enumerate() {
+        let block = plan.partition.block(rank);
+        assert_eq!(
+            report.fires_per_core.len() as u64,
+            block.end - block.start,
+            "rank {rank} report does not cover its block"
+        );
+        for (i, &f) in report.fires_per_core.iter().enumerate() {
+            let core = block.start + i as u64;
+            fires[plan.region_of_core(core)] += f;
+        }
+    }
+    (0..plan.regions())
+        .map(|r| {
+            let cores = plan.region_cores[r];
+            let neurons = cores * CORE_NEURONS as u64;
+            let f = fires[r];
+            RegionActivity {
+                region: r,
+                name: plan.object.regions[r].name.clone(),
+                cores,
+                fires: f,
+                rate_hz: if neurons == 0 || ticks == 0 {
+                    0.0
+                } else {
+                    f as f64 / neurons as f64 / f64::from(ticks) * 1000.0
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::coreobject::{CoreObject, RegionClass, RegionSpec};
+    use compass_comm::{World, WorldConfig};
+    use compass_sim::{run_rank, Backend, EngineConfig};
+
+    fn driven_and_quiet() -> CoreObject {
+        let mut obj = CoreObject::new(31);
+        obj.params.synapse_density = 0.02;
+        let a = obj.add_region(RegionSpec {
+            name: "DRIVEN".into(),
+            class: RegionClass::Thalamic,
+            volume: 1.0,
+            intra: 0.2,
+            drive_period: 10, // 100 Hz pacemakers
+        });
+        let b = obj.add_region(RegionSpec {
+            name: "QUIET".into(),
+            class: RegionClass::Cortical,
+            volume: 1.0,
+            intra: 0.4,
+            drive_period: 0,
+        });
+        obj.connect(a, b, 1.0);
+        obj.connect(b, a, 1.0);
+        obj
+    }
+
+    fn run_and_analyze(ranks: usize, ticks: u32) -> (Vec<RegionActivity>, u64) {
+        let obj = driven_and_quiet();
+        let outs = World::run(WorldConfig::flat(ranks), |ctx| {
+            let compiled = compile(ctx, &obj, 6).unwrap();
+            let engine = EngineConfig::new(ticks, Backend::Mpi);
+            let partition = compiled.plan.partition.clone();
+            let report = run_rank(ctx, &partition, compiled.configs, &[], &engine);
+            (report, compiled.plan)
+        });
+        let plan = outs[0].1.clone();
+        let reports: Vec<_> = outs.into_iter().map(|o| o.0).collect();
+        let total: u64 = reports.iter().map(|r| r.fires).sum();
+        (region_activity(&plan, &reports, ticks), total)
+    }
+
+    #[test]
+    fn region_fires_sum_to_total() {
+        let (regions, total) = run_and_analyze(2, 150);
+        let sum: u64 = regions.iter().map(|r| r.fires).sum();
+        assert_eq!(sum, total);
+        assert_eq!(regions.len(), 2);
+    }
+
+    #[test]
+    fn driven_region_outfires_quiet_one() {
+        let (regions, _) = run_and_analyze(1, 200);
+        let driven = regions.iter().find(|r| r.name == "DRIVEN").unwrap();
+        let quiet = regions.iter().find(|r| r.name == "QUIET").unwrap();
+        assert!(
+            driven.rate_hz > quiet.rate_hz,
+            "driven {:.1} Hz vs quiet {:.1} Hz",
+            driven.rate_hz,
+            quiet.rate_hz
+        );
+        assert!(driven.rate_hz > 5.0);
+    }
+
+    #[test]
+    fn analysis_is_partition_independent() {
+        let (a, _) = run_and_analyze(1, 100);
+        let (b, _) = run_and_analyze(3, 100);
+        // Different worlds wire differently (allocation order), so exact
+        // fire counts differ; but structure (names, cores) must agree.
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.cores, y.cores);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one report per rank")]
+    fn wrong_report_count_rejected() {
+        let obj = driven_and_quiet();
+        let outs = World::run(WorldConfig::flat(2), |ctx| {
+            compile(ctx, &obj, 6).unwrap().plan
+        });
+        let plan = outs.into_iter().next().unwrap();
+        let _ = region_activity(&plan, &[], 10);
+    }
+}

@@ -1,0 +1,192 @@
+//! Compiler entry points: in-situ parallel compile and the serial
+//! reference path.
+//!
+//! §IV of the paper: *"Parallel model generation using the compiler
+//! requires only few minutes as compared to several hours to read or write
+//! it to disk. Once the compiler completes the wiring … the TrueNorth
+//! cores from each processor are instantiated within Compass and the
+//! [compiler structures] are deallocated."* — i.e. the compiler runs
+//! **inside** the simulation job, on the same ranks, immediately before
+//! simulation. [`compile`] is that path; [`compile_serial`] produces the
+//! same kind of model on one rank, returning it as an explicit
+//! [`NetworkModel`] for tests, examples, and the offline-file comparison
+//! bench.
+
+use crate::coreobject::CoreObject;
+use crate::layout::{plan, CompilePlan, PlanError};
+use crate::wiring::{wire, WiringStats};
+use compass_comm::{RankCtx, World, WorldConfig};
+use compass_sim::NetworkModel;
+use std::time::{Duration, Instant};
+use tn_core::CoreConfig;
+
+/// Timing breakdown of one rank's compile.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompileStats {
+    /// Planning (region sizing + IPFP + integerization), replicated.
+    pub plan_time: Duration,
+    /// Wiring handshake (including core genesis).
+    pub wire_time: Duration,
+    /// Wiring traffic statistics.
+    pub wiring: WiringStats,
+    /// IPFP iterations used.
+    pub balance_iterations: usize,
+}
+
+/// The product of one rank's compile: its cores, ready to hand to
+/// [`compass_sim::run_rank`], plus the shared plan.
+#[derive(Debug)]
+pub struct CompiledRank {
+    /// The (replicated) compile plan, including the partition.
+    pub plan: CompilePlan,
+    /// This rank's fully wired core configurations, in global-id order.
+    pub configs: Vec<CoreConfig>,
+    /// Timing and traffic statistics.
+    pub stats: CompileStats,
+}
+
+/// Compiles `object` into a `total_cores`-core model, in parallel, from
+/// inside a running world. Must be called collectively by every rank.
+///
+/// # Errors
+/// Returns a [`PlanError`] if the description cannot be realized.
+pub fn compile(
+    ctx: &RankCtx,
+    object: &CoreObject,
+    total_cores: u64,
+) -> Result<CompiledRank, PlanError> {
+    let t0 = Instant::now();
+    let plan = plan(object, total_cores, ctx.world_size())?;
+    let plan_time = t0.elapsed();
+    let t1 = Instant::now();
+    let (configs, wiring) = wire(ctx, &plan);
+    let wire_time = t1.elapsed();
+    Ok(CompiledRank {
+        stats: CompileStats {
+            plan_time,
+            wire_time,
+            wiring,
+            balance_iterations: plan.balance_iterations,
+        },
+        plan,
+        configs,
+    })
+}
+
+/// Compiles on a single internal rank and returns the whole model
+/// explicitly. This is the reference path: the parallel compiler at world
+/// size 1 produces exactly this model.
+///
+/// # Errors
+/// Returns a [`PlanError`] if the description cannot be realized.
+pub fn compile_serial(
+    object: &CoreObject,
+    total_cores: u64,
+) -> Result<(CompilePlan, NetworkModel), PlanError> {
+    let mut out = World::run(WorldConfig::flat(1), |ctx| {
+        compile(ctx, object, total_cores).map(|c| (c.plan, c.configs))
+    });
+    let (plan, cores) = out.pop().expect("single rank")?;
+    Ok((
+        plan,
+        NetworkModel {
+            cores,
+            initial_deliveries: Vec::new(),
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coreobject::{RegionClass, RegionSpec};
+
+    fn demo_object() -> CoreObject {
+        let mut obj = CoreObject::new(3);
+        obj.params.synapse_density = 0.05;
+        let a = obj.add_region(RegionSpec {
+            name: "A".into(),
+            class: RegionClass::Cortical,
+            volume: 2.0,
+            intra: 0.4,
+            drive_period: 40,
+        });
+        let b = obj.add_region(RegionSpec {
+            name: "B".into(),
+            class: RegionClass::Thalamic,
+            volume: 1.0,
+            intra: 0.2,
+            drive_period: 0,
+        });
+        obj.connect(a, b, 1.0);
+        obj.connect(b, a, 1.0);
+        obj
+    }
+
+    #[test]
+    fn serial_compile_yields_valid_model() {
+        let (plan, model) = compile_serial(&demo_object(), 6).unwrap();
+        assert_eq!(model.total_cores(), 6);
+        model.validate().unwrap();
+        assert_eq!(plan.total_cores(), 6);
+    }
+
+    #[test]
+    fn parallel_compile_matches_serial_at_world_one() {
+        let obj = demo_object();
+        let (_, serial) = compile_serial(&obj, 6).unwrap();
+        let mut out = World::run(WorldConfig::flat(1), |ctx| {
+            compile(ctx, &obj, 6).map(|c| c.configs)
+        });
+        let parallel = out.pop().unwrap().unwrap();
+        assert_eq!(serial.cores.len(), parallel.len());
+        for (a, b) in serial.cores.iter().zip(&parallel) {
+            assert_eq!(a.neurons, b.neurons);
+            assert_eq!(a.crossbar, b.crossbar);
+            assert_eq!(a.axon_types, b.axon_types);
+        }
+    }
+
+    #[test]
+    fn parallel_compile_produces_valid_model_any_world() {
+        let obj = demo_object();
+        for ranks in [2usize, 3] {
+            let outs = World::run(WorldConfig::flat(ranks), |ctx| {
+                compile(ctx, &obj, 7).map(|c| c.configs)
+            });
+            let mut cores: Vec<CoreConfig> = Vec::new();
+            for o in outs {
+                cores.extend(o.unwrap());
+            }
+            let model = NetworkModel {
+                cores,
+                initial_deliveries: Vec::new(),
+            };
+            model.validate().unwrap();
+            assert_eq!(model.total_cores(), 7);
+        }
+    }
+
+    #[test]
+    fn compile_reports_stats() {
+        let obj = demo_object();
+        let mut out = World::run(WorldConfig::flat(2), |ctx| {
+            compile(ctx, &obj, 6).map(|c| c.stats)
+        });
+        let stats = out.pop().unwrap().unwrap();
+        assert!(stats.wiring.requests_out > 0);
+        assert!(stats.balance_iterations > 0);
+    }
+
+    #[test]
+    fn unrealizable_description_errors() {
+        let obj = demo_object();
+        let mut out = World::run(WorldConfig::flat(1), |ctx| {
+            compile(ctx, &obj, 1).map(|_| ())
+        });
+        assert!(matches!(
+            out.pop().unwrap(),
+            Err(PlanError::TooFewCores { .. })
+        ));
+    }
+}

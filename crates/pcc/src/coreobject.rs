@@ -1,0 +1,447 @@
+//! The CoreObject description format.
+//!
+//! §IV of the paper: *"The high-level network description describing the
+//! network connectivity is expressed in a relatively small and compact
+//! CoreObject file"* — regions of TrueNorth cores plus inter-region
+//! connectivity, from which the Parallel Compass Compiler expands the full
+//! per-core parameter set in situ (the expanded form of a 256M-core model
+//! would be terabytes; the CoreObject is kilobytes).
+//!
+//! The format is line-oriented text:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! param seed=42 synapse_density=0.125 ticks_hint=500
+//! region V1   class=cortical  volume=12.5 intra=0.4 drive_period=100
+//! region LGN  class=thalamic  volume=3.25 intra=0.2 drive_period=50
+//! connect LGN V1 weight=1.0
+//! connect V1  V1 weight=0.5
+//! ```
+//!
+//! `volume` is the relative size from the atlas (normalized to core counts
+//! at compile time), `intra` the gray-matter (within-region) connection
+//! fraction — the paper uses 40% for cortical and 20% for sub-cortical
+//! regions — and `drive_period` configures a fraction of leak-driven
+//! pacemaker neurons that keep the region active without external input.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Anatomical class of a region, controlling default connection mixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionClass {
+    /// Cerebral cortex (paper: 60/40 long-range/local split).
+    Cortical,
+    /// Thalamus (paper: 80/20 split).
+    Thalamic,
+    /// Basal ganglia (paper: 80/20 split).
+    BasalGanglia,
+}
+
+impl RegionClass {
+    /// Canonical text name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RegionClass::Cortical => "cortical",
+            RegionClass::Thalamic => "thalamic",
+            RegionClass::BasalGanglia => "basal_ganglia",
+        }
+    }
+
+    /// The paper's default within-region (gray matter) fraction.
+    pub fn default_intra(self) -> f64 {
+        match self {
+            RegionClass::Cortical => 0.4,
+            _ => 0.2,
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "cortical" => Some(RegionClass::Cortical),
+            "thalamic" => Some(RegionClass::Thalamic),
+            "basal_ganglia" => Some(RegionClass::BasalGanglia),
+            _ => None,
+        }
+    }
+}
+
+/// One functional region of TrueNorth cores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionSpec {
+    /// Region name (unique).
+    pub name: String,
+    /// Anatomical class.
+    pub class: RegionClass,
+    /// Relative volume (atlas units); converted to core counts at compile.
+    pub volume: f64,
+    /// Within-region connection fraction (diagonal of the mixing matrix).
+    pub intra: f64,
+    /// If nonzero, 1/16 of the region's neurons are configured as leak
+    /// pacemakers with this period (ticks), keeping the region active.
+    pub drive_period: u32,
+}
+
+/// Global compile parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GlobalParams {
+    /// Master seed for all stochastic structure and dynamics.
+    pub seed: u64,
+    /// Crossbar density for generated cores (paper's networks stress cache
+    /// behaviour by spreading local connections broadly).
+    pub synapse_density: f64,
+}
+
+impl Default for GlobalParams {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            synapse_density: 0.125,
+        }
+    }
+}
+
+/// A parsed CoreObject description: regions, directed inter-region
+/// connections with relative weights, and global parameters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CoreObject {
+    /// Global parameters.
+    pub params: GlobalParams,
+    /// Regions in declaration order.
+    pub regions: Vec<RegionSpec>,
+    /// Directed edges `(source index, target index, weight)`.
+    pub connections: Vec<(usize, usize, f64)>,
+}
+
+/// Parse failure with line information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CoreObject line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl CoreObject {
+    /// An empty description with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            params: GlobalParams {
+                seed,
+                ..GlobalParams::default()
+            },
+            regions: Vec::new(),
+            connections: Vec::new(),
+        }
+    }
+
+    /// Adds a region, returning its index.
+    pub fn add_region(&mut self, spec: RegionSpec) -> usize {
+        self.regions.push(spec);
+        self.regions.len() - 1
+    }
+
+    /// Adds a directed connection between region indices.
+    ///
+    /// # Panics
+    /// Panics if either index is out of range or the weight is not finite
+    /// and positive.
+    pub fn connect(&mut self, src: usize, dst: usize, weight: f64) {
+        assert!(src < self.regions.len() && dst < self.regions.len());
+        assert!(weight.is_finite() && weight > 0.0, "bad weight {weight}");
+        self.connections.push((src, dst, weight));
+    }
+
+    /// Index of a region by name.
+    pub fn region_index(&self, name: &str) -> Option<usize> {
+        self.regions.iter().position(|r| r.name == name)
+    }
+
+    /// Parses the line-oriented text format.
+    pub fn parse(text: &str) -> Result<CoreObject, ParseError> {
+        let mut obj = CoreObject::default();
+        let mut names: HashMap<String, usize> = HashMap::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let err = |message: String| ParseError { line, message };
+            let content = raw.split('#').next().unwrap_or("").trim();
+            if content.is_empty() {
+                continue;
+            }
+            let mut parts = content.split_whitespace();
+            let keyword = parts.next().expect("nonempty line has a token");
+            match keyword {
+                "param" => {
+                    for kv in parts {
+                        let (k, v) = split_kv(kv).ok_or_else(|| {
+                            err(format!("malformed key=value pair '{kv}'"))
+                        })?;
+                        match k {
+                            "seed" => {
+                                obj.params.seed = v
+                                    .parse()
+                                    .map_err(|_| err(format!("bad seed '{v}'")))?
+                            }
+                            "synapse_density" => {
+                                let d: f64 = v
+                                    .parse()
+                                    .map_err(|_| err(format!("bad density '{v}'")))?;
+                                if !(0.0..=1.0).contains(&d) {
+                                    return Err(err(format!("density {d} outside [0,1]")));
+                                }
+                                obj.params.synapse_density = d;
+                            }
+                            other => {
+                                return Err(err(format!("unknown parameter '{other}'")))
+                            }
+                        }
+                    }
+                }
+                "region" => {
+                    let name = parts
+                        .next()
+                        .ok_or_else(|| err("region needs a name".into()))?
+                        .to_string();
+                    if names.contains_key(&name) {
+                        return Err(err(format!("duplicate region '{name}'")));
+                    }
+                    let mut class = RegionClass::Cortical;
+                    let mut volume: f64 = 1.0;
+                    let mut intra: Option<f64> = None;
+                    let mut drive_period = 0u32;
+                    for kv in parts {
+                        let (k, v) = split_kv(kv).ok_or_else(|| {
+                            err(format!("malformed key=value pair '{kv}'"))
+                        })?;
+                        match k {
+                            "class" => {
+                                class = RegionClass::parse(v).ok_or_else(|| {
+                                    err(format!("unknown region class '{v}'"))
+                                })?
+                            }
+                            "volume" => {
+                                volume = v
+                                    .parse()
+                                    .map_err(|_| err(format!("bad volume '{v}'")))?;
+                                if volume <= 0.0 || !volume.is_finite() {
+                                    return Err(err(format!("volume must be positive, got {v}")));
+                                }
+                            }
+                            "intra" => {
+                                let f: f64 = v
+                                    .parse()
+                                    .map_err(|_| err(format!("bad intra '{v}'")))?;
+                                if !(0.0..1.0).contains(&f) {
+                                    return Err(err(format!("intra {f} outside [0,1)")));
+                                }
+                                intra = Some(f);
+                            }
+                            "drive_period" => {
+                                drive_period = v
+                                    .parse()
+                                    .map_err(|_| err(format!("bad drive_period '{v}'")))?
+                            }
+                            other => return Err(err(format!("unknown region key '{other}'"))),
+                        }
+                    }
+                    let spec = RegionSpec {
+                        intra: intra.unwrap_or_else(|| class.default_intra()),
+                        name: name.clone(),
+                        class,
+                        volume,
+                        drive_period,
+                    };
+                    names.insert(name, obj.add_region(spec));
+                }
+                "connect" => {
+                    let src = parts
+                        .next()
+                        .ok_or_else(|| err("connect needs a source region".into()))?;
+                    let dst = parts
+                        .next()
+                        .ok_or_else(|| err("connect needs a target region".into()))?;
+                    let &src_i = names
+                        .get(src)
+                        .ok_or_else(|| err(format!("unknown region '{src}'")))?;
+                    let &dst_i = names
+                        .get(dst)
+                        .ok_or_else(|| err(format!("unknown region '{dst}'")))?;
+                    let mut weight: f64 = 1.0;
+                    for kv in parts {
+                        let (k, v) = split_kv(kv).ok_or_else(|| {
+                            err(format!("malformed key=value pair '{kv}'"))
+                        })?;
+                        match k {
+                            "weight" => {
+                                weight = v
+                                    .parse()
+                                    .map_err(|_| err(format!("bad weight '{v}'")))?;
+                                if weight <= 0.0 || !weight.is_finite() {
+                                    return Err(err(format!("weight must be positive, got {v}")));
+                                }
+                            }
+                            other => {
+                                return Err(err(format!("unknown connect key '{other}'")))
+                            }
+                        }
+                    }
+                    obj.connections.push((src_i, dst_i, weight));
+                }
+                other => return Err(err(format!("unknown directive '{other}'"))),
+            }
+        }
+        Ok(obj)
+    }
+
+    /// Serializes to the text format (parse ∘ serialize is identity on the
+    /// semantic content).
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "param seed={} synapse_density={}",
+            self.params.seed, self.params.synapse_density
+        );
+        for r in &self.regions {
+            let _ = writeln!(
+                out,
+                "region {} class={} volume={} intra={} drive_period={}",
+                r.name,
+                r.class.name(),
+                r.volume,
+                r.intra,
+                r.drive_period
+            );
+        }
+        for &(s, d, w) in &self.connections {
+            let _ = writeln!(
+                out,
+                "connect {} {} weight={}",
+                self.regions[s].name, self.regions[d].name, w
+            );
+        }
+        out
+    }
+}
+
+fn split_kv(s: &str) -> Option<(&str, &str)> {
+    let mut it = s.splitn(2, '=');
+    Some((it.next()?, it.next()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+        # a tiny visual pathway
+        param seed=42 synapse_density=0.25
+        region LGN class=thalamic volume=1.0 drive_period=50
+        region V1  class=cortical volume=4.0 intra=0.5
+        connect LGN V1 weight=2.0
+        connect V1 V1 weight=1.0   # recurrent
+    "#;
+
+    #[test]
+    fn parses_sample() {
+        let obj = CoreObject::parse(SAMPLE).unwrap();
+        assert_eq!(obj.params.seed, 42);
+        assert_eq!(obj.params.synapse_density, 0.25);
+        assert_eq!(obj.regions.len(), 2);
+        assert_eq!(obj.regions[0].name, "LGN");
+        assert_eq!(obj.regions[0].class, RegionClass::Thalamic);
+        assert_eq!(obj.regions[0].intra, 0.2, "thalamic default intra");
+        assert_eq!(obj.regions[0].drive_period, 50);
+        assert_eq!(obj.regions[1].intra, 0.5, "explicit intra overrides");
+        assert_eq!(obj.connections, vec![(0, 1, 2.0), (1, 1, 1.0)]);
+    }
+
+    #[test]
+    fn roundtrip_serialize_parse() {
+        let obj = CoreObject::parse(SAMPLE).unwrap();
+        let back = CoreObject::parse(&obj.serialize()).unwrap();
+        assert_eq!(obj, back);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let obj = CoreObject::parse("# nothing\n\n   \n").unwrap();
+        assert!(obj.regions.is_empty());
+    }
+
+    #[test]
+    fn duplicate_region_rejected_with_line() {
+        let e = CoreObject::parse("region A\nregion A").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn unknown_region_in_connect_rejected() {
+        let e = CoreObject::parse("region A\nconnect A B").unwrap_err();
+        assert!(e.message.contains("unknown region 'B'"));
+    }
+
+    #[test]
+    fn bad_values_rejected() {
+        assert!(CoreObject::parse("param seed=abc").is_err());
+        assert!(CoreObject::parse("param synapse_density=1.5").is_err());
+        assert!(CoreObject::parse("region A volume=-2").is_err());
+        assert!(CoreObject::parse("region A intra=1.0").is_err());
+        assert!(CoreObject::parse("region A\nconnect A A weight=0").is_err());
+        assert!(CoreObject::parse("bogus directive").is_err());
+        assert!(CoreObject::parse("region A class=muscle").is_err());
+    }
+
+    #[test]
+    fn programmatic_building() {
+        let mut obj = CoreObject::new(7);
+        let a = obj.add_region(RegionSpec {
+            name: "A".into(),
+            class: RegionClass::Cortical,
+            volume: 2.0,
+            intra: 0.4,
+            drive_period: 0,
+        });
+        let b = obj.add_region(RegionSpec {
+            name: "B".into(),
+            class: RegionClass::BasalGanglia,
+            volume: 1.0,
+            intra: 0.2,
+            drive_period: 10,
+        });
+        obj.connect(a, b, 1.5);
+        assert_eq!(obj.region_index("B"), Some(1));
+        assert_eq!(obj.connections, vec![(0, 1, 1.5)]);
+        let back = CoreObject::parse(&obj.serialize()).unwrap();
+        assert_eq!(obj, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad weight")]
+    fn connect_rejects_nonpositive_weight() {
+        let mut obj = CoreObject::new(0);
+        obj.add_region(RegionSpec {
+            name: "A".into(),
+            class: RegionClass::Cortical,
+            volume: 1.0,
+            intra: 0.4,
+            drive_period: 0,
+        });
+        obj.connect(0, 0, -1.0);
+    }
+
+    #[test]
+    fn error_display_includes_line() {
+        let e = CoreObject::parse("param seed=x").unwrap_err();
+        assert!(e.to_string().contains("line 1"));
+    }
+}

@@ -1,0 +1,358 @@
+//! Expanded (fully explicit) model serialization.
+//!
+//! §IV of the paper: *"For large scale simulation of millions of TrueNorth
+//! cores, the network model specification for Compass can be on the order
+//! of several terabytes. Offline generation and copying such large files is
+//! impractical."* — the authors built the in-situ parallel compiler instead
+//! and report in-situ compilation beating offline file handling by three
+//! orders of magnitude in set-up time.
+//!
+//! To reproduce that comparison (the `table_pcc_compile` bench) we need
+//! the strawman too: a binary serialization of the fully expanded model,
+//! as an offline toolchain would write and Compass would have to parse.
+//! The format is little-endian, length-prefixed, and versioned:
+//!
+//! ```text
+//! magic "CMPS" | version u32 | core_count u64
+//! per core:
+//!   id u64 | seed u64 | axon_types [u8; 256] | crossbar [u64; 1024]
+//!   per neuron (×256):
+//!     weights [i16; 4] | stoch_mask u8 | stoch_leak u8 | leak i16
+//!     threshold i32 | reset_kind u8 | reset_val i32 | floor i32
+//!     initial i32 | has_target u8 | core u64 | axon u16 | delay u8
+//! ```
+
+use compass_sim::NetworkModel;
+use tn_core::{CoreConfig, Crossbar, NeuronConfig, ResetMode, SpikeTarget, CORE_AXONS, CORE_NEURONS};
+
+const MAGIC: &[u8; 4] = b"CMPS";
+const VERSION: u32 = 1;
+
+/// Deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Offset at which decoding failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "expanded model at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Serializes an expanded model to bytes.
+pub fn encode(model: &NetworkModel) -> Vec<u8> {
+    // ~9.5 KiB per core; reserve to avoid repeated growth.
+    let mut out = Vec::with_capacity(16 + model.cores.len() * 20_000);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(model.cores.len() as u64).to_le_bytes());
+    for core in &model.cores {
+        encode_core(core, &mut out);
+    }
+    out
+}
+
+fn encode_core(core: &CoreConfig, out: &mut Vec<u8>) {
+    out.extend_from_slice(&core.id.to_le_bytes());
+    out.extend_from_slice(&core.seed.to_le_bytes());
+    out.extend_from_slice(&core.axon_types);
+    for axon in 0..CORE_AXONS {
+        for w in core.crossbar.row_words(axon) {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+    for n in &core.neurons {
+        for w in n.weights {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        let mask = n
+            .stochastic_weight
+            .iter()
+            .enumerate()
+            .fold(0u8, |m, (i, &b)| m | (u8::from(b) << i));
+        out.push(mask);
+        out.push(u8::from(n.stochastic_leak));
+        out.extend_from_slice(&n.leak.to_le_bytes());
+        out.extend_from_slice(&n.threshold.to_le_bytes());
+        let (kind, val) = match n.reset {
+            ResetMode::Absolute(v) => (0u8, v),
+            ResetMode::Linear => (1u8, 0),
+        };
+        out.push(kind);
+        out.extend_from_slice(&val.to_le_bytes());
+        out.extend_from_slice(&n.floor.to_le_bytes());
+        out.extend_from_slice(&n.initial_potential.to_le_bytes());
+        match n.target {
+            Some(t) => {
+                out.push(1);
+                out.extend_from_slice(&t.core.to_le_bytes());
+                out.extend_from_slice(&t.axon.to_le_bytes());
+                out.push(t.delay);
+            }
+            None => {
+                out.push(0);
+                out.extend_from_slice(&0u64.to_le_bytes());
+                out.extend_from_slice(&0u16.to_le_bytes());
+                out.push(0);
+            }
+        }
+    }
+}
+
+/// Reader tracking an offset into the byte stream.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.at + n > self.bytes.len() {
+            return Err(DecodeError {
+                offset: self.at,
+                message: format!("truncated: wanted {n} more bytes"),
+            });
+        }
+        let s = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("width")))
+    }
+
+    fn i16(&mut self) -> Result<i16, DecodeError> {
+        Ok(i16::from_le_bytes(self.take(2)?.try_into().expect("width")))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("width")))
+    }
+
+    fn i32(&mut self) -> Result<i32, DecodeError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().expect("width")))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("width")))
+    }
+
+    fn err(&self, message: impl Into<String>) -> DecodeError {
+        DecodeError {
+            offset: self.at,
+            message: message.into(),
+        }
+    }
+}
+
+/// Deserializes an expanded model from bytes.
+///
+/// # Errors
+/// Returns a [`DecodeError`] describing the first structural problem.
+pub fn decode(bytes: &[u8]) -> Result<NetworkModel, DecodeError> {
+    let mut c = Cursor { bytes, at: 0 };
+    if c.take(4)? != MAGIC {
+        return Err(c.err("bad magic"));
+    }
+    let version = c.u32()?;
+    if version != VERSION {
+        return Err(c.err(format!("unsupported version {version}")));
+    }
+    let count = c.u64()? as usize;
+    let mut cores = Vec::with_capacity(count);
+    for _ in 0..count {
+        cores.push(decode_core(&mut c)?);
+    }
+    if c.at != bytes.len() {
+        return Err(c.err("trailing bytes after last core"));
+    }
+    Ok(NetworkModel {
+        cores,
+        initial_deliveries: Vec::new(),
+    })
+}
+
+fn decode_core(c: &mut Cursor<'_>) -> Result<CoreConfig, DecodeError> {
+    let id = c.u64()?;
+    let seed = c.u64()?;
+    let mut axon_types = [0u8; CORE_AXONS];
+    axon_types.copy_from_slice(c.take(CORE_AXONS)?);
+    let mut crossbar = Crossbar::new();
+    for axon in 0..CORE_AXONS {
+        let mut words = [0u64; 4];
+        for w in &mut words {
+            *w = c.u64()?;
+        }
+        crossbar.set_row_words(axon, words);
+    }
+    let mut neurons = Vec::with_capacity(CORE_NEURONS);
+    for _ in 0..CORE_NEURONS {
+        let mut weights = [0i16; 4];
+        for w in &mut weights {
+            *w = c.i16()?;
+        }
+        let mask = c.u8()?;
+        let stochastic_leak = c.u8()? != 0;
+        let leak = c.i16()?;
+        let threshold = c.i32()?;
+        let kind = c.u8()?;
+        let val = c.i32()?;
+        let reset = match kind {
+            0 => ResetMode::Absolute(val),
+            1 => ResetMode::Linear,
+            other => return Err(c.err(format!("bad reset kind {other}"))),
+        };
+        let floor = c.i32()?;
+        let initial_potential = c.i32()?;
+        let has_target = c.u8()?;
+        let core = c.u64()?;
+        let axon = c.u16()?;
+        let delay = c.u8()?;
+        let target = match has_target {
+            0 => None,
+            1 => Some(SpikeTarget::new(core, axon, delay)),
+            other => return Err(c.err(format!("bad target flag {other}"))),
+        };
+        neurons.push(NeuronConfig {
+            weights,
+            stochastic_weight: [
+                mask & 1 != 0,
+                mask & 2 != 0,
+                mask & 4 != 0,
+                mask & 8 != 0,
+            ],
+            leak,
+            stochastic_leak,
+            threshold,
+            reset,
+            floor,
+            initial_potential,
+            target,
+        });
+    }
+    Ok(CoreConfig {
+        id,
+        seed,
+        axon_types,
+        crossbar,
+        neurons,
+    })
+}
+
+/// Writes the encoded model to `path`.
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn write_file(model: &NetworkModel, path: &std::path::Path) -> std::io::Result<u64> {
+    let bytes = encode(model);
+    std::fs::write(path, &bytes)?;
+    Ok(bytes.len() as u64)
+}
+
+/// Reads and decodes a model from `path`.
+///
+/// # Errors
+/// Propagates I/O failures; decoding failures map to `InvalidData`.
+pub fn read_file(path: &std::path::Path) -> std::io::Result<NetworkModel> {
+    let bytes = std::fs::read(path)?;
+    decode(&bytes)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_serial;
+    use crate::coreobject::{CoreObject, RegionClass, RegionSpec};
+
+    fn model() -> NetworkModel {
+        let mut obj = CoreObject::new(13);
+        obj.params.synapse_density = 0.04;
+        let a = obj.add_region(RegionSpec {
+            name: "A".into(),
+            class: RegionClass::Cortical,
+            volume: 1.0,
+            intra: 0.4,
+            drive_period: 30,
+        });
+        obj.connect(a, a, 1.0);
+        compile_serial(&obj, 3).unwrap().1
+    }
+
+    #[test]
+    fn roundtrip_preserves_model() {
+        let m = model();
+        let bytes = encode(&m);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back.cores.len(), m.cores.len());
+        for (a, b) in m.cores.iter().zip(&back.cores) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.axon_types, b.axon_types);
+            assert_eq!(a.crossbar, b.crossbar);
+            assert_eq!(a.neurons, b.neurons);
+        }
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn expanded_form_is_much_larger_than_coreobject() {
+        let m = model();
+        let bytes = encode(&m);
+        // 3 cores ≈ 30 KiB+; the CoreObject source was ~100 bytes. This gap
+        // is the paper's terabytes-vs-kilobytes argument in miniature.
+        assert!(bytes.len() > 20_000, "got {}", bytes.len());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = encode(&model());
+        bytes[0] = b'X';
+        assert!(decode(&bytes).unwrap_err().message.contains("magic"));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = encode(&model());
+        bytes[4] = 99;
+        assert!(decode(&bytes).unwrap_err().message.contains("version"));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = encode(&model());
+        let e = decode(&bytes[..bytes.len() - 5]).unwrap_err();
+        assert!(e.message.contains("truncated") || e.message.contains("trailing"));
+    }
+
+    #[test]
+    fn trailing_garbage_detected() {
+        let mut bytes = encode(&model());
+        bytes.push(0);
+        assert!(decode(&bytes).unwrap_err().message.contains("trailing"));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("compass-expanded-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.cmps");
+        let m = model();
+        let written = write_file(&m, &path).unwrap();
+        assert!(written > 0);
+        let back = read_file(&path).unwrap();
+        assert_eq!(back.cores.len(), m.cores.len());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,229 @@
+//! Per-core parameter genesis.
+//!
+//! The compiler expands each core's crossbar, axon types, and neuron
+//! dynamical parameters *deterministically from seeds* — `CoreConfig` for
+//! core `c` is a pure function of `(plan, c)`, regardless of which rank
+//! generates it or in what order. Only the neuron → axon **targets** come
+//! from the distributed wiring handshake (see [`crate::wiring`]).
+//!
+//! Dynamical recipe per region (values chosen to give the balanced-network
+//! behaviour the paper's CoCoMac runs exhibit — sustained, irregular
+//! activity in the ~1–20 Hz band rather than silence or saturation):
+//!
+//! * Axon types are dealt 0–3 uniformly; the per-type weights
+//!   [`RELAY_WEIGHTS`] `[+2, +1, −1, −2]` make expected net drive zero, so
+//!   fluctuations (not mean drive) cause firing, as in balanced cortical
+//!   models.
+//! * Every 16th neuron of a region with `drive_period > 0` is a leak
+//!   pacemaker: leak +1, threshold = period, phase-staggered — the
+//!   self-contained activity source standing in for sensory input.
+//! * Other neurons are relays: threshold [`RELAY_THRESHOLD`], floor
+//!   [`RELAY_FLOOR`], absolute reset 0, plus a *stochastic* +1 leak with
+//!   probability [`RELAY_LEAK`]`/256` per tick. The stochastic leak is the
+//!   hardware-native way to give every neuron a Poisson-like background
+//!   drive: the expected crossing time is `threshold × 256/leak = 128`
+//!   ticks ⇒ a ~7.8 Hz baseline, right at the paper's measured 8.1 Hz
+//!   average, modulated up and down by the balanced synaptic input.
+
+use crate::layout::CompilePlan;
+use tn_core::prng::CorePrng;
+use tn_core::{CoreConfig, Crossbar, NeuronConfig, ResetMode, CORE_AXONS, CORE_NEURONS};
+
+/// Per-type synaptic weights of relay neurons (balanced ±).
+pub const RELAY_WEIGHTS: [i16; 4] = [2, 1, -1, -2];
+
+/// Relay firing threshold.
+pub const RELAY_THRESHOLD: i32 = 10;
+
+/// Relay stochastic leak magnitude (+1 with probability 16/256 per tick).
+pub const RELAY_LEAK: i16 = 20;
+
+/// Relay potential floor.
+pub const RELAY_FLOOR: i32 = -24;
+
+/// One in `DRIVER_STRIDE` neurons is a pacemaker in driven regions.
+pub const DRIVER_STRIDE: usize = 16;
+
+/// Generates core `core_id`'s full configuration except neuron targets
+/// (which the wiring phase fills in).
+///
+/// Pure and deterministic in `(plan.object.params, region data, core_id)`.
+pub fn generate_core(plan: &CompilePlan, core_id: u64) -> CoreConfig {
+    let params = &plan.object.params;
+    let region = plan.region_of_core(core_id);
+    let spec = &plan.object.regions[region];
+    let mut cfg = CoreConfig::blank(core_id, params.seed);
+
+    // Axon types: dealt uniformly from a per-core stream.
+    let mut type_prng = CorePrng::from_seed(
+        params.seed ^ core_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xA5A5,
+    );
+    for t in cfg.axon_types.iter_mut() {
+        *t = (type_prng.next_below(4)) as u8;
+    }
+
+    // Crossbar: each axon row gets `density × 256` synapses, spread by a
+    // per-(core, axon) stream so the pattern is independent of generation
+    // order — the paper's networks deliberately spread local connections
+    // "as broadly as possible across the set of possible target cores" to
+    // stress the caches.
+    let per_row = ((params.synapse_density * CORE_NEURONS as f64).round() as usize)
+        .clamp(1, CORE_NEURONS);
+    let mut crossbar = Crossbar::new();
+    for axon in 0..CORE_AXONS {
+        let mut prng = CorePrng::from_seed(
+            params.seed
+                ^ core_id.wrapping_mul(0xD6E8_FEB8_6659_FD93)
+                ^ (axon as u64).wrapping_mul(0xCA5A_8268_95A1_87C9),
+        );
+        let mut placed = 0;
+        while placed < per_row {
+            let n = prng.next_below(CORE_NEURONS as u32) as usize;
+            if !crossbar.get(axon, n) {
+                crossbar.set(axon, n, true);
+                placed += 1;
+            }
+        }
+    }
+    cfg.crossbar = crossbar;
+
+    // Neurons: pacemaker drivers on a stride (if the region is driven),
+    // balanced relays elsewhere.
+    for (j, neuron) in cfg.neurons.iter_mut().enumerate() {
+        if spec.drive_period > 0 && j % DRIVER_STRIDE == 0 {
+            let period = spec.drive_period.max(2);
+            *neuron = NeuronConfig {
+                weights: [0, 0, 0, 0],
+                leak: 1,
+                threshold: period as i32,
+                reset: ResetMode::Absolute(0),
+                floor: 0,
+                // Stagger phases deterministically by core and index.
+                initial_potential: (((core_id as u32).wrapping_mul(37) + j as u32) % period)
+                    as i32,
+                ..NeuronConfig::default()
+            };
+        } else {
+            *neuron = NeuronConfig {
+                weights: RELAY_WEIGHTS,
+                leak: RELAY_LEAK,
+                stochastic_leak: true,
+                threshold: RELAY_THRESHOLD,
+                reset: ResetMode::Absolute(0),
+                floor: RELAY_FLOOR,
+                initial_potential: 0,
+                ..NeuronConfig::default()
+            };
+        }
+    }
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coreobject::{CoreObject, RegionClass, RegionSpec};
+    use crate::layout::plan;
+
+    fn test_plan() -> CompilePlan {
+        let mut obj = CoreObject::new(5);
+        obj.params.synapse_density = 0.125;
+        let a = obj.add_region(RegionSpec {
+            name: "A".into(),
+            class: RegionClass::Cortical,
+            volume: 1.0,
+            intra: 0.4,
+            drive_period: 100,
+        });
+        let b = obj.add_region(RegionSpec {
+            name: "B".into(),
+            class: RegionClass::Thalamic,
+            volume: 1.0,
+            intra: 0.2,
+            drive_period: 0,
+        });
+        obj.connect(a, b, 1.0);
+        obj.connect(b, a, 1.0);
+        plan(&obj, 4, 1).unwrap()
+    }
+
+    #[test]
+    fn generated_core_validates() {
+        let p = test_plan();
+        for core in 0..4 {
+            generate_core(&p, core).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = test_plan();
+        let a = generate_core(&p, 2);
+        let b = generate_core(&p, 2);
+        assert_eq!(a.axon_types, b.axon_types);
+        assert_eq!(a.crossbar, b.crossbar);
+        assert_eq!(a.neurons, b.neurons);
+    }
+
+    #[test]
+    fn distinct_cores_differ() {
+        let p = test_plan();
+        let a = generate_core(&p, 0);
+        let b = generate_core(&p, 1);
+        assert_ne!(a.crossbar, b.crossbar);
+    }
+
+    #[test]
+    fn crossbar_density_matches_parameter() {
+        let p = test_plan();
+        let cfg = generate_core(&p, 0);
+        let expect = (0.125f64 * 256.0).round() as usize * CORE_AXONS;
+        assert_eq!(cfg.crossbar.count_synapses(), expect);
+    }
+
+    #[test]
+    fn driven_region_has_pacemakers_and_relays() {
+        let p = test_plan();
+        // Region A (cores 0..2) is driven.
+        let cfg = generate_core(&p, 0);
+        let drivers = cfg
+            .neurons
+            .iter()
+            .filter(|n| n.leak == 1 && n.weights == [0, 0, 0, 0])
+            .count();
+        assert_eq!(drivers, CORE_NEURONS / DRIVER_STRIDE);
+        assert_eq!(cfg.neurons[1].weights, RELAY_WEIGHTS);
+    }
+
+    #[test]
+    fn undriven_region_is_all_relays() {
+        let p = test_plan();
+        // Region B (cores 2..4) is not driven.
+        let cfg = generate_core(&p, 3);
+        assert!(cfg.neurons.iter().all(|n| n.weights == RELAY_WEIGHTS));
+    }
+
+    #[test]
+    fn axon_types_cover_all_four() {
+        let p = test_plan();
+        let cfg = generate_core(&p, 0);
+        let mut seen = [false; 4];
+        for &t in cfg.axon_types.iter() {
+            seen[t as usize] = true;
+        }
+        assert_eq!(seen, [true; 4]);
+    }
+
+    #[test]
+    fn pacemaker_phases_are_staggered() {
+        let p = test_plan();
+        let cfg = generate_core(&p, 0);
+        let phases: std::collections::BTreeSet<i32> = cfg
+            .neurons
+            .iter()
+            .filter(|n| n.leak == 1)
+            .map(|n| n.initial_potential)
+            .collect();
+        assert!(phases.len() > 4, "drivers should not all share a phase");
+    }
+}

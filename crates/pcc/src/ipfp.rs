@@ -1,0 +1,393 @@
+//! Iterative proportional fitting / Sinkhorn–Knopp matrix balancing.
+//!
+//! §IV of the paper: realizability of a compiled network requires that
+//! every axon and neuron request can be satisfied, which the authors
+//! achieve by *"normalizing the connection matrix to have identical
+//! pre-specified column sum and row sums — a generalization of doubly
+//! stochastic matrices. This procedure is known as iterative proportional
+//! fitting procedure (IPFP) in statistics, and as matrix balancing in
+//! linear algebra"* (citing Sinkhorn & Knopp).
+//!
+//! [`balance`] scales a non-negative matrix `A` by diagonal matrices
+//! `D₁ A D₂` until its row sums equal the prescribed `row_targets` and its
+//! column sums equal `col_targets`. In §V-C the targets are the region
+//! volumes: row sum = neurons available to *send* from a region, column
+//! sum = axons available to *receive*.
+//!
+//! [`integerize`] then converts the balanced real matrix into integer
+//! connection counts whose margins match the integer targets *exactly* —
+//! the property the wiring phase relies on so that every neuron finds an
+//! axon and no core is oversubscribed.
+
+/// Result of a balancing run.
+#[derive(Debug, Clone)]
+pub struct BalanceResult {
+    /// The balanced matrix, row-major `[rows × cols]`.
+    pub matrix: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final worst absolute margin error.
+    pub max_error: f64,
+    /// Whether `max_error <= tol` was reached within the iteration budget.
+    pub converged: bool,
+}
+
+/// Balances `matrix` (row-major, `rows × cols`, non-negative) so its row
+/// sums approach `row_targets` and column sums approach `col_targets`.
+///
+/// Requires `Σ row_targets == Σ col_targets` (up to rounding) — IPFP
+/// preserves totals. Zero entries stay zero (the sparsity pattern is the
+/// CoCoMac adjacency); convergence requires the pattern to *support* the
+/// margins (guaranteed when every row/column with a positive target has at
+/// least one positive entry and the matrix is fully indecomposable; the
+/// CoCoMac-derived matrices, with their dense diagonals, satisfy this).
+///
+/// # Panics
+/// Panics on dimension mismatches, negative entries or targets, or total
+/// mismatch beyond 1e-6 relative.
+pub fn balance(
+    matrix: &[f64],
+    row_targets: &[f64],
+    col_targets: &[f64],
+    tol: f64,
+    max_iter: usize,
+) -> BalanceResult {
+    let rows = row_targets.len();
+    let cols = col_targets.len();
+    assert_eq!(matrix.len(), rows * cols, "matrix shape mismatch");
+    assert!(
+        matrix.iter().all(|&x| x >= 0.0 && x.is_finite()),
+        "matrix entries must be non-negative and finite"
+    );
+    assert!(
+        row_targets.iter().chain(col_targets).all(|&t| t >= 0.0),
+        "targets must be non-negative"
+    );
+    let rt: f64 = row_targets.iter().sum();
+    let ct: f64 = col_targets.iter().sum();
+    assert!(
+        (rt - ct).abs() <= 1e-6 * rt.max(ct).max(1.0),
+        "row total {rt} and column total {ct} must match"
+    );
+
+    let mut m = matrix.to_vec();
+    let mut iterations = 0;
+    let mut max_error = margin_error(&m, row_targets, col_targets);
+    while max_error > tol && iterations < max_iter {
+        // Row scaling.
+        for r in 0..rows {
+            let sum: f64 = m[r * cols..(r + 1) * cols].iter().sum();
+            if sum > 0.0 {
+                let scale = row_targets[r] / sum;
+                for x in &mut m[r * cols..(r + 1) * cols] {
+                    *x *= scale;
+                }
+            }
+        }
+        // Column scaling.
+        for c in 0..cols {
+            let mut sum = 0.0;
+            for r in 0..rows {
+                sum += m[r * cols + c];
+            }
+            if sum > 0.0 {
+                let scale = col_targets[c] / sum;
+                for r in 0..rows {
+                    m[r * cols + c] *= scale;
+                }
+            }
+        }
+        iterations += 1;
+        max_error = margin_error(&m, row_targets, col_targets);
+    }
+    BalanceResult {
+        matrix: m,
+        iterations,
+        max_error,
+        converged: max_error <= tol,
+    }
+}
+
+/// Worst absolute deviation of any row or column sum from its target.
+pub fn margin_error(matrix: &[f64], row_targets: &[f64], col_targets: &[f64]) -> f64 {
+    let rows = row_targets.len();
+    let cols = col_targets.len();
+    let mut worst: f64 = 0.0;
+    for r in 0..rows {
+        let sum: f64 = matrix[r * cols..(r + 1) * cols].iter().sum();
+        worst = worst.max((sum - row_targets[r]).abs());
+    }
+    for c in 0..cols {
+        let mut sum = 0.0;
+        for r in 0..rows {
+            sum += matrix[r * cols + c];
+        }
+        worst = worst.max((sum - col_targets[c]).abs());
+    }
+    worst
+}
+
+/// Rounds a balanced non-negative matrix to integer counts whose row and
+/// column sums equal the integer targets **exactly**.
+///
+/// Uses largest-remainder rounding per row (making row sums exact), then
+/// repairs column deviations by moving single units between rows along
+/// positive entries. Requires `Σ row_targets == Σ col_targets`; the repair
+/// loop terminates because total row surplus equals total column surplus.
+///
+/// # Panics
+/// Panics if targets mismatch in total, or if the sparsity pattern cannot
+/// support the margins (no positive entry available to repair through —
+/// which cannot happen for matrices produced by [`balance`] on supported
+/// patterns).
+pub fn integerize(matrix: &[f64], row_targets: &[u64], col_targets: &[u64]) -> Vec<u64> {
+    let rows = row_targets.len();
+    let cols = col_targets.len();
+    assert_eq!(matrix.len(), rows * cols, "matrix shape mismatch");
+    let rt: u64 = row_targets.iter().sum();
+    let ct: u64 = col_targets.iter().sum();
+    assert_eq!(rt, ct, "integer margins must have equal totals");
+
+    let mut out = vec![0u64; rows * cols];
+
+    // Largest-remainder per row: row sums exact.
+    for r in 0..rows {
+        let row = &matrix[r * cols..(r + 1) * cols];
+        let sum: f64 = row.iter().sum();
+        let target = row_targets[r];
+        if target == 0 {
+            continue;
+        }
+        assert!(
+            sum > 0.0,
+            "row {r} has target {target} but no positive entries"
+        );
+        let mut floor_total = 0u64;
+        let mut rema: Vec<(f64, usize)> = Vec::with_capacity(cols);
+        for c in 0..cols {
+            let share = row[c] / sum * target as f64;
+            let fl = share.floor() as u64;
+            out[r * cols + c] = fl;
+            floor_total += fl;
+            if row[c] > 0.0 {
+                rema.push((share - fl as f64, c));
+            }
+        }
+        let mut missing = target - floor_total;
+        // Distribute remaining units by descending remainder (ties by
+        // column index for determinism).
+        rema.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        let mut i = 0;
+        while missing > 0 {
+            let (_, c) = rema[i % rema.len()];
+            out[r * cols + c] += 1;
+            missing -= 1;
+            i += 1;
+        }
+    }
+
+    // Repair column sums: move units from surplus columns to deficit
+    // columns within rows where both entries allow it.
+    loop {
+        let mut col_sum = vec![0u64; cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                col_sum[c] += out[r * cols + c];
+            }
+        }
+        let surplus: Vec<usize> = (0..cols).filter(|&c| col_sum[c] > col_targets[c]).collect();
+        let deficit: Vec<usize> = (0..cols).filter(|&c| col_sum[c] < col_targets[c]).collect();
+        if surplus.is_empty() && deficit.is_empty() {
+            break;
+        }
+        let mut moved = false;
+        'outer: for &s in &surplus {
+            for &d in &deficit {
+                // Find a row where we can shift one unit s → d without
+                // breaking the row sum (decrement out[r][s], increment
+                // out[r][d]); requires out[r][s] > 0 and pattern allows d.
+                for r in 0..rows {
+                    if out[r * cols + s] > 0 && matrix[r * cols + d] > 0.0 {
+                        out[r * cols + s] -= 1;
+                        out[r * cols + d] += 1;
+                        moved = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert!(
+            moved,
+            "sparsity pattern cannot support the requested margins"
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row_sums(m: &[u64], rows: usize, cols: usize) -> Vec<u64> {
+        (0..rows)
+            .map(|r| m[r * cols..(r + 1) * cols].iter().sum())
+            .collect()
+    }
+
+    fn col_sums(m: &[u64], rows: usize, cols: usize) -> Vec<u64> {
+        (0..cols)
+            .map(|c| (0..rows).map(|r| m[r * cols + c]).sum())
+            .collect()
+    }
+
+    #[test]
+    fn balances_to_doubly_stochastic() {
+        // Positive 3×3 matrix balanced to all margins 1.
+        let m = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+        let t = [1.0, 1.0, 1.0];
+        let r = balance(&m, &t, &t, 1e-10, 10_000);
+        assert!(r.converged, "error {}", r.max_error);
+        assert!(r.max_error <= 1e-10);
+        assert!(r.iterations > 0);
+    }
+
+    #[test]
+    fn respects_unequal_margins() {
+        let m = [1.0, 1.0, 1.0, 1.0];
+        let rows = [3.0, 7.0];
+        let cols = [4.0, 6.0];
+        let r = balance(&m, &rows, &cols, 1e-9, 10_000);
+        assert!(r.converged);
+        let s0: f64 = r.matrix[0..2].iter().sum();
+        let s1: f64 = r.matrix[2..4].iter().sum();
+        assert!((s0 - 3.0).abs() < 1e-8);
+        assert!((s1 - 7.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn preserves_sparsity_pattern() {
+        let m = [1.0, 0.0, 1.0, 1.0];
+        let r = balance(&m, &[1.0, 1.0], &[1.0, 1.0], 1e-9, 10_000);
+        assert_eq!(r.matrix[1], 0.0, "zero entries must stay zero");
+    }
+
+    #[test]
+    fn already_balanced_needs_no_iterations() {
+        let m = [0.5, 0.5, 0.5, 0.5];
+        let r = balance(&m, &[1.0, 1.0], &[1.0, 1.0], 1e-12, 100);
+        assert_eq!(r.iterations, 0);
+        assert!(r.converged);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn total_mismatch_rejected() {
+        balance(&[1.0], &[2.0], &[3.0], 1e-6, 10);
+    }
+
+    #[test]
+    fn integerize_margins_exact() {
+        let m = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+        let rows = [100u64, 200, 300];
+        let cols = [150u64, 250, 200];
+        let bal = balance(
+            &m,
+            &rows.map(|x| x as f64),
+            &cols.map(|x| x as f64),
+            1e-9,
+            10_000,
+        );
+        let int = integerize(&bal.matrix, &rows, &cols);
+        assert_eq!(row_sums(&int, 3, 3), rows.to_vec());
+        assert_eq!(col_sums(&int, 3, 3), cols.to_vec());
+    }
+
+    #[test]
+    fn integerize_respects_zero_rows() {
+        let m = [0.0, 0.0, 1.0, 1.0];
+        let int = integerize(&m, &[0, 10], &[5, 5]);
+        assert_eq!(int[0], 0);
+        assert_eq!(int[1], 0);
+        assert_eq!(row_sums(&int, 2, 2), vec![0, 10]);
+        assert_eq!(col_sums(&int, 2, 2), vec![5, 5]);
+    }
+
+    #[test]
+    fn integerize_is_deterministic() {
+        let m = [1.3, 2.7, 0.5, 3.1, 0.9, 1.5, 2.2, 1.8, 0.7];
+        let rows = [10u64, 20, 15];
+        let cols = [12u64, 18, 15];
+        let bal = balance(
+            &m,
+            &rows.map(|x| x as f64),
+            &cols.map(|x| x as f64),
+            1e-9,
+            10_000,
+        );
+        let a = integerize(&bal.matrix, &rows, &cols);
+        let b = integerize(&bal.matrix, &rows, &cols);
+        assert_eq!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Strictly positive matrices always balance to any compatible
+        /// positive margins.
+        #[test]
+        fn positive_matrices_converge(
+            n in 2usize..6,
+            seed_entries in proptest::collection::vec(0.1f64..10.0, 36),
+            raw_rows in proptest::collection::vec(1.0f64..50.0, 6),
+        ) {
+            let m: Vec<f64> = seed_entries[..n * n].to_vec();
+            let rows: Vec<f64> = raw_rows[..n].to_vec();
+            // Columns: same total, different shape (reverse).
+            let total: f64 = rows.iter().sum();
+            let mut cols: Vec<f64> = rows.iter().rev().cloned().collect();
+            let cs: f64 = cols.iter().sum();
+            for c in &mut cols {
+                *c *= total / cs;
+            }
+            let r = balance(&m, &rows, &cols, 1e-8, 50_000);
+            prop_assert!(r.converged, "error {}", r.max_error);
+        }
+
+        /// Integerization of balanced positive matrices hits both margins
+        /// exactly and only uses supported entries.
+        #[test]
+        fn integerize_exact_margins(
+            n in 2usize..5,
+            seed_entries in proptest::collection::vec(0.1f64..10.0, 25),
+            raw in proptest::collection::vec(1u64..200, 5),
+        ) {
+            let m: Vec<f64> = seed_entries[..n * n].to_vec();
+            let rows: Vec<u64> = raw[..n].to_vec();
+            let total: u64 = rows.iter().sum();
+            // Columns: rotate rows for a different-but-equal-total margin.
+            let mut cols: Vec<u64> = rows.clone();
+            cols.rotate_left(1);
+            prop_assert_eq!(cols.iter().sum::<u64>(), total);
+            let bal = balance(
+                &m,
+                &rows.iter().map(|&x| x as f64).collect::<Vec<_>>(),
+                &cols.iter().map(|&x| x as f64).collect::<Vec<_>>(),
+                1e-9,
+                50_000,
+            );
+            let int = integerize(&bal.matrix, &rows, &cols);
+            for r in 0..n {
+                prop_assert_eq!(int[r * n..(r + 1) * n].iter().sum::<u64>(), rows[r]);
+            }
+            for c in 0..n {
+                prop_assert_eq!((0..n).map(|r| int[r * n + c]).sum::<u64>(), cols[c]);
+            }
+        }
+    }
+}

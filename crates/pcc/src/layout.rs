@@ -1,0 +1,667 @@
+//! Compile planning: region sizing, core-id layout, connection budgeting.
+//!
+//! The plan is the deterministic, replicated part of the Parallel Compass
+//! Compiler — every rank computes the identical [`CompilePlan`] from the
+//! CoreObject (it is small: O(R²) for R regions), then the wiring phase
+//! (see [`crate::wiring`]) does the distributed, per-core work.
+//!
+//! Steps, following §IV–§V of the paper:
+//!
+//! 1. **Region sizing** — relative atlas volumes → integer core counts
+//!    (largest remainder, minimum one core per region), each region a
+//!    contiguous block of core ids so that regions land on as few ranks as
+//!    possible.
+//! 2. **Mixing matrix** — the binary/weighted region adjacency becomes a
+//!    stochastic matrix with the gray-matter fraction on the diagonal and
+//!    white-matter entries proportional to edge weight × target volume.
+//! 3. **Balancing** — IPFP scales the matrix so row and column sums equal
+//!    each region's neuron budget (256 × cores); integerization makes the
+//!    margins exact, guaranteeing *realizability*: every neuron gets
+//!    exactly one target axon and every axon is requested exactly once.
+//! 4. **Assignment schedules** — per-region shuffled target-region vectors
+//!    ("connections as diffuse as possible") and capacity-exact
+//!    destination-rank schedules for the wiring handshake.
+
+use crate::coreobject::CoreObject;
+use crate::ipfp::{balance, integerize, BalanceResult};
+use compass_sim::Partition;
+use tn_core::prng::CorePrng;
+use tn_core::CORE_NEURONS;
+
+/// Everything the wiring phase needs, identical on every rank.
+#[derive(Debug, Clone)]
+pub struct CompilePlan {
+    /// The source description.
+    pub object: CoreObject,
+    /// Cores per region (index = region).
+    pub region_cores: Vec<u64>,
+    /// First core id of each region plus a final sentinel
+    /// (`region_starts[r]..region_starts[r+1]` is region `r`'s block).
+    pub region_starts: Vec<u64>,
+    /// Rank blocks over the dense core-id space.
+    pub partition: Partition,
+    /// Integer connection counts `counts[r * R + s]` = neuron→axon
+    /// connections from region `r` to region `s`. Row sums and column sums
+    /// both equal `256 × region_cores`.
+    pub conn_counts: Vec<u64>,
+    /// Diagnostics from the balancing run.
+    pub balance_iterations: usize,
+    /// Final balancing error.
+    pub balance_error: f64,
+}
+
+/// Why planning failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// The description has no regions.
+    NoRegions,
+    /// Fewer cores than regions (each region needs at least one).
+    TooFewCores {
+        /// Requested model size.
+        cores: u64,
+        /// Region count.
+        regions: usize,
+    },
+    /// IPFP failed to converge on the connectivity pattern.
+    BalanceDiverged {
+        /// Error at give-up time.
+        error: f64,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::NoRegions => write!(f, "CoreObject has no regions"),
+            PlanError::TooFewCores { cores, regions } => {
+                write!(f, "{cores} cores cannot host {regions} regions")
+            }
+            PlanError::BalanceDiverged { error } => {
+                write!(f, "IPFP did not converge (residual {error})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// How cores are assigned to ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// Equal-size contiguous blocks, ignoring region boundaries.
+    Uniform,
+    /// Contiguous blocks whose cut points prefer region boundaries — the
+    /// paper's policy: *"assigning TrueNorth cores in the same functional
+    /// region to as few Compass processes as necessary"*, so intra-region
+    /// (gray matter) traffic stays on-rank where cheaper shared memory
+    /// handles it.
+    #[default]
+    RegionAligned,
+}
+
+/// Builds a partition over the region layout according to `placement`.
+///
+/// Region-aligned placement walks regions in order, closing a rank block
+/// once it holds its fair share of the remaining cores; a region larger
+/// than the quota still gets split (it genuinely needs several ranks).
+/// Every rank ends non-empty whenever `total_cores >= ranks`.
+pub fn place(
+    region_cores: &[u64],
+    total_cores: u64,
+    ranks: usize,
+    placement: Placement,
+) -> Partition {
+    match placement {
+        Placement::Uniform => Partition::uniform(total_cores, ranks),
+        Placement::RegionAligned => {
+            let mut counts = vec![0u64; ranks];
+            let mut rank = 0usize;
+            let mut remaining_ranks = ranks as u64;
+            let mut remaining_cores = total_cores;
+            // Quota is fixed when a rank opens (fair share of what's
+            // left), so filling the rank doesn't shift its own target.
+            let mut quota = remaining_cores.div_ceil(remaining_ranks);
+            let advance =
+                |rank: &mut usize, remaining_ranks: &mut u64, quota: &mut u64, rem: u64| -> bool {
+                    if *rank + 1 < ranks {
+                        *rank += 1;
+                        *remaining_ranks -= 1;
+                        *quota = rem.div_ceil(*remaining_ranks);
+                        true
+                    } else {
+                        false
+                    }
+                };
+            for &rc in region_cores {
+                let mut left = rc;
+                while left > 0 {
+                    let free = quota.saturating_sub(counts[rank]);
+                    let at_region_start = left == rc;
+                    if free == 0 {
+                        if !advance(&mut rank, &mut remaining_ranks, &mut quota, remaining_cores) {
+                            break; // last rank absorbs the rest below
+                        }
+                        continue;
+                    }
+                    // Boundary preference: a whole region that would fit a
+                    // fresh rank but not this one's remaining space moves
+                    // to the next rank instead of being split.
+                    if at_region_start
+                        && left > free
+                        && left <= quota
+                        && counts[rank] > 0
+                        && advance(&mut rank, &mut remaining_ranks, &mut quota, remaining_cores)
+                    {
+                        continue;
+                    }
+                    let take = left.min(free);
+                    counts[rank] += take;
+                    remaining_cores -= take;
+                    left -= take;
+                }
+                // Whatever could not be placed lands on the last rank.
+                if left > 0 {
+                    counts[ranks - 1] += left;
+                    remaining_cores -= left;
+                }
+            }
+            Partition::from_counts(&counts)
+        }
+    }
+}
+
+/// Builds the compile plan with the default (region-aligned) placement.
+///
+/// Deterministic: identical inputs give identical plans on every rank.
+pub fn plan(object: &CoreObject, total_cores: u64, ranks: usize) -> Result<CompilePlan, PlanError> {
+    plan_with_placement(object, total_cores, ranks, Placement::default())
+}
+
+/// Builds the compile plan for `total_cores` cores over `ranks` ranks with
+/// an explicit placement policy.
+pub fn plan_with_placement(
+    object: &CoreObject,
+    total_cores: u64,
+    ranks: usize,
+    placement: Placement,
+) -> Result<CompilePlan, PlanError> {
+    let regions = object.regions.len();
+    if regions == 0 {
+        return Err(PlanError::NoRegions);
+    }
+    if total_cores < regions as u64 {
+        return Err(PlanError::TooFewCores {
+            cores: total_cores,
+            regions,
+        });
+    }
+
+    // 1. Region sizing: volume-proportional, min 1, largest remainder.
+    let region_cores = apportion(
+        &object.regions.iter().map(|r| r.volume).collect::<Vec<_>>(),
+        total_cores,
+    );
+    let mut region_starts = Vec::with_capacity(regions + 1);
+    let mut at = 0u64;
+    for &c in &region_cores {
+        region_starts.push(at);
+        at += c;
+    }
+    region_starts.push(at);
+    debug_assert_eq!(at, total_cores);
+
+    // 2. Mixing matrix: intra fraction on the diagonal, edges proportional
+    // to weight × target volume off it.
+    let mut mix = vec![0.0f64; regions * regions];
+    for (r, spec) in object.regions.iter().enumerate() {
+        mix[r * regions + r] = spec.intra.max(1e-3);
+    }
+    let mut out_weight = vec![0.0f64; regions];
+    for &(s, d, w) in &object.connections {
+        if s != d {
+            out_weight[s] += w * object.regions[d].volume;
+        }
+    }
+    for &(s, d, w) in &object.connections {
+        if s == d {
+            continue; // recurrence is already the diagonal intra share
+        }
+        let inter_share = 1.0 - object.regions[s].intra;
+        let frac = w * object.regions[d].volume / out_weight[s];
+        mix[s * regions + d] += inter_share * frac;
+    }
+    // Regions with no outgoing edges keep everything on the diagonal.
+    for r in 0..regions {
+        if out_weight[r] == 0.0 {
+            mix[r * regions + r] = 1.0;
+        }
+    }
+
+    // 3. Balance to neuron budgets and integerize.
+    let budgets: Vec<u64> = region_cores.iter().map(|&c| c * CORE_NEURONS as u64).collect();
+    let budgets_f: Vec<f64> = budgets.iter().map(|&b| b as f64).collect();
+    let scaled: Vec<f64> = {
+        // Scale rows by budget for a warm start (stochastic rows × budget).
+        let mut m = mix.clone();
+        for r in 0..regions {
+            for c in 0..regions {
+                m[r * regions + c] *= budgets_f[r];
+            }
+        }
+        m
+    };
+    let BalanceResult {
+        matrix,
+        iterations,
+        max_error,
+        converged,
+    } = balance(&scaled, &budgets_f, &budgets_f, 1e-6, 20_000);
+    if !converged {
+        return Err(PlanError::BalanceDiverged { error: max_error });
+    }
+    let conn_counts = integerize(&matrix, &budgets, &budgets);
+    let partition = place(&region_cores, total_cores, ranks, placement);
+
+    Ok(CompilePlan {
+        object: object.clone(),
+        region_cores,
+        region_starts,
+        partition,
+        conn_counts,
+        balance_iterations: iterations,
+        balance_error: max_error,
+    })
+}
+
+impl CompilePlan {
+    /// Number of regions.
+    pub fn regions(&self) -> usize {
+        self.object.regions.len()
+    }
+
+    /// Total cores in the model.
+    pub fn total_cores(&self) -> u64 {
+        *self.region_starts.last().expect("sentinel present")
+    }
+
+    /// The region owning `core`.
+    pub fn region_of_core(&self, core: u64) -> usize {
+        debug_assert!(core < self.total_cores());
+        self.region_starts.partition_point(|&s| s <= core) - 1
+    }
+
+    /// Region `r`'s core-id block.
+    pub fn region_block(&self, r: usize) -> std::ops::Range<u64> {
+        self.region_starts[r]..self.region_starts[r + 1]
+    }
+
+    /// Neuron budget (= axon budget) of region `r`.
+    pub fn region_budget(&self, r: usize) -> u64 {
+        self.region_cores[r] * CORE_NEURONS as u64
+    }
+
+    /// Connection count from region `r` to region `s`.
+    pub fn connections(&self, r: usize, s: usize) -> u64 {
+        self.conn_counts[r * self.regions() + s]
+    }
+
+    /// The shuffled target-region assignment for every neuron of region
+    /// `r`, in region-local neuron order. Length = region budget; the
+    /// multiset of values matches row `r` of the connection counts, and the
+    /// seeded shuffle realizes the paper's "connections as diffuse as
+    /// possible" choice. Identical on every rank.
+    pub fn target_region_vector(&self, r: usize) -> Vec<u16> {
+        let regions = self.regions();
+        let budget = self.region_budget(r) as usize;
+        let mut v = Vec::with_capacity(budget);
+        for s in 0..regions {
+            let n = self.connections(r, s);
+            v.extend(std::iter::repeat_n(s as u16, n as usize));
+        }
+        debug_assert_eq!(v.len(), budget);
+        // Seeded Fisher–Yates, reproducible everywhere.
+        let mut prng = CorePrng::from_seed(
+            self.object.params.seed ^ (r as u64).wrapping_mul(0x5851_F42D_4C95_7F2D),
+        );
+        for i in (1..v.len()).rev() {
+            let j = prng.next_below(i as u32 + 1) as usize;
+            v.swap(i, j);
+        }
+        v
+    }
+
+    /// Per-rank axon capacity inside region `s`: how many target slots each
+    /// rank can serve, `256 ×` its core overlap with the region block.
+    pub fn rank_capacity_in_region(&self, s: usize) -> Vec<u64> {
+        let block = self.region_block(s);
+        (0..self.partition.ranks())
+            .map(|rank| {
+                let rb = self.partition.block(rank);
+                let lo = rb.start.max(block.start);
+                let hi = rb.end.min(block.end);
+                hi.saturating_sub(lo) * CORE_NEURONS as u64
+            })
+            .collect()
+    }
+}
+
+/// Largest-remainder apportionment of `total` units proportional to
+/// `weights`, with a minimum of one unit per entry.
+///
+/// # Panics
+/// Panics if `total < weights.len()` or any weight is non-positive.
+pub fn apportion(weights: &[f64], total: u64) -> Vec<u64> {
+    let n = weights.len();
+    assert!(total >= n as u64, "not enough units for minimums");
+    assert!(
+        weights.iter().all(|&w| w > 0.0 && w.is_finite()),
+        "weights must be positive"
+    );
+    let spare = total - n as u64; // after the minimum 1 each
+    let wsum: f64 = weights.iter().sum();
+    let mut out = vec![1u64; n];
+    let mut assigned = 0u64;
+    let mut rema: Vec<(f64, usize)> = Vec::with_capacity(n);
+    for (i, &w) in weights.iter().enumerate() {
+        let share = w / wsum * spare as f64;
+        let fl = share.floor() as u64;
+        out[i] += fl;
+        assigned += fl;
+        rema.push((share - fl as f64, i));
+    }
+    rema.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    let mut left = spare - assigned;
+    let mut i = 0;
+    while left > 0 {
+        out[rema[i % n].1] += 1;
+        left -= 1;
+        i += 1;
+    }
+    out
+}
+
+/// An error-diffusion scheduler that deals out a stream of items over
+/// buckets with fixed capacities, exactly filling each: the `k`-th call
+/// returns the bucket for item `k`, interleaving buckets proportionally —
+/// the "diffuse" counterpart of contiguous block assignment.
+#[derive(Debug, Clone)]
+pub struct ProportionalSchedule {
+    capacity: Vec<u64>,
+    issued: Vec<u64>,
+    total_issued: u64,
+    total_capacity: u64,
+}
+
+impl ProportionalSchedule {
+    /// Creates a schedule over the given bucket capacities.
+    pub fn new(capacity: Vec<u64>) -> Self {
+        let total_capacity = capacity.iter().sum();
+        Self {
+            issued: vec![0; capacity.len()],
+            capacity,
+            total_issued: 0,
+            total_capacity,
+        }
+    }
+
+    /// Returns the bucket for the next item: the non-full bucket whose
+    /// issued/capacity ratio is lowest (ties to the lowest index).
+    ///
+    /// # Panics
+    /// Panics if all buckets are full.
+    pub fn assign_next(&mut self) -> usize {
+        assert!(
+            self.total_issued < self.total_capacity,
+            "all buckets are full"
+        );
+        let mut best = usize::MAX;
+        let mut best_key = f64::INFINITY;
+        for (i, (&iss, &cap)) in self.issued.iter().zip(&self.capacity).enumerate() {
+            if cap == 0 || iss >= cap {
+                continue;
+            }
+            let key = (iss as f64 + 0.5) / cap as f64;
+            if key < best_key {
+                best_key = key;
+                best = i;
+            }
+        }
+        self.issued[best] += 1;
+        self.total_issued += 1;
+        best
+    }
+
+    /// Items issued so far to bucket `i`.
+    pub fn issued(&self, i: usize) -> u64 {
+        self.issued[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coreobject::{RegionClass, RegionSpec};
+
+    fn tiny_object() -> CoreObject {
+        let mut obj = CoreObject::new(11);
+        let a = obj.add_region(RegionSpec {
+            name: "A".into(),
+            class: RegionClass::Cortical,
+            volume: 3.0,
+            intra: 0.4,
+            drive_period: 50,
+        });
+        let b = obj.add_region(RegionSpec {
+            name: "B".into(),
+            class: RegionClass::Thalamic,
+            volume: 1.0,
+            intra: 0.2,
+            drive_period: 0,
+        });
+        let c = obj.add_region(RegionSpec {
+            name: "C".into(),
+            class: RegionClass::BasalGanglia,
+            volume: 2.0,
+            intra: 0.2,
+            drive_period: 0,
+        });
+        obj.connect(a, b, 1.0);
+        obj.connect(b, a, 2.0);
+        obj.connect(a, c, 1.0);
+        obj.connect(c, a, 1.0);
+        obj.connect(b, c, 0.5);
+        obj
+    }
+
+    #[test]
+    fn plan_margins_are_exact_budgets() {
+        let obj = tiny_object();
+        let p = plan(&obj, 12, 2).unwrap();
+        let n = p.regions();
+        for r in 0..n {
+            let row: u64 = (0..n).map(|s| p.connections(r, s)).sum();
+            assert_eq!(row, p.region_budget(r), "row {r}");
+            let col: u64 = (0..n).map(|s| p.connections(s, r)).sum();
+            assert_eq!(col, p.region_budget(r), "col {r}");
+        }
+    }
+
+    #[test]
+    fn region_blocks_tile_core_space() {
+        let p = plan(&tiny_object(), 12, 3).unwrap();
+        assert_eq!(p.total_cores(), 12);
+        let mut at = 0;
+        for r in 0..p.regions() {
+            let b = p.region_block(r);
+            assert_eq!(b.start, at);
+            at = b.end;
+            for core in b.clone() {
+                assert_eq!(p.region_of_core(core), r);
+            }
+        }
+        assert_eq!(at, 12);
+    }
+
+    #[test]
+    fn volumes_drive_core_counts() {
+        let p = plan(&tiny_object(), 12, 1).unwrap();
+        // volumes 3:1:2 of 12 cores → 6:2:4.
+        assert_eq!(p.region_cores, vec![6, 2, 4]);
+    }
+
+    #[test]
+    fn minimum_one_core_per_region() {
+        let p = plan(&tiny_object(), 3, 1).unwrap();
+        assert!(p.region_cores.iter().all(|&c| c >= 1));
+        assert_eq!(p.region_cores.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn too_few_cores_rejected() {
+        assert_eq!(
+            plan(&tiny_object(), 2, 1).err(),
+            Some(PlanError::TooFewCores {
+                cores: 2,
+                regions: 3
+            })
+        );
+    }
+
+    #[test]
+    fn empty_object_rejected() {
+        assert_eq!(
+            plan(&CoreObject::new(0), 4, 1).err(),
+            Some(PlanError::NoRegions)
+        );
+    }
+
+    #[test]
+    fn target_vector_multiset_matches_counts() {
+        let p = plan(&tiny_object(), 12, 2).unwrap();
+        for r in 0..p.regions() {
+            let v = p.target_region_vector(r);
+            assert_eq!(v.len() as u64, p.region_budget(r));
+            let mut hist = vec![0u64; p.regions()];
+            for &s in &v {
+                hist[s as usize] += 1;
+            }
+            for (s, &h) in hist.iter().enumerate() {
+                assert_eq!(h, p.connections(r, s), "r={r} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn target_vector_is_shuffled_and_deterministic() {
+        let p = plan(&tiny_object(), 12, 2).unwrap();
+        let v1 = p.target_region_vector(0);
+        let v2 = p.target_region_vector(0);
+        assert_eq!(v1, v2, "must be reproducible");
+        // Not sorted (diffuse): the sorted version differs.
+        let mut sorted = v1.clone();
+        sorted.sort_unstable();
+        assert_ne!(v1, sorted, "vector should be interleaved, not blocked");
+    }
+
+    #[test]
+    fn plan_is_identical_across_rank_counts_except_partition() {
+        let a = plan(&tiny_object(), 12, 1).unwrap();
+        let b = plan(&tiny_object(), 12, 4).unwrap();
+        assert_eq!(a.conn_counts, b.conn_counts);
+        assert_eq!(a.region_cores, b.region_cores);
+        assert_eq!(a.target_region_vector(1), b.target_region_vector(1));
+    }
+
+    #[test]
+    fn rank_capacity_sums_to_budget() {
+        let p = plan(&tiny_object(), 12, 3).unwrap();
+        for s in 0..p.regions() {
+            let caps = p.rank_capacity_in_region(s);
+            assert_eq!(caps.iter().sum::<u64>(), p.region_budget(s), "region {s}");
+        }
+    }
+
+    #[test]
+    fn region_aligned_placement_prefers_region_boundaries() {
+        // Regions of 6, 2, 4 cores over 3 ranks: quota 4; a uniform split
+        // would cut region 0 at core 4 and region 2 at core 8; aligned
+        // placement cuts at 4 (inside the oversized region 0 — necessary)
+        // and then at the region boundary 8 (6 + 2).
+        let p = place(&[6, 2, 4], 12, 3, Placement::RegionAligned);
+        assert_eq!(p.block(0), 0..4);
+        assert_eq!(p.block(1), 4..8);
+        assert_eq!(p.block(2), 8..12);
+
+        // Regions of 3, 3, 3, 3 over 2 ranks: cut exactly between regions.
+        let p = place(&[3, 3, 3, 3], 12, 2, Placement::RegionAligned);
+        assert_eq!(p.block(0), 0..6);
+        assert_eq!(p.block(1), 6..12);
+    }
+
+    #[test]
+    fn region_aligned_placement_keeps_small_regions_whole() {
+        // 5 regions of 2 cores over 3 ranks (10 cores): quotas 4/3/3 —
+        // no region is ever split.
+        let p = place(&[2, 2, 2, 2, 2], 10, 3, Placement::RegionAligned);
+        let cuts: Vec<u64> = (0..3).map(|r| p.block(r).end).collect();
+        for cut in &cuts[..2] {
+            assert_eq!(cut % 2, 0, "cut {cut} splits a 2-core region");
+        }
+        assert_eq!(p.total_cores(), 10);
+        for r in 0..3 {
+            assert!(p.count(r) > 0, "rank {r} starved");
+        }
+    }
+
+    #[test]
+    fn region_aligned_placement_covers_all_cores() {
+        for ranks in 1..=6 {
+            let regions = [7u64, 1, 13, 2, 5];
+            let total: u64 = regions.iter().sum();
+            let p = place(&regions, total, ranks, Placement::RegionAligned);
+            assert_eq!(p.total_cores(), total, "ranks={ranks}");
+            let sum: u64 = (0..ranks).map(|r| p.count(r)).sum();
+            assert_eq!(sum, total);
+        }
+    }
+
+    #[test]
+    fn plan_with_uniform_placement_matches_uniform_partition() {
+        let obj = tiny_object();
+        let p = plan_with_placement(&obj, 12, 3, Placement::Uniform).unwrap();
+        assert_eq!(p.partition, Partition::uniform(12, 3));
+    }
+
+    #[test]
+    fn apportion_exact_and_minimums() {
+        assert_eq!(apportion(&[3.0, 1.0, 2.0], 12), vec![6, 2, 4]);
+        assert_eq!(apportion(&[1000.0, 1.0], 3), vec![2, 1]);
+        assert_eq!(apportion(&[1.0], 5), vec![5]);
+    }
+
+    #[test]
+    fn proportional_schedule_fills_exactly() {
+        let caps = vec![3u64, 0, 5, 2];
+        let mut s = ProportionalSchedule::new(caps.clone());
+        let mut got = vec![0u64; 4];
+        for _ in 0..10 {
+            got[s.assign_next()] += 1;
+        }
+        assert_eq!(got, caps);
+    }
+
+    #[test]
+    fn proportional_schedule_interleaves() {
+        let mut s = ProportionalSchedule::new(vec![2, 2]);
+        let order: Vec<usize> = (0..4).map(|_| s.assign_next()).collect();
+        assert_eq!(order, vec![0, 1, 0, 1], "equal capacities alternate");
+    }
+
+    #[test]
+    #[should_panic(expected = "all buckets are full")]
+    fn proportional_schedule_overflow_panics() {
+        let mut s = ProportionalSchedule::new(vec![1]);
+        s.assign_next();
+        s.assign_next();
+    }
+}

@@ -1,0 +1,45 @@
+//! # The Parallel Compass Compiler (PCC)
+//!
+//! §IV of the SC'12 paper: a parallel tool that *"translates a compact
+//! definition of functional regions of TrueNorth cores into the explicit
+//! neuron parameter, synaptic connection parameter, and neuron-to-axon
+//! connectivity declarations required by Compass"* — in situ, on the same
+//! ranks that then simulate, because the expanded model of a large network
+//! would be terabytes on disk.
+//!
+//! Pipeline:
+//!
+//! 1. [`coreobject`] — parse the compact region/connection description.
+//! 2. [`layout`] — size regions from atlas volumes, build the mixing
+//!    matrix, balance it with Sinkhorn/IPFP ([`ipfp`]) so every axon and
+//!    neuron request is realizable, and integerize the margins exactly.
+//! 3. [`wiring`] — the distributed per-process-pair handshake that
+//!    allocates target axons and fills every neuron's `(core, axon,
+//!    delay)` target.
+//! 4. [`genesis`] — deterministic per-core expansion of crossbars, axon
+//!    types, and neuron dynamics.
+//! 5. [`mod@compile`] — ties it together; [`compile::compile_serial`] gives
+//!    the single-rank reference model.
+//!
+//! [`expanded`] additionally implements the offline "several terabytes"
+//! strawman — full-model (de)serialization — so the benchmark suite can
+//! reproduce the paper's in-situ-versus-file set-up time comparison.
+
+pub mod analysis;
+pub mod compile;
+pub mod coreobject;
+pub mod expanded;
+pub mod genesis;
+pub mod ipfp;
+pub mod layout;
+pub mod wiring;
+
+pub use analysis::{region_activity, RegionActivity};
+pub use compile::{compile, compile_serial, CompileStats, CompiledRank};
+pub use coreobject::{CoreObject, GlobalParams, ParseError, RegionClass, RegionSpec};
+pub use ipfp::{balance, integerize, BalanceResult};
+pub use layout::{
+    apportion, place, plan, plan_with_placement, CompilePlan, Placement, PlanError,
+    ProportionalSchedule,
+};
+pub use wiring::{wire, WiringStats};

@@ -1,0 +1,348 @@
+//! The distributed neuron→axon wiring handshake.
+//!
+//! §IV of the paper: *"To create neuron-to-axon connections between
+//! regions, the PCC process managing the target region uses MPI message
+//! operations to send the global core ID and axon ID of an available axon
+//! to the PCC process managing the source region. … This exchange of
+//! information happens in an aggregated per process pair fashion."*
+//!
+//! The protocol here, per rank:
+//!
+//! 1. **Assignment (replicated)** — walk every neuron of the model in
+//!    global id order; its target *region* comes from the plan's shuffled
+//!    target vector and its target *rank* from a capacity-exact
+//!    proportional schedule over the ranks hosting that region. Replicating
+//!    this walk keeps both sides of the handshake in agreement without a
+//!    negotiation round (the walk is O(neurons), tiny next to core
+//!    generation).
+//! 2. **Request exchange** — each rank sends every target rank the ordered
+//!    sequence of region ids its local neurons request (one `u16` per
+//!    connection), aggregated per process pair, via all-to-all.
+//! 3. **Allocation** — each rank serves requests in source-rank order from
+//!    its per-region axon pools: the destination core round-robins across
+//!    the rank's cores of that region (diffuse), the axon index is the
+//!    core's next free axon, and the axonal delay is dealt from a seeded
+//!    stream. Realizability is guaranteed: the plan's balanced margins say
+//!    total requests per pool equal pool capacity exactly.
+//! 4. **Reply exchange** — allocated `(core, axon, delay)` triples go back
+//!    per process pair; each source fills its neurons' targets in the same
+//!    order it emitted requests.
+
+use crate::layout::{CompilePlan, ProportionalSchedule};
+
+/// Amortized-O(1) round-robin allocator over equal-capacity cores.
+#[derive(Debug)]
+struct RoundRobinPool {
+    cores: Vec<usize>,
+    cursor: usize,
+}
+
+impl RoundRobinPool {
+    fn new(cores: Vec<usize>) -> Self {
+        Self { cores, cursor: 0 }
+    }
+
+    /// Returns the next core (by local index) with a free axon.
+    ///
+    /// # Panics
+    /// Panics if every core in the pool is full — impossible when the
+    /// plan's capacity margins hold.
+    fn next(&mut self, free_axon: &[u16]) -> usize {
+        assert!(!self.cores.is_empty(), "allocation against an empty pool");
+        for _ in 0..self.cores.len() {
+            let idx = self.cores[self.cursor];
+            self.cursor = (self.cursor + 1) % self.cores.len();
+            if usize::from(free_axon[idx]) < tn_core::CORE_AXONS {
+                return idx;
+            }
+        }
+        panic!("axon pool exhausted: plan margins violated");
+    }
+}
+use compass_comm::RankCtx;
+use tn_core::prng::CorePrng;
+use tn_core::{CoreConfig, SpikeTarget, CORE_AXONS, CORE_NEURONS, MAX_DELAY};
+
+/// Bytes per wiring reply record: core u64 + axon u16 + delay u8 + pad.
+const REPLY_BYTES: usize = 12;
+
+/// Statistics from one rank's wiring run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WiringStats {
+    /// Connections requested by this rank (== its local neuron count).
+    pub requests_out: u64,
+    /// Connections served by this rank's axon pools.
+    pub requests_in: u64,
+    /// Request/reply payload bytes sent by this rank.
+    pub bytes_out: u64,
+}
+
+/// Runs the handshake and returns this rank's fully wired core configs
+/// (in global-id order) plus statistics.
+///
+/// Must be called collectively: every rank of the world, same plan.
+///
+/// # Panics
+/// Panics if the plan's invariants are violated (a compiler bug, not a
+/// runtime condition).
+pub fn wire(ctx: &RankCtx, plan: &CompilePlan) -> (Vec<CoreConfig>, WiringStats) {
+    let me = ctx.rank();
+    let world = ctx.world_size();
+    let partition = &plan.partition;
+    assert_eq!(
+        partition.ranks(),
+        world,
+        "plan was made for a different world size"
+    );
+    let my_block = partition.block(me);
+    let n_local_neurons = (my_block.end - my_block.start) as usize * CORE_NEURONS;
+
+    // ---- Step 1: replicated assignment walk --------------------------
+    // Per-region target vectors and per-region rank schedules.
+    let regions = plan.regions();
+    let target_vectors: Vec<Vec<u16>> = (0..regions)
+        .map(|r| plan.target_region_vector(r))
+        .collect();
+    let mut rank_schedules: Vec<ProportionalSchedule> = (0..regions)
+        .map(|s| ProportionalSchedule::new(plan.rank_capacity_in_region(s)))
+        .collect();
+
+    // For my local neurons: (target region, target rank), in neuron order.
+    let mut my_targets: Vec<(u16, u16)> = Vec::with_capacity(n_local_neurons);
+    let total_cores = plan.total_cores();
+    for core in 0..total_cores {
+        let r = plan.region_of_core(core);
+        let base = ((core - plan.region_block(r).start) as usize) * CORE_NEURONS;
+        let local = my_block.contains(&core);
+        for j in 0..CORE_NEURONS {
+            let s = target_vectors[r][base + j] as usize;
+            let dst_rank = rank_schedules[s].assign_next();
+            if local {
+                my_targets.push((s as u16, dst_rank as u16));
+            }
+        }
+    }
+    debug_assert_eq!(my_targets.len(), n_local_neurons);
+
+    // ---- Step 2: request exchange -------------------------------------
+    // requests[dst] = ordered region ids this rank asks dst to serve.
+    let mut requests: Vec<Vec<u8>> = (0..world).map(|_| Vec::new()).collect();
+    for &(s, dst) in &my_targets {
+        requests[dst as usize].extend_from_slice(&s.to_le_bytes());
+    }
+    let mut stats = WiringStats {
+        requests_out: n_local_neurons as u64,
+        ..WiringStats::default()
+    };
+    stats.bytes_out += requests.iter().map(|b| b.len() as u64).sum::<u64>();
+    let incoming = ctx.comm().alltoallv(requests);
+
+    // ---- Step 3: allocation from local pools --------------------------
+    // Per region: round-robin core schedule over my cores in that region.
+    // Per local core: next free axon counter.
+    let my_cores: Vec<u64> = my_block.clone().collect();
+    let mut free_axon: Vec<u16> = vec![0; my_cores.len()];
+    // Per region: rotating cursor over my cores in that region. All cores
+    // have equal axon capacity, so round-robin is exactly proportional and
+    // keeps incoming connections diffuse across cores.
+    let mut region_pools: Vec<RoundRobinPool> = (0..regions)
+        .map(|s| {
+            let block = plan.region_block(s);
+            RoundRobinPool::new(
+                (0..my_cores.len())
+                    .filter(|&i| block.contains(&my_cores[i]))
+                    .collect(),
+            )
+        })
+        .collect();
+    let mut delay_prng = CorePrng::from_seed(plan.object.params.seed ^ 0xDE1A ^ me as u64);
+
+    let mut replies: Vec<Vec<u8>> = (0..world).map(|_| Vec::new()).collect();
+    for (src, reqs) in incoming.iter().enumerate() {
+        assert!(reqs.len() % 2 == 0, "misaligned request payload");
+        let reply = &mut replies[src];
+        reply.reserve(reqs.len() / 2 * REPLY_BYTES);
+        for chunk in reqs.chunks_exact(2) {
+            let s = u16::from_le_bytes([chunk[0], chunk[1]]) as usize;
+            assert!(s < regions, "request for unknown region {s}");
+            let core_idx = region_pools[s].next(&free_axon);
+            let core = my_cores[core_idx];
+            let axon = free_axon[core_idx];
+            assert!(
+                (axon as usize) < CORE_AXONS,
+                "axon pool of core {core} oversubscribed"
+            );
+            free_axon[core_idx] += 1;
+            let delay = 1 + delay_prng.next_below(MAX_DELAY) as u8;
+            reply.extend_from_slice(&core.to_le_bytes());
+            reply.extend_from_slice(&axon.to_le_bytes());
+            reply.push(delay);
+            reply.push(0);
+            stats.requests_in += 1;
+        }
+    }
+    stats.bytes_out += replies.iter().map(|b| b.len() as u64).sum::<u64>();
+    let granted = ctx.comm().alltoallv(replies);
+
+    // ---- Step 4: fill neuron targets -----------------------------------
+    let mut cursors = vec![0usize; world];
+    let mut configs: Vec<CoreConfig> = my_cores
+        .iter()
+        .map(|&c| crate::genesis::generate_core(plan, c))
+        .collect();
+    for (n, &(_, dst)) in my_targets.iter().enumerate() {
+        let dst = dst as usize;
+        let at = cursors[dst];
+        let rec = &granted[dst][at..at + REPLY_BYTES];
+        cursors[dst] = at + REPLY_BYTES;
+        let core = u64::from_le_bytes(rec[0..8].try_into().expect("record width"));
+        let axon = u16::from_le_bytes(rec[8..10].try_into().expect("record width"));
+        let delay = rec[10];
+        let target = SpikeTarget::new(core, axon, delay);
+        configs[n / CORE_NEURONS].neurons[n % CORE_NEURONS].target = Some(target);
+    }
+    for (dst, &cur) in cursors.iter().enumerate() {
+        assert_eq!(
+            cur,
+            granted[dst].len(),
+            "unconsumed grants from rank {dst}"
+        );
+    }
+
+    (configs, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coreobject::{CoreObject, RegionClass, RegionSpec};
+    use crate::layout::plan;
+    use compass_comm::{World, WorldConfig};
+    use std::collections::HashSet;
+
+    fn test_object() -> CoreObject {
+        let mut obj = CoreObject::new(21);
+        obj.params.synapse_density = 0.06;
+        let a = obj.add_region(RegionSpec {
+            name: "A".into(),
+            class: RegionClass::Cortical,
+            volume: 2.0,
+            intra: 0.4,
+            drive_period: 60,
+        });
+        let b = obj.add_region(RegionSpec {
+            name: "B".into(),
+            class: RegionClass::Thalamic,
+            volume: 1.0,
+            intra: 0.2,
+            drive_period: 0,
+        });
+        obj.connect(a, b, 1.0);
+        obj.connect(b, a, 1.0);
+        obj
+    }
+
+    fn wire_world(cores: u64, ranks: usize) -> Vec<(Vec<CoreConfig>, WiringStats)> {
+        let obj = test_object();
+        World::run(WorldConfig::flat(ranks), move |ctx| {
+            let p = plan(&obj, cores, ctx.world_size()).unwrap();
+            wire(ctx, &p)
+        })
+    }
+
+    #[test]
+    fn every_neuron_gets_a_target() {
+        for ranks in [1usize, 2, 3] {
+            let out = wire_world(6, ranks);
+            for (configs, _) in &out {
+                for cfg in configs {
+                    assert!(cfg.neurons.iter().all(|n| n.target.is_some()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_axon_used_exactly_once_globally() {
+        for ranks in [1usize, 2, 4] {
+            let out = wire_world(8, ranks);
+            let mut seen: HashSet<(u64, u16)> = HashSet::new();
+            let mut total = 0usize;
+            for (configs, _) in &out {
+                for cfg in configs {
+                    for n in &cfg.neurons {
+                        let t = n.target.unwrap();
+                        assert!(
+                            seen.insert((t.core, t.axon)),
+                            "axon ({}, {}) double-allocated",
+                            t.core,
+                            t.axon
+                        );
+                        total += 1;
+                    }
+                }
+            }
+            // 8 cores × 256 neurons = 2048 connections onto 2048 axons.
+            assert_eq!(total, 8 * 256, "ranks={ranks}");
+            assert_eq!(seen.len(), 8 * 256);
+        }
+    }
+
+    #[test]
+    fn targets_stay_inside_the_model() {
+        let out = wire_world(6, 2);
+        for (configs, _) in &out {
+            for cfg in configs {
+                for n in &cfg.neurons {
+                    let t = n.target.unwrap();
+                    assert!(t.core < 6);
+                    assert!((1..=15).contains(&t.delay));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wiring_is_deterministic_for_fixed_world() {
+        let a = wire_world(6, 2);
+        let b = wire_world(6, 2);
+        for ((ca, _), (cb, _)) in a.iter().zip(&b) {
+            for (x, y) in ca.iter().zip(cb) {
+                assert_eq!(x.neurons, y.neurons);
+                assert_eq!(x.crossbar, y.crossbar);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_account_all_connections() {
+        let out = wire_world(6, 3);
+        let requests_out: u64 = out.iter().map(|(_, s)| s.requests_out).sum();
+        let requests_in: u64 = out.iter().map(|(_, s)| s.requests_in).sum();
+        assert_eq!(requests_out, 6 * 256);
+        assert_eq!(requests_in, 6 * 256);
+    }
+
+    #[test]
+    fn realized_connections_match_planned_counts_exactly() {
+        // The wired connection counts per region pair must equal the plan's
+        // integerized matrix (which IPFP has *re-normalized* away from the
+        // raw intra spec — the effect the paper's Fig. 3 visualizes).
+        let out = wire_world(12, 2);
+        let obj = test_object();
+        let p = plan(&obj, 12, 2).unwrap();
+        let regions = p.regions();
+        let mut realized = vec![0u64; regions * regions];
+        for (configs, _) in &out {
+            for cfg in configs {
+                let r = p.region_of_core(cfg.id);
+                for n in &cfg.neurons {
+                    let t = n.target.unwrap();
+                    let s = p.region_of_core(t.core);
+                    realized[r * regions + s] += 1;
+                }
+            }
+        }
+        assert_eq!(realized, p.conn_counts);
+    }
+}

@@ -1,0 +1,530 @@
+//! The primitive circuit library.
+//!
+//! Each block allocates its resources through a [`CircuitBuilder`] and
+//! returns a [`Block`]: the input axons spikes should be routed to and the
+//! output neurons left for the caller to [`CircuitBuilder::connect`]
+//! onward. Blocks compose by connecting outputs to inputs — the paper's
+//! "instantiating and connecting regions of functional primitives".
+//!
+//! The catalogue (all single-core except the delay line):
+//!
+//! | block | function | mechanism |
+//! |---|---|---|
+//! | [`relay`] | identity | diagonal crossbar, threshold 1 |
+//! | [`splitter`] | 1 → k copies | one axon row fanning out to k neurons |
+//! | [`merger`] | k → 1 OR | k axons on one neuron, threshold 1 |
+//! | [`delay_line`] | delay ≫ 15 | chained relays, hop delays summing to D |
+//! | [`pacemaker`] | periodic source | +1 leak, threshold = period |
+//! | [`coincidence_gate`] | k-of-n same-tick | negative leak folds the margin |
+//! | [`winner_take_all`] | rate competition | mirror neurons driving a shared inhibitory axon |
+
+use crate::builder::{CircuitBuilder, InputPort, OutputPort};
+use tn_core::{NeuronConfig, ResetMode};
+
+/// A wired primitive: where to send spikes in, and the neurons that carry
+/// the result out (unconnected until the caller routes them).
+#[derive(Debug)]
+pub struct Block {
+    /// Input axons, in block-defined order.
+    pub inputs: Vec<InputPort>,
+    /// Output neurons, in block-defined order.
+    pub outputs: Vec<OutputPort>,
+}
+
+fn relay_neuron() -> NeuronConfig {
+    NeuronConfig {
+        weights: [1, 0, 0, 0],
+        threshold: 1,
+        ..NeuronConfig::default()
+    }
+}
+
+/// `width` independent pass-through channels on a fresh core: a spike into
+/// input `i` fires output `i` the same tick.
+///
+/// # Panics
+/// Panics if `width` is 0 or exceeds 256.
+pub fn relay(b: &mut CircuitBuilder, width: usize) -> Block {
+    assert!((1..=256).contains(&width), "relay width {width}");
+    let core = b.packed_core(width, width);
+    let mut inputs = Vec::with_capacity(width);
+    let mut outputs = Vec::with_capacity(width);
+    for _ in 0..width {
+        let axon = b.alloc_axon(core, 0);
+        let neuron = b.alloc_neuron(core, relay_neuron());
+        b.synapse(axon, &neuron);
+        inputs.push(axon);
+        outputs.push(neuron);
+    }
+    Block { inputs, outputs }
+}
+
+/// One input fanned out to `k` identical outputs, all firing on the tick
+/// the input arrives — fan-out the hardware way, through one crossbar row.
+///
+/// # Panics
+/// Panics if `k` is 0 or exceeds 256.
+pub fn splitter(b: &mut CircuitBuilder, k: usize) -> Block {
+    assert!((1..=256).contains(&k), "splitter fan-out {k}");
+    let core = b.packed_core(k, 1);
+    let axon = b.alloc_axon(core, 0);
+    let outputs: Vec<OutputPort> = (0..k)
+        .map(|_| {
+            let n = b.alloc_neuron(core, relay_neuron());
+            b.synapse(axon, &n);
+            n
+        })
+        .collect();
+    Block {
+        inputs: vec![axon],
+        outputs,
+    }
+}
+
+/// `k` inputs ORed onto one output: the output fires on any tick in which
+/// at least one input spike arrives (coincident inputs merge into one
+/// output spike, as in hardware).
+///
+/// # Panics
+/// Panics if `k` is 0 or exceeds 256.
+pub fn merger(b: &mut CircuitBuilder, k: usize) -> Block {
+    assert!((1..=256).contains(&k), "merger arity {k}");
+    let core = b.packed_core(1, k);
+    let neuron = b.alloc_neuron(core, relay_neuron());
+    let inputs: Vec<InputPort> = (0..k)
+        .map(|_| {
+            let a = b.alloc_axon(core, 0);
+            b.synapse(a, &neuron);
+            a
+        })
+        .collect();
+    Block {
+        inputs,
+        outputs: vec![neuron],
+    }
+}
+
+/// A delay of exactly `delay` ticks between the input spike's arrival and
+/// the output neuron's fire — beyond the architecture's 15-tick axonal
+/// maximum, by chaining relay hops whose delays sum to `delay`.
+///
+/// # Panics
+/// Panics if `delay` is 0 (use a plain relay).
+pub fn delay_line(b: &mut CircuitBuilder, delay: u32) -> Block {
+    assert!(delay >= 1, "zero delay is a relay");
+    // Hop delays: as many 15s as fit, one remainder, each 1..=15.
+    let mut hops = Vec::new();
+    let mut left = delay;
+    while left > 0 {
+        let d = left.min(15);
+        hops.push(d as u8);
+        left -= d;
+    }
+    // hops.len() hops need hops.len() + 1 relays; the first fires at the
+    // input tick, each hop adds its axonal delay.
+    let first = relay(b, 1);
+    let input = first.inputs[0];
+    let mut out = first.outputs.into_iter().next().expect("one output");
+    for hop in hops {
+        let next = relay(b, 1);
+        b.connect(out, next.inputs[0], hop);
+        out = next.outputs.into_iter().next().expect("one output");
+    }
+    Block {
+        inputs: vec![input],
+        outputs: vec![out],
+    }
+}
+
+/// A free-running periodic source: fires every `period` ticks, first at
+/// tick `period - phase` (so `phase` staggers populations).
+///
+/// # Panics
+/// Panics if `period < 2` or `phase >= period`.
+pub fn pacemaker(b: &mut CircuitBuilder, period: u32, phase: u32) -> Block {
+    assert!(period >= 2, "period must be at least 2 ticks");
+    assert!(phase < period, "phase {phase} outside period {period}");
+    let core = b.packed_core(1, 0);
+    let neuron = b.alloc_neuron(
+        core,
+        NeuronConfig {
+            weights: [0; 4],
+            leak: 1,
+            threshold: period as i32,
+            reset: ResetMode::Absolute(0),
+            floor: 0,
+            initial_potential: phase as i32,
+            ..NeuronConfig::default()
+        },
+    );
+    Block {
+        inputs: Vec::new(),
+        outputs: vec![neuron],
+    }
+}
+
+/// A `k`-of-`n` same-tick coincidence gate: the output fires exactly on
+/// ticks where at least `k` of the `n` inputs deliver spikes. Sub-threshold
+/// evidence does **not** accumulate across ticks (a negative leak clears it
+/// against a floor of 0).
+///
+/// # Panics
+/// Panics unless `1 <= k <= n <= 256`.
+pub fn coincidence_gate(b: &mut CircuitBuilder, k: usize, n: usize) -> Block {
+    assert!(k >= 1 && k <= n && n <= 256, "bad gate shape {k}-of-{n}");
+    let core = b.packed_core(1, n);
+    // The leak applies before the threshold test: with leak -(k-1) and
+    // threshold 1, a tick with s input spikes fires iff s - (k-1) >= 1,
+    // i.e. s >= k; and any sub-threshold residue is <= 0, clamped to 0.
+    let neuron = b.alloc_neuron(
+        core,
+        NeuronConfig {
+            weights: [1, 0, 0, 0],
+            leak: -((k as i16) - 1),
+            threshold: 1,
+            floor: 0,
+            ..NeuronConfig::default()
+        },
+    );
+    let inputs: Vec<InputPort> = (0..n)
+        .map(|_| {
+            let a = b.alloc_axon(core, 0);
+            b.synapse(a, &neuron);
+            a
+        })
+        .collect();
+    Block {
+        inputs,
+        outputs: vec![neuron],
+    }
+}
+
+/// A rate divider: the output fires once per `k` input spikes, with exact
+/// long-run bookkeeping — the linear reset (subtract threshold, keep the
+/// residue) means no input is ever lost to a reset, so an input train of
+/// `m` spikes yields exactly `⌊m/k⌋` outputs regardless of their timing.
+/// This is the rate-coded arithmetic primitive behind spike-count
+/// normalization stages.
+///
+/// # Panics
+/// Panics if `k` is 0 or exceeds 255.
+pub fn rate_divider(b: &mut CircuitBuilder, k: u32) -> Block {
+    assert!((1..=255).contains(&k), "divider ratio {k}");
+    let core = b.packed_core(1, 1);
+    let neuron = b.alloc_neuron(
+        core,
+        NeuronConfig {
+            weights: [1, 0, 0, 0],
+            threshold: k as i32,
+            reset: ResetMode::Linear,
+            floor: 0,
+            ..NeuronConfig::default()
+        },
+    );
+    let input = b.alloc_axon(core, 0);
+    b.synapse(input, &neuron);
+    Block {
+        inputs: vec![input],
+        outputs: vec![neuron],
+    }
+}
+
+/// Soft winner-take-all over `n` rate-coded channels. Every input spike
+/// (relayed by a per-channel mirror neuron, since a neuron has only one
+/// target) drives a **shared** inhibitory axon one tick later, so all
+/// competitors pay for the population's total activity while each gains
+/// only from its own input — the classic excitation-minus-pooled-
+/// inhibition competition. A channel fires only when its own rate
+/// outruns the pooled inhibition; under sustained inputs the highest-rate
+/// channel dominates the output spike count and starves the rest.
+///
+/// # Panics
+/// Panics unless `2 <= n <= 85` (three resources per channel on one core).
+pub fn winner_take_all(b: &mut CircuitBuilder, n: usize) -> Block {
+    assert!((2..=85).contains(&n), "WTA arity {n}");
+    let core = b.packed_core(2 * n, n + 1);
+    // Shared inhibitory axon: type 1; every competitor weighs it -1.
+    let inhibit = b.alloc_axon(core, 1);
+    let mut inputs = Vec::with_capacity(n);
+    let mut outputs = Vec::with_capacity(n);
+    // Integrate-to-threshold: +3 per own spike, -1 per population spike,
+    // threshold 4 — a channel must out-pace the pooled inhibition by
+    // enough to climb four units.
+    let competitor = NeuronConfig {
+        weights: [3, -1, 0, 0],
+        leak: 0,
+        threshold: 4,
+        floor: -4,
+        ..NeuronConfig::default()
+    };
+    for _ in 0..n {
+        let input = b.alloc_axon(core, 0);
+        let out = b.alloc_neuron(core, competitor.clone());
+        let mirror = b.alloc_neuron(core, relay_neuron());
+        b.synapse(input, &out);
+        b.synapse(input, &mirror);
+        // The winner's mirror inhibits everyone (including itself) next
+        // tick; wiring the mirror off the *input* rather than the output
+        // keeps the output port free for the caller.
+        b.synapse(inhibit, &out);
+        b.connect(mirror, inhibit, 1);
+        inputs.push(input);
+        outputs.push(out);
+    }
+    Block { inputs, outputs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compass_comm::WorldConfig;
+    use compass_sim::{run, Backend, EngineConfig};
+    use tn_core::Spike;
+
+    /// Routes every output to a fresh sink core and runs the model; returns
+    /// the (tick, sink axon) pairs of output spikes.
+    fn run_observed(
+        mut b: CircuitBuilder,
+        outputs: Vec<OutputPort>,
+        ticks: u32,
+    ) -> Vec<(u32, u16)> {
+        let sink = b.add_core();
+        let sink_id = sink;
+        for out in outputs {
+            let tap = b.alloc_axon(sink, 0);
+            b.connect(out, tap, 1);
+        }
+        let model = b.finish();
+        let report = run(
+            &model,
+            WorldConfig::flat(1),
+            &EngineConfig {
+                ticks,
+                backend: Backend::Mpi,
+                record_trace: true,
+                ..EngineConfig::default()
+            },
+        )
+        .expect("primitive circuits are valid");
+        report
+            .sorted_trace()
+            .iter()
+            .filter(|s: &&Spike| s.target.core == sink_id)
+            .map(|s| (s.fired_at, s.target.axon))
+            .collect()
+    }
+
+    #[test]
+    fn relay_passes_through_same_tick() {
+        let mut b = CircuitBuilder::new(1);
+        let block = relay(&mut b, 3);
+        b.inject(block.inputs[0], 2);
+        b.inject(block.inputs[2], 4);
+        let spikes = run_observed(b, block.outputs, 10);
+        assert_eq!(spikes, vec![(2, 0), (4, 2)]);
+    }
+
+    #[test]
+    fn splitter_duplicates() {
+        let mut b = CircuitBuilder::new(1);
+        let block = splitter(&mut b, 4);
+        b.inject(block.inputs[0], 3);
+        let spikes = run_observed(b, block.outputs, 10);
+        assert_eq!(spikes, vec![(3, 0), (3, 1), (3, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn merger_ors_inputs() {
+        let mut b = CircuitBuilder::new(1);
+        let block = merger(&mut b, 3);
+        b.inject(block.inputs[0], 2);
+        b.inject(block.inputs[1], 2); // coincident: merges into one output
+        b.inject(block.inputs[2], 5);
+        let spikes = run_observed(b, block.outputs, 10);
+        assert_eq!(spikes, vec![(2, 0), (5, 0)]);
+    }
+
+    #[test]
+    fn delay_line_hits_exact_delay() {
+        for delay in [1u32, 7, 15, 16, 31, 40] {
+            let mut b = CircuitBuilder::new(1);
+            let block = delay_line(&mut b, delay);
+            b.inject(block.inputs[0], 2);
+            let spikes = run_observed(b, block.outputs, delay + 10);
+            assert_eq!(spikes, vec![(2 + delay, 0)], "delay {delay}");
+        }
+    }
+
+    #[test]
+    fn pacemaker_fires_on_schedule() {
+        let mut b = CircuitBuilder::new(1);
+        let block = pacemaker(&mut b, 10, 3);
+        let spikes = run_observed(b, block.outputs, 35);
+        // Fires when potential reaches 10 starting from 3: ticks 6, 16, 26.
+        let ticks: Vec<u32> = spikes.iter().map(|&(t, _)| t).collect();
+        assert_eq!(ticks, vec![6, 16, 26]);
+    }
+
+    #[test]
+    fn coincidence_gate_counts_same_tick_only() {
+        let mut b = CircuitBuilder::new(1);
+        let block = coincidence_gate(&mut b, 3, 5);
+        // tick 2: 3 coincident -> fire; tick 5: 2 only -> no fire;
+        // tick 6: 1 more (would make 3 if accumulated) -> still no fire;
+        // tick 8: all 5 -> fire.
+        for i in 0..3 {
+            b.inject(block.inputs[i], 2);
+        }
+        for i in 0..2 {
+            b.inject(block.inputs[i], 5);
+        }
+        b.inject(block.inputs[2], 6);
+        for i in 0..5 {
+            b.inject(block.inputs[i], 8);
+        }
+        let spikes = run_observed(b, block.outputs, 15);
+        let ticks: Vec<u32> = spikes.iter().map(|&(t, _)| t).collect();
+        assert_eq!(ticks, vec![2, 8]);
+    }
+
+    #[test]
+    fn one_of_n_gate_degenerates_to_merger() {
+        let mut b = CircuitBuilder::new(1);
+        let block = coincidence_gate(&mut b, 1, 3);
+        b.inject(block.inputs[1], 4);
+        let spikes = run_observed(b, block.outputs, 10);
+        assert_eq!(spikes, vec![(4, 0)]);
+    }
+
+    #[test]
+    fn rate_divider_counts_exactly() {
+        let mut b = CircuitBuilder::new(1);
+        let block = rate_divider(&mut b, 3);
+        // 10 input spikes at irregular times -> exactly floor(10/3) = 3
+        // outputs, with the residue of 1 carried, never discarded.
+        for &t in &[2u32, 3, 4, 9, 10, 11, 12, 20, 31, 32] {
+            b.inject(block.inputs[0], t);
+        }
+        let spikes = run_observed(b, block.outputs, 40);
+        assert_eq!(spikes.len(), 3, "{spikes:?}");
+        // The third/sixth/ninth input triggers each output: ticks 4, 11, 31.
+        let ticks: Vec<u32> = spikes.iter().map(|&(t, _)| t).collect();
+        assert_eq!(ticks, vec![4, 11, 31]);
+    }
+
+    #[test]
+    fn rate_divider_by_one_is_a_relay() {
+        let mut b = CircuitBuilder::new(1);
+        let block = rate_divider(&mut b, 1);
+        b.inject(block.inputs[0], 5);
+        let spikes = run_observed(b, block.outputs, 10);
+        assert_eq!(spikes, vec![(5, 0)]);
+    }
+
+    #[test]
+    fn rate_divider_handles_bursts() {
+        // A same-tick burst of 7 spikes through /2: coincident inputs on
+        // one axon merge in the delay buffer (hardware semantics), so a
+        // burst from ONE axon is one spike; use 7 axons via a merger-less
+        // direct wiring: here we verify the single-axon merge semantics.
+        let mut b = CircuitBuilder::new(1);
+        let block = rate_divider(&mut b, 2);
+        for _ in 0..7 {
+            b.inject(block.inputs[0], 4); // merges into a single delivery
+        }
+        b.inject(block.inputs[0], 6);
+        let spikes = run_observed(b, block.outputs, 12);
+        // Two deliveries total (ticks 4 and 6) -> one output at tick 6.
+        assert_eq!(spikes, vec![(6, 0)]);
+    }
+
+    #[test]
+    fn winner_take_all_favors_the_faster_channel() {
+        let mut b = CircuitBuilder::new(1);
+        let block = winner_take_all(&mut b, 3);
+        // Channel 0 at ~2x the rate of channel 1; channel 2 silent.
+        for t in (2..60).step_by(3) {
+            b.inject(block.inputs[0], t);
+        }
+        for t in (2..60).step_by(6) {
+            b.inject(block.inputs[1], t);
+        }
+        let spikes = run_observed(b, block.outputs, 70);
+        let count = |axon: u16| spikes.iter().filter(|&&(_, a)| a == axon).count();
+        let (c0, c1, c2) = (count(0), count(1), count(2));
+        assert!(c0 > 0, "winner must fire");
+        assert!(c0 > 2 * c1, "winner should dominate: {c0} vs {c1}");
+        assert_eq!(c2, 0, "silent channel stays silent");
+    }
+
+    #[test]
+    fn blocks_compose_pacemaker_splitter_gate() {
+        // A pacemaker through a splitter into a 2-of-2 gate: the gate sees
+        // two copies of every pacemaker spike and fires every period.
+        let mut b = CircuitBuilder::new(1);
+        let clock = pacemaker(&mut b, 8, 0);
+        let split = splitter(&mut b, 2);
+        let gate = coincidence_gate(&mut b, 2, 2);
+        let clock_out = clock.outputs.into_iter().next().unwrap();
+        b.connect(clock_out, split.inputs[0], 1);
+        let mut outs = split.outputs.into_iter();
+        b.connect(outs.next().unwrap(), gate.inputs[0], 1);
+        b.connect(outs.next().unwrap(), gate.inputs[1], 1);
+        let spikes = run_observed(b, gate.outputs, 30);
+        let ticks: Vec<u32> = spikes.iter().map(|&(t, _)| t).collect();
+        // The pacemaker's leak makes its potential t+1 at tick t, so it
+        // first fires at tick 7 and every 8 thereafter (7, 15, 23); the
+        // splitter fires one hop later (8, 16, 24) and the gate one more
+        // (9, 17, 25).
+        assert_eq!(ticks, vec![9, 17, 25]);
+    }
+
+    #[test]
+    fn small_blocks_pack_onto_shared_cores() {
+        let mut b = CircuitBuilder::new(1);
+        // 40 pacemakers + 40 dividers: 80 neurons, 40 axons — all of it
+        // fits one core under the packing allocator.
+        for i in 0..40 {
+            let _ = pacemaker(&mut b, 10 + i, 0);
+            let _ = rate_divider(&mut b, 2);
+        }
+        assert_eq!(b.cores(), 1, "packing failed: {} cores", b.cores());
+        let model = b.finish();
+        model.validate().unwrap();
+    }
+
+    #[test]
+    fn packed_blocks_behave_like_isolated_ones() {
+        // Two gates sharing a core must not interfere.
+        let mut b = CircuitBuilder::new(1);
+        let g1 = coincidence_gate(&mut b, 2, 2);
+        let g2 = coincidence_gate(&mut b, 2, 2);
+        assert_eq!(b.cores(), 1, "gates should share the core");
+        b.inject(g1.inputs[0], 3);
+        b.inject(g1.inputs[1], 3); // g1 fires at 3
+        b.inject(g2.inputs[0], 5); // g2 sees only one input: silent
+        let mut outs = g1.outputs;
+        outs.extend(g2.outputs);
+        let spikes = run_observed(b, outs, 10);
+        assert_eq!(spikes.len(), 1);
+        assert_eq!(spikes[0].0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "WTA arity")]
+    fn wta_arity_bounds() {
+        let mut b = CircuitBuilder::new(1);
+        winner_take_all(&mut b, 1);
+    }
+
+    #[test]
+    fn primitive_blocks_validate_against_hardware_limits() {
+        let mut b = CircuitBuilder::new(1);
+        let _ = relay(&mut b, 256);
+        let _ = splitter(&mut b, 256);
+        let _ = merger(&mut b, 256);
+        let _ = winner_take_all(&mut b, 85);
+        let model = b.finish();
+        assert_eq!(model.total_cores(), 4);
+    }
+}

@@ -1,0 +1,278 @@
+//! Circuit construction: neuron/axon allocation and cross-core wiring.
+//!
+//! The builder owns a growing set of cores and hands out *ports*:
+//!
+//! * an [`InputPort`] is a core axon — something spikes can be sent *to*
+//!   (from another neuron, or from outside as sensory input);
+//! * an [`OutputPort`] is a core neuron — something that fires and whose
+//!   single hardware target can be pointed at exactly one input port.
+//!
+//! The architecture's constraints are enforced at build time: a neuron
+//! connects to at most one axon ([`CircuitBuilder::connect`] consumes the
+//! output port), cores hold at most 256 of each resource, and delays stay
+//! in 1..=15. Fan-out is expressed the hardware way — through the target
+//! core's crossbar row — which the [`crate::blocks::splitter`] block wraps.
+
+use compass_sim::NetworkModel;
+use tn_core::{CoreConfig, CoreId, NeuronConfig, SpikeTarget, CORE_AXONS, CORE_NEURONS};
+
+/// A core axon that can receive spikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InputPort {
+    /// Core owning the axon.
+    pub core: CoreId,
+    /// Axon index.
+    pub axon: u16,
+}
+
+/// A core neuron whose target is not yet assigned. Consumed by
+/// [`CircuitBuilder::connect`] — a TrueNorth neuron has exactly one target.
+#[derive(Debug, PartialEq, Eq, Hash)]
+pub struct OutputPort {
+    /// Core owning the neuron.
+    pub core: CoreId,
+    /// Neuron index.
+    pub neuron: u16,
+}
+
+/// Incremental builder for multi-core circuits.
+#[derive(Debug, Default)]
+pub struct CircuitBuilder {
+    cores: Vec<CoreConfig>,
+    next_neuron: Vec<u16>,
+    next_axon: Vec<u16>,
+    seed: u64,
+    external_inputs: Vec<(CoreId, u16, u32)>,
+}
+
+impl CircuitBuilder {
+    /// A fresh builder; `seed` feeds every core's PRNG.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Adds an empty core and returns its id.
+    pub fn add_core(&mut self) -> CoreId {
+        let id = self.cores.len() as CoreId;
+        self.cores.push(CoreConfig::blank(id, self.seed));
+        self.next_neuron.push(0);
+        self.next_axon.push(0);
+        id
+    }
+
+    /// Returns a core with at least `neurons` free neurons and `axons`
+    /// free axons, reusing the most recent core when it has room and
+    /// opening a new one otherwise — the packing allocator that lets many
+    /// small blocks share cores instead of wasting 256-neuron cores on
+    /// 3-neuron circuits (the circuit-level analogue of the compiler's
+    /// "as few processes as necessary").
+    ///
+    /// # Panics
+    /// Panics if a single core cannot satisfy the request.
+    pub fn packed_core(&mut self, neurons: usize, axons: usize) -> CoreId {
+        assert!(
+            neurons <= CORE_NEURONS && axons <= CORE_AXONS,
+            "request ({neurons} neurons, {axons} axons) exceeds a core"
+        );
+        if let Some(last) = self.cores.len().checked_sub(1) {
+            let id = last as CoreId;
+            if self.free_neurons(id) >= neurons && self.free_axons(id) >= axons {
+                return id;
+            }
+        }
+        self.add_core()
+    }
+
+    /// Number of cores so far.
+    pub fn cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Remaining free neurons on `core`.
+    pub fn free_neurons(&self, core: CoreId) -> usize {
+        CORE_NEURONS - usize::from(self.next_neuron[core as usize])
+    }
+
+    /// Remaining free axons on `core`.
+    pub fn free_axons(&self, core: CoreId) -> usize {
+        CORE_AXONS - usize::from(self.next_axon[core as usize])
+    }
+
+    /// Allocates the next free neuron on `core` with the given dynamics.
+    ///
+    /// # Panics
+    /// Panics if the core's 256 neurons are exhausted.
+    pub fn alloc_neuron(&mut self, core: CoreId, config: NeuronConfig) -> OutputPort {
+        let idx = self.next_neuron[core as usize];
+        assert!(
+            usize::from(idx) < CORE_NEURONS,
+            "core {core} has no free neurons"
+        );
+        self.next_neuron[core as usize] = idx + 1;
+        self.cores[core as usize].neurons[usize::from(idx)] = config;
+        OutputPort { core, neuron: idx }
+    }
+
+    /// Allocates the next free axon on `core` with axon type `ty`.
+    ///
+    /// # Panics
+    /// Panics if the core's 256 axons are exhausted or `ty >= 4`.
+    pub fn alloc_axon(&mut self, core: CoreId, ty: u8) -> InputPort {
+        assert!(usize::from(ty) < tn_core::AXON_TYPES, "bad axon type {ty}");
+        let idx = self.next_axon[core as usize];
+        assert!(
+            usize::from(idx) < CORE_AXONS,
+            "core {core} has no free axons"
+        );
+        self.next_axon[core as usize] = idx + 1;
+        self.cores[core as usize].axon_types[usize::from(idx)] = ty;
+        InputPort { core, axon: idx }
+    }
+
+    /// Sets the crossbar bit connecting `input`'s axon to `neuron` —
+    /// both must live on the same core (that is what a crossbar *is*).
+    ///
+    /// # Panics
+    /// Panics on a cross-core synapse.
+    pub fn synapse(&mut self, input: InputPort, neuron: &OutputPort) {
+        assert_eq!(
+            input.core, neuron.core,
+            "synapses are intra-core; route spikes between cores instead"
+        );
+        self.cores[input.core as usize].crossbar.set(
+            usize::from(input.axon),
+            usize::from(neuron.neuron),
+            true,
+        );
+    }
+
+    /// Points `from`'s hardware target at `to`, with `delay` ticks —
+    /// consuming the output port, because a neuron targets exactly one
+    /// axon. Cross-core or same-core both work.
+    pub fn connect(&mut self, from: OutputPort, to: InputPort, delay: u8) {
+        self.cores[from.core as usize].neurons[usize::from(from.neuron)].target =
+            Some(SpikeTarget::new(to.core, to.axon, delay));
+    }
+
+    /// Schedules an external ("sensory") spike into `port` at `tick`.
+    pub fn inject(&mut self, port: InputPort, tick: u32) {
+        self.external_inputs.push((port.core, port.axon, tick));
+    }
+
+    /// Finishes the circuit, validating every core.
+    ///
+    /// # Panics
+    /// Panics if any core fails validation — construction-time invariants
+    /// should have prevented that.
+    pub fn finish(self) -> NetworkModel {
+        let model = NetworkModel {
+            cores: self.cores,
+            initial_deliveries: self.external_inputs,
+        };
+        model.validate().expect("builder produced an invalid model");
+        model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compass_comm::WorldConfig;
+    use compass_sim::{run, Backend, EngineConfig};
+
+    #[test]
+    fn allocation_is_sequential_and_bounded() {
+        let mut b = CircuitBuilder::new(1);
+        let c = b.add_core();
+        let n0 = b.alloc_neuron(c, NeuronConfig::default());
+        let n1 = b.alloc_neuron(c, NeuronConfig::default());
+        assert_eq!(n0.neuron, 0);
+        assert_eq!(n1.neuron, 1);
+        let a0 = b.alloc_axon(c, 0);
+        assert_eq!(a0.axon, 0);
+        assert_eq!(b.free_neurons(c), 254);
+        assert_eq!(b.free_axons(c), 255);
+    }
+
+    #[test]
+    #[should_panic(expected = "no free neurons")]
+    fn neuron_exhaustion_panics() {
+        let mut b = CircuitBuilder::new(1);
+        let c = b.add_core();
+        for _ in 0..=CORE_NEURONS {
+            b.alloc_neuron(c, NeuronConfig::default());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "intra-core")]
+    fn cross_core_synapse_rejected() {
+        let mut b = CircuitBuilder::new(1);
+        let c0 = b.add_core();
+        let c1 = b.add_core();
+        let a = b.alloc_axon(c0, 0);
+        let n = b.alloc_neuron(c1, NeuronConfig::default());
+        b.synapse(a, &n);
+    }
+
+    #[test]
+    fn minimal_circuit_runs_end_to_end() {
+        // input axon -> neuron -> (other core) axon -> neuron.
+        let mut b = CircuitBuilder::new(7);
+        let c0 = b.add_core();
+        let c1 = b.add_core();
+        let in0 = b.alloc_axon(c0, 0);
+        let relay0 = b.alloc_neuron(
+            c0,
+            NeuronConfig {
+                threshold: 1,
+                ..Default::default()
+            },
+        );
+        b.synapse(in0, &relay0);
+        let in1 = b.alloc_axon(c1, 0);
+        let relay1 = b.alloc_neuron(
+            c1,
+            NeuronConfig {
+                threshold: 1,
+                ..Default::default()
+            },
+        );
+        b.synapse(in1, &relay1);
+        // relay1 loops back to c0 so its spike is observable in the trace.
+        let in_back = b.alloc_axon(c0, 0);
+        b.connect(relay0, in1, 2);
+        b.connect(relay1, in_back, 1);
+        b.inject(in0, 1);
+
+        let model = b.finish();
+        let report = run(
+            &model,
+            WorldConfig::flat(2),
+            &EngineConfig {
+                ticks: 10,
+                backend: Backend::Mpi,
+                record_trace: true,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let trace = report.sorted_trace();
+        // tick 1: relay0 fires (to c1, arrives t=3); tick 3: relay1 fires.
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].fired_at, 1);
+        assert_eq!(trace[0].target.core, c1);
+        assert_eq!(trace[1].fired_at, 3);
+        assert_eq!(trace[1].target.core, c0);
+    }
+
+    #[test]
+    fn finish_validates() {
+        let b = CircuitBuilder::new(0);
+        let model = b.finish(); // empty model is fine
+        assert_eq!(model.total_cores(), 0);
+    }
+}

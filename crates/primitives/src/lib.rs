@@ -1,0 +1,32 @@
+//! # Functional primitives on TrueNorth cores
+//!
+//! §IV of the Compass paper: *"To build applications for such large-scale
+//! TrueNorth networks, we envisage first implementing libraries of
+//! functional primitives that run on one or more interconnected TrueNorth
+//! cores. We can then build richer applications by instantiating and
+//! connecting regions of functional primitives."*
+//!
+//! This crate is that library, at its first rung:
+//!
+//! * [`builder::CircuitBuilder`] — allocation and wiring of neurons, axons,
+//!   and synapses across cores, producing a ready-to-simulate
+//!   [`compass_sim::NetworkModel`]. It enforces the architecture's rules
+//!   (one target per neuron, 256 axons/neurons per core, delays 1–15) at
+//!   construction time.
+//! * [`blocks`] — composable circuits built on the builder: relays,
+//!   splitters, mergers, long delay lines, pacemakers, coincidence gates,
+//!   and soft winner-take-all — the parts the paper's demonstrated
+//!   applications (classification, attention, optic flow) decompose into.
+//!
+//! Everything produced here runs unmodified on the Compass engine and
+//! inherits its equivalence guarantee: a circuit behaves identically under
+//! any rank/thread decomposition and both communication backends.
+
+pub mod blocks;
+pub mod builder;
+
+pub use blocks::{
+    coincidence_gate, delay_line, merger, pacemaker, rate_divider, relay, splitter,
+    winner_take_all, Block,
+};
+pub use builder::{CircuitBuilder, InputPort, OutputPort};

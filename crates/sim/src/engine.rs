@@ -1,0 +1,755 @@
+//! The Compass main simulation loop.
+//!
+//! This module is the Rust rendition of listing 1 in the paper. Each rank
+//! executes, per simulated tick:
+//!
+//! 1. **Synapse phase** — every thread drains the delay buffers of its
+//!    cores through the crossbars.
+//! 2. **Neuron phase** — every thread runs integrate-leak-fire for its
+//!    cores, pushing spikes for local cores into per-thread local buffers
+//!    and wire-encoding spikes for remote cores into per-thread,
+//!    per-destination buffers. The buffers are then aggregated per
+//!    destination and the master thread ships **one message per
+//!    destination process** (`MPI_Isend` in the paper).
+//! 3. **Network phase** — the master thread performs the
+//!    `MPI_Reduce_scatter` over the send flags to learn how many incoming
+//!    messages to expect, **overlapped** with the non-master threads
+//!    delivering the local spikes; then all threads take turns receiving
+//!    messages (receive inside a critical section — the paper works around
+//!    thread-safety issues in `MPI_Iprobe` the same way — delivery
+//!    outside it).
+//!
+//! The PGAS variant (§VII) replaces step 3's machinery: the master puts
+//! each destination buffer straight into the remote rank's window, one
+//! global barrier commits the epoch, and the incoming windows are drained —
+//! no Reduce-scatter, no tag matching.
+//!
+//! Two ablation switches reproduce the paper's design discussion:
+//! [`EngineConfig::aggregate`] (off = one message per spike) and
+//! [`EngineConfig::overlap`] (off = Reduce-scatter and local delivery run
+//! sequentially).
+
+use crate::partition::Partition;
+use crate::stats::{PhaseTimes, RankReport};
+use compass_comm::mailbox::Match;
+use compass_comm::{RankCtx, Tag};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+use tn_core::{CoreConfig, NeurosynapticCore, Spike};
+
+/// Which communication model drives the Network phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Two-sided aggregated sends + Reduce-scatter (paper §III).
+    Mpi,
+    /// One-sided puts + global barrier (paper §VII).
+    Pgas,
+}
+
+/// Tunable knobs of a simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Number of 1 ms ticks to simulate.
+    pub ticks: u32,
+    /// Communication backend.
+    pub backend: Backend,
+    /// Record every emitted spike in the rank report (for equivalence
+    /// checking; costs memory).
+    pub record_trace: bool,
+    /// Overlap the master's collective with worker-side local delivery
+    /// (paper default: on). Ablation: off = strictly sequential.
+    pub overlap: bool,
+    /// Aggregate all spikes for one destination rank into a single message
+    /// (paper default: on). Ablation: off = one message per spike.
+    pub aggregate: bool,
+    /// Record per-tick fire counts in the rank report (cheap; one counter
+    /// per tick) — the "studying TrueNorth dynamics" observability hook.
+    pub tick_stats: bool,
+    /// Serialize message receives through the team critical section, as
+    /// Compass must ("due to thread-safety issues in the MPI library",
+    /// §III — the Fig. 6 serial bottleneck). Off = concurrent receives,
+    /// which this crate's natively thread-safe mailbox permits; an
+    /// ablation of what a thread-safe MPI would have bought the paper.
+    pub critical_recv: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            ticks: 100,
+            backend: Backend::Mpi,
+            record_trace: false,
+            overlap: true,
+            aggregate: true,
+            tick_stats: false,
+            critical_recv: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A config simulating `ticks` ticks with the given backend and all
+    /// paper-default optimizations on.
+    pub fn new(ticks: u32, backend: Backend) -> Self {
+        Self {
+            ticks,
+            backend,
+            ..Self::default()
+        }
+    }
+}
+
+/// Spike-message tag for tick `t` (application tag space; the collective
+/// bit stays clear because ticks are `u32`).
+#[inline]
+fn tick_tag(t: u32) -> Tag {
+    Tag::from(t)
+}
+
+/// Per-thread spike staging buffers for one tick.
+#[derive(Default)]
+struct ThreadBufs {
+    /// Spikes whose target core lives on this rank.
+    local: Vec<Spike>,
+    /// Wire-encoded spikes per destination rank.
+    remote: Vec<Vec<u8>>,
+    /// Trace of all emitted spikes (only if recording).
+    trace: Vec<Spike>,
+}
+
+/// Runs the Compass main loop for one rank of a world.
+///
+/// `configs` are this rank's cores in global-id order (they must exactly
+/// fill `partition.block(ctx.rank())`); `initial_deliveries` are external
+/// ("sensory") spike injections `(core, axon, delivery_tick)` — they may
+/// mention any core at any tick ≥ 1 and are filtered to the local ones and
+/// injected just in time.
+///
+/// # Panics
+/// Panics on configuration inconsistencies (wrong core ids, invalid core
+/// parameters, tick-0 deliveries) — these indicate a compiler/model bug,
+/// not a runtime condition.
+pub fn run_rank(
+    ctx: &RankCtx,
+    partition: &Partition,
+    configs: Vec<CoreConfig>,
+    initial_deliveries: &[(u64, u16, u32)],
+    cfg: &EngineConfig,
+) -> RankReport {
+    let me = ctx.rank();
+    let world = ctx.world_size();
+    let block = partition.block(me);
+    assert_eq!(
+        configs.len() as u64,
+        block.end - block.start,
+        "rank {me}: config count does not fill partition block"
+    );
+
+    // Instantiate cores (the paper's PCC hands off to Compass the same way:
+    // compile, instantiate, free the compiler structures).
+    let mut memory_bytes = 0u64;
+    let cores: Vec<Mutex<NeurosynapticCore>> = configs
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| {
+            assert_eq!(c.id, block.start + i as u64, "core ids must be dense");
+            memory_bytes += c.memory_footprint() as u64;
+            Mutex::new(NeurosynapticCore::new(c).expect("invalid core config"))
+        })
+        .collect();
+    let n_local = cores.len();
+
+    // External input ("sensory") deliveries addressed to this rank, sorted
+    // by tick and injected just in time — a delay-buffer slot only becomes
+    // safe to write within MAX_DELAY ticks of its delivery, so inputs are
+    // fed to the cores at the start of their delivery tick.
+    let mut inputs: Vec<(u32, u64, u16)> = initial_deliveries
+        .iter()
+        .filter(|(core, _, _)| block.contains(core))
+        .map(|&(core, axon, tick)| {
+            assert!(tick >= 1, "external deliveries start at tick 1");
+            (tick, core, axon)
+        })
+        .collect();
+    inputs.sort_unstable();
+    let mut input_cursor = 0usize;
+
+    let team = ctx.team();
+    let threads = team.size();
+    let thread_bufs: Vec<Mutex<ThreadBufs>> = (0..threads)
+        .map(|_| {
+            Mutex::new(ThreadBufs {
+                local: Vec::new(),
+                remote: (0..world).map(|_| Vec::new()).collect(),
+                trace: Vec::new(),
+            })
+        })
+        .collect();
+
+    let deliver = |spike: &Spike| {
+        let idx = partition.local_index(me, spike.target.core);
+        cores[idx].lock().deliver(spike.target.axon, spike.delivery_tick());
+    };
+
+    let mut report = RankReport {
+        cores: n_local as u64,
+        bytes_to: vec![0; world],
+        ..RankReport::default()
+    };
+    let mut phases = PhaseTimes::default();
+
+    // Master-owned reusable buffers.
+    let mut agg: Vec<Vec<u8>> = (0..world).map(|_| Vec::new()).collect();
+    let mut local_all: Vec<Spike> = Vec::new();
+    let mut send_flags: Vec<u64> = vec![0; world];
+
+    for t in 0..cfg.ticks {
+        // Inject external inputs due this tick (before their slot is read).
+        while input_cursor < inputs.len() && inputs[input_cursor].0 == t {
+            let (tick, core, axon) = inputs[input_cursor];
+            cores[(core - block.start) as usize].lock().deliver(axon, tick);
+            input_cursor += 1;
+        }
+
+        // ---------------- Synapse phase ----------------
+        let t0 = Instant::now();
+        team.parallel(|tc| {
+            for i in tc.chunk(n_local) {
+                cores[i].lock().synapse_phase(t);
+            }
+        });
+        phases.synapse += t0.elapsed();
+
+        // ---------------- Neuron phase ----------------
+        let t1 = Instant::now();
+        team.parallel(|tc| {
+            let mut bufs = thread_bufs[tc.tid()].lock();
+            let bufs = &mut *bufs;
+            for i in tc.chunk(n_local) {
+                let mut core = cores[i].lock();
+                core.neuron_phase(t, |spike| {
+                    if cfg.record_trace {
+                        bufs.trace.push(spike);
+                    }
+                    let dest = partition.rank_of(spike.target.core);
+                    if dest == me {
+                        bufs.local.push(spike);
+                    } else {
+                        spike.encode_into(&mut bufs.remote[dest]);
+                    }
+                });
+            }
+        });
+
+        // Aggregate per-thread buffers (paper: threadAggregate into
+        // remoteBufAgg, local buffers concatenated for later delivery).
+        let mut local_spikes = 0u64;
+        let mut remote_spikes = 0u64;
+        for tb in &thread_bufs {
+            let mut tb = tb.lock();
+            local_spikes += tb.local.len() as u64;
+            local_all.append(&mut tb.local);
+            for (d, buf) in tb.remote.iter_mut().enumerate() {
+                remote_spikes += (buf.len() / tn_core::SPIKE_WIRE_BYTES) as u64;
+                agg[d].append(buf);
+            }
+            if cfg.record_trace {
+                report.trace.append(&mut tb.trace);
+            }
+        }
+        report.spikes_local += local_spikes;
+        report.spikes_remote += remote_spikes;
+        if cfg.tick_stats {
+            // Emitted spikes this tick (== fires for fully wired models).
+            report.fires_per_tick.push(local_spikes + remote_spikes);
+        }
+
+        // Master ships the aggregated buffers (still the Neuron phase in
+        // the paper's listing: the send happens before the Network marker).
+        send_flags.iter_mut().for_each(|f| *f = 0);
+        match cfg.backend {
+            Backend::Mpi => {
+                let mail = ctx.comm().mailboxes();
+                for (d, buf) in agg.iter_mut().enumerate() {
+                    if buf.is_empty() {
+                        continue;
+                    }
+                    if cfg.aggregate {
+                        report.bytes_to[d] += buf.len() as u64;
+                        mail.send(me, d, tick_tag(t), std::mem::take(buf));
+                        send_flags[d] = 1;
+                        report.messages_sent += 1;
+                    } else {
+                        // Ablation: one message per spike.
+                        report.bytes_to[d] += buf.len() as u64;
+                        let taken = std::mem::take(buf);
+                        let n = taken.len() / tn_core::SPIKE_WIRE_BYTES;
+                        for chunk in taken.chunks_exact(tn_core::SPIKE_WIRE_BYTES) {
+                            mail.send(me, d, tick_tag(t), chunk.to_vec());
+                        }
+                        send_flags[d] = n as u64;
+                        report.messages_sent += n as u64;
+                    }
+                }
+            }
+            Backend::Pgas => {
+                // One-sided puts happen in the Network phase region below,
+                // overlapped with local delivery.
+            }
+        }
+        phases.neuron += t1.elapsed();
+
+        // ---------------- Network phase ----------------
+        let t2 = Instant::now();
+        match cfg.backend {
+            Backend::Mpi => {
+                let expected = AtomicU64::new(0);
+                if cfg.overlap && threads > 1 {
+                    // Master: Reduce-scatter. Workers: deliver local spikes.
+                    let local_ref = &local_all;
+                    team.parallel(|tc| {
+                        if tc.is_master() {
+                            let v = ctx.comm().reduce_scatter_sum(&send_flags);
+                            expected.store(v, Ordering::Release);
+                        } else {
+                            let r = compass_comm::team::static_chunk(
+                                local_ref.len(),
+                                tc.size() - 1,
+                                tc.tid() - 1,
+                            );
+                            for s in &local_ref[r] {
+                                deliver(s);
+                            }
+                        }
+                    });
+                } else {
+                    let v = ctx.comm().reduce_scatter_sum(&send_flags);
+                    expected.store(v, Ordering::Release);
+                    let local_ref = &local_all;
+                    team.parallel(|tc| {
+                        for i in tc.chunk(local_ref.len()) {
+                            deliver(&local_ref[i]);
+                        }
+                    });
+                }
+                local_all.clear();
+
+                // All threads take turns receiving; the receive itself sits
+                // in a critical section, delivery does not.
+                let expected = expected.load(Ordering::Acquire);
+                let claimed = AtomicUsize::new(0);
+                team.parallel(|tc| loop {
+                    let i = claimed.fetch_add(1, Ordering::Relaxed);
+                    if i as u64 >= expected {
+                        break;
+                    }
+                    let recv = || {
+                        ctx.comm()
+                            .mailboxes()
+                            .mailbox(me)
+                            .recv(Match::tag(tick_tag(t)))
+                    };
+                    let env = if cfg.critical_recv {
+                        tc.critical(recv)
+                    } else {
+                        recv()
+                    };
+                    for spike in Spike::decode_buffer(&env.payload) {
+                        deliver(&spike);
+                    }
+                });
+            }
+            Backend::Pgas => {
+                // Master: one-sided puts + epoch barrier. Workers: local
+                // delivery, overlapped.
+                for (d, buf) in agg.iter().enumerate() {
+                    report.bytes_to[d] += buf.len() as u64;
+                }
+                let local_ref = &local_all;
+                let agg_ref = &agg;
+                let puts = AtomicU64::new(0);
+                team.parallel(|tc| {
+                    if tc.is_master() {
+                        for (d, buf) in agg_ref.iter().enumerate() {
+                            if !buf.is_empty() {
+                                ctx.pgas().put(d, buf);
+                                puts.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        ctx.pgas().commit();
+                    } else if cfg.overlap && tc.size() > 1 {
+                        let r = compass_comm::team::static_chunk(
+                            local_ref.len(),
+                            tc.size() - 1,
+                            tc.tid() - 1,
+                        );
+                        for s in &local_ref[r] {
+                            deliver(s);
+                        }
+                    }
+                });
+                report.messages_sent += puts.load(Ordering::Relaxed);
+                if !(cfg.overlap && threads > 1) {
+                    for s in local_ref {
+                        deliver(s);
+                    }
+                }
+                local_all.clear();
+                for buf in agg.iter_mut() {
+                    buf.clear();
+                }
+                // Drain the committed epoch: every incoming window, spikes
+                // delivered directly — no tag matching, no probe.
+                ctx.pgas().drain(|_, bytes| {
+                    for spike in Spike::decode_buffer(&bytes) {
+                        deliver(&spike);
+                    }
+                });
+            }
+        }
+        phases.network += t2.elapsed();
+    }
+
+    report.phases = phases;
+    let (wait, hold) = team.critical_times();
+    report.critical_wait = wait;
+    report.critical_hold = hold;
+    report.memory_bytes = memory_bytes;
+    report.fires_per_core.reserve(cores.len());
+    for core in &cores {
+        let core = core.lock();
+        report.fires += core.total_fires();
+        report.fires_per_core.push(core.total_fires());
+        report.spikes_in_flight += core.spikes_in_flight() as u64;
+        report.activity.add(&core.activity());
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::NetworkModel;
+    use compass_comm::{World, WorldConfig};
+
+    /// Runs `model` under `world`/`engine` and returns the per-rank reports.
+    fn run_model(
+        model: &NetworkModel,
+        world: WorldConfig,
+        engine: EngineConfig,
+    ) -> Vec<RankReport> {
+        model.validate().expect("test model must be valid");
+        let partition = Partition::uniform(model.total_cores(), world.ranks);
+        World::run(world, |ctx| {
+            let block = partition.block(ctx.rank());
+            let configs: Vec<CoreConfig> = model.cores
+                [block.start as usize..block.end as usize]
+                .to_vec();
+            run_rank(
+                ctx,
+                &partition,
+                configs,
+                &model.initial_deliveries,
+                &engine,
+            )
+        })
+    }
+
+    #[test]
+    fn relay_ring_circulates_spikes_single_rank() {
+        let model = NetworkModel::relay_ring(4, 8, 1);
+        let reports = run_model(
+            &model,
+            WorldConfig::flat(1),
+            EngineConfig {
+                ticks: 40,
+                ..Default::default()
+            },
+        );
+        // 8 spikes injected at tick 1; each tick thereafter 8 neurons fire.
+        let fires: u64 = reports.iter().map(|r| r.fires).sum();
+        assert_eq!(fires, 8 * 39, "8 fires per tick from tick 1 to 39");
+    }
+
+    #[test]
+    fn relay_ring_same_totals_across_rank_counts() {
+        let model = NetworkModel::relay_ring(8, 4, 1);
+        let engine = EngineConfig {
+            ticks: 30,
+            ..Default::default()
+        };
+        let single: u64 = run_model(&model, WorldConfig::flat(1), engine)
+            .iter()
+            .map(|r| r.fires)
+            .sum();
+        for ranks in [2usize, 4] {
+            let multi: u64 = run_model(&model, WorldConfig::flat(ranks), engine)
+                .iter()
+                .map(|r| r.fires)
+                .sum();
+            assert_eq!(multi, single, "ranks={ranks}");
+        }
+    }
+
+    #[test]
+    fn trace_identical_across_configurations_and_backends() {
+        let model = NetworkModel::relay_ring(6, 5, 3);
+        let runs = [
+            (WorldConfig::flat(1), Backend::Mpi),
+            (WorldConfig::flat(3), Backend::Mpi),
+            (WorldConfig::new(2, 3), Backend::Mpi),
+            (WorldConfig::flat(3), Backend::Pgas),
+            (WorldConfig::new(3, 2), Backend::Pgas),
+        ];
+        let mut traces = Vec::new();
+        for (world, backend) in runs {
+            let reports = run_model(
+                &model,
+                world,
+                EngineConfig {
+                    ticks: 25,
+                    backend,
+                    record_trace: true,
+                    ..Default::default()
+                },
+            );
+            let mut all: Vec<Spike> = reports.into_iter().flat_map(|r| r.trace).collect();
+            all.sort_by_key(|s| (s.fired_at, s.target.core, s.target.axon));
+            traces.push(all);
+        }
+        for t in &traces[1..] {
+            assert_eq!(t, &traces[0], "trace differs across configurations");
+        }
+        assert!(!traces[0].is_empty());
+    }
+
+    #[test]
+    fn pacemaker_fire_rate_matches_period() {
+        let model = NetworkModel::pacemaker(2, 10, 0);
+        let reports = run_model(
+            &model,
+            WorldConfig::flat(2),
+            EngineConfig {
+                ticks: 100,
+                ..Default::default()
+            },
+        );
+        let fires: u64 = reports.iter().map(|r| r.fires).sum();
+        // 512 neurons firing every ~10 ticks over 100 ticks ≈ 5120 fires.
+        assert!(
+            (4600..=5700).contains(&fires),
+            "fires {fires} far from 10% duty cycle"
+        );
+    }
+
+    #[test]
+    fn local_vs_remote_split_respects_partition() {
+        // 2 cores on 2 ranks: ring traffic is entirely remote.
+        let model = NetworkModel::relay_ring(2, 4, 0);
+        let engine = EngineConfig {
+            ticks: 20,
+            ..Default::default()
+        };
+        let reports = run_model(&model, WorldConfig::flat(2), engine);
+        let local: u64 = reports.iter().map(|r| r.spikes_local).sum();
+        let remote: u64 = reports.iter().map(|r| r.spikes_remote).sum();
+        assert_eq!(local, 0);
+        assert!(remote > 0);
+
+        // Same model on 1 rank: entirely local.
+        let reports = run_model(&model, WorldConfig::flat(1), engine);
+        let local: u64 = reports.iter().map(|r| r.spikes_local).sum();
+        let remote: u64 = reports.iter().map(|r| r.spikes_remote).sum();
+        assert!(local > 0);
+        assert_eq!(remote, 0);
+    }
+
+    #[test]
+    fn aggregation_bounds_message_count() {
+        let model = NetworkModel::relay_ring(4, 16, 0);
+        let engine = EngineConfig {
+            ticks: 20,
+            ..Default::default()
+        };
+        let reports = run_model(&model, WorldConfig::flat(4), engine);
+        let messages: u64 = reports.iter().map(|r| r.messages_sent).sum();
+        let remote: u64 = reports.iter().map(|r| r.spikes_remote).sum();
+        assert!(remote > messages, "aggregation must batch spikes");
+        // At most one message per rank per tick here (single ring neighbor).
+        assert!(messages <= 4 * 20);
+    }
+
+    #[test]
+    fn per_spike_ablation_sends_one_message_per_spike() {
+        let model = NetworkModel::relay_ring(4, 8, 0);
+        let engine = EngineConfig {
+            ticks: 10,
+            aggregate: false,
+            ..Default::default()
+        };
+        let reports = run_model(&model, WorldConfig::flat(4), engine);
+        let messages: u64 = reports.iter().map(|r| r.messages_sent).sum();
+        let remote: u64 = reports.iter().map(|r| r.spikes_remote).sum();
+        assert_eq!(messages, remote);
+    }
+
+    #[test]
+    fn concurrent_receive_produces_same_results() {
+        let model = NetworkModel::relay_ring(6, 6, 2);
+        let mk = |critical_recv| EngineConfig {
+            ticks: 20,
+            critical_recv,
+            record_trace: true,
+            ..Default::default()
+        };
+        let sorted = |reports: Vec<RankReport>| {
+            let mut t: Vec<Spike> = reports.into_iter().flat_map(|r| r.trace).collect();
+            t.sort_by_key(|s| (s.fired_at, s.target.core, s.target.axon));
+            t
+        };
+        let a = sorted(run_model(&model, WorldConfig::new(3, 3), mk(true)));
+        let b = sorted(run_model(&model, WorldConfig::new(3, 3), mk(false)));
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn overlap_off_produces_same_results() {
+        let model = NetworkModel::relay_ring(6, 6, 2);
+        let mk = |overlap| EngineConfig {
+            ticks: 20,
+            overlap,
+            record_trace: true,
+            ..Default::default()
+        };
+        let a: Vec<Spike> = {
+            let mut t: Vec<Spike> = run_model(&model, WorldConfig::new(2, 3), mk(true))
+                .into_iter()
+                .flat_map(|r| r.trace)
+                .collect();
+            t.sort_by_key(|s| (s.fired_at, s.target.core, s.target.axon));
+            t
+        };
+        let b: Vec<Spike> = {
+            let mut t: Vec<Spike> = run_model(&model, WorldConfig::new(2, 3), mk(false))
+                .into_iter()
+                .flat_map(|r| r.trace)
+                .collect();
+            t.sort_by_key(|s| (s.fired_at, s.target.core, s.target.axon));
+            t
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn memory_and_in_flight_accounting() {
+        let model = NetworkModel::relay_ring(4, 4, 1);
+        let reports = run_model(
+            &model,
+            WorldConfig::flat(2),
+            EngineConfig {
+                ticks: 10,
+                ..Default::default()
+            },
+        );
+        for r in &reports {
+            // 2 cores per rank, each ≥ 8 KiB of crossbar alone.
+            assert!(r.memory_bytes > 2 * 8192, "memory {}", r.memory_bytes);
+        }
+        // The ring keeps its 4 spikes perpetually in flight.
+        let in_flight: u64 = reports.iter().map(|r| r.spikes_in_flight).sum();
+        assert_eq!(in_flight, 4);
+    }
+
+    #[test]
+    fn phase_times_are_populated() {
+        let model = NetworkModel::pacemaker(2, 5, 0);
+        let reports = run_model(
+            &model,
+            WorldConfig::flat(1),
+            EngineConfig {
+                ticks: 50,
+                ..Default::default()
+            },
+        );
+        let p = reports[0].phases;
+        assert!(p.synapse.as_nanos() > 0);
+        assert!(p.neuron.as_nanos() > 0);
+        assert!(p.network.as_nanos() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank panicked")]
+    fn mismatched_config_count_is_rejected() {
+        let model = NetworkModel::relay_ring(4, 1, 0);
+        let partition = Partition::uniform(4, 1);
+        World::run(WorldConfig::flat(1), |ctx| {
+            // Hand the rank one core too few.
+            let configs = model.cores[..3].to_vec();
+            run_rank(
+                ctx,
+                &partition,
+                configs,
+                &[],
+                &EngineConfig::new(1, Backend::Mpi),
+            );
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "rank panicked")]
+    fn tick_zero_delivery_is_rejected() {
+        let mut model = NetworkModel::relay_ring(2, 1, 0);
+        model.initial_deliveries = vec![(0, 0, 0)];
+        let partition = Partition::uniform(2, 1);
+        World::run(WorldConfig::flat(1), |ctx| {
+            run_rank(
+                ctx,
+                &partition,
+                model.cores.clone(),
+                &model.initial_deliveries,
+                &EngineConfig::new(1, Backend::Mpi),
+            );
+        });
+    }
+
+    #[test]
+    fn late_external_inputs_are_injected_on_time() {
+        // Deliveries far beyond the 16-slot delay window must still land.
+        let mut model = NetworkModel::relay_ring(2, 1, 0);
+        model.initial_deliveries = vec![(0, 0, 1), (0, 1, 60), (1, 2, 90)];
+        let reports = run_model(
+            &model,
+            WorldConfig::flat(2),
+            EngineConfig {
+                ticks: 100,
+                record_trace: true,
+                ..Default::default()
+            },
+        );
+        let fires: u64 = reports.iter().map(|r| r.fires).sum();
+        // Stream 1 circulates from tick 1 (99 fires), stream 2 from 60
+        // (41), stream 3 from 90 (10).
+        assert_eq!(fires, 99 + 40 + 10);
+    }
+
+    #[test]
+    fn empty_rank_is_harmless() {
+        // 3 cores over 4 ranks: the last rank owns nothing but must still
+        // participate in collectives.
+        let model = NetworkModel::relay_ring(3, 2, 0);
+        let reports = run_model(
+            &model,
+            WorldConfig::flat(4),
+            EngineConfig {
+                ticks: 15,
+                ..Default::default()
+            },
+        );
+        assert_eq!(reports.len(), 4);
+        assert_eq!(reports[3].cores, 0);
+        let fires: u64 = reports.iter().map(|r| r.fires).sum();
+        assert_eq!(fires, 2 * 14);
+    }
+}

@@ -1,0 +1,42 @@
+//! # Compass — the simulator core
+//!
+//! Implements §III of the SC'12 paper: the multi-threaded, massively
+//! parallel functional simulator of TrueNorth core networks.
+//!
+//! * [`model::NetworkModel`] — an explicit description of every core in the
+//!   system, plus initial spike injections.
+//! * [`partition::Partition`] — the implicit core-to-process map.
+//! * [`engine`] — the per-rank main loop: Synapse, Neuron, and Network
+//!   phases, in both the MPI-style ([`engine::Backend::Mpi`]) and PGAS
+//!   ([`engine::Backend::Pgas`]) variants, with the paper's two key
+//!   optimizations (per-destination aggregation, collective/delivery
+//!   overlap) available as ablation switches.
+//! * [`runner::run`] — one-call convenience: world launch + partition +
+//!   per-rank engine + report merge.
+//! * [`stats`] — per-phase timings, spike/message accounting, slowdown
+//!   factor, and mean firing rate, matching the quantities the paper
+//!   reports.
+//!
+//! ## The equivalence contract
+//!
+//! Compass is "one-to-one equivalent" to TrueNorth: for a fixed model and
+//! seed the spike trace is bit-identical regardless of the number of ranks,
+//! the number of threads per rank, the backend, or the ablation switches.
+//! The integration tests in `tests/` enforce this property across all of
+//! those axes; it holds because core dynamics are order-insensitive to
+//! spike delivery (see `tn-core`) and every stochastic draw comes from a
+//! per-core seeded PRNG.
+
+pub mod engine;
+pub mod model;
+pub mod partition;
+pub mod runner;
+pub mod solo;
+pub mod stats;
+
+pub use engine::{run_rank, Backend, EngineConfig};
+pub use model::{ModelError, NetworkModel};
+pub use partition::Partition;
+pub use runner::run;
+pub use solo::SoloSimulation;
+pub use stats::{trace_digest, PhaseTimes, RankReport, RunReport};

@@ -1,0 +1,245 @@
+//! Whole-network model descriptions.
+//!
+//! A [`NetworkModel`] is the complete, explicit parameter set of a system
+//! of TrueNorth cores — what the Parallel Compass Compiler produces and
+//! what Compass simulates. Core ids are dense (`0..total`) and listed in
+//! id order so that a [`crate::Partition`] can map them to ranks by block.
+
+use tn_core::{CoreConfig, CoreId, Crossbar, SpikeTarget, CORE_NEURONS};
+
+/// An explicit model: every core's full configuration plus the initial
+/// spike injections that kick activity off.
+#[derive(Debug, Clone, Default)]
+pub struct NetworkModel {
+    /// Core configurations; entry `i` must have `id == i`.
+    pub cores: Vec<CoreConfig>,
+    /// External deliveries `(core, axon, delivery_tick)` — the stand-in
+    /// for sensory input. Each spike is injected into its target axon's
+    /// delay buffer just in time for the given tick (which must be ≥ 1);
+    /// an input stream may span the whole run.
+    pub initial_deliveries: Vec<(CoreId, u16, u32)>,
+}
+
+/// Why a [`NetworkModel`] was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// Entry `index` has `id != index` (ids must be dense and ordered).
+    NonDenseIds {
+        /// Position in the `cores` vector.
+        index: usize,
+        /// The id found there.
+        id: CoreId,
+    },
+    /// A core failed its own validation.
+    BadCore(String),
+    /// A neuron targets a core outside the model.
+    DanglingTarget {
+        /// The source core.
+        from: CoreId,
+        /// The missing destination core.
+        to: CoreId,
+    },
+    /// An initial delivery references a core outside the model.
+    BadDelivery(CoreId),
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::NonDenseIds { index, id } => {
+                write!(f, "core at position {index} has id {id}; ids must be dense")
+            }
+            ModelError::BadCore(e) => write!(f, "invalid core: {e}"),
+            ModelError::DanglingTarget { from, to } => {
+                write!(f, "core {from} targets nonexistent core {to}")
+            }
+            ModelError::BadDelivery(c) => {
+                write!(f, "initial delivery to nonexistent core {c}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl NetworkModel {
+    /// Number of cores in the model.
+    pub fn total_cores(&self) -> u64 {
+        self.cores.len() as u64
+    }
+
+    /// Total configured synapses (crossbar bits) across all cores.
+    pub fn total_synapses(&self) -> u64 {
+        self.cores
+            .iter()
+            .map(|c| c.crossbar.count_synapses() as u64)
+            .sum()
+    }
+
+    /// Total neurons (always 256 per core).
+    pub fn total_neurons(&self) -> u64 {
+        self.total_cores() * CORE_NEURONS as u64
+    }
+
+    /// Validates id density, per-core constraints, target reachability, and
+    /// initial deliveries.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        let total = self.total_cores();
+        for (index, core) in self.cores.iter().enumerate() {
+            if core.id != index as u64 {
+                return Err(ModelError::NonDenseIds {
+                    index,
+                    id: core.id,
+                });
+            }
+            core.validate()
+                .map_err(|e| ModelError::BadCore(e.to_string()))?;
+            for (_, t) in core.targets() {
+                if t.core >= total {
+                    return Err(ModelError::DanglingTarget {
+                        from: core.id,
+                        to: t.core,
+                    });
+                }
+            }
+        }
+        for &(core, _, _) in &self.initial_deliveries {
+            if core >= total {
+                return Err(ModelError::BadDelivery(core));
+            }
+        }
+        Ok(())
+    }
+
+    /// A relay ring of `n` cores: neuron `j` of core `c` targets axon `j`
+    /// of core `(c+1) % n` with delay 1; each core's crossbar is the
+    /// identity, all weights +1 and thresholds 1. Seeding `width` axons of
+    /// core 0 produces `width` spikes circulating forever — a minimal
+    /// self-sustaining network used throughout the test suites.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `width > 256`.
+    pub fn relay_ring(n: u64, width: u16, seed: u64) -> NetworkModel {
+        assert!(n > 0, "ring needs at least one core");
+        assert!(usize::from(width) <= CORE_NEURONS, "width exceeds core size");
+        let cores = (0..n)
+            .map(|id| {
+                let mut cfg = CoreConfig::blank(id, seed);
+                cfg.crossbar = Crossbar::from_fn(|a, nn| a == nn);
+                for (j, neuron) in cfg.neurons.iter_mut().enumerate() {
+                    neuron.weights = [1, 0, 0, 0];
+                    neuron.threshold = 1;
+                    neuron.target = Some(SpikeTarget::new((id + 1) % n, j as u16, 1));
+                }
+                cfg
+            })
+            .collect();
+        let initial_deliveries = (0..width).map(|a| (0u64, a, 1u32)).collect();
+        NetworkModel {
+            cores,
+            initial_deliveries,
+        }
+    }
+
+    /// A self-driven "pacemaker" network: every neuron integrates a
+    /// positive leak and fires once per `period` ticks at a phase set by
+    /// its initial potential, targeting the same neuron index on the next
+    /// core. Produces a steady, uniform spike load of
+    /// `256/period` spikes per core per tick with **no** external input —
+    /// the workhorse for throughput benchmarking.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `period == 0`.
+    pub fn pacemaker(n: u64, period: u32, seed: u64) -> NetworkModel {
+        assert!(n > 0 && period > 0, "need cores and a nonzero period");
+        let cores = (0..n)
+            .map(|id| {
+                let mut cfg = CoreConfig::blank(id, seed);
+                for (j, neuron) in cfg.neurons.iter_mut().enumerate() {
+                    neuron.leak = 1;
+                    neuron.threshold = period as i32;
+                    // Stagger phases so the spike load is uniform over
+                    // ticks rather than one burst every `period` ticks.
+                    neuron.initial_potential = (j as u32 % period) as i32;
+                    neuron.target = Some(SpikeTarget::new((id + 1) % n, j as u16, 1));
+                }
+                cfg
+            })
+            .collect();
+        NetworkModel {
+            cores,
+            initial_deliveries: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relay_ring_validates() {
+        let m = NetworkModel::relay_ring(4, 16, 7);
+        assert_eq!(m.validate(), Ok(()));
+        assert_eq!(m.total_cores(), 4);
+        assert_eq!(m.total_neurons(), 1024);
+        assert_eq!(m.total_synapses(), 4 * 256);
+        assert_eq!(m.initial_deliveries.len(), 16);
+    }
+
+    #[test]
+    fn pacemaker_validates() {
+        let m = NetworkModel::pacemaker(3, 100, 1);
+        assert_eq!(m.validate(), Ok(()));
+        assert!(m.initial_deliveries.is_empty());
+    }
+
+    #[test]
+    fn non_dense_ids_rejected() {
+        let mut m = NetworkModel::relay_ring(3, 1, 0);
+        m.cores[1].id = 5;
+        match m.validate() {
+            Err(ModelError::NonDenseIds { index: 1, id: 5 }) => {}
+            other => panic!("expected NonDenseIds, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dangling_target_rejected() {
+        let mut m = NetworkModel::relay_ring(2, 1, 0);
+        m.cores[0].neurons[0].target = Some(SpikeTarget::new(99, 0, 1));
+        match m.validate() {
+            Err(ModelError::DanglingTarget { from: 0, to: 99 }) => {}
+            other => panic!("expected DanglingTarget, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_delivery_rejected() {
+        let mut m = NetworkModel::relay_ring(2, 1, 0);
+        m.initial_deliveries.push((7, 0, 1));
+        assert_eq!(m.validate(), Err(ModelError::BadDelivery(7)));
+    }
+
+    #[test]
+    fn invalid_core_surfaces_reason() {
+        let mut m = NetworkModel::relay_ring(2, 1, 0);
+        m.cores[1].neurons[3].threshold = 0;
+        match m.validate() {
+            Err(ModelError::BadCore(msg)) => assert!(msg.contains("neuron 3")),
+            other => panic!("expected BadCore, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ModelError::DanglingTarget { from: 1, to: 2 };
+        assert!(e.to_string().contains("targets nonexistent"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn empty_ring_rejected() {
+        let _ = NetworkModel::relay_ring(0, 1, 0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Core-to-process mapping.
+//!
+//! Compass "partitions the TrueNorth cores in a model across several
+//! processes" and resolves spike destinations through an *implicit
+//! TrueNorth core to process map* built at startup (paper §III). Core ids
+//! are dense (`0..total`), and each rank owns one contiguous block — the
+//! Parallel Compass Compiler emits core ids ordered by owning rank so that
+//! functional regions land on as few processes as necessary.
+
+use compass_comm::Rank;
+use tn_core::CoreId;
+
+/// A contiguous block partition of dense core ids over `P` ranks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// `starts[r]..starts[r+1]` is rank `r`'s block; `starts.len() == P+1`.
+    starts: Vec<CoreId>,
+}
+
+impl Partition {
+    /// Splits `total` cores over `ranks` ranks as evenly as possible (the
+    /// first `total % ranks` ranks get one extra core).
+    ///
+    /// # Panics
+    /// Panics if `ranks == 0`.
+    pub fn uniform(total: u64, ranks: usize) -> Self {
+        assert!(ranks > 0, "cannot partition over zero ranks");
+        let base = total / ranks as u64;
+        let extra = total % ranks as u64;
+        let mut starts = Vec::with_capacity(ranks + 1);
+        let mut at = 0;
+        for r in 0..ranks as u64 {
+            starts.push(at);
+            at += base + u64::from(r < extra);
+        }
+        starts.push(at);
+        debug_assert_eq!(at, total);
+        Self { starts }
+    }
+
+    /// Builds a partition from an explicit per-rank core count (the PCC
+    /// path, where region placement decides the counts).
+    ///
+    /// # Panics
+    /// Panics if `counts` is empty.
+    pub fn from_counts(counts: &[u64]) -> Self {
+        assert!(!counts.is_empty(), "need at least one rank");
+        let mut starts = Vec::with_capacity(counts.len() + 1);
+        let mut at = 0u64;
+        starts.push(0);
+        for &c in counts {
+            at += c;
+            starts.push(at);
+        }
+        Self { starts }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Total cores in the model.
+    pub fn total_cores(&self) -> u64 {
+        *self.starts.last().expect("starts never empty")
+    }
+
+    /// The rank owning `core`.
+    ///
+    /// # Panics
+    /// Panics if `core` is outside the model.
+    #[inline]
+    pub fn rank_of(&self, core: CoreId) -> Rank {
+        assert!(
+            core < self.total_cores(),
+            "core {core} outside model of {} cores",
+            self.total_cores()
+        );
+        // partition_point returns the first index with start > core; the
+        // owner is one before it. Rank blocks may be empty, so this cannot
+        // be a plain division even for uniform partitions.
+        self.starts.partition_point(|&s| s <= core) - 1
+    }
+
+    /// Rank `r`'s block as a half-open core-id range.
+    pub fn block(&self, rank: Rank) -> std::ops::Range<CoreId> {
+        self.starts[rank]..self.starts[rank + 1]
+    }
+
+    /// Number of cores owned by `rank`.
+    pub fn count(&self, rank: Rank) -> u64 {
+        self.starts[rank + 1] - self.starts[rank]
+    }
+
+    /// Converts a global core id to `rank`'s local index.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `core` is not owned by `rank`.
+    #[inline]
+    pub fn local_index(&self, rank: Rank, core: CoreId) -> usize {
+        debug_assert!(
+            self.block(rank).contains(&core),
+            "core {core} not owned by rank {rank}"
+        );
+        (core - self.starts[rank]) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_splits_evenly() {
+        let p = Partition::uniform(10, 3);
+        assert_eq!(p.block(0), 0..4);
+        assert_eq!(p.block(1), 4..7);
+        assert_eq!(p.block(2), 7..10);
+        assert_eq!(p.total_cores(), 10);
+        assert_eq!(p.ranks(), 3);
+    }
+
+    #[test]
+    fn rank_of_matches_blocks() {
+        let p = Partition::uniform(100, 7);
+        for core in 0..100 {
+            let r = p.rank_of(core);
+            assert!(p.block(r).contains(&core));
+        }
+    }
+
+    #[test]
+    fn from_counts_respects_explicit_sizes() {
+        let p = Partition::from_counts(&[5, 0, 3]);
+        assert_eq!(p.count(0), 5);
+        assert_eq!(p.count(1), 0);
+        assert_eq!(p.count(2), 3);
+        assert_eq!(p.rank_of(4), 0);
+        assert_eq!(p.rank_of(5), 2, "empty middle rank is skipped");
+        assert_eq!(p.total_cores(), 8);
+    }
+
+    #[test]
+    fn local_index_is_block_offset() {
+        let p = Partition::from_counts(&[4, 6]);
+        assert_eq!(p.local_index(0, 3), 3);
+        assert_eq!(p.local_index(1, 4), 0);
+        assert_eq!(p.local_index(1, 9), 5);
+    }
+
+    #[test]
+    fn empty_model_is_representable() {
+        let p = Partition::uniform(0, 4);
+        assert_eq!(p.total_cores(), 0);
+        for r in 0..4 {
+            assert_eq!(p.count(r), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside model")]
+    fn rank_of_out_of_range_panics() {
+        Partition::uniform(10, 2).rank_of(10);
+    }
+
+    #[test]
+    fn single_rank_owns_everything() {
+        let p = Partition::uniform(1000, 1);
+        assert_eq!(p.block(0), 0..1000);
+        assert_eq!(p.rank_of(999), 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every core is owned by exactly one rank and blocks tile the id
+        /// space in order.
+        #[test]
+        fn blocks_tile_id_space(total in 0u64..500, ranks in 1usize..10) {
+            let p = Partition::uniform(total, ranks);
+            let mut at = 0;
+            for r in 0..ranks {
+                let b = p.block(r);
+                prop_assert_eq!(b.start, at);
+                at = b.end;
+            }
+            prop_assert_eq!(at, total);
+            for core in 0..total {
+                let r = p.rank_of(core);
+                prop_assert!(p.block(r).contains(&core));
+                prop_assert_eq!(p.local_index(r, core) as u64, core - p.block(r).start);
+            }
+        }
+
+        /// from_counts round-trips the counts.
+        #[test]
+        fn counts_roundtrip(counts in proptest::collection::vec(0u64..50, 1..10)) {
+            let p = Partition::from_counts(&counts);
+            for (r, &c) in counts.iter().enumerate() {
+                prop_assert_eq!(p.count(r), c);
+            }
+            prop_assert_eq!(p.total_cores(), counts.iter().sum::<u64>());
+        }
+    }
+}

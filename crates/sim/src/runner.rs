@@ -1,0 +1,130 @@
+//! Whole-world convenience runner.
+//!
+//! [`run`] wraps [`compass_comm::World::run`] around the per-rank engine:
+//! it partitions an explicit [`NetworkModel`] uniformly over the configured
+//! ranks, hands each rank its slice of core configurations, executes the
+//! main loop, and folds the per-rank reports plus transport metrics into a
+//! [`RunReport`]. The Parallel Compass Compiler path bypasses this and
+//! calls [`crate::engine::run_rank`] directly inside its own world, exactly
+//! as the paper's in-situ compile-then-simulate flow does.
+
+use crate::engine::{run_rank, EngineConfig};
+use crate::model::{ModelError, NetworkModel};
+use crate::partition::Partition;
+use crate::stats::RunReport;
+use compass_comm::{TransportMetrics, World, WorldConfig};
+use std::sync::Arc;
+use std::time::Instant;
+use tn_core::CoreConfig;
+
+/// Simulates `model` on a world of shape `world` with engine options `cfg`.
+///
+/// Returns the merged [`RunReport`]. The model is validated first; wall
+/// time covers the simulation only (instantiation happens inside ranks, as
+/// in the paper, but before the timed loop... the paper likewise excludes
+/// model compilation from its reported times).
+///
+/// # Errors
+/// Returns the first [`ModelError`] if the model is inconsistent.
+pub fn run(
+    model: &NetworkModel,
+    world: WorldConfig,
+    cfg: &EngineConfig,
+) -> Result<RunReport, ModelError> {
+    model.validate()?;
+    let partition = Partition::uniform(model.total_cores(), world.ranks);
+    let metrics = Arc::new(TransportMetrics::new());
+    let started = Instant::now();
+    let ranks = World::run_with_metrics(world, Arc::clone(&metrics), |ctx| {
+        let block = partition.block(ctx.rank());
+        let configs: Vec<CoreConfig> =
+            model.cores[block.start as usize..block.end as usize].to_vec();
+        run_rank(ctx, &partition, configs, &model.initial_deliveries, cfg)
+    });
+    let wall = started.elapsed();
+    Ok(RunReport {
+        ranks,
+        wall,
+        ticks: cfg.ticks,
+        transport: metrics.snapshot(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Backend;
+
+    #[test]
+    fn run_produces_merged_report() {
+        let model = NetworkModel::relay_ring(4, 4, 1);
+        let report = run(
+            &model,
+            WorldConfig::flat(2),
+            &EngineConfig::new(20, Backend::Mpi),
+        )
+        .unwrap();
+        assert_eq!(report.ranks.len(), 2);
+        assert_eq!(report.total_cores(), 4);
+        assert_eq!(report.ticks, 20);
+        assert_eq!(report.total_fires(), 4 * 19);
+        assert!(report.wall.as_nanos() > 0);
+        assert!(report.slowdown_factor() > 0.0);
+    }
+
+    #[test]
+    fn transport_metrics_reflect_spike_messages() {
+        let model = NetworkModel::relay_ring(4, 4, 1);
+        let report = run(
+            &model,
+            WorldConfig::flat(4),
+            &EngineConfig::new(10, Backend::Mpi),
+        )
+        .unwrap();
+        assert_eq!(report.transport.p2p_messages, report.total_messages());
+        assert_eq!(
+            report.transport.p2p_bytes,
+            report.total_remote_spikes() * tn_core::SPIKE_WIRE_BYTES as u64
+        );
+    }
+
+    #[test]
+    fn pgas_run_uses_puts_not_p2p() {
+        let model = NetworkModel::relay_ring(4, 4, 1);
+        let report = run(
+            &model,
+            WorldConfig::flat(4),
+            &EngineConfig::new(10, Backend::Pgas),
+        )
+        .unwrap();
+        assert_eq!(report.transport.p2p_messages, 0);
+        assert!(report.transport.puts > 0);
+        assert!(report.transport.barriers > 0);
+    }
+
+    #[test]
+    fn invalid_model_is_rejected() {
+        let mut model = NetworkModel::relay_ring(2, 1, 0);
+        model.cores[0].id = 9;
+        assert!(run(
+            &model,
+            WorldConfig::flat(1),
+            &EngineConfig::new(1, Backend::Mpi)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn mean_rate_tracks_pacemaker_duty_cycle() {
+        let model = NetworkModel::pacemaker(2, 100, 0);
+        let report = run(
+            &model,
+            WorldConfig::flat(1),
+            &EngineConfig::new(200, Backend::Mpi),
+        )
+        .unwrap();
+        // Period-100 pacemakers at 1000 Hz ticks fire at 10 Hz.
+        let rate = report.mean_rate_hz();
+        assert!((rate - 10.0).abs() < 1.0, "rate {rate}");
+    }
+}

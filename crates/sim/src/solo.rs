@@ -1,0 +1,228 @@
+//! Closed-loop stepping: drive a model one tick at a time.
+//!
+//! The batch engine ([`crate::engine::run_rank`]) simulates a fixed number
+//! of ticks with a pre-scheduled input stream — right for the paper's
+//! scaling studies, wrong for the applications §I lists like "real-time
+//! motor control" and "robotic navigation", where each tick's *input
+//! depends on the previous tick's output* (the loop closes through a body
+//! and a world).
+//!
+//! [`SoloSimulation`] is the closed-loop interface: a single-process
+//! simulation of a whole model that accepts this tick's sensory spikes and
+//! returns this tick's motor spikes, one [`SoloSimulation::step`] at a
+//! time. It shares the cores, semantics, and determinism of the batch
+//! engine — a model stepped through `SoloSimulation` produces exactly the
+//! trace the batch engine records (tested below) — so behaviour developed
+//! in the loop transfers unchanged to the parallel runs and, per the
+//! paper's contract, to hardware.
+
+use crate::model::{ModelError, NetworkModel};
+use tn_core::{NeurosynapticCore, Spike};
+
+/// A single-process, tick-stepped simulation of a whole model.
+pub struct SoloSimulation {
+    cores: Vec<NeurosynapticCore>,
+    tick: u32,
+    /// Pre-scheduled deliveries `(tick, core, axon)`, sorted; `cursor`
+    /// tracks how many have been injected.
+    scheduled: Vec<(u32, u64, u16)>,
+    cursor: usize,
+    /// External injections queued for the next step.
+    pending_inputs: Vec<(u64, u16)>,
+}
+
+impl SoloSimulation {
+    /// Instantiates the model (pre-scheduled deliveries are honored on the
+    /// ticks they name, exactly as in the batch engine).
+    ///
+    /// # Errors
+    /// Returns the model's validation error if it is inconsistent.
+    pub fn new(model: &NetworkModel) -> Result<SoloSimulation, ModelError> {
+        model.validate()?;
+        let mut scheduled: Vec<(u32, u64, u16)> = model
+            .initial_deliveries
+            .iter()
+            .map(|&(c, a, t)| (t, c, a))
+            .collect();
+        scheduled.sort_unstable();
+        Ok(SoloSimulation {
+            cores: model
+                .cores
+                .iter()
+                .map(|c| NeurosynapticCore::new(c.clone()).expect("validated"))
+                .collect(),
+            tick: 0,
+            scheduled,
+            cursor: 0,
+            pending_inputs: Vec::new(),
+        })
+    }
+
+    /// Current tick (the next `step` simulates this tick).
+    pub fn tick(&self) -> u32 {
+        self.tick
+    }
+
+    /// Total fires so far across all cores.
+    pub fn total_fires(&self) -> u64 {
+        self.cores.iter().map(|c| c.total_fires()).sum()
+    }
+
+    /// Queues an external spike into `(core, axon)` for delivery at the
+    /// *next* `step` — the sensory input port of the closed loop.
+    ///
+    /// # Panics
+    /// Panics if `core` or `axon` is outside the model.
+    pub fn inject(&mut self, core: u64, axon: u16) {
+        assert!(
+            (core as usize) < self.cores.len(),
+            "core {core} outside model"
+        );
+        assert!(
+            (axon as usize) < tn_core::CORE_AXONS,
+            "axon {axon} out of range"
+        );
+        self.pending_inputs.push((core, axon));
+    }
+
+    /// Simulates one tick: delivers queued injections, runs the Synapse
+    /// and Neuron phases on every core, routes all fired spikes into their
+    /// target delay buffers, and returns the fired spikes — the motor
+    /// output port of the closed loop.
+    pub fn step(&mut self) -> Vec<Spike> {
+        let t = self.tick;
+        for (core, axon) in self.pending_inputs.drain(..) {
+            self.cores[core as usize].deliver(axon, t);
+        }
+        while self.cursor < self.scheduled.len() && self.scheduled[self.cursor].0 == t {
+            let (st, core, axon) = self.scheduled[self.cursor];
+            self.cores[core as usize].deliver(axon, st);
+            self.cursor += 1;
+        }
+
+        let mut out = Vec::new();
+        for core in &mut self.cores {
+            core.synapse_phase(t);
+            core.neuron_phase(t, |s| out.push(s));
+        }
+        // Network phase, single-process flavor: every spike lands in its
+        // target's delay buffer for a strictly future tick.
+        for spike in &out {
+            self.cores[spike.target.core as usize]
+                .deliver(spike.target.axon, spike.delivery_tick());
+        }
+        self.tick = t + 1;
+        out
+    }
+
+    /// Membrane potential probe (observability for closed-loop tuning).
+    pub fn potential(&self, core: u64, neuron: usize) -> i32 {
+        self.cores[core as usize].potential(neuron)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Backend, EngineConfig};
+    use crate::runner::run;
+    use compass_comm::WorldConfig;
+
+    #[test]
+    fn stepping_matches_batch_engine_exactly() {
+        let model = NetworkModel::relay_ring(4, 6, 3);
+        let batch = run(
+            &model,
+            WorldConfig::flat(2),
+            &EngineConfig {
+                ticks: 25,
+                backend: Backend::Mpi,
+                record_trace: true,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let mut solo = SoloSimulation::new(&model).unwrap();
+        let mut trace = Vec::new();
+        for _ in 0..25 {
+            trace.extend(solo.step());
+        }
+        trace.sort_by_key(|s| (s.fired_at, s.target.core, s.target.axon, s.target.delay));
+        assert_eq!(trace, batch.sorted_trace());
+        assert_eq!(solo.total_fires(), batch.total_fires());
+        assert_eq!(solo.tick(), 25);
+    }
+
+    #[test]
+    fn closed_loop_injection_drives_output() {
+        let model = NetworkModel {
+            initial_deliveries: Vec::new(),
+            ..NetworkModel::relay_ring(2, 1, 0)
+        };
+        let mut solo = SoloSimulation::new(&model).unwrap();
+        // Nothing happens without input.
+        for _ in 0..5 {
+            assert!(solo.step().is_empty());
+        }
+        // Inject, then observe the fire on the very next tick.
+        solo.inject(0, 0);
+        let out = solo.step();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].fired_at, 5);
+        assert_eq!(out[0].target.core, 1);
+    }
+
+    #[test]
+    fn feedback_loop_reacts_to_outputs() {
+        // Close the loop externally: whenever a spike targets core 0,
+        // stimulate a fresh axon of core 0 — reinjection adds traffic on
+        // top of the circulating ring spike.
+        let model = NetworkModel::relay_ring(2, 1, 0);
+        let mut solo = SoloSimulation::new(&model).unwrap();
+        let mut echoes = 0;
+        for _ in 0..30 {
+            let out = solo.step();
+            for s in out {
+                if s.target.core == 0 {
+                    solo.inject(0, 200);
+                    echoes += 1;
+                }
+            }
+        }
+        assert!(echoes > 0, "the loop must close");
+        assert!(
+            solo.total_fires() > 29,
+            "echo channel adds fires: {}",
+            solo.total_fires()
+        );
+    }
+
+    #[test]
+    fn potential_probe_reflects_dynamics() {
+        let model = NetworkModel::pacemaker(1, 10, 0);
+        let mut solo = SoloSimulation::new(&model).unwrap();
+        // Neuron 0 starts at phase 0 and climbs by the +1 leak.
+        assert_eq!(solo.potential(0, 0), 0);
+        solo.step();
+        assert_eq!(solo.potential(0, 0), 1);
+        for _ in 0..5 {
+            solo.step();
+        }
+        assert_eq!(solo.potential(0, 0), 6);
+    }
+
+    #[test]
+    fn invalid_model_is_rejected() {
+        let mut model = NetworkModel::relay_ring(2, 1, 0);
+        model.cores[0].id = 7;
+        assert!(SoloSimulation::new(&model).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside model")]
+    fn inject_checks_bounds() {
+        let model = NetworkModel::relay_ring(2, 1, 0);
+        let mut solo = SoloSimulation::new(&model).unwrap();
+        solo.inject(5, 0);
+    }
+}

@@ -1,0 +1,386 @@
+//! Per-phase timing and run-level statistics.
+//!
+//! The paper's evaluation reports, per experiment: total wall-clock time
+//! and its breakdown into the Synapse / Neuron / Network phases (Figs. 4a,
+//! 5, 6), MPI message count and spike count per simulated tick (Fig. 4b),
+//! the slowdown factor relative to real time (388× at full scale), and the
+//! mean neuron firing rate (8.1 Hz). Everything needed to regenerate those
+//! numbers is collected here.
+
+use compass_comm::MetricsSnapshot;
+use std::time::Duration;
+use tn_core::Spike;
+
+/// Wall-clock time spent in each phase of the main simulation loop,
+/// accumulated over all ticks (measured on each rank's master thread).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimes {
+    /// Synapse phase: delay-buffer drain + crossbar propagation.
+    pub synapse: Duration,
+    /// Neuron phase: integrate-leak-fire + spike buffering/aggregation.
+    pub neuron: Duration,
+    /// Network phase: sends, Reduce-scatter (or PGAS commit), delivery.
+    pub network: Duration,
+}
+
+impl PhaseTimes {
+    /// Total across phases.
+    pub fn total(&self) -> Duration {
+        self.synapse + self.neuron + self.network
+    }
+
+    /// Component-wise sum.
+    pub fn add(&mut self, other: &PhaseTimes) {
+        self.synapse += other.synapse;
+        self.neuron += other.neuron;
+        self.network += other.network;
+    }
+
+    /// Component-wise maximum — the paper's per-phase numbers are bounded
+    /// by the slowest rank, since phases are separated by synchronization.
+    pub fn max(&self, other: &PhaseTimes) -> PhaseTimes {
+        PhaseTimes {
+            synapse: self.synapse.max(other.synapse),
+            neuron: self.neuron.max(other.neuron),
+            network: self.network.max(other.network),
+        }
+    }
+}
+
+/// One rank's view of a finished run.
+#[derive(Debug, Clone, Default)]
+pub struct RankReport {
+    /// Accumulated per-phase wall-clock times on this rank.
+    pub phases: PhaseTimes,
+    /// Total neuron firings on this rank (connected or not).
+    pub fires: u64,
+    /// Spikes delivered to cores on the same rank ("gray matter" traffic).
+    pub spikes_local: u64,
+    /// Spikes shipped to other ranks ("white matter" traffic).
+    pub spikes_remote: u64,
+    /// Aggregated spike messages this rank sent (≤ one per destination rank
+    /// per tick when aggregation is on).
+    pub messages_sent: u64,
+    /// Cores hosted by this rank.
+    pub cores: u64,
+    /// Lifetime fires of each hosted core, in local (block) order — the
+    /// observability hook behind per-region activity analysis (the paper
+    /// uses Compass for "studying TrueNorth dynamics").
+    pub fires_per_core: Vec<u64>,
+    /// Fires on this rank per simulated tick (index = tick), populated
+    /// when [`crate::EngineConfig::tick_stats`] is on.
+    pub fires_per_tick: Vec<u64>,
+    /// Spike-payload bytes shipped to each destination rank (indexed by
+    /// rank), for mapping traffic onto an interconnect model.
+    pub bytes_to: Vec<u64>,
+    /// Hardware-event counts for energy estimation (paper purpose (e)).
+    pub activity: tn_core::ActivityCounts,
+    /// Time team members spent waiting to enter the receive critical
+    /// section — the Fig. 6 serial bottleneck, measured.
+    pub critical_wait: Duration,
+    /// Time spent holding the receive critical section.
+    pub critical_hold: Duration,
+    /// Approximate bytes of core state hosted by this rank (the paper's
+    /// memory axis: 16 GB/node bounded its 16384 cores/node choice).
+    pub memory_bytes: u64,
+    /// Spikes still waiting in delay buffers when the run ended.
+    pub spikes_in_flight: u64,
+    /// Every spike emitted on this rank, if trace recording was requested.
+    pub trace: Vec<Spike>,
+}
+
+/// Whole-run summary across all ranks.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Per-rank reports, indexed by rank.
+    pub ranks: Vec<RankReport>,
+    /// Wall-clock duration of the whole run (launch to join, excluding
+    /// model construction — the paper likewise excludes compilation).
+    pub wall: Duration,
+    /// Simulated ticks.
+    pub ticks: u32,
+    /// Transport counters accumulated during the run.
+    pub transport: MetricsSnapshot,
+}
+
+impl RunReport {
+    /// Total neuron firings across ranks.
+    pub fn total_fires(&self) -> u64 {
+        self.ranks.iter().map(|r| r.fires).sum()
+    }
+
+    /// Total cores across ranks.
+    pub fn total_cores(&self) -> u64 {
+        self.ranks.iter().map(|r| r.cores).sum()
+    }
+
+    /// Total remote ("white matter") spikes.
+    pub fn total_remote_spikes(&self) -> u64 {
+        self.ranks.iter().map(|r| r.spikes_remote).sum()
+    }
+
+    /// Total local ("gray matter") spikes.
+    pub fn total_local_spikes(&self) -> u64 {
+        self.ranks.iter().map(|r| r.spikes_local).sum()
+    }
+
+    /// Total aggregated spike messages.
+    pub fn total_messages(&self) -> u64 {
+        self.ranks.iter().map(|r| r.messages_sent).sum()
+    }
+
+    /// Total approximate memory across ranks.
+    pub fn total_memory_bytes(&self) -> u64 {
+        self.ranks.iter().map(|r| r.memory_bytes).sum()
+    }
+
+    /// Spikes still in flight at the end of the run.
+    pub fn total_in_flight(&self) -> u64 {
+        self.ranks.iter().map(|r| r.spikes_in_flight).sum()
+    }
+
+    /// Accumulated hardware-event counts across all ranks, the input to
+    /// [`tn_core::EnergyModel::estimate`].
+    pub fn activity(&self) -> tn_core::ActivityCounts {
+        let mut total = tn_core::ActivityCounts::default();
+        for r in &self.ranks {
+            total.add(&r.activity);
+        }
+        total
+    }
+
+    /// Slowest-rank phase breakdown (what the paper's stacked plots show).
+    pub fn phase_breakdown(&self) -> PhaseTimes {
+        self.ranks
+            .iter()
+            .fold(PhaseTimes::default(), |acc, r| acc.max(&r.phases))
+    }
+
+    /// Slowdown over real time: wall seconds per simulated second, with a
+    /// 1 ms tick as in TrueNorth's 1000 Hz slow clock. The paper's headline
+    /// is 388× at 256M cores.
+    pub fn slowdown_factor(&self) -> f64 {
+        if self.ticks == 0 {
+            return 0.0;
+        }
+        let simulated = f64::from(self.ticks) * 1e-3;
+        self.wall.as_secs_f64() / simulated
+    }
+
+    /// Mean firing rate in Hz per neuron (paper headline: 8.1 Hz), given
+    /// 256 neurons per core and 1 ms ticks.
+    pub fn mean_rate_hz(&self) -> f64 {
+        let neurons = self.total_cores() as f64 * tn_core::CORE_NEURONS as f64;
+        if neurons == 0.0 || self.ticks == 0 {
+            return 0.0;
+        }
+        let per_neuron_per_tick = self.total_fires() as f64 / neurons / f64::from(self.ticks);
+        per_neuron_per_tick * 1000.0
+    }
+
+    /// The run's global spike trace, merged across ranks and canonically
+    /// sorted — two runs of the same model are equivalent iff these match.
+    /// Empty unless trace recording was requested.
+    pub fn sorted_trace(&self) -> Vec<Spike> {
+        let mut all: Vec<Spike> = self.ranks.iter().flat_map(|r| r.trace.clone()).collect();
+        all.sort_by_key(|s| (s.fired_at, s.target.core, s.target.axon, s.target.delay));
+        all
+    }
+
+    /// A 64-bit digest of the canonical trace — the regression-testing
+    /// fingerprint (paper purpose (a): "verifying TrueNorth correctness
+    /// via regression testing"). Golden digests recorded once stay valid
+    /// across any decomposition or backend.
+    pub fn trace_digest(&self) -> u64 {
+        trace_digest(&self.sorted_trace())
+    }
+}
+
+/// FNV-1a digest of a canonically sorted spike trace.
+pub fn trace_digest(sorted: &[Spike]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    mix(&(sorted.len() as u64).to_le_bytes());
+    for s in sorted {
+        mix(&s.encode());
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_core::SpikeTarget;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn phase_times_total_and_add() {
+        let mut a = PhaseTimes {
+            synapse: ms(1),
+            neuron: ms(2),
+            network: ms(3),
+        };
+        assert_eq!(a.total(), ms(6));
+        a.add(&PhaseTimes {
+            synapse: ms(10),
+            neuron: ms(20),
+            network: ms(30),
+        });
+        assert_eq!(a.total(), ms(66));
+    }
+
+    #[test]
+    fn phase_max_is_componentwise() {
+        let a = PhaseTimes {
+            synapse: ms(5),
+            neuron: ms(1),
+            network: ms(3),
+        };
+        let b = PhaseTimes {
+            synapse: ms(2),
+            neuron: ms(9),
+            network: ms(3),
+        };
+        let m = a.max(&b);
+        assert_eq!(m.synapse, ms(5));
+        assert_eq!(m.neuron, ms(9));
+        assert_eq!(m.network, ms(3));
+    }
+
+    fn report_with(ranks: Vec<RankReport>, ticks: u32, wall: Duration) -> RunReport {
+        RunReport {
+            ranks,
+            wall,
+            ticks,
+            transport: MetricsSnapshot::default(),
+        }
+    }
+
+    #[test]
+    fn totals_sum_over_ranks() {
+        let r = report_with(
+            vec![
+                RankReport {
+                    fires: 10,
+                    spikes_local: 4,
+                    spikes_remote: 6,
+                    messages_sent: 2,
+                    cores: 8,
+                    ..Default::default()
+                },
+                RankReport {
+                    fires: 5,
+                    spikes_local: 1,
+                    spikes_remote: 2,
+                    messages_sent: 1,
+                    cores: 8,
+                    ..Default::default()
+                },
+            ],
+            100,
+            ms(500),
+        );
+        assert_eq!(r.total_fires(), 15);
+        assert_eq!(r.total_local_spikes(), 5);
+        assert_eq!(r.total_remote_spikes(), 8);
+        assert_eq!(r.total_messages(), 3);
+        assert_eq!(r.total_cores(), 16);
+    }
+
+    #[test]
+    fn slowdown_matches_paper_formula() {
+        // 500 ticks = 0.5 simulated seconds in 194 wall seconds → 388×,
+        // the paper's headline number.
+        let r = report_with(vec![], 500, Duration::from_secs(194));
+        assert!((r.slowdown_factor() - 388.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_rate_formula() {
+        // 1 core × 256 neurons × 1000 ticks, 2048 fires
+        // → 2048/(256·1000) per tick = 0.008 → 8 Hz.
+        let r = report_with(
+            vec![RankReport {
+                fires: 2048,
+                cores: 1,
+                ..Default::default()
+            }],
+            1000,
+            ms(1),
+        );
+        assert!((r.mean_rate_hz() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_run_rates_are_zero() {
+        let r = report_with(vec![], 0, ms(0));
+        assert_eq!(r.slowdown_factor(), 0.0);
+        assert_eq!(r.mean_rate_hz(), 0.0);
+    }
+
+    #[test]
+    fn trace_digest_discriminates_and_is_stable() {
+        let s = |t: u32, core: u64| Spike {
+            fired_at: t,
+            target: SpikeTarget::new(core, 0, 1),
+        };
+        let a = vec![s(1, 2), s(1, 9)];
+        let b = vec![s(1, 2), s(1, 8)];
+        assert_eq!(trace_digest(&a), trace_digest(&a));
+        assert_ne!(trace_digest(&a), trace_digest(&b));
+        assert_ne!(trace_digest(&a), trace_digest(&a[..1]));
+        // Length is mixed in, so the empty trace has a fixed digest too.
+        assert_eq!(trace_digest(&[]), trace_digest(&[]));
+    }
+
+    #[test]
+    fn activity_sums_over_ranks() {
+        let mk = |n: u64| RankReport {
+            activity: tn_core::ActivityCounts {
+                core_ticks: n,
+                neuron_updates: n * 256,
+                synaptic_events: n * 10,
+                spikes: n,
+            },
+            ..Default::default()
+        };
+        let r = report_with(vec![mk(3), mk(7)], 10, ms(1));
+        let a = r.activity();
+        assert_eq!(a.core_ticks, 10);
+        assert_eq!(a.neuron_updates, 2560);
+        assert_eq!(a.synaptic_events, 100);
+        assert_eq!(a.spikes, 10);
+    }
+
+    #[test]
+    fn sorted_trace_merges_and_orders() {
+        let s = |t: u32, core: u64| Spike {
+            fired_at: t,
+            target: SpikeTarget::new(core, 0, 1),
+        };
+        let r = report_with(
+            vec![
+                RankReport {
+                    trace: vec![s(5, 1), s(1, 9)],
+                    ..Default::default()
+                },
+                RankReport {
+                    trace: vec![s(1, 2)],
+                    ..Default::default()
+                },
+            ],
+            10,
+            ms(1),
+        );
+        let t = r.sorted_trace();
+        assert_eq!(t, vec![s(1, 2), s(1, 9), s(5, 1)]);
+    }
+}

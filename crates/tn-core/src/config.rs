@@ -1,0 +1,195 @@
+//! Whole-core configuration and validation.
+//!
+//! A [`CoreConfig`] is the complete parameter set of one TrueNorth core —
+//! the unit the Parallel Compass Compiler produces in bulk and the Compass
+//! simulator instantiates ("the neuron parameters, synaptic crossbar, and
+//! target axon for each neuron are reconfigurable throughout the system").
+
+use crate::crossbar::Crossbar;
+use crate::neuron::NeuronConfig;
+use crate::spike::SpikeTarget;
+use crate::{CoreId, AXON_TYPES, CORE_AXONS, CORE_NEURONS};
+
+/// Full static description of one neurosynaptic core.
+#[derive(Debug, Clone)]
+pub struct CoreConfig {
+    /// Globally unique core id.
+    pub id: CoreId,
+    /// Seed for the core's PRNG (combined with the id, so replicated
+    /// configs still decorrelate).
+    pub seed: u64,
+    /// Axon type `G0..G3` for each of the 256 axons.
+    pub axon_types: [u8; CORE_AXONS],
+    /// The 256×256 binary synapse matrix.
+    pub crossbar: Crossbar,
+    /// Per-neuron parameters; must have exactly [`CORE_NEURONS`] entries.
+    pub neurons: Vec<NeuronConfig>,
+}
+
+/// Why a [`CoreConfig`] was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreConfigError {
+    /// `neurons.len() != CORE_NEURONS`.
+    WrongNeuronCount(usize),
+    /// An axon type byte is outside `0..AXON_TYPES`.
+    BadAxonType {
+        /// Offending axon index.
+        axon: usize,
+        /// The out-of-range type value.
+        ty: u8,
+    },
+    /// A neuron's parameters violate a range constraint.
+    BadNeuron {
+        /// Offending neuron index.
+        neuron: usize,
+        /// Human-readable constraint violation.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for CoreConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreConfigError::WrongNeuronCount(n) => {
+                write!(f, "core must have exactly {CORE_NEURONS} neurons, got {n}")
+            }
+            CoreConfigError::BadAxonType { axon, ty } => {
+                write!(f, "axon {axon} has type {ty}, must be < {AXON_TYPES}")
+            }
+            CoreConfigError::BadNeuron { neuron, reason } => {
+                write!(f, "neuron {neuron}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreConfigError {}
+
+impl CoreConfig {
+    /// A blank core: empty crossbar, default neurons, axon type 0
+    /// everywhere. Valid but inert (no synapses, no targets).
+    pub fn blank(id: CoreId, seed: u64) -> Self {
+        Self {
+            id,
+            seed,
+            axon_types: [0; CORE_AXONS],
+            crossbar: Crossbar::new(),
+            neurons: vec![NeuronConfig::default(); CORE_NEURONS],
+        }
+    }
+
+    /// Checks every structural and range constraint.
+    pub fn validate(&self) -> Result<(), CoreConfigError> {
+        if self.neurons.len() != CORE_NEURONS {
+            return Err(CoreConfigError::WrongNeuronCount(self.neurons.len()));
+        }
+        for (axon, &ty) in self.axon_types.iter().enumerate() {
+            if usize::from(ty) >= AXON_TYPES {
+                return Err(CoreConfigError::BadAxonType { axon, ty });
+            }
+        }
+        for (i, n) in self.neurons.iter().enumerate() {
+            n.validate().map_err(|reason| CoreConfigError::BadNeuron {
+                neuron: i,
+                reason,
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Sets neuron `n`'s spike target (builder-style convenience).
+    pub fn with_target(mut self, neuron: usize, target: SpikeTarget) -> Self {
+        self.neurons[neuron].target = Some(target);
+        self
+    }
+
+    /// Iterates over the `(neuron index, target)` pairs of all connected
+    /// neurons — what Compass collects at startup to build its
+    /// per-destination send buffers.
+    pub fn targets(&self) -> impl Iterator<Item = (usize, SpikeTarget)> + '_ {
+        self.neurons
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.target.map(|t| (i, t)))
+    }
+
+    /// Approximate memory footprint of the configured core in bytes, used
+    /// by capacity planning in the compiler (memory per rank bounded the
+    /// paper's 16384-cores-per-node choice).
+    pub fn memory_footprint(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + CORE_AXONS * CORE_NEURONS / 8 // crossbar bits
+            + self.neurons.len() * std::mem::size_of::<NeuronConfig>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blank_core_is_valid() {
+        assert_eq!(CoreConfig::blank(7, 1).validate(), Ok(()));
+    }
+
+    #[test]
+    fn wrong_neuron_count_rejected() {
+        let mut cfg = CoreConfig::blank(0, 0);
+        cfg.neurons.pop();
+        assert_eq!(
+            cfg.validate(),
+            Err(CoreConfigError::WrongNeuronCount(CORE_NEURONS - 1))
+        );
+    }
+
+    #[test]
+    fn bad_axon_type_rejected() {
+        let mut cfg = CoreConfig::blank(0, 0);
+        cfg.axon_types[13] = AXON_TYPES as u8;
+        assert_eq!(
+            cfg.validate(),
+            Err(CoreConfigError::BadAxonType { axon: 13, ty: 4 })
+        );
+    }
+
+    #[test]
+    fn bad_neuron_reported_with_index() {
+        let mut cfg = CoreConfig::blank(0, 0);
+        cfg.neurons[200].threshold = 0;
+        match cfg.validate() {
+            Err(CoreConfigError::BadNeuron { neuron: 200, .. }) => {}
+            other => panic!("expected BadNeuron(200), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn targets_iterates_connected_neurons_only() {
+        let cfg = CoreConfig::blank(0, 0)
+            .with_target(3, SpikeTarget::new(9, 1, 2))
+            .with_target(250, SpikeTarget::new(10, 0, 1));
+        let targets: Vec<_> = cfg.targets().collect();
+        assert_eq!(
+            targets,
+            vec![
+                (3, SpikeTarget::new(9, 1, 2)),
+                (250, SpikeTarget::new(10, 0, 1))
+            ]
+        );
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = CoreConfigError::BadAxonType { axon: 5, ty: 9 };
+        assert!(e.to_string().contains("axon 5"));
+        let e = CoreConfigError::WrongNeuronCount(3);
+        assert!(e.to_string().contains("256"));
+    }
+
+    #[test]
+    fn memory_footprint_dominated_by_crossbar_and_neurons() {
+        let cfg = CoreConfig::blank(0, 0);
+        let fp = cfg.memory_footprint();
+        assert!(fp >= 8192, "crossbar alone is 8 KiB, got {fp}");
+        assert!(fp < 64 * 1024, "a core should stay well under 64 KiB");
+    }
+}

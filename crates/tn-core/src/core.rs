@@ -1,0 +1,406 @@
+//! The runtime neurosynaptic core: state plus the two on-core phases of the
+//! Compass main loop.
+//!
+//! Compass's tick (listing 1 of the paper) runs, for every core:
+//!
+//! * **Synapse phase** — `axon.propagateSpike()`: each axon with a spike
+//!   ready in its delay buffer walks its crossbar row and buffers the spike
+//!   for integration at each connected neuron;
+//! * **Neuron phase** — `neuron.integrateLeakFire()`: each neuron
+//!   integrates the buffered inputs, leaks, and possibly fires a spike
+//!   addressed to its target axon.
+//!
+//! The third phase (Network) lives in the `compass-sim` crate — it is the
+//! only phase that leaves the core, and *only spikes ever leave or enter*.
+//!
+//! [`NeurosynapticCore::tick`] is a pure function of the core state and the
+//! set of spikes delivered since the previous tick; delivery order is
+//! irrelevant because delivery ORs into the delay buffer. This is the
+//! foundation of the simulator's configuration-independence guarantee.
+
+use crate::config::{CoreConfig, CoreConfigError};
+use crate::crossbar::Crossbar;
+use crate::delay::DelayBuffer;
+use crate::neuron::NeuronConfig;
+use crate::prng::CorePrng;
+use crate::spike::Spike;
+use crate::{CoreId, AXON_TYPES, CORE_AXONS, CORE_NEURONS};
+
+/// A fully instantiated, runnable TrueNorth core.
+pub struct NeurosynapticCore {
+    id: CoreId,
+    axon_types: [u8; CORE_AXONS],
+    crossbar: Crossbar,
+    neurons: Box<[NeuronConfig]>,
+    potentials: Box<[i32; CORE_NEURONS]>,
+    delay: DelayBuffer,
+    prng: CorePrng,
+    /// Per-neuron, per-axon-type delivered spike counts for the tick in
+    /// progress (the "buffered for integration" state between phases).
+    pending: Box<[[u16; AXON_TYPES]; CORE_NEURONS]>,
+    /// Lifetime fire count, for rate statistics (the paper reports a mean
+    /// spiking rate of 8.1 Hz at full scale).
+    fires: u64,
+    /// Lifetime synaptic events (deliveries through set crossbar bits),
+    /// the dominant term of the energy estimate (paper purpose (e)).
+    synaptic_events: u64,
+    /// Ticks this core has simulated.
+    ticks: u64,
+    #[cfg(debug_assertions)]
+    synapse_done: bool,
+}
+
+impl NeurosynapticCore {
+    /// Instantiates a core from its validated configuration.
+    ///
+    /// # Errors
+    /// Returns the first [`CoreConfigError`] if the config is invalid.
+    pub fn new(config: CoreConfig) -> Result<Self, CoreConfigError> {
+        config.validate()?;
+        let CoreConfig {
+            id,
+            seed,
+            axon_types,
+            crossbar,
+            neurons,
+        } = config;
+        let mut potentials = Box::new([0; CORE_NEURONS]);
+        for (v, n) in potentials.iter_mut().zip(&neurons) {
+            *v = n.initial_potential;
+        }
+        Ok(Self {
+            id,
+            axon_types,
+            crossbar,
+            neurons: neurons.into_boxed_slice(),
+            potentials,
+            delay: DelayBuffer::new(),
+            prng: CorePrng::for_core(seed, id),
+            pending: Box::new([[0; AXON_TYPES]; CORE_NEURONS]),
+            fires: 0,
+            synaptic_events: 0,
+            ticks: 0,
+            #[cfg(debug_assertions)]
+            synapse_done: false,
+        })
+    }
+
+    /// Globally unique core id.
+    pub fn id(&self) -> CoreId {
+        self.id
+    }
+
+    /// Delivers an incoming spike to `axon`, scheduling it in the delay
+    /// buffer for `delivery_tick` — the receive side of the Network phase.
+    /// Order-insensitive and idempotent per (axon, tick) slot.
+    #[inline]
+    pub fn deliver(&mut self, axon: u16, delivery_tick: u32) {
+        self.delay.schedule(usize::from(axon), delivery_tick);
+    }
+
+    /// Synapse phase for tick `t`: drains every axon whose buffered spike
+    /// is due now through the crossbar into the per-neuron pending counts.
+    pub fn synapse_phase(&mut self, t: u32) {
+        let mut events = 0u64;
+        for axon in 0..CORE_AXONS {
+            if self.delay.take(axon, t) {
+                let g = usize::from(self.axon_types[axon]);
+                let pending = &mut self.pending;
+                self.crossbar.for_each_in_row(axon, |n| {
+                    pending[n][g] += 1;
+                    events += 1;
+                });
+            }
+        }
+        self.synaptic_events += events;
+        self.ticks += 1;
+        #[cfg(debug_assertions)]
+        {
+            self.synapse_done = true;
+        }
+    }
+
+    /// Neuron phase for tick `t`: integrate–leak–fire for all 256 neurons,
+    /// invoking `emit` for each spike fired by a connected neuron. Clears
+    /// the pending counts for the next tick.
+    pub fn neuron_phase(&mut self, t: u32, mut emit: impl FnMut(Spike)) {
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(
+                self.synapse_done,
+                "neuron_phase before synapse_phase at tick {t}"
+            );
+            self.synapse_done = false;
+        }
+        for n in 0..CORE_NEURONS {
+            let counts = &mut self.pending[n];
+            let fired = self.neurons[n].step(&mut self.potentials[n], counts, &mut self.prng);
+            *counts = [0; AXON_TYPES];
+            if fired {
+                self.fires += 1;
+                if let Some(target) = self.neurons[n].target {
+                    emit(Spike {
+                        fired_at: t,
+                        target,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Convenience: both on-core phases back to back.
+    pub fn tick(&mut self, t: u32, emit: impl FnMut(Spike)) {
+        self.synapse_phase(t);
+        self.neuron_phase(t, emit);
+    }
+
+    /// Current membrane potential of neuron `n` (observability for tests
+    /// and for the paper's use of Compass in "studying TrueNorth
+    /// dynamics").
+    pub fn potential(&self, n: usize) -> i32 {
+        self.potentials[n]
+    }
+
+    /// Overwrites neuron `n`'s membrane potential (used to set initial
+    /// conditions in applications).
+    pub fn set_potential(&mut self, n: usize, v: i32) {
+        self.potentials[n] = v;
+    }
+
+    /// Lifetime spike count across all neurons of this core.
+    pub fn total_fires(&self) -> u64 {
+        self.fires
+    }
+
+    /// Hardware-event counts for energy estimation (paper purpose (e)).
+    pub fn activity(&self) -> crate::energy::ActivityCounts {
+        crate::energy::ActivityCounts {
+            core_ticks: self.ticks,
+            neuron_updates: self.ticks * CORE_NEURONS as u64,
+            synaptic_events: self.synaptic_events,
+            spikes: self.fires,
+        }
+    }
+
+    /// Spikes currently waiting in the delay buffers.
+    pub fn spikes_in_flight(&self) -> usize {
+        self.delay.in_flight()
+    }
+
+    /// Read-only view of the neuron configurations.
+    pub fn neurons(&self) -> &[NeuronConfig] {
+        &self.neurons
+    }
+
+    /// Read-only view of the crossbar.
+    pub fn crossbar(&self) -> &Crossbar {
+        &self.crossbar
+    }
+}
+
+impl std::fmt::Debug for NeurosynapticCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NeurosynapticCore")
+            .field("id", &self.id)
+            .field("fires", &self.fires)
+            .field("in_flight", &self.delay.in_flight())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spike::SpikeTarget;
+
+    /// A core where axon `a` connects straight through to neuron `a`, all
+    /// weights +1, threshold 1: every delivered spike refires next tick.
+    fn relay_core(id: CoreId) -> NeurosynapticCore {
+        let mut cfg = CoreConfig::blank(id, 42);
+        cfg.crossbar = Crossbar::from_fn(|a, n| a == n);
+        for n in &mut cfg.neurons {
+            n.weights = [1, 0, 0, 0];
+            n.threshold = 1;
+        }
+        NeurosynapticCore::new(cfg).unwrap()
+    }
+
+    #[test]
+    fn quiescent_core_never_fires() {
+        let mut core = relay_core(0);
+        for t in 0..100 {
+            core.tick(t, |_| panic!("spontaneous spike"));
+        }
+        assert_eq!(core.total_fires(), 0);
+    }
+
+    #[test]
+    fn delivered_spike_propagates_through_crossbar_and_fires() {
+        let mut cfg = CoreConfig::blank(1, 0);
+        cfg.crossbar = Crossbar::from_fn(|a, n| a == 7 && n == 9);
+        cfg.neurons[9].weights = [1, 0, 0, 0];
+        cfg.neurons[9].threshold = 1;
+        cfg.neurons[9].target = Some(SpikeTarget::new(55, 3, 2));
+        let mut core = NeurosynapticCore::new(cfg).unwrap();
+
+        core.deliver(7, 5);
+        let mut out = Vec::new();
+        for t in 0..8 {
+            core.tick(t, |s| out.push(s));
+        }
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].fired_at, 5);
+        assert_eq!(out[0].target, SpikeTarget::new(55, 3, 2));
+        assert_eq!(out[0].delivery_tick(), 7);
+        assert_eq!(core.total_fires(), 1);
+    }
+
+    #[test]
+    fn axon_type_selects_weight() {
+        let mut cfg = CoreConfig::blank(2, 0);
+        cfg.axon_types[0] = 0;
+        cfg.axon_types[1] = 2;
+        cfg.crossbar.set(0, 0, true);
+        cfg.crossbar.set(1, 0, true);
+        cfg.neurons[0].weights = [5, 0, -3, 0];
+        cfg.neurons[0].threshold = 1000;
+        let mut core = NeurosynapticCore::new(cfg).unwrap();
+
+        core.deliver(0, 1);
+        core.deliver(1, 1);
+        core.tick(0, |_| {});
+        core.tick(1, |_| {});
+        assert_eq!(core.potential(0), 5 - 3);
+    }
+
+    #[test]
+    fn unconnected_neuron_fires_but_emits_nothing() {
+        let mut core = relay_core(3); // targets are all None
+        core.deliver(0, 1);
+        core.tick(0, |_| {});
+        core.tick(1, |_| panic!("no target, no spike"));
+        assert_eq!(core.total_fires(), 1);
+    }
+
+    #[test]
+    fn fan_out_across_row() {
+        let mut cfg = CoreConfig::blank(4, 0);
+        for n in 0..256 {
+            cfg.crossbar.set(0, n, true);
+            cfg.neurons[n].threshold = 1;
+        }
+        let mut core = NeurosynapticCore::new(cfg).unwrap();
+        core.deliver(0, 1);
+        core.tick(0, |_| {});
+        core.tick(1, |_| {});
+        assert_eq!(core.total_fires(), 256, "one axon drives all 256 neurons");
+    }
+
+    #[test]
+    fn delivery_order_is_irrelevant() {
+        let run = |perm: &[(u16, u32)]| {
+            let mut core = relay_core(9);
+            for &(axon, tick) in perm {
+                core.deliver(axon, tick);
+            }
+            let mut out = Vec::new();
+            for t in 0..10 {
+                core.tick(t, |s| out.push((t, s.fired_at)));
+            }
+            (out, core.total_fires())
+        };
+        let a = run(&[(1, 2), (2, 2), (3, 4), (1, 4)]);
+        let b = run(&[(1, 4), (3, 4), (2, 2), (1, 2)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn same_seed_same_trace_with_stochastic_neurons() {
+        let build = || {
+            let mut cfg = CoreConfig::blank(5, 77);
+            cfg.crossbar = Crossbar::from_fn(|a, n| (a + n) % 3 == 0);
+            for n in &mut cfg.neurons {
+                n.weights = [120, 0, 0, 0];
+                n.stochastic_weight = [true, false, false, false];
+                n.threshold = 2;
+            }
+            NeurosynapticCore::new(cfg).unwrap()
+        };
+        let run = || {
+            let mut core = build();
+            let mut fires = Vec::new();
+            for t in 0..30 {
+                for a in 0..8 {
+                    core.deliver(a, t + 1);
+                }
+                core.tick(t, |_| {});
+                fires.push(core.total_fires());
+            }
+            fires
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn different_cores_decorrelate_under_same_seed() {
+        let build = |id| {
+            let mut cfg = CoreConfig::blank(id, 77);
+            cfg.crossbar = Crossbar::from_fn(|_, _| true);
+            for n in &mut cfg.neurons {
+                n.weights = [128, 0, 0, 0];
+                n.stochastic_weight = [true, false, false, false];
+                n.threshold = 3;
+            }
+            NeurosynapticCore::new(cfg).unwrap()
+        };
+        let run = |id| {
+            let mut core = build(id);
+            core.deliver(0, 1);
+            core.deliver(1, 1);
+            for t in 0..3 {
+                core.tick(t, |_| {});
+            }
+            // Stochastic draws leave a fingerprint in the potentials.
+            (0..64).map(|n| core.potential(n)).collect::<Vec<_>>()
+        };
+        assert_ne!(run(100), run(101), "distinct cores must not mirror");
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_construction() {
+        let mut cfg = CoreConfig::blank(0, 0);
+        cfg.neurons[0].threshold = 0;
+        assert!(NeurosynapticCore::new(cfg).is_err());
+    }
+
+    #[test]
+    fn pending_counts_reset_between_ticks() {
+        let mut cfg = CoreConfig::blank(6, 0);
+        cfg.crossbar.set(0, 0, true);
+        cfg.neurons[0].weights = [1, 0, 0, 0];
+        cfg.neurons[0].threshold = 100;
+        let mut core = NeurosynapticCore::new(cfg).unwrap();
+        core.deliver(0, 1);
+        core.tick(0, |_| {});
+        core.tick(1, |_| {});
+        assert_eq!(core.potential(0), 1);
+        // No further input: potential must not keep climbing.
+        core.tick(2, |_| {});
+        core.tick(3, |_| {});
+        assert_eq!(core.potential(0), 1);
+    }
+
+    #[test]
+    fn in_flight_accounting() {
+        let mut core = relay_core(8);
+        core.deliver(0, 3);
+        core.deliver(1, 5);
+        assert_eq!(core.spikes_in_flight(), 2);
+        core.tick(0, |_| {});
+        assert_eq!(core.spikes_in_flight(), 2);
+        core.tick(1, |_| {});
+        core.tick(2, |_| {});
+        core.tick(3, |_| {});
+        assert_eq!(core.spikes_in_flight(), 1);
+    }
+}

@@ -1,0 +1,269 @@
+//! The 256×256 binary synaptic crossbar.
+//!
+//! A synapse in Compass is a single bit — the paper credits this with a 32×
+//! storage reduction over the C2 simulator's per-synapse records and makes
+//! the *core* (not the synapse) the fundamental data structure. A crossbar
+//! row is the set of neurons (dendrites) an axon connects to; the Synapse
+//! phase walks the row of every axon whose delay buffer has a spike ready
+//! and delivers to each set bit.
+//!
+//! Rows are packed into four `u64` words, so a row walk is four
+//! trailing-zero loops — the dominant inner loop of the whole simulator.
+
+use crate::{CORE_AXONS, CORE_NEURONS};
+
+/// Words per row: 256 neurons / 64 bits.
+const ROW_WORDS: usize = CORE_NEURONS / 64;
+
+/// Bit-packed 256×256 binary synapse matrix. `axon` indexes rows, `neuron`
+/// indexes columns; a set bit is a connected synapse.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Crossbar {
+    rows: Box<[[u64; ROW_WORDS]; CORE_AXONS]>,
+}
+
+impl Default for Crossbar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Crossbar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Crossbar")
+            .field("synapses", &self.count_synapses())
+            .finish()
+    }
+}
+
+impl Crossbar {
+    /// An empty crossbar (no synapses set).
+    pub fn new() -> Self {
+        Self {
+            rows: Box::new([[0; ROW_WORDS]; CORE_AXONS]),
+        }
+    }
+
+    /// Builds a crossbar from a predicate over (axon, neuron) pairs.
+    pub fn from_fn(mut connected: impl FnMut(usize, usize) -> bool) -> Self {
+        let mut xb = Self::new();
+        for axon in 0..CORE_AXONS {
+            for neuron in 0..CORE_NEURONS {
+                if connected(axon, neuron) {
+                    xb.set(axon, neuron, true);
+                }
+            }
+        }
+        xb
+    }
+
+    /// Sets or clears the synapse at (axon, neuron).
+    ///
+    /// # Panics
+    /// Panics if either index is out of range.
+    #[inline]
+    pub fn set(&mut self, axon: usize, neuron: usize, on: bool) {
+        assert!(axon < CORE_AXONS, "axon {axon} out of range");
+        assert!(neuron < CORE_NEURONS, "neuron {neuron} out of range");
+        let word = &mut self.rows[axon][neuron / 64];
+        let bit = 1u64 << (neuron % 64);
+        if on {
+            *word |= bit;
+        } else {
+            *word &= !bit;
+        }
+    }
+
+    /// Whether the synapse at (axon, neuron) is set.
+    #[inline]
+    pub fn get(&self, axon: usize, neuron: usize) -> bool {
+        self.rows[axon][neuron / 64] & (1u64 << (neuron % 64)) != 0
+    }
+
+    /// Visits every connected neuron on `axon`'s row in ascending order.
+    ///
+    /// This is the Synapse-phase inner loop; it touches only the four row
+    /// words and runs one iteration per *set* synapse.
+    #[inline]
+    pub fn for_each_in_row(&self, axon: usize, mut f: impl FnMut(usize)) {
+        let row = &self.rows[axon];
+        for (w, &word) in row.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let n = w * 64 + bits.trailing_zeros() as usize;
+                f(n);
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /// The raw bit words of `axon`'s row (4 × 64 bits covering all 256
+    /// neurons) — the zero-copy path for serialization.
+    #[inline]
+    pub fn row_words(&self, axon: usize) -> &[u64; 4] {
+        &self.rows[axon]
+    }
+
+    /// Overwrites `axon`'s row from raw bit words — the deserialization
+    /// counterpart of [`Crossbar::row_words`].
+    #[inline]
+    pub fn set_row_words(&mut self, axon: usize, words: [u64; 4]) {
+        self.rows[axon] = words;
+    }
+
+    /// Number of set synapses on one row (an axon's fan-out within the core).
+    pub fn row_degree(&self, axon: usize) -> usize {
+        self.rows[axon]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// Total set synapses in the crossbar.
+    pub fn count_synapses(&self) -> usize {
+        (0..CORE_AXONS).map(|a| self.row_degree(a)).sum()
+    }
+
+    /// Fraction of possible synapses that are set.
+    pub fn density(&self) -> f64 {
+        self.count_synapses() as f64 / (CORE_AXONS * CORE_NEURONS) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty() {
+        let xb = Crossbar::new();
+        assert_eq!(xb.count_synapses(), 0);
+        assert!(!xb.get(0, 0));
+        assert_eq!(xb.density(), 0.0);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut xb = Crossbar::new();
+        xb.set(3, 200, true);
+        assert!(xb.get(3, 200));
+        assert!(!xb.get(3, 201));
+        assert!(!xb.get(4, 200));
+        xb.set(3, 200, false);
+        assert!(!xb.get(3, 200));
+    }
+
+    #[test]
+    fn corner_indices() {
+        let mut xb = Crossbar::new();
+        for (a, n) in [(0, 0), (0, 255), (255, 0), (255, 255), (0, 63), (0, 64)] {
+            xb.set(a, n, true);
+            assert!(xb.get(a, n), "({a},{n})");
+        }
+        assert_eq!(xb.count_synapses(), 6);
+    }
+
+    #[test]
+    fn row_iteration_matches_naive_scan() {
+        let mut xb = Crossbar::new();
+        // A patterned row crossing word boundaries.
+        let naive: Vec<usize> = (0..CORE_NEURONS).filter(|n| n % 7 == 3).collect();
+        for &n in &naive {
+            xb.set(5, n, true);
+        }
+        let mut walked = Vec::new();
+        xb.for_each_in_row(5, |n| walked.push(n));
+        assert_eq!(walked, naive);
+        assert_eq!(xb.row_degree(5), naive.len());
+    }
+
+    #[test]
+    fn from_fn_builds_expected_pattern() {
+        let xb = Crossbar::from_fn(|a, n| a == n);
+        assert_eq!(xb.count_synapses(), 256);
+        for i in 0..256 {
+            assert!(xb.get(i, i));
+        }
+        assert!((xb.density() - 1.0 / 256.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_crossbar_density_is_one() {
+        let xb = Crossbar::from_fn(|_, _| true);
+        assert_eq!(xb.count_synapses(), 65536);
+        assert_eq!(xb.density(), 1.0);
+    }
+
+    #[test]
+    fn row_words_roundtrip() {
+        let mut xb = Crossbar::new();
+        xb.set(3, 1, true);
+        xb.set(3, 65, true);
+        xb.set(3, 200, true);
+        let words = *xb.row_words(3);
+        assert_eq!(words[0], 1 << 1);
+        assert_eq!(words[1], 1 << 1);
+        let mut other = Crossbar::new();
+        other.set_row_words(3, words);
+        assert_eq!(xb, other);
+        assert_eq!(other.row_degree(3), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_rejects_bad_axon() {
+        Crossbar::new().set(256, 0, true);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_rejects_bad_neuron() {
+        Crossbar::new().set(0, 256, true);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Row walking visits exactly the set bits, in order, for arbitrary
+        /// sparse patterns.
+        #[test]
+        fn walk_equals_filter(pattern in proptest::collection::btree_set(0usize..256, 0..64),
+                              axon in 0usize..256) {
+            let mut xb = Crossbar::new();
+            for &n in &pattern {
+                xb.set(axon, n, true);
+            }
+            let mut walked = Vec::new();
+            xb.for_each_in_row(axon, |n| walked.push(n));
+            let expect: Vec<usize> = pattern.into_iter().collect();
+            prop_assert_eq!(walked, expect);
+        }
+
+        /// set(on) then set(off) restores the empty row.
+        #[test]
+        fn set_clear_restores(ops in proptest::collection::vec((0usize..256, 0usize..256), 0..100)) {
+            let mut xb = Crossbar::new();
+            for &(a, n) in &ops {
+                xb.set(a, n, true);
+            }
+            for &(a, n) in &ops {
+                xb.set(a, n, false);
+            }
+            prop_assert_eq!(xb.count_synapses(), 0);
+        }
+
+        /// count_synapses equals the number of distinct set pairs.
+        #[test]
+        fn count_matches_distinct(pairs in proptest::collection::btree_set((0usize..256, 0usize..256), 0..200)) {
+            let mut xb = Crossbar::new();
+            for &(a, n) in &pairs {
+                xb.set(a, n, true);
+            }
+            prop_assert_eq!(xb.count_synapses(), pairs.len());
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! The TrueNorth neurosynaptic-core architecture model.
+//!
+//! §II of the SC'12 Compass paper defines the simulated instance of a
+//! TrueNorth core: **256 axons**, **256 dendrites feeding 256 neurons**, and
+//! a **256×256 binary crossbar** between them. Neurons are digital
+//! integrate-leak-and-fire circuits; a buffer in front of each axon holds
+//! incoming spikes until their axonal delay expires; a per-core
+//! pseudo-random number generator with a configurable seed drives the
+//! optional stochastic weight and leak modes; a 1000 Hz "slow clock" tick
+//! discretizes the dynamics into 1 ms steps.
+//!
+//! Per tick, a core (in the paper's words):
+//!
+//! 1. cycles through its axons; for each axon with a spike ready at this
+//!    tick, delivers each set synapse on the axon's crossbar row to the
+//!    corresponding neuron, which increments its membrane potential by a
+//!    (possibly stochastic) weight selected by the *axon type*;
+//! 2. applies a configurable (possibly stochastic) leak to every neuron;
+//! 3. fires a spike from every neuron whose membrane potential exceeds its
+//!    threshold; the spike is delivered through the network to exactly one
+//!    target axon anywhere in the system, where it is scheduled into the
+//!    delay buffer.
+//!
+//! Crucially, *synaptic and neuronal state never leaves a core — only
+//! spikes do* — and a delivered spike is OR-ed into a delay-buffer slot, so
+//! core dynamics are **independent of spike arrival order**. That property
+//! is what lets the Compass simulator above this crate guarantee
+//! bit-identical traces for any rank/thread decomposition and for both the
+//! MPI-style and PGAS backends (the paper's "one-to-one equivalence"
+//! contract between simulator and hardware).
+//!
+//! The fundamental data structure is the *core*, not the synapse — a
+//! synapse is a single crossbar bit, which the paper credits with a 32×
+//! storage reduction over the earlier C2 simulator.
+
+pub mod config;
+pub mod core;
+pub mod crossbar;
+pub mod delay;
+pub mod energy;
+pub mod neuron;
+pub mod prng;
+pub mod spike;
+
+pub use config::{CoreConfig, CoreConfigError};
+pub use energy::{ActivityCounts, EnergyEstimate, EnergyModel};
+pub use core::NeurosynapticCore;
+pub use crossbar::Crossbar;
+pub use delay::DelayBuffer;
+pub use neuron::{NeuronConfig, ResetMode};
+pub use prng::CorePrng;
+pub use spike::{Spike, SpikeTarget, SPIKE_WIRE_BYTES};
+
+/// Axons per core (paper §II: "256 axons").
+pub const CORE_AXONS: usize = 256;
+
+/// Neurons per core (paper §II: "256 dendrites feeding to 256 neurons").
+pub const CORE_NEURONS: usize = 256;
+
+/// Distinct axon types; each neuron holds one signed weight per type.
+/// TrueNorth provides four (types G0–G3).
+pub const AXON_TYPES: usize = 4;
+
+/// Maximum axonal delay in ticks. Delays are 1..=15, giving a 16-slot
+/// circular delay buffer per axon (4-bit delay field in the spike packet).
+pub const MAX_DELAY: u32 = 15;
+
+/// Delay-buffer ring length (one slot per possible in-flight tick).
+pub const DELAY_SLOTS: usize = (MAX_DELAY as usize) + 1;
+
+/// Global core identifier. 64 bits: the paper simulates up to 256M cores
+/// and the architecture is "highly scalable in terms of number of cores".
+pub type CoreId = u64;
+
+/// Synapses per core (the 256×256 binary crossbar).
+pub const CORE_SYNAPSES: usize = CORE_AXONS * CORE_NEURONS;

@@ -1,0 +1,158 @@
+//! Visual attention on TrueNorth cores — saliency-driven spotlight with
+//! inhibition of return.
+//!
+//! §I of the paper lists "attention mechanisms" among the applications
+//! demonstrated on Compass. This example builds the classic
+//! saliency-map-plus-WTA attention circuit (Koch & Ullman / Itti-style)
+//! from the primitive library:
+//!
+//! * a 4×4 grid of locations, each receiving a rate-coded "saliency" input
+//!   stream (higher rate = more salient);
+//! * a [`winner_take_all`] stage over the 16 locations selects the current
+//!   focus of attention;
+//! * each focus spike also feeds back into that location's *inhibition*
+//!   accumulator (a rate divider), and once a location has been attended
+//!   long enough the feedback silences its input relay — inhibition of
+//!   return, making the spotlight *scan* the salient locations in
+//!   decreasing order rather than locking onto the brightest forever.
+//!
+//! Run with: `cargo run --release --example attention_search`
+
+use compass::comm::WorldConfig;
+use compass::primitives::{rate_divider, splitter, winner_take_all, CircuitBuilder};
+use compass::sim::{run, Backend, EngineConfig};
+use compass::tn::NeuronConfig;
+
+const GRID: usize = 4;
+const LOCATIONS: usize = GRID * GRID;
+/// Focus spikes at one location before inhibition of return kicks in.
+const DWELL: u32 = 4;
+
+fn main() {
+    let mut b = CircuitBuilder::new(7);
+
+    // --- Input stage: a gateable relay per location ---------------------
+    // Each location's relay neuron forwards its saliency stream unless the
+    // inhibition line has driven its potential deep negative.
+    let gate_core = b.add_core();
+    let mut saliency_in = Vec::new(); // external input axons
+    let mut gate_out = Vec::new(); // relay outputs
+    let mut inhibit_in = Vec::new(); // inhibition axons (type 1)
+    for _ in 0..LOCATIONS {
+        let inp = b.alloc_axon(gate_core, 0);
+        let inh = b.alloc_axon(gate_core, 1);
+        let relay = b.alloc_neuron(
+            gate_core,
+            NeuronConfig {
+                // +2 per saliency spike, -120 per inhibition spike: one
+                // inhibition spike silences the relay until ~60 further
+                // input spikes have climbed it back — so recovery speed is
+                // itself saliency-weighted, and empty locations (no input,
+                // no leak) can never fire.
+                weights: [2, -120, 0, 0],
+                leak: 0,
+                threshold: 2,
+                floor: -120,
+                ..NeuronConfig::default()
+            },
+        );
+        b.synapse(inp, &relay);
+        b.synapse(inh, &relay);
+        saliency_in.push(inp);
+        inhibit_in.push(inh);
+        gate_out.push(relay);
+    }
+
+    // --- Competition stage ----------------------------------------------
+    let wta = winner_take_all(&mut b, LOCATIONS);
+    for (out, inp) in gate_out.into_iter().zip(wta.inputs.iter()) {
+        b.connect(out, *inp, 1);
+    }
+
+    // --- Focus output + inhibition of return ----------------------------
+    // Each WTA output fans out: one copy is the observable focus spike,
+    // one copy counts toward inhibition of return through a /DWELL divider
+    // whose output hits the gate's inhibition axon.
+    let sink = b.add_core();
+    let mut focus_taps = Vec::new();
+    for (loc, out) in wta.outputs.into_iter().enumerate() {
+        let split = splitter(&mut b, 2);
+        b.connect(out, split.inputs[0], 1);
+        let mut copies = split.outputs.into_iter();
+        let tap = b.alloc_axon(sink, 0);
+        b.connect(copies.next().unwrap(), tap, 1);
+        focus_taps.push(tap.axon);
+        let ior = rate_divider(&mut b, DWELL);
+        b.connect(copies.next().unwrap(), ior.inputs[0], 1);
+        b.connect(
+            ior.outputs.into_iter().next().unwrap(),
+            inhibit_in[loc],
+            1,
+        );
+    }
+
+    // --- Scene: three salient blobs of different strength ----------------
+    // Location 5 strongest (rate 1/2), 10 medium (1/3), 15 weak (1/5).
+    let scene: [(usize, usize); 3] = [(5, 2), (10, 3), (15, 5)];
+    let ticks = 400u32;
+    for &(loc, step) in &scene {
+        for t in (2..ticks - 20).step_by(step) {
+            b.inject(saliency_in[loc], t);
+        }
+    }
+
+    let model = b.finish();
+    let report = run(
+        &model,
+        WorldConfig::flat(2),
+        &EngineConfig {
+            ticks,
+            backend: Backend::Mpi,
+            record_trace: true,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("attention circuit is valid");
+
+    // --- Analyze the spotlight trajectory --------------------------------
+    let trace = report.sorted_trace();
+    // The packing allocator may co-locate other blocks' axons on the sink
+    // core; only the registered tap axons are focus events.
+    let focus: Vec<(u32, usize)> = trace
+        .iter()
+        .filter(|s| s.target.core == sink)
+        .filter_map(|s| {
+            focus_taps
+                .iter()
+                .position(|&a| a == s.target.axon)
+                .map(|loc| (s.fired_at, loc))
+        })
+        .collect();
+
+    println!("attention over a {GRID}x{GRID} saliency map (3 blobs: strong@5, medium@10, weak@15)\n");
+    println!("spotlight timeline (tick -> location):");
+    let mut last = usize::MAX;
+    for &(t, loc) in &focus {
+        if loc != last {
+            println!("  tick {t:>4}: focus moves to location {loc}");
+            last = loc;
+        }
+    }
+    let visited: std::collections::BTreeSet<usize> = focus.iter().map(|&(_, l)| l).collect();
+    let first_focus = focus.first().map(|&(_, l)| l);
+    println!("\nlocations attended: {visited:?}");
+    assert_eq!(
+        first_focus,
+        Some(5),
+        "the strongest blob must capture attention first"
+    );
+    assert!(
+        visited.contains(&10),
+        "inhibition of return must release the spotlight to the medium blob"
+    );
+    assert!(
+        visited.iter().all(|l| [5usize, 10, 15].contains(l)),
+        "attention must not land on empty locations: {visited:?}"
+    );
+    println!("\nspotlight scans salient locations in order — attention with inhibition of return");
+}

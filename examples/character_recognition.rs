@@ -1,0 +1,194 @@
+//! Character recognition on a single TrueNorth core.
+//!
+//! §I of the paper lists character recognition among the applications
+//! demonstrated on Compass. This example shows the classic TrueNorth
+//! template-matching pattern on one neurosynaptic core:
+//!
+//! * an 8×8 binary glyph is presented as spikes on 128 axons — axon `p`
+//!   carries "pixel p is ON" (axon type G0, weight +1) and axon `64 + p`
+//!   carries the same event on a penalty line (type G1, weight −1);
+//! * class neuron `j` connects to the ON-axons of its template's pixels
+//!   and to the penalty axons of its template's *background* pixels, so
+//!   its membrane potential after a presentation is
+//!   `matches − spurious_pixels`;
+//! * the threshold implements the decision margin: the neuron fires iff
+//!   the presented glyph is close enough to its template.
+//!
+//! We present noisy versions of four glyphs and report the confusion
+//! matrix and accuracy.
+//!
+//! Run with: `cargo run --release --example character_recognition`
+
+use compass::comm::WorldConfig;
+use compass::sim::{run, Backend, EngineConfig, NetworkModel};
+use compass::tn::prng::CorePrng;
+use compass::tn::{CoreConfig, SpikeTarget};
+
+/// 8×8 glyph templates (rows top to bottom; '#' = ON).
+const GLYPHS: [(&str, [&str; 8]); 4] = [
+    (
+        "T",
+        [
+            "########", "...##...", "...##...", "...##...", "...##...", "...##...", "...##...",
+            "...##...",
+        ],
+    ),
+    (
+        "L",
+        [
+            "##......", "##......", "##......", "##......", "##......", "##......", "########",
+            "########",
+        ],
+    ),
+    (
+        "X",
+        [
+            "##....##", ".##..##.", "..####..", "...##...", "..####..", ".##..##.", "##....##",
+            "##....##",
+        ],
+    ),
+    (
+        "O",
+        [
+            ".######.", "##....##", "##....##", "##....##", "##....##", "##....##", "##....##",
+            ".######.",
+        ],
+    ),
+];
+
+const PIXELS: usize = 64;
+const MARGIN: i32 = 6; // decision margin: tolerate this much mismatch
+
+fn glyph_pixels(rows: &[&str; 8]) -> Vec<bool> {
+    rows.iter()
+        .flat_map(|r| r.chars().map(|c| c == '#'))
+        .collect()
+}
+
+fn main() {
+    // --- 1. Build the classifier core ----------------------------------
+    let mut cfg = CoreConfig::blank(0, 1);
+    // Axons 0..64: ON lines (type 0); axons 64..128: penalty lines (type 1).
+    for p in 0..PIXELS {
+        cfg.axon_types[p] = 0;
+        cfg.axon_types[PIXELS + p] = 1;
+    }
+    let templates: Vec<(char, Vec<bool>)> = GLYPHS
+        .iter()
+        .map(|(name, rows)| (name.chars().next().unwrap(), glyph_pixels(rows)))
+        .collect();
+    for (j, (_, tpl)) in templates.iter().enumerate() {
+        let on_count = tpl.iter().filter(|&&b| b).count() as i32;
+        for (p, &on) in tpl.iter().enumerate() {
+            if on {
+                cfg.crossbar.set(p, j, true); // reward matching pixels
+            } else {
+                cfg.crossbar.set(PIXELS + p, j, true); // punish spurious ones
+            }
+        }
+        let neuron = &mut cfg.neurons[j];
+        neuron.weights = [1, -1, 0, 0];
+        // The −8 deterministic leak (set below) applies before the
+        // threshold test, so fold it into the margin; the floor of 0 means
+        // residue from a losing frame decays to rest within 3 idle ticks.
+        neuron.threshold = on_count - MARGIN - 8;
+        neuron.leak = -8;
+        neuron.floor = 0;
+        // Report the decision off-core (axon j of a fictitious sink core).
+        neuron.target = Some(SpikeTarget::new(1, j as u16, 1));
+    }
+    // Core 1 is a silent sink that absorbs the decision spikes.
+    let sink = CoreConfig::blank(1, 1);
+
+    // --- 2. Build the presentation schedule ----------------------------
+    // One glyph every 4 ticks: present at tick t, the winner fires at t
+    // (and resets to 0); losers' residue decays to the floor of 0 during
+    // the idle ticks through the −8 leak, so frames are independent.
+    let mut prng = CorePrng::from_seed(99);
+    let mut schedule: Vec<(u64, u16, u32)> = Vec::new();
+    let mut truth: Vec<(u32, usize)> = Vec::new(); // (tick, class)
+    let presentations = 200;
+    let noise_flips = 4; // pixels flipped per presentation
+    for i in 0..presentations {
+        let tick = 2 + i * 4; // one frame every 4 ticks
+        let class = prng.next_below(templates.len() as u32) as usize;
+        let mut pixels = templates[class].1.clone();
+        for _ in 0..noise_flips {
+            let p = prng.next_below(PIXELS as u32) as usize;
+            pixels[p] = !pixels[p];
+        }
+        for (p, &on) in pixels.iter().enumerate() {
+            if on {
+                schedule.push((0, p as u16, tick)); // ON line
+                schedule.push((0, (PIXELS + p) as u16, tick)); // penalty line
+            }
+        }
+        truth.push((tick, class));
+    }
+
+    let model = NetworkModel {
+        cores: vec![cfg, sink],
+        initial_deliveries: schedule,
+    };
+    model.validate().expect("classifier model is well-formed");
+
+    // --- 3. Run and score ------------------------------------------------
+    let ticks = 2 + presentations * 4 + 4;
+    let report = run(
+        &model,
+        WorldConfig::flat(1),
+        &EngineConfig {
+            ticks,
+            backend: Backend::Mpi,
+            record_trace: true,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("run succeeds");
+
+    let trace = report.sorted_trace();
+    let mut confusion = [[0u32; 4]; 4];
+    let mut correct = 0;
+    let mut silent = 0;
+    for &(tick, class) in &truth {
+        let decisions: Vec<usize> = trace
+            .iter()
+            .filter(|s| s.fired_at == tick && s.target.core == 1)
+            .map(|s| s.target.axon as usize)
+            .collect();
+        match decisions.as_slice() {
+            [] => silent += 1,
+            ds => {
+                // If several fire, take the first (a WTA circuit would
+                // arbitrate on hardware).
+                let d = ds[0];
+                confusion[class][d] += 1;
+                if d == class {
+                    correct += 1;
+                }
+            }
+        }
+    }
+
+    println!(
+        "presented {presentations} noisy glyphs ({noise_flips} flipped pixels each), margin {MARGIN}"
+    );
+    println!("accuracy: {correct}/{presentations} ({silent} below margin)\n");
+    println!("confusion matrix (rows = truth, cols = decision):");
+    print!("     ");
+    for (name, _) in &templates {
+        print!("{name:>5}");
+    }
+    println!();
+    for (i, (name, _)) in templates.iter().enumerate() {
+        print!("  {name:>3}:");
+        for count in confusion[i].iter().take(templates.len()) {
+            print!("{count:>5}");
+        }
+        println!();
+    }
+    assert!(
+        correct as f64 / presentations as f64 > 0.9,
+        "template matcher should be >90% accurate at this noise level"
+    );
+}

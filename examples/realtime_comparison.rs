@@ -1,0 +1,73 @@
+//! PGAS vs MPI for real-time simulation — the §VII experiment, live.
+//!
+//! Builds the paper's synthetic system (75% of neurons connect to cores on
+//! the same rank, 25% remote, every neuron firing at 10 Hz), runs 1000
+//! ticks under both communication backends, and reports wall time, the
+//! achieved ticks/second, and how large a system each backend can simulate
+//! under the soft real-time constraint (1000 ticks per wall-clock second).
+//!
+//! On Blue Gene/P the paper measured the PGAS implementation at 81K cores
+//! in real time with MPI taking 2.1× as long; the *ordering* (PGAS faster,
+//! because it drops the Reduce-scatter and tag matching) is the result to
+//! look for here.
+//!
+//! Run with: `cargo run --release --example realtime_comparison`
+
+use compass::cocomac::{synthetic_realtime, SyntheticParams};
+use compass::comm::WorldConfig;
+use compass::sim::{run, Backend, EngineConfig};
+
+fn main() {
+    let ranks = 4;
+    let ticks = 1000;
+
+    println!("synthetic system: 75% rank-local connectivity, 10 Hz, {ranks} ranks, {ticks} ticks");
+    println!(
+        "{:>8} | {:>12} {:>12} | {:>12} {:>12} | {:>7}",
+        "cores", "MPI wall", "MPI tick/s", "PGAS wall", "PGAS tick/s", "PGAS adv"
+    );
+
+    let mut largest_rt = (0u64, 0u64); // (mpi, pgas) largest real-time size
+    for cores in [16u64, 32, 64, 128, 256, 512, 1024] {
+        let model = synthetic_realtime(SyntheticParams {
+            cores,
+            ranks,
+            local_fraction: 0.75,
+            rate_hz: 10,
+            seed: 7,
+        });
+
+        let mut walls = Vec::new();
+        for backend in [Backend::Mpi, Backend::Pgas] {
+            let report = run(
+                &model,
+                WorldConfig::flat(ranks),
+                &EngineConfig::new(ticks, backend),
+            )
+            .expect("valid model");
+            walls.push(report.wall);
+        }
+        let tps = |w: std::time::Duration| f64::from(ticks) / w.as_secs_f64();
+        let advantage = walls[0].as_secs_f64() / walls[1].as_secs_f64();
+        println!(
+            "{:>8} | {:>12.3?} {:>12.0} | {:>12.3?} {:>12.0} | {:>6.2}x",
+            cores,
+            walls[0],
+            tps(walls[0]),
+            walls[1],
+            tps(walls[1]),
+            advantage
+        );
+        if tps(walls[0]) >= 1000.0 {
+            largest_rt.0 = cores;
+        }
+        if tps(walls[1]) >= 1000.0 {
+            largest_rt.1 = cores;
+        }
+    }
+
+    println!("\nlargest size meeting the 1000 ticks/s soft real-time constraint:");
+    println!("  MPI : {} cores", largest_rt.0);
+    println!("  PGAS: {} cores", largest_rt.1);
+    println!("(the paper: PGAS 81K cores on 4 BG/P racks; MPI 2.1x slower at that size)");
+}

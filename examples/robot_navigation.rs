@@ -1,0 +1,171 @@
+//! Robotic navigation on TrueNorth cores — a closed-loop Braitenberg
+//! vehicle.
+//!
+//! §I of the paper lists "robotic navigation" and "real-time motor
+//! control" among the applications demonstrated on Compass. Those are
+//! *closed-loop* problems: each tick's sensory input depends on where the
+//! previous ticks' motor output drove the robot. This example closes the
+//! loop through [`SoloSimulation`]:
+//!
+//! * a simulated 2-D world holds a light source and a two-wheeled robot;
+//! * two light sensors (left/right of heading) convert light intensity to
+//!   spike rates on sensor axons;
+//! * the TrueNorth controller is a Braitenberg "aggressor" (type 2a):
+//!   each sensor drives the *contralateral* wheel, so the robot turns
+//!   toward the light and accelerates as it closes in;
+//! * wheel spikes integrate into wheel speeds, the world updates, and the
+//!   new sensor readings feed the next tick.
+//!
+//! Run with: `cargo run --release --example robot_navigation`
+
+use compass::sim::{NetworkModel, SoloSimulation};
+use compass::tn::{CoreConfig, NeuronConfig, SpikeTarget};
+
+const CTRL: u64 = 0; // controller core
+const MOTOR: u64 = 1; // motor sink core
+const LEFT_SENSOR: u16 = 0;
+const RIGHT_SENSOR: u16 = 1;
+const LEFT_WHEEL: usize = 0; // controller neuron indices
+const RIGHT_WHEEL: usize = 1;
+
+/// Braitenberg 2a controller: sensors cross to opposite wheels.
+fn controller() -> NetworkModel {
+    let mut ctrl = CoreConfig::blank(CTRL, 1);
+    // Crossed wiring: left sensor axon -> right wheel neuron, and vice
+    // versa. Integrate a couple of sensor spikes per motor spike so wheel
+    // speed tracks light intensity smoothly.
+    ctrl.crossbar.set(LEFT_SENSOR as usize, RIGHT_WHEEL, true);
+    ctrl.crossbar.set(RIGHT_SENSOR as usize, LEFT_WHEEL, true);
+    for (wheel, axon) in [(LEFT_WHEEL, 0u16), (RIGHT_WHEEL, 1u16)] {
+        ctrl.neurons[wheel] = NeuronConfig {
+            weights: [1, 0, 0, 0],
+            threshold: 2, // two sensor spikes per wheel impulse
+            reset: compass::tn::ResetMode::Linear,
+            floor: 0,
+            target: Some(SpikeTarget::new(MOTOR, axon, 1)),
+            ..NeuronConfig::default()
+        };
+    }
+    NetworkModel {
+        cores: vec![ctrl, CoreConfig::blank(MOTOR, 1)],
+        initial_deliveries: Vec::new(),
+    }
+}
+
+struct World {
+    x: f64,
+    y: f64,
+    heading: f64, // radians
+    light: (f64, f64),
+}
+
+impl World {
+    /// Light intensity seen by a sensor offset ±40° from heading,
+    /// inverse-square in distance with a forward-facing cosine lobe.
+    fn sensor_intensity(&self, side: f64) -> f64 {
+        let dir = self.heading + side * 0.7;
+        let (dx, dy) = (self.light.0 - self.x, self.light.1 - self.y);
+        let dist2 = dx * dx + dy * dy;
+        let bearing = dy.atan2(dx);
+        let align = (bearing - dir).cos().max(0.0);
+        40.0 * align / (1.0 + dist2 / 100.0)
+    }
+
+    fn distance_to_light(&self) -> f64 {
+        let (dx, dy) = (self.light.0 - self.x, self.light.1 - self.y);
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+fn main() {
+    let model = controller();
+    let mut sim = SoloSimulation::new(&model).expect("controller is valid");
+    let mut world = World {
+        x: 0.0,
+        y: 0.0,
+        heading: 1.9, // initially facing away-ish
+        light: (30.0, 10.0),
+    };
+
+    println!("Braitenberg vehicle chasing a light at {:?}\n", world.light);
+    println!(
+        "{:>5} {:>8} {:>8} {:>9} {:>9} {:>8}",
+        "tick", "x", "y", "heading", "distance", "wheels"
+    );
+
+    let mut left_acc = 0.0f64;
+    let mut right_acc = 0.0f64;
+    let mut converged_at = None;
+    for t in 0..2000u32 {
+        // --- Sense: intensity -> spike probability per tick -------------
+        let li = world.sensor_intensity(0.5);
+        let ri = world.sensor_intensity(-0.5);
+        // Deterministic rate coding: accumulate intensity, spike on carry.
+        left_acc += li / 20.0;
+        right_acc += ri / 20.0;
+        if left_acc >= 1.0 {
+            left_acc -= 1.0;
+            sim.inject(CTRL, LEFT_SENSOR);
+        }
+        if right_acc >= 1.0 {
+            right_acc -= 1.0;
+            sim.inject(CTRL, RIGHT_SENSOR);
+        }
+
+        // --- Think: one controller tick ---------------------------------
+        let out = sim.step();
+
+        // --- Act: wheel impulses move the robot -------------------------
+        let mut left_impulse = 0.0;
+        let mut right_impulse = 0.0;
+        for s in &out {
+            if s.target.core == MOTOR {
+                match s.target.axon {
+                    0 => left_impulse += 1.0,
+                    1 => right_impulse += 1.0,
+                    _ => {}
+                }
+            }
+        }
+        let speed = 0.25 * (left_impulse + right_impulse);
+        let turn = 0.18 * (right_impulse - left_impulse);
+        world.heading += turn;
+        world.x += speed * world.heading.cos();
+        world.y += speed * world.heading.sin();
+
+        if t % 200 == 0 {
+            println!(
+                "{:>5} {:>8.1} {:>8.1} {:>9.2} {:>9.1} {:>4.0}/{:<3.0}",
+                t,
+                world.x,
+                world.y,
+                world.heading,
+                world.distance_to_light(),
+                left_impulse,
+                right_impulse
+            );
+        }
+        if world.distance_to_light() < 3.0 {
+            converged_at = Some(t);
+            break;
+        }
+    }
+
+    match converged_at {
+        Some(t) => {
+            println!(
+                "\nreached the light at tick {t} ({}s of robot time), final position ({:.1}, {:.1})",
+                f64::from(t) / 1000.0,
+                world.x,
+                world.y
+            );
+        }
+        None => panic!(
+            "robot failed to reach the light: at ({:.1}, {:.1}), distance {:.1}",
+            world.x,
+            world.y,
+            world.distance_to_light()
+        ),
+    }
+    println!("closed-loop control: sensors -> TrueNorth controller -> wheels -> world -> sensors");
+}

@@ -1,0 +1,8 @@
+# Minimal two-region demo: a driven thalamic relay feeding a cortical
+# region, with feedback. Compile with:
+#   cargo run --release -p compass-pcc --bin pcc-compile -- models/demo.cob --cores 8
+param seed=5 synapse_density=0.05
+region IN  class=thalamic volume=1.0 drive_period=20
+region OUT class=cortical volume=2.0
+connect IN OUT weight=1.0
+connect OUT IN weight=0.5

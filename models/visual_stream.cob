@@ -1,0 +1,30 @@
+# A ventral-visual-stream sketch: retina-driven LGN through V1/V2/V4 to
+# IT, with the canonical feedforward + feedback ladder and a pulvinar
+# side channel. Volumes are in relative atlas units.
+#
+#   cargo run --release -p compass-pcc --bin pcc-compile -- models/visual_stream.cob --cores 64 --ranks 4
+param seed=42 synapse_density=0.125
+
+region LGN class=thalamic volume=1.0  drive_period=125   # retinal drive
+region PUL class=thalamic volume=0.8  drive_period=200   # pulvinar
+region V1  class=cortical volume=6.0  intra=0.4
+region V2  class=cortical volume=5.0  intra=0.4
+region V4  class=cortical volume=3.0  intra=0.4
+region IT  class=cortical volume=2.5  intra=0.5          # more recurrence
+
+# Feedforward ladder
+connect LGN V1 weight=4.0
+connect V1  V2 weight=3.0
+connect V2  V4 weight=2.0
+connect V4  IT weight=2.0
+
+# Feedback ladder (weaker, as in cortex)
+connect V2 V1 weight=1.0
+connect V4 V2 weight=1.0
+connect IT V4 weight=1.0
+connect V1 LGN weight=0.5
+
+# Pulvinar side loop coupling the ventral areas
+connect PUL V2 weight=0.5
+connect PUL V4 weight=0.5
+connect V4  PUL weight=0.5

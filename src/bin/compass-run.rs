@@ -1,0 +1,232 @@
+//! `compass-run` — run a TrueNorth model end to end from the command line.
+//!
+//! ```text
+//! compass-run --workload cocomac   [--cores N] [--ranks R] [--threads T]
+//!             [--ticks K] [--backend mpi|pgas] [--seed S] [--regions]
+//! compass-run --workload synthetic [--cores N] [--ranks R] ...
+//! compass-run --workload ring      [--cores N] ...
+//! compass-run --model model.cmps   [--ranks R] ...
+//! ```
+//!
+//! Workloads: `cocomac` compiles the §V macaque test network in situ (the
+//! paper's flagship flow), `synthetic` builds the §VII real-time system,
+//! `ring` is the quickstart relay ring, and `--model` loads an expanded
+//! model written by `pcc-compile`. Prints the run report; `--regions` adds
+//! the per-region activity table for compiled workloads.
+
+use compass::cocomac::{macaque_network, synthetic_realtime, SyntheticParams};
+use compass::comm::{World, WorldConfig};
+use compass::pcc::{compile, expanded, region_activity};
+use compass::sim::{run, run_rank, Backend, EngineConfig, NetworkModel, RunReport};
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Opts {
+    workload: Option<String>,
+    model: Option<String>,
+    cores: u64,
+    ranks: usize,
+    threads: usize,
+    ticks: u32,
+    backend: Backend,
+    seed: u64,
+    regions: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: compass-run (--workload cocomac|synthetic|ring | --model FILE)\n\
+         \x20      [--cores N] [--ranks R] [--threads T] [--ticks K]\n\
+         \x20      [--backend mpi|pgas] [--seed S] [--regions]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse() -> Result<Opts, ExitCode> {
+    let mut o = Opts {
+        workload: None,
+        model: None,
+        cores: 308,
+        ranks: 2,
+        threads: 1,
+        ticks: 200,
+        backend: Backend::Mpi,
+        seed: 2012,
+        regions: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = |name: &str| {
+            it.next().cloned().ok_or_else(|| {
+                eprintln!("compass-run: {name} needs a value");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--workload" => o.workload = Some(next("--workload")?),
+            "--model" => o.model = Some(next("--model")?),
+            "--cores" => {
+                o.cores = next("--cores")?.parse().map_err(|_| usage())?;
+            }
+            "--ranks" => {
+                o.ranks = next("--ranks")?.parse().map_err(|_| usage())?;
+            }
+            "--threads" => {
+                o.threads = next("--threads")?.parse().map_err(|_| usage())?;
+            }
+            "--ticks" => {
+                o.ticks = next("--ticks")?.parse().map_err(|_| usage())?;
+            }
+            "--seed" => {
+                o.seed = next("--seed")?.parse().map_err(|_| usage())?;
+            }
+            "--backend" => {
+                o.backend = match next("--backend")?.as_str() {
+                    "mpi" => Backend::Mpi,
+                    "pgas" => Backend::Pgas,
+                    other => {
+                        eprintln!("compass-run: unknown backend '{other}'");
+                        return Err(usage());
+                    }
+                }
+            }
+            "--regions" => o.regions = true,
+            "--help" | "-h" => return Err(usage()),
+            other => {
+                eprintln!("compass-run: unknown argument '{other}'");
+                return Err(usage());
+            }
+        }
+    }
+    if o.workload.is_none() == o.model.is_none() {
+        eprintln!("compass-run: give exactly one of --workload or --model");
+        return Err(usage());
+    }
+    if o.ranks == 0 || o.threads == 0 {
+        eprintln!("compass-run: ranks and threads must be at least 1");
+        return Err(usage());
+    }
+    Ok(o)
+}
+
+fn print_report(report: &RunReport) {
+    println!(
+        "cores {} | ticks {} | wall {:?} | slowdown {:.0}x | mean rate {:.1} Hz",
+        report.total_cores(),
+        report.ticks,
+        report.wall,
+        report.slowdown_factor(),
+        report.mean_rate_hz()
+    );
+    println!(
+        "fires {} | gray-matter spikes {} | white-matter spikes {} | messages {}",
+        report.total_fires(),
+        report.total_local_spikes(),
+        report.total_remote_spikes(),
+        report.total_messages()
+    );
+    let p = report.phase_breakdown();
+    println!(
+        "phases: synapse {:?} | neuron {:?} | network {:?}",
+        p.synapse, p.neuron, p.network
+    );
+}
+
+fn main() -> ExitCode {
+    let opts = match parse() {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+    let world = WorldConfig::new(opts.ranks, opts.threads);
+    let engine = EngineConfig::new(opts.ticks, opts.backend);
+
+    if let Some(name) = &opts.workload {
+        match name.as_str() {
+            "cocomac" => {
+                // The in-situ flow: compile on the same ranks, simulate,
+                // analyze per region.
+                let net = macaque_network(opts.seed);
+                let object = std::sync::Arc::new(net.object);
+                let started = Instant::now();
+                let outs = World::run(world, |ctx| {
+                    let compiled =
+                        compile(ctx, &object, opts.cores).expect("realizable CoCoMac model");
+                    let partition = compiled.plan.partition.clone();
+                    let report = run_rank(ctx, &partition, compiled.configs, &[], &engine);
+                    (report, compiled.plan)
+                });
+                let wall = started.elapsed();
+                let plan = outs[0].1.clone();
+                let reports: Vec<_> = outs.into_iter().map(|o| o.0).collect();
+                let run_report = RunReport {
+                    ranks: reports.clone(),
+                    wall,
+                    ticks: opts.ticks,
+                    transport: Default::default(),
+                };
+                print_report(&run_report);
+                if opts.regions {
+                    println!("\n{:<8} {:>6} {:>10} {:>9}", "region", "cores", "fires", "rate Hz");
+                    let mut regions = region_activity(&plan, &reports, opts.ticks);
+                    regions.sort_by(|a, b| b.rate_hz.partial_cmp(&a.rate_hz).unwrap());
+                    for r in regions.iter().take(20) {
+                        println!(
+                            "{:<8} {:>6} {:>10} {:>9.1}",
+                            r.name, r.cores, r.fires, r.rate_hz
+                        );
+                    }
+                    if regions.len() > 20 {
+                        println!("... ({} regions total)", regions.len());
+                    }
+                }
+            }
+            "synthetic" => {
+                let model = synthetic_realtime(SyntheticParams {
+                    cores: opts.cores,
+                    ranks: opts.ranks,
+                    local_fraction: 0.75,
+                    rate_hz: 10,
+                    seed: opts.seed,
+                });
+                match run(&model, world, &engine) {
+                    Ok(report) => print_report(&report),
+                    Err(e) => {
+                        eprintln!("compass-run: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "ring" => {
+                let model = NetworkModel::relay_ring(opts.cores.max(1), 16, opts.seed);
+                match run(&model, world, &engine) {
+                    Ok(report) => print_report(&report),
+                    Err(e) => {
+                        eprintln!("compass-run: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            other => {
+                eprintln!("compass-run: unknown workload '{other}'");
+                return usage();
+            }
+        }
+    } else if let Some(path) = &opts.model {
+        let model = match expanded::read_file(std::path::Path::new(path)) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("compass-run: cannot load {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match run(&model, world, &engine) {
+            Ok(report) => print_report(&report),
+            Err(e) => {
+                eprintln!("compass-run: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

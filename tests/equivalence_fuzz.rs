@@ -1,0 +1,116 @@
+//! Property-based equivalence: *random* models, not just the handcrafted
+//! ones, must produce identical traces under every decomposition and
+//! backend. This fuzzes the full stack — random crossbars, axon types,
+//! stochastic modes, thresholds, delays, targets, and input schedules —
+//! against the paper's one-to-one equivalence contract.
+
+use compass::comm::WorldConfig;
+use compass::sim::{run, Backend, EngineConfig, NetworkModel};
+use compass::tn::{CoreConfig, NeuronConfig, SpikeTarget};
+use proptest::prelude::*;
+
+/// Builds a random but always-valid model from a compact recipe.
+fn model_from_recipe(
+    n_cores: u64,
+    synapse_seeds: &[(u8, u8, u8)],
+    neuron_seeds: &[(i8, i8, u8, bool)],
+    inputs: &[(u8, u8, u8)],
+) -> NetworkModel {
+    let cores: Vec<CoreConfig> = (0..n_cores)
+        .map(|id| {
+            let mut cfg = CoreConfig::blank(id, 9);
+            for (k, &(a, n, ty)) in synapse_seeds.iter().enumerate() {
+                // Scatter synapses and axon types deterministically.
+                let axon = usize::from(a) % 64 + (k % 4) * 64;
+                cfg.crossbar.set(axon, usize::from(n), true);
+                cfg.axon_types[axon] = ty % 4;
+            }
+            for (j, &(w0, leak, thr, stoch)) in neuron_seeds.iter().enumerate() {
+                let neuron = &mut cfg.neurons[j % 256];
+                *neuron = NeuronConfig {
+                    weights: [i16::from(w0), 1, -1, -2],
+                    leak: i16::from(leak),
+                    stochastic_leak: stoch,
+                    threshold: i32::from(thr.max(1)),
+                    floor: -50,
+                    ..NeuronConfig::default()
+                };
+                // Every neuron targets some axon somewhere.
+                let tgt_core = (id + 1 + j as u64) % n_cores;
+                let tgt_axon = ((j * 37) % 256) as u16;
+                let delay = 1 + (j % 15) as u8;
+                neuron.target = Some(SpikeTarget::new(tgt_core, tgt_axon, delay));
+            }
+            cfg
+        })
+        .collect();
+    let initial_deliveries = inputs
+        .iter()
+        .map(|&(c, a, t)| {
+            (
+                u64::from(c) % n_cores,
+                u16::from(a),
+                u32::from(t % 12) + 1,
+            )
+        })
+        .collect();
+    NetworkModel {
+        cores,
+        initial_deliveries,
+    }
+}
+
+fn trace(model: &NetworkModel, world: WorldConfig, backend: Backend) -> Vec<compass::tn::Spike> {
+    run(
+        model,
+        world,
+        &EngineConfig {
+            ticks: 15,
+            backend,
+            record_trace: true,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("recipe models are valid")
+    .sorted_trace()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn random_models_are_decomposition_invariant(
+        n_cores in 2u64..5,
+        synapses in proptest::collection::vec(
+            (proptest::num::u8::ANY, proptest::num::u8::ANY, proptest::num::u8::ANY), 5..40),
+        neurons in proptest::collection::vec(
+            (-3i8..=3, -2i8..=2, 1u8..6, proptest::bool::ANY), 5..40),
+        inputs in proptest::collection::vec(
+            (proptest::num::u8::ANY, proptest::num::u8::ANY, proptest::num::u8::ANY), 1..20),
+    ) {
+        let model = model_from_recipe(n_cores, &synapses, &neurons, &inputs);
+        model.validate().expect("recipe models are valid");
+        let reference = trace(&model, WorldConfig::flat(1), Backend::Mpi);
+        let multi = trace(&model, WorldConfig::flat(n_cores as usize), Backend::Mpi);
+        prop_assert_eq!(&multi, &reference);
+        let threaded = trace(&model, WorldConfig::new(2, 2), Backend::Mpi);
+        prop_assert_eq!(&threaded, &reference);
+        let pgas = trace(&model, WorldConfig::flat(2), Backend::Pgas);
+        prop_assert_eq!(&pgas, &reference);
+        // Concurrent (non-critical) receives are equivalent too.
+        let concurrent = run(
+            &model,
+            WorldConfig::new(2, 3),
+            &EngineConfig {
+                ticks: 15,
+                backend: Backend::Mpi,
+                record_trace: true,
+                critical_recv: false,
+                ..EngineConfig::default()
+            },
+        )
+        .expect("valid")
+        .sorted_trace();
+        prop_assert_eq!(&concurrent, &reference);
+    }
+}

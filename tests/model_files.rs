@@ -1,0 +1,67 @@
+//! The CoreObject files shipped in `models/` must stay parseable,
+//! compilable, and *alive* (producing sustained activity) — they are the
+//! first thing a new user feeds to `pcc-compile` and `compass-run`.
+
+use compass::comm::WorldConfig;
+use compass::pcc::{compile_serial, CoreObject};
+use compass::sim::{run, Backend, EngineConfig};
+
+fn load(name: &str) -> CoreObject {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("models")
+        .join(name);
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("cannot read {}: {e}", path.display());
+    });
+    CoreObject::parse(&text).expect("shipped model parses")
+}
+
+#[test]
+fn demo_model_compiles_and_runs() {
+    let obj = load("demo.cob");
+    assert_eq!(obj.regions.len(), 2);
+    let (_, model) = compile_serial(&obj, 8).expect("realizable");
+    let report = run(
+        &model,
+        WorldConfig::flat(2),
+        &EngineConfig::new(200, Backend::Mpi),
+    )
+    .expect("runs");
+    assert!(report.total_fires() > 0, "demo model must be active");
+}
+
+#[test]
+fn visual_stream_model_compiles_and_runs() {
+    let obj = load("visual_stream.cob");
+    assert_eq!(obj.regions.len(), 6);
+    assert!(obj.region_index("LGN").is_some());
+    assert!(obj.region_index("IT").is_some());
+    let (plan, model) = compile_serial(&obj, 24).expect("realizable");
+    // Largest region (V1) gets the most cores.
+    let v1 = obj.region_index("V1").unwrap();
+    assert_eq!(
+        plan.region_cores.iter().max(),
+        Some(&plan.region_cores[v1]),
+        "V1 should dominate the allocation"
+    );
+    let report = run(
+        &model,
+        WorldConfig::flat(2),
+        &EngineConfig::new(300, Backend::Mpi),
+    )
+    .expect("runs");
+    let rate = report.mean_rate_hz();
+    assert!(
+        (1.0..50.0).contains(&rate),
+        "visual stream rate {rate:.1} Hz outside plausible band"
+    );
+}
+
+#[test]
+fn shipped_models_roundtrip_through_serialization() {
+    for name in ["demo.cob", "visual_stream.cob"] {
+        let obj = load(name);
+        let back = CoreObject::parse(&obj.serialize()).expect("roundtrip parses");
+        assert_eq!(obj, back, "{name} serialize/parse roundtrip");
+    }
+}

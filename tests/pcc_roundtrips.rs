@@ -1,0 +1,108 @@
+//! Cross-crate compiler invariants: serial/parallel agreement, expanded-
+//! model file round-trips, and the CoreObject-to-simulation chain.
+
+use compass::cocomac::macaque_network;
+use compass::comm::{World, WorldConfig};
+use compass::pcc::{compile, compile_serial, expanded, CoreObject};
+use compass::sim::{run, Backend, EngineConfig};
+
+fn small_object() -> CoreObject {
+    CoreObject::parse(
+        r#"
+        param seed=77 synapse_density=0.08
+        region SRC class=thalamic volume=1.0 drive_period=25
+        region MID class=cortical volume=2.0
+        region DST class=basal_ganglia volume=1.0
+        connect SRC MID weight=2.0
+        connect MID DST weight=1.0
+        connect DST SRC weight=1.0
+        connect MID MID weight=0.5
+        "#,
+    )
+    .expect("valid description")
+}
+
+#[test]
+fn coreobject_text_roundtrip_compiles_identically() {
+    let obj = small_object();
+    let reparsed = CoreObject::parse(&obj.serialize()).unwrap();
+    let (_, a) = compile_serial(&obj, 8).unwrap();
+    let (_, b) = compile_serial(&reparsed, 8).unwrap();
+    assert_eq!(a.cores.len(), b.cores.len());
+    for (x, y) in a.cores.iter().zip(&b.cores) {
+        assert_eq!(x.neurons, y.neurons);
+        assert_eq!(x.crossbar, y.crossbar);
+    }
+}
+
+#[test]
+fn expanded_file_roundtrip_simulates_identically() {
+    let (_, model) = compile_serial(&small_object(), 8).unwrap();
+    let dir = std::env::temp_dir().join("compass-pcc-roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.cmps");
+    expanded::write_file(&model, &path).unwrap();
+    let loaded = expanded::read_file(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let engine = EngineConfig {
+        ticks: 40,
+        backend: Backend::Mpi,
+        record_trace: true,
+        ..EngineConfig::default()
+    };
+    let a = run(&model, WorldConfig::flat(2), &engine).unwrap();
+    let b = run(&loaded, WorldConfig::flat(2), &engine).unwrap();
+    assert_eq!(a.sorted_trace(), b.sorted_trace());
+    assert!(a.total_fires() > 0, "compiled model must be active");
+}
+
+#[test]
+fn compiled_model_simulates_on_both_backends() {
+    let (_, model) = compile_serial(&small_object(), 8).unwrap();
+    let engine = |backend| EngineConfig {
+        ticks: 40,
+        backend,
+        record_trace: true,
+        ..EngineConfig::default()
+    };
+    let mpi = run(&model, WorldConfig::flat(2), &engine(Backend::Mpi)).unwrap();
+    let pgas = run(&model, WorldConfig::flat(2), &engine(Backend::Pgas)).unwrap();
+    assert_eq!(mpi.sorted_trace(), pgas.sorted_trace());
+}
+
+#[test]
+fn macaque_expanded_encoding_scales_as_documented() {
+    // The size argument behind the in-situ compiler: kilobytes of
+    // CoreObject vs ~10 KiB *per core* expanded.
+    let net = macaque_network(1);
+    let source_bytes = net.object.serialize().len();
+    let (_, model) = compile_serial(&net.object, 77).unwrap();
+    let expanded_bytes = expanded::encode(&model).len();
+    assert!(source_bytes < 100_000);
+    assert!(expanded_bytes > 77 * 9_000);
+    assert!(
+        expanded_bytes / source_bytes > 10,
+        "expanded:source ratio {expanded_bytes}/{source_bytes} too small"
+    );
+}
+
+#[test]
+fn parallel_compile_stats_balance_across_ranks() {
+    let obj = small_object();
+    let outs = World::run(WorldConfig::flat(4), |ctx| {
+        compile(ctx, &obj, 9).map(|c| (c.stats.wiring, c.configs.len()))
+    });
+    let mut total_requests = 0;
+    let mut total_served = 0;
+    let mut total_cores = 0;
+    for o in outs {
+        let (w, cores) = o.unwrap();
+        total_requests += w.requests_out;
+        total_served += w.requests_in;
+        total_cores += cores;
+    }
+    assert_eq!(total_cores, 9);
+    assert_eq!(total_requests, 9 * 256);
+    assert_eq!(total_served, 9 * 256);
+}

@@ -1,0 +1,86 @@
+//! Golden-trace regression tests — paper purpose (a): "verifying TrueNorth
+//! correctness via regression testing".
+//!
+//! Compass is the executable contract between hardware and software: a
+//! model's spike trace is a reproducible artifact, so a digest recorded
+//! once pins the semantics of the whole stack (neuron dynamics, delay
+//! buffers, crossbar walk, PRNG streams, routing). If any of these tests
+//! fails, simulator *semantics* changed — which is either a bug or a
+//! deliberate, documented break of the contract (update the digest in the
+//! same commit that justifies it).
+
+use compass::comm::WorldConfig;
+use compass::sim::{run, Backend, EngineConfig, NetworkModel};
+
+fn digest(model: &NetworkModel, ticks: u32) -> u64 {
+    let report = run(
+        model,
+        WorldConfig::flat(2),
+        &EngineConfig {
+            ticks,
+            backend: Backend::Mpi,
+            record_trace: true,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("valid model");
+    report.trace_digest()
+}
+
+#[test]
+fn relay_ring_digest_is_pinned() {
+    // Pure deterministic dynamics: this digest must never change.
+    let model = NetworkModel::relay_ring(6, 8, 42);
+    let d = digest(&model, 40);
+    assert_eq!(
+        d, 0x683877e99433d502,
+        "relay-ring golden digest changed: 0x{d:x}"
+    );
+}
+
+#[test]
+fn pacemaker_digest_is_pinned() {
+    let model = NetworkModel::pacemaker(3, 7, 1);
+    let d = digest(&model, 30);
+    assert_eq!(
+        d, 0x84d03fb800cab0d3,
+        "pacemaker golden digest changed: 0x{d:x}"
+    );
+}
+
+#[test]
+fn stochastic_model_digest_is_pinned() {
+    // Pins the PRNG stream semantics along with the dynamics.
+    let mut model = NetworkModel::relay_ring(4, 4, 7);
+    for cfg in &mut model.cores {
+        for n in cfg.neurons.iter_mut() {
+            n.stochastic_leak = true;
+            n.leak = 32;
+            n.threshold = 2;
+        }
+    }
+    let d = digest(&model, 30);
+    assert_eq!(
+        d, 0x4aec67eee615288d,
+        "stochastic golden digest changed: 0x{d:x}"
+    );
+}
+
+#[test]
+fn digests_are_decomposition_invariant() {
+    // The digest equals the recorded one under ANY decomposition, since
+    // the trace itself is — spot-check one alternative config per model.
+    let model = NetworkModel::relay_ring(6, 8, 42);
+    let report = run(
+        &model,
+        WorldConfig::new(3, 2),
+        &EngineConfig {
+            ticks: 40,
+            backend: Backend::Pgas,
+            record_trace: true,
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(report.trace_digest(), 0x683877e99433d502);
+}
