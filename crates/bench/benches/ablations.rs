@@ -66,18 +66,15 @@ fn bench_crossbar_representation(c: &mut Criterion) {
         // Report the storage ratio once per density in the bench id.
         let bitset_bytes = 256 * 32;
         let adj_bytes = adj.bytes();
-        g.bench_function(
-            format!("bitset_d{density}_({bitset_bytes}B)"),
-            |b| {
-                b.iter(|| {
-                    let mut acc = 0usize;
-                    for a in 0..256 {
-                        xb.for_each_in_row(a, |n| acc += n);
-                    }
-                    black_box(acc)
-                })
-            },
-        );
+        g.bench_function(format!("bitset_d{density}_({bitset_bytes}B)"), |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for a in 0..256 {
+                    xb.for_each_in_row(a, |n| acc += n);
+                }
+                black_box(acc)
+            })
+        });
         g.bench_function(format!("adjacency_d{density}_({adj_bytes}B)"), |b| {
             b.iter(|| {
                 let mut acc = 0usize;

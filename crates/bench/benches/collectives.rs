@@ -20,7 +20,10 @@ fn bench_barriers(c: &mut Criterion) {
                 "centralized",
                 Arc::new(CentralizedBarrier::new(n)) as Arc<dyn GlobalBarrier>,
             ),
-            ("sense_reversing", Arc::new(SenseBarrier::new(n)) as Arc<dyn GlobalBarrier>),
+            (
+                "sense_reversing",
+                Arc::new(SenseBarrier::new(n)) as Arc<dyn GlobalBarrier>,
+            ),
         ] {
             g.bench_function(format!("{name}_{n}threads"), |b| {
                 b.iter_custom(|iters| {

@@ -3,7 +3,10 @@
 //! the spike wire codec — the per-tick inner loops whose cost the paper's
 //! Synapse and Neuron phases aggregate.
 
+use compass_comm::sync::Mutex;
+use compass_sim::NetworkModel;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
 use tn_core::prng::CorePrng;
 use tn_core::{
     CoreConfig, Crossbar, DelayBuffer, NeuronConfig, NeurosynapticCore, Spike, SpikeTarget,
@@ -147,6 +150,137 @@ fn bench_core_tick(c: &mut Criterion) {
     g.finish();
 }
 
+/// One bench slot of the sharded loop (mirrors the engine's `CoreSlot`).
+struct BenchSlot {
+    core: NeurosynapticCore,
+    events: u64,
+    dormant: bool,
+}
+
+/// The engine's former hot loop: one `Mutex` per core, every phase locks
+/// every core, no quiescence fast paths. Kept here as the baseline the
+/// shard-owned engine is measured against.
+fn run_tick_loop_mutex(
+    cores: &[Mutex<NeurosynapticCore>],
+    model: &NetworkModel,
+    ticks: u32,
+) -> u64 {
+    let mut fires = 0u64;
+    let mut spikes = Vec::new();
+    for t in 0..ticks {
+        for &(c, a, tk) in &model.initial_deliveries {
+            if tk == t {
+                cores[c as usize].lock().deliver(a, tk);
+            }
+        }
+        for m in cores {
+            m.lock().synapse_phase(t);
+        }
+        for m in cores {
+            m.lock().neuron_phase(t, |s| spikes.push(s));
+        }
+        for s in spikes.drain(..) {
+            fires += 1;
+            cores[s.target.core as usize]
+                .lock()
+                .deliver(s.target.axon, s.delivery_tick());
+        }
+    }
+    fires
+}
+
+/// The current hot loop: exclusively owned cores (no locks anywhere) plus
+/// the quiescence fast paths, exactly as `compass_sim::engine` runs them.
+fn run_tick_loop_sharded(slots: &mut [BenchSlot], model: &NetworkModel, ticks: u32) -> u64 {
+    let mut fires = 0u64;
+    let mut spikes = Vec::new();
+    for t in 0..ticks {
+        for &(c, a, tk) in &model.initial_deliveries {
+            if tk == t {
+                slots[c as usize].core.deliver(a, tk);
+            }
+        }
+        for slot in slots.iter_mut() {
+            if !slot.core.has_pending_deliveries() {
+                slot.core.skip_synapse_phase();
+                slot.events = 0;
+            } else {
+                slot.events = slot.core.synapse_phase(t);
+            }
+        }
+        for slot in slots.iter_mut() {
+            if slot.dormant && slot.events == 0 {
+                slot.core.skip_neuron_phase();
+                continue;
+            }
+            let changed = slot.core.neuron_phase(t, |s| spikes.push(s));
+            slot.dormant = !slot.core.autonomous_dynamics() && slot.events == 0 && !changed;
+        }
+        for s in spikes.drain(..) {
+            fires += 1;
+            slots[s.target.core as usize]
+                .core
+                .deliver(s.target.axon, s.delivery_tick());
+        }
+    }
+    fires
+}
+
+fn bench_tick_loop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tick_loop");
+    g.sample_size(10);
+    const TICKS: u32 = 64;
+    // Dense: every neuron of every core integrates and fires every other
+    // tick — nothing is skippable, so this isolates the cost of the mutex
+    // acquisitions the sharded loop eliminated.
+    let dense = NetworkModel::pacemaker(8, 2, 0);
+    // Sparse: 8 spikes circulating through 20 cores — at most 1 core in 20
+    // (5% ≤ the 10% target) has work on any tick, so the quiescence fast
+    // paths carry the sharded loop.
+    let sparse = NetworkModel::relay_ring(20, 8, 0);
+    for (label, model) in [("dense", &dense), ("sparse_5pct", &sparse)] {
+        g.bench_function(format!("mutex_{label}"), |b| {
+            // Fresh cores each iteration (state mutates); construction is
+            // excluded — only the tick loop itself is timed.
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let cores: Vec<Mutex<NeurosynapticCore>> = model
+                        .cores
+                        .iter()
+                        .map(|c| Mutex::new(NeurosynapticCore::new(c.clone()).expect("valid")))
+                        .collect();
+                    let start = Instant::now();
+                    black_box(run_tick_loop_mutex(&cores, model, TICKS));
+                    total += start.elapsed();
+                }
+                total
+            })
+        });
+        g.bench_function(format!("sharded_{label}"), |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let mut slots: Vec<BenchSlot> = model
+                        .cores
+                        .iter()
+                        .map(|c| BenchSlot {
+                            core: NeurosynapticCore::new(c.clone()).expect("valid"),
+                            events: 0,
+                            dormant: false,
+                        })
+                        .collect();
+                    let start = Instant::now();
+                    black_box(run_tick_loop_sharded(&mut slots, model, TICKS));
+                    total += start.elapsed();
+                }
+                total
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_crossbar,
@@ -154,6 +288,7 @@ criterion_group!(
     bench_delay_ring,
     bench_prng,
     bench_spike_codec,
-    bench_core_tick
+    bench_core_tick,
+    bench_tick_loop
 );
 criterion_main!(benches);

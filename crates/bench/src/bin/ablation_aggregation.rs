@@ -22,7 +22,14 @@ fn main() {
 
     println!(
         "{:>8} | {:>12} {:>12} {:>10} | {:>12} {:>12} {:>10} | {:>9}",
-        "cores", "agg msgs", "agg bytes", "agg s", "spike msgs", "spike bytes", "spike s", "penalty"
+        "cores",
+        "agg msgs",
+        "agg bytes",
+        "agg s",
+        "spike msgs",
+        "spike bytes",
+        "spike s",
+        "penalty"
     );
     for cores in [16u64, 64, 256] {
         let model = synthetic_realtime(SyntheticParams {

@@ -35,13 +35,9 @@ fn main() {
             let reports = World::run(WorldConfig::flat(ranks), |ctx| {
                 // compile() uses the default placement; plan explicitly to
                 // drive the ablation switch.
-                let plan = compass_pcc::plan_with_placement(
-                    &object,
-                    cores,
-                    ctx.world_size(),
-                    placement,
-                )
-                .expect("realizable");
+                let plan =
+                    compass_pcc::plan_with_placement(&object, cores, ctx.world_size(), placement)
+                        .expect("realizable");
                 let (configs, _) = compass_pcc::wire(ctx, &plan);
                 let engine = EngineConfig::new(ticks, Backend::Mpi);
                 run_rank(ctx, &plan.partition, configs, &[], &engine)

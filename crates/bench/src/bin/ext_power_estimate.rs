@@ -45,7 +45,12 @@ fn main() {
     println!("energy estimate (coefficients: {model:?}):");
     let total = estimate.total_pj();
     let row = |name: &str, pj: f64| {
-        println!("  {:<16}: {:>14.0} pJ ({:>5.1}%)", name, pj, pj / total * 100.0);
+        println!(
+            "  {:<16}: {:>14.0} pJ ({:>5.1}%)",
+            name,
+            pj,
+            pj / total * 100.0
+        );
     };
     row("synaptic events", estimate.synaptic_pj);
     row("neuron updates", estimate.neuron_pj);

@@ -27,7 +27,15 @@ fn main() {
 
     println!(
         "{:>5} {:>7} | {:>9} {:>10} | {:>9} {:>9} {:>9} | {:>10} {:>8}",
-        "ranks", "cores", "total s", "s/rank", "synapse s", "neuron s", "network s", "fires/rank", "rate Hz"
+        "ranks",
+        "cores",
+        "total s",
+        "s/rank",
+        "synapse s",
+        "neuron s",
+        "network s",
+        "fires/rank",
+        "rate Hz"
     );
     for ranks in [1usize, 2, 4, 8] {
         let run = cocomac_run(

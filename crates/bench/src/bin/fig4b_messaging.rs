@@ -25,7 +25,14 @@ fn main() {
 
     println!(
         "{:>5} {:>7} | {:>12} {:>14} {:>12} | {:>11} {:>11} {:>13}",
-        "ranks", "cores", "msgs/tick", "spikes/tick", "KB/tick", "pair budget", "budget use", "spikes/msg"
+        "ranks",
+        "cores",
+        "msgs/tick",
+        "spikes/tick",
+        "KB/tick",
+        "pair budget",
+        "budget use",
+        "spikes/msg"
     );
     for ranks in [1usize, 2, 4, 8] {
         let run = cocomac_run(
@@ -38,7 +45,11 @@ fn main() {
         let spikes = run.remote_spikes_per_tick();
         let kb = spikes * 20.0 / 1024.0;
         let budget = (ranks * (ranks - 1)) as f64;
-        let utilization = if budget > 0.0 { msgs / budget * 100.0 } else { 0.0 };
+        let utilization = if budget > 0.0 {
+            msgs / budget * 100.0
+        } else {
+            0.0
+        };
         let per_msg = if msgs > 0.0 { spikes / msgs } else { 0.0 };
 
         // Map the rank-pair traffic onto a BG/Q-style 5D torus and find

@@ -27,7 +27,14 @@ fn main() {
 
     println!(
         "{:>5} | {:>9} {:>9} {:>9} {:>9} | {:>9} {:>11} {:>13}",
-        "ranks", "total s", "synapse", "neuron", "network", "net share", "collectives", "compute spdup"
+        "ranks",
+        "total s",
+        "synapse",
+        "neuron",
+        "network",
+        "net share",
+        "collectives",
+        "compute spdup"
     );
     let mut baseline_compute: Option<f64> = None;
     for ranks in [1usize, 2, 4, 8] {
@@ -60,7 +67,9 @@ fn main() {
     }
     println!();
     println!("shape checks vs paper:");
-    println!("  * per-rank compute (synapse+neuron) shrinks ~1/ranks — the strong-scaling numerator");
+    println!(
+        "  * per-rank compute (synapse+neuron) shrinks ~1/ranks — the strong-scaling numerator"
+    );
     println!("  * the Network phase share and collective traffic grow with ranks —");
     println!("    the same effect that capped the paper at 8.8x on 16 racks");
 }

@@ -26,24 +26,35 @@ fn main() {
 
     println!(
         "{:>8} | {:>9} {:>9} {:>9} {:>9} | {:>10} {:>10} | {:>11} {:>11}",
-        "threads", "total s", "synapse", "neuron", "network", "spdup", "ideal", "crit wait ms", "crit hold ms"
+        "threads",
+        "total s",
+        "synapse",
+        "neuron",
+        "network",
+        "spdup",
+        "ideal",
+        "crit wait ms",
+        "crit hold ms"
     );
     let mut baseline: Option<f64> = None;
     for threads in [1usize, 2, 4, 8] {
-        let run = cocomac_run(
-            cores,
-            WorldConfig::new(2, threads),
-            ticks,
-            Backend::Mpi,
-        );
+        let run = cocomac_run(cores, WorldConfig::new(2, threads), ticks, Backend::Mpi);
         let total = run.phases.total().as_secs_f64();
         let base = *baseline.get_or_insert(total);
         let hw = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
         let ideal = (threads.min(hw)) as f64;
-        let wait: f64 = run.ranks.iter().map(|r| r.critical_wait.as_secs_f64() * 1e3).sum();
-        let hold: f64 = run.ranks.iter().map(|r| r.critical_hold.as_secs_f64() * 1e3).sum();
+        let wait: f64 = run
+            .ranks
+            .iter()
+            .map(|r| r.critical_wait.as_secs_f64() * 1e3)
+            .sum();
+        let hold: f64 = run
+            .ranks
+            .iter()
+            .map(|r| r.critical_hold.as_secs_f64() * 1e3)
+            .sum();
         println!(
             "{:>8} | {:>9} {:>9} {:>9} {:>9} | {:>9.2}x {:>9.2}x | {:>12.3} {:>12.3}",
             threads,
@@ -61,15 +72,17 @@ fn main() {
     // critical section unnecessary? (The paper's gap-cause, removed.)
     println!();
     println!("counterfactual — receives WITHOUT the critical section (thread-safe transport):");
-    println!("{:>8} | {:>9} {:>11}", "threads", "network s", "vs critical");
+    println!(
+        "{:>8} | {:>9} {:>11}",
+        "threads", "network s", "vs critical"
+    );
     for threads in [2usize, 8] {
         let mut network = [0.0f64; 2];
         for (i, critical_recv) in [true, false].into_iter().enumerate() {
             let net = compass_cocomac::macaque_network(2012);
             let object = std::sync::Arc::new(net.object);
             let reports = compass_comm::World::run(WorldConfig::new(2, threads), |ctx| {
-                let compiled =
-                    compass_pcc::compile(ctx, &object, cores).expect("realizable");
+                let compiled = compass_pcc::compile(ctx, &object, cores).expect("realizable");
                 let engine = compass_sim::EngineConfig {
                     ticks,
                     backend: Backend::Mpi,

@@ -19,7 +19,10 @@ fn main() {
     banner(
         "Headline — largest simulation",
         "256M cores, 65B neurons, 16T synapses, 500 ticks in 194 s (388x), 8.1 Hz; compile 107 s",
-        &format!("{cores} cores, 500 ticks, {} ranks x {} threads", world.ranks, world.threads_per_rank),
+        &format!(
+            "{cores} cores, 500 ticks, {} ranks x {} threads",
+            world.ranks, world.threads_per_rank
+        ),
     );
 
     let run = cocomac_run(cores, world, ticks, Backend::Mpi);
@@ -78,5 +81,7 @@ fn main() {
     println!("shape checks vs paper:");
     println!("  * mean rate lands in the ~8 Hz band by construction of the CoCoMac dynamics");
     println!("  * compile wall << simulate wall: the in-situ compiler is not the bottleneck");
-    println!("  * slowdown scales with (cores / hardware threads); the paper's 388x used 2^18 CPUs");
+    println!(
+        "  * slowdown scales with (cores / hardware threads); the paper's 388x used 2^18 CPUs"
+    );
 }

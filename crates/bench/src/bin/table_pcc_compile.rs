@@ -52,11 +52,23 @@ fn main() {
 
     let offline_total = encode_time + write_time + read_time + decode_time;
     println!("{:<38} {:>12}", "step", "seconds");
-    println!("{:<38} {:>12}", "in-situ compile (plan+wire+genesis)", secs(compile_time));
-    println!("{:<38} {:>12}", "offline: encode expanded model", secs(encode_time));
+    println!(
+        "{:<38} {:>12}",
+        "in-situ compile (plan+wire+genesis)",
+        secs(compile_time)
+    );
+    println!(
+        "{:<38} {:>12}",
+        "offline: encode expanded model",
+        secs(encode_time)
+    );
     println!("{:<38} {:>12}", "offline: write file", secs(write_time));
     println!("{:<38} {:>12}", "offline: read file", secs(read_time));
-    println!("{:<38} {:>12}", "offline: decode + validate", secs(decode_time));
+    println!(
+        "{:<38} {:>12}",
+        "offline: decode + validate",
+        secs(decode_time)
+    );
     println!("{:<38} {:>12}", "offline total", secs(offline_total));
     println!(
         "{:<38} {:>11.1}x",

@@ -29,12 +29,7 @@ fn main() {
         "ranks", "threads", "total s", "synapse", "neuron", "network", "coll msgs", "msgs/tick"
     );
     for (ranks, threads) in [(1usize, 16usize), (2, 8), (4, 4), (8, 2), (16, 1)] {
-        let run = cocomac_run(
-            cores,
-            WorldConfig::new(ranks, threads),
-            ticks,
-            Backend::Mpi,
-        );
+        let run = cocomac_run(cores, WorldConfig::new(ranks, threads), ticks, Backend::Mpi);
         println!(
             "{:>6} {:>8} | {:>9} {:>9} {:>9} {:>9} | {:>12} {:>11.1}",
             ranks,

@@ -69,11 +69,18 @@ impl C2Network {
     pub fn validate(&self) {
         assert_eq!(self.row_offsets.len(), self.neurons.len() + 1);
         assert_eq!(self.background.len(), self.neurons.len());
-        assert_eq!(*self.row_offsets.last().unwrap() as usize, self.synapses.len());
+        assert_eq!(
+            *self.row_offsets.last().unwrap() as usize,
+            self.synapses.len()
+        );
         assert!(self.row_offsets.windows(2).all(|w| w[0] <= w[1]));
         for s in &self.synapses {
             assert!((s.target as usize) < self.neurons.len(), "dangling synapse");
-            assert!((1..=15).contains(&s.delay), "delay {} out of range", s.delay);
+            assert!(
+                (1..=15).contains(&s.delay),
+                "delay {} out of range",
+                s.delay
+            );
         }
     }
 

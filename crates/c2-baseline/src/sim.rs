@@ -49,7 +49,9 @@ pub fn run_c2(network: &C2Network, ranks: usize, ticks: u32) -> C2Report {
     network.validate();
     let n = network.neuron_count();
     let started = Instant::now();
-    let reports = World::run(WorldConfig::flat(ranks), |ctx| run_rank(ctx, network, ticks));
+    let reports = World::run(WorldConfig::flat(ranks), |ctx| {
+        run_rank(ctx, network, ticks)
+    });
     let wall = started.elapsed();
 
     let mut out = C2Report {
@@ -132,9 +134,9 @@ fn run_rank(ctx: &RankCtx, network: &C2Network, ticks: u32) -> (u64, u64, u64) {
     let comm = ctx.comm();
 
     let apply = |rings: &mut Vec<[f32; RING]>,
-                     incoming: &HashMap<u32, Vec<(u32, f32, u8)>>,
-                     source: u32,
-                     t: u32| {
+                 incoming: &HashMap<u32, Vec<(u32, f32, u8)>>,
+                 source: u32,
+                 t: u32| {
         if let Some(list) = incoming.get(&source) {
             for &(tgt, w, d) in list {
                 rings[tgt as usize][(t as usize + d as usize) % RING] += w;
@@ -170,7 +172,8 @@ fn run_rank(ctx: &RankCtx, network: &C2Network, ticks: u32) -> (u64, u64, u64) {
         send_flags.iter_mut().for_each(|f| *f = 0);
         for (d, buf) in send_bufs.iter_mut().enumerate() {
             if !buf.is_empty() {
-                comm.mailboxes().send(me, d, tick_tag(t), std::mem::take(buf));
+                comm.mailboxes()
+                    .send(me, d, tick_tag(t), std::mem::take(buf));
                 send_flags[d] = 1;
                 messages += 1;
             }

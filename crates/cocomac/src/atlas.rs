@@ -41,9 +41,9 @@ pub fn assign_volumes(classes: &[RegionClass], seed: u64) -> Volumes {
         .iter()
         .map(|&class| {
             let (mu, sigma) = match class {
-                RegionClass::Cortical => (4.0, 1.0),      // median e⁴ ≈ 55
-                RegionClass::Thalamic => (2.5, 0.7),      // median ≈ 12
-                RegionClass::BasalGanglia => (2.8, 0.5),  // median ≈ 16
+                RegionClass::Cortical => (4.0, 1.0),     // median e⁴ ≈ 55
+                RegionClass::Thalamic => (2.5, 0.7),     // median ≈ 12
+                RegionClass::BasalGanglia => (2.8, 0.5), // median ≈ 16
             };
             (mu + sigma * gauss(&mut prng)).exp()
         })

@@ -41,10 +41,7 @@ pub fn macaque_network(seed: u64) -> MacaqueNetwork {
     let connected = merged.connected_regions();
     debug_assert_eq!(connected.len(), stats::CONNECTED_REGIONS);
 
-    let classes: Vec<RegionClass> = connected
-        .iter()
-        .map(|&i| merged.regions[i].1)
-        .collect();
+    let classes: Vec<RegionClass> = connected.iter().map(|&i| merged.regions[i].1).collect();
     let volumes = assign_volumes(&classes, seed);
 
     let mut object = CoreObject::new(seed);
@@ -161,6 +158,9 @@ mod tests {
             touched[s] = true;
             touched[d] = true;
         }
-        assert!(touched.iter().all(|&t| t), "isolated region in test network");
+        assert!(
+            touched.iter().all(|&t| t),
+            "isolated region in test network"
+        );
     }
 }

@@ -373,6 +373,9 @@ mod tests {
         }
         let max = deg.iter().max().unwrap();
         let min_connected = deg.iter().filter(|&&d| d > 0).min().unwrap();
-        assert!(max / min_connected.max(&1) >= 4, "max {max} min {min_connected}");
+        assert!(
+            max / min_connected.max(&1) >= 4,
+            "max {max} min {min_connected}"
+        );
     }
 }

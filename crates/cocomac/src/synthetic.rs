@@ -83,8 +83,7 @@ pub fn synthetic_realtime(p: SyntheticParams) -> NetworkModel {
                     threshold: period as i32,
                     reset: ResetMode::Absolute(0),
                     floor: 0,
-                    initial_potential: (((id as u32).wrapping_mul(131) + j as u32)
-                        % period) as i32,
+                    initial_potential: (((id as u32).wrapping_mul(131) + j as u32) % period) as i32,
                     ..NeuronConfig::default()
                 };
                 // Target: local (same rank) or remote (any other rank).
@@ -116,8 +115,8 @@ pub fn synthetic_realtime(p: SyntheticParams) -> NetworkModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use compass_sim::{run, Backend, EngineConfig};
     use compass_comm::WorldConfig;
+    use compass_sim::{run, Backend, EngineConfig};
 
     #[test]
     fn model_validates() {

@@ -14,7 +14,7 @@
 //! Both are *reusable*: the same instance synchronizes an unbounded sequence
 //! of episodes, one per simulated tick.
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// A reusable barrier for a fixed set of `n` participants.

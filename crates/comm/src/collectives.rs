@@ -83,7 +83,10 @@ impl Communicator {
     }
 
     fn recv(&self, src: Rank, tag: Tag) -> Vec<u8> {
-        self.mail.mailbox(self.me).recv(Match::from(src, tag)).payload
+        self.mail
+            .mailbox(self.me)
+            .recv(Match::from(src, tag))
+            .payload
     }
 
     /// Dissemination barrier: `⌈log₂ P⌉` rounds of one send + one receive.
@@ -128,7 +131,7 @@ impl Communicator {
             self.mail.metrics().record_collective(0);
             return contrib[0];
         }
-        
+
         if p.is_power_of_two() {
             self.reduce_scatter_halving(contrib, base)
         } else {
@@ -500,7 +503,10 @@ fn encode_u64s(vals: &[u64]) -> Vec<u8> {
 }
 
 fn decode_u64s(bytes: &[u8]) -> Vec<u64> {
-    assert!(bytes.len().is_multiple_of(8), "u64 vector payload misaligned");
+    assert!(
+        bytes.len().is_multiple_of(8),
+        "u64 vector payload misaligned"
+    );
     bytes
         .chunks_exact(8)
         .map(|c| u64::from_le_bytes(c.try_into().expect("chunk width")))
@@ -559,7 +565,8 @@ mod tests {
     fn reduce_scatter_matches_serial_sum_non_pow2() {
         for p in [3usize, 5, 6, 7] {
             let got = run_world(p, move |c| {
-                let contrib: Vec<u64> = (0..p as u64).map(|d| 7 * c.rank() as u64 + d * d).collect();
+                let contrib: Vec<u64> =
+                    (0..p as u64).map(|d| 7 * c.rank() as u64 + d * d).collect();
                 c.reduce_scatter_sum(&contrib)
             });
             for (d, v) in got.iter().enumerate() {

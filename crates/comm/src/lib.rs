@@ -35,6 +35,7 @@ pub mod collectives;
 pub mod mailbox;
 pub mod metrics;
 pub mod pgas;
+pub mod sync;
 pub mod team;
 pub mod torus;
 pub mod world;

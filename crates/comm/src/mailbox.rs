@@ -11,8 +11,8 @@
 //! guarantee — because envelopes are scanned in arrival order.
 
 use crate::metrics::TransportMetrics;
+use crate::sync::{Condvar, Mutex};
 use crate::Rank;
-use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -487,14 +487,24 @@ mod proptests {
 
     #[derive(Debug, Clone)]
     enum Op {
-        Send { src: usize, tag: u64, byte: u8 },
-        Recv { src: Option<usize>, tag: Option<u64> },
+        Send {
+            src: usize,
+            tag: u64,
+            byte: u8,
+        },
+        Recv {
+            src: Option<usize>,
+            tag: Option<u64>,
+        },
     }
 
     fn arb_op() -> impl Strategy<Value = Op> {
         prop_oneof![
-            (0usize..3, 0u64..4, proptest::num::u8::ANY)
-                .prop_map(|(src, tag, byte)| Op::Send { src, tag, byte }),
+            (0usize..3, 0u64..4, proptest::num::u8::ANY).prop_map(|(src, tag, byte)| Op::Send {
+                src,
+                tag,
+                byte
+            }),
             (
                 proptest::option::of(0usize..3),
                 proptest::option::of(0u64..4)

@@ -13,7 +13,7 @@
 //! threads.
 
 use crate::barrier::{CentralizedBarrier, GlobalBarrier};
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex};
 use std::ops::Range;
 use std::sync::Arc;
 
@@ -288,6 +288,31 @@ pub fn static_chunk(total: usize, parts: usize, index: usize) -> Range<usize> {
     start..start + len
 }
 
+/// The inverse of [`static_chunk`]: which of the `parts` chunks of
+/// `0..total` owns element `i`. The simulator uses this to route a spike to
+/// the team member that owns the destination core without scanning chunks.
+///
+/// For every valid `(total, parts)`,
+/// `static_chunk(total, parts, chunk_owner(total, parts, i)).contains(&i)`.
+///
+/// # Panics
+/// Panics if `parts == 0` or `i >= total`.
+#[inline]
+pub fn chunk_owner(total: usize, parts: usize, i: usize) -> usize {
+    assert!(parts > 0, "cannot split into zero parts");
+    assert!(i < total, "element index out of range");
+    let base = total / parts;
+    let extra = total % parts;
+    // The first `extra` chunks have `base + 1` elements and jointly cover
+    // `0..boundary`; the rest have exactly `base`.
+    let boundary = extra * (base + 1);
+    if i < boundary {
+        i / (base + 1)
+    } else {
+        extra + (i - boundary) / base
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -382,7 +407,7 @@ mod tests {
     fn size_one_team_runs_inline() {
         let team = ThreadTeam::new(1);
         let caller = std::thread::current().id();
-        let ran_on = parking_lot::Mutex::new(None);
+        let ran_on = crate::sync::Mutex::new(None);
         team.parallel(|ctx| {
             assert_eq!(ctx.size(), 1);
             assert!(ctx.is_master());
@@ -410,6 +435,21 @@ mod tests {
                 let max = sizes.iter().max().unwrap();
                 let min = sizes.iter().min().unwrap();
                 assert!(max - min <= 1, "imbalanced: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_owner_inverts_static_chunk() {
+        for total in [1usize, 2, 7, 16, 100, 101, 255] {
+            for parts in 1..=9 {
+                for i in 0..total {
+                    let owner = chunk_owner(total, parts, i);
+                    assert!(
+                        static_chunk(total, parts, owner).contains(&i),
+                        "total={total} parts={parts} i={i} owner={owner}"
+                    );
+                }
             }
         }
     }

@@ -74,11 +74,7 @@ impl Torus {
         // Count distinct (node, dim, dir) with extent > 1; for extent 2 the
         // +1 and -1 hops reach the same neighbor over distinct wires on
         // real hardware, so they stay distinct here too.
-        let per_node: usize = self
-            .dims
-            .iter()
-            .map(|&e| if e == 1 { 0 } else { 2 })
-            .sum();
+        let per_node: usize = self.dims.iter().map(|&e| if e == 1 { 0 } else { 2 }).sum();
         per_node * self.nodes()
     }
 

@@ -50,7 +50,10 @@ impl WorldConfig {
 
     fn validate(&self) {
         assert!(self.ranks >= 1, "need at least one rank");
-        assert!(self.threads_per_rank >= 1, "need at least one thread per rank");
+        assert!(
+            self.threads_per_rank >= 1,
+            "need at least one thread per rank"
+        );
     }
 }
 
@@ -187,9 +190,7 @@ mod tests {
     fn point_to_point_between_ranks() {
         let got = World::run(WorldConfig::flat(2), |ctx| {
             if ctx.rank() == 0 {
-                ctx.comm()
-                    .mailboxes()
-                    .send(0, 1, 5, vec![1, 2, 3]);
+                ctx.comm().mailboxes().send(0, 1, 5, vec![1, 2, 3]);
                 Vec::new()
             } else {
                 ctx.comm()

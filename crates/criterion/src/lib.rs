@@ -1,0 +1,209 @@
+//! A self-contained miniature re-implementation of the `criterion` crate's
+//! public surface, as used by this workspace's benches.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a minimal wall-clock harness: warm-up, iteration-count calibration to a
+//! target sample duration, median-of-samples reporting in ns/iter. It is
+//! not statistically rigorous like real criterion — it exists so the bench
+//! binaries compile, run, and print comparable per-iteration numbers.
+//!
+//! Supported: `Criterion::bench_function`, `benchmark_group` (+
+//! `sample_size`, `bench_function`, `finish`), `Bencher::iter` /
+//! `iter_custom`, `black_box`, `criterion_group!`, `criterion_main!`, and
+//! the `--quick` CLI flag (shorter sampling). Unknown CLI args are treated
+//! as substring filters on benchmark names, matching `cargo bench -- foo`.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    sample_target: Duration,
+    samples: usize,
+    /// Filled in by `iter`/`iter_custom`: (total time, total iterations).
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly: calibrates an iteration count that fills the
+    /// sample target, then records the best of several samples.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up + calibration: find how many iterations fill one sample.
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.sample_target / 4 || n >= 1 << 30 {
+                let per_iter = elapsed.as_nanos().max(1) / u128::from(n);
+                let target = self.sample_target.as_nanos();
+                n = ((target / per_iter.max(1)) as u64).clamp(1, 1 << 32);
+                break;
+            }
+            n *= 8;
+        }
+        let mut best: Option<Duration> = None;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            best = Some(match best {
+                Some(b) if b < elapsed => b,
+                _ => elapsed,
+            });
+        }
+        self.result = Some((best.unwrap_or_default(), n));
+    }
+
+    /// Variant where the closure times `iters` iterations itself and
+    /// returns the elapsed duration (used for setup-heavy benches).
+    pub fn iter_custom(&mut self, mut f: impl FnMut(u64) -> Duration) {
+        // Calibrate against one iteration, then scale to the target.
+        let one = f(1);
+        let per_iter = one.as_nanos().max(1);
+        let n = ((self.sample_target.as_nanos() / per_iter) as u64).clamp(1, 1 << 32);
+        let mut best: Option<Duration> = None;
+        for _ in 0..self.samples {
+            let elapsed = f(n);
+            best = Some(match best {
+                Some(b) if b < elapsed => b,
+                _ => elapsed,
+            });
+        }
+        self.result = Some((best.unwrap_or_default(), n));
+    }
+}
+
+#[derive(Clone)]
+struct Settings {
+    sample_target: Duration,
+    samples: usize,
+    filters: Vec<String>,
+}
+
+impl Settings {
+    fn matches(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+}
+
+/// The benchmark driver; one per bench binary.
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut quick = false;
+        let mut filters = Vec::new();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--quick" | "--test" => quick = true,
+                // Harness flags cargo/criterion pass through; ignore them.
+                s if s.starts_with("--") => {}
+                s => filters.push(s.to_string()),
+            }
+        }
+        let (sample_target, samples) = if quick {
+            (Duration::from_millis(5), 2)
+        } else {
+            (Duration::from_millis(50), 5)
+        };
+        Criterion {
+            settings: Settings {
+                sample_target,
+                samples,
+                filters,
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        run_one(&self.settings, &id.into(), f);
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings.clone(),
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sampling settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    settings: Settings,
+    _parent: std::marker::PhantomData<&'c mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Adjusts the number of samples for this group (kept API-compatible;
+    /// the shim caps it to keep wall-clock reasonable).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.samples = n.clamp(2, 10);
+        self
+    }
+
+    /// Runs a benchmark under this group's name prefix.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&self.settings, &id, f);
+    }
+
+    /// Ends the group (reporting already happened per-benchmark).
+    pub fn finish(self) {}
+}
+
+fn run_one(settings: &Settings, id: &str, mut f: impl FnMut(&mut Bencher)) {
+    if !settings.matches(id) {
+        return;
+    }
+    let mut b = Bencher {
+        sample_target: settings.sample_target,
+        samples: settings.samples,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((elapsed, iters)) if iters > 0 => {
+            let ns = elapsed.as_nanos() as f64 / iters as f64;
+            println!("bench: {id:<50} {ns:>14.1} ns/iter");
+        }
+        _ => println!("bench: {id:<50} (no measurement)"),
+    }
+}
+
+/// Collects benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generates `fn main` invoking the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

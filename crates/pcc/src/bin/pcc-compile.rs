@@ -48,9 +48,7 @@ fn main() -> ExitCode {
                 usage();
                 return ExitCode::SUCCESS;
             }
-            other if !other.starts_with('-') && input.is_none() => {
-                input = Some(other.to_string())
-            }
+            other if !other.starts_with('-') && input.is_none() => input = Some(other.to_string()),
             _ => return usage(),
         }
     }
@@ -110,7 +108,10 @@ fn main() -> ExitCode {
         stats.wire_time,
         stats.wiring.requests_out,
     );
-    println!("\n{:<8} {:>7} {:>10} {:>12}", "region", "cores", "neurons", "out-conns");
+    println!(
+        "\n{:<8} {:>7} {:>10} {:>12}",
+        "region", "cores", "neurons", "out-conns"
+    );
     for r in 0..plan.regions() {
         let outgoing: u64 = (0..plan.regions()).map(|s| plan.connections(r, s)).sum();
         println!(

@@ -181,27 +181,22 @@ impl CoreObject {
             match keyword {
                 "param" => {
                     for kv in parts {
-                        let (k, v) = split_kv(kv).ok_or_else(|| {
-                            err(format!("malformed key=value pair '{kv}'"))
-                        })?;
+                        let (k, v) = split_kv(kv)
+                            .ok_or_else(|| err(format!("malformed key=value pair '{kv}'")))?;
                         match k {
                             "seed" => {
-                                obj.params.seed = v
-                                    .parse()
-                                    .map_err(|_| err(format!("bad seed '{v}'")))?
+                                obj.params.seed =
+                                    v.parse().map_err(|_| err(format!("bad seed '{v}'")))?
                             }
                             "synapse_density" => {
-                                let d: f64 = v
-                                    .parse()
-                                    .map_err(|_| err(format!("bad density '{v}'")))?;
+                                let d: f64 =
+                                    v.parse().map_err(|_| err(format!("bad density '{v}'")))?;
                                 if !(0.0..=1.0).contains(&d) {
                                     return Err(err(format!("density {d} outside [0,1]")));
                                 }
                                 obj.params.synapse_density = d;
                             }
-                            other => {
-                                return Err(err(format!("unknown parameter '{other}'")))
-                            }
+                            other => return Err(err(format!("unknown parameter '{other}'"))),
                         }
                     }
                 }
@@ -218,27 +213,22 @@ impl CoreObject {
                     let mut intra: Option<f64> = None;
                     let mut drive_period = 0u32;
                     for kv in parts {
-                        let (k, v) = split_kv(kv).ok_or_else(|| {
-                            err(format!("malformed key=value pair '{kv}'"))
-                        })?;
+                        let (k, v) = split_kv(kv)
+                            .ok_or_else(|| err(format!("malformed key=value pair '{kv}'")))?;
                         match k {
                             "class" => {
-                                class = RegionClass::parse(v).ok_or_else(|| {
-                                    err(format!("unknown region class '{v}'"))
-                                })?
+                                class = RegionClass::parse(v)
+                                    .ok_or_else(|| err(format!("unknown region class '{v}'")))?
                             }
                             "volume" => {
-                                volume = v
-                                    .parse()
-                                    .map_err(|_| err(format!("bad volume '{v}'")))?;
+                                volume = v.parse().map_err(|_| err(format!("bad volume '{v}'")))?;
                                 if volume <= 0.0 || !volume.is_finite() {
                                     return Err(err(format!("volume must be positive, got {v}")));
                                 }
                             }
                             "intra" => {
-                                let f: f64 = v
-                                    .parse()
-                                    .map_err(|_| err(format!("bad intra '{v}'")))?;
+                                let f: f64 =
+                                    v.parse().map_err(|_| err(format!("bad intra '{v}'")))?;
                                 if !(0.0..1.0).contains(&f) {
                                     return Err(err(format!("intra {f} outside [0,1)")));
                                 }
@@ -276,21 +266,16 @@ impl CoreObject {
                         .ok_or_else(|| err(format!("unknown region '{dst}'")))?;
                     let mut weight: f64 = 1.0;
                     for kv in parts {
-                        let (k, v) = split_kv(kv).ok_or_else(|| {
-                            err(format!("malformed key=value pair '{kv}'"))
-                        })?;
+                        let (k, v) = split_kv(kv)
+                            .ok_or_else(|| err(format!("malformed key=value pair '{kv}'")))?;
                         match k {
                             "weight" => {
-                                weight = v
-                                    .parse()
-                                    .map_err(|_| err(format!("bad weight '{v}'")))?;
+                                weight = v.parse().map_err(|_| err(format!("bad weight '{v}'")))?;
                                 if weight <= 0.0 || !weight.is_finite() {
                                     return Err(err(format!("weight must be positive, got {v}")));
                                 }
                             }
-                            other => {
-                                return Err(err(format!("unknown connect key '{other}'")))
-                            }
+                            other => return Err(err(format!("unknown connect key '{other}'"))),
                         }
                     }
                     obj.connections.push((src_i, dst_i, weight));

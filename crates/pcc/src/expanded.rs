@@ -23,7 +23,9 @@
 //! ```
 
 use compass_sim::NetworkModel;
-use tn_core::{CoreConfig, Crossbar, NeuronConfig, ResetMode, SpikeTarget, CORE_AXONS, CORE_NEURONS};
+use tn_core::{
+    CoreConfig, Crossbar, NeuronConfig, ResetMode, SpikeTarget, CORE_AXONS, CORE_NEURONS,
+};
 
 const MAGIC: &[u8; 4] = b"CMPS";
 const VERSION: u32 = 1;
@@ -39,7 +41,11 @@ pub struct DecodeError {
 
 impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "expanded model at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "expanded model at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -226,12 +232,7 @@ fn decode_core(c: &mut Cursor<'_>) -> Result<CoreConfig, DecodeError> {
         };
         neurons.push(NeuronConfig {
             weights,
-            stochastic_weight: [
-                mask & 1 != 0,
-                mask & 2 != 0,
-                mask & 4 != 0,
-                mask & 8 != 0,
-            ],
+            stochastic_weight: [mask & 1 != 0, mask & 2 != 0, mask & 4 != 0, mask & 8 != 0],
             leak,
             stochastic_leak,
             threshold,
@@ -266,8 +267,7 @@ pub fn write_file(model: &NetworkModel, path: &std::path::Path) -> std::io::Resu
 /// Propagates I/O failures; decoding failures map to `InvalidData`.
 pub fn read_file(path: &std::path::Path) -> std::io::Result<NetworkModel> {
     let bytes = std::fs::read(path)?;
-    decode(&bytes)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    decode(&bytes).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
 }
 
 #[cfg(test)]

@@ -55,9 +55,8 @@ pub fn generate_core(plan: &CompilePlan, core_id: u64) -> CoreConfig {
     let mut cfg = CoreConfig::blank(core_id, params.seed);
 
     // Axon types: dealt uniformly from a per-core stream.
-    let mut type_prng = CorePrng::from_seed(
-        params.seed ^ core_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xA5A5,
-    );
+    let mut type_prng =
+        CorePrng::from_seed(params.seed ^ core_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xA5A5);
     for t in cfg.axon_types.iter_mut() {
         *t = (type_prng.next_below(4)) as u8;
     }
@@ -67,8 +66,8 @@ pub fn generate_core(plan: &CompilePlan, core_id: u64) -> CoreConfig {
     // order — the paper's networks deliberately spread local connections
     // "as broadly as possible across the set of possible target cores" to
     // stress the caches.
-    let per_row = ((params.synapse_density * CORE_NEURONS as f64).round() as usize)
-        .clamp(1, CORE_NEURONS);
+    let per_row =
+        ((params.synapse_density * CORE_NEURONS as f64).round() as usize).clamp(1, CORE_NEURONS);
     let mut crossbar = Crossbar::new();
     for axon in 0..CORE_AXONS {
         let mut prng = CorePrng::from_seed(
@@ -99,8 +98,7 @@ pub fn generate_core(plan: &CompilePlan, core_id: u64) -> CoreConfig {
                 reset: ResetMode::Absolute(0),
                 floor: 0,
                 // Stagger phases deterministically by core and index.
-                initial_potential: (((core_id as u32).wrapping_mul(37) + j as u32) % period)
-                    as i32,
+                initial_potential: (((core_id as u32).wrapping_mul(37) + j as u32) % period) as i32,
                 ..NeuronConfig::default()
             };
         } else {

@@ -238,7 +238,10 @@ pub fn plan_with_placement(
     }
 
     // 3. Balance to neuron budgets and integerize.
-    let budgets: Vec<u64> = region_cores.iter().map(|&c| c * CORE_NEURONS as u64).collect();
+    let budgets: Vec<u64> = region_cores
+        .iter()
+        .map(|&c| c * CORE_NEURONS as u64)
+        .collect();
     let budgets_f: Vec<f64> = budgets.iter().map(|&b| b as f64).collect();
     let scaled: Vec<f64> = {
         // Scale rows by budget for a warm start (stochastic rows × budget).

@@ -100,9 +100,8 @@ pub fn wire(ctx: &RankCtx, plan: &CompilePlan) -> (Vec<CoreConfig>, WiringStats)
     // ---- Step 1: replicated assignment walk --------------------------
     // Per-region target vectors and per-region rank schedules.
     let regions = plan.regions();
-    let target_vectors: Vec<Vec<u16>> = (0..regions)
-        .map(|r| plan.target_region_vector(r))
-        .collect();
+    let target_vectors: Vec<Vec<u16>> =
+        (0..regions).map(|r| plan.target_region_vector(r)).collect();
     let mut rank_schedules: Vec<ProportionalSchedule> = (0..regions)
         .map(|s| ProportionalSchedule::new(plan.rank_capacity_in_region(s)))
         .collect();
@@ -202,11 +201,7 @@ pub fn wire(ctx: &RankCtx, plan: &CompilePlan) -> (Vec<CoreConfig>, WiringStats)
         configs[n / CORE_NEURONS].neurons[n % CORE_NEURONS].target = Some(target);
     }
     for (dst, &cur) in cursors.iter().enumerate() {
-        assert_eq!(
-            cur,
-            granted[dst].len(),
-            "unconsumed grants from rank {dst}"
-        );
+        assert_eq!(cur, granted[dst].len(), "unconsumed grants from rank {dst}");
     }
 
     (configs, stats)

@@ -1,0 +1,556 @@
+//! Strategies: random value sources with shrink proposals.
+//!
+//! A strategy draws an internal representation (`Repr`) from the runner's
+//! deterministic RNG and *realizes* it into the value handed to the test.
+//! Shrinking operates on representations, which is what lets `prop_map`
+//! shrink through arbitrary transformations: the mapped strategy shrinks
+//! its source and re-applies the map.
+
+use crate::test_runner::TestRng;
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+use std::rc::Rc;
+
+/// A source of random test inputs that knows how to simplify them.
+pub trait Strategy {
+    /// The value handed to the test body.
+    type Value: Clone + Debug;
+    /// The internal representation that is sampled and shrunk.
+    type Repr: Clone;
+
+    /// Draws a fresh representation.
+    fn sample(&self, rng: &mut TestRng) -> Self::Repr;
+
+    /// Converts a representation into the test value.
+    fn realize(&self, repr: &Self::Repr) -> Self::Value;
+
+    /// Proposes strictly simpler representations, simplest first. An empty
+    /// vector means `repr` is (locally) minimal.
+    fn shrink(&self, repr: &Self::Repr) -> Vec<Self::Repr>;
+
+    /// Maps realized values through `f`, preserving shrinkability.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Clone + Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+}
+
+// ---------------------------------------------------------------- numbers
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            type Repr = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer range strategy");
+                let span = (self.end as i128) - (self.start as i128);
+                (self.start as i128 + rng.below_u128(span as u128) as i128) as $t
+            }
+
+            fn realize(&self, repr: &$t) -> $t {
+                *repr
+            }
+
+            fn shrink(&self, repr: &$t) -> Vec<$t> {
+                shrink_int(*repr as i128, self.start as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            type Repr = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty integer range strategy");
+                let span = (hi as i128) - (lo as i128) + 1;
+                (lo as i128 + rng.below_u128(span as u128) as i128) as $t
+            }
+
+            fn realize(&self, repr: &$t) -> $t {
+                *repr
+            }
+
+            fn shrink(&self, repr: &$t) -> Vec<$t> {
+                shrink_int(*repr as i128, *self.start() as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
+        }
+    )*};
+}
+
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Candidates between `lo` and `x`, closest-to-`lo` first. Shrinking
+/// toward the range floor mirrors proptest's bias toward "small" values.
+fn shrink_int(x: i128, lo: i128) -> Vec<i128> {
+    if x == lo {
+        return Vec::new();
+    }
+    let mut out = vec![lo];
+    let mid = lo + (x - lo) / 2;
+    if mid != lo && mid != x {
+        out.push(mid);
+    }
+    if x - 1 != lo && x - 1 != mid {
+        out.push(x - 1);
+    }
+    out
+}
+
+macro_rules! float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            type Repr = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty float range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+
+            fn realize(&self, repr: &$t) -> $t {
+                *repr
+            }
+
+            fn shrink(&self, repr: &$t) -> Vec<$t> {
+                let x = *repr;
+                if x <= self.start {
+                    return Vec::new();
+                }
+                let mut out = vec![self.start];
+                let mid = self.start + (x - self.start) / 2.0;
+                if mid > self.start && mid < x {
+                    out.push(mid);
+                }
+                out
+            }
+        }
+    )*};
+}
+
+float_strategy!(f32, f64);
+
+// ------------------------------------------------------------------ bool
+
+/// The strategy behind `proptest::bool::ANY`.
+#[derive(Clone, Copy, Debug)]
+pub struct BoolAny;
+
+impl Strategy for BoolAny {
+    type Value = bool;
+    type Repr = bool;
+
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+
+    fn realize(&self, repr: &bool) -> bool {
+        *repr
+    }
+
+    fn shrink(&self, repr: &bool) -> Vec<bool> {
+        if *repr {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+// ------------------------------------------------------------------- map
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Clone + Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    type Repr = S::Repr;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Repr {
+        self.source.sample(rng)
+    }
+
+    fn realize(&self, repr: &S::Repr) -> O {
+        (self.f)(self.source.realize(repr))
+    }
+
+    fn shrink(&self, repr: &S::Repr) -> Vec<S::Repr> {
+        self.source.shrink(repr)
+    }
+}
+
+// ---------------------------------------------------------------- tuples
+
+macro_rules! tuple_strategy {
+    ($(($($S:ident / $idx:tt),+ $(,)?);)*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            type Repr = ($($S::Repr,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Repr {
+                ($(self.$idx.sample(rng),)+)
+            }
+
+            fn realize(&self, repr: &Self::Repr) -> Self::Value {
+                ($(self.$idx.realize(&repr.$idx),)+)
+            }
+
+            fn shrink(&self, repr: &Self::Repr) -> Vec<Self::Repr> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&repr.$idx) {
+                        let mut next = repr.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A/0);
+    (A/0, B/1);
+    (A/0, B/1, C/2);
+    (A/0, B/1, C/2, D/3);
+    (A/0, B/1, C/2, D/3, E/4);
+    (A/0, B/1, C/2, D/3, E/4, F/5);
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6);
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7);
+}
+
+// ------------------------------------------------------------------- vec
+
+/// Length bounds for collection strategies (inclusive on both ends).
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    /// Minimum length.
+    pub min: usize,
+    /// Maximum length.
+    pub max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// See [`crate::collection::vec`].
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> VecStrategy<S> {
+    pub(crate) fn new(element: S, size: SizeRange) -> Self {
+        Self { element, size }
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    type Repr = Vec<S::Repr>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Repr {
+        let span = (self.size.max - self.size.min + 1) as u64;
+        let len = self.size.min + rng.below(span) as usize;
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+
+    fn realize(&self, repr: &Self::Repr) -> Self::Value {
+        repr.iter().map(|r| self.element.realize(r)).collect()
+    }
+
+    fn shrink(&self, repr: &Self::Repr) -> Vec<Self::Repr> {
+        let mut out = Vec::new();
+        let len = repr.len();
+        // Structural shrinks first: dropping elements simplifies faster
+        // than shrinking any single element ever can.
+        if len > self.size.min {
+            let half = (len / 2).max(self.size.min);
+            if half < len {
+                out.push(repr[..half].to_vec());
+            }
+            out.push(repr[..len - 1].to_vec());
+            if len >= 2 {
+                out.push(repr[1..].to_vec());
+            }
+        }
+        // Element-wise shrinks, bounded so huge vectors don't explode the
+        // candidate list (the runner caps total attempts anyway).
+        for (i, r) in repr.iter().enumerate().take(64) {
+            for cand in self.element.shrink(r).into_iter().take(3) {
+                let mut next = repr.clone();
+                next[i] = cand;
+                out.push(next);
+            }
+        }
+        out
+    }
+}
+
+/// See [`crate::collection::btree_set`].
+#[derive(Clone)]
+pub struct BTreeSetStrategy<S> {
+    inner: VecStrategy<S>,
+}
+
+impl<S: Strategy> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    pub(crate) fn new(element: S, size: SizeRange) -> Self {
+        Self {
+            inner: VecStrategy::new(element, size),
+        }
+    }
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    type Repr = Vec<S::Repr>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Repr {
+        self.inner.sample(rng)
+    }
+
+    fn realize(&self, repr: &Self::Repr) -> Self::Value {
+        repr.iter().map(|r| self.inner.element.realize(r)).collect()
+    }
+
+    fn shrink(&self, repr: &Self::Repr) -> Vec<Self::Repr> {
+        self.inner.shrink(repr)
+    }
+}
+
+// ----------------------------------------------------------------- array
+
+/// See [`crate::array::uniform4`].
+#[derive(Clone)]
+pub struct UniformArray<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> UniformArray<S, N> {
+    pub(crate) fn new(element: S) -> Self {
+        Self { element }
+    }
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+    type Repr = [S::Repr; N];
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Repr {
+        std::array::from_fn(|_| self.element.sample(rng))
+    }
+
+    fn realize(&self, repr: &Self::Repr) -> Self::Value {
+        std::array::from_fn(|i| self.element.realize(&repr[i]))
+    }
+
+    fn shrink(&self, repr: &Self::Repr) -> Vec<Self::Repr> {
+        let mut out = Vec::new();
+        for i in 0..N {
+            for cand in self.element.shrink(&repr[i]).into_iter().take(3) {
+                let mut next = repr.clone();
+                next[i] = cand;
+                out.push(next);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------- option
+
+/// See [`crate::option::of`].
+#[derive(Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> OptionStrategy<S> {
+    pub(crate) fn new(inner: S) -> Self {
+        Self { inner }
+    }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    type Repr = Option<S::Repr>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Repr {
+        if rng.below(8) == 0 {
+            None
+        } else {
+            Some(self.inner.sample(rng))
+        }
+    }
+
+    fn realize(&self, repr: &Self::Repr) -> Self::Value {
+        repr.as_ref().map(|r| self.inner.realize(r))
+    }
+
+    fn shrink(&self, repr: &Self::Repr) -> Vec<Self::Repr> {
+        match repr {
+            None => Vec::new(),
+            Some(r) => {
+                let mut out = vec![None];
+                out.extend(self.inner.shrink(r).into_iter().map(Some));
+                out
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------- union
+
+/// Type-erased strategy handle used by [`BoxedUnion`] (`prop_oneof!`).
+pub struct Boxed<V> {
+    inner: Rc<dyn DynStrategy<V>>,
+}
+
+impl<V> Clone for Boxed<V> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+/// An opaque, cheaply clonable representation for erased strategies.
+#[derive(Clone)]
+pub struct ErasedRepr(Rc<dyn std::any::Any>);
+
+trait DynStrategy<V> {
+    fn sample_dyn(&self, rng: &mut TestRng) -> ErasedRepr;
+    fn realize_dyn(&self, repr: &ErasedRepr) -> V;
+    fn shrink_dyn(&self, repr: &ErasedRepr) -> Vec<ErasedRepr>;
+}
+
+impl<S> DynStrategy<S::Value> for S
+where
+    S: Strategy,
+    S::Repr: 'static,
+{
+    fn sample_dyn(&self, rng: &mut TestRng) -> ErasedRepr {
+        ErasedRepr(Rc::new(self.sample(rng)))
+    }
+
+    fn realize_dyn(&self, repr: &ErasedRepr) -> S::Value {
+        let r = repr
+            .0
+            .downcast_ref::<S::Repr>()
+            .expect("repr type mismatch");
+        self.realize(r)
+    }
+
+    fn shrink_dyn(&self, repr: &ErasedRepr) -> Vec<ErasedRepr> {
+        let r = repr
+            .0
+            .downcast_ref::<S::Repr>()
+            .expect("repr type mismatch");
+        self.shrink(r)
+            .into_iter()
+            .map(|c| ErasedRepr(Rc::new(c)))
+            .collect()
+    }
+}
+
+/// Erases a strategy's representation type so heterogeneous strategies can
+/// share a `prop_oneof!` arm list.
+pub fn boxed<S>(s: S) -> Boxed<S::Value>
+where
+    S: Strategy + 'static,
+    S::Repr: 'static,
+{
+    Boxed { inner: Rc::new(s) }
+}
+
+/// The strategy behind `prop_oneof!`: a uniform choice among arms.
+#[derive(Clone)]
+pub struct BoxedUnion<V> {
+    arms: Vec<Boxed<V>>,
+}
+
+impl<V: Clone + Debug> BoxedUnion<V> {
+    /// Builds a union; `prop_oneof!` is the intended entry point.
+    ///
+    /// # Panics
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<Boxed<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<V: Clone + Debug> Strategy for BoxedUnion<V> {
+    type Value = V;
+    type Repr = (usize, ErasedRepr);
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Repr {
+        let arm = rng.below(self.arms.len() as u64) as usize;
+        (arm, self.arms[arm].inner.sample_dyn(rng))
+    }
+
+    fn realize(&self, (arm, repr): &Self::Repr) -> V {
+        self.arms[*arm].inner.realize_dyn(repr)
+    }
+
+    fn shrink(&self, (arm, repr): &Self::Repr) -> Vec<Self::Repr> {
+        self.arms[*arm]
+            .inner
+            .shrink_dyn(repr)
+            .into_iter()
+            .map(|c| (*arm, c))
+            .collect()
+    }
+}

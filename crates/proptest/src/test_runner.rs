@@ -1,0 +1,149 @@
+//! The case runner: deterministic generation, failure detection (both
+//! `Err` returns and panics), and greedy shrinking to a minimal input.
+
+use crate::strategy::Strategy;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Failure payload produced by the `prop_assert*` macros (or synthesized
+/// from a caught panic).
+pub type TestCaseError = String;
+
+/// Runner configuration; construct with [`ProptestConfig::with_cases`] or
+/// `Default`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+    /// Upper bound on candidate evaluations during shrinking.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 1024,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+/// Deterministic 64-bit generator (splitmix64). Each test derives its seed
+/// from its own name, so runs are reproducible without a seed file.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from an FNV-1a hash of the test name.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h | 1 }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`. `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform draw in `[0, n)` for spans wider than 64 bits (needed for
+    /// full-range `u64`/`i64` strategies). `n` must be nonzero.
+    pub fn below_u128(&mut self, n: u128) -> u128 {
+        let wide = (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64());
+        wide % n
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Executes one case, converting panics into failures.
+fn run_case<S, F>(strategy: &S, test: &F, repr: &S::Repr) -> Option<TestCaseError>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let value = strategy.realize(repr);
+    match catch_unwind(AssertUnwindSafe(|| test(value))) {
+        Ok(Ok(())) => None,
+        Ok(Err(e)) => Some(e),
+        Err(payload) => Some(panic_message(payload.as_ref())),
+    }
+}
+
+fn panic_message(payload: &dyn std::any::Any) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
+    }
+}
+
+/// Entry point used by the `proptest!` macro expansion. Runs `config.cases`
+/// random cases; on the first failure, greedily shrinks the representation
+/// (accepting any proposed simplification that still fails) and panics with
+/// the minimal counterexample.
+pub fn run_proptest<S, F>(name: &str, config: &ProptestConfig, strategy: &S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::from_name(name);
+    for case in 0..config.cases {
+        let repr = strategy.sample(&mut rng);
+        let Some(first_err) = run_case(strategy, &test, &repr) else {
+            continue;
+        };
+
+        let mut best = (repr, first_err);
+        let mut attempts: u32 = 0;
+        'shrinking: loop {
+            for candidate in strategy.shrink(&best.0) {
+                if attempts >= config.max_shrink_iters {
+                    break 'shrinking;
+                }
+                attempts += 1;
+                if let Some(err) = run_case(strategy, &test, &candidate) {
+                    best = (candidate, err);
+                    continue 'shrinking;
+                }
+            }
+            break; // local minimum: no proposed simplification still fails
+        }
+
+        panic!(
+            "proptest `{name}` failed on case {} of {} (after {attempts} shrink attempts)\n\
+             minimal failing input: {:#?}\n{}",
+            case + 1,
+            config.cases,
+            strategy.realize(&best.0),
+            best.1,
+        );
+    }
+}

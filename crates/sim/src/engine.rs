@@ -24,6 +24,33 @@
 //! global barrier commits the epoch, and the incoming windows are drained —
 //! no Reduce-scatter, no tag matching.
 //!
+//! # Thread ownership
+//!
+//! The paper assigns disjoint core sets to OpenMP threads precisely so the
+//! hot Synapse/Neuron phases run lock-free. This engine does the same:
+//! each team thread exclusively owns one contiguous chunk of the rank's
+//! cores (`Shards`) for the whole run — no `Mutex` per core, no lock in
+//! any per-core loop. A spike destined for a core another thread owns is
+//! never delivered directly; it is routed into that thread's **inbox**
+//! (`Inboxes`) during the Network phase and drained by the owning thread
+//! at the top of the next tick's Synapse phase, before the delay slots for
+//! that tick are read. Delivery ORs into delay-buffer bits, so this
+//! re-ordering is invisible in the spike trace.
+//!
+//! # Quiescence skipping
+//!
+//! Most cores of a sparsely active model do nothing in most ticks. Two
+//! O(1) fast paths exploit that (cf. SuperNeuro's activity-sparse mode):
+//! a core whose delay buffers are empty skips the 256-axon Synapse scan
+//! ([`tn_core::NeurosynapticCore::skip_synapse_phase`]), and a core that
+//! reached a fixed point of its zero-input dynamics — and draws no
+//! per-tick randomness — skips the 256-neuron sweep entirely
+//! ([`tn_core::NeurosynapticCore::skip_neuron_phase`]). Both skips leave
+//! core state (potentials, PRNG stream, activity counters) bit-identical
+//! to the full phases; [`EngineConfig::quiescence`] force-disables them
+//! for A/B verification, and [`RankReport::synapse_skips`] /
+//! [`RankReport::neuron_skips`] count how often they fired.
+//!
 //! Two ablation switches reproduce the paper's design discussion:
 //! [`EngineConfig::aggregate`] (off = one message per spike) and
 //! [`EngineConfig::overlap`] (off = Reduce-scatter and local delivery run
@@ -32,8 +59,10 @@
 use crate::partition::Partition;
 use crate::stats::{PhaseTimes, RankReport};
 use compass_comm::mailbox::Match;
+use compass_comm::team::{chunk_owner, static_chunk};
 use compass_comm::{RankCtx, Tag};
-use parking_lot::Mutex;
+use std::cell::UnsafeCell;
+use std::ops::Range;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 use tn_core::{CoreConfig, NeurosynapticCore, Spike};
@@ -72,6 +101,12 @@ pub struct EngineConfig {
     /// which this crate's natively thread-safe mailbox permits; an
     /// ablation of what a thread-safe MPI would have bought the paper.
     pub critical_recv: bool,
+    /// Skip the Synapse scan for cores with empty delay buffers and the
+    /// Neuron sweep for cores at a zero-input fixed point (default: on).
+    /// The skips are exact — traces, counters, and PRNG streams are
+    /// bit-identical either way; off exists to verify that and to measure
+    /// the win.
+    pub quiescence: bool,
 }
 
 impl Default for EngineConfig {
@@ -84,6 +119,7 @@ impl Default for EngineConfig {
             aggregate: true,
             tick_stats: false,
             critical_recv: true,
+            quiescence: true,
         }
     }
 }
@@ -107,7 +143,169 @@ fn tick_tag(t: u32) -> Tag {
     Tag::from(t)
 }
 
-/// Per-thread spike staging buffers for one tick.
+/// One core plus the engine-side activity state driving quiescence.
+struct CoreSlot {
+    core: NeurosynapticCore,
+    /// Synaptic events delivered by this tick's Synapse phase (0 when the
+    /// scan was skipped — an empty delay buffer delivers nothing).
+    events: u64,
+    /// The core's last executed Neuron phase reported a fixed point of its
+    /// zero-input dynamics; stays set while ticks are skipped, cleared by
+    /// arriving input.
+    dormant: bool,
+}
+
+/// One spike delivery routed between team threads, addressed by local core
+/// index — the unit carried by [`Inboxes`].
+#[derive(Clone, Copy)]
+struct Delivery {
+    local_idx: u32,
+    axon: u16,
+    delivery_tick: u32,
+}
+
+/// Hands each team thread exclusive mutable access to its contiguous,
+/// [`static_chunk`]-assigned slice of the rank's cores.
+///
+/// Safety protocol (the engine's phase structure enforces it):
+/// * during a parallel region, thread `tid` obtains only `shard(tid)`, and
+///   at most once — the chunks are disjoint, so no two `&mut` alias;
+/// * between regions (the team is joined), only the master runs, and it
+///   may use `all()` — no shard borrow is live across a region boundary
+///   because shards are re-acquired inside every region closure.
+struct Shards<'a> {
+    ptr: *mut CoreSlot,
+    len: usize,
+    parts: usize,
+    _owner: std::marker::PhantomData<&'a mut [CoreSlot]>,
+}
+
+// SAFETY: see the protocol above — all concurrent access is to disjoint
+// chunks, and whole-array access happens only while the team is joined.
+unsafe impl Sync for Shards<'_> {}
+
+impl<'a> Shards<'a> {
+    fn new(slots: &'a mut [CoreSlot], parts: usize) -> Self {
+        Self {
+            ptr: slots.as_mut_ptr(),
+            len: slots.len(),
+            parts,
+            _owner: std::marker::PhantomData,
+        }
+    }
+
+    /// The local-index range owned by `tid`.
+    fn range(&self, tid: usize) -> Range<usize> {
+        static_chunk(self.len, self.parts, tid)
+    }
+
+    /// Thread `tid`'s exclusive slice.
+    ///
+    /// # Safety
+    /// Caller must be thread `tid` inside a parallel region (or the master
+    /// between regions), must not call this twice for the same `tid` within
+    /// one region, and must not hold the slice across a region boundary.
+    #[allow(clippy::mut_from_ref)] // &self → &mut is the whole point; see protocol
+    unsafe fn shard(&self, tid: usize) -> &mut [CoreSlot] {
+        let r = self.range(tid);
+        std::slice::from_raw_parts_mut(self.ptr.add(r.start), r.len())
+    }
+
+    /// The whole core array.
+    ///
+    /// # Safety
+    /// Caller must be the master thread with no parallel region active and
+    /// no other shard slice live.
+    #[allow(clippy::mut_from_ref)] // &self → &mut is the whole point; see protocol
+    unsafe fn all(&self) -> &mut [CoreSlot] {
+        std::slice::from_raw_parts_mut(self.ptr, self.len)
+    }
+}
+
+/// Per-(destination thread, source thread) delivery queues: the cross-
+/// thread spike path that replaces locking a core another thread owns.
+///
+/// Write/read phases alternate, separated by region joins: during the
+/// Network phase, thread `src` appends only to `(_, src)` cells; at the
+/// top of the next Synapse phase, thread `dest` drains only `(dest, _)`
+/// cells. No cell is ever touched by two threads inside one region.
+struct Inboxes {
+    cells: Vec<UnsafeCell<Vec<Delivery>>>,
+    threads: usize,
+}
+
+// SAFETY: the phase discipline above keeps every cell single-threaded
+// within any region; region joins provide the happens-before edges.
+unsafe impl Sync for Inboxes {}
+
+impl Inboxes {
+    fn new(threads: usize) -> Self {
+        Self {
+            cells: (0..threads * threads)
+                .map(|_| UnsafeCell::new(Vec::new()))
+                .collect(),
+            threads,
+        }
+    }
+
+    /// Queues a delivery for `dest`'s next Synapse-phase drain.
+    ///
+    /// # Safety
+    /// Caller must be thread `src` (or the master between regions), and no
+    /// drain of `dest`'s cells may run concurrently.
+    unsafe fn push(&self, dest: usize, src: usize, d: Delivery) {
+        (*self.cells[dest * self.threads + src].get()).push(d);
+    }
+
+    /// Drains every queue addressed to `dest`, preserving capacity.
+    ///
+    /// # Safety
+    /// Caller must be thread `dest` (or the master between regions), and
+    /// no push into `dest`'s cells may run concurrently.
+    unsafe fn drain_for(&self, dest: usize, mut f: impl FnMut(Delivery)) {
+        for src in 0..self.threads {
+            let q = &mut *self.cells[dest * self.threads + src].get();
+            for d in q.drain(..) {
+                f(d);
+            }
+        }
+    }
+}
+
+/// Per-thread slots accessed exclusively by their owning thread during
+/// regions and by the master between regions — same protocol as [`Shards`].
+struct PerThread<T> {
+    slots: Vec<UnsafeCell<T>>,
+}
+
+// SAFETY: slot `tid` is only touched by thread `tid` inside a region and
+// by the master between regions (joins order the accesses).
+unsafe impl<T: Send> Sync for PerThread<T> {}
+
+impl<T> PerThread<T> {
+    fn new(n: usize, mut mk: impl FnMut() -> T) -> Self {
+        Self {
+            slots: (0..n).map(|_| UnsafeCell::new(mk())).collect(),
+        }
+    }
+
+    /// Thread `tid`'s exclusive slot.
+    ///
+    /// # Safety
+    /// Caller must be thread `tid` inside a region, or the master between
+    /// regions, with no other reference to this slot live.
+    #[allow(clippy::mut_from_ref)] // &self → &mut is the whole point; see protocol
+    unsafe fn get(&self, tid: usize) -> &mut T {
+        &mut *self.slots[tid].get()
+    }
+
+    /// All slots (master-only, between regions — `&mut self` proves it).
+    fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.slots.iter_mut().map(|c| c.get_mut())
+    }
+}
+
+/// Per-thread spike staging buffers, reused across all ticks of the run.
 #[derive(Default)]
 struct ThreadBufs {
     /// Spikes whose target core lives on this rank.
@@ -116,6 +314,10 @@ struct ThreadBufs {
     remote: Vec<Vec<u8>>,
     /// Trace of all emitted spikes (only if recording).
     trace: Vec<Spike>,
+    /// Synapse scans replaced by the empty-delay-buffer fast path.
+    synapse_skips: u64,
+    /// Neuron sweeps replaced by the dormant-core fast path.
+    neuron_skips: u64,
 }
 
 /// Runs the Compass main loop for one rank of a world.
@@ -149,16 +351,20 @@ pub fn run_rank(
     // Instantiate cores (the paper's PCC hands off to Compass the same way:
     // compile, instantiate, free the compiler structures).
     let mut memory_bytes = 0u64;
-    let cores: Vec<Mutex<NeurosynapticCore>> = configs
+    let mut slots: Vec<CoreSlot> = configs
         .into_iter()
         .enumerate()
         .map(|(i, c)| {
             assert_eq!(c.id, block.start + i as u64, "core ids must be dense");
             memory_bytes += c.memory_footprint() as u64;
-            Mutex::new(NeurosynapticCore::new(c).expect("invalid core config"))
+            CoreSlot {
+                core: NeurosynapticCore::new(c).expect("invalid core config"),
+                events: 0,
+                dormant: false,
+            }
         })
         .collect();
-    let n_local = cores.len();
+    let n_local = slots.len();
 
     // External input ("sensory") deliveries addressed to this rank, sorted
     // by tick and injected just in time — a delay-buffer slot only becomes
@@ -177,19 +383,41 @@ pub fn run_rank(
 
     let team = ctx.team();
     let threads = team.size();
-    let thread_bufs: Vec<Mutex<ThreadBufs>> = (0..threads)
-        .map(|_| {
-            Mutex::new(ThreadBufs {
-                local: Vec::new(),
-                remote: (0..world).map(|_| Vec::new()).collect(),
-                trace: Vec::new(),
-            })
-        })
-        .collect();
+    let shards = Shards::new(&mut slots, threads);
+    let inboxes = Inboxes::new(threads);
+    let mut thread_bufs: PerThread<ThreadBufs> = PerThread::new(threads, || ThreadBufs {
+        remote: (0..world).map(|_| Vec::new()).collect(),
+        ..ThreadBufs::default()
+    });
 
-    let deliver = |spike: &Spike| {
+    // Routes one locally-delivered spike: straight into the caller's own
+    // shard when it owns the target core, otherwise into the owner's inbox
+    // (drained at the top of the next Synapse phase — in time, because
+    // every delivery tick is at least one tick in the future).
+    //
+    // SAFETY (for the `inboxes.push`): `tid` is the calling thread's own id
+    // and inbox drains only happen in Synapse regions, never concurrently
+    // with Network-phase routing.
+    let route = |spike: &Spike, tid: usize, my: &mut [CoreSlot], my_range: &Range<usize>| {
         let idx = partition.local_index(me, spike.target.core);
-        cores[idx].lock().deliver(spike.target.axon, spike.delivery_tick());
+        if my_range.contains(&idx) {
+            my[idx - my_range.start]
+                .core
+                .deliver(spike.target.axon, spike.delivery_tick());
+        } else {
+            let dest = chunk_owner(n_local, threads, idx);
+            unsafe {
+                inboxes.push(
+                    dest,
+                    tid,
+                    Delivery {
+                        local_idx: idx as u32,
+                        axon: spike.target.axon,
+                        delivery_tick: spike.delivery_tick(),
+                    },
+                );
+            }
+        }
     };
 
     let mut report = RankReport {
@@ -199,24 +427,49 @@ pub fn run_rank(
     };
     let mut phases = PhaseTimes::default();
 
-    // Master-owned reusable buffers.
+    // Master-owned staging, reused across ticks.
     let mut agg: Vec<Vec<u8>> = (0..world).map(|_| Vec::new()).collect();
     let mut local_all: Vec<Spike> = Vec::new();
     let mut send_flags: Vec<u64> = vec![0; world];
 
     for t in 0..cfg.ticks {
         // Inject external inputs due this tick (before their slot is read).
+        // SAFETY: master between regions; no shard slice is live.
+        let all = unsafe { shards.all() };
         while input_cursor < inputs.len() && inputs[input_cursor].0 == t {
             let (tick, core, axon) = inputs[input_cursor];
-            cores[(core - block.start) as usize].lock().deliver(axon, tick);
+            all[(core - block.start) as usize].core.deliver(axon, tick);
             input_cursor += 1;
         }
 
         // ---------------- Synapse phase ----------------
         let t0 = Instant::now();
         team.parallel(|tc| {
-            for i in tc.chunk(n_local) {
-                cores[i].lock().synapse_phase(t);
+            let tid = tc.tid();
+            // SAFETY: own tid, once per region, not held across regions.
+            let my = unsafe { shards.shard(tid) };
+            let my_range = shards.range(tid);
+            // SAFETY: own slot, same protocol.
+            let bufs = unsafe { thread_bufs.get(tid) };
+            // Deliveries routed to this thread during the previous tick's
+            // Network phase land before this tick's slots are read.
+            // SAFETY: own inbox cells; no pushes run in Synapse regions.
+            unsafe {
+                inboxes.drain_for(tid, |d| {
+                    my[d.local_idx as usize - my_range.start]
+                        .core
+                        .deliver(d.axon, d.delivery_tick);
+                });
+            }
+            for slot in my.iter_mut() {
+                if cfg.quiescence && !slot.core.has_pending_deliveries() {
+                    // O(1): an empty delay buffer delivers zero events.
+                    slot.core.skip_synapse_phase();
+                    slot.events = 0;
+                    bufs.synapse_skips += 1;
+                } else {
+                    slot.events = slot.core.synapse_phase(t);
+                }
             }
         });
         phases.synapse += t0.elapsed();
@@ -224,30 +477,47 @@ pub fn run_rank(
         // ---------------- Neuron phase ----------------
         let t1 = Instant::now();
         team.parallel(|tc| {
-            let mut bufs = thread_bufs[tc.tid()].lock();
-            let bufs = &mut *bufs;
-            for i in tc.chunk(n_local) {
-                let mut core = cores[i].lock();
-                core.neuron_phase(t, |spike| {
+            let tid = tc.tid();
+            // SAFETY: own tid / own slot, once per region (see Shards).
+            let my = unsafe { shards.shard(tid) };
+            let bufs = unsafe { thread_bufs.get(tid) };
+            let ThreadBufs {
+                local,
+                remote,
+                trace,
+                neuron_skips,
+                ..
+            } = bufs;
+            for slot in my.iter_mut() {
+                if cfg.quiescence && slot.dormant && slot.events == 0 {
+                    // Fixed point, zero input, no per-tick randomness: the
+                    // full sweep would be the identity.
+                    slot.core.skip_neuron_phase();
+                    *neuron_skips += 1;
+                    continue;
+                }
+                let changed = slot.core.neuron_phase(t, |spike| {
                     if cfg.record_trace {
-                        bufs.trace.push(spike);
+                        trace.push(spike);
                     }
                     let dest = partition.rank_of(spike.target.core);
                     if dest == me {
-                        bufs.local.push(spike);
+                        local.push(spike);
                     } else {
-                        spike.encode_into(&mut bufs.remote[dest]);
+                        spike.encode_into(&mut remote[dest]);
                     }
                 });
+                slot.dormant = !slot.core.autonomous_dynamics() && slot.events == 0 && !changed;
             }
         });
 
         // Aggregate per-thread buffers (paper: threadAggregate into
         // remoteBufAgg, local buffers concatenated for later delivery).
+        // `append` leaves each source Vec empty but with capacity intact,
+        // so the staging allocations are reused every tick.
         let mut local_spikes = 0u64;
         let mut remote_spikes = 0u64;
-        for tb in &thread_bufs {
-            let mut tb = tb.lock();
+        for tb in thread_bufs.iter_mut() {
             local_spikes += tb.local.len() as u64;
             local_all.append(&mut tb.local);
             for (d, buf) in tb.remote.iter_mut().enumerate() {
@@ -306,20 +576,20 @@ pub fn run_rank(
             Backend::Mpi => {
                 let expected = AtomicU64::new(0);
                 if cfg.overlap && threads > 1 {
-                    // Master: Reduce-scatter. Workers: deliver local spikes.
+                    // Master: Reduce-scatter. Workers: route local spikes.
                     let local_ref = &local_all;
                     team.parallel(|tc| {
+                        let tid = tc.tid();
                         if tc.is_master() {
                             let v = ctx.comm().reduce_scatter_sum(&send_flags);
                             expected.store(v, Ordering::Release);
                         } else {
-                            let r = compass_comm::team::static_chunk(
-                                local_ref.len(),
-                                tc.size() - 1,
-                                tc.tid() - 1,
-                            );
+                            // SAFETY: own tid, once per region.
+                            let my = unsafe { shards.shard(tid) };
+                            let my_range = shards.range(tid);
+                            let r = static_chunk(local_ref.len(), tc.size() - 1, tid - 1);
                             for s in &local_ref[r] {
-                                deliver(s);
+                                route(s, tid, my, &my_range);
                             }
                         }
                     });
@@ -328,41 +598,51 @@ pub fn run_rank(
                     expected.store(v, Ordering::Release);
                     let local_ref = &local_all;
                     team.parallel(|tc| {
+                        let tid = tc.tid();
+                        // SAFETY: own tid, once per region.
+                        let my = unsafe { shards.shard(tid) };
+                        let my_range = shards.range(tid);
                         for i in tc.chunk(local_ref.len()) {
-                            deliver(&local_ref[i]);
+                            route(&local_ref[i], tid, my, &my_range);
                         }
                     });
                 }
                 local_all.clear();
 
                 // All threads take turns receiving; the receive itself sits
-                // in a critical section, delivery does not.
+                // in a critical section, routing/delivery does not.
                 let expected = expected.load(Ordering::Acquire);
                 let claimed = AtomicUsize::new(0);
-                team.parallel(|tc| loop {
-                    let i = claimed.fetch_add(1, Ordering::Relaxed);
-                    if i as u64 >= expected {
-                        break;
-                    }
-                    let recv = || {
-                        ctx.comm()
-                            .mailboxes()
-                            .mailbox(me)
-                            .recv(Match::tag(tick_tag(t)))
-                    };
-                    let env = if cfg.critical_recv {
-                        tc.critical(recv)
-                    } else {
-                        recv()
-                    };
-                    for spike in Spike::decode_buffer(&env.payload) {
-                        deliver(&spike);
+                team.parallel(|tc| {
+                    let tid = tc.tid();
+                    // SAFETY: own tid, once per region.
+                    let my = unsafe { shards.shard(tid) };
+                    let my_range = shards.range(tid);
+                    loop {
+                        let i = claimed.fetch_add(1, Ordering::Relaxed);
+                        if i as u64 >= expected {
+                            break;
+                        }
+                        let recv = || {
+                            ctx.comm()
+                                .mailboxes()
+                                .mailbox(me)
+                                .recv(Match::tag(tick_tag(t)))
+                        };
+                        let env = if cfg.critical_recv {
+                            tc.critical(recv)
+                        } else {
+                            recv()
+                        };
+                        for spike in Spike::decode_buffer(&env.payload) {
+                            route(&spike, tid, my, &my_range);
+                        }
                     }
                 });
             }
             Backend::Pgas => {
                 // Master: one-sided puts + epoch barrier. Workers: local
-                // delivery, overlapped.
+                // routing, overlapped.
                 for (d, buf) in agg.iter().enumerate() {
                     report.bytes_to[d] += buf.len() as u64;
                 }
@@ -370,6 +650,7 @@ pub fn run_rank(
                 let agg_ref = &agg;
                 let puts = AtomicU64::new(0);
                 team.parallel(|tc| {
+                    let tid = tc.tid();
                     if tc.is_master() {
                         for (d, buf) in agg_ref.iter().enumerate() {
                             if !buf.is_empty() {
@@ -379,20 +660,22 @@ pub fn run_rank(
                         }
                         ctx.pgas().commit();
                     } else if cfg.overlap && tc.size() > 1 {
-                        let r = compass_comm::team::static_chunk(
-                            local_ref.len(),
-                            tc.size() - 1,
-                            tc.tid() - 1,
-                        );
+                        // SAFETY: own tid, once per region.
+                        let my = unsafe { shards.shard(tid) };
+                        let my_range = shards.range(tid);
+                        let r = static_chunk(local_ref.len(), tc.size() - 1, tid - 1);
                         for s in &local_ref[r] {
-                            deliver(s);
+                            route(s, tid, my, &my_range);
                         }
                     }
                 });
                 report.messages_sent += puts.load(Ordering::Relaxed);
                 if !(cfg.overlap && threads > 1) {
+                    // SAFETY: master between regions; no shard slice live.
+                    let all = unsafe { shards.all() };
                     for s in local_ref {
-                        deliver(s);
+                        let idx = partition.local_index(me, s.target.core);
+                        all[idx].core.deliver(s.target.axon, s.delivery_tick());
                     }
                 }
                 local_all.clear();
@@ -400,10 +683,15 @@ pub fn run_rank(
                     buf.clear();
                 }
                 // Drain the committed epoch: every incoming window, spikes
-                // delivered directly — no tag matching, no probe.
+                // delivered by the master directly — no tag matching, no
+                // probe. SAFETY: master between regions.
+                let all = unsafe { shards.all() };
                 ctx.pgas().drain(|_, bytes| {
                     for spike in Spike::decode_buffer(&bytes) {
-                        deliver(&spike);
+                        let idx = partition.local_index(me, spike.target.core);
+                        all[idx]
+                            .core
+                            .deliver(spike.target.axon, spike.delivery_tick());
                     }
                 });
             }
@@ -411,18 +699,36 @@ pub fn run_rank(
         phases.network += t2.elapsed();
     }
 
+    // Deliveries routed in the final tick's Network phase are still queued
+    // in inboxes; land them so end-of-run in-flight accounting matches a
+    // run that delivered straight into the delay buffers.
+    // SAFETY: master after the last region; no shard slice live.
+    let all = unsafe { shards.all() };
+    for dest in 0..threads {
+        unsafe {
+            inboxes.drain_for(dest, |d| {
+                all[d.local_idx as usize]
+                    .core
+                    .deliver(d.axon, d.delivery_tick);
+            });
+        }
+    }
+
     report.phases = phases;
     let (wait, hold) = team.critical_times();
     report.critical_wait = wait;
     report.critical_hold = hold;
     report.memory_bytes = memory_bytes;
-    report.fires_per_core.reserve(cores.len());
-    for core in &cores {
-        let core = core.lock();
-        report.fires += core.total_fires();
-        report.fires_per_core.push(core.total_fires());
-        report.spikes_in_flight += core.spikes_in_flight() as u64;
-        report.activity.add(&core.activity());
+    for tb in thread_bufs.iter_mut() {
+        report.synapse_skips += tb.synapse_skips;
+        report.neuron_skips += tb.neuron_skips;
+    }
+    report.fires_per_core.reserve(slots.len());
+    for slot in &slots {
+        report.fires += slot.core.total_fires();
+        report.fires_per_core.push(slot.core.total_fires());
+        report.spikes_in_flight += slot.core.spikes_in_flight() as u64;
+        report.activity.add(&slot.core.activity());
     }
     report
 }
@@ -443,16 +749,9 @@ mod tests {
         let partition = Partition::uniform(model.total_cores(), world.ranks);
         World::run(world, |ctx| {
             let block = partition.block(ctx.rank());
-            let configs: Vec<CoreConfig> = model.cores
-                [block.start as usize..block.end as usize]
-                .to_vec();
-            run_rank(
-                ctx,
-                &partition,
-                configs,
-                &model.initial_deliveries,
-                &engine,
-            )
+            let configs: Vec<CoreConfig> =
+                model.cores[block.start as usize..block.end as usize].to_vec();
+            run_rank(ctx, &partition, configs, &model.initial_deliveries, &engine)
         })
     }
 
@@ -677,6 +976,69 @@ mod tests {
         assert!(p.synapse.as_nanos() > 0);
         assert!(p.neuron.as_nanos() > 0);
         assert!(p.network.as_nanos() > 0);
+    }
+
+    #[test]
+    fn quiescence_skips_are_counted_and_harmless() {
+        // A 4-core ring with one circulating spike: most cores are idle in
+        // most ticks, so both fast paths must fire, and the trace and
+        // counters must be identical to a force-disabled run.
+        let model = NetworkModel::relay_ring(4, 1, 1);
+        let mk = |quiescence| EngineConfig {
+            ticks: 40,
+            record_trace: true,
+            tick_stats: true,
+            quiescence,
+            ..Default::default()
+        };
+        let on = run_model(&model, WorldConfig::new(2, 2), mk(true));
+        let off = run_model(&model, WorldConfig::new(2, 2), mk(false));
+
+        let skips = |rs: &[RankReport]| -> (u64, u64) {
+            (
+                rs.iter().map(|r| r.synapse_skips).sum(),
+                rs.iter().map(|r| r.neuron_skips).sum(),
+            )
+        };
+        let (syn_on, neu_on) = skips(&on);
+        assert!(syn_on > 0, "idle cores must skip synapse scans");
+        assert!(neu_on > 0, "dormant cores must skip neuron sweeps");
+        assert_eq!(skips(&off), (0, 0), "disabled runs must not skip");
+
+        let view = |rs: Vec<RankReport>| {
+            let mut trace: Vec<Spike> = rs.iter().flat_map(|r| r.trace.clone()).collect();
+            trace.sort_by_key(|s| (s.fired_at, s.target.core, s.target.axon));
+            let fires: u64 = rs.iter().map(|r| r.fires).sum();
+            let mut activity = tn_core::ActivityCounts::default();
+            for r in &rs {
+                activity.add(&r.activity);
+            }
+            (trace, fires, activity)
+        };
+        let a = view(on);
+        assert!(!a.0.is_empty());
+        assert_eq!(a, view(off), "skipping must be observationally invisible");
+    }
+
+    #[test]
+    fn stochastic_leak_cores_are_never_neuron_skipped() {
+        // Autonomous dynamics (stochastic leak) draw the PRNG every tick;
+        // the engine must keep running their neuron phase even in silence.
+        let model = NetworkModel::stochastic_field(2, 40, 9);
+        let mk = |quiescence| EngineConfig {
+            ticks: 30,
+            record_trace: true,
+            quiescence,
+            ..Default::default()
+        };
+        let on = run_model(&model, WorldConfig::new(1, 2), mk(true));
+        let off = run_model(&model, WorldConfig::new(1, 2), mk(false));
+        let trace = |rs: Vec<RankReport>| {
+            let mut t: Vec<Spike> = rs.into_iter().flat_map(|r| r.trace).collect();
+            t.sort_by_key(|s| (s.fired_at, s.target.core, s.target.axon));
+            t
+        };
+        assert_eq!(trace(on), trace(off));
     }
 
     #[test]

@@ -87,10 +87,7 @@ impl NetworkModel {
         let total = self.total_cores();
         for (index, core) in self.cores.iter().enumerate() {
             if core.id != index as u64 {
-                return Err(ModelError::NonDenseIds {
-                    index,
-                    id: core.id,
-                });
+                return Err(ModelError::NonDenseIds { index, id: core.id });
             }
             core.validate()
                 .map_err(|e| ModelError::BadCore(e.to_string()))?;
@@ -121,7 +118,10 @@ impl NetworkModel {
     /// Panics if `n == 0` or `width > 256`.
     pub fn relay_ring(n: u64, width: u16, seed: u64) -> NetworkModel {
         assert!(n > 0, "ring needs at least one core");
-        assert!(usize::from(width) <= CORE_NEURONS, "width exceeds core size");
+        assert!(
+            usize::from(width) <= CORE_NEURONS,
+            "width exceeds core size"
+        );
         let cores = (0..n)
             .map(|id| {
                 let mut cfg = CoreConfig::blank(id, seed);
@@ -161,6 +161,41 @@ impl NetworkModel {
                     // Stagger phases so the spike load is uniform over
                     // ticks rather than one burst every `period` ticks.
                     neuron.initial_potential = (j as u32 % period) as i32;
+                    neuron.target = Some(SpikeTarget::new((id + 1) % n, j as u16, 1));
+                }
+                cfg
+            })
+            .collect();
+        NetworkModel {
+            cores,
+            initial_deliveries: Vec::new(),
+        }
+    }
+
+    /// A field of stochastically self-exciting cores: every neuron carries
+    /// a *stochastic* leak of `leak` (a Bernoulli `|leak|/256` increment
+    /// per tick), threshold 4, an identity crossbar, and targets the same
+    /// neuron index on the next core with delay 1. Such cores draw their
+    /// PRNG every tick even when completely silent — the "autonomous
+    /// dynamics" case the engine must never quiescence-skip.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `|leak| > 255` (the stochastic-leak bound).
+    pub fn stochastic_field(n: u64, leak: i16, seed: u64) -> NetworkModel {
+        assert!(n > 0, "need at least one core");
+        assert!(
+            leak.unsigned_abs() <= 255,
+            "stochastic leak needs |leak| <= 255"
+        );
+        let cores = (0..n)
+            .map(|id| {
+                let mut cfg = CoreConfig::blank(id, seed);
+                cfg.crossbar = Crossbar::from_fn(|a, nn| a == nn);
+                for (j, neuron) in cfg.neurons.iter_mut().enumerate() {
+                    neuron.weights = [1, 0, 0, 0];
+                    neuron.threshold = 4;
+                    neuron.leak = leak;
+                    neuron.stochastic_leak = true;
                     neuron.target = Some(SpikeTarget::new((id + 1) % n, j as u16, 1));
                 }
                 cfg

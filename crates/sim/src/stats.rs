@@ -85,6 +85,11 @@ pub struct RankReport {
     pub memory_bytes: u64,
     /// Spikes still waiting in delay buffers when the run ended.
     pub spikes_in_flight: u64,
+    /// Synapse-phase scans replaced by the O(1) empty-delay-buffer fast
+    /// path (quiescence skipping; see [`crate::EngineConfig::quiescence`]).
+    pub synapse_skips: u64,
+    /// Neuron-phase sweeps replaced by the dormant-core fast path.
+    pub neuron_skips: u64,
     /// Every spike emitted on this rank, if trace recording was requested.
     pub trace: Vec<Spike>,
 }
@@ -137,6 +142,16 @@ impl RunReport {
     /// Spikes still in flight at the end of the run.
     pub fn total_in_flight(&self) -> u64 {
         self.ranks.iter().map(|r| r.spikes_in_flight).sum()
+    }
+
+    /// Total Synapse-phase scans skipped via quiescence fast paths.
+    pub fn total_synapse_skips(&self) -> u64 {
+        self.ranks.iter().map(|r| r.synapse_skips).sum()
+    }
+
+    /// Total Neuron-phase sweeps skipped via quiescence fast paths.
+    pub fn total_neuron_skips(&self) -> u64 {
+        self.ranks.iter().map(|r| r.neuron_skips).sum()
     }
 
     /// Accumulated hardware-event counts across all ranks, the input to

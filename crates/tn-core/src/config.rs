@@ -89,10 +89,8 @@ impl CoreConfig {
             }
         }
         for (i, n) in self.neurons.iter().enumerate() {
-            n.validate().map_err(|reason| CoreConfigError::BadNeuron {
-                neuron: i,
-                reason,
-            })?;
+            n.validate()
+                .map_err(|reason| CoreConfigError::BadNeuron { neuron: i, reason })?;
         }
         Ok(())
     }

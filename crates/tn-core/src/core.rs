@@ -46,6 +46,10 @@ pub struct NeurosynapticCore {
     synaptic_events: u64,
     /// Ticks this core has simulated.
     ticks: u64,
+    /// Whether any neuron draws the PRNG on a zero-input tick
+    /// (`stochastic_leak` with a nonzero leak). Such a core can never be
+    /// treated as dormant: its zero-input Neuron phase is not the identity.
+    autonomous: bool,
     #[cfg(debug_assertions)]
     synapse_done: bool,
 }
@@ -68,6 +72,7 @@ impl NeurosynapticCore {
         for (v, n) in potentials.iter_mut().zip(&neurons) {
             *v = n.initial_potential;
         }
+        let autonomous = neurons.iter().any(|n| n.stochastic_leak && n.leak != 0);
         Ok(Self {
             id,
             axon_types,
@@ -80,6 +85,7 @@ impl NeurosynapticCore {
             fires: 0,
             synaptic_events: 0,
             ticks: 0,
+            autonomous,
             #[cfg(debug_assertions)]
             synapse_done: false,
         })
@@ -100,7 +106,9 @@ impl NeurosynapticCore {
 
     /// Synapse phase for tick `t`: drains every axon whose buffered spike
     /// is due now through the crossbar into the per-neuron pending counts.
-    pub fn synapse_phase(&mut self, t: u32) {
+    /// Returns the number of synaptic events delivered this tick — the
+    /// engine uses `0` as one of the conditions for core dormancy.
+    pub fn synapse_phase(&mut self, t: u32) -> u64 {
         let mut events = 0u64;
         for axon in 0..CORE_AXONS {
             if self.delay.take(axon, t) {
@@ -118,12 +126,39 @@ impl NeurosynapticCore {
         {
             self.synapse_done = true;
         }
+        events
+    }
+
+    /// O(1) Synapse-phase fast path for a core with an empty delay buffer:
+    /// performs exactly the bookkeeping a full [`Self::synapse_phase`] scan
+    /// would (tick count, phase ordering), without touching the 256 axon
+    /// slots. Only legal when [`Self::has_pending_deliveries`] is false —
+    /// then the full scan is guaranteed to deliver zero events.
+    #[inline]
+    pub fn skip_synapse_phase(&mut self) {
+        debug_assert!(
+            !self.has_pending_deliveries(),
+            "skip_synapse_phase with spikes in flight on core {}",
+            self.id
+        );
+        self.ticks += 1;
+        #[cfg(debug_assertions)]
+        {
+            self.synapse_done = true;
+        }
     }
 
     /// Neuron phase for tick `t`: integrate–leak–fire for all 256 neurons,
     /// invoking `emit` for each spike fired by a connected neuron. Clears
     /// the pending counts for the next tick.
-    pub fn neuron_phase(&mut self, t: u32, mut emit: impl FnMut(Spike)) {
+    ///
+    /// Returns `true` if any neuron fired or any membrane potential moved.
+    /// A `false` return on a tick with zero synaptic events means the core
+    /// reached a fixed point of its zero-input dynamics: if it is also not
+    /// [`Self::autonomous_dynamics`], every subsequent zero-input Neuron
+    /// phase is the identity (no fires, no potential change, no PRNG
+    /// draws) and may be skipped via [`Self::skip_neuron_phase`].
+    pub fn neuron_phase(&mut self, t: u32, mut emit: impl FnMut(Spike)) -> bool {
         #[cfg(debug_assertions)]
         {
             debug_assert!(
@@ -132,10 +167,13 @@ impl NeurosynapticCore {
             );
             self.synapse_done = false;
         }
+        let mut changed = false;
         for n in 0..CORE_NEURONS {
             let counts = &mut self.pending[n];
+            let before = self.potentials[n];
             let fired = self.neurons[n].step(&mut self.potentials[n], counts, &mut self.prng);
             *counts = [0; AXON_TYPES];
+            changed |= fired || self.potentials[n] != before;
             if fired {
                 self.fires += 1;
                 if let Some(target) = self.neurons[n].target {
@@ -145,6 +183,24 @@ impl NeurosynapticCore {
                     });
                 }
             }
+        }
+        changed
+    }
+
+    /// O(1) Neuron-phase fast path for a dormant core. Only legal when the
+    /// preceding Synapse phase delivered zero events, the previous Neuron
+    /// phase returned `false` (fixed point) on a zero-event tick, and the
+    /// core is not [`Self::autonomous_dynamics`] — then the full phase
+    /// would fire nothing, move no potential, and draw no randomness, so
+    /// skipping it leaves the core state (including the PRNG stream)
+    /// bit-identical to having run it.
+    #[inline]
+    pub fn skip_neuron_phase(&mut self) {
+        debug_assert!(!self.autonomous, "skip_neuron_phase on autonomous core");
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(self.synapse_done, "skip_neuron_phase before synapse phase");
+            self.synapse_done = false;
         }
     }
 
@@ -185,6 +241,23 @@ impl NeurosynapticCore {
     /// Spikes currently waiting in the delay buffers.
     pub fn spikes_in_flight(&self) -> usize {
         self.delay.in_flight()
+    }
+
+    /// Whether any spike is waiting in the delay buffers (O(1)). When
+    /// false, the next Synapse phase is guaranteed to deliver zero events
+    /// and may be replaced by [`Self::skip_synapse_phase`].
+    #[inline]
+    pub fn has_pending_deliveries(&self) -> bool {
+        self.delay.in_flight() > 0
+    }
+
+    /// Whether this core draws randomness even on zero-input ticks (any
+    /// neuron with a stochastic nonzero leak). Such cores are never
+    /// eligible for [`Self::skip_neuron_phase`]: skipping would desync
+    /// their PRNG stream from a run that executed every phase.
+    #[inline]
+    pub fn autonomous_dynamics(&self) -> bool {
+        self.autonomous
     }
 
     /// Read-only view of the neuron configurations.
@@ -388,6 +461,153 @@ mod tests {
         core.tick(2, |_| {});
         core.tick(3, |_| {});
         assert_eq!(core.potential(0), 1);
+    }
+
+    /// Drives a core for `ticks` ticks with the given deliveries, using the
+    /// dormancy fast paths exactly where they are legal (the engine's
+    /// skipping protocol). Returns (spike log, skip counts).
+    fn run_with_skipping(
+        core: &mut NeurosynapticCore,
+        deliveries: &[(u32, u16, u32)], // (deliver_at, axon, delivery_tick)
+        ticks: u32,
+    ) -> (Vec<(u32, Spike)>, (u64, u64)) {
+        let mut out = Vec::new();
+        let (mut syn_skips, mut neu_skips) = (0u64, 0u64);
+        let mut dormant = false;
+        for t in 0..ticks {
+            for &(at, axon, due) in deliveries {
+                if at == t {
+                    core.deliver(axon, due);
+                }
+            }
+            let events = if core.has_pending_deliveries() {
+                core.synapse_phase(t)
+            } else {
+                core.skip_synapse_phase();
+                syn_skips += 1;
+                0
+            };
+            if events > 0 {
+                dormant = false;
+            }
+            if dormant && events == 0 {
+                core.skip_neuron_phase();
+                neu_skips += 1;
+            } else {
+                let changed = core.neuron_phase(t, |s| out.push((t, s)));
+                dormant = !core.autonomous_dynamics() && events == 0 && !changed;
+            }
+        }
+        (out, (syn_skips, neu_skips))
+    }
+
+    #[test]
+    fn skip_fast_paths_match_full_phases_bit_for_bit() {
+        let build = || {
+            let mut cfg = CoreConfig::blank(12, 7);
+            cfg.crossbar = Crossbar::from_fn(|a, n| a == n);
+            for n in &mut cfg.neurons {
+                n.weights = [2, 0, 0, 0];
+                n.threshold = 3;
+                n.leak = -1;
+                n.floor = -4;
+                n.target = Some(SpikeTarget::new(0, 0, 1));
+            }
+            NeurosynapticCore::new(cfg).unwrap()
+        };
+        // Input bursts separated by long silent gaps.
+        let deliveries = [(0u32, 3u16, 2u32), (0, 3, 3), (40, 7, 42), (40, 7, 43)];
+
+        let mut skipping = build();
+        let (trace_skip, (syn_skips, neu_skips)) =
+            run_with_skipping(&mut skipping, &deliveries, 80);
+
+        let mut full = build();
+        let mut trace_full = Vec::new();
+        for t in 0..80 {
+            for &(at, axon, due) in &deliveries {
+                if at == t {
+                    full.deliver(axon, due);
+                }
+            }
+            full.synapse_phase(t);
+            full.neuron_phase(t, |s| trace_full.push((t, s)));
+        }
+
+        assert_eq!(trace_skip, trace_full);
+        assert!(
+            syn_skips > 60,
+            "long gaps must skip the synapse scan: {syn_skips}"
+        );
+        assert!(
+            neu_skips > 50,
+            "dormant ticks must skip the neuron sweep: {neu_skips}"
+        );
+        assert_eq!(skipping.total_fires(), full.total_fires());
+        assert_eq!(skipping.activity(), full.activity());
+        for n in 0..CORE_NEURONS {
+            assert_eq!(skipping.potential(n), full.potential(n));
+        }
+        // The PRNG streams must also agree: deliver identical input and
+        // compare future stochastic behaviour.
+        let poke = |core: &mut NeurosynapticCore| {
+            core.deliver(0, 81);
+            let mut fires = 0u32;
+            for t in 80..90 {
+                core.tick(t, |_| fires += 1);
+            }
+            (
+                fires,
+                (0..CORE_NEURONS)
+                    .map(|n| core.potential(n))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(poke(&mut skipping), poke(&mut full));
+    }
+
+    #[test]
+    fn autonomous_core_is_flagged_and_never_dormant() {
+        let mut cfg = CoreConfig::blank(13, 5);
+        cfg.neurons[17].stochastic_leak = true;
+        cfg.neurons[17].leak = 40;
+        cfg.neurons[17].threshold = 1000;
+        let core = NeurosynapticCore::new(cfg).unwrap();
+        assert!(core.autonomous_dynamics());
+
+        // Zero stochastic leak does not make a core autonomous.
+        let mut cfg = CoreConfig::blank(14, 5);
+        cfg.neurons[17].stochastic_leak = true;
+        cfg.neurons[17].leak = 0;
+        let core = NeurosynapticCore::new(cfg).unwrap();
+        assert!(!core.autonomous_dynamics());
+    }
+
+    #[test]
+    fn linear_reset_refire_loop_never_reports_fixed_point() {
+        // A neuron that fires every tick with an unchanged potential
+        // (Linear reset with super-threshold residue) must keep reporting
+        // `changed`, or skipping would silence it.
+        let mut cfg = CoreConfig::blank(15, 0);
+        cfg.neurons[0].weights = [0, 0, 0, 0];
+        cfg.neurons[0].leak = 3;
+        cfg.neurons[0].threshold = 3;
+        cfg.neurons[0].reset = crate::neuron::ResetMode::Linear;
+        let mut core = NeurosynapticCore::new(cfg).unwrap();
+        for t in 0..10 {
+            core.synapse_phase(t);
+            assert!(core.neuron_phase(t, |_| {}), "tick {t} must report change");
+            assert_eq!(
+                core.potential(0),
+                0,
+                "leak == threshold: fire, land back on 0"
+            );
+        }
+        assert_eq!(
+            core.total_fires(),
+            10,
+            "fires every tick with unchanged potential"
+        );
     }
 
     #[test]

@@ -43,10 +43,10 @@ pub mod prng;
 pub mod spike;
 
 pub use config::{CoreConfig, CoreConfigError};
-pub use energy::{ActivityCounts, EnergyEstimate, EnergyModel};
 pub use core::NeurosynapticCore;
 pub use crossbar::Crossbar;
 pub use delay::DelayBuffer;
+pub use energy::{ActivityCounts, EnergyEstimate, EnergyModel};
 pub use neuron::{NeuronConfig, ResetMode};
 pub use prng::CorePrng;
 pub use spike::{Spike, SpikeTarget, SPIKE_WIRE_BYTES};

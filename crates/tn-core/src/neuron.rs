@@ -101,7 +101,12 @@ impl NeuronConfig {
     /// `G0..G3`, then the leak), which is what makes whole-system traces
     /// reproducible.
     #[inline]
-    pub fn step(&self, potential: &mut i32, counts: &[u16; AXON_TYPES], prng: &mut CorePrng) -> bool {
+    pub fn step(
+        &self,
+        potential: &mut i32,
+        counts: &[u16; AXON_TYPES],
+        prng: &mut CorePrng,
+    ) -> bool {
         let mut v = *potential;
 
         // Integrate.
@@ -158,9 +163,7 @@ impl NeuronConfig {
         }
         for (g, &w) in self.weights.iter().enumerate() {
             if self.stochastic_weight[g] && w.unsigned_abs() > 255 {
-                return Err(format!(
-                    "stochastic weight G{g} needs |w| <= 255, got {w}"
-                ));
+                return Err(format!("stochastic weight G{g} needs |w| <= 255, got {w}"));
             }
         }
         if self.stochastic_leak && self.leak.unsigned_abs() > 255 {
@@ -177,10 +180,7 @@ impl NeuronConfig {
         }
         if let ResetMode::Absolute(r) = self.reset {
             if r < self.floor {
-                return Err(format!(
-                    "reset potential {r} below floor {}",
-                    self.floor
-                ));
+                return Err(format!("reset potential {r} below floor {}", self.floor));
             }
             if r >= self.threshold {
                 return Err(format!(
@@ -442,8 +442,8 @@ mod proptests {
             proptest::bool::ANY,
             1i32..1000,
         )
-            .prop_map(|(weights, stochastic_weight, leak, stochastic_leak, threshold)| {
-                NeuronConfig {
+            .prop_map(
+                |(weights, stochastic_weight, leak, stochastic_leak, threshold)| NeuronConfig {
                     weights,
                     stochastic_weight,
                     leak,
@@ -453,8 +453,8 @@ mod proptests {
                     floor: -100_000,
                     initial_potential: 0,
                     target: None,
-                }
-            })
+                },
+            )
     }
 
     proptest! {

@@ -122,9 +122,9 @@ impl Spike {
             "spike buffer misaligned: {} bytes",
             bytes.len()
         );
-        bytes.chunks_exact(SPIKE_WIRE_BYTES).map(|chunk| {
-            Spike::decode(chunk).expect("corrupt spike record in transport buffer")
-        })
+        bytes
+            .chunks_exact(SPIKE_WIRE_BYTES)
+            .map(|chunk| Spike::decode(chunk).expect("corrupt spike record in transport buffer"))
     }
 
     fn checksum(&self) -> u32 {

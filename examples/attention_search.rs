@@ -84,11 +84,7 @@ fn main() {
         focus_taps.push(tap.axon);
         let ior = rate_divider(&mut b, DWELL);
         b.connect(copies.next().unwrap(), ior.inputs[0], 1);
-        b.connect(
-            ior.outputs.into_iter().next().unwrap(),
-            inhibit_in[loc],
-            1,
-        );
+        b.connect(ior.outputs.into_iter().next().unwrap(), inhibit_in[loc], 1);
     }
 
     // --- Scene: three salient blobs of different strength ----------------
@@ -129,7 +125,9 @@ fn main() {
         })
         .collect();
 
-    println!("attention over a {GRID}x{GRID} saliency map (3 blobs: strong@5, medium@10, weak@15)\n");
+    println!(
+        "attention over a {GRID}x{GRID} saliency map (3 blobs: strong@5, medium@10, weak@15)\n"
+    );
     println!("spotlight timeline (tick -> location):");
     let mut last = usize::MAX;
     for &(t, loc) in &focus {

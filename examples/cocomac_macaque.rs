@@ -12,7 +12,7 @@
 use compass::cocomac::macaque_network;
 use compass::comm::{World, WorldConfig};
 use compass::pcc::compile;
-use compass::sim::{run_rank, EngineConfig, Backend};
+use compass::sim::{run_rank, Backend, EngineConfig};
 use std::sync::Arc;
 use std::time::Instant;
 

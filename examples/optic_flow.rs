@@ -114,7 +114,10 @@ fn classify(ticks_per_pixel: u32, rightward: bool) -> (usize, usize) {
 }
 
 fn main() {
-    println!("Reichardt motion detection on TrueNorth cores (D = {D}, tuned speed = 1 px / {} ticks)\n", D - 1);
+    println!(
+        "Reichardt motion detection on TrueNorth cores (D = {D}, tuned speed = 1 px / {} ticks)\n",
+        D - 1
+    );
     println!(
         "{:<22} {:>12} {:>12} {:>10}",
         "stimulus", "right votes", "left votes", "verdict"
@@ -137,7 +140,10 @@ fn main() {
 
     // The tuned cases must classify perfectly and strongly.
     let (r, l) = classify(tuned, true);
-    assert!(r >= PIXELS - 2 && l == 0, "rightward sweep misread: {r}/{l}");
+    assert!(
+        r >= PIXELS - 2 && l == 0,
+        "rightward sweep misread: {r}/{l}"
+    );
     let (r, l) = classify(tuned, false);
     assert!(l >= PIXELS - 2 && r == 0, "leftward sweep misread: {r}/{l}");
     println!("\ndirection selectivity confirmed: coincidences only on the tuned pathway");

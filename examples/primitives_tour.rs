@@ -84,13 +84,13 @@ fn main() {
 
     // --- 1. Delay-tuned resonance ---------------------------------------
     println!("resonator: gate fires iff the period divides the arm difference (skew - 4)");
-    println!("{:>8} {:>6} {:>6} {:>12}", "period", "skew", "diff", "gate fires");
+    println!(
+        "{:>8} {:>6} {:>6} {:>12}",
+        "period", "skew", "diff", "gate fires"
+    );
     for (period, skew) in [(12u32, 20u32), (12, 28), (10, 24), (8, 20)] {
         let fires = resonator(period, skew, 240);
-        println!(
-            "{period:>8} {skew:>6} {:>6} {fires:>12}",
-            skew - 4
-        );
+        println!("{period:>8} {skew:>6} {:>6} {fires:>12}", skew - 4);
     }
 
     // --- 2. Winner-take-all ----------------------------------------------

@@ -50,7 +50,11 @@ fn main() {
     let report = run(&model, world, &engine).expect("simulation runs");
 
     // --- 3. Inspect -----------------------------------------------------
-    println!("simulated {} cores for {} ticks", report.total_cores(), report.ticks);
+    println!(
+        "simulated {} cores for {} ticks",
+        report.total_cores(),
+        report.ticks
+    );
     println!(
         "fires: {}   local spikes: {}   remote spikes: {}   messages: {}",
         report.total_fires(),

@@ -167,7 +167,10 @@ fn main() -> ExitCode {
                 };
                 print_report(&run_report);
                 if opts.regions {
-                    println!("\n{:<8} {:>6} {:>10} {:>9}", "region", "cores", "fires", "rate Hz");
+                    println!(
+                        "\n{:<8} {:>6} {:>10} {:>9}",
+                        "region", "cores", "fires", "rate Hz"
+                    );
                     let mut regions = region_activity(&plan, &reports, opts.ticks);
                     regions.sort_by(|a, b| b.rate_hz.partial_cmp(&a.rate_hz).unwrap());
                     for r in regions.iter().take(20) {

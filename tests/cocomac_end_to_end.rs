@@ -22,10 +22,12 @@ fn compile_and_run(world: WorldConfig) -> Vec<(RankReport, Vec<(u64, u16)>)> {
         let targets: Vec<(u64, u16)> = compiled
             .configs
             .iter()
-            .flat_map(|c| c.neurons.iter().map(|n| {
-                let t = n.target.expect("fully wired");
-                (t.core, t.axon)
-            }))
+            .flat_map(|c| {
+                c.neurons.iter().map(|n| {
+                    let t = n.target.expect("fully wired");
+                    (t.core, t.axon)
+                })
+            })
             .collect();
         let engine = EngineConfig::new(TICKS, Backend::Mpi);
         let partition = compiled.plan.partition.clone();

@@ -5,7 +5,7 @@
 //! against the paper's one-to-one equivalence contract.
 
 use compass::comm::WorldConfig;
-use compass::sim::{run, Backend, EngineConfig, NetworkModel};
+use compass::sim::{run, Backend, EngineConfig, NetworkModel, SoloSimulation};
 use compass::tn::{CoreConfig, NeuronConfig, SpikeTarget};
 use proptest::prelude::*;
 
@@ -46,13 +46,7 @@ fn model_from_recipe(
         .collect();
     let initial_deliveries = inputs
         .iter()
-        .map(|&(c, a, t)| {
-            (
-                u64::from(c) % n_cores,
-                u16::from(a),
-                u32::from(t % 12) + 1,
-            )
-        })
+        .map(|&(c, a, t)| (u64::from(c) % n_cores, u16::from(a), u32::from(t % 12) + 1))
         .collect();
     NetworkModel {
         cores,
@@ -112,5 +106,66 @@ proptest! {
         .expect("valid")
         .sorted_trace();
         prop_assert_eq!(&concurrent, &reference);
+    }
+}
+
+/// Runs `model` through the transparent single-process stepper
+/// ([`SoloSimulation`]) and returns its canonical trace. This is the
+/// *independent* reference implementation: a plain sequential loop with no
+/// partitioning, no threads, no messaging, and no quiescence fast paths.
+fn solo_trace(model: &NetworkModel, ticks: u32) -> Vec<compass::tn::Spike> {
+    let mut solo = SoloSimulation::new(model).expect("recipe models are valid");
+    let mut out = Vec::new();
+    for _ in 0..ticks {
+        out.extend(solo.step());
+    }
+    out.sort_by_key(|s| (s.fired_at, s.target.core, s.target.axon, s.target.delay));
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random models must match a reference that shares *no* engine code
+    /// paths with the parallel simulator. `SoloSimulation` serves as that
+    /// oracle (the `c2-baseline` crate cannot: it simulates Izhikevich
+    /// floating-point neurons, a deliberately different neuron model, so
+    /// its traces are not comparable to TrueNorth's integer ILF dynamics).
+    /// On failure, proptest shrinks the recipe vectors toward the minimal
+    /// failing model.
+    #[test]
+    fn random_models_match_the_solo_reference(
+        n_cores in 2u64..5,
+        synapses in proptest::collection::vec(
+            (proptest::num::u8::ANY, proptest::num::u8::ANY, proptest::num::u8::ANY), 3..24),
+        neurons in proptest::collection::vec(
+            (-3i8..=3, -2i8..=2, 1u8..6, proptest::bool::ANY), 3..24),
+        inputs in proptest::collection::vec(
+            (proptest::num::u8::ANY, proptest::num::u8::ANY, proptest::num::u8::ANY), 1..12),
+        ranks in 1usize..=3,
+        threads in 1usize..=3,
+    ) {
+        let model = model_from_recipe(n_cores, &synapses, &neurons, &inputs);
+        model.validate().expect("recipe models are valid");
+        let reference = solo_trace(&model, 15);
+        let mpi = trace(&model, WorldConfig::new(ranks, threads), Backend::Mpi);
+        prop_assert_eq!(&mpi, &reference);
+        let pgas = trace(&model, WorldConfig::new(ranks, threads), Backend::Pgas);
+        prop_assert_eq!(&pgas, &reference);
+        // And with the quiescence fast paths force-disabled.
+        let full = run(
+            &model,
+            WorldConfig::new(ranks, threads),
+            &EngineConfig {
+                ticks: 15,
+                backend: Backend::Mpi,
+                record_trace: true,
+                quiescence: false,
+                ..EngineConfig::default()
+            },
+        )
+        .expect("valid")
+        .sorted_trace();
+        prop_assert_eq!(&full, &reference);
     }
 }

@@ -22,13 +22,21 @@ fn kitchen_sink() -> NetworkModel {
     let clock_a = pacemaker(&mut b, 6, 0);
     let clock_b = pacemaker(&mut b, 9, 2);
     let split_a = splitter(&mut b, 3);
-    b.connect(clock_a.outputs.into_iter().next().unwrap(), split_a.inputs[0], 1);
+    b.connect(
+        clock_a.outputs.into_iter().next().unwrap(),
+        split_a.inputs[0],
+        1,
+    );
     let mut copies = split_a.outputs.into_iter();
 
     let gate = coincidence_gate(&mut b, 2, 3);
     b.connect(copies.next().unwrap(), gate.inputs[0], 1);
     b.connect(copies.next().unwrap(), gate.inputs[1], 2);
-    b.connect(clock_b.outputs.into_iter().next().unwrap(), gate.inputs[2], 1);
+    b.connect(
+        clock_b.outputs.into_iter().next().unwrap(),
+        gate.inputs[2],
+        1,
+    );
 
     let div = rate_divider(&mut b, 3);
     b.connect(copies.next().unwrap(), div.inputs[0], 1);

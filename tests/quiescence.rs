@@ -1,0 +1,98 @@
+//! Quiescence skipping must be pure optimization: a sparsely driven model
+//! produces the same spikes, the same per-tick fire counts, and the same
+//! activity counters whether the engine's fast paths are enabled or
+//! force-disabled — and the new skip counters must prove the fast paths
+//! actually fired.
+
+use compass::comm::WorldConfig;
+use compass::sim::{run, Backend, EngineConfig, NetworkModel, RunReport};
+
+/// 16 cores, 2 circulating spikes: at any tick at most 2 cores have work,
+/// so ~7/8 of all (core, tick) pairs are skippable.
+fn sparse_model() -> NetworkModel {
+    NetworkModel::relay_ring(16, 2, 5)
+}
+
+fn run_with(model: &NetworkModel, world: WorldConfig, quiescence: bool) -> RunReport {
+    run(
+        model,
+        world,
+        &EngineConfig {
+            ticks: 60,
+            backend: Backend::Mpi,
+            record_trace: true,
+            tick_stats: true,
+            quiescence,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("valid model")
+}
+
+#[test]
+fn skipping_is_observationally_invisible_on_sparse_input() {
+    let model = sparse_model();
+    for world in [
+        WorldConfig::new(1, 1),
+        WorldConfig::new(2, 3),
+        WorldConfig::new(4, 2),
+    ] {
+        let on = run_with(&model, world, true);
+        let off = run_with(&model, world, false);
+        assert_eq!(
+            on.sorted_trace(),
+            off.sorted_trace(),
+            "trace differs under {world:?}"
+        );
+        assert_eq!(on.total_fires(), off.total_fires());
+        assert_eq!(on.activity(), off.activity());
+        for (rank, (a, b)) in on.ranks.iter().zip(off.ranks.iter()).enumerate() {
+            assert_eq!(
+                a.fires_per_tick, b.fires_per_tick,
+                "fires_per_tick differs on rank {rank} under {world:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn skip_counters_prove_cores_were_skipped() {
+    let model = sparse_model();
+    let on = run_with(&model, WorldConfig::new(2, 2), true);
+    // 16 cores × 60 ticks = 960 core-ticks; ≤ 2 cores have pending
+    // deliveries per tick, so at least ~860 synapse scans must be skipped.
+    assert!(
+        on.total_synapse_skips() > 800,
+        "synapse_skips = {}",
+        on.total_synapse_skips()
+    );
+    // Idle relay cores sit at potential 0 — a zero-input fixed point — so
+    // most neuron sweeps are skipped too (dormancy needs one settling tick
+    // per visit, hence the slightly lower floor).
+    assert!(
+        on.total_neuron_skips() > 700,
+        "neuron_skips = {}",
+        on.total_neuron_skips()
+    );
+
+    let off = run_with(&model, WorldConfig::new(2, 2), false);
+    assert_eq!(off.total_synapse_skips(), 0, "disabled runs must not skip");
+    assert_eq!(off.total_neuron_skips(), 0, "disabled runs must not skip");
+}
+
+#[test]
+fn autonomous_cores_are_never_neuron_skipped() {
+    // Stochastic-leak neurons draw their PRNG every tick even in silence;
+    // skipping their neuron phase would desynchronize the stream. The
+    // engine must keep sweeping them — and still match the disabled run.
+    let model = NetworkModel::stochastic_field(3, 40, 11);
+    let on = run_with(&model, WorldConfig::new(3, 2), true);
+    let off = run_with(&model, WorldConfig::new(3, 2), false);
+    assert_eq!(on.total_neuron_skips(), 0, "autonomous cores must not skip");
+    assert!(
+        on.total_synapse_skips() > 0,
+        "empty delay buffers are still skippable"
+    );
+    assert_eq!(on.sorted_trace(), off.sorted_trace());
+    assert!(!on.sorted_trace().is_empty(), "field must be active");
+}
