@@ -7,9 +7,11 @@ use compass_comm::sync::Mutex;
 use compass_sim::NetworkModel;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use std::time::{Duration, Instant};
+use tn_core::kernel::{self, EMPTY_MASK};
 use tn_core::prng::CorePrng;
 use tn_core::{
     CoreConfig, Crossbar, DelayBuffer, NeuronConfig, NeurosynapticCore, Spike, SpikeTarget,
+    AXON_TYPES, CORE_AXONS, CORE_NEURONS,
 };
 
 fn bench_crossbar(c: &mut Criterion) {
@@ -147,6 +149,98 @@ fn bench_core_tick(c: &mut Criterion) {
             black_box(emitted)
         })
     });
+    g.finish();
+}
+
+/// Builds a crossbar at the given synapse density with cycled axon types,
+/// as the Synapse-kernel benches and `bench_json` both use.
+fn dense_crossbar(density: f64, seed: u64) -> (Crossbar, [u8; CORE_AXONS]) {
+    let mut xb = Crossbar::new();
+    let mut types = [0u8; CORE_AXONS];
+    let mut prng = CorePrng::from_seed(seed);
+    let cut = (density * 10_000.0) as u32;
+    for (a, ty) in types.iter_mut().enumerate() {
+        *ty = (a % AXON_TYPES) as u8;
+        for n in 0..CORE_NEURONS {
+            if prng.next_below(10_000) < cut {
+                xb.set(a, n, true);
+            }
+        }
+    }
+    (xb, types)
+}
+
+/// The adaptive-dispatch crossover measurement: the per-bit row walk vs
+/// the bit-sliced accumulator over density × due-count, including the
+/// mask-directed `pending` clearing both paths force on the Neuron phase.
+/// `SYNAPSE_KERNEL_MIN_EVENTS` in `tn-core/src/kernel.rs` is set from
+/// this sweep (events = density × 256 × due count per point).
+fn bench_synapse_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("synapse_kernel");
+    for &density in &[0.05f64, 0.25, 0.5, 1.0] {
+        let (xb, types) = dense_crossbar(density, 9);
+        for &n_due in &[4usize, 8, 16, 32, 64, 128, 256] {
+            // Evenly spread due axons, as a wavefront delivers them.
+            let due: Vec<u16> = (0..n_due)
+                .map(|i| (i * CORE_AXONS / n_due) as u16)
+                .collect();
+            let pct = (density * 100.0) as u32;
+            for (label, f) in [
+                ("scalar", kernel::synapse_scalar as kernel::SynapseKernel),
+                (
+                    "bitsliced",
+                    kernel::synapse_bitsliced as kernel::SynapseKernel,
+                ),
+            ] {
+                g.bench_function(format!("{label}_d{pct:03}_due{n_due:03}"), |b| {
+                    let mut pending = vec![[0u16; AXON_TYPES]; CORE_NEURONS];
+                    let pending: &mut [[u16; AXON_TYPES]; CORE_NEURONS] =
+                        (&mut pending[..]).try_into().expect("length");
+                    b.iter(|| {
+                        let mut touched = EMPTY_MASK;
+                        let ev = f(&xb, &types, &due, pending, &mut touched);
+                        kernel::for_each_set(&touched, |n| pending[n] = [0; AXON_TYPES]);
+                        black_box(ev)
+                    })
+                });
+            }
+        }
+    }
+    g.finish();
+}
+
+/// Masked vs full Neuron sweep on a core where 5% of neurons receive
+/// input per tick (13 due axons on an identity crossbar = 13 synaptic
+/// events, far under the bit-sliced dispatch crossover, so both variants
+/// run the identical scalar Synapse path and the delta is the Neuron
+/// sweep alone).
+fn bench_neuron_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("neuron_sweep");
+    let mut cfg = CoreConfig::blank(0, 11);
+    for a in 0..CORE_AXONS {
+        cfg.crossbar.set(a, a, true);
+    }
+    for n in cfg.neurons.iter_mut() {
+        n.weights = [1, 1, 1, 1];
+        n.threshold = 2;
+        n.floor = -8;
+    }
+    for (label, kernels) in [("masked", true), ("full", false)] {
+        let mut core = NeurosynapticCore::new(cfg.clone()).expect("valid");
+        core.set_word_kernels(kernels);
+        g.bench_function(format!("{label}_5pct_touched"), |b| {
+            let mut t = 0u32;
+            b.iter(|| {
+                for a in 0..13u16 {
+                    core.deliver(a * 19, t + 1);
+                }
+                let mut fired = 0u32;
+                core.tick(t, |_| fired += 1);
+                t += 1;
+                black_box(fired)
+            })
+        });
+    }
     g.finish();
 }
 
@@ -289,6 +383,8 @@ criterion_group!(
     bench_prng,
     bench_spike_codec,
     bench_core_tick,
+    bench_synapse_kernel,
+    bench_neuron_sweep,
     bench_tick_loop
 );
 criterion_main!(benches);

@@ -1,0 +1,202 @@
+//! Machine-readable kernel benchmarks → `BENCH_kernels.json`.
+//!
+//! Emits the word-parallel kernel measurements (the PR's perf trajectory
+//! anchor) as JSON: the Synapse-kernel crossover sweep (scalar row walk
+//! vs bit-sliced accumulator over density × due count), the masked vs
+//! full Neuron sweep, and end-to-end engine tick loops on the dense and
+//! sparse reference models with kernels on/off. Wall-clock levels are
+//! host-specific; the *ratios* are the tracked quantities.
+//!
+//! Run with `cargo run --release -p compass-bench --bin bench_json`.
+
+use compass_comm::WorldConfig;
+use compass_sim::{run, Backend, EngineConfig, NetworkModel};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+use tn_core::kernel::{self, EMPTY_MASK};
+use tn_core::prng::CorePrng;
+use tn_core::{
+    CoreConfig, Crossbar, NeurosynapticCore, AXON_TYPES, CORE_AXONS, CORE_NEURONS,
+    SYNAPSE_KERNEL_MIN_DUE, SYNAPSE_KERNEL_MIN_EVENTS,
+};
+
+/// Best-of-5 samples of `f`, each sample sized to ~20 ms, in ns per call.
+fn measure_ns(mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    f();
+    let one = t0.elapsed();
+    let iters =
+        (Duration::from_millis(20).as_nanos() / one.as_nanos().max(1)).clamp(1, 1_000_000) as u32;
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t.elapsed().as_nanos() as f64 / f64::from(iters));
+    }
+    best
+}
+
+/// Random crossbar at `density` with cycled axon types (matches
+/// `benches/micro.rs`).
+fn dense_crossbar(density: f64, seed: u64) -> (Crossbar, [u8; CORE_AXONS]) {
+    let mut xb = Crossbar::new();
+    let mut types = [0u8; CORE_AXONS];
+    let mut prng = CorePrng::from_seed(seed);
+    let cut = (density * 10_000.0) as u32;
+    for (a, ty) in types.iter_mut().enumerate() {
+        *ty = (a % AXON_TYPES) as u8;
+        for n in 0..CORE_NEURONS {
+            if prng.next_below(10_000) < cut {
+                xb.set(a, n, true);
+            }
+        }
+    }
+    (xb, types)
+}
+
+/// Times one Synapse kernel (including the mask-directed `pending` clear
+/// the Neuron phase would do) in ns per tick.
+fn time_synapse(
+    kern: kernel::SynapseKernel,
+    xb: &Crossbar,
+    types: &[u8; CORE_AXONS],
+    due: &[u16],
+) -> f64 {
+    let mut pending = vec![[0u16; AXON_TYPES]; CORE_NEURONS];
+    let pending: &mut [[u16; AXON_TYPES]; CORE_NEURONS] =
+        (&mut pending[..]).try_into().expect("length");
+    measure_ns(|| {
+        let mut touched = EMPTY_MASK;
+        let ev = kern(xb, types, due, pending, &mut touched);
+        kernel::for_each_set(&touched, |n| pending[n] = [0; AXON_TYPES]);
+        std::hint::black_box(ev);
+    })
+}
+
+/// ns per core-tick of a full engine run (1 rank × 1 thread).
+fn time_engine(model: &NetworkModel, kernels: bool) -> f64 {
+    let ticks = 256u32;
+    let cfg = EngineConfig {
+        ticks,
+        backend: Backend::Mpi,
+        kernels,
+        ..EngineConfig::default()
+    };
+    let cores = model.cores.len() as f64;
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t = Instant::now();
+        let report = run(model, WorldConfig::new(1, 1), &cfg).expect("valid model");
+        let ns = t.elapsed().as_nanos() as f64 / (f64::from(ticks) * cores);
+        std::hint::black_box(report.total_fires());
+        best = best.min(ns);
+    }
+    best
+}
+
+fn main() {
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"kernels\",\n");
+    let _ = writeln!(
+        out,
+        "  \"dispatch\": {{\"min_due\": {SYNAPSE_KERNEL_MIN_DUE}, \"min_events\": {SYNAPSE_KERNEL_MIN_EVENTS}}},"
+    );
+
+    // Synapse crossover sweep: scalar row walk vs bit-sliced accumulator.
+    out.push_str("  \"synapse_kernel\": [\n");
+    let densities = [0.05f64, 0.25, 0.5, 1.0];
+    let due_counts = [8usize, 16, 32, 64, 256];
+    let mut rows = Vec::new();
+    for &density in &densities {
+        let (xb, types) = dense_crossbar(density, 9);
+        for &n_due in &due_counts {
+            let due: Vec<u16> = (0..n_due)
+                .map(|i| (i * CORE_AXONS / n_due) as u16)
+                .collect();
+            let events: usize = due.iter().map(|&a| xb.row_degree(usize::from(a))).sum();
+            let scalar = time_synapse(kernel::synapse_scalar, &xb, &types, &due);
+            let bitsliced = time_synapse(kernel::synapse_bitsliced, &xb, &types, &due);
+            let dispatched = kernel::bitsliced_pays_off(&xb, &due);
+            rows.push(format!(
+                "    {{\"density\": {density}, \"due\": {n_due}, \"events\": {events}, \
+                 \"scalar_ns\": {scalar:.1}, \"bitsliced_ns\": {bitsliced:.1}, \
+                 \"speedup\": {:.2}, \"dispatched\": {dispatched}}}",
+                scalar / bitsliced
+            ));
+            println!(
+                "synapse d={density:<4} due={n_due:<3} events={events:<5} \
+                 scalar={scalar:>9.1}ns bitsliced={bitsliced:>9.1}ns \
+                 speedup={:>5.2}x dispatch={dispatched}",
+                scalar / bitsliced
+            );
+        }
+    }
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ],\n");
+
+    // Masked vs full Neuron sweep: 13/256 neurons touched per tick on an
+    // identity crossbar (events below the Synapse dispatch crossover, so
+    // the delta is the Neuron sweep alone).
+    let mut cfg = CoreConfig::blank(0, 11);
+    for a in 0..CORE_AXONS {
+        cfg.crossbar.set(a, a, true);
+    }
+    for n in cfg.neurons.iter_mut() {
+        n.weights = [1, 1, 1, 1];
+        n.threshold = 2;
+        n.floor = -8;
+    }
+    let mut sweep_ns = [0.0f64; 2];
+    for (i, kernels) in [(0usize, true), (1, false)] {
+        let mut core = NeurosynapticCore::new(cfg.clone()).expect("valid");
+        core.set_word_kernels(kernels);
+        let mut t = 0u32;
+        sweep_ns[i] = measure_ns(|| {
+            for a in 0..13u16 {
+                core.deliver(a * 19, t + 1);
+            }
+            let mut fired = 0u32;
+            core.tick(t, |_| fired += 1);
+            t += 1;
+            std::hint::black_box(fired);
+        });
+    }
+    let (masked, full) = (sweep_ns[0], sweep_ns[1]);
+    let _ = writeln!(
+        out,
+        "  \"neuron_sweep\": {{\"touched_fraction\": 0.051, \"full_ns\": {full:.1}, \
+         \"masked_ns\": {masked:.1}, \"speedup\": {:.2}}},",
+        full / masked
+    );
+    println!(
+        "neuron_sweep 5%-touched full={full:.1}ns masked={masked:.1}ns speedup={:.2}x",
+        full / masked
+    );
+
+    // End-to-end engine tick loops, kernels on vs off.
+    out.push_str("  \"tick_loop\": [\n");
+    let mut rows = Vec::new();
+    for (name, model) in [
+        ("dense_ring(4)", NetworkModel::dense_ring(4, 5)),
+        ("relay_ring(20,8)", NetworkModel::relay_ring(20, 8, 0)),
+    ] {
+        let on = time_engine(&model, true);
+        let off = time_engine(&model, false);
+        rows.push(format!(
+            "    {{\"model\": \"{name}\", \"kernels_on_ns_per_core_tick\": {on:.1}, \
+             \"kernels_off_ns_per_core_tick\": {off:.1}, \"speedup\": {:.2}}}",
+            off / on
+        ));
+        println!(
+            "tick_loop {name:<17} on={on:>9.1}ns/core-tick off={off:>9.1}ns/core-tick speedup={:.2}x",
+            off / on
+        );
+    }
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+
+    std::fs::write("BENCH_kernels.json", &out).expect("write BENCH_kernels.json");
+    println!("wrote BENCH_kernels.json");
+}

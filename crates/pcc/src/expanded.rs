@@ -24,7 +24,7 @@
 
 use compass_sim::NetworkModel;
 use tn_core::{
-    CoreConfig, Crossbar, NeuronConfig, ResetMode, SpikeTarget, CORE_AXONS, CORE_NEURONS,
+    CoreConfig, Crossbar, NeuronConfig, ResetMode, SpikeTarget, CORE_AXONS, CORE_NEURONS, ROW_WORDS,
 };
 
 const MAGIC: &[u8; 4] = b"CMPS";
@@ -196,7 +196,7 @@ fn decode_core(c: &mut Cursor<'_>) -> Result<CoreConfig, DecodeError> {
     axon_types.copy_from_slice(c.take(CORE_AXONS)?);
     let mut crossbar = Crossbar::new();
     for axon in 0..CORE_AXONS {
-        let mut words = [0u64; 4];
+        let mut words = [0u64; ROW_WORDS];
         for w in &mut words {
             *w = c.u64()?;
         }

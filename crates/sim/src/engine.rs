@@ -107,6 +107,12 @@ pub struct EngineConfig {
     /// bit-identical either way; off exists to verify that and to measure
     /// the win.
     pub quiescence: bool,
+    /// Use the word-parallel core kernels: bit-sliced Synapse accumulation
+    /// on bursty ticks and `touched | always_step | restless`-masked
+    /// Neuron sweeps (default: on; see [`tn_core::kernel`]). Exact — off
+    /// runs the scalar reference paths bit-identically, for A/B
+    /// verification; [`RankReport::kernel`] counts fast-path engagement.
+    pub kernels: bool,
 }
 
 impl Default for EngineConfig {
@@ -120,6 +126,7 @@ impl Default for EngineConfig {
             tick_stats: false,
             critical_recv: true,
             quiescence: true,
+            kernels: true,
         }
     }
 }
@@ -357,8 +364,10 @@ pub fn run_rank(
         .map(|(i, c)| {
             assert_eq!(c.id, block.start + i as u64, "core ids must be dense");
             memory_bytes += c.memory_footprint() as u64;
+            let mut core = NeurosynapticCore::new(c).expect("invalid core config");
+            core.set_word_kernels(cfg.kernels);
             CoreSlot {
-                core: NeurosynapticCore::new(c).expect("invalid core config"),
+                core,
                 events: 0,
                 dormant: false,
             }
@@ -729,6 +738,7 @@ pub fn run_rank(
         report.fires_per_core.push(slot.core.total_fires());
         report.spikes_in_flight += slot.core.spikes_in_flight() as u64;
         report.activity.add(&slot.core.activity());
+        report.kernel.add(&slot.core.kernel_stats());
     }
     report
 }
@@ -1039,6 +1049,79 @@ mod tests {
             t
         };
         assert_eq!(trace(on), trace(off));
+    }
+
+    #[test]
+    fn word_kernels_switch_is_invisible_and_counted() {
+        // Three regimes: a dense ring (32 768 synaptic events per
+        // core-tick — far over the bit-sliced dispatch crossover), a
+        // sparse relay ring (1 event per due axon — stays on the row walk,
+        // but most neurons untouched so the masked sweep bites), and a
+        // stochastic field (every neuron PRNG-active). The kernels-on runs
+        // must be byte-identical to the scalar runs, and the fast-path
+        // counters must prove each kernel engaged where it should.
+        let mk = |kernels| EngineConfig {
+            ticks: 30,
+            record_trace: true,
+            kernels,
+            ..Default::default()
+        };
+        let kernel = |rs: &[RankReport]| {
+            let mut k = tn_core::KernelStats::default();
+            for r in rs {
+                k.add(&r.kernel);
+            }
+            k
+        };
+        let view = |rs: Vec<RankReport>| {
+            let mut trace: Vec<Spike> = rs.iter().flat_map(|r| r.trace.clone()).collect();
+            trace.sort_by_key(|s| (s.fired_at, s.target.core, s.target.axon));
+            let fires: u64 = rs.iter().map(|r| r.fires).sum();
+            let mut activity = tn_core::ActivityCounts::default();
+            for r in &rs {
+                activity.add(&r.activity);
+            }
+            (trace, fires, activity)
+        };
+
+        let dense = NetworkModel::dense_ring(4, 1);
+        let on = run_model(&dense, WorldConfig::new(2, 2), mk(true));
+        let off = run_model(&dense, WorldConfig::new(2, 2), mk(false));
+        let (k_on, k_off) = (kernel(&on), kernel(&off));
+        assert!(
+            k_on.kernel_synapse_ticks > 0,
+            "dense bursts must engage the bit-sliced kernel"
+        );
+        assert_eq!(k_off.kernel_synapse_ticks, 0);
+        let a = view(on);
+        assert!(!a.0.is_empty());
+        assert_eq!(a, view(off), "kernels must be observationally invisible");
+
+        let ring = NetworkModel::relay_ring(4, 32, 1);
+        let on = run_model(&ring, WorldConfig::new(2, 2), mk(true));
+        let off = run_model(&ring, WorldConfig::new(2, 2), mk(false));
+        let (k_on, k_off) = (kernel(&on), kernel(&off));
+        assert_eq!(
+            k_on.kernel_synapse_ticks, 0,
+            "1-event-per-axon wavefronts must stay on the row walk"
+        );
+        assert!(
+            k_on.neurons_stepped < k_off.neurons_stepped,
+            "masked sweeps must step fewer neurons: {} vs {}",
+            k_on.neurons_stepped,
+            k_off.neurons_stepped
+        );
+        let a = view(on);
+        assert!(!a.0.is_empty());
+        assert_eq!(a, view(off), "kernels must be observationally invisible");
+
+        // Stochastic model: every neuron draws the PRNG each tick, so the
+        // sweep cannot shrink — but the streams must still match exactly.
+        let field = NetworkModel::stochastic_field(3, 60, 11);
+        let on = view(run_model(&field, WorldConfig::new(2, 2), mk(true)));
+        let off = view(run_model(&field, WorldConfig::new(2, 2), mk(false)));
+        assert!(!on.0.is_empty());
+        assert_eq!(on, off, "stochastic kernels must be invisible too");
     }
 
     #[test]

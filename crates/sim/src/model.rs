@@ -172,6 +172,42 @@ impl NetworkModel {
         }
     }
 
+    /// A ring of *densely wired* cores: each core's crossbar is a
+    /// structured 50 %-dense band (`(axon + neuron) % 256 < 128`), axon
+    /// types cycle through all four, every weight is +1 and every
+    /// threshold 1, and neuron `j` targets axon `j` of the next core with
+    /// delay 1. Seeding all 256 axons of core 0 makes every woken core
+    /// receive a full-width burst each tick — 256 due axons × 128-wide
+    /// rows = 32 768 synaptic events per core-tick, the regime the
+    /// bit-sliced Synapse kernel exists for (`relay_ring`, by contrast,
+    /// carries 1 event per due axon and stays on the row walk).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn dense_ring(n: u64, seed: u64) -> NetworkModel {
+        assert!(n > 0, "ring needs at least one core");
+        let cores = (0..n)
+            .map(|id| {
+                let mut cfg = CoreConfig::blank(id, seed);
+                cfg.crossbar = Crossbar::from_fn(|a, nn| (a + nn) % CORE_NEURONS < 128);
+                for (a, ty) in cfg.axon_types.iter_mut().enumerate() {
+                    *ty = (a % 4) as u8;
+                }
+                for (j, neuron) in cfg.neurons.iter_mut().enumerate() {
+                    neuron.weights = [1, 1, 1, 1];
+                    neuron.threshold = 1;
+                    neuron.target = Some(SpikeTarget::new((id + 1) % n, j as u16, 1));
+                }
+                cfg
+            })
+            .collect();
+        let initial_deliveries = (0..CORE_NEURONS as u16).map(|a| (0u64, a, 1u32)).collect();
+        NetworkModel {
+            cores,
+            initial_deliveries,
+        }
+    }
+
     /// A field of stochastically self-exciting cores: every neuron carries
     /// a *stochastic* leak of `leak` (a Bernoulli `|leak|/256` increment
     /// per tick), threshold 4, an identity crossbar, and targets the same
@@ -220,6 +256,18 @@ mod tests {
         assert_eq!(m.total_neurons(), 1024);
         assert_eq!(m.total_synapses(), 4 * 256);
         assert_eq!(m.initial_deliveries.len(), 16);
+    }
+
+    #[test]
+    fn dense_ring_validates_at_half_density() {
+        let m = NetworkModel::dense_ring(3, 7);
+        assert_eq!(m.validate(), Ok(()));
+        assert_eq!(m.total_cores(), 3);
+        assert_eq!(m.total_synapses(), 3 * 256 * 128);
+        assert_eq!(m.initial_deliveries.len(), 256);
+        // Every axon row is exactly half-dense — the bit-sliced kernel's
+        // dispatch regime once a burst arrives.
+        assert!(m.cores[0].crossbar.row_degree(0) == 128);
     }
 
     #[test]

@@ -90,6 +90,11 @@ pub struct RankReport {
     pub synapse_skips: u64,
     /// Neuron-phase sweeps replaced by the dormant-core fast path.
     pub neuron_skips: u64,
+    /// Word-parallel fast-path counters summed over this rank's cores:
+    /// bit-sliced Synapse dispatches and neuron steps actually executed
+    /// (see [`tn_core::KernelStats`] and
+    /// [`crate::EngineConfig::kernels`]).
+    pub kernel: tn_core::KernelStats,
     /// Every spike emitted on this rank, if trace recording was requested.
     pub trace: Vec<Spike>,
 }
@@ -152,6 +157,15 @@ impl RunReport {
     /// Total Neuron-phase sweeps skipped via quiescence fast paths.
     pub fn total_neuron_skips(&self) -> u64 {
         self.ranks.iter().map(|r| r.neuron_skips).sum()
+    }
+
+    /// Accumulated word-parallel fast-path counters across all ranks.
+    pub fn kernel_stats(&self) -> tn_core::KernelStats {
+        let mut total = tn_core::KernelStats::default();
+        for r in &self.ranks {
+            total.add(&r.kernel);
+        }
+        total
     }
 
     /// Accumulated hardware-event counts across all ranks, the input to

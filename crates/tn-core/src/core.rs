@@ -17,14 +17,44 @@
 //! set of spikes delivered since the previous tick; delivery order is
 //! irrelevant because delivery ORs into the delay buffer. This is the
 //! foundation of the simulator's configuration-independence guarantee.
+//!
+//! Both phases have word-parallel fast paths (see [`crate::kernel`]): the
+//! Synapse phase dispatches to a bit-sliced accumulator when enough axons
+//! are due, and the Neuron phase sweeps only the `touched | always_step |
+//! restless` mask instead of all 256 neurons. Both are bit-exact against
+//! the scalar paths and can be disabled per core with
+//! [`NeurosynapticCore::set_word_kernels`] for A/B verification.
 
 use crate::config::{CoreConfig, CoreConfigError};
 use crate::crossbar::Crossbar;
 use crate::delay::DelayBuffer;
+use crate::kernel::{self, NeuronMask, EMPTY_MASK};
 use crate::neuron::NeuronConfig;
 use crate::prng::CorePrng;
 use crate::spike::Spike;
-use crate::{CoreId, AXON_TYPES, CORE_AXONS, CORE_NEURONS};
+use crate::{CoreId, AXON_TYPES, CORE_AXONS, CORE_NEURONS, ROW_WORDS};
+
+/// Fast-path instrumentation for one core: how often each word-parallel
+/// kernel actually engaged. Purely observational — the counters never feed
+/// back into the dynamics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Synapse phases dispatched to the bit-sliced kernel (the remainder
+    /// ran the scalar row walk or were skipped outright).
+    pub kernel_synapse_ticks: u64,
+    /// Neuron `step()` invocations actually executed. A full sweep costs
+    /// 256 per tick; the masked sweep costs the population of
+    /// `touched | always_step | restless`; a skipped phase costs 0.
+    pub neurons_stepped: u64,
+}
+
+impl KernelStats {
+    /// Component-wise accumulation.
+    pub fn add(&mut self, other: &KernelStats) {
+        self.kernel_synapse_ticks += other.kernel_synapse_ticks;
+        self.neurons_stepped += other.neurons_stepped;
+    }
+}
 
 /// A fully instantiated, runnable TrueNorth core.
 pub struct NeurosynapticCore {
@@ -50,6 +80,28 @@ pub struct NeurosynapticCore {
     /// (`stochastic_leak` with a nonzero leak). Such a core can never be
     /// treated as dormant: its zero-input Neuron phase is not the identity.
     autonomous: bool,
+    /// Neurons whose zero-input step draws the core PRNG
+    /// ([`NeuronConfig::draws_prng_at_rest`]) — the per-neuron refinement
+    /// of `autonomous`. The masked Neuron sweep steps these every tick so
+    /// the PRNG stream stays identical to a full sweep; `autonomous` is
+    /// exactly "this mask is nonempty".
+    always_step: NeuronMask,
+    /// Neurons not yet proven to sit at their zero-input fixed point. A
+    /// neuron leaves the mask only after a zero-input step that neither
+    /// fired nor moved its potential; it re-enters whenever it receives
+    /// input, fires, or moves. Starts all-ones (nothing proven).
+    restless: NeuronMask,
+    /// OR of the crossbar rows processed by the last Synapse phase: the
+    /// neurons with possibly-nonzero pending counts this tick.
+    touched: NeuronMask,
+    /// Scratch for gathering the due axon indices of one tick.
+    due: Box<[u16; CORE_AXONS]>,
+    /// Whether the word-parallel fast paths are enabled (bit-sliced
+    /// Synapse dispatch + masked Neuron sweep). Off = the scalar reference
+    /// paths, bit-identical by contract.
+    word_kernels: bool,
+    kernel_synapse_ticks: u64,
+    neurons_stepped: u64,
     #[cfg(debug_assertions)]
     synapse_done: bool,
 }
@@ -72,7 +124,12 @@ impl NeurosynapticCore {
         for (v, n) in potentials.iter_mut().zip(&neurons) {
             *v = n.initial_potential;
         }
-        let autonomous = neurons.iter().any(|n| n.stochastic_leak && n.leak != 0);
+        let mut always_step = EMPTY_MASK;
+        for (n, cfg) in neurons.iter().enumerate() {
+            if cfg.draws_prng_at_rest() {
+                always_step[n / 64] |= 1 << (n % 64);
+            }
+        }
         Ok(Self {
             id,
             axon_types,
@@ -85,7 +142,14 @@ impl NeurosynapticCore {
             fires: 0,
             synaptic_events: 0,
             ticks: 0,
-            autonomous,
+            autonomous: always_step != EMPTY_MASK,
+            always_step,
+            restless: [u64::MAX; ROW_WORDS],
+            touched: EMPTY_MASK,
+            due: Box::new([0; CORE_AXONS]),
+            word_kernels: true,
+            kernel_synapse_ticks: 0,
+            neurons_stepped: 0,
             #[cfg(debug_assertions)]
             synapse_done: false,
         })
@@ -94,6 +158,29 @@ impl NeurosynapticCore {
     /// Globally unique core id.
     pub fn id(&self) -> CoreId {
         self.id
+    }
+
+    /// Enables or disables the word-parallel fast paths (on by default).
+    /// Either setting produces bit-identical traces, counters, and PRNG
+    /// streams — the switch exists for A/B verification and benchmarking.
+    /// Toggling conservatively marks every neuron restless again, so the
+    /// masked sweep re-proves each zero-input fixed point.
+    pub fn set_word_kernels(&mut self, on: bool) {
+        self.word_kernels = on;
+        self.restless = [u64::MAX; ROW_WORDS];
+    }
+
+    /// Whether the word-parallel fast paths are enabled.
+    pub fn word_kernels(&self) -> bool {
+        self.word_kernels
+    }
+
+    /// Fast-path instrumentation counters for this core's lifetime.
+    pub fn kernel_stats(&self) -> KernelStats {
+        KernelStats {
+            kernel_synapse_ticks: self.kernel_synapse_ticks,
+            neurons_stepped: self.neurons_stepped,
+        }
     }
 
     /// Delivers an incoming spike to `axon`, scheduling it in the delay
@@ -108,18 +195,35 @@ impl NeurosynapticCore {
     /// is due now through the crossbar into the per-neuron pending counts.
     /// Returns the number of synaptic events delivered this tick — the
     /// engine uses `0` as one of the conditions for core dormancy.
+    ///
+    /// With word kernels on, ticks whose due axons carry enough synaptic
+    /// events (the measured [`kernel::bitsliced_pays_off`] crossover)
+    /// dispatch to the bit-sliced accumulator
+    /// ([`kernel::synapse_bitsliced`]); sparser ticks keep the per-bit row
+    /// walk. Either way the phase records the `touched` neuron mask that
+    /// drives the masked Neuron sweep.
     pub fn synapse_phase(&mut self, t: u32) -> u64 {
-        let mut events = 0u64;
-        for axon in 0..CORE_AXONS {
-            if self.delay.take(axon, t) {
-                let g = usize::from(self.axon_types[axon]);
-                let pending = &mut self.pending;
-                self.crossbar.for_each_in_row(axon, |n| {
-                    pending[n][g] += 1;
-                    events += 1;
-                });
-            }
-        }
+        self.touched = EMPTY_MASK;
+        let n_due = self.delay.take_due(t, &mut self.due);
+        let due = &self.due[..n_due];
+        let events = if self.word_kernels && kernel::bitsliced_pays_off(&self.crossbar, due) {
+            self.kernel_synapse_ticks += 1;
+            kernel::synapse_bitsliced(
+                &self.crossbar,
+                &self.axon_types,
+                due,
+                &mut self.pending,
+                &mut self.touched,
+            )
+        } else {
+            kernel::synapse_scalar(
+                &self.crossbar,
+                &self.axon_types,
+                due,
+                &mut self.pending,
+                &mut self.touched,
+            )
+        };
         self.synaptic_events += events;
         self.ticks += 1;
         #[cfg(debug_assertions)]
@@ -131,9 +235,10 @@ impl NeurosynapticCore {
 
     /// O(1) Synapse-phase fast path for a core with an empty delay buffer:
     /// performs exactly the bookkeeping a full [`Self::synapse_phase`] scan
-    /// would (tick count, phase ordering), without touching the 256 axon
-    /// slots. Only legal when [`Self::has_pending_deliveries`] is false —
-    /// then the full scan is guaranteed to deliver zero events.
+    /// would (tick count, phase ordering, empty `touched` mask), without
+    /// touching the 256 axon slots. Only legal when
+    /// [`Self::has_pending_deliveries`] is false — then the full scan is
+    /// guaranteed to deliver zero events.
     #[inline]
     pub fn skip_synapse_phase(&mut self) {
         debug_assert!(
@@ -141,6 +246,7 @@ impl NeurosynapticCore {
             "skip_synapse_phase with spikes in flight on core {}",
             self.id
         );
+        self.touched = EMPTY_MASK;
         self.ticks += 1;
         #[cfg(debug_assertions)]
         {
@@ -148,9 +254,16 @@ impl NeurosynapticCore {
         }
     }
 
-    /// Neuron phase for tick `t`: integrate–leak–fire for all 256 neurons,
-    /// invoking `emit` for each spike fired by a connected neuron. Clears
-    /// the pending counts for the next tick.
+    /// Neuron phase for tick `t`: integrate–leak–fire, invoking `emit` for
+    /// each spike fired by a connected neuron. Clears the pending counts
+    /// for the next tick.
+    ///
+    /// With word kernels on, only the `touched | always_step | restless`
+    /// neurons are stepped and cleared; every neuron outside that mask is
+    /// provably at its zero-input fixed point with no pending input and no
+    /// PRNG draw, so skipping it leaves state and stream bit-identical to
+    /// the full sweep (and contributes `false` to the return value, which
+    /// the full sweep would too).
     ///
     /// Returns `true` if any neuron fired or any membrane potential moved.
     /// A `false` return on a tick with zero synaptic events means the core
@@ -167,6 +280,22 @@ impl NeurosynapticCore {
             );
             self.synapse_done = false;
         }
+        let changed = if self.word_kernels {
+            self.neuron_phase_masked(t, &mut emit)
+        } else {
+            self.neuron_phase_full(t, &mut emit)
+        };
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            self.pending.iter().all(|c| *c == [0; AXON_TYPES]),
+            "pending counts survived the sweep (mask incomplete?)"
+        );
+        changed
+    }
+
+    /// The scalar reference sweep: all 256 neurons, unconditional clear.
+    fn neuron_phase_full(&mut self, t: u32, emit: &mut impl FnMut(Spike)) -> bool {
+        self.neurons_stepped += CORE_NEURONS as u64;
         let mut changed = false;
         for n in 0..CORE_NEURONS {
             let counts = &mut self.pending[n];
@@ -181,6 +310,46 @@ impl NeurosynapticCore {
                         fired_at: t,
                         target,
                     });
+                }
+            }
+        }
+        changed
+    }
+
+    /// The masked sweep: steps and clears only `touched | always_step |
+    /// restless`, maintaining `restless` incrementally — a neuron is
+    /// removed only by a zero-input step that neither fired nor moved the
+    /// potential (the one observation that proves its zero-input fixed
+    /// point), and re-added on any input, fire, or movement.
+    fn neuron_phase_masked(&mut self, t: u32, emit: &mut impl FnMut(Spike)) -> bool {
+        let mut changed = false;
+        for w in 0..ROW_WORDS {
+            let mut bits = self.touched[w] | self.always_step[w] | self.restless[w];
+            self.neurons_stepped += u64::from(bits.count_ones());
+            while bits != 0 {
+                let n = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let counts = &mut self.pending[n];
+                let had_input = *counts != [0; AXON_TYPES];
+                let before = self.potentials[n];
+                let fired = self.neurons[n].step(&mut self.potentials[n], counts, &mut self.prng);
+                *counts = [0; AXON_TYPES];
+                let moved = fired || self.potentials[n] != before;
+                changed |= moved;
+                let bit = 1u64 << (n % 64);
+                if moved || had_input {
+                    self.restless[w] |= bit;
+                } else {
+                    self.restless[w] &= !bit;
+                }
+                if fired {
+                    self.fires += 1;
+                    if let Some(target) = self.neurons[n].target {
+                        emit(Spike {
+                            fired_at: t,
+                            target,
+                        });
+                    }
                 }
             }
         }
@@ -218,9 +387,11 @@ impl NeurosynapticCore {
     }
 
     /// Overwrites neuron `n`'s membrane potential (used to set initial
-    /// conditions in applications).
+    /// conditions in applications). Marks the neuron restless: its
+    /// zero-input fixed point, if previously proven, no longer holds.
     pub fn set_potential(&mut self, n: usize, v: i32) {
         self.potentials[n] = v;
+        self.restless[n / 64] |= 1 << (n % 64);
     }
 
     /// Lifetime spike count across all neurons of this core.
@@ -229,6 +400,13 @@ impl NeurosynapticCore {
     }
 
     /// Hardware-event counts for energy estimation (paper purpose (e)).
+    ///
+    /// `neuron_updates` models the **hardware**, which updates all 256
+    /// neurons every tick unconditionally: it is `ticks × 256` no matter
+    /// how many steps the simulator's masked sweeps or dormancy skips
+    /// actually executed. Simulator fast paths change wall-clock time,
+    /// never the energy estimate. (The simulator-side execution count
+    /// lives in [`KernelStats::neurons_stepped`].)
     pub fn activity(&self) -> crate::energy::ActivityCounts {
         crate::energy::ActivityCounts {
             core_ticks: self.ticks,
@@ -254,7 +432,10 @@ impl NeurosynapticCore {
     /// Whether this core draws randomness even on zero-input ticks (any
     /// neuron with a stochastic nonzero leak). Such cores are never
     /// eligible for [`Self::skip_neuron_phase`]: skipping would desync
-    /// their PRNG stream from a run that executed every phase.
+    /// their PRNG stream from a run that executed every phase. The masked
+    /// Neuron sweep refines this per neuron — an autonomous core still
+    /// steps only its `always_step` neurons once the rest prove their
+    /// fixed points.
     #[inline]
     pub fn autonomous_dynamics(&self) -> bool {
         self.autonomous
@@ -622,5 +803,176 @@ mod tests {
         core.tick(2, |_| {});
         core.tick(3, |_| {});
         assert_eq!(core.spikes_in_flight(), 1);
+    }
+
+    /// A core that exercises everything the masked sweep must preserve:
+    /// stochastic weights (PRNG per delivered spike), per-neuron
+    /// stochastic nonzero leaks (PRNG at rest → `always_step`),
+    /// deterministic leaks toward a floor (restless until settled), and a
+    /// Linear-reset refire loop (restless forever).
+    fn gauntlet_core(id: CoreId) -> NeurosynapticCore {
+        let mut cfg = CoreConfig::blank(id, 31);
+        cfg.crossbar = Crossbar::from_fn(|a, n| (a * 7 + n) % 11 == 0);
+        for a in 0..CORE_AXONS {
+            cfg.axon_types[a] = (a % AXON_TYPES) as u8;
+        }
+        for (n, nc) in cfg.neurons.iter_mut().enumerate() {
+            nc.weights = [2, 120, -1, 3];
+            nc.stochastic_weight = [false, true, false, false];
+            nc.threshold = 4;
+            nc.leak = -1;
+            nc.floor = -3;
+            nc.target = Some(SpikeTarget::new(0, (n % 256) as u16, 1 + (n % 5) as u8));
+            if n % 61 == 0 {
+                // Sparse stochastic-leak population: per-neuron always_step.
+                nc.stochastic_leak = true;
+                nc.leak = 30;
+                nc.threshold = 50;
+            }
+            if n == 200 {
+                // Perpetual refire loop with unchanged potential.
+                nc.weights = [0, 0, 0, 0];
+                nc.stochastic_weight = [false; AXON_TYPES];
+                nc.leak = 3;
+                nc.threshold = 3;
+                nc.reset = crate::neuron::ResetMode::Linear;
+            }
+        }
+        NeurosynapticCore::new(cfg).unwrap()
+    }
+
+    /// Satellite: the masked Neuron sweep + bit-sliced Synapse dispatch
+    /// must be invisible — identical spike trace, potentials, activity,
+    /// and PRNG stream — versus the scalar paths, including under bursty
+    /// input that crosses the kernel dispatch threshold.
+    #[test]
+    fn word_kernels_match_scalar_paths_bit_for_bit() {
+        let deliveries: Vec<(u32, u16, u32)> = (0..CORE_AXONS as u16)
+            .map(|a| (0u32, a, 2u32 + u32::from(a % 3))) // dense burst
+            .chain((0..8).map(|a| (30u32, a * 31, 32u32))) // sparse burst
+            .collect();
+        let run = |kernels: bool| {
+            let mut core = gauntlet_core(21);
+            core.set_word_kernels(kernels);
+            let mut trace = Vec::new();
+            for t in 0..60 {
+                for &(at, axon, due) in &deliveries {
+                    if at == t {
+                        core.deliver(axon, due);
+                    }
+                }
+                core.synapse_phase(t);
+                core.neuron_phase(t, |s| trace.push((t, s)));
+            }
+            // Poke the PRNG stream: future stochastic behaviour must agree.
+            core.deliver(1, 61);
+            for t in 60..70 {
+                core.tick(t, |s| trace.push((t, s)));
+            }
+            let potentials: Vec<i32> = (0..CORE_NEURONS).map(|n| core.potential(n)).collect();
+            (trace, potentials, core.activity(), core.kernel_stats())
+        };
+        let (trace_k, pot_k, act_k, stats_k) = run(true);
+        let (trace_s, pot_s, act_s, stats_s) = run(false);
+        assert_eq!(trace_k, trace_s);
+        assert_eq!(pot_k, pot_s);
+        assert_eq!(act_k, act_s);
+        assert!(
+            stats_k.kernel_synapse_ticks > 0,
+            "dense burst must engage the bit-sliced kernel"
+        );
+        assert_eq!(stats_s.kernel_synapse_ticks, 0);
+        assert!(
+            stats_k.neurons_stepped < stats_s.neurons_stepped,
+            "masked sweep must step fewer neurons: {} vs {}",
+            stats_k.neurons_stepped,
+            stats_s.neurons_stepped
+        );
+    }
+
+    /// Satellite: an autonomous core (stochastic nonzero leak somewhere)
+    /// cannot take the whole-phase skip, but the per-neuron `always_step`
+    /// mask lets the masked sweep shrink to just those neurons once the
+    /// rest prove their fixed points.
+    #[test]
+    fn autonomous_core_sweeps_only_always_step_neurons_at_rest() {
+        let mut cfg = CoreConfig::blank(22, 9);
+        cfg.neurons[17].stochastic_leak = true;
+        cfg.neurons[17].leak = 40;
+        cfg.neurons[17].threshold = 1000;
+        cfg.neurons[17].floor = -1000;
+        cfg.neurons[90].stochastic_leak = true;
+        cfg.neurons[90].leak = -25;
+        cfg.neurons[90].threshold = 1000;
+        cfg.neurons[90].floor = -1000;
+        let mut core = NeurosynapticCore::new(cfg).unwrap();
+        assert!(core.autonomous_dynamics());
+        // First tick steps everyone (restless starts full); afterwards only
+        // the two stochastic-leak neurons (which stay restless by moving)
+        // remain in the sweep.
+        for t in 0..101 {
+            core.synapse_phase(t);
+            core.neuron_phase(t, |_| {});
+        }
+        let stepped = core.kernel_stats().neurons_stepped;
+        assert!(
+            stepped <= 256 + 100 * 3,
+            "rest-state sweep should shrink to the always_step set: {stepped}"
+        );
+        // Energy semantics unchanged: the hardware still updates 256/tick.
+        assert_eq!(core.activity().neuron_updates, 101 * 256);
+    }
+
+    /// Satellite: `neuron_updates` models the hardware's unconditional
+    /// 256-updates-per-tick, so masked sweeps and dormancy skips must not
+    /// change the energy estimate.
+    #[test]
+    fn masked_sweeps_do_not_change_energy_estimates() {
+        let run = |kernels: bool| {
+            let mut core = gauntlet_core(23);
+            core.set_word_kernels(kernels);
+            for a in 0..32 {
+                core.deliver(a, 1);
+            }
+            for t in 0..50 {
+                core.tick(t, |_| {});
+            }
+            (core.activity(), core.kernel_stats().neurons_stepped)
+        };
+        let (act_masked, stepped_masked) = run(true);
+        let (act_full, stepped_full) = run(false);
+        assert!(
+            stepped_masked < stepped_full,
+            "premise: masking actually skipped work"
+        );
+        assert_eq!(act_masked, act_full);
+        assert_eq!(act_masked.neuron_updates, 50 * 256);
+        let model = crate::energy::EnergyModel::default();
+        assert_eq!(
+            model.estimate(&act_masked).total_pj(),
+            model.estimate(&act_full).total_pj()
+        );
+    }
+
+    #[test]
+    fn set_potential_reawakens_a_settled_neuron() {
+        // Settle a leak-to-floor core, then poke one neuron's potential
+        // directly: the masked sweep must pick it up again.
+        let mut cfg = CoreConfig::blank(24, 0);
+        cfg.neurons[5].leak = -1;
+        cfg.neurons[5].floor = -2;
+        cfg.neurons[5].threshold = 10;
+        let mut core = NeurosynapticCore::new(cfg).unwrap();
+        for t in 0..10 {
+            core.synapse_phase(t);
+            core.neuron_phase(t, |_| {});
+        }
+        assert_eq!(core.potential(5), -2, "settled on the floor");
+        core.set_potential(5, 8);
+        for t in 10..22 {
+            core.synapse_phase(t);
+            core.neuron_phase(t, |_| {});
+        }
+        assert_eq!(core.potential(5), -2, "leaked back down after the poke");
     }
 }

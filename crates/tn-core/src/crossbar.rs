@@ -10,10 +10,7 @@
 //! Rows are packed into four `u64` words, so a row walk is four
 //! trailing-zero loops — the dominant inner loop of the whole simulator.
 
-use crate::{CORE_AXONS, CORE_NEURONS};
-
-/// Words per row: 256 neurons / 64 bits.
-const ROW_WORDS: usize = CORE_NEURONS / 64;
+use crate::{CORE_AXONS, CORE_NEURONS, ROW_WORDS};
 
 /// Bit-packed 256×256 binary synapse matrix. `axon` indexes rows, `neuron`
 /// indexes columns; a set bit is a connected synapse.
@@ -97,17 +94,18 @@ impl Crossbar {
         }
     }
 
-    /// The raw bit words of `axon`'s row (4 × 64 bits covering all 256
-    /// neurons) — the zero-copy path for serialization.
+    /// The raw bit words of `axon`'s row ([`ROW_WORDS`] × 64 bits covering
+    /// all 256 neurons) — the zero-copy path for serialization and the
+    /// word-parallel kernels.
     #[inline]
-    pub fn row_words(&self, axon: usize) -> &[u64; 4] {
+    pub fn row_words(&self, axon: usize) -> &[u64; ROW_WORDS] {
         &self.rows[axon]
     }
 
     /// Overwrites `axon`'s row from raw bit words — the deserialization
     /// counterpart of [`Crossbar::row_words`].
     #[inline]
-    pub fn set_row_words(&mut self, axon: usize, words: [u64; 4]) {
+    pub fn set_row_words(&mut self, axon: usize, words: [u64; ROW_WORDS]) {
         self.rows[axon] = words;
     }
 

@@ -50,7 +50,9 @@ impl DelayBuffer {
     #[inline]
     pub fn schedule(&mut self, axon: usize, delivery_tick: u32) {
         let mask = 1 << (delivery_tick as usize % DELAY_SLOTS);
-        self.live += u32::from(self.bits[axon] & mask == 0);
+        if self.bits[axon] & mask == 0 {
+            self.live += 1;
+        }
         self.bits[axon] |= mask;
     }
 
@@ -67,9 +69,36 @@ impl DelayBuffer {
     pub fn take(&mut self, axon: usize, tick: u32) -> bool {
         let mask = 1 << (tick as usize % DELAY_SLOTS);
         let hit = self.bits[axon] & mask != 0;
-        self.bits[axon] &= !mask;
-        self.live -= u32::from(hit);
+        if hit {
+            self.bits[axon] &= !mask;
+            self.live -= 1;
+        }
         hit
+    }
+
+    /// Consumes every ready flag at `tick` in one sweep, writing the due
+    /// axon indices into `out` (ascending) and returning how many there
+    /// are. Equivalent to calling [`Self::take`] for all 256 axons — the
+    /// gather step of the word-parallel Synapse kernels. Exits early once
+    /// nothing is left in flight.
+    pub fn take_due(&mut self, tick: u32, out: &mut [u16; CORE_AXONS]) -> usize {
+        let mask = 1 << (tick as usize % DELAY_SLOTS);
+        let mut n_due = 0;
+        if self.live == 0 {
+            return 0;
+        }
+        for (axon, bits) in self.bits.iter_mut().enumerate() {
+            if *bits & mask != 0 {
+                *bits &= !mask;
+                self.live -= 1;
+                out[n_due] = axon as u16;
+                n_due += 1;
+                if self.live == 0 {
+                    break;
+                }
+            }
+        }
+        n_due
     }
 
     /// Total spikes currently in flight across all axons. O(1): maintained
@@ -160,6 +189,29 @@ mod tests {
         d.schedule(3, 31);
         assert!(d.ready(3, 31));
         assert!(d.take(3, 31));
+    }
+
+    #[test]
+    fn take_due_matches_per_axon_take() {
+        let build = || {
+            let mut d = DelayBuffer::new();
+            for a in (0..CORE_AXONS).step_by(3) {
+                d.schedule(a, (a % 15 + 1) as u32);
+            }
+            d
+        };
+        let mut a = build();
+        let mut b = build();
+        for t in 0..32 {
+            let mut due = [0u16; CORE_AXONS];
+            let n = a.take_due(t, &mut due);
+            let expect: Vec<u16> = (0..CORE_AXONS as u16)
+                .filter(|&axon| b.take(usize::from(axon), t))
+                .collect();
+            assert_eq!(&due[..n], expect.as_slice(), "tick {t}");
+            assert_eq!(a.in_flight(), b.in_flight());
+        }
+        assert_eq!(a.in_flight(), 0);
     }
 
     #[test]

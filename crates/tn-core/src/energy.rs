@@ -23,7 +23,12 @@
 pub struct ActivityCounts {
     /// Core × tick pairs simulated.
     pub core_ticks: u64,
-    /// Neuron integrate-leak-fire updates (256 per core tick).
+    /// Neuron integrate-leak-fire updates. Models the **hardware**, which
+    /// updates all 256 neurons every tick unconditionally: always
+    /// `core_ticks × 256`, no matter how many steps the simulator's
+    /// masked sweeps or dormancy skips actually executed (those change
+    /// wall-clock only; see `KernelStats::neurons_stepped`). Energy
+    /// estimates are therefore invariant under every simulator fast path.
     pub neuron_updates: u64,
     /// Synaptic events: deliveries through set crossbar bits.
     pub synaptic_events: u64,

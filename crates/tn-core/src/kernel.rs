@@ -1,0 +1,496 @@
+//! Word-parallel Synapse/Neuron kernels.
+//!
+//! The Synapse phase's inner loop — deliver every due axon's crossbar row
+//! into per-neuron pending counts — is the dominant cost of the whole
+//! simulator, and the per-bit row walk ([`Crossbar::for_each_in_row`]) pays
+//! one dependent iteration per *set synapse*. This module replaces it, when
+//! enough axons are due, with a **bit-sliced carry-save accumulator**: the
+//! 4×`u64` rows of all due axons of one axon type are folded into
+//! per-neuron *count bit-planes* using word-wide full-adder logic (XOR for
+//! sum, AND for carry), so 64 neurons' counters advance per instruction.
+//! Counts are then materialized only for the neurons that were actually
+//! touched, and the synaptic-event total falls out of plane popcounts.
+//!
+//! The same fold produces, for free, the per-tick `touched` mask (OR of all
+//! processed rows) that drives the **masked Neuron sweep**: instead of
+//! stepping and wiping all 256 neurons, the Neuron phase iterates
+//! `touched | always_step | restless` (see
+//! [`crate::NeurosynapticCore::neuron_phase`]), where `always_step` marks
+//! neurons whose zero-input tick still draws the core PRNG and `restless`
+//! tracks neurons not yet proven to sit at their zero-input fixed point.
+//!
+//! Both kernels are **exact**: pending counts, event totals, spike traces,
+//! activity counters, and PRNG streams are bit-identical to the scalar
+//! paths (property-tested below and A/B-switchable end to end via
+//! `EngineConfig::kernels` in `compass-sim`).
+//!
+//! Cf. CoreNEURON (Kumbhar et al. 2019) on restructuring simulator state
+//! for SIMD sweeps, and SuperNeuro (Date et al. 2023) on matrix-shaped,
+//! activity-masked updates.
+
+use crate::crossbar::Crossbar;
+use crate::{AXON_TYPES, CORE_AXONS, CORE_NEURONS, ROW_WORDS};
+
+/// Bit planes per accumulator: at most [`CORE_AXONS`] = 256 due rows can
+/// fold into one accumulator, so counts fit in 9 bits (2⁹ = 512 > 256).
+pub const COUNT_PLANES: usize = 9;
+
+/// Floor on the number of due axons below which the bit-sliced kernel is
+/// never considered: with so few rows the fold cannot amortize its
+/// per-plane materialization, whatever the crossbar looks like.
+///
+/// See [`SYNAPSE_KERNEL_MIN_EVENTS`] for the measured crossover; this
+/// floor just keeps the predicate out of the degenerate 1–3-row regime
+/// the sweep in `benches/micro.rs` does not cover.
+pub const SYNAPSE_KERNEL_MIN_DUE: usize = 4;
+
+/// Minimum total synaptic events (= summed crossbar fan-out of the due
+/// axons) for which the bit-sliced kernel beats the per-bit row walk.
+///
+/// Measured with `cargo bench -p compass-bench --bench micro -- synapse_kernel`
+/// over density {5, 25, 50, 100} % × due {4..256} with all four axon types
+/// in play (worst case: four separate accumulators). The scalar walk costs
+/// ~0.7 ns per set synapse; the fold costs ~constant per due row plus one
+/// scatter per *set count bit*, so the crossover tracks total events, not
+/// due count or density alone. On this host the paths cross at ≈ 200–400
+/// events everywhere measured: 5 % × 16 due = 205 events still favors the
+/// walk (0.22 µs vs 0.26 µs), 5 % × 32 due ≈ 420 events is break-even
+/// (0.98–1.45× across runs), 25 % × 8 due = 545 events favors the fold
+/// (0.42 µs vs 0.32 µs). Above the band the fold wins big: 50 % × 32 due
+/// 3.7× (2.50 µs vs 0.68 µs), 100 % × 256 due 22× (39.0 µs vs 1.8 µs).
+/// One event per neuron (256) sits at the low edge of the break-even
+/// band, keeping every clear win while risking only ±5 % on points at
+/// the line; [`bitsliced_pays_off`] dispatches strictly *above* it, so a
+/// full-width identity wavefront (exactly 256 events) stays on the walk
+/// (see `BENCH_kernels.json` for the full grid).
+pub const SYNAPSE_KERNEL_MIN_EVENTS: usize = 256;
+
+/// A per-neuron set as a 256-bit mask (one bit per neuron, 64 per word) —
+/// the currency of the masked Neuron sweep.
+pub type NeuronMask = [u64; ROW_WORDS];
+
+/// An all-zero [`NeuronMask`].
+pub const EMPTY_MASK: NeuronMask = [0; ROW_WORDS];
+
+/// Bit-sliced carry-save counter bank: `planes[p]` holds bit `p` of a
+/// 9-bit count for each of the 256 neurons, so adding a crossbar row
+/// advances 64 per-neuron counters per word operation.
+#[derive(Debug, Clone)]
+pub struct BitPlanes {
+    planes: [NeuronMask; COUNT_PLANES],
+    /// Planes `0..used` may hold nonzero bits; higher planes are zero.
+    used: usize,
+}
+
+impl Default for BitPlanes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BitPlanes {
+    /// An empty accumulator (all counts zero).
+    pub const fn new() -> Self {
+        Self {
+            planes: [EMPTY_MASK; COUNT_PLANES],
+            used: 0,
+        }
+    }
+
+    /// Adds one crossbar row (a 0/1 per neuron) into the counter bank —
+    /// a ripple-carry full adder over bit planes: `sum = plane ^ carry`,
+    /// `carry = plane & carry`. The ripple stops at the first plane where
+    /// every carry bit dies, so the amortized cost per row is O(1) planes.
+    #[inline]
+    pub fn add_row(&mut self, row: &NeuronMask) {
+        let mut carry = *row;
+        for p in 0..self.used {
+            let mut alive = 0u64;
+            for (c, word) in carry.iter_mut().zip(self.planes[p].iter_mut()) {
+                let sum = *word ^ *c;
+                *c &= *word;
+                *word = sum;
+                alive |= *c;
+            }
+            if alive == 0 {
+                return;
+            }
+        }
+        debug_assert!(
+            self.used < COUNT_PLANES,
+            "more than {CORE_AXONS} rows folded into one accumulator"
+        );
+        self.planes[self.used] = carry;
+        self.used += 1;
+    }
+
+    /// The materialized count for neuron `n`.
+    #[inline]
+    pub fn count(&self, n: usize) -> u16 {
+        let (w, b) = (n / 64, n % 64);
+        let mut c = 0u16;
+        for p in 0..self.used {
+            c |= (((self.planes[p][w] >> b) & 1) as u16) << p;
+        }
+        c
+    }
+
+    /// Union of all planes: the neurons with a nonzero count.
+    #[inline]
+    pub fn touched(&self) -> NeuronMask {
+        let mut m = EMPTY_MASK;
+        for p in 0..self.used {
+            for (dst, &word) in m.iter_mut().zip(self.planes[p].iter()) {
+                *dst |= word;
+            }
+        }
+        m
+    }
+
+    /// Sum of all counts: Σₚ popcount(planeₚ) · 2ᵖ — the synaptic-event
+    /// total of the rows folded in, without materializing any count.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        let mut t = 0u64;
+        for p in 0..self.used {
+            let pop: u64 = self.planes[p]
+                .iter()
+                .map(|w| u64::from(w.count_ones()))
+                .sum();
+            t += pop << p;
+        }
+        t
+    }
+}
+
+/// The adaptive dispatch predicate: whether [`synapse_bitsliced`] is
+/// expected to beat [`synapse_scalar`] for this tick's due axons.
+///
+/// The event total it thresholds is exact, not an estimate — each due row
+/// is delivered exactly once, so the tick's events are the summed
+/// [`Crossbar::row_degree`]s — and the scan is O(due) with early exit, a
+/// few ns against kernels costing hundreds. Sparse wavefronts (an
+/// identity-crossbar relay carries 1 event per due axon) and spikes
+/// landing on unconnected axons stay on the walk no matter how wide the
+/// burst; dense bursts dispatch from [`SYNAPSE_KERNEL_MIN_DUE`] rows up.
+pub fn bitsliced_pays_off(crossbar: &Crossbar, due: &[u16]) -> bool {
+    if due.len() < SYNAPSE_KERNEL_MIN_DUE {
+        return false;
+    }
+    let mut events = 0usize;
+    for &axon in due {
+        events += crossbar.row_degree(usize::from(axon));
+        // Strictly above the threshold: a full-width identity wavefront
+        // lands on exactly one event per neuron and must stay scalar.
+        if events > SYNAPSE_KERNEL_MIN_EVENTS {
+            return true;
+        }
+    }
+    false
+}
+
+/// Signature shared by [`synapse_scalar`] and [`synapse_bitsliced`], so
+/// harnesses (benches, the crossover sweep) can treat the two
+/// interchangeably.
+pub type SynapseKernel = fn(
+    &Crossbar,
+    &[u8; CORE_AXONS],
+    &[u16],
+    &mut [[u16; AXON_TYPES]; CORE_NEURONS],
+    &mut NeuronMask,
+) -> u64;
+
+/// Visits every set bit of `mask` in ascending neuron order.
+#[inline]
+pub fn for_each_set(mask: &NeuronMask, mut f: impl FnMut(usize)) {
+    for (w, &word) in mask.iter().enumerate() {
+        let mut bits = word;
+        while bits != 0 {
+            f(w * 64 + bits.trailing_zeros() as usize);
+            bits &= bits - 1;
+        }
+    }
+}
+
+/// Scalar reference Synapse kernel: the per-bit row walk (the pre-kernel
+/// inner loop), kept as the sparse-regime fast path and as the oracle the
+/// bit-sliced kernel is verified against. Delivers each due axon's row
+/// into `pending`, ORs the processed rows into `touched`, and returns the
+/// number of synaptic events.
+pub fn synapse_scalar(
+    crossbar: &Crossbar,
+    axon_types: &[u8; CORE_AXONS],
+    due: &[u16],
+    pending: &mut [[u16; AXON_TYPES]; CORE_NEURONS],
+    touched: &mut NeuronMask,
+) -> u64 {
+    let mut events = 0u64;
+    for &axon in due {
+        let a = usize::from(axon);
+        let g = usize::from(axon_types[a]);
+        let row = crossbar.row_words(a);
+        for (w, &word) in row.iter().enumerate() {
+            touched[w] |= word;
+            let mut bits = word;
+            while bits != 0 {
+                let n = w * 64 + bits.trailing_zeros() as usize;
+                pending[n][g] += 1;
+                events += 1;
+                bits &= bits - 1;
+            }
+        }
+    }
+    events
+}
+
+/// Bit-sliced Synapse kernel: folds the rows of all due axons, one
+/// accumulator per axon type, then materializes counts only for touched
+/// neurons. Exactly equivalent to [`synapse_scalar`] (same `pending`, same
+/// `touched`, same event total); faster whenever [`bitsliced_pays_off`].
+pub fn synapse_bitsliced(
+    crossbar: &Crossbar,
+    axon_types: &[u8; CORE_AXONS],
+    due: &[u16],
+    pending: &mut [[u16; AXON_TYPES]; CORE_NEURONS],
+    touched: &mut NeuronMask,
+) -> u64 {
+    let mut accs = [
+        BitPlanes::new(),
+        BitPlanes::new(),
+        BitPlanes::new(),
+        BitPlanes::new(),
+    ];
+    for &axon in due {
+        let a = usize::from(axon);
+        accs[usize::from(axon_types[a])].add_row(crossbar.row_words(a));
+    }
+    let mut events = 0u64;
+    for (g, acc) in accs.iter().enumerate() {
+        if acc.used == 0 {
+            continue;
+        }
+        events += acc.total();
+        let mask = acc.touched();
+        for w in 0..ROW_WORDS {
+            touched[w] |= mask[w];
+        }
+        // Materialize by scattering each plane at its binary weight: a
+        // neuron's count is the sum of its plane contributions, so this
+        // lands the same totals as a per-neuron `count(n)` gather while
+        // visiting only the *set* plane bits (≈ popcount(count) per neuron
+        // instead of one extract per used plane).
+        for (p, plane) in acc.planes[..acc.used].iter().enumerate() {
+            let weight = 1u16 << p;
+            for (w, &word) in plane.iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let n = w * 64 + bits.trailing_zeros() as usize;
+                    pending[n][g] += weight;
+                    bits &= bits - 1;
+                }
+            }
+        }
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_accumulator_is_zero_everywhere() {
+        let acc = BitPlanes::new();
+        assert_eq!(acc.total(), 0);
+        assert_eq!(acc.touched(), EMPTY_MASK);
+        for n in 0..CORE_NEURONS {
+            assert_eq!(acc.count(n), 0);
+        }
+    }
+
+    #[test]
+    fn single_row_counts_are_the_row_bits() {
+        let mut acc = BitPlanes::new();
+        let row = [0b1011, 0, 1 << 63, 0];
+        acc.add_row(&row);
+        assert_eq!(acc.count(0), 1);
+        assert_eq!(acc.count(1), 1);
+        assert_eq!(acc.count(2), 0);
+        assert_eq!(acc.count(3), 1);
+        assert_eq!(acc.count(191), 1);
+        assert_eq!(acc.total(), 4);
+        assert_eq!(acc.touched(), row);
+    }
+
+    #[test]
+    fn saturating_carry_chain_reaches_256() {
+        // 256 identical full rows: every neuron's count must be exactly 256
+        // (the 9th plane), total 256 · 256.
+        let mut acc = BitPlanes::new();
+        let row = [u64::MAX; ROW_WORDS];
+        for _ in 0..CORE_AXONS {
+            acc.add_row(&row);
+        }
+        assert_eq!(acc.used, COUNT_PLANES);
+        for n in 0..CORE_NEURONS {
+            assert_eq!(acc.count(n), 256);
+        }
+        assert_eq!(acc.total(), 256 * 256);
+    }
+
+    #[test]
+    fn mixed_rows_count_exactly() {
+        // Neuron n is hit by rows { r : r ≤ n } ⇒ count(n) = n + 1 over
+        // rows 0..k when n < k.
+        let k = 20usize;
+        let mut acc = BitPlanes::new();
+        for r in 0..k {
+            let mut row = EMPTY_MASK;
+            // Row r covers neurons r..64.
+            row[0] = u64::MAX << r;
+            acc.add_row(&row);
+        }
+        for n in 0..64 {
+            let expect = (n + 1).min(k) as u16;
+            assert_eq!(acc.count(n), expect, "neuron {n}");
+        }
+        assert_eq!(acc.count(64), 0);
+    }
+
+    #[test]
+    fn for_each_set_visits_in_order() {
+        let mask: NeuronMask = [1 << 5, 1 << 0, 0, 1 << 63];
+        let mut seen = Vec::new();
+        for_each_set(&mask, |n| seen.push(n));
+        assert_eq!(seen, vec![5, 64, 255]);
+    }
+
+    /// Applies both kernels to the same inputs and checks full agreement.
+    fn assert_kernels_agree(xb: &Crossbar, types: &[u8; CORE_AXONS], due: &[u16]) {
+        let mut pend_a = Box::new([[0u16; AXON_TYPES]; CORE_NEURONS]);
+        let mut pend_b = pend_a.clone();
+        let mut touch_a = EMPTY_MASK;
+        let mut touch_b = EMPTY_MASK;
+        let ev_a = synapse_scalar(xb, types, due, &mut pend_a, &mut touch_a);
+        let ev_b = synapse_bitsliced(xb, types, due, &mut pend_b, &mut touch_b);
+        assert_eq!(ev_a, ev_b, "event totals differ");
+        assert_eq!(touch_a, touch_b, "touched masks differ");
+        assert_eq!(pend_a, pend_b, "pending counts differ");
+    }
+
+    #[test]
+    fn kernels_agree_on_dense_crossbar_all_due() {
+        let xb = Crossbar::from_fn(|_, _| true);
+        let mut types = [0u8; CORE_AXONS];
+        for (a, t) in types.iter_mut().enumerate() {
+            *t = (a % AXON_TYPES) as u8;
+        }
+        let due: Vec<u16> = (0..CORE_AXONS as u16).collect();
+        assert_kernels_agree(&xb, &types, &due);
+    }
+
+    #[test]
+    fn kernels_agree_on_empty_due_set() {
+        let xb = Crossbar::from_fn(|a, n| (a + n) % 3 == 0);
+        assert_kernels_agree(&xb, &[0; CORE_AXONS], &[]);
+    }
+
+    #[test]
+    fn dispatch_thresholds_on_events_not_width() {
+        // Identity crossbar: 1 event per due axon — even a full-width
+        // wavefront must not dispatch.
+        let identity = Crossbar::from_fn(|a, n| a == n);
+        let all: Vec<u16> = (0..CORE_AXONS as u16).collect();
+        assert!(!bitsliced_pays_off(&identity, &all));
+
+        // Empty crossbar (spikes landing on unconnected axons): never.
+        assert!(!bitsliced_pays_off(&Crossbar::new(), &all));
+
+        // Full crossbar: 256 events per row, but still below the due-axon
+        // floor at 3 rows; from the floor up it dispatches.
+        let full = Crossbar::from_fn(|_, _| true);
+        assert!(!bitsliced_pays_off(
+            &full,
+            &all[..SYNAPSE_KERNEL_MIN_DUE - 1]
+        ));
+        assert!(bitsliced_pays_off(&full, &all[..SYNAPSE_KERNEL_MIN_DUE]));
+
+        // Half-dense: 128 events per row crosses the 256-event line at
+        // exactly 2 rows, gated to the 4-row floor.
+        let half = Crossbar::from_fn(|_, n| n < 128);
+        assert!(bitsliced_pays_off(&half, &all[..4]));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Crossbar densities the issue calls out: empty, sparse, half, full.
+    fn arb_density() -> impl Strategy<Value = f64> {
+        (0usize..4).prop_map(|i| [0.0, 0.05, 0.5, 1.0][i])
+    }
+
+    proptest! {
+        /// The bit-sliced accumulator equals the scalar reference over
+        /// random crossbar densities × random due-axon sets × all four
+        /// axon types: same pending counts, same touched mask, same event
+        /// total.
+        #[test]
+        fn bitsliced_equals_scalar(
+            density in arb_density(),
+            xb_seed in proptest::num::u64::ANY,
+            due_set in proptest::collection::btree_set(0u16..256, 0..256),
+            type_seed in proptest::num::u64::ANY,
+        ) {
+            let mut prng = crate::CorePrng::from_seed(xb_seed);
+            let threshold = (density * 256.0) as u32;
+            let xb = Crossbar::from_fn(|_, _| prng.next_below(256) < threshold);
+            let mut tprng = crate::CorePrng::from_seed(type_seed);
+            let mut types = [0u8; CORE_AXONS];
+            for t in types.iter_mut() {
+                *t = tprng.next_below(AXON_TYPES as u32) as u8;
+            }
+            let due: Vec<u16> = due_set.into_iter().collect();
+
+            let mut pend_a = Box::new([[0u16; AXON_TYPES]; CORE_NEURONS]);
+            let mut pend_b = pend_a.clone();
+            let mut touch_a = EMPTY_MASK;
+            let mut touch_b = EMPTY_MASK;
+            let ev_a = synapse_scalar(&xb, &types, &due, &mut pend_a, &mut touch_a);
+            let ev_b = synapse_bitsliced(&xb, &types, &due, &mut pend_b, &mut touch_b);
+            prop_assert_eq!(ev_a, ev_b);
+            prop_assert_eq!(touch_a, touch_b);
+            prop_assert_eq!(pend_a, pend_b);
+        }
+
+        /// Accumulator counts match a naïve per-bit tally for arbitrary
+        /// row multisets.
+        #[test]
+        fn planes_match_naive_tally(
+            rows in proptest::collection::vec(
+                proptest::array::uniform4(proptest::num::u64::ANY), 0..40),
+        ) {
+            let mut acc = BitPlanes::new();
+            let mut naive = [0u16; CORE_NEURONS];
+            for row in &rows {
+                acc.add_row(row);
+                for n in 0..CORE_NEURONS {
+                    naive[n] += ((row[n / 64] >> (n % 64)) & 1) as u16;
+                }
+            }
+            let mut total = 0u64;
+            for (n, &expect) in naive.iter().enumerate() {
+                prop_assert_eq!(acc.count(n), expect, "neuron {}", n);
+                total += u64::from(expect);
+            }
+            prop_assert_eq!(acc.total(), total);
+            let touched = acc.touched();
+            for n in 0..CORE_NEURONS {
+                let bit = (touched[n / 64] >> (n % 64)) & 1 == 1;
+                prop_assert_eq!(bit, naive[n] > 0);
+            }
+        }
+    }
+}

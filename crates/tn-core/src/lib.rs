@@ -38,15 +38,17 @@ pub mod core;
 pub mod crossbar;
 pub mod delay;
 pub mod energy;
+pub mod kernel;
 pub mod neuron;
 pub mod prng;
 pub mod spike;
 
 pub use config::{CoreConfig, CoreConfigError};
-pub use core::NeurosynapticCore;
+pub use core::{KernelStats, NeurosynapticCore};
 pub use crossbar::Crossbar;
 pub use delay::DelayBuffer;
 pub use energy::{ActivityCounts, EnergyEstimate, EnergyModel};
+pub use kernel::{BitPlanes, NeuronMask, SYNAPSE_KERNEL_MIN_DUE, SYNAPSE_KERNEL_MIN_EVENTS};
 pub use neuron::{NeuronConfig, ResetMode};
 pub use prng::CorePrng;
 pub use spike::{Spike, SpikeTarget, SPIKE_WIRE_BYTES};
@@ -56,6 +58,11 @@ pub const CORE_AXONS: usize = 256;
 
 /// Neurons per core (paper §II: "256 dendrites feeding to 256 neurons").
 pub const CORE_NEURONS: usize = 256;
+
+/// `u64` words per crossbar row / per-core neuron bitmask: 256 neurons
+/// packed 64 to a word. This is the row geometry shared by the crossbar,
+/// the word-parallel kernels, and every neuron-set mask in the system.
+pub const ROW_WORDS: usize = CORE_NEURONS / 64;
 
 /// Distinct axon types; each neuron holds one signed weight per type.
 /// TrueNorth provides four (types G0–G3).

@@ -155,6 +155,19 @@ impl NeuronConfig {
         fired
     }
 
+    /// Whether a zero-input step of this neuron consumes the core PRNG:
+    /// only a stochastic leak with a nonzero leak draws at rest
+    /// (stochastic *weights* draw once per delivered spike, so never on a
+    /// zero-input tick). Such a neuron must run every tick even when the
+    /// masked Neuron sweep would otherwise skip it — skipping would desync
+    /// the core's PRNG stream from a run that executed every phase. This
+    /// is the per-neuron refinement of the core-level
+    /// [`crate::NeurosynapticCore::autonomous_dynamics`] flag.
+    #[inline]
+    pub fn draws_prng_at_rest(&self) -> bool {
+        self.stochastic_leak && self.leak != 0
+    }
+
     /// Sanity-checks parameter ranges; returns a human-readable complaint
     /// for the first violated constraint.
     pub fn validate(&self) -> Result<(), String> {

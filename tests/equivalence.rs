@@ -99,9 +99,9 @@ fn trace_invariant_under_engine_ablations() {
 #[test]
 fn full_matrix_is_byte_identical_to_reference() {
     // The whole configuration matrix — {Mpi, Pgas} × ranks 1..=4 ×
-    // threads 1..=4 × overlap on/off × aggregate on/off — against one
-    // single-rank single-thread reference, compared on the *wire bytes*
-    // of the canonically sorted trace.
+    // threads 1..=4 × overlap on/off × aggregate on/off × word kernels
+    // on/off — against one single-rank single-thread reference, compared
+    // on the *wire bytes* of the canonically sorted trace.
     let model = stochastic_model();
     let ticks = 20;
     let wire = |trace: Vec<Spike>| -> Vec<u8> { trace.iter().flat_map(|s| s.encode()).collect() };
@@ -116,22 +116,26 @@ fn full_matrix_is_byte_identical_to_reference() {
             for threads in 1..=4usize {
                 for overlap in [true, false] {
                     for aggregate in [true, false] {
-                        let t = wire(trace_of(
-                            &model,
-                            WorldConfig::new(ranks, threads),
-                            &EngineConfig {
-                                ticks,
-                                backend,
-                                overlap,
-                                aggregate,
-                                ..EngineConfig::default()
-                            },
-                        ));
-                        assert_eq!(
-                            t, reference,
-                            "trace bytes changed: {backend:?} ranks={ranks} \
-                             threads={threads} overlap={overlap} aggregate={aggregate}"
-                        );
+                        for kernels in [true, false] {
+                            let t = wire(trace_of(
+                                &model,
+                                WorldConfig::new(ranks, threads),
+                                &EngineConfig {
+                                    ticks,
+                                    backend,
+                                    overlap,
+                                    aggregate,
+                                    kernels,
+                                    ..EngineConfig::default()
+                                },
+                            ));
+                            assert_eq!(
+                                t, reference,
+                                "trace bytes changed: {backend:?} ranks={ranks} \
+                                 threads={threads} overlap={overlap} \
+                                 aggregate={aggregate} kernels={kernels}"
+                            );
+                        }
                     }
                 }
             }

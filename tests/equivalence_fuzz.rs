@@ -167,5 +167,22 @@ proptest! {
         .expect("valid")
         .sorted_trace();
         prop_assert_eq!(&full, &reference);
+        // And with the word-parallel kernels disabled: the scalar engine
+        // paths must match the (kernels-on) solo oracle bit for bit, so
+        // this is a full-stack kernel-vs-scalar A/B on random models.
+        let scalar = run(
+            &model,
+            WorldConfig::new(ranks, threads),
+            &EngineConfig {
+                ticks: 15,
+                backend: Backend::Mpi,
+                record_trace: true,
+                kernels: false,
+                ..EngineConfig::default()
+            },
+        )
+        .expect("valid")
+        .sorted_trace();
+        prop_assert_eq!(&scalar, &reference);
     }
 }

@@ -1,0 +1,151 @@
+//! The word-parallel core kernels must be pure optimization: bit-sliced
+//! Synapse accumulation and masked Neuron sweeps produce the same spikes,
+//! per-tick fire counts, activity counters, and (via the stochastic model)
+//! PRNG streams as the scalar reference paths — and the kernel counters
+//! must prove the fast paths actually engaged where they pay off.
+
+use compass::comm::WorldConfig;
+use compass::sim::{run, Backend, EngineConfig, NetworkModel, RunReport};
+
+/// 4 cores relaying a 48-spike wavefront: every active core sees 48 due
+/// axons per tick, but the identity crossbar carries only 1 synaptic
+/// event per axon — under the bit-sliced dispatch crossover, so the
+/// Synapse phase stays on the row walk while 208 of 256 neurons stay
+/// untouched and the masked Neuron sweep bites.
+fn sparse_model() -> NetworkModel {
+    NetworkModel::relay_ring(4, 48, 5)
+}
+
+/// 4 cores exchanging full-width bursts through 50 %-dense crossbars:
+/// 32 768 synaptic events per core-tick, the bit-sliced kernel's regime.
+fn dense_model() -> NetworkModel {
+    NetworkModel::dense_ring(4, 5)
+}
+
+fn run_with(
+    model: &NetworkModel,
+    world: WorldConfig,
+    kernels: bool,
+    quiescence: bool,
+) -> RunReport {
+    run(
+        model,
+        world,
+        &EngineConfig {
+            ticks: 60,
+            backend: Backend::Mpi,
+            record_trace: true,
+            tick_stats: true,
+            kernels,
+            quiescence,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("valid model")
+}
+
+#[test]
+fn kernels_are_observationally_invisible() {
+    for model in [sparse_model(), dense_model()] {
+        for world in [
+            WorldConfig::new(1, 1),
+            WorldConfig::new(2, 3),
+            WorldConfig::new(4, 2),
+        ] {
+            let on = run_with(&model, world, true, true);
+            let off = run_with(&model, world, false, true);
+            assert_eq!(
+                on.sorted_trace(),
+                off.sorted_trace(),
+                "trace differs under {world:?}"
+            );
+            assert_eq!(on.total_fires(), off.total_fires());
+            assert_eq!(on.activity(), off.activity());
+            for (rank, (a, b)) in on.ranks.iter().zip(off.ranks.iter()).enumerate() {
+                assert_eq!(
+                    a.fires_per_tick, b.fires_per_tick,
+                    "fires_per_tick differs on rank {rank} under {world:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn kernel_counters_prove_fast_paths_engaged() {
+    // Quiescence off so whole-phase skipping cannot shrink the scalar
+    // baseline — the counters then measure the kernels axis alone.
+
+    // Dense regime: the bit-sliced Synapse kernel dispatches on every
+    // burst tick; the crossbar touches every neuron, so the masked sweep
+    // has nothing extra to save.
+    let on = run_with(&dense_model(), WorldConfig::new(2, 2), true, false);
+    let off = run_with(&dense_model(), WorldConfig::new(2, 2), false, false);
+    assert!(
+        on.kernel_stats().kernel_synapse_ticks > 0,
+        "dense bursts must engage the bit-sliced kernel"
+    );
+    assert_eq!(
+        off.kernel_stats().kernel_synapse_ticks,
+        0,
+        "disabled runs must not dispatch the kernel"
+    );
+    assert_eq!(on.activity(), off.activity());
+
+    // Sparse regime: 1 event per due axon keeps Synapse on the row walk
+    // (dispatching would be a regression — see `bitsliced_pays_off`), and
+    // the scalar sweep's 256 neurons × 4 cores × 60 ticks collapse to the
+    // 48 touched per active core (plus the settling first tick).
+    let on = run_with(&sparse_model(), WorldConfig::new(2, 2), true, false);
+    let off = run_with(&sparse_model(), WorldConfig::new(2, 2), false, false);
+    assert_eq!(
+        on.kernel_stats().kernel_synapse_ticks,
+        0,
+        "sparse wavefronts must stay on the row walk"
+    );
+    let stepped_on = on.kernel_stats().neurons_stepped;
+    let stepped_off = off.kernel_stats().neurons_stepped;
+    assert_eq!(stepped_off, 4 * 60 * 256);
+    assert!(
+        stepped_on < stepped_off / 3,
+        "masked sweep saved too little: {stepped_on} vs {stepped_off}"
+    );
+
+    // Energy semantics are simulator-invariant: the hardware still updates
+    // every neuron every tick.
+    assert_eq!(on.activity().neuron_updates, 4 * 60 * 256);
+    assert_eq!(on.activity(), off.activity());
+}
+
+#[test]
+fn masked_sweeps_compound_with_autonomous_cores() {
+    // Whole-phase neuron skipping is off the table for autonomous cores
+    // (stochastic nonzero leak somewhere draws the PRNG every tick), but
+    // the per-neuron `always_step` mask confines the sweep to exactly the
+    // stochastic neurons once the rest settle — work PR 1's core-level
+    // dormancy could never skip.
+    let mut model = NetworkModel::relay_ring(4, 2, 7);
+    for cfg in &mut model.cores {
+        // One stochastic-leak neuron per core makes the whole core
+        // autonomous under the core-level flag.
+        cfg.neurons[200].stochastic_leak = true;
+        cfg.neurons[200].leak = 30;
+        cfg.neurons[200].threshold = 1000;
+        cfg.neurons[200].floor = -1000;
+    }
+    // Quiescence stays ON: the point is that whole-phase skipping cannot
+    // fire here, yet the per-neuron mask still collapses the sweep.
+    let on = run_with(&model, WorldConfig::new(2, 2), true, true);
+    let off = run_with(&model, WorldConfig::new(2, 2), false, true);
+    assert_eq!(on.total_neuron_skips(), 0, "autonomous cores never skip");
+    assert_eq!(off.total_neuron_skips(), 0, "autonomous cores never skip");
+    let stepped_on = on.kernel_stats().neurons_stepped;
+    let stepped_off = off.kernel_stats().neurons_stepped;
+    assert_eq!(stepped_off, 4 * 60 * 256);
+    assert!(
+        stepped_on < stepped_off / 10,
+        "always_step masking saved too little: {stepped_on} vs {stepped_off}"
+    );
+    assert_eq!(on.sorted_trace(), off.sorted_trace());
+    assert!(!on.sorted_trace().is_empty(), "model must be active");
+}
