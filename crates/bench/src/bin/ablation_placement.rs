@@ -38,7 +38,7 @@ fn main() {
                 let plan =
                     compass_pcc::plan_with_placement(&object, cores, ctx.world_size(), placement)
                         .expect("realizable");
-                let (configs, _) = compass_pcc::wire(ctx, &plan);
+                let (configs, _) = compass_pcc::wire(ctx, &plan).expect("realizable plan");
                 let engine = EngineConfig::new(ticks, Backend::Mpi);
                 run_rank(ctx, &plan.partition, configs, &[], &engine)
             });

@@ -9,15 +9,16 @@
 //!
 //! Run with `cargo run --release -p compass-bench --bin bench_json`.
 
-use compass_comm::WorldConfig;
-use compass_sim::{run, Backend, EngineConfig, NetworkModel};
+use compass_comm::{TransportMetrics, World, WorldConfig};
+use compass_sim::{run, run_rank_with, Backend, EngineConfig, NetworkModel, Partition, RunOptions};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tn_core::kernel::{self, EMPTY_MASK};
 use tn_core::prng::CorePrng;
 use tn_core::{
     CoreConfig, Crossbar, NeurosynapticCore, AXON_TYPES, CORE_AXONS, CORE_NEURONS,
-    SYNAPSE_KERNEL_MIN_DUE, SYNAPSE_KERNEL_MIN_EVENTS,
+    CORE_SNAPSHOT_BYTES, SYNAPSE_KERNEL_MIN_DUE, SYNAPSE_KERNEL_MIN_EVENTS,
 };
 
 /// Best-of-5 samples of `f`, each sample sized to ~20 ms, in ns per call.
@@ -195,7 +196,67 @@ fn main() {
         );
     }
     out.push_str(&rows.join(",\n"));
-    out.push_str("\n  ]\n}\n");
+    out.push_str("\n  ],\n");
+
+    // Checkpoint overhead: per-core snapshot/restore cost in isolation,
+    // plus a full engine run that takes a tick-boundary checkpoint
+    // mid-flight and reports what it charged to `RankReport`.
+    let mut core = NeurosynapticCore::new(CoreConfig::blank(0, 17)).expect("valid");
+    let snapshot_ns = measure_ns(|| {
+        std::hint::black_box(core.snapshot_bytes());
+    });
+    let blob = core.snapshot_bytes();
+    let restore_ns = measure_ns(|| {
+        core.restore_bytes(&blob).expect("own snapshot restores");
+    });
+    let ck_model = NetworkModel::stochastic_field(16, 40, 13);
+    let ticks = 64u32;
+    let engine = EngineConfig {
+        ticks,
+        backend: Backend::Mpi,
+        ..EngineConfig::default()
+    };
+    let partition = Partition::uniform(ck_model.total_cores(), 1);
+    let mut engine_ck_ns = f64::INFINITY;
+    let mut ck_bytes = 0u64;
+    for _ in 0..5 {
+        let outcomes = World::run_with_metrics(
+            WorldConfig::new(1, 1),
+            Arc::new(TransportMetrics::new()),
+            |ctx| {
+                run_rank_with(
+                    ctx,
+                    &partition,
+                    ck_model.cores.clone(),
+                    &ck_model.initial_deliveries,
+                    &engine,
+                    &RunOptions {
+                        checkpoint_at: Some(ticks / 2),
+                        ..RunOptions::default()
+                    },
+                )
+            },
+        );
+        ck_bytes = outcomes[0].report.checkpoint_bytes;
+        engine_ck_ns = engine_ck_ns.min(outcomes[0].report.checkpoint_time.as_nanos() as f64);
+    }
+    let per_core = engine_ck_ns / ck_model.total_cores() as f64;
+    let _ = writeln!(
+        out,
+        "  \"checkpoint\": {{\"core_snapshot_bytes\": {CORE_SNAPSHOT_BYTES}, \
+         \"snapshot_ns_per_core\": {snapshot_ns:.1}, \"restore_ns_per_core\": {restore_ns:.1}, \
+         \"engine_cores\": {}, \"engine_checkpoint_bytes\": {ck_bytes}, \
+         \"engine_checkpoint_ns\": {engine_ck_ns:.1}, \
+         \"engine_checkpoint_ns_per_core\": {per_core:.1}}}",
+        ck_model.total_cores()
+    );
+    println!(
+        "checkpoint {CORE_SNAPSHOT_BYTES}B/core snapshot={snapshot_ns:.1}ns \
+         restore={restore_ns:.1}ns engine[{} cores]={engine_ck_ns:.1}ns \
+         ({per_core:.1}ns/core, {ck_bytes}B)",
+        ck_model.total_cores()
+    );
+    out.push_str("}\n");
 
     std::fs::write("BENCH_kernels.json", &out).expect("write BENCH_kernels.json");
     println!("wrote BENCH_kernels.json");

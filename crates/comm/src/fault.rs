@@ -1,0 +1,279 @@
+//! Seeded fault injection for the application-level transports.
+//!
+//! Production-scale Compass runs (the paper's 16,384-rank Blue Gene/Q
+//! configuration) must survive lost, duplicated, and delayed messages; the
+//! checkpoint/restart subsystem in `compass-sim` exists exactly for that.
+//! [`FaultPlan`] + [`FaultInjector`] give tests a deterministic adversary:
+//! a seeded schedule of payload faults applied at the transport boundary —
+//! [`crate::MailboxSet::send`] for the MPI-style backend and
+//! [`crate::pgas::PgasEndpoint::put`] for the PGAS backend — so a harness
+//! can corrupt a run's spike traffic, kill it, and verify that
+//! restart-from-checkpoint reproduces the fault-free oracle trace exactly.
+//!
+//! Faults act on whole *payloads*, never on bytes inside one: a spike's
+//! wire encoding is never torn. And they respect each backend's protocol
+//! contract:
+//!
+//! * **MPI backend** — receivers learn their exact expected message count
+//!   from a `reduce_scatter` over send flags, so an envelope must still
+//!   arrive for every send. A *dropped* payload therefore becomes an empty
+//!   (or held-bytes-only) envelope rather than a missing one; collective
+//!   traffic ([`crate::MailboxSet`]'s internal sends) is never faulted —
+//!   faulting a collective does not model message loss, it models rank
+//!   failure, which the kill/restart harness covers separately.
+//! * **PGAS backend** — windows carry raw bytes with no count protocol, so
+//!   a drop is a true omission and a delay simply lands the bytes in a
+//!   later epoch of the same (src, dst) pair.
+//!
+//! Determinism: whether a given payload is faulted depends only on the
+//! plan's seed and the payload's per-(src, dst) sequence number, both of
+//! which are reproducible when each rank's sends are issued in a
+//! deterministic order (the Compass engine sends from its master thread in
+//! ascending destination order).
+
+use crate::sync::Mutex;
+use crate::Rank;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What a triggered fault does to the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The payload vanishes (the envelope / window write still happens,
+    /// empty, where the backend's protocol requires it).
+    Drop,
+    /// The payload is delivered twice back-to-back in one message. For
+    /// spike traffic this must be trace-invisible: delivery ORs into
+    /// delay-buffer slots, so duplicates merge.
+    Duplicate,
+    /// The payload is withheld and prepended to the *next* message on the
+    /// same (src, dst) pair — out-of-epoch arrival. A payload still held
+    /// when the run ends is effectively dropped.
+    Delay,
+}
+
+/// A seeded, rate-based schedule of message faults.
+///
+/// `rate_per_mille` of the eligible payloads (those with per-pair sequence
+/// number `>= after`) are faulted; which ones is a pure function of
+/// `(seed, src, dst, sequence)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for the fault-selection hash.
+    pub seed: u64,
+    /// What happens to a faulted payload.
+    pub kind: FaultKind,
+    /// Fault probability in 0..=1000 parts per thousand.
+    pub rate_per_mille: u32,
+    /// Per-(src, dst) sequence number before which no fault triggers —
+    /// lets a harness keep the pre-checkpoint prefix of a run clean.
+    pub after: u64,
+}
+
+impl FaultPlan {
+    /// A plan faulting `rate_per_mille`/1000 of all payloads from the
+    /// first message on.
+    pub fn new(seed: u64, kind: FaultKind, rate_per_mille: u32) -> Self {
+        assert!(rate_per_mille <= 1000, "rate is in parts per thousand");
+        Self {
+            seed,
+            kind,
+            rate_per_mille,
+            after: 0,
+        }
+    }
+
+    /// Arms the plan only from per-pair sequence number `n` onwards.
+    pub fn after(mut self, n: u64) -> Self {
+        self.after = n;
+        self
+    }
+}
+
+/// Shared runtime state applying a [`FaultPlan`] to a world's transports.
+///
+/// One instance serves every rank; per-(src, dst) sequence counters and
+/// held-payload slots make the schedule deterministic and the `Delay` kind
+/// stateful.
+pub struct FaultInjector {
+    plan: FaultPlan,
+    ranks: usize,
+    /// Per-(src, dst) payload sequence numbers: `seq[src * ranks + dst]`.
+    seq: Vec<AtomicU64>,
+    /// Payloads withheld by `Delay`, released ahead of the pair's next send.
+    held: Vec<Mutex<Vec<u8>>>,
+    injected: AtomicU64,
+}
+
+impl FaultInjector {
+    /// Creates the injector for a world of `ranks` ranks.
+    pub fn new(plan: FaultPlan, ranks: usize) -> Self {
+        Self {
+            plan,
+            ranks,
+            seq: (0..ranks * ranks).map(|_| AtomicU64::new(0)).collect(),
+            held: (0..ranks * ranks).map(|_| Mutex::new(Vec::new())).collect(),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// The plan being applied.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// How many faults have actually triggered so far — harnesses assert
+    /// this is nonzero to prove the adversary was exercised.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Applies the plan to one payload travelling `src → dst`, returning
+    /// the bytes that should actually be transmitted in its place (possibly
+    /// empty). Any payload previously withheld on this pair is released as
+    /// a prefix of the result.
+    pub fn transform(&self, src: Rank, dst: Rank, payload: Vec<u8>) -> Vec<u8> {
+        let pair = src * self.ranks + dst;
+        let seq = self.seq[pair].fetch_add(1, Ordering::Relaxed);
+        let mut out = std::mem::take(&mut *self.held[pair].lock());
+        let eligible = seq >= self.plan.after && self.plan.rate_per_mille > 0;
+        let hit = eligible
+            && fault_hash(self.plan.seed, src, dst, seq) % 1000
+                < u64::from(self.plan.rate_per_mille);
+        if !hit {
+            out.extend_from_slice(&payload);
+            return out;
+        }
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        match self.plan.kind {
+            FaultKind::Drop => {}
+            FaultKind::Duplicate => {
+                out.extend_from_slice(&payload);
+                out.extend_from_slice(&payload);
+            }
+            FaultKind::Delay => {
+                *self.held[pair].lock() = payload;
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("plan", &self.plan)
+            .field("ranks", &self.ranks)
+            .field("injected", &self.injected())
+            .finish()
+    }
+}
+
+/// SplitMix64-style avalanche over (seed, src, dst, seq) — the fault
+/// selection function. Stateless so the schedule is reproducible.
+fn fault_hash(seed: u64, src: Rank, dst: Rank, seq: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add((src as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add((dst as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(seq.wrapping_mul(0x94D0_49BB_1331_11EB));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_schedule(inj: &FaultInjector, sends: usize) -> Vec<Vec<u8>> {
+        (0..sends)
+            .map(|i| inj.transform(0, 1, vec![i as u8; 4]))
+            .collect()
+    }
+
+    #[test]
+    fn zero_rate_is_the_identity() {
+        let inj = FaultInjector::new(FaultPlan::new(1, FaultKind::Drop, 0), 2);
+        for i in 0..50u8 {
+            assert_eq!(inj.transform(0, 1, vec![i; 3]), vec![i; 3]);
+        }
+        assert_eq!(inj.injected(), 0);
+    }
+
+    #[test]
+    fn full_rate_drop_discards_every_payload() {
+        let inj = FaultInjector::new(FaultPlan::new(2, FaultKind::Drop, 1000), 2);
+        for out in run_schedule(&inj, 20) {
+            assert!(out.is_empty());
+        }
+        assert_eq!(inj.injected(), 20);
+    }
+
+    #[test]
+    fn duplicate_doubles_the_payload_in_place() {
+        let inj = FaultInjector::new(FaultPlan::new(3, FaultKind::Duplicate, 1000), 2);
+        let out = inj.transform(0, 1, vec![7, 8]);
+        assert_eq!(out, vec![7, 8, 7, 8]);
+    }
+
+    #[test]
+    fn delay_shifts_payloads_to_the_next_send() {
+        let inj = FaultInjector::new(FaultPlan::new(4, FaultKind::Delay, 1000), 2);
+        assert!(inj.transform(0, 1, vec![1]).is_empty(), "first send held");
+        // Second send is also faulted (rate 1000): releases [1], holds [2].
+        assert_eq!(inj.transform(0, 1, vec![2]), vec![1]);
+        assert_eq!(inj.transform(0, 1, vec![3]), vec![2]);
+    }
+
+    #[test]
+    fn after_threshold_keeps_the_prefix_clean() {
+        let inj = FaultInjector::new(FaultPlan::new(5, FaultKind::Drop, 1000).after(10), 2);
+        let outs = run_schedule(&inj, 20);
+        for (i, out) in outs.iter().enumerate() {
+            if i < 10 {
+                assert_eq!(out, &vec![i as u8; 4], "send {i} must pass clean");
+            } else {
+                assert!(out.is_empty(), "send {i} must be dropped");
+            }
+        }
+        assert_eq!(inj.injected(), 10);
+    }
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        let make = |seed| {
+            let inj = FaultInjector::new(FaultPlan::new(seed, FaultKind::Drop, 300), 3);
+            let mut pattern = Vec::new();
+            for src in 0..3 {
+                for dst in 0..3 {
+                    for i in 0..40u8 {
+                        pattern.push(inj.transform(src, dst, vec![i]).is_empty());
+                    }
+                }
+            }
+            (pattern, inj.injected())
+        };
+        let (a, hits_a) = make(42);
+        let (b, hits_b) = make(42);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_eq!(hits_a, hits_b);
+        assert!(hits_a > 0, "a 30% rate over 360 sends must trigger");
+        let (c, _) = make(43);
+        assert_ne!(a, c, "different seeds must differ somewhere");
+    }
+
+    #[test]
+    fn pairs_have_independent_sequence_counters() {
+        let inj = FaultInjector::new(FaultPlan::new(6, FaultKind::Drop, 1000).after(1), 2);
+        // First send on each pair is clean; the second is dropped.
+        assert_eq!(inj.transform(0, 1, vec![1]), vec![1]);
+        assert_eq!(inj.transform(1, 0, vec![2]), vec![2]);
+        assert!(inj.transform(0, 1, vec![3]).is_empty());
+        assert!(inj.transform(1, 0, vec![4]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "parts per thousand")]
+    fn rate_above_1000_rejected() {
+        FaultPlan::new(0, FaultKind::Drop, 1001);
+    }
+}

@@ -32,6 +32,7 @@
 
 pub mod barrier;
 pub mod collectives;
+pub mod fault;
 pub mod mailbox;
 pub mod metrics;
 pub mod pgas;
@@ -42,6 +43,7 @@ pub mod world;
 
 pub use barrier::{CentralizedBarrier, GlobalBarrier, SenseBarrier};
 pub use collectives::Communicator;
+pub use fault::{FaultInjector, FaultKind, FaultPlan};
 pub use mailbox::{Envelope, Mailbox, MailboxSet, RecvRequest, Tag};
 pub use metrics::{MetricsSnapshot, TransportMetrics};
 pub use pgas::PgasWorld;

@@ -10,6 +10,7 @@
 //! Matching is FIFO per (source, tag) pair — the MPI non-overtaking
 //! guarantee — because envelopes are scanned in arrival order.
 
+use crate::fault::FaultInjector;
 use crate::metrics::TransportMetrics;
 use crate::sync::{Condvar, Mutex};
 use crate::Rank;
@@ -212,15 +213,28 @@ impl Mailbox {
 pub struct MailboxSet {
     boxes: Arc<[Mailbox]>,
     metrics: Arc<TransportMetrics>,
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl MailboxSet {
     /// Creates mailboxes for `ranks` ranks reporting into `metrics`.
     pub fn new(ranks: usize, metrics: Arc<TransportMetrics>) -> Self {
+        Self::with_faults(ranks, metrics, None)
+    }
+
+    /// Like [`MailboxSet::new`] with an optional fault injector applied to
+    /// every application-level [`MailboxSet::send`]. Collective-internal
+    /// traffic is never faulted (see [`crate::fault`] for why).
+    pub fn with_faults(
+        ranks: usize,
+        metrics: Arc<TransportMetrics>,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> Self {
         let boxes: Vec<Mailbox> = (0..ranks).map(|_| Mailbox::new()).collect();
         Self {
             boxes: boxes.into(),
             metrics,
+            faults,
         }
     }
 
@@ -232,8 +246,15 @@ impl MailboxSet {
     /// Sends `payload` from `src` to `dst` under `tag` (counted in metrics).
     ///
     /// Like `MPI_Isend` with an eager protocol: completes locally
-    /// immediately; the payload is moved, not copied.
+    /// immediately; the payload is moved, not copied. Under fault
+    /// injection the payload may be emptied, doubled, or swapped for a
+    /// previously delayed one — but an envelope is always delivered, so
+    /// the receiver's expected-message-count protocol still holds.
     pub fn send(&self, src: Rank, dst: Rank, tag: Tag, payload: Vec<u8>) {
+        let payload = match &self.faults {
+            Some(f) => f.transform(src, dst, payload),
+            None => payload,
+        };
         self.metrics.record_p2p(payload.len());
         self.boxes[dst].push(Envelope { src, tag, payload });
     }

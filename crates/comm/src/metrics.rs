@@ -116,14 +116,12 @@ pub struct MetricsSnapshot {
 impl MetricsSnapshot {
     /// Counter-wise difference `self - earlier`, for per-interval stats.
     ///
-    /// # Panics
-    /// Panics in debug builds if any counter of `earlier` exceeds `self`'s
-    /// (i.e. the snapshots were taken out of order or across a reset).
+    /// Saturates at zero per counter: a later snapshot can legitimately
+    /// read *lower* than an earlier one when a [`TransportMetrics::reset`]
+    /// happened in between (benchmark harnesses reset between phases), and
+    /// a wrapping difference would turn that into near-`u64::MAX` garbage.
     pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
-        let sub = |a: u64, b: u64| {
-            debug_assert!(a >= b, "metrics snapshot taken out of order");
-            a.wrapping_sub(b)
-        };
+        let sub = |a: u64, b: u64| a.saturating_sub(b);
         MetricsSnapshot {
             p2p_messages: sub(self.p2p_messages, earlier.p2p_messages),
             p2p_bytes: sub(self.p2p_bytes, earlier.p2p_bytes),
@@ -178,6 +176,29 @@ mod tests {
         assert_eq!(d.p2p_bytes, 20);
         assert_eq!(d.puts, 1);
         assert_eq!(d.put_bytes, 5);
+    }
+
+    #[test]
+    fn since_across_a_reset_saturates_instead_of_wrapping() {
+        // Regression: a snapshot taken before reset() compared against one
+        // taken after used to wrap to near-u64::MAX in release builds
+        // (debug builds asserted instead). Both are wrong answers; the
+        // interval across a reset is simply "whatever happened since".
+        let m = TransportMetrics::new();
+        m.record_p2p(100);
+        m.record_put(64);
+        m.record_barrier();
+        let before = m.snapshot();
+        m.reset();
+        m.record_p2p(7);
+        let after = m.snapshot();
+        let d = after.since(&before);
+        assert_eq!(d.p2p_messages, 0, "1 -> 1 across the reset");
+        assert_eq!(d.p2p_bytes, 0, "100 -> 7 must clamp, not wrap");
+        assert_eq!(d.puts, 0);
+        assert_eq!(d.put_bytes, 0);
+        assert_eq!(d.barriers, 0);
+        assert!(d.total_bytes() < u64::MAX / 2, "no wrapped garbage");
     }
 
     #[test]

@@ -30,6 +30,7 @@
 //! edges therefore totally order every access to each window.
 
 use crate::barrier::{CentralizedBarrier, GlobalBarrier};
+use crate::fault::FaultInjector;
 use crate::metrics::TransportMetrics;
 use crate::Rank;
 use std::cell::UnsafeCell;
@@ -55,17 +56,29 @@ pub struct PgasWorld {
     windows: [Vec<Window>; 2],
     barrier: CentralizedBarrier,
     metrics: Arc<TransportMetrics>,
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl PgasWorld {
     /// Creates windows for `ranks` ranks reporting into `metrics`.
     pub fn new(ranks: usize, metrics: Arc<TransportMetrics>) -> Self {
+        Self::with_faults(ranks, metrics, None)
+    }
+
+    /// Like [`PgasWorld::new`] with an optional fault injector applied to
+    /// every [`PgasEndpoint::put`] (see [`crate::fault`]).
+    pub fn with_faults(
+        ranks: usize,
+        metrics: Arc<TransportMetrics>,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> Self {
         let make = || (0..ranks * ranks).map(|_| Window::default()).collect();
         Self {
             ranks,
             windows: [make(), make()],
             barrier: CentralizedBarrier::new(ranks),
             metrics,
+            faults,
         }
     }
 
@@ -132,6 +145,18 @@ impl PgasEndpoint {
             PHASE_WRITING,
             "put() after commit(); drain the epoch first"
         );
+        // Under fault injection the bytes may be emptied, doubled, or
+        // swapped for a delayed predecessor on this (src, dst) pair. An
+        // empty result still counts as a put but appends nothing — PGAS
+        // has no message-count protocol, so a drop is a true omission.
+        let faulted;
+        let bytes = match &self.world.faults {
+            Some(f) => {
+                faulted = f.transform(self.me, dst, bytes.to_vec());
+                faulted.as_slice()
+            }
+            None => bytes,
+        };
         let parity = (self.epoch.load(Ordering::Relaxed) & 1) as usize;
         let w = self.world.window(parity, self.me, dst);
         // SAFETY: module-level protocol — only `self.me` writes this window
@@ -330,6 +355,31 @@ mod tests {
         let ep = w.endpoint(0);
         ep.commit();
         ep.put(0, &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "commit() called twice in one epoch")]
+    fn double_commit_rejected() {
+        let w = world(1);
+        let ep = w.endpoint(0);
+        ep.commit();
+        // The phase check fires before the barrier, so a single-rank world
+        // reaches it without deadlocking.
+        ep.commit();
+    }
+
+    #[test]
+    #[should_panic(expected = "put() after commit()")]
+    fn put_after_commit_rejected_even_mid_epoch_cycle() {
+        // The protocol re-arms every epoch: a full put/commit/drain cycle
+        // followed by a commit must still reject a late put.
+        let w = world(1);
+        let ep = w.endpoint(0);
+        ep.put(0, &[1]);
+        ep.commit();
+        ep.drain(|_, _| {});
+        ep.commit();
+        ep.put(0, &[2]);
     }
 
     #[test]

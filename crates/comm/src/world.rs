@@ -8,6 +8,7 @@
 
 use crate::barrier::CentralizedBarrier;
 use crate::collectives::Communicator;
+use crate::fault::FaultInjector;
 use crate::mailbox::MailboxSet;
 use crate::metrics::TransportMetrics;
 use crate::pgas::{PgasEndpoint, PgasWorld};
@@ -135,9 +136,30 @@ impl World {
         T: Send,
         F: Fn(&RankCtx) -> T + Sync,
     {
+        Self::run_with_faults(config, metrics, None, f)
+    }
+
+    /// Like [`World::run_with_metrics`] with an optional [`FaultInjector`]
+    /// applied to every application-level mailbox send and PGAS put (never
+    /// to collective-internal traffic). The caller keeps its own clone of
+    /// the injector `Arc` to inspect [`FaultInjector::injected`] afterwards.
+    pub fn run_with_faults<T, F>(
+        config: WorldConfig,
+        metrics: Arc<TransportMetrics>,
+        faults: Option<Arc<FaultInjector>>,
+        f: F,
+    ) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&RankCtx) -> T + Sync,
+    {
         config.validate();
-        let mail = MailboxSet::new(config.ranks, Arc::clone(&metrics));
-        let pgas = Arc::new(PgasWorld::new(config.ranks, Arc::clone(&metrics)));
+        let mail = MailboxSet::with_faults(config.ranks, Arc::clone(&metrics), faults.clone());
+        let pgas = Arc::new(PgasWorld::with_faults(
+            config.ranks,
+            Arc::clone(&metrics),
+            faults,
+        ));
         // Not strictly needed for correctness, but lets ranks start their
         // timing loops together, which tightens benchmark variance.
         let start_line = Arc::new(CentralizedBarrier::new(config.ranks));

@@ -20,6 +20,50 @@ use compass_sim::NetworkModel;
 use std::time::{Duration, Instant};
 use tn_core::CoreConfig;
 
+/// Why a compile failed. Malformed-but-parseable descriptions come back as
+/// one of these — never as a panic — so callers (CLI, benches, fuzzers)
+/// can report and move on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// Planning rejected the description (sizing, balancing).
+    Plan(PlanError),
+    /// The wiring handshake ran out of axon capacity for a region — the
+    /// plan's margins promised more axons than the placed cores provide.
+    AxonPoolExhausted {
+        /// Region whose pool came up short.
+        region: usize,
+    },
+}
+
+impl From<PlanError> for CompileError {
+    fn from(e: PlanError) -> Self {
+        CompileError::Plan(e)
+    }
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Plan(e) => write!(f, "planning failed: {e}"),
+            CompileError::AxonPoolExhausted { region } => {
+                write!(
+                    f,
+                    "axon pool of region {region} exhausted: plan margins violated"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::Plan(e) => Some(e),
+            CompileError::AxonPoolExhausted { .. } => None,
+        }
+    }
+}
+
 /// Timing breakdown of one rank's compile.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CompileStats {
@@ -49,17 +93,20 @@ pub struct CompiledRank {
 /// inside a running world. Must be called collectively by every rank.
 ///
 /// # Errors
-/// Returns a [`PlanError`] if the description cannot be realized.
+/// Returns a [`CompileError`] if the description cannot be realized. Every
+/// rank of the world computes the same verdict (planning and the wiring
+/// capacity walk are replicated), so no rank is left waiting on a peer
+/// that errored out.
 pub fn compile(
     ctx: &RankCtx,
     object: &CoreObject,
     total_cores: u64,
-) -> Result<CompiledRank, PlanError> {
+) -> Result<CompiledRank, CompileError> {
     let t0 = Instant::now();
     let plan = plan(object, total_cores, ctx.world_size())?;
     let plan_time = t0.elapsed();
     let t1 = Instant::now();
-    let (configs, wiring) = wire(ctx, &plan);
+    let (configs, wiring) = wire(ctx, &plan)?;
     let wire_time = t1.elapsed();
     Ok(CompiledRank {
         stats: CompileStats {
@@ -78,11 +125,11 @@ pub fn compile(
 /// size 1 produces exactly this model.
 ///
 /// # Errors
-/// Returns a [`PlanError`] if the description cannot be realized.
+/// Returns a [`CompileError`] if the description cannot be realized.
 pub fn compile_serial(
     object: &CoreObject,
     total_cores: u64,
-) -> Result<(CompilePlan, NetworkModel), PlanError> {
+) -> Result<(CompilePlan, NetworkModel), CompileError> {
     let mut out = World::run(WorldConfig::flat(1), |ctx| {
         compile(ctx, object, total_cores).map(|c| (c.plan, c.configs))
     });
@@ -186,7 +233,66 @@ mod tests {
         });
         assert!(matches!(
             out.pop().unwrap(),
-            Err(PlanError::TooFewCores { .. })
+            Err(CompileError::Plan(PlanError::TooFewCores { .. }))
         ));
+    }
+
+    #[test]
+    fn compile_error_displays_and_chains() {
+        let e = CompileError::from(PlanError::NoRegions);
+        assert!(e.to_string().contains("planning failed"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = CompileError::AxonPoolExhausted { region: 3 };
+        assert!(e.to_string().contains("region 3"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::coreobject::{RegionClass, RegionSpec};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        /// Any parseable description — however degenerate (zero cores,
+        /// lopsided volumes, near-unity intra, wild weights) — must
+        /// compile to `Ok` or a structured `Err`, never abort the process.
+        #[test]
+        fn degenerate_descriptions_never_panic(
+            seed in 0u64..1000,
+            cores in 0u64..10,
+            volumes in proptest::collection::vec(0.01f64..8.0, 1..4),
+            intras in proptest::collection::vec(0.0f64..0.95, 4),
+            weights in proptest::collection::vec(0.001f64..50.0, 4),
+            density in 0.01f64..0.9,
+        ) {
+            let mut obj = CoreObject::new(seed);
+            obj.params.synapse_density = density;
+            let classes = [
+                RegionClass::Cortical,
+                RegionClass::Thalamic,
+                RegionClass::BasalGanglia,
+            ];
+            for (i, &v) in volumes.iter().enumerate() {
+                obj.add_region(RegionSpec {
+                    name: format!("R{i}"),
+                    class: classes[i % classes.len()],
+                    volume: v,
+                    intra: intras[i % intras.len()],
+                    drive_period: if i % 2 == 0 { 40 } else { 0 },
+                });
+            }
+            let n = volumes.len();
+            for (k, &w) in weights.iter().enumerate() {
+                obj.connect(k % n, (k / n + k) % n, w);
+            }
+            // A structured `Err` is the contract; an `Ok` must validate.
+            if let Ok((plan, model)) = compile_serial(&obj, cores) {
+                prop_assert_eq!(plan.total_cores(), cores);
+                prop_assert!(model.validate().is_ok());
+            }
+        }
     }
 }

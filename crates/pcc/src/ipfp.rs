@@ -127,6 +127,27 @@ pub fn margin_error(matrix: &[f64], row_targets: &[f64], col_targets: &[f64]) ->
     worst
 }
 
+/// Deals `units` leftover units out to `out` by descending fractional
+/// remainder — the largest-remainder step shared by [`integerize`] (per
+/// row) and [`crate::layout::apportion`] (per region). `rema` holds
+/// `(remainder, index into out)` pairs; ties break to the lowest index,
+/// and the deal cycles when `units` exceeds `rema.len()`.
+///
+/// Remainders are compared with [`f64::total_cmp`], never
+/// `partial_cmp().unwrap()`: a NaN remainder (conjured by an
+/// infinite/degenerate share upstream) sorts deterministically at the
+/// front instead of aborting the whole compile inside `sort_by`.
+pub(crate) fn assign_by_largest_remainder(rema: &mut [(f64, usize)], units: u64, out: &mut [u64]) {
+    if units == 0 || rema.is_empty() {
+        return;
+    }
+    rema.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+    let n = rema.len() as u64;
+    for k in 0..units {
+        out[rema[(k % n) as usize].1] += 1;
+    }
+}
+
 /// Rounds a balanced non-negative matrix to integer counts whose row and
 /// column sums equal the integer targets **exactly**.
 ///
@@ -173,17 +194,11 @@ pub fn integerize(matrix: &[f64], row_targets: &[u64], col_targets: &[u64]) -> V
                 rema.push((share - fl as f64, c));
             }
         }
-        let mut missing = target - floor_total;
-        // Distribute remaining units by descending remainder (ties by
-        // column index for determinism).
-        rema.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
-        let mut i = 0;
-        while missing > 0 {
-            let (_, c) = rema[i % rema.len()];
-            out[r * cols + c] += 1;
-            missing -= 1;
-            i += 1;
-        }
+        assign_by_largest_remainder(
+            &mut rema,
+            target - floor_total,
+            &mut out[r * cols..(r + 1) * cols],
+        );
     }
 
     // Repair column sums: move units from surplus columns to deficit
@@ -238,6 +253,37 @@ mod tests {
         (0..cols)
             .map(|c| (0..rows).map(|r| m[r * cols + c]).sum())
             .collect()
+    }
+
+    #[test]
+    fn largest_remainder_tolerates_nan_remainders() {
+        // Regression: `partial_cmp().unwrap()` aborted the whole compile
+        // when a degenerate share produced a NaN remainder. `total_cmp`
+        // must instead order it deterministically (NaN sorts first, so it
+        // soaks up leftover units) and never panic.
+        let mut out = vec![0u64; 3];
+        let mut rema = vec![(0.25, 0), (f64::NAN, 1), (0.75, 2)];
+        assign_by_largest_remainder(&mut rema, 2, &mut out);
+        assert_eq!(out, vec![0, 1, 1], "NaN first, then the 0.75 remainder");
+
+        // Determinism: the same NaN-laden input always deals identically.
+        let deal = |units| {
+            let mut out = vec![0u64; 4];
+            let mut rema = vec![(f64::NAN, 3), (0.5, 1), (f64::NAN, 0), (0.5, 2)];
+            assign_by_largest_remainder(&mut rema, units, &mut out);
+            out
+        };
+        assert_eq!(deal(3), deal(3));
+        assert_eq!(deal(6), vec![2, 1, 1, 2], "cycles over the sorted order");
+    }
+
+    #[test]
+    fn largest_remainder_handles_empty_and_zero_units() {
+        let mut out = vec![7u64; 2];
+        assign_by_largest_remainder(&mut [], 5, &mut out);
+        assert_eq!(out, vec![7, 7], "no entries: nothing to deal to");
+        assign_by_largest_remainder(&mut [(0.5, 0)], 0, &mut out);
+        assert_eq!(out, vec![7, 7], "zero units: untouched");
     }
 
     #[test]

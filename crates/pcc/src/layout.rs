@@ -372,14 +372,7 @@ pub fn apportion(weights: &[f64], total: u64) -> Vec<u64> {
         assigned += fl;
         rema.push((share - fl as f64, i));
     }
-    rema.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
-    let mut left = spare - assigned;
-    let mut i = 0;
-    while left > 0 {
-        out[rema[i % n].1] += 1;
-        left -= 1;
-        i += 1;
-    }
+    crate::ipfp::assign_by_largest_remainder(&mut rema, spare - assigned, &mut out);
     out
 }
 
@@ -411,12 +404,20 @@ impl ProportionalSchedule {
     /// issued/capacity ratio is lowest (ties to the lowest index).
     ///
     /// # Panics
-    /// Panics if all buckets are full.
+    /// Panics if all buckets are full. Callers that must survive
+    /// capacity-violating plans (the wiring handshake) use
+    /// [`ProportionalSchedule::try_assign_next`] instead.
     pub fn assign_next(&mut self) -> usize {
-        assert!(
-            self.total_issued < self.total_capacity,
-            "all buckets are full"
-        );
+        self.try_assign_next().expect("all buckets are full")
+    }
+
+    /// Non-panicking [`ProportionalSchedule::assign_next`]: `None` when
+    /// every bucket is full — the signal that the plan's capacity margins
+    /// were violated.
+    pub fn try_assign_next(&mut self) -> Option<usize> {
+        if self.total_issued >= self.total_capacity {
+            return None;
+        }
         let mut best = usize::MAX;
         let mut best_key = f64::INFINITY;
         for (i, (&iss, &cap)) in self.issued.iter().zip(&self.capacity).enumerate() {
@@ -431,7 +432,7 @@ impl ProportionalSchedule {
         }
         self.issued[best] += 1;
         self.total_issued += 1;
-        best
+        Some(best)
     }
 
     /// Items issued so far to bucket `i`.

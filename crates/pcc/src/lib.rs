@@ -35,7 +35,7 @@ pub mod layout;
 pub mod wiring;
 
 pub use analysis::{region_activity, RegionActivity};
-pub use compile::{compile, compile_serial, CompileStats, CompiledRank};
+pub use compile::{compile, compile_serial, CompileError, CompileStats, CompiledRank};
 pub use coreobject::{CoreObject, GlobalParams, ParseError, RegionClass, RegionSpec};
 pub use ipfp::{balance, integerize, BalanceResult};
 pub use layout::{

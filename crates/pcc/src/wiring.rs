@@ -28,6 +28,7 @@
 //!    per process pair; each source fills its neurons' targets in the same
 //!    order it emitted requests.
 
+use crate::compile::CompileError;
 use crate::layout::{CompilePlan, ProportionalSchedule};
 
 /// Amortized-O(1) round-robin allocator over equal-capacity cores.
@@ -42,21 +43,20 @@ impl RoundRobinPool {
         Self { cores, cursor: 0 }
     }
 
-    /// Returns the next core (by local index) with a free axon.
-    ///
-    /// # Panics
-    /// Panics if every core in the pool is full — impossible when the
-    /// plan's capacity margins hold.
-    fn next(&mut self, free_axon: &[u16]) -> usize {
-        assert!(!self.cores.is_empty(), "allocation against an empty pool");
+    /// Returns the next core (by local index) with a free axon, or `None`
+    /// when the pool is empty or every core in it is full — which means
+    /// the plan's capacity margins were violated (a malformed plan, not a
+    /// crash-worthy condition: [`wire`] turns it into a
+    /// [`CompileError::AxonPoolExhausted`]).
+    fn next(&mut self, free_axon: &[u16]) -> Option<usize> {
         for _ in 0..self.cores.len() {
             let idx = self.cores[self.cursor];
             self.cursor = (self.cursor + 1) % self.cores.len();
             if usize::from(free_axon[idx]) < tn_core::CORE_AXONS {
-                return idx;
+                return Some(idx);
             }
         }
-        panic!("axon pool exhausted: plan margins violated");
+        None
     }
 }
 use compass_comm::RankCtx;
@@ -82,10 +82,21 @@ pub struct WiringStats {
 ///
 /// Must be called collectively: every rank of the world, same plan.
 ///
+/// # Errors
+/// Returns [`CompileError::AxonPoolExhausted`] when a plan promises more
+/// connections into a region than its placed cores have axons. The check
+/// runs inside the *replicated* assignment walk — before any
+/// communication — so every rank reaches the same verdict and no rank is
+/// left blocked in the exchange.
+///
 /// # Panics
-/// Panics if the plan's invariants are violated (a compiler bug, not a
-/// runtime condition).
-pub fn wire(ctx: &RankCtx, plan: &CompilePlan) -> (Vec<CoreConfig>, WiringStats) {
+/// Panics on protocol-invariant violations (misaligned exchange payloads,
+/// world-size mismatch) — compiler bugs, not properties of the input
+/// description.
+pub fn wire(
+    ctx: &RankCtx,
+    plan: &CompilePlan,
+) -> Result<(Vec<CoreConfig>, WiringStats), CompileError> {
     let me = ctx.rank();
     let world = ctx.world_size();
     let partition = &plan.partition;
@@ -115,7 +126,13 @@ pub fn wire(ctx: &RankCtx, plan: &CompilePlan) -> (Vec<CoreConfig>, WiringStats)
         let local = my_block.contains(&core);
         for j in 0..CORE_NEURONS {
             let s = target_vectors[r][base + j] as usize;
-            let dst_rank = rank_schedules[s].assign_next();
+            // Every rank runs this same walk over the same plan, so a
+            // capacity violation errors symmetrically on all of them —
+            // before the first exchange, where an asymmetric early return
+            // would deadlock the world.
+            let Some(dst_rank) = rank_schedules[s].try_assign_next() else {
+                return Err(CompileError::AxonPoolExhausted { region: s });
+            };
             if local {
                 my_targets.push((s as u16, dst_rank as u16));
             }
@@ -164,7 +181,12 @@ pub fn wire(ctx: &RankCtx, plan: &CompilePlan) -> (Vec<CoreConfig>, WiringStats)
         for chunk in reqs.chunks_exact(2) {
             let s = u16::from_le_bytes([chunk[0], chunk[1]]) as usize;
             assert!(s < regions, "request for unknown region {s}");
-            let core_idx = region_pools[s].next(&free_axon);
+            // Unreachable when the replicated walk above passed (each rank
+            // is asked at most its scheduled capacity), but kept total so
+            // a capacity bug surfaces as an error, not an abort.
+            let Some(core_idx) = region_pools[s].next(&free_axon) else {
+                return Err(CompileError::AxonPoolExhausted { region: s });
+            };
             let core = my_cores[core_idx];
             let axon = free_axon[core_idx];
             assert!(
@@ -204,7 +226,7 @@ pub fn wire(ctx: &RankCtx, plan: &CompilePlan) -> (Vec<CoreConfig>, WiringStats)
         assert_eq!(cur, granted[dst].len(), "unconsumed grants from rank {dst}");
     }
 
-    (configs, stats)
+    Ok((configs, stats))
 }
 
 #[cfg(test)]
@@ -241,7 +263,7 @@ mod tests {
         let obj = test_object();
         World::run(WorldConfig::flat(ranks), move |ctx| {
             let p = plan(&obj, cores, ctx.world_size()).unwrap();
-            wire(ctx, &p)
+            wire(ctx, &p).unwrap()
         })
     }
 

@@ -1,0 +1,258 @@
+//! Rank-level checkpoints: every local core's snapshot, taken at a tick
+//! boundary.
+//!
+//! # The tick-boundary invariant
+//!
+//! A checkpoint is taken at the *top* of tick `T` — after tick `T-1`'s
+//! Network phase has completed on every rank and before tick `T`'s
+//! external inputs are injected. At that point the communication system is
+//! empty by construction:
+//!
+//! * **MPI backend** — every tick-`T-1` message was received (the
+//!   Reduce-scatter told each rank exactly how many to expect) and no
+//!   tick-`T` message exists yet;
+//! * **PGAS backend** — the tick-`T-1` epoch was committed and drained, so
+//!   both window parities headed into tick `T` are empty;
+//! * **cross-thread inboxes** — deliveries routed during tick `T-1` are
+//!   drained into the delay buffers as part of taking the checkpoint (the
+//!   same drain the next Synapse phase would have performed; delivery ORs
+//!   into delay slots, so doing it early is invisible).
+//!
+//! All in-flight information therefore lives in the per-core delay
+//! buffers, which the core snapshots capture — a [`RankCheckpoint`] plus
+//! the immutable model is the *complete* state of the simulation, and a
+//! resumed run replays ticks `T..` bit-identically (spike trace, activity
+//! counters, and PRNG streams) to one that never stopped.
+//!
+//! The serialized format is versioned: a `b"CKPT"` header followed by the
+//! per-core [`tn_core::snapshot`] blobs (fixed size per version), so a
+//! checkpoint written by one build is rejected — never misread — by an
+//! incompatible one.
+
+use tn_core::CORE_SNAPSHOT_BYTES;
+
+/// Leading magic of a serialized rank checkpoint.
+pub const CHECKPOINT_MAGIC: [u8; 4] = *b"CKPT";
+
+/// Current rank-checkpoint format version.
+pub const CHECKPOINT_VERSION: u16 = 1;
+
+const HEADER_BYTES: usize = 20;
+
+/// Why a serialized checkpoint was rejected by
+/// [`RankCheckpoint::from_bytes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The blob does not start with [`CHECKPOINT_MAGIC`].
+    BadMagic,
+    /// The format version is not one this build can decode.
+    UnsupportedVersion(u16),
+    /// The blob's length does not match its own header.
+    Truncated {
+        /// Length the header implies.
+        expected: usize,
+        /// Length received.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::BadMagic => {
+                write!(f, "checkpoint does not start with the CKPT magic")
+            }
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported checkpoint version {v} (this build reads {CHECKPOINT_VERSION})"
+                )
+            }
+            CheckpointError::Truncated { expected, got } => {
+                write!(f, "checkpoint is {got} bytes, header implies {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// One rank's complete simulation state at a tick boundary: the snapshot
+/// of every core it hosts, plus where to resume.
+///
+/// Produced by [`crate::run_rank_with`] when
+/// [`crate::RunOptions::checkpoint_at`] is set; consumed via
+/// [`crate::RunOptions::resume`]. Serialize with
+/// [`RankCheckpoint::to_bytes`] for on-disk persistence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankCheckpoint {
+    pub(crate) rank: u32,
+    pub(crate) start_tick: u32,
+    /// Per-core snapshot blobs in local (block) order.
+    pub(crate) cores: Vec<Vec<u8>>,
+}
+
+impl RankCheckpoint {
+    /// The rank this checkpoint was taken on (a resume must hand it back
+    /// to the same rank of an identically partitioned world).
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// The tick the checkpointed run had fully simulated up to (exclusive)
+    /// — a resumed run continues at exactly this tick.
+    pub fn start_tick(&self) -> u32 {
+        self.start_tick
+    }
+
+    /// Number of core snapshots held.
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Total payload size: what a checkpoint of this rank costs on disk.
+    pub fn total_bytes(&self) -> u64 {
+        HEADER_BYTES as u64 + self.cores.iter().map(|c| c.len() as u64).sum::<u64>()
+    }
+
+    /// Serializes to the versioned on-disk format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.total_bytes() as usize);
+        out.extend_from_slice(&CHECKPOINT_MAGIC);
+        out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes()); // reserved
+        out.extend_from_slice(&self.rank.to_le_bytes());
+        out.extend_from_slice(&self.start_tick.to_le_bytes());
+        out.extend_from_slice(&(self.cores.len() as u32).to_le_bytes());
+        for core in &self.cores {
+            debug_assert_eq!(core.len(), CORE_SNAPSHOT_BYTES);
+            out.extend_from_slice(core);
+        }
+        out
+    }
+
+    /// Decodes the versioned on-disk format, validating magic, version,
+    /// and length before touching any payload — never panics on malformed
+    /// input. Per-core payloads are validated later, by
+    /// [`tn_core::NeurosynapticCore::restore_bytes`] at resume time.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        if bytes.len() >= 4 && bytes[..4] != CHECKPOINT_MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        if bytes.len() < HEADER_BYTES {
+            return Err(CheckpointError::Truncated {
+                expected: HEADER_BYTES,
+                got: bytes.len(),
+            });
+        }
+        let word16 = |off: usize| u16::from_le_bytes(bytes[off..off + 2].try_into().expect("len"));
+        let word32 = |off: usize| u32::from_le_bytes(bytes[off..off + 4].try_into().expect("len"));
+        let version = word16(4);
+        if version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        let rank = word32(8);
+        let start_tick = word32(12);
+        let n_cores = word32(16) as usize;
+        let expected = HEADER_BYTES + n_cores * CORE_SNAPSHOT_BYTES;
+        if bytes.len() != expected {
+            return Err(CheckpointError::Truncated {
+                expected,
+                got: bytes.len(),
+            });
+        }
+        let cores = (0..n_cores)
+            .map(|i| {
+                let start = HEADER_BYTES + i * CORE_SNAPSHOT_BYTES;
+                bytes[start..start + CORE_SNAPSHOT_BYTES].to_vec()
+            })
+            .collect();
+        Ok(Self {
+            rank,
+            start_tick,
+            cores,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RankCheckpoint {
+        RankCheckpoint {
+            rank: 3,
+            start_tick: 17,
+            cores: vec![
+                vec![1u8; CORE_SNAPSHOT_BYTES],
+                vec![2u8; CORE_SNAPSHOT_BYTES],
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_bytes() {
+        let ck = sample();
+        let bytes = ck.to_bytes();
+        assert_eq!(bytes.len() as u64, ck.total_bytes());
+        let back = RankCheckpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(back, ck);
+        assert_eq!(back.rank(), 3);
+        assert_eq!(back.start_tick(), 17);
+        assert_eq!(back.core_count(), 2);
+    }
+
+    #[test]
+    fn empty_rank_roundtrips() {
+        let ck = RankCheckpoint {
+            rank: 0,
+            start_tick: 5,
+            cores: Vec::new(),
+        };
+        let back = RankCheckpoint::from_bytes(&ck.to_bytes()).unwrap();
+        assert_eq!(back, ck);
+    }
+
+    #[test]
+    fn malformed_blobs_are_rejected_not_panicked_on() {
+        let good = sample().to_bytes();
+
+        let mut bad = good.clone();
+        bad[0] = b'Z';
+        assert_eq!(
+            RankCheckpoint::from_bytes(&bad),
+            Err(CheckpointError::BadMagic)
+        );
+
+        let mut bad = good.clone();
+        bad[4] = 42;
+        assert_eq!(
+            RankCheckpoint::from_bytes(&bad),
+            Err(CheckpointError::UnsupportedVersion(42))
+        );
+
+        assert_eq!(
+            RankCheckpoint::from_bytes(&good[..good.len() - 1]),
+            Err(CheckpointError::Truncated {
+                expected: good.len(),
+                got: good.len() - 1
+            })
+        );
+        assert_eq!(
+            RankCheckpoint::from_bytes(b"CKPT"),
+            Err(CheckpointError::Truncated {
+                expected: HEADER_BYTES,
+                got: 4
+            })
+        );
+        assert!(RankCheckpoint::from_bytes(&[]).is_err());
+
+        // A count that disagrees with the actual payload length.
+        let mut bad = good.clone();
+        bad[16] = 9;
+        assert!(matches!(
+            RankCheckpoint::from_bytes(&bad),
+            Err(CheckpointError::Truncated { .. })
+        ));
+    }
+}

@@ -56,6 +56,7 @@
 //! [`EngineConfig::overlap`] (off = Reduce-scatter and local delivery run
 //! sequentially).
 
+use crate::checkpoint::RankCheckpoint;
 use crate::partition::Partition;
 use crate::stats::{PhaseTimes, RankReport};
 use compass_comm::mailbox::Match;
@@ -141,6 +142,49 @@ impl EngineConfig {
             ..Self::default()
         }
     }
+}
+
+/// Checkpoint/restart controls for one [`run_rank_with`] call.
+///
+/// Both checkpointing and killing happen at the *top* of a tick — after
+/// the previous tick's Network phase fully drained, before the tick's
+/// external inputs are injected — which is the point where all in-flight
+/// simulation state lives in the per-core delay buffers (see
+/// [`crate::checkpoint`] for why). Every rank of a world must be given the
+/// same `checkpoint_at`/`kill_at` ticks: killing is a clean collective
+/// break, not a mid-collective abort, so no rank is left blocked in a
+/// Reduce-scatter or barrier.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Snapshot all local cores at the top of this tick and return the
+    /// [`RankCheckpoint`] in the [`RunOutcome`]. The run then continues
+    /// normally (checkpointing is not a stop).
+    pub checkpoint_at: Option<u32>,
+    /// Stop simulating at the top of this tick, as if the job died there.
+    /// The report covers only the ticks actually executed.
+    pub kill_at: Option<u32>,
+    /// Resume from a checkpoint previously taken on this same rank of an
+    /// identically partitioned world: core state is restored and the tick
+    /// loop starts at [`RankCheckpoint::start_tick`].
+    ///
+    /// Core-derived statistics (`fires`, `activity`, `spikes_in_flight`,
+    /// `fires_per_core`) are *lifetime* values carried through the
+    /// checkpoint; engine-side counters (`spikes_local`/`spikes_remote`,
+    /// `messages_sent`, `bytes_to`, phase times, skip counts) cover only
+    /// the resumed segment.
+    pub resume: Option<RankCheckpoint>,
+}
+
+/// What [`run_rank_with`] hands back: the rank report, plus the checkpoint
+/// if one was requested and the run survived to its tick.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Per-rank statistics (and trace, if recording) for the executed
+    /// ticks.
+    pub report: RankReport,
+    /// The checkpoint taken at [`RunOptions::checkpoint_at`], if reached
+    /// before [`RunOptions::kill_at`].
+    pub checkpoint: Option<RankCheckpoint>,
 }
 
 /// Spike-message tag for tick `t` (application tag space; the collective
@@ -346,6 +390,39 @@ pub fn run_rank(
     initial_deliveries: &[(u64, u16, u32)],
     cfg: &EngineConfig,
 ) -> RankReport {
+    run_rank_with(
+        ctx,
+        partition,
+        configs,
+        initial_deliveries,
+        cfg,
+        &RunOptions::default(),
+    )
+    .report
+}
+
+/// [`run_rank`] with checkpoint/restart controls: optionally snapshot all
+/// local cores at a tick boundary, stop early as if the job died, and/or
+/// resume from a previously taken [`RankCheckpoint`].
+///
+/// A resumed run's spike trace, activity counters, and PRNG streams are
+/// bit-identical to the corresponding suffix of an uninterrupted run —
+/// the property the checkpoint/restart tests prove against the solo
+/// oracle.
+///
+/// # Panics
+/// In addition to [`run_rank`]'s configuration panics, panics when
+/// [`RunOptions::resume`] carries a checkpoint for a different rank, a
+/// different core count, or corrupt core blobs — resuming against the
+/// wrong model is a harness bug, not a runtime condition.
+pub fn run_rank_with(
+    ctx: &RankCtx,
+    partition: &Partition,
+    configs: Vec<CoreConfig>,
+    initial_deliveries: &[(u64, u16, u32)],
+    cfg: &EngineConfig,
+    opts: &RunOptions,
+) -> RunOutcome {
     let me = ctx.rank();
     let world = ctx.world_size();
     let block = partition.block(me);
@@ -375,6 +452,31 @@ pub fn run_rank(
         .collect();
     let n_local = slots.len();
 
+    // Resume: overwrite the freshly built cores with their checkpointed
+    // state. The model (crossbars, parameters) comes from `configs` as
+    // always; only dynamic state travels in the checkpoint.
+    let start_tick = match &opts.resume {
+        Some(ck) => {
+            assert_eq!(
+                ck.rank() as usize,
+                me,
+                "checkpoint was taken on a different rank"
+            );
+            assert_eq!(
+                ck.core_count(),
+                n_local,
+                "checkpoint core count does not match this rank's block"
+            );
+            for (slot, blob) in slots.iter_mut().zip(&ck.cores) {
+                slot.core
+                    .restore_bytes(blob)
+                    .expect("checkpoint rejected by core restore");
+            }
+            ck.start_tick()
+        }
+        None => 0,
+    };
+
     // External input ("sensory") deliveries addressed to this rank, sorted
     // by tick and injected just in time — a delay-buffer slot only becomes
     // safe to write within MAX_DELAY ticks of its delivery, so inputs are
@@ -389,6 +491,11 @@ pub fn run_rank(
         .collect();
     inputs.sort_unstable();
     let mut input_cursor = 0usize;
+    // Inputs due before the resume point were already injected (and
+    // consumed) by the checkpointed run.
+    while input_cursor < inputs.len() && inputs[input_cursor].0 < start_tick {
+        input_cursor += 1;
+    }
 
     let team = ctx.team();
     let threads = team.size();
@@ -440,8 +547,45 @@ pub fn run_rank(
     let mut agg: Vec<Vec<u8>> = (0..world).map(|_| Vec::new()).collect();
     let mut local_all: Vec<Spike> = Vec::new();
     let mut send_flags: Vec<u64> = vec![0; world];
+    let mut checkpoint: Option<RankCheckpoint> = None;
 
-    for t in 0..cfg.ticks {
+    for t in start_tick..cfg.ticks {
+        // Checkpoint/kill at the tick boundary, before this tick's inputs.
+        // Tick t-1's Network phase fully drained on every rank, so the
+        // only simulation state outside the cores is what the previous
+        // tick routed into the cross-thread inboxes — land it first (the
+        // same drain the next Synapse phase would have performed; delivery
+        // ORs into delay bits, so doing it early is invisible), and the
+        // core snapshots are then the complete state.
+        if opts.checkpoint_at == Some(t) {
+            let ck_start = Instant::now();
+            // SAFETY: master between regions; no shard slice is live.
+            let all = unsafe { shards.all() };
+            for dest in 0..threads {
+                unsafe {
+                    inboxes.drain_for(dest, |d| {
+                        all[d.local_idx as usize]
+                            .core
+                            .deliver(d.axon, d.delivery_tick);
+                    });
+                }
+            }
+            let ck = RankCheckpoint {
+                rank: me as u32,
+                start_tick: t,
+                cores: all.iter().map(|s| s.core.snapshot_bytes()).collect(),
+            };
+            report.checkpoint_bytes = ck.total_bytes();
+            report.checkpoint_time = ck_start.elapsed();
+            checkpoint = Some(ck);
+        }
+        // A clean collective break on every rank at the same boundary: no
+        // rank dies holding a collective, so the world winds down instead
+        // of deadlocking.
+        if opts.kill_at == Some(t) {
+            break;
+        }
+
         // Inject external inputs due this tick (before their slot is read).
         // SAFETY: master between regions; no shard slice is live.
         let all = unsafe { shards.all() };
@@ -740,7 +884,7 @@ pub fn run_rank(
         report.activity.add(&slot.core.activity());
         report.kernel.add(&slot.core.kernel_stats());
     }
-    report
+    RunOutcome { report, checkpoint }
 }
 
 #[cfg(test)]
@@ -1196,5 +1340,193 @@ mod tests {
         assert_eq!(reports[3].cores, 0);
         let fires: u64 = reports.iter().map(|r| r.fires).sum();
         assert_eq!(fires, 2 * 14);
+    }
+
+    /// Like `run_model` but through [`run_rank_with`], with per-rank
+    /// options (a resume must hand each rank its own checkpoint).
+    fn run_model_with(
+        model: &NetworkModel,
+        world: WorldConfig,
+        engine: EngineConfig,
+        opts_for: impl Fn(usize) -> RunOptions + Sync,
+    ) -> Vec<RunOutcome> {
+        model.validate().expect("test model must be valid");
+        let partition = Partition::uniform(model.total_cores(), world.ranks);
+        World::run(world, |ctx| {
+            let block = partition.block(ctx.rank());
+            let configs: Vec<CoreConfig> =
+                model.cores[block.start as usize..block.end as usize].to_vec();
+            run_rank_with(
+                ctx,
+                &partition,
+                configs,
+                &model.initial_deliveries,
+                &engine,
+                &opts_for(ctx.rank()),
+            )
+        })
+    }
+
+    fn sorted_trace(reports: &[RankReport]) -> Vec<Spike> {
+        let mut t: Vec<Spike> = reports.iter().flat_map(|r| r.trace.clone()).collect();
+        t.sort_by_key(|s| (s.fired_at, s.target.core, s.target.axon));
+        t
+    }
+
+    #[test]
+    fn checkpoint_kill_resume_is_bit_identical_to_uninterrupted() {
+        // The tentpole property, engine-level: checkpoint at T, die at K,
+        // resume from the checkpoint — the prefix (< T) plus the resumed
+        // run must equal an uninterrupted run spike for spike, with
+        // lifetime counters carried through the checkpoint. Stochastic
+        // leak keeps every core's PRNG advancing each tick, so any restore
+        // slip would desynchronize the streams immediately.
+        let model = NetworkModel::stochastic_field(4, 40, 11);
+        let engine_for = |backend| EngineConfig {
+            ticks: 50,
+            backend,
+            record_trace: true,
+            ..Default::default()
+        };
+        let (ck_tick, kill_tick) = (20u32, 35u32);
+        for (world, backend) in [
+            (WorldConfig::flat(1), Backend::Mpi),
+            (WorldConfig::flat(2), Backend::Mpi),
+            (WorldConfig::new(2, 2), Backend::Pgas),
+        ] {
+            let engine = engine_for(backend);
+            let oracle = run_model(&model, world, engine);
+            let oracle_trace = sorted_trace(&oracle);
+            assert!(!oracle_trace.is_empty());
+
+            let victims = run_model_with(&model, world, engine, |_| RunOptions {
+                checkpoint_at: Some(ck_tick),
+                kill_at: Some(kill_tick),
+                resume: None,
+            });
+            for (rank, v) in victims.iter().enumerate() {
+                let ck = v.checkpoint.as_ref().expect("checkpoint taken");
+                assert_eq!(ck.rank() as usize, rank);
+                assert_eq!(ck.start_tick(), ck_tick);
+                assert_eq!(v.report.checkpoint_bytes, ck.total_bytes());
+                assert!(
+                    v.report.trace.iter().all(|s| s.fired_at < kill_tick),
+                    "killed run must stop at the kill tick"
+                );
+            }
+
+            let resumed = run_model_with(&model, world, engine, |rank| RunOptions {
+                resume: Some(victims[rank].checkpoint.clone().unwrap()),
+                ..RunOptions::default()
+            });
+
+            // Spikes fired in [ck_tick, kill_tick) are replayed by the
+            // resumed run; the surviving record is prefix + resumed.
+            let mut stitched: Vec<Spike> = victims
+                .iter()
+                .flat_map(|v| v.report.trace.iter().copied())
+                .filter(|s| s.fired_at < ck_tick)
+                .collect();
+            stitched.extend(resumed.iter().flat_map(|r| r.report.trace.iter().copied()));
+            stitched.sort_by_key(|s| (s.fired_at, s.target.core, s.target.axon));
+            assert_eq!(
+                stitched, oracle_trace,
+                "world {world:?} backend {backend:?}"
+            );
+
+            // Lifetime counters ride the checkpoint: the resumed run's
+            // final numbers equal the uninterrupted run's.
+            let fires = |rs: &[RankReport]| rs.iter().map(|r| r.fires).sum::<u64>();
+            let resumed_reports: Vec<RankReport> =
+                resumed.iter().map(|o| o.report.clone()).collect();
+            assert_eq!(fires(&resumed_reports), fires(&oracle));
+            let in_flight = |rs: &[RankReport]| rs.iter().map(|r| r.spikes_in_flight).sum::<u64>();
+            assert_eq!(in_flight(&resumed_reports), in_flight(&oracle));
+            let events =
+                |rs: &[RankReport]| rs.iter().map(|r| r.activity.synaptic_events).sum::<u64>();
+            assert_eq!(events(&resumed_reports), events(&oracle));
+        }
+    }
+
+    #[test]
+    fn resume_injects_only_inputs_at_or_after_the_resume_tick() {
+        // External deliveries before the checkpoint were consumed by the
+        // first run; ones after it must still arrive on time.
+        let mut model = NetworkModel::relay_ring(2, 1, 0);
+        model.initial_deliveries = vec![(0, 0, 1), (0, 1, 60), (1, 2, 90)];
+        let engine = EngineConfig {
+            ticks: 100,
+            record_trace: true,
+            ..Default::default()
+        };
+        let oracle = run_model(&model, WorldConfig::flat(2), engine);
+
+        let victims = run_model_with(&model, WorldConfig::flat(2), engine, |_| RunOptions {
+            checkpoint_at: Some(30),
+            kill_at: Some(45),
+            resume: None,
+        });
+        let resumed = run_model_with(&model, WorldConfig::flat(2), engine, |rank| RunOptions {
+            resume: Some(victims[rank].checkpoint.clone().unwrap()),
+            ..RunOptions::default()
+        });
+        let resumed_reports: Vec<RankReport> = resumed.iter().map(|o| o.report.clone()).collect();
+
+        let mut stitched: Vec<Spike> = victims
+            .iter()
+            .flat_map(|v| v.report.trace.iter().copied())
+            .filter(|s| s.fired_at < 30)
+            .collect();
+        stitched.extend(resumed_reports.iter().flat_map(|r| r.trace.iter().copied()));
+        stitched.sort_by_key(|s| (s.fired_at, s.target.core, s.target.axon));
+        assert_eq!(stitched, sorted_trace(&oracle));
+        assert_eq!(
+            resumed_reports.iter().map(|r| r.fires).sum::<u64>(),
+            99 + 40 + 10,
+            "tick-60 and tick-90 streams must still start on time"
+        );
+    }
+
+    #[test]
+    fn checkpoint_without_kill_leaves_the_run_unperturbed() {
+        // Taking a checkpoint is observation, not interference: the
+        // checkpointed run's own trace must equal the clean run's.
+        let model = NetworkModel::stochastic_field(2, 40, 7);
+        let engine = EngineConfig {
+            ticks: 40,
+            record_trace: true,
+            ..Default::default()
+        };
+        let clean = run_model(&model, WorldConfig::new(1, 2), engine);
+        let observed = run_model_with(&model, WorldConfig::new(1, 2), engine, |_| RunOptions {
+            checkpoint_at: Some(17),
+            ..RunOptions::default()
+        });
+        let observed_reports: Vec<RankReport> = observed.iter().map(|o| o.report.clone()).collect();
+        assert_eq!(sorted_trace(&observed_reports), sorted_trace(&clean));
+        assert!(observed[0].checkpoint.is_some());
+        assert!(observed[0].report.checkpoint_bytes > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank panicked")]
+    fn resuming_with_another_ranks_checkpoint_is_rejected() {
+        // The inner message ("checkpoint was taken on a different rank")
+        // is wrapped by World::run's join.
+        let model = NetworkModel::relay_ring(2, 1, 0);
+        let engine = EngineConfig {
+            ticks: 20,
+            ..Default::default()
+        };
+        let victims = run_model_with(&model, WorldConfig::flat(1), engine, |_| RunOptions {
+            checkpoint_at: Some(5),
+            ..RunOptions::default()
+        });
+        let mut ck = victims[0].checkpoint.clone().unwrap();
+        ck.rank = 1; // forge a cross-rank restore
+        run_model_with(&model, WorldConfig::flat(1), engine, move |_| RunOptions {
+            resume: Some(ck.clone()),
+            ..RunOptions::default()
+        });
     }
 }

@@ -26,7 +26,17 @@
 //! those axes; it holds because core dynamics are order-insensitive to
 //! spike delivery (see `tn-core`) and every stochastic draw comes from a
 //! per-core seeded PRNG.
+//!
+//! ## Checkpoint/restart
+//!
+//! [`engine::run_rank_with`] extends the contract across failures: a run
+//! checkpointed at a tick boundary ([`checkpoint::RankCheckpoint`]),
+//! killed, and resumed produces a spike trace, activity counters, and
+//! PRNG streams bit-identical to a run that never stopped — even when the
+//! interval between checkpoint and kill was subjected to seeded
+//! communication faults (`compass_comm::FaultPlan`).
 
+pub mod checkpoint;
 pub mod engine;
 pub mod model;
 pub mod partition;
@@ -34,7 +44,8 @@ pub mod runner;
 pub mod solo;
 pub mod stats;
 
-pub use engine::{run_rank, Backend, EngineConfig};
+pub use checkpoint::{CheckpointError, RankCheckpoint};
+pub use engine::{run_rank, run_rank_with, Backend, EngineConfig, RunOptions, RunOutcome};
 pub use model::{ModelError, NetworkModel};
 pub use partition::Partition;
 pub use runner::run;

@@ -141,6 +141,44 @@ mod tests {
     }
 
     #[test]
+    fn from_counts_with_leading_and_trailing_zero_ranks() {
+        // A PCC placement can leave edge ranks empty (e.g. a model smaller
+        // than the machine). Ownership must skip the empty edges cleanly.
+        let p = Partition::from_counts(&[0, 4, 0]);
+        assert_eq!(p.ranks(), 3);
+        assert_eq!(p.total_cores(), 4);
+        assert_eq!(p.count(0), 0);
+        assert_eq!(p.count(2), 0);
+        assert_eq!(p.block(0), 0..0);
+        assert_eq!(p.block(1), 0..4);
+        assert_eq!(p.block(2), 4..4);
+        for core in 0..4 {
+            assert_eq!(p.rank_of(core), 1, "empty rank 0 owns nothing");
+            assert_eq!(p.local_index(1, core), core as usize);
+        }
+    }
+
+    #[test]
+    fn from_counts_all_zero_ranks_is_an_empty_model() {
+        let p = Partition::from_counts(&[0, 0, 0]);
+        assert_eq!(p.total_cores(), 0);
+        assert_eq!(p.ranks(), 3);
+        for r in 0..3 {
+            assert_eq!(p.count(r), 0);
+            assert_eq!(p.block(r), 0..0);
+        }
+    }
+
+    #[test]
+    fn from_counts_run_of_empty_ranks_resolves_to_next_owner() {
+        let p = Partition::from_counts(&[2, 0, 0, 0, 1]);
+        assert_eq!(p.rank_of(0), 0);
+        assert_eq!(p.rank_of(1), 0);
+        assert_eq!(p.rank_of(2), 4, "three empty ranks are all skipped");
+        assert_eq!(p.local_index(4, 2), 0);
+    }
+
+    #[test]
     fn local_index_is_block_offset() {
         let p = Partition::from_counts(&[4, 6]);
         assert_eq!(p.local_index(0, 3), 3);

@@ -95,6 +95,12 @@ pub struct RankReport {
     /// (see [`tn_core::KernelStats`] and
     /// [`crate::EngineConfig::kernels`]).
     pub kernel: tn_core::KernelStats,
+    /// Serialized size of the checkpoint taken during this run (0 when
+    /// no checkpoint was requested; see [`crate::RunOptions`]).
+    pub checkpoint_bytes: u64,
+    /// Wall-clock cost of taking that checkpoint (inbox drain + per-core
+    /// snapshot serialization), `Duration::ZERO` when none was taken.
+    pub checkpoint_time: Duration,
     /// Every spike emitted on this rank, if trace recording was requested.
     pub trace: Vec<Spike>,
 }

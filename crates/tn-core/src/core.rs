@@ -31,6 +31,10 @@ use crate::delay::DelayBuffer;
 use crate::kernel::{self, NeuronMask, EMPTY_MASK};
 use crate::neuron::NeuronConfig;
 use crate::prng::CorePrng;
+use crate::snapshot::{
+    read_i32, read_u16, read_u64, SnapshotError, CORE_SNAPSHOT_BYTES, CORE_SNAPSHOT_MAGIC,
+    CORE_SNAPSHOT_VERSION,
+};
 use crate::spike::Spike;
 use crate::{CoreId, AXON_TYPES, CORE_AXONS, CORE_NEURONS, ROW_WORDS};
 
@@ -439,6 +443,111 @@ impl NeurosynapticCore {
     #[inline]
     pub fn autonomous_dynamics(&self) -> bool {
         self.autonomous
+    }
+
+    /// Serializes this core's mutable state into the versioned fixed-size
+    /// snapshot blob (see [`crate::snapshot`] for the layout). Captures
+    /// potentials, delay-ring bits, PRNG position, pending integration
+    /// counts, and the lifetime counters; configuration (crossbar, neuron
+    /// params) is *not* included — restore requires a core built from the
+    /// same [`CoreConfig`].
+    ///
+    /// Taken at a tick boundary (after a Neuron phase, before the next
+    /// tick's deliveries are drained into the delay buffer by the engine),
+    /// the blob plus the config fully determines all future dynamics, so a
+    /// restored core continues bit-identically — traces, counters, and
+    /// PRNG stream.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(CORE_SNAPSHOT_BYTES);
+        out.extend_from_slice(&CORE_SNAPSHOT_MAGIC);
+        out.extend_from_slice(&CORE_SNAPSHOT_VERSION.to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes()); // reserved
+        out.extend_from_slice(&self.id.to_le_bytes());
+        out.extend_from_slice(&self.ticks.to_le_bytes());
+        out.extend_from_slice(&self.fires.to_le_bytes());
+        out.extend_from_slice(&self.synaptic_events.to_le_bytes());
+        out.extend_from_slice(&self.prng.raw_state().to_le_bytes());
+        for v in self.potentials.iter() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for b in self.delay.bits() {
+            out.extend_from_slice(&b.to_le_bytes());
+        }
+        for counts in self.pending.iter() {
+            for c in counts {
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        debug_assert_eq!(out.len(), CORE_SNAPSHOT_BYTES);
+        out
+    }
+
+    /// Restores the mutable state captured by [`Self::snapshot_bytes`]
+    /// into this core, which must have been built from the same
+    /// [`CoreConfig`] (the id is checked; the rest is the caller's
+    /// contract). Validates magic, version, length, core id, and PRNG
+    /// state, returning a [`SnapshotError`] — never panicking — on any
+    /// malformed or mismatched blob; on error the core is unchanged.
+    ///
+    /// The sweep-acceleration masks are reset conservatively (every neuron
+    /// restless, nothing touched), which is trace-invisible: the masked
+    /// sweep re-proves each zero-input fixed point, exactly as after
+    /// [`Self::set_word_kernels`].
+    pub fn restore_bytes(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        if bytes.len() >= 4 && bytes[..4] != CORE_SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        if bytes.len() < 8 {
+            return Err(SnapshotError::WrongLength {
+                expected: CORE_SNAPSHOT_BYTES,
+                got: bytes.len(),
+            });
+        }
+        let version = read_u16(bytes, 4);
+        if version != CORE_SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        if bytes.len() != CORE_SNAPSHOT_BYTES {
+            return Err(SnapshotError::WrongLength {
+                expected: CORE_SNAPSHOT_BYTES,
+                got: bytes.len(),
+            });
+        }
+        let id = read_u64(bytes, 8);
+        if id != self.id {
+            return Err(SnapshotError::WrongCore {
+                expected: self.id,
+                got: id,
+            });
+        }
+        let prng_state = read_u64(bytes, 40);
+        if prng_state == 0 {
+            return Err(SnapshotError::CorruptPrngState);
+        }
+        self.ticks = read_u64(bytes, 16);
+        self.fires = read_u64(bytes, 24);
+        self.synaptic_events = read_u64(bytes, 32);
+        self.prng.set_raw_state(prng_state);
+        for (n, v) in self.potentials.iter_mut().enumerate() {
+            *v = read_i32(bytes, 48 + n * 4);
+        }
+        let mut ring = [0u16; CORE_AXONS];
+        for (a, b) in ring.iter_mut().enumerate() {
+            *b = read_u16(bytes, 1072 + a * 2);
+        }
+        self.delay.set_bits(&ring);
+        for (n, counts) in self.pending.iter_mut().enumerate() {
+            for (ty, c) in counts.iter_mut().enumerate() {
+                *c = read_u16(bytes, 1584 + (n * AXON_TYPES + ty) * 2);
+            }
+        }
+        self.restless = [u64::MAX; ROW_WORDS];
+        self.touched = EMPTY_MASK;
+        #[cfg(debug_assertions)]
+        {
+            self.synapse_done = false;
+        }
+        Ok(())
     }
 
     /// Read-only view of the neuron configurations.
@@ -952,6 +1061,141 @@ mod tests {
             model.estimate(&act_masked).total_pj(),
             model.estimate(&act_full).total_pj()
         );
+    }
+
+    /// Tentpole: a snapshot taken mid-run, restored into a freshly
+    /// constructed core, must continue bit-identically to the uninterrupted
+    /// original — spike trace, potentials, activity counters, and the PRNG
+    /// stream (exercised by the gauntlet's stochastic weights/leaks).
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        let deliveries: Vec<(u32, u16, u32)> = (0..64u16)
+            .map(|a| (0u32, a * 3, 2u32 + u32::from(a % 5)))
+            .chain((0..16).map(|a| (25u32, a * 13, 27u32)))
+            .chain((0..16).map(|a| (45u32, a * 11, 47u32)))
+            .collect();
+        let drive =
+            |core: &mut NeurosynapticCore, from: u32, to: u32, out: &mut Vec<(u32, Spike)>| {
+                for t in from..to {
+                    for &(at, axon, due) in &deliveries {
+                        if at == t {
+                            core.deliver(axon, due);
+                        }
+                    }
+                    core.tick(t, |s| out.push((t, s)));
+                }
+            };
+
+        // Uninterrupted reference.
+        let mut full = gauntlet_core(30);
+        let mut trace_full = Vec::new();
+        drive(&mut full, 0, 80, &mut trace_full);
+
+        // Snapshot at tick 40, restore into a *fresh* core, continue.
+        let mut first = gauntlet_core(30);
+        let mut trace_ck = Vec::new();
+        drive(&mut first, 0, 40, &mut trace_ck);
+        let blob = first.snapshot_bytes();
+        assert_eq!(blob.len(), crate::snapshot::CORE_SNAPSHOT_BYTES);
+        let mut resumed = gauntlet_core(30);
+        resumed.restore_bytes(&blob).unwrap();
+        drive(&mut resumed, 40, 80, &mut trace_ck);
+
+        assert_eq!(trace_ck, trace_full);
+        assert_eq!(resumed.total_fires(), full.total_fires());
+        assert_eq!(resumed.activity(), full.activity());
+        assert_eq!(resumed.spikes_in_flight(), full.spikes_in_flight());
+        for n in 0..CORE_NEURONS {
+            assert_eq!(resumed.potential(n), full.potential(n), "neuron {n}");
+        }
+        // PRNG streams must coincide: identical future stochastic behaviour.
+        let poke = |core: &mut NeurosynapticCore| {
+            core.deliver(1, 81);
+            let mut fires = 0u32;
+            for t in 80..95 {
+                core.tick(t, |_| fires += 1);
+            }
+            (
+                fires,
+                (0..CORE_NEURONS)
+                    .map(|n| core.potential(n))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(poke(&mut resumed), poke(&mut full));
+    }
+
+    #[test]
+    fn snapshot_preserves_in_flight_delay_state() {
+        // Spikes scheduled but not yet delivered must survive the
+        // round-trip, including the O(1) `live` count the quiescence fast
+        // path relies on.
+        let mut core = relay_core(31);
+        core.deliver(3, 12);
+        core.deliver(200, 9);
+        let blob = core.snapshot_bytes();
+        let mut restored = relay_core(31);
+        restored.restore_bytes(&blob).unwrap();
+        assert_eq!(restored.spikes_in_flight(), 2);
+        assert!(restored.has_pending_deliveries());
+        let mut out = Vec::new();
+        for t in 0..14 {
+            restored.tick(t, |s| out.push((t, s)));
+        }
+        assert_eq!(restored.total_fires(), 2, "both in-flight spikes landed");
+    }
+
+    #[test]
+    fn restore_rejects_malformed_blobs_without_panicking() {
+        let core = gauntlet_core(32);
+        let blob = core.snapshot_bytes();
+        let mut target = gauntlet_core(32);
+
+        let mut bad = blob.clone();
+        bad[0] = b'X';
+        assert_eq!(target.restore_bytes(&bad), Err(SnapshotError::BadMagic));
+
+        let mut bad = blob.clone();
+        bad[4] = 99;
+        assert_eq!(
+            target.restore_bytes(&bad),
+            Err(SnapshotError::UnsupportedVersion(99))
+        );
+
+        assert_eq!(
+            target.restore_bytes(&blob[..100]),
+            Err(SnapshotError::WrongLength {
+                expected: CORE_SNAPSHOT_BYTES,
+                got: 100
+            })
+        );
+        assert_eq!(
+            target.restore_bytes(&[]),
+            Err(SnapshotError::WrongLength {
+                expected: CORE_SNAPSHOT_BYTES,
+                got: 0
+            })
+        );
+
+        let mut other = gauntlet_core(33);
+        assert_eq!(
+            other.restore_bytes(&blob),
+            Err(SnapshotError::WrongCore {
+                expected: 33,
+                got: 32
+            })
+        );
+
+        let mut bad = blob.clone();
+        bad[40..48].fill(0); // zero PRNG state
+        assert_eq!(
+            target.restore_bytes(&bad),
+            Err(SnapshotError::CorruptPrngState)
+        );
+
+        // After all the rejections the target still works and was never
+        // corrupted: a good restore still succeeds.
+        assert_eq!(target.restore_bytes(&blob), Ok(()));
     }
 
     #[test]

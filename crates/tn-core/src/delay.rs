@@ -120,6 +120,18 @@ impl DelayBuffer {
         self.bits.fill(0);
         self.live = 0;
     }
+
+    /// The raw ring bits, axon-major — the checkpointable representation.
+    pub(crate) fn bits(&self) -> &[u16; CORE_AXONS] {
+        &self.bits
+    }
+
+    /// Overwrites the ring bits wholesale, recomputing `live` by popcount
+    /// — the restore side of [`Self::bits`].
+    pub(crate) fn set_bits(&mut self, bits: &[u16; CORE_AXONS]) {
+        *self.bits = *bits;
+        self.live = bits.iter().map(|b| b.count_ones()).sum();
+    }
 }
 
 /// Compile-time sanity: the ring must exactly cover delays 1..=MAX_DELAY.

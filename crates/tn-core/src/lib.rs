@@ -41,6 +41,7 @@ pub mod energy;
 pub mod kernel;
 pub mod neuron;
 pub mod prng;
+pub mod snapshot;
 pub mod spike;
 
 pub use config::{CoreConfig, CoreConfigError};
@@ -51,6 +52,7 @@ pub use energy::{ActivityCounts, EnergyEstimate, EnergyModel};
 pub use kernel::{BitPlanes, NeuronMask, SYNAPSE_KERNEL_MIN_DUE, SYNAPSE_KERNEL_MIN_EVENTS};
 pub use neuron::{NeuronConfig, ResetMode};
 pub use prng::CorePrng;
+pub use snapshot::{SnapshotError, CORE_SNAPSHOT_BYTES};
 pub use spike::{Spike, SpikeTarget, SPIKE_WIRE_BYTES};
 
 /// Axons per core (paper §II: "256 axons").

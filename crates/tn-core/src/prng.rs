@@ -78,6 +78,24 @@ impl CorePrng {
     pub fn bernoulli_u8(&mut self, p_256: u16) -> bool {
         u16::from(self.next_u8()) < p_256
     }
+
+    /// The raw generator state, for checkpointing. Round-trips exactly
+    /// through [`Self::set_raw_state`]; never zero.
+    pub fn raw_state(&self) -> u64 {
+        self.state
+    }
+
+    /// Restores a state previously captured with [`Self::raw_state`],
+    /// resuming the stream at exactly that point.
+    ///
+    /// # Panics
+    /// Panics if `state == 0` — the xorshift fixed point, which no
+    /// reachable generator state can ever be (callers validating untrusted
+    /// bytes must reject zero before calling).
+    pub fn set_raw_state(&mut self, state: u64) {
+        assert!(state != 0, "zero is not a reachable xorshift64* state");
+        self.state = state;
+    }
 }
 
 /// SplitMix64 scrambler (Steele et al.) used only for seeding.

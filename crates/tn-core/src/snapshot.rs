@@ -1,0 +1,149 @@
+//! Versioned binary snapshot format for one core's mutable state.
+//!
+//! The Compass equivalence contract (paper §III) makes a core's dynamics a
+//! pure function of its state and the spikes delivered since the last tick.
+//! Checkpoint/restart therefore needs exactly the *mutable* per-core state:
+//! membrane potentials, the delay-buffer rings (with their in-flight spike
+//! bits), the PRNG stream position, the pending per-tick integration
+//! counts, and the lifetime counters that feed reports. Everything else —
+//! crossbar, neuron configs, axon types — is immutable configuration and
+//! is reconstructed from the [`crate::CoreConfig`] on restore.
+//!
+//! The format is a fixed-size little-endian blob
+//! ([`CORE_SNAPSHOT_BYTES`] = 3632 bytes per core):
+//!
+//! | offset | bytes | field |
+//! |---|---|---|
+//! | 0 | 4 | magic `b"TNCS"` |
+//! | 4 | 2 | version (`u16`, currently 1) |
+//! | 6 | 2 | reserved (zero) |
+//! | 8 | 8 | core id |
+//! | 16 | 8 | ticks simulated |
+//! | 24 | 8 | lifetime fires |
+//! | 32 | 8 | lifetime synaptic events |
+//! | 40 | 8 | PRNG raw state (never zero) |
+//! | 48 | 1024 | membrane potentials, 256 × `i32` |
+//! | 1072 | 512 | delay-ring bits, 256 × `u16` (`live` recomputed) |
+//! | 1584 | 2048 | pending counts, 256 neurons × 4 types × `u16` |
+//!
+//! Restore validates magic, version, length, core id, and the PRNG state
+//! (zero is unreachable and means corruption), returning [`SnapshotError`]
+//! instead of panicking on any malformed input. The sweep-acceleration
+//! masks (`restless`, `touched`) are deliberately *not* serialized: restore
+//! conservatively marks every neuron restless, which is trace-invisible
+//! (the masked sweep re-proves each fixed point) — the same convention
+//! [`crate::NeurosynapticCore::set_word_kernels`] already uses.
+
+use crate::{CoreId, AXON_TYPES, CORE_AXONS, CORE_NEURONS};
+
+/// Leading magic of every core snapshot.
+pub const CORE_SNAPSHOT_MAGIC: [u8; 4] = *b"TNCS";
+
+/// Current snapshot format version.
+pub const CORE_SNAPSHOT_VERSION: u16 = 1;
+
+/// Exact byte length of one core snapshot (fixed-size format).
+pub const CORE_SNAPSHOT_BYTES: usize =
+    48 + CORE_NEURONS * 4 + CORE_AXONS * 2 + CORE_NEURONS * AXON_TYPES * 2;
+
+/// Why a snapshot blob was rejected by
+/// [`crate::NeurosynapticCore::restore_bytes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The blob does not start with [`CORE_SNAPSHOT_MAGIC`].
+    BadMagic,
+    /// The format version is not one this build can decode.
+    UnsupportedVersion(u16),
+    /// The blob is not exactly [`CORE_SNAPSHOT_BYTES`] long.
+    WrongLength {
+        /// Required length.
+        expected: usize,
+        /// Length received.
+        got: usize,
+    },
+    /// The snapshot was taken from a different core than the one being
+    /// restored.
+    WrongCore {
+        /// Id of the core being restored.
+        expected: CoreId,
+        /// Id recorded in the snapshot.
+        got: CoreId,
+    },
+    /// The recorded PRNG state is zero — unreachable for a live generator,
+    /// so the blob is corrupt.
+    CorruptPrngState,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "snapshot does not start with the TNCS magic"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported snapshot version {v} (this build reads {CORE_SNAPSHOT_VERSION})"
+                )
+            }
+            SnapshotError::WrongLength { expected, got } => {
+                write!(f, "snapshot is {got} bytes, expected {expected}")
+            }
+            SnapshotError::WrongCore { expected, got } => {
+                write!(f, "snapshot is for core {got}, restoring core {expected}")
+            }
+            SnapshotError::CorruptPrngState => {
+                write!(f, "snapshot records a zero PRNG state (corrupt)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Little-endian field readers over an already-length-checked blob.
+pub(crate) fn read_u64(b: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(b[off..off + 8].try_into().expect("length checked"))
+}
+
+pub(crate) fn read_u16(b: &[u8], off: usize) -> u16 {
+    u16::from_le_bytes(b[off..off + 2].try_into().expect("length checked"))
+}
+
+pub(crate) fn read_i32(b: &[u8], off: usize) -> i32 {
+    i32::from_le_bytes(b[off..off + 4].try_into().expect("length checked"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_size_matches_layout_table() {
+        // 48-byte header + potentials + delay rings + pending counts.
+        assert_eq!(CORE_SNAPSHOT_BYTES, 48 + 1024 + 512 + 2048);
+        assert_eq!(CORE_SNAPSHOT_BYTES, 3632);
+    }
+
+    #[test]
+    fn errors_display_their_diagnostics() {
+        let msgs = [
+            SnapshotError::BadMagic.to_string(),
+            SnapshotError::UnsupportedVersion(9).to_string(),
+            SnapshotError::WrongLength {
+                expected: 3632,
+                got: 7,
+            }
+            .to_string(),
+            SnapshotError::WrongCore {
+                expected: 1,
+                got: 2,
+            }
+            .to_string(),
+            SnapshotError::CorruptPrngState.to_string(),
+        ];
+        assert!(msgs[0].contains("magic"));
+        assert!(msgs[1].contains('9'));
+        assert!(msgs[2].contains("3632") && msgs[2].contains('7'));
+        assert!(msgs[3].contains("core 2"));
+        assert!(msgs[4].contains("zero PRNG"));
+    }
+}

@@ -1,0 +1,252 @@
+//! Checkpoint/restart equivalence, with and without communication faults.
+//!
+//! The contract under test: a run checkpointed at tick `T` (a tick
+//! boundary — Network phase drained, inboxes landed), killed at tick
+//! `K > T`, and resumed from the checkpoint produces a spike trace
+//! bit-identical to the solo oracle — a plain sequential stepper sharing
+//! no engine code with the parallel simulator. The fault half kills the
+//! run while a seeded `FaultPlan` is corrupting the comm layer between
+//! `T` and `K`: whatever damage the faults did after the checkpoint is
+//! discarded by the restart, so the resumed trace must still equal the
+//! oracle exactly.
+
+use compass::comm::{FaultInjector, FaultKind, FaultPlan, TransportMetrics, World, WorldConfig};
+use compass::sim::{
+    run_rank_with, Backend, EngineConfig, NetworkModel, Partition, RankCheckpoint, RunOptions,
+    RunOutcome, SoloSimulation,
+};
+use compass::tn::{CoreConfig, Spike};
+use std::sync::Arc;
+
+fn sort_key(s: &Spike) -> (u32, u64, u16, u8) {
+    (s.fired_at, s.target.core, s.target.axon, s.target.delay)
+}
+
+/// The independent reference: sequential, unpartitioned, no messaging.
+fn solo_trace(model: &NetworkModel, ticks: u32) -> Vec<Spike> {
+    let mut solo = SoloSimulation::new(model).expect("test model must be valid");
+    let mut out = Vec::new();
+    for _ in 0..ticks {
+        out.extend(solo.step());
+    }
+    out.sort_by_key(sort_key);
+    out
+}
+
+/// Runs `model` on `world` through `run_rank_with`, with per-rank options
+/// and an optional fault injector on the comm layer.
+fn run_with(
+    model: &NetworkModel,
+    world: WorldConfig,
+    engine: &EngineConfig,
+    faults: Option<Arc<FaultInjector>>,
+    opts_for: impl Fn(usize) -> RunOptions + Sync,
+) -> Vec<RunOutcome> {
+    let partition = Partition::uniform(model.total_cores(), world.ranks);
+    World::run_with_faults(world, Arc::new(TransportMetrics::new()), faults, |ctx| {
+        let block = partition.block(ctx.rank());
+        let configs: Vec<CoreConfig> =
+            model.cores[block.start as usize..block.end as usize].to_vec();
+        run_rank_with(
+            ctx,
+            &partition,
+            configs,
+            &model.initial_deliveries,
+            engine,
+            &opts_for(ctx.rank()),
+        )
+    })
+}
+
+/// Victim prefix (spikes fired before the checkpoint) + the resumed run's
+/// whole trace, canonically sorted — the record a restarted job ends up
+/// with.
+fn stitch(victims: &[RunOutcome], resumed: &[RunOutcome], ck_tick: u32) -> Vec<Spike> {
+    let mut out: Vec<Spike> = victims
+        .iter()
+        .flat_map(|v| v.report.trace.iter().copied())
+        .filter(|s| s.fired_at < ck_tick)
+        .collect();
+    out.extend(resumed.iter().flat_map(|o| o.report.trace.iter().copied()));
+    out.sort_by_key(sort_key);
+    out
+}
+
+#[test]
+fn kill_and_restart_reproduces_the_solo_oracle_across_the_matrix() {
+    // Stochastic leak draws every core's PRNG every tick, so a restore
+    // that slipped a single draw would diverge immediately.
+    let model = NetworkModel::stochastic_field(8, 40, 5);
+    let (ticks, ck_tick, kill_tick) = (44u32, 16u32, 31u32);
+    let oracle = solo_trace(&model, ticks);
+    assert!(!oracle.is_empty());
+
+    for backend in [Backend::Mpi, Backend::Pgas] {
+        for ranks in 1usize..=4 {
+            for threads in 1usize..=4 {
+                let world = WorldConfig::new(ranks, threads);
+                let engine = EngineConfig {
+                    ticks,
+                    backend,
+                    record_trace: true,
+                    ..EngineConfig::default()
+                };
+                let victims = run_with(&model, world, &engine, None, |_| RunOptions {
+                    checkpoint_at: Some(ck_tick),
+                    kill_at: Some(kill_tick),
+                    resume: None,
+                });
+                // Every rank died at the kill boundary with a checkpoint
+                // in hand, and the checkpoint survives its wire format.
+                let cks: Vec<RankCheckpoint> = victims
+                    .iter()
+                    .map(|v| {
+                        let ck = v.checkpoint.as_ref().expect("checkpoint taken");
+                        assert_eq!(ck.start_tick(), ck_tick);
+                        assert_eq!(v.report.checkpoint_bytes, ck.total_bytes());
+                        RankCheckpoint::from_bytes(&ck.to_bytes()).expect("roundtrip")
+                    })
+                    .collect();
+                for v in &victims {
+                    assert!(v.report.trace.iter().all(|s| s.fired_at < kill_tick));
+                }
+
+                let resumed = run_with(&model, world, &engine, None, |rank| RunOptions {
+                    resume: Some(cks[rank].clone()),
+                    ..RunOptions::default()
+                });
+                assert_eq!(
+                    stitch(&victims, &resumed, ck_tick),
+                    oracle,
+                    "backend {backend:?} ranks {ranks} threads {threads}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn restart_discards_fault_damage_and_matches_the_oracle() {
+    // Three fault kinds × three seeds × both backends. The plan's `after`
+    // threshold keeps the pre-checkpoint prefix clean (at most one
+    // application message per rank pair per tick, so per-pair sequence
+    // numbers below `ck_tick` all precede the checkpoint); the faulted
+    // interval [ck_tick, kill) is then thrown away by the restart.
+    let model = NetworkModel::stochastic_field(6, 40, 9);
+    let (ticks, ck_tick, kill_tick) = (40u32, 14u32, 30u32);
+    let oracle = solo_trace(&model, ticks);
+    let world = WorldConfig::new(3, 2);
+
+    for backend in [Backend::Mpi, Backend::Pgas] {
+        for kind in [FaultKind::Drop, FaultKind::Duplicate, FaultKind::Delay] {
+            for seed in [11u64, 22, 33] {
+                let engine = EngineConfig {
+                    ticks,
+                    backend,
+                    record_trace: true,
+                    ..EngineConfig::default()
+                };
+                let plan = FaultPlan::new(seed, kind, 400).after(u64::from(ck_tick));
+                let injector = Arc::new(FaultInjector::new(plan, world.ranks));
+                let victims = run_with(&model, world, &engine, Some(Arc::clone(&injector)), |_| {
+                    RunOptions {
+                        checkpoint_at: Some(ck_tick),
+                        kill_at: Some(kill_tick),
+                        resume: None,
+                    }
+                });
+                assert!(
+                    injector.injected() > 0,
+                    "schedule {kind:?}/{seed} never fired — test proves nothing"
+                );
+
+                // Restart in a clean (fault-free) world: bit-exact oracle.
+                let resumed = run_with(&model, world, &engine, None, |rank| RunOptions {
+                    resume: Some(victims[rank].checkpoint.clone().expect("checkpoint")),
+                    ..RunOptions::default()
+                });
+                assert_eq!(
+                    stitch(&victims, &resumed, ck_tick),
+                    oracle,
+                    "backend {backend:?} kind {kind:?} seed {seed}"
+                );
+
+                // Bonus invariant: duplicated spike messages are invisible
+                // even *without* a restart — delivery ORs into delay-slot
+                // bits, so the victim's own trace stays exact under
+                // Duplicate faults.
+                if kind == FaultKind::Duplicate {
+                    let mut victim_trace: Vec<Spike> = victims
+                        .iter()
+                        .flat_map(|v| v.report.trace.iter().copied())
+                        .collect();
+                    victim_trace.sort_by_key(sort_key);
+                    let oracle_prefix: Vec<Spike> = oracle
+                        .iter()
+                        .copied()
+                        .filter(|s| s.fired_at < kill_tick)
+                        .collect();
+                    assert_eq!(victim_trace, oracle_prefix, "duplicates must merge");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn a_dropped_message_really_corrupts_an_unrestarted_run() {
+    // Sanity for the whole suite: the fault machinery must be able to
+    // change a trace, otherwise "restart fixes it" is vacuous. Full-rate
+    // drops from tick 1 starve every cross-rank connection; with remote
+    // traffic present the trace must differ from the oracle.
+    let model = NetworkModel::relay_ring(4, 8, 1);
+    let ticks = 30u32;
+    let oracle = solo_trace(&model, ticks);
+    let world = WorldConfig::flat(4);
+    let engine = EngineConfig {
+        ticks,
+        record_trace: true,
+        ..EngineConfig::default()
+    };
+    let injector = Arc::new(FaultInjector::new(
+        FaultPlan::new(7, FaultKind::Drop, 1000),
+        world.ranks,
+    ));
+    let faulted = run_with(&model, world, &engine, Some(Arc::clone(&injector)), |_| {
+        RunOptions::default()
+    });
+    assert!(injector.injected() > 0);
+    let mut trace: Vec<Spike> = faulted
+        .iter()
+        .flat_map(|o| o.report.trace.iter().copied())
+        .collect();
+    trace.sort_by_key(sort_key);
+    assert_ne!(trace, oracle, "dropping every remote spike must show");
+}
+
+#[test]
+fn checkpoint_cost_is_accounted_per_rank() {
+    let model = NetworkModel::stochastic_field(4, 40, 3);
+    let world = WorldConfig::flat(2);
+    let engine = EngineConfig {
+        ticks: 20,
+        ..EngineConfig::default()
+    };
+    let outcomes = run_with(&model, world, &engine, None, |_| RunOptions {
+        checkpoint_at: Some(10),
+        ..RunOptions::default()
+    });
+    for o in &outcomes {
+        let ck = o.checkpoint.as_ref().expect("checkpoint");
+        assert_eq!(ck.core_count(), 2, "4 cores over 2 ranks");
+        assert_eq!(o.report.checkpoint_bytes, ck.total_bytes());
+        assert!(o.report.checkpoint_bytes > 0);
+    }
+    // No checkpoint requested → counters stay zero.
+    let plain = run_with(&model, world, &engine, None, |_| RunOptions::default());
+    for o in &plain {
+        assert!(o.checkpoint.is_none());
+        assert_eq!(o.report.checkpoint_bytes, 0);
+        assert_eq!(o.report.checkpoint_time, std::time::Duration::ZERO);
+    }
+}

@@ -4,10 +4,14 @@
 //! stochastic modes, thresholds, delays, targets, and input schedules —
 //! against the paper's one-to-one equivalence contract.
 
-use compass::comm::WorldConfig;
-use compass::sim::{run, Backend, EngineConfig, NetworkModel, SoloSimulation};
+use compass::comm::{TransportMetrics, World, WorldConfig};
+use compass::sim::{
+    run, run_rank_with, Backend, EngineConfig, NetworkModel, Partition, RunOptions, RunOutcome,
+    SoloSimulation,
+};
 use compass::tn::{CoreConfig, NeuronConfig, SpikeTarget};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 /// Builds a random but always-valid model from a compact recipe.
 fn model_from_recipe(
@@ -184,5 +188,81 @@ proptest! {
         .expect("valid")
         .sorted_trace();
         prop_assert_eq!(&scalar, &reference);
+    }
+}
+
+/// Runs `model` through `run_rank_with` with per-rank options.
+fn run_with_options(
+    model: &NetworkModel,
+    world: WorldConfig,
+    engine: &EngineConfig,
+    opts_for: impl Fn(usize) -> RunOptions + Sync,
+) -> Vec<RunOutcome> {
+    let partition = Partition::uniform(model.total_cores(), world.ranks);
+    World::run_with_metrics(world, Arc::new(TransportMetrics::new()), |ctx| {
+        let block = partition.block(ctx.rank());
+        let configs: Vec<CoreConfig> =
+            model.cores[block.start as usize..block.end as usize].to_vec();
+        run_rank_with(
+            ctx,
+            &partition,
+            configs,
+            &model.initial_deliveries,
+            engine,
+            &opts_for(ctx.rank()),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Checkpoint/restart extends the equivalence contract across
+    /// failures: for *random* models, random checkpoint/kill boundaries,
+    /// and random decompositions, the victim's pre-checkpoint prefix plus
+    /// the resumed run must equal the solo oracle spike for spike.
+    #[test]
+    fn random_models_survive_checkpoint_kill_restart(
+        n_cores in 2u64..5,
+        synapses in proptest::collection::vec(
+            (proptest::num::u8::ANY, proptest::num::u8::ANY, proptest::num::u8::ANY), 3..24),
+        neurons in proptest::collection::vec(
+            (-3i8..=3, -2i8..=2, 1u8..6, proptest::bool::ANY), 3..24),
+        inputs in proptest::collection::vec(
+            (proptest::num::u8::ANY, proptest::num::u8::ANY, proptest::num::u8::ANY), 1..12),
+        shape in 0usize..9,
+        ck_tick in 1u32..14,
+        kill_delta in 1u32..6,
+    ) {
+        let model = model_from_recipe(n_cores, &synapses, &neurons, &inputs);
+        model.validate().expect("recipe models are valid");
+        let ticks = 18u32;
+        let kill_tick = (ck_tick + kill_delta).min(ticks);
+        let pgas = (ck_tick + kill_delta) % 2 == 0;
+        let reference = solo_trace(&model, ticks);
+        let world = WorldConfig::new(shape / 3 + 1, shape % 3 + 1);
+        let engine = EngineConfig {
+            ticks,
+            backend: if pgas { Backend::Pgas } else { Backend::Mpi },
+            record_trace: true,
+            ..EngineConfig::default()
+        };
+        let victims = run_with_options(&model, world, &engine, |_| RunOptions {
+            checkpoint_at: Some(ck_tick),
+            kill_at: Some(kill_tick),
+            resume: None,
+        });
+        let resumed = run_with_options(&model, world, &engine, |rank| RunOptions {
+            resume: Some(victims[rank].checkpoint.clone().expect("checkpoint")),
+            ..RunOptions::default()
+        });
+        let mut stitched: Vec<compass::tn::Spike> = victims
+            .iter()
+            .flat_map(|v| v.report.trace.iter().copied())
+            .filter(|s| s.fired_at < ck_tick)
+            .collect();
+        stitched.extend(resumed.iter().flat_map(|o| o.report.trace.iter().copied()));
+        stitched.sort_by_key(|s| (s.fired_at, s.target.core, s.target.axon, s.target.delay));
+        prop_assert_eq!(stitched, reference);
     }
 }
