@@ -1,18 +1,21 @@
 //! Seeded fault injection for the application-level transports.
 //!
 //! Production-scale Compass runs (the paper's 16,384-rank Blue Gene/Q
-//! configuration) must survive lost, duplicated, and delayed messages; the
-//! checkpoint/restart subsystem in `compass-sim` exists exactly for that.
+//! configuration) must survive lost, duplicated, delayed, and corrupted
+//! messages; the checkpoint/restart and reliable-delivery subsystems in
+//! `compass-sim`/[`crate::reliable`] exist exactly for that.
 //! [`FaultPlan`] + [`FaultInjector`] give tests a deterministic adversary:
 //! a seeded schedule of payload faults applied at the transport boundary —
 //! [`crate::MailboxSet::send`] for the MPI-style backend and
 //! [`crate::pgas::PgasEndpoint::put`] for the PGAS backend — so a harness
-//! can corrupt a run's spike traffic, kill it, and verify that
-//! restart-from-checkpoint reproduces the fault-free oracle trace exactly.
+//! can corrupt a run's spike traffic and verify that either
+//! restart-from-checkpoint or the in-run recovery loop reproduces the
+//! fault-free oracle trace exactly.
 //!
-//! Faults act on whole *payloads*, never on bytes inside one: a spike's
-//! wire encoding is never torn. And they respect each backend's protocol
-//! contract:
+//! Faults act on whole *payloads* — with the single exception of
+//! [`FaultKind::Corrupt`], which flips individual bits so the CRC path of
+//! the reliable layer is exercised rather than decorative. And they
+//! respect each backend's protocol contract:
 //!
 //! * **MPI backend** — receivers learn their exact expected message count
 //!   from a `reduce_scatter` over send flags, so an envelope must still
@@ -25,11 +28,12 @@
 //!   a drop is a true omission and a delay simply lands the bytes in a
 //!   later epoch of the same (src, dst) pair.
 //!
-//! Determinism: whether a given payload is faulted depends only on the
-//! plan's seed and the payload's per-(src, dst) sequence number, both of
-//! which are reproducible when each rank's sends are issued in a
-//! deterministic order (the Compass engine sends from its master thread in
-//! ascending destination order).
+//! Determinism: whether a given payload is faulted — and, for a mixed
+//! plan, *which* kind strikes — depends only on the plan's seed and the
+//! payload's per-(src, dst) sequence number, both of which are
+//! reproducible when each rank's sends are issued in a deterministic order
+//! (the Compass engine sends from its master thread in ascending
+//! destination order).
 
 use crate::sync::Mutex;
 use crate::Rank;
@@ -47,21 +51,41 @@ pub enum FaultKind {
     Duplicate,
     /// The payload is withheld and prepended to the *next* message on the
     /// same (src, dst) pair — out-of-epoch arrival. A payload still held
-    /// when the run ends is effectively dropped.
+    /// when the run ends must be flushed by the harness (see
+    /// [`FaultInjector::take_held`]), otherwise it is silently lost.
     Delay,
+    /// 1–3 seeded bit flips somewhere in the payload. Without the
+    /// reliable envelope layer this tears wire records and the engine
+    /// treats it as fatal (spike decode panics); with it, the CRC check
+    /// rejects the frame and the audit path re-delivers the original.
+    Corrupt,
+}
+
+impl FaultKind {
+    const ALL: [FaultKind; 4] = [
+        FaultKind::Drop,
+        FaultKind::Duplicate,
+        FaultKind::Delay,
+        FaultKind::Corrupt,
+    ];
+
+    fn mask(self) -> u8 {
+        1 << (self as u8)
+    }
 }
 
 /// A seeded, rate-based schedule of message faults.
 ///
 /// `rate_per_mille` of the eligible payloads (those with per-pair sequence
-/// number `>= after`) are faulted; which ones is a pure function of
-/// `(seed, src, dst, sequence)`.
+/// number `>= after`) are faulted; which ones — and which enabled
+/// [`FaultKind`] strikes — is a pure function of `(seed, src, dst,
+/// sequence)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultPlan {
     /// Seed for the fault-selection hash.
     pub seed: u64,
-    /// What happens to a faulted payload.
-    pub kind: FaultKind,
+    /// Bitmask of enabled [`FaultKind`]s (`1 << kind as u8`).
+    kinds: u8,
     /// Fault probability in 0..=1000 parts per thousand.
     pub rate_per_mille: u32,
     /// Per-(src, dst) sequence number before which no fault triggers —
@@ -71,12 +95,31 @@ pub struct FaultPlan {
 
 impl FaultPlan {
     /// A plan faulting `rate_per_mille`/1000 of all payloads from the
-    /// first message on.
+    /// first message on, with a single fault kind.
     pub fn new(seed: u64, kind: FaultKind, rate_per_mille: u32) -> Self {
         assert!(rate_per_mille <= 1000, "rate is in parts per thousand");
         Self {
             seed,
-            kind,
+            kinds: kind.mask(),
+            rate_per_mille,
+            after: 0,
+        }
+    }
+
+    /// A mixed plan: every triggered fault picks one of
+    /// Drop/Duplicate/Delay/Corrupt, chosen deterministically per hit.
+    pub fn all(seed: u64, rate_per_mille: u32) -> Self {
+        Self::mixed(seed, &FaultKind::ALL, rate_per_mille)
+    }
+
+    /// A mixed plan over an explicit kind set (duplicates in `kinds` are
+    /// harmless; the set must be non-empty).
+    pub fn mixed(seed: u64, kinds: &[FaultKind], rate_per_mille: u32) -> Self {
+        assert!(rate_per_mille <= 1000, "rate is in parts per thousand");
+        assert!(!kinds.is_empty(), "a fault plan needs at least one kind");
+        Self {
+            seed,
+            kinds: kinds.iter().fold(0, |m, k| m | k.mask()),
             rate_per_mille,
             after: 0,
         }
@@ -86,6 +129,26 @@ impl FaultPlan {
     pub fn after(mut self, n: u64) -> Self {
         self.after = n;
         self
+    }
+
+    /// Whether `kind` can strike under this plan.
+    pub fn includes(&self, kind: FaultKind) -> bool {
+        self.kinds & kind.mask() != 0
+    }
+
+    /// The enabled kinds, in declaration order.
+    pub fn kinds(&self) -> Vec<FaultKind> {
+        FaultKind::ALL
+            .into_iter()
+            .filter(|k| self.includes(*k))
+            .collect()
+    }
+
+    /// Picks which enabled kind strikes a given hit — a pure function of
+    /// the selection hash, so mixed schedules stay reproducible.
+    fn pick_kind(&self, selector: u64) -> FaultKind {
+        let enabled = self.kinds();
+        enabled[(selector % enabled.len() as u64) as usize]
     }
 }
 
@@ -121,10 +184,25 @@ impl FaultInjector {
         &self.plan
     }
 
+    /// World size this injector was built for.
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
     /// How many faults have actually triggered so far — harnesses assert
     /// this is nonzero to prove the adversary was exercised.
     pub fn injected(&self) -> u64 {
         self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Takes (and clears) the bytes currently withheld by `Delay` on the
+    /// `src → dst` pair.
+    ///
+    /// A payload held on the *final* send of a pair would otherwise be
+    /// silently lost — the engine flushes these slots when a run finishes
+    /// naturally, so a last-tick delayed spike still arrives.
+    pub fn take_held(&self, src: Rank, dst: Rank) -> Vec<u8> {
+        std::mem::take(&mut *self.held[src * self.ranks + dst].lock())
     }
 
     /// Applies the plan to one payload travelling `src → dst`, returning
@@ -136,15 +214,23 @@ impl FaultInjector {
         let seq = self.seq[pair].fetch_add(1, Ordering::Relaxed);
         let mut out = std::mem::take(&mut *self.held[pair].lock());
         let eligible = seq >= self.plan.after && self.plan.rate_per_mille > 0;
-        let hit = eligible
-            && fault_hash(self.plan.seed, src, dst, seq) % 1000
-                < u64::from(self.plan.rate_per_mille);
+        let roll = fault_hash(self.plan.seed, src, dst, seq);
+        let hit = eligible && roll % 1000 < u64::from(self.plan.rate_per_mille);
         if !hit {
             out.extend_from_slice(&payload);
             return out;
         }
+        // An empty payload has nothing to drop, double, delay, or corrupt;
+        // counting it as an injected fault would let a harness's
+        // "adversary was exercised" assertion pass vacuously.
+        if payload.is_empty() {
+            return out;
+        }
         self.injected.fetch_add(1, Ordering::Relaxed);
-        match self.plan.kind {
+        // A second avalanche decorrelates the kind choice (and Corrupt's
+        // bit positions) from the hit decision itself.
+        let selector = fault_hash(self.plan.seed ^ 0xC0FF_EE00_D15E_A5E5, src, dst, seq);
+        match self.plan.pick_kind(selector) {
             FaultKind::Drop => {}
             FaultKind::Duplicate => {
                 out.extend_from_slice(&payload);
@@ -152,6 +238,16 @@ impl FaultInjector {
             }
             FaultKind::Delay => {
                 *self.held[pair].lock() = payload;
+            }
+            FaultKind::Corrupt => {
+                let mut bytes = payload;
+                let flips = 1 + (selector >> 32) % 3;
+                for i in 0..flips {
+                    let roll = fault_hash(selector, src, dst, i);
+                    let pos = (roll % (bytes.len() as u64 * 8)) as usize;
+                    bytes[pos / 8] ^= 1 << (pos % 8);
+                }
+                out.extend_from_slice(&bytes);
             }
         }
         out
@@ -169,8 +265,10 @@ impl std::fmt::Debug for FaultInjector {
 }
 
 /// SplitMix64-style avalanche over (seed, src, dst, seq) — the fault
-/// selection function. Stateless so the schedule is reproducible.
-fn fault_hash(seed: u64, src: Rank, dst: Rank, seq: u64) -> u64 {
+/// selection function. Stateless so the schedule is reproducible. Also
+/// used by [`crate::reliable`] to decide, deterministically, whether a
+/// retransmission attempt is itself lost.
+pub(crate) fn fault_hash(seed: u64, src: Rank, dst: Rank, seq: u64) -> u64 {
     let mut z = seed
         .wrapping_add((src as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
         .wrapping_add((dst as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
@@ -225,6 +323,87 @@ mod tests {
     }
 
     #[test]
+    fn held_bytes_can_be_flushed_after_the_final_send() {
+        let inj = FaultInjector::new(FaultPlan::new(4, FaultKind::Delay, 1000), 2);
+        assert!(inj.transform(0, 1, vec![9, 9]).is_empty());
+        // The pair never sends again: without a flush, [9, 9] is lost.
+        assert_eq!(inj.take_held(0, 1), vec![9, 9]);
+        assert!(inj.take_held(0, 1).is_empty(), "slot drains once");
+        assert!(inj.take_held(1, 0).is_empty(), "other pairs untouched");
+    }
+
+    #[test]
+    fn corrupt_flips_bits_but_preserves_length() {
+        let inj = FaultInjector::new(FaultPlan::new(5, FaultKind::Corrupt, 1000), 2);
+        let clean = vec![0xA5u8; 40];
+        let out = inj.transform(0, 1, clean.clone());
+        assert_eq!(out.len(), clean.len());
+        assert_ne!(out, clean, "full-rate corrupt must change the bytes");
+        let flipped: u32 = out
+            .iter()
+            .zip(&clean)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert!((1..=3).contains(&flipped), "1..=3 bit flips, got {flipped}");
+        assert_eq!(inj.injected(), 1);
+    }
+
+    #[test]
+    fn empty_payloads_never_count_as_injected() {
+        let inj = FaultInjector::new(FaultPlan::all(6, 1000), 2);
+        for _ in 0..20 {
+            assert!(inj.transform(0, 1, Vec::new()).is_empty());
+        }
+        assert_eq!(inj.injected(), 0);
+    }
+
+    #[test]
+    fn mixed_plan_exercises_every_kind() {
+        let plan = FaultPlan::all(7, 1000);
+        assert_eq!(plan.kinds(), FaultKind::ALL.to_vec());
+        let inj = FaultInjector::new(plan, 2);
+        let clean: Vec<u8> = (0..24).collect();
+        let (mut drops, mut dups, mut delays, mut corrupts) = (0u32, 0u32, 0u32, 0u32);
+        let mut held_prev = false;
+        for _ in 0..200 {
+            let out = inj.transform(0, 1, clean.clone());
+            // Strip any released held prefix before classifying.
+            let own = if held_prev {
+                &out[clean.len().min(out.len())..]
+            } else {
+                &out[..]
+            };
+            held_prev = false;
+            match own.len() {
+                0 => {
+                    // Either dropped or held for later release.
+                    if inj.held[1].lock().is_empty() {
+                        drops += 1;
+                    } else {
+                        delays += 1;
+                        held_prev = true;
+                    }
+                }
+                n if n == clean.len() * 2 => dups += 1,
+                n if n == clean.len() => {
+                    if own == &clean[..] {
+                        // released-held bookkeeping got confused; cannot happen
+                        // at rate 1000 since every send is faulted
+                        panic!("clean payload under a full-rate plan");
+                    }
+                    corrupts += 1;
+                }
+                n => panic!("unexpected output length {n}"),
+            }
+        }
+        assert!(drops > 0, "Drop never chosen");
+        assert!(dups > 0, "Duplicate never chosen");
+        assert!(delays > 0, "Delay never chosen");
+        assert!(corrupts > 0, "Corrupt never chosen");
+        assert_eq!(drops + dups + delays + corrupts, 200);
+    }
+
+    #[test]
     fn after_threshold_keeps_the_prefix_clean() {
         let inj = FaultInjector::new(FaultPlan::new(5, FaultKind::Drop, 1000).after(10), 2);
         let outs = run_schedule(&inj, 20);
@@ -262,6 +441,19 @@ mod tests {
     }
 
     #[test]
+    fn mixed_schedules_are_deterministic_per_seed() {
+        let make = |seed| {
+            let inj = FaultInjector::new(FaultPlan::all(seed, 500), 2);
+            let outs: Vec<Vec<u8>> = (0..100)
+                .map(|i| inj.transform(0, 1, vec![i as u8; 8]))
+                .collect();
+            (outs, inj.injected())
+        };
+        assert_eq!(make(9), make(9), "same seed, same mixed schedule");
+        assert_ne!(make(9).0, make(10).0);
+    }
+
+    #[test]
     fn pairs_have_independent_sequence_counters() {
         let inj = FaultInjector::new(FaultPlan::new(6, FaultKind::Drop, 1000).after(1), 2);
         // First send on each pair is clean; the second is dropped.
@@ -275,5 +467,11 @@ mod tests {
     #[should_panic(expected = "parts per thousand")]
     fn rate_above_1000_rejected() {
         FaultPlan::new(0, FaultKind::Drop, 1001);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one kind")]
+    fn empty_kind_set_rejected() {
+        FaultPlan::mixed(0, &[], 100);
     }
 }

@@ -36,6 +36,7 @@ pub mod fault;
 pub mod mailbox;
 pub mod metrics;
 pub mod pgas;
+pub mod reliable;
 pub mod sync;
 pub mod team;
 pub mod torus;
@@ -47,6 +48,7 @@ pub use fault::{FaultInjector, FaultKind, FaultPlan};
 pub use mailbox::{Envelope, Mailbox, MailboxSet, RecvRequest, Tag};
 pub use metrics::{MetricsSnapshot, TransportMetrics};
 pub use pgas::PgasWorld;
+pub use reliable::{AuditOutcome, ReliableConfig, ReliableWorld, RelyCounts};
 pub use team::ThreadTeam;
 pub use torus::{LinkLoads, Torus};
 pub use world::{RankCtx, World, WorldConfig};

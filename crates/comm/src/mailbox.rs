@@ -12,6 +12,7 @@
 
 use crate::fault::FaultInjector;
 use crate::metrics::TransportMetrics;
+use crate::reliable::ReliableWorld;
 use crate::sync::{Condvar, Mutex};
 use crate::Rank;
 use std::collections::VecDeque;
@@ -214,6 +215,7 @@ pub struct MailboxSet {
     boxes: Arc<[Mailbox]>,
     metrics: Arc<TransportMetrics>,
     faults: Option<Arc<FaultInjector>>,
+    rely: Option<Arc<ReliableWorld>>,
 }
 
 impl MailboxSet {
@@ -230,11 +232,26 @@ impl MailboxSet {
         metrics: Arc<TransportMetrics>,
         faults: Option<Arc<FaultInjector>>,
     ) -> Self {
+        Self::with_reliability(ranks, metrics, faults, None)
+    }
+
+    /// Like [`MailboxSet::with_faults`] with an optional reliable-delivery
+    /// layer. Payloads are framed ([`ReliableWorld::frame`]) *before* the
+    /// fault injector sees them, so faults strike framed bytes — exactly
+    /// what a lossy network would corrupt. Collective-internal traffic is
+    /// neither framed nor faulted.
+    pub fn with_reliability(
+        ranks: usize,
+        metrics: Arc<TransportMetrics>,
+        faults: Option<Arc<FaultInjector>>,
+        rely: Option<Arc<ReliableWorld>>,
+    ) -> Self {
         let boxes: Vec<Mailbox> = (0..ranks).map(|_| Mailbox::new()).collect();
         Self {
             boxes: boxes.into(),
             metrics,
             faults,
+            rely,
         }
     }
 
@@ -243,18 +260,37 @@ impl MailboxSet {
         self.boxes.len()
     }
 
+    /// The reliable-delivery layer, when one is installed.
+    pub fn reliability(&self) -> Option<&Arc<ReliableWorld>> {
+        self.rely.as_ref()
+    }
+
     /// Sends `payload` from `src` to `dst` under `tag` (counted in metrics).
     ///
     /// Like `MPI_Isend` with an eager protocol: completes locally
     /// immediately; the payload is moved, not copied. Under fault
-    /// injection the payload may be emptied, doubled, or swapped for a
-    /// previously delayed one — but an envelope is always delivered, so
-    /// the receiver's expected-message-count protocol still holds.
+    /// injection the payload may be emptied, doubled, corrupted, or
+    /// swapped for a previously delayed one — but an envelope is always
+    /// delivered, so the receiver's expected-message-count protocol still
+    /// holds.
     pub fn send(&self, src: Rank, dst: Rank, tag: Tag, payload: Vec<u8>) {
+        let payload = match &self.rely {
+            Some(r) => r.frame(src, dst, payload),
+            None => payload,
+        };
         let payload = match &self.faults {
             Some(f) => f.transform(src, dst, payload),
             None => payload,
         };
+        self.metrics.record_p2p(payload.len());
+        self.boxes[dst].push(Envelope { src, tag, payload });
+    }
+
+    /// Sends bytes that already went through framing/faulting once —
+    /// the engine's end-of-run flush of payloads the `Delay` fault still
+    /// holds. Counted in metrics, but neither re-framed nor re-faulted
+    /// (the bytes are as the wire last saw them).
+    pub fn send_flush(&self, src: Rank, dst: Rank, tag: Tag, payload: Vec<u8>) {
         self.metrics.record_p2p(payload.len());
         self.boxes[dst].push(Envelope { src, tag, payload });
     }

@@ -5,6 +5,12 @@
 //! crate reports into a [`TransportMetrics`] so the benchmark harness can
 //! reproduce that analysis without touching the hot paths (all counters are
 //! relaxed atomics, incremented once per message, never per byte).
+//!
+//! The `retransmits` / `dedup_drops` / `crc_rejects` counters belong to the
+//! reliable-delivery layer ([`crate::reliable`]): they stay zero unless a
+//! world runs with reliability enabled, and in a fault-free reliable run
+//! they stay zero too — any nonzero value is evidence the layer actually
+//! repaired something.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -28,6 +34,13 @@ pub struct TransportMetrics {
     pub collective_messages: AtomicU64,
     /// Global barrier episodes entered (each rank counts once).
     pub barriers: AtomicU64,
+    /// Reliable-layer frames re-fetched from a sender's retained ring after
+    /// the tick audit found them missing.
+    pub retransmits: AtomicU64,
+    /// Reliable-layer frames discarded as already-delivered duplicates.
+    pub dedup_drops: AtomicU64,
+    /// Reliable-layer frames rejected for a bad header or CRC mismatch.
+    pub crc_rejects: AtomicU64,
 }
 
 impl TransportMetrics {
@@ -65,6 +78,24 @@ impl TransportMetrics {
         self.barriers.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one frame recovered from a sender's retained ring.
+    #[inline]
+    pub fn record_retransmit(&self) {
+        self.retransmits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one duplicate frame dropped by receiver-side dedup.
+    #[inline]
+    pub fn record_dedup_drop(&self) {
+        self.dedup_drops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one frame rejected by header/CRC validation.
+    #[inline]
+    pub fn record_crc_reject(&self) {
+        self.crc_rejects.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough point-in-time copy of all counters.
     ///
     /// Intended for use at quiescent points (between ticks, after a
@@ -79,6 +110,9 @@ impl TransportMetrics {
             collective_ops: self.collective_ops.load(Ordering::Relaxed),
             collective_messages: self.collective_messages.load(Ordering::Relaxed),
             barriers: self.barriers.load(Ordering::Relaxed),
+            retransmits: self.retransmits.load(Ordering::Relaxed),
+            dedup_drops: self.dedup_drops.load(Ordering::Relaxed),
+            crc_rejects: self.crc_rejects.load(Ordering::Relaxed),
         }
     }
 
@@ -91,6 +125,9 @@ impl TransportMetrics {
         self.collective_ops.store(0, Ordering::Relaxed);
         self.collective_messages.store(0, Ordering::Relaxed);
         self.barriers.store(0, Ordering::Relaxed);
+        self.retransmits.store(0, Ordering::Relaxed);
+        self.dedup_drops.store(0, Ordering::Relaxed);
+        self.crc_rejects.store(0, Ordering::Relaxed);
     }
 }
 
@@ -111,6 +148,12 @@ pub struct MetricsSnapshot {
     pub collective_messages: u64,
     /// See [`TransportMetrics::barriers`].
     pub barriers: u64,
+    /// See [`TransportMetrics::retransmits`].
+    pub retransmits: u64,
+    /// See [`TransportMetrics::dedup_drops`].
+    pub dedup_drops: u64,
+    /// See [`TransportMetrics::crc_rejects`].
+    pub crc_rejects: u64,
 }
 
 impl MetricsSnapshot {
@@ -130,6 +173,9 @@ impl MetricsSnapshot {
             collective_ops: sub(self.collective_ops, earlier.collective_ops),
             collective_messages: sub(self.collective_messages, earlier.collective_messages),
             barriers: sub(self.barriers, earlier.barriers),
+            retransmits: sub(self.retransmits, earlier.retransmits),
+            dedup_drops: sub(self.dedup_drops, earlier.dedup_drops),
+            crc_rejects: sub(self.crc_rejects, earlier.crc_rejects),
         }
     }
 
@@ -151,6 +197,10 @@ mod tests {
         m.record_put(64);
         m.record_collective(3);
         m.record_barrier();
+        m.record_retransmit();
+        m.record_dedup_drop();
+        m.record_dedup_drop();
+        m.record_crc_reject();
 
         let s = m.snapshot();
         assert_eq!(s.p2p_messages, 2);
@@ -160,6 +210,9 @@ mod tests {
         assert_eq!(s.collective_ops, 1);
         assert_eq!(s.collective_messages, 3);
         assert_eq!(s.barriers, 1);
+        assert_eq!(s.retransmits, 1);
+        assert_eq!(s.dedup_drops, 2);
+        assert_eq!(s.crc_rejects, 1);
         assert_eq!(s.total_bytes(), 192);
     }
 
@@ -170,12 +223,14 @@ mod tests {
         let a = m.snapshot();
         m.record_p2p(20);
         m.record_put(5);
+        m.record_retransmit();
         let b = m.snapshot();
         let d = b.since(&a);
         assert_eq!(d.p2p_messages, 1);
         assert_eq!(d.p2p_bytes, 20);
         assert_eq!(d.puts, 1);
         assert_eq!(d.put_bytes, 5);
+        assert_eq!(d.retransmits, 1);
     }
 
     #[test]
@@ -206,6 +261,9 @@ mod tests {
         let m = TransportMetrics::new();
         m.record_p2p(10);
         m.record_barrier();
+        m.record_retransmit();
+        m.record_dedup_drop();
+        m.record_crc_reject();
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
     }

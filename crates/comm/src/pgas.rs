@@ -32,6 +32,7 @@
 use crate::barrier::{CentralizedBarrier, GlobalBarrier};
 use crate::fault::FaultInjector;
 use crate::metrics::TransportMetrics;
+use crate::reliable::ReliableWorld;
 use crate::Rank;
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
@@ -57,6 +58,7 @@ pub struct PgasWorld {
     barrier: CentralizedBarrier,
     metrics: Arc<TransportMetrics>,
     faults: Option<Arc<FaultInjector>>,
+    rely: Option<Arc<ReliableWorld>>,
 }
 
 impl PgasWorld {
@@ -72,6 +74,18 @@ impl PgasWorld {
         metrics: Arc<TransportMetrics>,
         faults: Option<Arc<FaultInjector>>,
     ) -> Self {
+        Self::with_reliability(ranks, metrics, faults, None)
+    }
+
+    /// Like [`PgasWorld::with_faults`] with an optional reliable-delivery
+    /// layer: puts are framed ([`ReliableWorld::frame`]) before the fault
+    /// injector sees them, so faults strike framed bytes.
+    pub fn with_reliability(
+        ranks: usize,
+        metrics: Arc<TransportMetrics>,
+        faults: Option<Arc<FaultInjector>>,
+        rely: Option<Arc<ReliableWorld>>,
+    ) -> Self {
         let make = || (0..ranks * ranks).map(|_| Window::default()).collect();
         Self {
             ranks,
@@ -79,12 +93,18 @@ impl PgasWorld {
             barrier: CentralizedBarrier::new(ranks),
             metrics,
             faults,
+            rely,
         }
     }
 
     /// Number of ranks.
     pub fn ranks(&self) -> usize {
         self.ranks
+    }
+
+    /// The reliable-delivery layer, when one is installed.
+    pub fn reliability(&self) -> Option<&Arc<ReliableWorld>> {
+        self.rely.as_ref()
     }
 
     fn window(&self, parity: usize, src: Rank, dst: Rank) -> &Window {
@@ -145,10 +165,20 @@ impl PgasEndpoint {
             PHASE_WRITING,
             "put() after commit(); drain the epoch first"
         );
-        // Under fault injection the bytes may be emptied, doubled, or
-        // swapped for a delayed predecessor on this (src, dst) pair. An
-        // empty result still counts as a put but appends nothing — PGAS
-        // has no message-count protocol, so a drop is a true omission.
+        // The reliable layer (when installed) wraps the payload in a RELY
+        // frame first; fault injection then acts on the framed bytes and
+        // may empty, double, corrupt, or swap them for a delayed
+        // predecessor on this (src, dst) pair. An empty result still
+        // counts as a put but appends nothing — PGAS has no message-count
+        // protocol, so a drop is a true omission.
+        let owned;
+        let bytes = match &self.world.rely {
+            Some(r) => {
+                owned = r.frame(self.me, dst, bytes.to_vec());
+                owned.as_slice()
+            }
+            None => bytes,
+        };
         let faulted;
         let bytes = match &self.world.faults {
             Some(f) => {
@@ -157,13 +187,33 @@ impl PgasEndpoint {
             }
             None => bytes,
         };
+        self.append(dst, bytes);
+        self.world.metrics.record_put(bytes.len());
+    }
+
+    /// Puts bytes that already went through framing/faulting once — the
+    /// engine's end-of-run flush of payloads the `Delay` fault still
+    /// holds. Counted in metrics, but neither re-framed nor re-faulted.
+    ///
+    /// # Panics
+    /// Panics if called between `commit` and `drain`.
+    pub fn put_flush(&self, dst: Rank, bytes: &[u8]) {
+        assert_eq!(
+            self.phase.load(Ordering::Relaxed),
+            PHASE_WRITING,
+            "put_flush() after commit(); drain the epoch first"
+        );
+        self.append(dst, bytes);
+        self.world.metrics.record_put(bytes.len());
+    }
+
+    fn append(&self, dst: Rank, bytes: &[u8]) {
         let parity = (self.epoch.load(Ordering::Relaxed) & 1) as usize;
         let w = self.world.window(parity, self.me, dst);
         // SAFETY: module-level protocol — only `self.me` writes this window
         // during this epoch, and the previous same-parity drain
         // happened-before via two barriers.
         unsafe { (*w.buf.get()).extend_from_slice(bytes) };
-        self.world.metrics.record_put(bytes.len());
     }
 
     /// Ends the epoch's write phase with the global barrier. After every

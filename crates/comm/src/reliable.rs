@@ -1,0 +1,705 @@
+//! Reliable delivery under both transports: sequence-numbered, checksummed
+//! envelope framing with receiver-side dedup, end-of-tick gap audit, and a
+//! bounded retransmit path.
+//!
+//! # Why the tick audit is possible at all
+//!
+//! Compass's Network phase already contains the invariant this module
+//! enforces. On the MPI backend every tick ends with a Reduce-scatter of
+//! send flags, so each rank knows *exactly* how many messages to expect;
+//! on the PGAS backend the commit barrier orders every put of an epoch
+//! before the drain that consumes it. Either way, by the time a rank
+//! finishes tick `T`'s Network phase, every frame any sender addressed to
+//! it at ticks `<= T` is either in hand or provably missing. Large-scale
+//! SNN simulators treat exactly this per-timestep delivery-count
+//! reconciliation as the core correctness invariant (Pastorelli et al.,
+//! arXiv:1511.09325).
+//!
+//! # Wire format
+//!
+//! Every application payload is wrapped in a `RELY` frame before the
+//! fault injector (and the real network it stands in for) can touch it:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic  b"RELY"
+//!      4     8  seq    u64 LE   per-(src, dst) sequence number
+//!     12     4  tick   u32 LE   sender's tick epoch at frame time
+//!     16     4  len    u32 LE   payload length in bytes
+//!     20     4  crc    u32 LE   CRC-32 (IEEE) of the payload
+//!     24   len  payload
+//! ```
+//!
+//! Frames are concatenated back-to-back inside one transport message, so
+//! a `Duplicate` fault (payload doubled in place) becomes two identical
+//! frames and a `Delay` fault (payload prepended to the pair's next send)
+//! becomes an old frame riding in a newer message — both are recognized
+//! by sequence number and dropped idempotently. A `Corrupt` fault fails
+//! the CRC (or tears the header); the parser then abandons the rest of
+//! that message, because a corrupted length field makes every later frame
+//! boundary untrustworthy — the audit re-delivers whatever was lost.
+//!
+//! # Sender-side retention and the retransmit path
+//!
+//! The sender keeps every framed payload in a bounded per-pair ring until
+//! the tick it belongs to has been audited. When the receiver's audit
+//! finds a sequence number missing, it issues up to
+//! [`ReliableConfig::max_retransmits`] recovery attempts against that
+//! ring — the in-process analogue of a NACK/retransmit exchange — with a
+//! deterministic virtual-time timeout doubling per attempt
+//! ([`AuditOutcome::backoff_ticks`] accounts the simulated wait). Tests
+//! inject *deterministic interference* ([`ReliableConfig::interference`])
+//! so retransmissions themselves can be lost; when the budget is
+//! exhausted (or the ring has evicted the frame) the gap is declared
+//! unrecoverable and the engine's rollback-recovery loop takes over.
+//!
+//! Sequence state is intentionally **not** rolled back: sequence numbers
+//! only ever advance, so frames from an abandoned timeline (e.g. a
+//! delayed copy surfacing after a rollback) arrive below the receiver's
+//! watermark and are dropped as duplicates, while replayed application
+//! sends get fresh sequence numbers and flow through untouched.
+
+use crate::fault::fault_hash;
+use crate::metrics::TransportMetrics;
+use crate::sync::Mutex;
+use crate::{FaultPlan, Rank};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Leading magic of a reliable frame.
+pub const RELY_MAGIC: [u8; 4] = *b"RELY";
+
+/// Size of the frame header preceding each payload.
+pub const RELY_HEADER_BYTES: usize = 24;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB8_8320`) — the checksum
+/// carried by every frame. Table-driven, table built at compile time.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut c = !0u32;
+    for &b in bytes {
+        c = TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Encodes one payload into its `RELY` frame.
+pub fn encode_frame(seq: u64, tick: u32, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(RELY_HEADER_BYTES + payload.len());
+    out.extend_from_slice(&RELY_MAGIC);
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&tick.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Tuning knobs for the reliable layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReliableConfig {
+    /// Recovery attempts per missing frame before the gap is declared
+    /// unrecoverable. Zero turns every gap into an immediate rollback.
+    pub max_retransmits: u32,
+    /// Virtual-time timeout (in ticks) before the first retransmission;
+    /// doubles on every further attempt.
+    pub backoff_base_ticks: u32,
+    /// Retained frames per (src, dst) pair. The ring is pruned after every
+    /// audited tick, so this only needs to cover one tick's traffic; an
+    /// evicted frame makes its gap unrecoverable.
+    pub ring_capacity: usize,
+    /// Deterministic retransmission loss, `(seed, rate_per_mille)`: an
+    /// attempt whose hash lands under the rate is itself lost. `None`
+    /// means retransmissions always succeed (first attempt recovers).
+    pub interference: Option<(u64, u32)>,
+}
+
+impl Default for ReliableConfig {
+    fn default() -> Self {
+        Self {
+            max_retransmits: 4,
+            backoff_base_ticks: 1,
+            ring_capacity: 1024,
+            interference: None,
+        }
+    }
+}
+
+impl ReliableConfig {
+    /// A config whose retransmission path suffers the same seeded loss
+    /// rate as `plan` inflicts on first transmissions — the honest setup
+    /// for recovery tests (retries are not magically immune).
+    pub fn against(plan: &FaultPlan) -> Self {
+        Self {
+            interference: Some((plan.seed ^ 0x5EED_BA11_CAFE_F00D, plan.rate_per_mille)),
+            ..Self::default()
+        }
+    }
+}
+
+/// What one rank's end-of-tick audit found and did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AuditOutcome {
+    /// Frames the ledger expected that never arrived (or arrived torn).
+    pub missing: u64,
+    /// Missing frames successfully re-delivered from the sender's ring.
+    pub recovered: u64,
+    /// Missing frames the retransmit budget could not recover — the
+    /// engine must roll back (or abort) when this is nonzero.
+    pub unrecovered: u64,
+    /// Deterministic virtual time (ticks) spent in retransmission
+    /// timeouts, doubling per attempt.
+    pub backoff_ticks: u64,
+}
+
+impl AuditOutcome {
+    /// True when every expected frame is accounted for.
+    pub fn clean(&self) -> bool {
+        self.unrecovered == 0
+    }
+
+    fn merge(&mut self, other: AuditOutcome) {
+        self.missing += other.missing;
+        self.recovered += other.recovered;
+        self.unrecovered += other.unrecovered;
+        self.backoff_ticks += other.backoff_ticks;
+    }
+}
+
+/// Point-in-time copy of one rank's reliable-layer counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RelyCounts {
+    /// Recovery attempts issued by this rank's audits.
+    pub retransmits: u64,
+    /// Duplicate frames this rank discarded.
+    pub dedup_drops: u64,
+    /// Torn/corrupt messages this rank rejected.
+    pub crc_rejects: u64,
+}
+
+#[derive(Debug, Default)]
+struct RankCounters {
+    retransmits: AtomicU64,
+    dedup_drops: AtomicU64,
+    crc_rejects: AtomicU64,
+}
+
+/// One payload retained for possible retransmission.
+#[derive(Debug)]
+struct Retained {
+    seq: u64,
+    tick: u32,
+    payload: Vec<u8>,
+}
+
+/// Receiver-side dedup state for one (src, dst) pair: everything below
+/// `watermark` is settled; `seen` holds delivered sequence numbers at or
+/// above it.
+#[derive(Debug, Default)]
+struct RecvState {
+    watermark: u64,
+    seen: Vec<u64>,
+}
+
+impl RecvState {
+    fn is_duplicate(&self, seq: u64) -> bool {
+        seq < self.watermark || self.seen.contains(&seq)
+    }
+
+    fn mark(&mut self, seq: u64) {
+        self.seen.push(seq);
+        while let Some(pos) = self.seen.iter().position(|&s| s == self.watermark) {
+            self.seen.swap_remove(pos);
+            self.watermark += 1;
+        }
+    }
+
+    /// Settles everything below `floor` (audit passed over it): later
+    /// stragglers with those sequence numbers are duplicates by decree.
+    fn settle(&mut self, floor: u64) {
+        self.watermark = self.watermark.max(floor);
+        let w = self.watermark;
+        self.seen.retain(|&s| s >= w);
+    }
+}
+
+/// Shared reliable-delivery state for every (src, dst) pair of a world.
+///
+/// One instance serves all ranks of an in-process world, mirroring how
+/// [`TransportMetrics`] and [`crate::FaultInjector`] are shared. The
+/// transports call [`ReliableWorld::frame`] on send;
+/// [`ReliableWorld::receive`] parses, validates, and dedups on the way
+/// in; the engine calls [`ReliableWorld::begin_tick`] at the top of each
+/// tick and [`ReliableWorld::audit`] once the tick's Network phase has
+/// fully drained.
+pub struct ReliableWorld {
+    ranks: usize,
+    cfg: ReliableConfig,
+    metrics: Arc<TransportMetrics>,
+    /// Next sequence number per (src, dst) pair, `src * ranks + dst`.
+    send_seq: Vec<AtomicU64>,
+    /// Current tick epoch per sending rank (stamped into frames).
+    tick_of: Vec<AtomicU32>,
+    /// Send-side retained payloads per pair, pruned after each audit.
+    ring: Vec<Mutex<VecDeque<Retained>>>,
+    /// `(tick, seq)` of every frame sent, per pair, in send order —
+    /// drained by the receiver's audit of that tick.
+    ledger: Vec<Mutex<Vec<(u32, u64)>>>,
+    /// Receiver dedup state per pair.
+    recv: Vec<Mutex<RecvState>>,
+    /// Per-receiving-rank event counters.
+    counters: Vec<RankCounters>,
+}
+
+impl ReliableWorld {
+    /// Creates the reliable layer for a world of `ranks` ranks.
+    pub fn new(ranks: usize, metrics: Arc<TransportMetrics>, cfg: ReliableConfig) -> Self {
+        Self {
+            ranks,
+            cfg,
+            metrics,
+            send_seq: (0..ranks * ranks).map(|_| AtomicU64::new(0)).collect(),
+            tick_of: (0..ranks).map(|_| AtomicU32::new(0)).collect(),
+            ring: (0..ranks * ranks)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            ledger: (0..ranks * ranks).map(|_| Mutex::new(Vec::new())).collect(),
+            recv: (0..ranks * ranks)
+                .map(|_| Mutex::new(RecvState::default()))
+                .collect(),
+            counters: (0..ranks).map(|_| RankCounters::default()).collect(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ReliableConfig {
+        &self.cfg
+    }
+
+    /// Declares that `rank`'s sends now belong to tick `tick`.
+    pub fn begin_tick(&self, rank: Rank, tick: u32) {
+        self.tick_of[rank].store(tick, Ordering::Relaxed);
+    }
+
+    /// Frames one payload for the wire, retaining a copy for
+    /// retransmission and recording the expectation in the pair's ledger.
+    ///
+    /// Called by the transports *before* the fault injector, so faults hit
+    /// framed bytes — exactly what a lossy network corrupts.
+    pub fn frame(&self, src: Rank, dst: Rank, payload: Vec<u8>) -> Vec<u8> {
+        let pair = src * self.ranks + dst;
+        let tick = self.tick_of[src].load(Ordering::Relaxed);
+        // Sequence assignment and ledger append share the lock so the
+        // ledger stays in ascending (tick, seq) order even under
+        // concurrent senders.
+        let (seq, framed) = {
+            let mut ledger = self.ledger[pair].lock();
+            let seq = self.send_seq[pair].fetch_add(1, Ordering::Relaxed);
+            ledger.push((tick, seq));
+            (seq, encode_frame(seq, tick, &payload))
+        };
+        let mut ring = self.ring[pair].lock();
+        if ring.len() >= self.cfg.ring_capacity {
+            ring.pop_front();
+        }
+        ring.push_back(Retained { seq, tick, payload });
+        framed
+    }
+
+    /// Parses one received transport message (a concatenation of frames
+    /// from a single `src → dst` pair), delivering each new valid payload
+    /// through `deliver` and dropping duplicates.
+    ///
+    /// Any header or CRC violation abandons the remainder of the message:
+    /// a torn length field makes later frame boundaries untrustworthy, and
+    /// the audit path re-delivers anything lost that way.
+    pub fn receive(&self, src: Rank, dst: Rank, bytes: &[u8], mut deliver: impl FnMut(&[u8])) {
+        let pair = src * self.ranks + dst;
+        let mut off = 0;
+        while off < bytes.len() {
+            let rest = &bytes[off..];
+            if rest.len() < RELY_HEADER_BYTES || rest[0..4] != RELY_MAGIC {
+                self.reject(dst);
+                return;
+            }
+            let seq = u64::from_le_bytes(rest[4..12].try_into().expect("len"));
+            let len = u32::from_le_bytes(rest[16..20].try_into().expect("len")) as usize;
+            let crc = u32::from_le_bytes(rest[20..24].try_into().expect("len"));
+            let Some(payload) = rest.get(RELY_HEADER_BYTES..RELY_HEADER_BYTES + len) else {
+                self.reject(dst);
+                return;
+            };
+            if crc32(payload) != crc {
+                self.reject(dst);
+                return;
+            }
+            let fresh = {
+                let mut st = self.recv[pair].lock();
+                if st.is_duplicate(seq) {
+                    false
+                } else {
+                    st.mark(seq);
+                    true
+                }
+            };
+            if fresh {
+                deliver(payload);
+            } else {
+                self.counters[dst]
+                    .dedup_drops
+                    .fetch_add(1, Ordering::Relaxed);
+                self.metrics.record_dedup_drop();
+            }
+            off += RELY_HEADER_BYTES + len;
+        }
+    }
+
+    fn reject(&self, dst: Rank) {
+        self.counters[dst]
+            .crc_rejects
+            .fetch_add(1, Ordering::Relaxed);
+        self.metrics.record_crc_reject();
+    }
+
+    /// End-of-tick audit for rank `me`: reconciles every pair's ledger
+    /// against what actually arrived for ticks `<= tick`, re-delivering
+    /// missing payloads from the senders' retained rings through
+    /// `deliver(src, payload)`.
+    ///
+    /// Must be called after the tick's Network phase has fully drained on
+    /// `me` — the Reduce-scatter (MPI) or commit barrier (PGAS) then
+    /// guarantees every ledger entry for this tick is visible. Returns a
+    /// non-[`clean`](AuditOutcome::clean) outcome when the retransmit
+    /// budget could not close a gap; the caller must then roll back or
+    /// abort, because the missing data is gone for good.
+    pub fn audit(&self, me: Rank, tick: u32, mut deliver: impl FnMut(Rank, &[u8])) -> AuditOutcome {
+        let mut total = AuditOutcome::default();
+        for src in 0..self.ranks {
+            if src == me {
+                continue;
+            }
+            total.merge(self.audit_pair(src, me, tick, &mut deliver));
+        }
+        total
+    }
+
+    fn audit_pair(
+        &self,
+        src: Rank,
+        me: Rank,
+        tick: u32,
+        deliver: &mut impl FnMut(Rank, &[u8]),
+    ) -> AuditOutcome {
+        let mut out = AuditOutcome::default();
+        let pair = src * self.ranks + me;
+        let due: Vec<u64> = {
+            let mut ledger = self.ledger[pair].lock();
+            let cut = ledger.partition_point(|&(t, _)| t <= tick);
+            ledger.drain(..cut).map(|(_, seq)| seq).collect()
+        };
+        let Some(&max_seq) = due.iter().max() else {
+            return out;
+        };
+        let missing: Vec<u64> = {
+            let st = self.recv[pair].lock();
+            due.into_iter().filter(|&s| !st.is_duplicate(s)).collect()
+        };
+        for seq in missing {
+            out.missing += 1;
+            if self.recover(src, me, seq, deliver, &mut out) {
+                out.recovered += 1;
+            } else {
+                out.unrecovered += 1;
+            }
+        }
+        // Everything audited is settled: stragglers below this floor are
+        // duplicates, and the ring no longer needs this tick's payloads.
+        self.recv[pair].lock().settle(max_seq + 1);
+        self.ring[pair].lock().retain(|f| f.tick > tick);
+        out
+    }
+
+    /// The bounded NACK/retransmit exchange for one missing frame.
+    fn recover(
+        &self,
+        src: Rank,
+        me: Rank,
+        seq: u64,
+        deliver: &mut impl FnMut(Rank, &[u8]),
+        out: &mut AuditOutcome,
+    ) -> bool {
+        let pair = src * self.ranks + me;
+        for attempt in 0..self.cfg.max_retransmits {
+            self.counters[me]
+                .retransmits
+                .fetch_add(1, Ordering::Relaxed);
+            self.metrics.record_retransmit();
+            out.backoff_ticks += u64::from(self.cfg.backoff_base_ticks) << attempt.min(32) as u64;
+            if let Some((iseed, irate)) = self.cfg.interference {
+                let salt = iseed.wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9));
+                if fault_hash(salt, src, me, seq) % 1000 < u64::from(irate) {
+                    continue; // this retransmission was itself lost
+                }
+            }
+            let payload = self.ring[pair]
+                .lock()
+                .iter()
+                .find(|f| f.seq == seq)
+                .map(|f| f.payload.clone());
+            return match payload {
+                Some(p) => {
+                    self.recv[pair].lock().mark(seq);
+                    deliver(src, &p);
+                    true
+                }
+                // Evicted from the ring: no number of retries can help.
+                None => false,
+            };
+        }
+        false
+    }
+
+    /// This rank's reliable-layer event counters so far.
+    pub fn counts(&self, rank: Rank) -> RelyCounts {
+        let c = &self.counters[rank];
+        RelyCounts {
+            retransmits: c.retransmits.load(Ordering::Relaxed),
+            dedup_drops: c.dedup_drops.load(Ordering::Relaxed),
+            crc_rejects: c.crc_rejects.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for ReliableWorld {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReliableWorld")
+            .field("ranks", &self.ranks)
+            .field("cfg", &self.cfg)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world(ranks: usize, cfg: ReliableConfig) -> ReliableWorld {
+        ReliableWorld::new(ranks, Arc::new(TransportMetrics::new()), cfg)
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+
+    #[test]
+    fn frame_receive_roundtrip_preserves_payloads_in_order() {
+        let rw = world(2, ReliableConfig::default());
+        rw.begin_tick(0, 3);
+        let a = rw.frame(0, 1, vec![1, 2, 3]);
+        let b = rw.frame(0, 1, vec![4, 5]);
+        let mut wire = a;
+        wire.extend_from_slice(&b);
+        let mut got = Vec::new();
+        rw.receive(0, 1, &wire, |p| got.push(p.to_vec()));
+        assert_eq!(got, vec![vec![1, 2, 3], vec![4, 5]]);
+        assert_eq!(rw.counts(1), RelyCounts::default());
+        // The audit finds nothing missing and the outcome is clean.
+        let out = rw.audit(1, 3, |_, _| panic!("nothing to re-deliver"));
+        assert_eq!(out, AuditOutcome::default());
+        assert!(out.clean());
+    }
+
+    #[test]
+    fn duplicate_frames_are_dropped_idempotently() {
+        let rw = world(2, ReliableConfig::default());
+        let f = rw.frame(0, 1, vec![9; 8]);
+        let mut wire = f.clone();
+        wire.extend_from_slice(&f); // the Duplicate fault: doubled in place
+        let mut got = 0;
+        rw.receive(0, 1, &wire, |_| got += 1);
+        assert_eq!(got, 1, "one delivery");
+        assert_eq!(rw.counts(1).dedup_drops, 1);
+        // A third copy in a later message is also recognized.
+        rw.receive(0, 1, &f, |_| panic!("must dedup"));
+        assert_eq!(rw.counts(1).dedup_drops, 2);
+    }
+
+    #[test]
+    fn corrupt_frames_are_rejected_then_audit_recovers_them() {
+        let rw = world(2, ReliableConfig::default());
+        rw.begin_tick(0, 0);
+        let mut wire = rw.frame(0, 1, vec![7; 40]);
+        wire[30] ^= 0x10; // payload bit flip
+        rw.receive(0, 1, &wire, |_| panic!("corrupt frame delivered"));
+        assert_eq!(rw.counts(1).crc_rejects, 1);
+        let mut redelivered = Vec::new();
+        let out = rw.audit(1, 0, |src, p| {
+            assert_eq!(src, 0);
+            redelivered.push(p.to_vec());
+        });
+        assert_eq!(redelivered, vec![vec![7; 40]]);
+        assert_eq!((out.missing, out.recovered, out.unrecovered), (1, 1, 0));
+        assert!(out.clean());
+        assert_eq!(rw.counts(1).retransmits, 1);
+    }
+
+    #[test]
+    fn a_torn_header_abandons_the_rest_of_the_message() {
+        let rw = world(2, ReliableConfig::default());
+        rw.begin_tick(0, 0);
+        let mut wire = rw.frame(0, 1, vec![1; 4]);
+        let good = rw.frame(0, 1, vec![2; 4]);
+        wire[17] ^= 0xFF; // tear the length field of the first frame
+        wire.extend_from_slice(&good);
+        rw.receive(0, 1, &wire, |_| panic!("nothing should parse"));
+        // Both frames come back through the audit.
+        let mut n = 0;
+        let out = rw.audit(1, 0, |_, _| n += 1);
+        assert_eq!(n, 2);
+        assert!(out.clean());
+    }
+
+    #[test]
+    fn dropped_frames_are_recovered_by_the_audit() {
+        let rw = world(2, ReliableConfig::default());
+        rw.begin_tick(0, 5);
+        let _lost = rw.frame(0, 1, vec![3, 1, 4]); // never received
+        let kept = rw.frame(0, 1, vec![1, 5, 9]);
+        let mut got = Vec::new();
+        rw.receive(0, 1, &kept, |p| got.push(p.to_vec()));
+        let out = rw.audit(1, 5, |_, p| got.push(p.to_vec()));
+        assert_eq!((out.missing, out.recovered), (1, 1));
+        got.sort();
+        assert_eq!(got, vec![vec![1, 5, 9], vec![3, 1, 4]]);
+        // Late arrival of the "lost" frame after the audit: duplicate.
+        let late = encode_frame(0, 5, &[3, 1, 4]);
+        rw.receive(0, 1, &late, |_| panic!("settled frame delivered"));
+        assert_eq!(rw.counts(1).dedup_drops, 1);
+    }
+
+    #[test]
+    fn out_of_order_delivery_compacts_the_watermark() {
+        let rw = world(2, ReliableConfig::default());
+        let f0 = rw.frame(0, 1, vec![0]);
+        let f1 = rw.frame(0, 1, vec![1]);
+        let mut got = Vec::new();
+        rw.receive(0, 1, &f1, |p| got.push(p.to_vec()));
+        rw.receive(0, 1, &f0, |p| got.push(p.to_vec()));
+        assert_eq!(got, vec![vec![1], vec![0]]);
+        let st = rw.recv[1].lock();
+        assert_eq!(st.watermark, 2, "contiguous prefix settled");
+        assert!(st.seen.is_empty());
+    }
+
+    #[test]
+    fn exhausted_retransmit_budget_reports_unrecoverable() {
+        // Interference at rate 1000 loses every retransmission.
+        let cfg = ReliableConfig {
+            max_retransmits: 3,
+            interference: Some((42, 1000)),
+            ..ReliableConfig::default()
+        };
+        let rw = world(2, cfg);
+        rw.begin_tick(0, 0);
+        let _lost = rw.frame(0, 1, vec![8; 4]);
+        let out = rw.audit(1, 0, |_, _| panic!("cannot recover"));
+        assert_eq!((out.missing, out.recovered, out.unrecovered), (1, 0, 1));
+        assert!(!out.clean());
+        assert_eq!(rw.counts(1).retransmits, 3, "budget fully spent");
+        // Exponential virtual-time backoff: 1 + 2 + 4 base ticks.
+        assert_eq!(out.backoff_ticks, 7);
+    }
+
+    #[test]
+    fn zero_retransmit_budget_fails_immediately() {
+        let cfg = ReliableConfig {
+            max_retransmits: 0,
+            ..ReliableConfig::default()
+        };
+        let rw = world(2, cfg);
+        let _lost = rw.frame(0, 1, vec![1]);
+        let out = rw.audit(1, 0, |_, _| panic!("no attempts allowed"));
+        assert_eq!(out.unrecovered, 1);
+        assert_eq!(rw.counts(1).retransmits, 0);
+    }
+
+    #[test]
+    fn ring_eviction_makes_a_gap_unrecoverable() {
+        let cfg = ReliableConfig {
+            ring_capacity: 2,
+            ..ReliableConfig::default()
+        };
+        let rw = world(2, cfg);
+        let _f0 = rw.frame(0, 1, vec![0]); // evicted by the third frame
+        let f1 = rw.frame(0, 1, vec![1]);
+        let f2 = rw.frame(0, 1, vec![2]);
+        rw.receive(0, 1, &f1, |_| {});
+        rw.receive(0, 1, &f2, |_| {});
+        let out = rw.audit(1, 0, |_, _| panic!("frame 0 was evicted"));
+        assert_eq!((out.missing, out.unrecovered), (1, 1));
+    }
+
+    #[test]
+    fn audit_only_covers_ticks_up_to_the_argument() {
+        let rw = world(2, ReliableConfig::default());
+        rw.begin_tick(0, 0);
+        let f0 = rw.frame(0, 1, vec![0]);
+        rw.begin_tick(0, 1);
+        let _f1 = rw.frame(0, 1, vec![1]); // tick 1: not yet due
+        rw.receive(0, 1, &f0, |_| {});
+        let out = rw.audit(1, 0, |_, _| panic!("tick 0 fully delivered"));
+        assert!(out.clean());
+        assert_eq!(out.missing, 0);
+        // Tick 1's frame becomes due — and missing — at the next audit.
+        let mut n = 0;
+        let out = rw.audit(1, 1, |_, _| n += 1);
+        assert_eq!((out.missing, n), (1, 1));
+    }
+
+    #[test]
+    fn interference_is_deterministic_and_retries_can_succeed() {
+        // Rate 500: some attempts lost, but 4 attempts nearly always land.
+        let run = || {
+            let cfg = ReliableConfig {
+                interference: Some((7, 500)),
+                ..ReliableConfig::default()
+            };
+            let rw = world(2, cfg);
+            for i in 0..20u8 {
+                let _ = rw.frame(0, 1, vec![i]);
+            }
+            let mut got = Vec::new();
+            let out = rw.audit(1, 0, |_, p| got.push(p.to_vec()));
+            (out, got, rw.counts(1).retransmits)
+        };
+        let (out_a, got_a, tx_a) = run();
+        let (out_b, got_b, tx_b) = run();
+        assert_eq!(out_a, out_b, "same seed, same recovery outcome");
+        assert_eq!(got_a, got_b);
+        assert_eq!(tx_a, tx_b);
+        assert!(out_a.recovered > 0);
+        assert!(tx_a > out_a.recovered, "some attempts must have been lost");
+    }
+}

@@ -12,6 +12,7 @@ use crate::fault::FaultInjector;
 use crate::mailbox::MailboxSet;
 use crate::metrics::TransportMetrics;
 use crate::pgas::{PgasEndpoint, PgasWorld};
+use crate::reliable::ReliableWorld;
 use crate::team::ThreadTeam;
 use crate::Rank;
 use std::sync::Arc;
@@ -67,6 +68,8 @@ pub struct RankCtx {
     pgas: PgasEndpoint,
     team: ThreadTeam,
     metrics: Arc<TransportMetrics>,
+    faults: Option<Arc<FaultInjector>>,
+    rely: Option<Arc<ReliableWorld>>,
 }
 
 impl RankCtx {
@@ -103,6 +106,18 @@ impl RankCtx {
     /// Shared transport metrics.
     pub fn metrics(&self) -> &Arc<TransportMetrics> {
         &self.metrics
+    }
+
+    /// The fault injector corrupting this world's transports, if any —
+    /// the engine needs it to flush `Delay`-held payloads at end of run.
+    pub fn faults(&self) -> Option<&Arc<FaultInjector>> {
+        self.faults.as_ref()
+    }
+
+    /// The reliable-delivery layer, if one is installed — the engine
+    /// drives its per-tick epoch and end-of-tick audit.
+    pub fn reliable(&self) -> Option<&Arc<ReliableWorld>> {
+        self.rely.as_ref()
     }
 }
 
@@ -153,12 +168,37 @@ impl World {
         T: Send,
         F: Fn(&RankCtx) -> T + Sync,
     {
+        Self::run_with_recovery(config, metrics, faults, None, f)
+    }
+
+    /// Like [`World::run_with_faults`] with an optional [`ReliableWorld`]
+    /// installed under both transports: application payloads are framed
+    /// before faults strike, receivers validate/dedup on the way in, and
+    /// the rank body can drive the per-tick audit via
+    /// [`RankCtx::reliable`].
+    pub fn run_with_recovery<T, F>(
+        config: WorldConfig,
+        metrics: Arc<TransportMetrics>,
+        faults: Option<Arc<FaultInjector>>,
+        rely: Option<Arc<ReliableWorld>>,
+        f: F,
+    ) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&RankCtx) -> T + Sync,
+    {
         config.validate();
-        let mail = MailboxSet::with_faults(config.ranks, Arc::clone(&metrics), faults.clone());
-        let pgas = Arc::new(PgasWorld::with_faults(
+        let mail = MailboxSet::with_reliability(
             config.ranks,
             Arc::clone(&metrics),
-            faults,
+            faults.clone(),
+            rely.clone(),
+        );
+        let pgas = Arc::new(PgasWorld::with_reliability(
+            config.ranks,
+            Arc::clone(&metrics),
+            faults.clone(),
+            rely.clone(),
         ));
         // Not strictly needed for correctness, but lets ranks start their
         // timing loops together, which tightens benchmark variance.
@@ -171,6 +211,8 @@ impl World {
                     let pgas = Arc::clone(&pgas);
                     let metrics = Arc::clone(&metrics);
                     let start_line = Arc::clone(&start_line);
+                    let faults = faults.clone();
+                    let rely = rely.clone();
                     let f = &f;
                     scope.spawn(move || {
                         let ctx = RankCtx {
@@ -180,6 +222,8 @@ impl World {
                             pgas: pgas.endpoint(rank),
                             team: ThreadTeam::new(config.threads_per_rank),
                             metrics,
+                            faults,
+                            rely,
                         };
                         use crate::barrier::GlobalBarrier;
                         start_line.wait();

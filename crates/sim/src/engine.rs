@@ -58,6 +58,7 @@
 
 use crate::checkpoint::RankCheckpoint;
 use crate::partition::Partition;
+use crate::recovery::{CheckpointRing, RecoveryPolicy};
 use crate::stats::{PhaseTimes, RankReport};
 use compass_comm::mailbox::Match;
 use compass_comm::team::{chunk_owner, static_chunk};
@@ -65,7 +66,7 @@ use compass_comm::{RankCtx, Tag};
 use std::cell::UnsafeCell;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use tn_core::{CoreConfig, NeurosynapticCore, Spike};
 
 /// Which communication model drives the Network phase.
@@ -173,6 +174,13 @@ pub struct RunOptions {
     /// `messages_sent`, `bytes_to`, phase times, skip counts) cover only
     /// the resumed segment.
     pub resume: Option<RankCheckpoint>,
+    /// Automatic rollback-recovery. Requires a reliable-delivery layer
+    /// ([`compass_comm::ReliableWorld`]) installed in the world: when the
+    /// end-of-tick audit finds a gap the retransmit budget cannot close,
+    /// all ranks reach a collective verdict and roll back to the newest
+    /// auto-checkpoint instead of panicking, replaying the interval
+    /// bit-identically. Every rank of a world must use the same policy.
+    pub recovery: Option<RecoveryPolicy>,
 }
 
 /// What [`run_rank_with`] hands back: the rank report, plus the checkpoint
@@ -193,6 +201,11 @@ pub struct RunOutcome {
 fn tick_tag(t: u32) -> Tag {
     Tag::from(t)
 }
+
+/// Tag for the end-of-run flush of `Delay`-held payloads. Outside the
+/// `u32` tick-tag range and clear of the collective bit (`1 << 63`), so
+/// it can never match a tick's spike traffic.
+const FLUSH_TAG: Tag = 1 << 62;
 
 /// One core plus the engine-side activity state driving quiescence.
 struct CoreSlot {
@@ -549,7 +562,19 @@ pub fn run_rank_with(
     let mut send_flags: Vec<u64> = vec![0; world];
     let mut checkpoint: Option<RankCheckpoint> = None;
 
-    for t in start_tick..cfg.ticks {
+    // Rollback-recovery state (see `crate::recovery`): a ring of recent
+    // in-memory snapshots plus the counters the report exposes. The rely
+    // layer is consulted even without a policy — it then heals what it
+    // can and panics on what it cannot.
+    let rely = ctx.reliable().cloned();
+    let mut ring = CheckpointRing::new(2);
+    let mut rollbacks = 0u32;
+    let mut replayed_ticks = 0u64;
+    let mut recovery_time = Duration::ZERO;
+    let mut killed = false;
+
+    let mut t = start_tick;
+    while t < cfg.ticks {
         // Checkpoint/kill at the tick boundary, before this tick's inputs.
         // Tick t-1's Network phase fully drained on every rank, so the
         // only simulation state outside the cores is what the previous
@@ -583,7 +608,45 @@ pub fn run_rank_with(
         // rank dies holding a collective, so the world winds down instead
         // of deadlocking.
         if opts.kill_at == Some(t) {
+            killed = true;
             break;
+        }
+
+        // Auto-checkpoint for rollback-recovery: same tick-boundary
+        // invariant as `checkpoint_at`, but kept in a bounded in-memory
+        // ring. The starting tick is always snapshotted so a rollback
+        // target exists from the first audit onward; after a rollback the
+        // replay skips re-snapshotting the tick it restored (the state
+        // would be bit-identical).
+        if let Some(pol) = &opts.recovery {
+            let due = t == start_tick
+                || (pol.auto_checkpoint_every != 0 && t % pol.auto_checkpoint_every == 0);
+            if due && ring.newest_tick() != Some(t) {
+                let ck_start = Instant::now();
+                // SAFETY: master between regions; no shard slice is live.
+                let all = unsafe { shards.all() };
+                for dest in 0..threads {
+                    unsafe {
+                        inboxes.drain_for(dest, |d| {
+                            all[d.local_idx as usize]
+                                .core
+                                .deliver(d.axon, d.delivery_tick);
+                        });
+                    }
+                }
+                ring.push(RankCheckpoint {
+                    rank: me as u32,
+                    start_tick: t,
+                    cores: all.iter().map(|s| s.core.snapshot_bytes()).collect(),
+                });
+                recovery_time += ck_start.elapsed();
+            }
+        }
+
+        // All frames sent below belong to this tick's epoch — the audit
+        // at the end of the tick reconciles exactly this set.
+        if let Some(r) = &rely {
+            r.begin_tick(me, t);
         }
 
         // Inject external inputs due this tick (before their slot is read).
@@ -787,8 +850,21 @@ pub fn run_rank_with(
                         } else {
                             recv()
                         };
-                        for spike in Spike::decode_buffer(&env.payload) {
-                            route(&spike, tid, my, &my_range);
+                        // With a reliable layer the payload is a train of
+                        // RELY frames: validate, dedup, and route each
+                        // surviving frame's spikes; torn frames are
+                        // abandoned here and re-delivered by the audit.
+                        match &rely {
+                            Some(r) => r.receive(env.src, me, &env.payload, |payload| {
+                                for spike in Spike::decode_buffer(payload) {
+                                    route(&spike, tid, my, &my_range);
+                                }
+                            }),
+                            None => {
+                                for spike in Spike::decode_buffer(&env.payload) {
+                                    route(&spike, tid, my, &my_range);
+                                }
+                            }
                         }
                     }
                 });
@@ -839,17 +915,104 @@ pub fn run_rank_with(
                 // delivered by the master directly — no tag matching, no
                 // probe. SAFETY: master between regions.
                 let all = unsafe { shards.all() };
-                ctx.pgas().drain(|_, bytes| {
-                    for spike in Spike::decode_buffer(&bytes) {
-                        let idx = partition.local_index(me, spike.target.core);
-                        all[idx]
-                            .core
-                            .deliver(spike.target.axon, spike.delivery_tick());
+                ctx.pgas().drain(|src, bytes| match &rely {
+                    Some(r) => r.receive(src, me, &bytes, |payload| {
+                        for spike in Spike::decode_buffer(payload) {
+                            let idx = partition.local_index(me, spike.target.core);
+                            all[idx]
+                                .core
+                                .deliver(spike.target.axon, spike.delivery_tick());
+                        }
+                    }),
+                    None => {
+                        for spike in Spike::decode_buffer(&bytes) {
+                            let idx = partition.local_index(me, spike.target.core);
+                            all[idx]
+                                .core
+                                .deliver(spike.target.axon, spike.delivery_tick());
+                        }
                     }
                 });
             }
         }
         phases.network += t2.elapsed();
+
+        // ---------------- End-of-tick audit ----------------
+        // The Network phase fully drained, so every frame addressed to
+        // this rank at ticks <= t is either in hand or provably missing
+        // (MPI: the Reduce-scatter ordered all sends before the receive
+        // loop; PGAS: the commit barrier ordered all puts before the
+        // drain). Recovered payloads are delivered straight into the delay
+        // buffers — delivery ticks are strictly in the future and delivery
+        // ORs bits, so the late landing is trace-invisible.
+        if let Some(r) = &rely {
+            let audit_start = Instant::now();
+            // SAFETY: master between regions; no shard slice is live.
+            let all = unsafe { shards.all() };
+            let outcome = r.audit(me, t, |_, payload| {
+                for spike in Spike::decode_buffer(payload) {
+                    let idx = partition.local_index(me, spike.target.core);
+                    all[idx]
+                        .core
+                        .deliver(spike.target.axon, spike.delivery_tick());
+                }
+            });
+            recovery_time += audit_start.elapsed();
+
+            if let Some(pol) = &opts.recovery {
+                // Collective verdict: one bit per rank, max-reduced, so
+                // either every rank rolls back or none does. This is the
+                // whole per-tick overhead of enabling the policy.
+                let any_gap = ctx.comm().allreduce_max(u64::from(!outcome.clean()));
+                if any_gap != 0 {
+                    let rb_start = Instant::now();
+                    rollbacks += 1;
+                    assert!(
+                        rollbacks <= pol.max_rollbacks,
+                        "rank {me}: rollback budget exhausted after {rollbacks} \
+                         rollbacks at tick {t} — fault rate outruns recovery"
+                    );
+                    let ck = ring.newest().expect("starting tick is always snapshotted");
+                    let back_to = ck.start_tick();
+                    // Restore every core to the checkpointed tick boundary
+                    // and discard all state from the abandoned timeline:
+                    // cross-thread inbox deliveries, trace suffix, tick
+                    // stats, and the input cursor. Engine activity state
+                    // (`events`, `dormant`) resets conservatively — the
+                    // first replayed phases recompute it exactly.
+                    for dest in 0..threads {
+                        unsafe {
+                            inboxes.drain_for(dest, |_| {});
+                        }
+                    }
+                    for (slot, blob) in all.iter_mut().zip(&ck.cores) {
+                        slot.core
+                            .restore_bytes(blob)
+                            .expect("in-memory checkpoint rejected by core restore");
+                        slot.events = 0;
+                        slot.dormant = false;
+                    }
+                    report.trace.retain(|s| s.fired_at < back_to);
+                    report
+                        .fires_per_tick
+                        .truncate((back_to - start_tick) as usize);
+                    input_cursor = inputs.partition_point(|&(tick, _, _)| tick < back_to);
+                    replayed_ticks += u64::from(t + 1 - back_to);
+                    recovery_time += rb_start.elapsed();
+                    t = back_to;
+                    continue;
+                }
+            } else {
+                assert!(
+                    outcome.clean(),
+                    "rank {me}: unrecoverable delivery gap at tick {t} with no \
+                     recovery policy ({} frame(s) lost for good)",
+                    outcome.unrecovered
+                );
+            }
+        }
+
+        t += 1;
     }
 
     // Deliveries routed in the final tick's Network phase are still queued
@@ -867,11 +1030,98 @@ pub fn run_rank_with(
         }
     }
 
+    // Flush payloads the `Delay` fault is still holding: without this,
+    // a spike delayed on the final tick simply vanishes from the delay
+    // buffers and end-of-run in-flight accounting diverges from the
+    // fault-free run. Only on natural completion — a killed run's held
+    // damage is deliberately discarded by the restart path — and
+    // symmetric across ranks (both the Reduce-scatter and the PGAS
+    // commit/drain are collective).
+    if !killed {
+        if let Some(inj) = ctx.faults() {
+            let mut land = |spike: Spike| {
+                let idx = partition.local_index(me, spike.target.core);
+                all[idx]
+                    .core
+                    .deliver(spike.target.axon, spike.delivery_tick());
+            };
+            match cfg.backend {
+                Backend::Mpi => {
+                    let mail = ctx.comm().mailboxes();
+                    let mut flush_flags = vec![0u64; world];
+                    for (dst, flag) in flush_flags.iter_mut().enumerate() {
+                        if dst == me {
+                            continue;
+                        }
+                        let held = inj.take_held(me, dst);
+                        if !held.is_empty() {
+                            mail.send_flush(me, dst, FLUSH_TAG, held);
+                            *flag = 1;
+                        }
+                    }
+                    let expected = ctx.comm().reduce_scatter_sum(&flush_flags);
+                    for _ in 0..expected {
+                        let env = mail.mailbox(me).recv(Match::tag(FLUSH_TAG));
+                        // Held bytes went through framing once (when rely
+                        // is installed), so frames a tick audit already
+                        // recovered dedup away here instead of double-
+                        // delivering.
+                        match &rely {
+                            Some(r) => r.receive(env.src, me, &env.payload, |payload| {
+                                for spike in Spike::decode_buffer(payload) {
+                                    land(spike);
+                                }
+                            }),
+                            None => {
+                                for spike in Spike::decode_buffer(&env.payload) {
+                                    land(spike);
+                                }
+                            }
+                        }
+                    }
+                }
+                Backend::Pgas => {
+                    for dst in 0..world {
+                        if dst == me {
+                            continue;
+                        }
+                        let held = inj.take_held(me, dst);
+                        if !held.is_empty() {
+                            ctx.pgas().put_flush(dst, &held);
+                        }
+                    }
+                    ctx.pgas().commit();
+                    ctx.pgas().drain(|src, bytes| match &rely {
+                        Some(r) => r.receive(src, me, &bytes, |payload| {
+                            for spike in Spike::decode_buffer(payload) {
+                                land(spike);
+                            }
+                        }),
+                        None => {
+                            for spike in Spike::decode_buffer(&bytes) {
+                                land(spike);
+                            }
+                        }
+                    });
+                }
+            }
+        }
+    }
+
     report.phases = phases;
     let (wait, hold) = team.critical_times();
     report.critical_wait = wait;
     report.critical_hold = hold;
     report.memory_bytes = memory_bytes;
+    if let Some(r) = &rely {
+        let counts = r.counts(me);
+        report.retransmits = counts.retransmits;
+        report.dedup_drops = counts.dedup_drops;
+        report.crc_rejects = counts.crc_rejects;
+    }
+    report.rollbacks = u64::from(rollbacks);
+    report.replayed_ticks = replayed_ticks;
+    report.recovery_time = recovery_time;
     for tb in thread_bufs.iter_mut() {
         report.synapse_skips += tb.synapse_skips;
         report.neuron_skips += tb.neuron_skips;
@@ -1402,7 +1652,7 @@ mod tests {
             let victims = run_model_with(&model, world, engine, |_| RunOptions {
                 checkpoint_at: Some(ck_tick),
                 kill_at: Some(kill_tick),
-                resume: None,
+                ..RunOptions::default()
             });
             for (rank, v) in victims.iter().enumerate() {
                 let ck = v.checkpoint.as_ref().expect("checkpoint taken");
@@ -1464,7 +1714,7 @@ mod tests {
         let victims = run_model_with(&model, WorldConfig::flat(2), engine, |_| RunOptions {
             checkpoint_at: Some(30),
             kill_at: Some(45),
-            resume: None,
+            ..RunOptions::default()
         });
         let resumed = run_model_with(&model, WorldConfig::flat(2), engine, |rank| RunOptions {
             resume: Some(victims[rank].checkpoint.clone().unwrap()),

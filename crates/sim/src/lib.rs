@@ -36,10 +36,22 @@
 //! interval between checkpoint and kill was subjected to seeded
 //! communication faults (`compass_comm::FaultPlan`).
 
+//!
+//! ## Self-healing communication
+//!
+//! With a reliable-delivery layer installed
+//! ([`compass_comm::ReliableWorld`]) the engine audits every tick's
+//! expected-vs-received frames and re-delivers what a faulty transport
+//! lost; with a [`recovery::RecoveryPolicy`] it additionally answers
+//! unrecoverable gaps by rolling every rank back to the newest in-memory
+//! auto-checkpoint and replaying — the run completes with a trace
+//! bit-identical to the fault-free oracle ([`runner::run_recovering`]).
+
 pub mod checkpoint;
 pub mod engine;
 pub mod model;
 pub mod partition;
+pub mod recovery;
 pub mod runner;
 pub mod solo;
 pub mod stats;
@@ -48,6 +60,7 @@ pub use checkpoint::{CheckpointError, RankCheckpoint};
 pub use engine::{run_rank, run_rank_with, Backend, EngineConfig, RunOptions, RunOutcome};
 pub use model::{ModelError, NetworkModel};
 pub use partition::Partition;
-pub use runner::run;
+pub use recovery::RecoveryPolicy;
+pub use runner::{run, run_recovering};
 pub use solo::SoloSimulation;
 pub use stats::{trace_digest, PhaseTimes, RankReport, RunReport};

@@ -8,11 +8,14 @@
 //! calls [`crate::engine::run_rank`] directly inside its own world, exactly
 //! as the paper's in-situ compile-then-simulate flow does.
 
-use crate::engine::{run_rank, EngineConfig};
+use crate::engine::{run_rank, run_rank_with, EngineConfig, RunOptions};
 use crate::model::{ModelError, NetworkModel};
 use crate::partition::Partition;
+use crate::recovery::RecoveryPolicy;
 use crate::stats::RunReport;
-use compass_comm::{TransportMetrics, World, WorldConfig};
+use compass_comm::{
+    FaultInjector, FaultPlan, ReliableConfig, ReliableWorld, TransportMetrics, World, WorldConfig,
+};
 use std::sync::Arc;
 use std::time::Instant;
 use tn_core::CoreConfig;
@@ -40,6 +43,68 @@ pub fn run(
         let configs: Vec<CoreConfig> =
             model.cores[block.start as usize..block.end as usize].to_vec();
         run_rank(ctx, &partition, configs, &model.initial_deliveries, cfg)
+    });
+    let wall = started.elapsed();
+    Ok(RunReport {
+        ranks,
+        wall,
+        ticks: cfg.ticks,
+        transport: metrics.snapshot(),
+    })
+}
+
+/// Simulates `model` under a reliable-delivery layer, optionally with
+/// seeded communication faults and an automatic rollback-recovery policy.
+///
+/// This is the self-healing configuration: every application payload is
+/// framed/checksummed, each tick ends with an expected-vs-received audit
+/// whose retransmission path suffers the same loss rate as `plan`
+/// ([`ReliableConfig::against`]), and — when `policy` is set — gaps the
+/// retransmit budget cannot close trigger a collective rollback to the
+/// newest in-memory checkpoint instead of a panic. With `plan = None`
+/// this measures the reliable layer's fault-free overhead; the trace is
+/// unchanged either way.
+///
+/// # Errors
+/// Returns the first [`ModelError`] if the model is inconsistent.
+pub fn run_recovering(
+    model: &NetworkModel,
+    world: WorldConfig,
+    cfg: &EngineConfig,
+    plan: Option<FaultPlan>,
+    policy: Option<RecoveryPolicy>,
+) -> Result<RunReport, ModelError> {
+    model.validate()?;
+    let partition = Partition::uniform(model.total_cores(), world.ranks);
+    let metrics = Arc::new(TransportMetrics::new());
+    let faults = plan.map(|p| Arc::new(FaultInjector::new(p, world.ranks)));
+    let rely_cfg = match &plan {
+        Some(p) => ReliableConfig::against(p),
+        None => ReliableConfig::default(),
+    };
+    let rely = Arc::new(ReliableWorld::new(
+        world.ranks,
+        Arc::clone(&metrics),
+        rely_cfg,
+    ));
+    let opts = RunOptions {
+        recovery: policy,
+        ..RunOptions::default()
+    };
+    let started = Instant::now();
+    let ranks = World::run_with_recovery(world, Arc::clone(&metrics), faults, Some(rely), |ctx| {
+        let block = partition.block(ctx.rank());
+        let configs: Vec<CoreConfig> =
+            model.cores[block.start as usize..block.end as usize].to_vec();
+        run_rank_with(
+            ctx,
+            &partition,
+            configs,
+            &model.initial_deliveries,
+            cfg,
+            &opts,
+        )
+        .report
     });
     let wall = started.elapsed();
     Ok(RunReport {

@@ -101,6 +101,21 @@ pub struct RankReport {
     /// Wall-clock cost of taking that checkpoint (inbox drain + per-core
     /// snapshot serialization), `Duration::ZERO` when none was taken.
     pub checkpoint_time: Duration,
+    /// Retransmissions this rank's end-of-tick audits issued against
+    /// senders' retained rings (0 without a reliable layer).
+    pub retransmits: u64,
+    /// Duplicate frames this rank's reliable layer discarded.
+    pub dedup_drops: u64,
+    /// Torn or checksum-failing messages this rank rejected.
+    pub crc_rejects: u64,
+    /// Collective rollbacks this rank participated in (see
+    /// [`crate::RecoveryPolicy`]).
+    pub rollbacks: u64,
+    /// Ticks re-executed because of those rollbacks.
+    pub replayed_ticks: u64,
+    /// Wall-clock spent in recovery machinery: auto-checkpoint snapshots,
+    /// end-of-tick audits, and rollback restores.
+    pub recovery_time: Duration,
     /// Every spike emitted on this rank, if trace recording was requested.
     pub trace: Vec<Spike>,
 }
@@ -158,6 +173,45 @@ impl RunReport {
     /// Total Synapse-phase scans skipped via quiescence fast paths.
     pub fn total_synapse_skips(&self) -> u64 {
         self.ranks.iter().map(|r| r.synapse_skips).sum()
+    }
+
+    /// Total reliable-layer retransmissions across ranks.
+    pub fn total_retransmits(&self) -> u64 {
+        self.ranks.iter().map(|r| r.retransmits).sum()
+    }
+
+    /// Total duplicate frames discarded across ranks.
+    pub fn total_dedup_drops(&self) -> u64 {
+        self.ranks.iter().map(|r| r.dedup_drops).sum()
+    }
+
+    /// Total torn/checksum-failing messages rejected across ranks.
+    pub fn total_crc_rejects(&self) -> u64 {
+        self.ranks.iter().map(|r| r.crc_rejects).sum()
+    }
+
+    /// Collective rollbacks performed (every rank rolls back together, so
+    /// this is the per-rank maximum, not a sum).
+    pub fn total_rollbacks(&self) -> u64 {
+        self.ranks.iter().map(|r| r.rollbacks).max().unwrap_or(0)
+    }
+
+    /// Ticks re-executed due to rollbacks (per-rank maximum, as above).
+    pub fn total_replayed_ticks(&self) -> u64 {
+        self.ranks
+            .iter()
+            .map(|r| r.replayed_ticks)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Slowest rank's wall-clock spent in recovery machinery.
+    pub fn recovery_time(&self) -> Duration {
+        self.ranks
+            .iter()
+            .map(|r| r.recovery_time)
+            .max()
+            .unwrap_or(Duration::ZERO)
     }
 
     /// Total Neuron-phase sweeps skipped via quiescence fast paths.

@@ -10,7 +10,10 @@
 //! discarded by the restart, so the resumed trace must still equal the
 //! oracle exactly.
 
-use compass::comm::{FaultInjector, FaultKind, FaultPlan, TransportMetrics, World, WorldConfig};
+use compass::comm::{
+    FaultInjector, FaultKind, FaultPlan, ReliableConfig, ReliableWorld, TransportMetrics, World,
+    WorldConfig,
+};
 use compass::sim::{
     run_rank_with, Backend, EngineConfig, NetworkModel, Partition, RankCheckpoint, RunOptions,
     RunOutcome, SoloSimulation,
@@ -33,29 +36,37 @@ fn solo_trace(model: &NetworkModel, ticks: u32) -> Vec<Spike> {
     out
 }
 
-/// Runs `model` on `world` through `run_rank_with`, with per-rank options
-/// and an optional fault injector on the comm layer.
+/// Runs `model` on `world` through `run_rank_with`, with per-rank options,
+/// an optional fault injector, and an optional reliable-delivery layer on
+/// the comm layer.
 fn run_with(
     model: &NetworkModel,
     world: WorldConfig,
     engine: &EngineConfig,
     faults: Option<Arc<FaultInjector>>,
+    rely: Option<Arc<ReliableWorld>>,
     opts_for: impl Fn(usize) -> RunOptions + Sync,
 ) -> Vec<RunOutcome> {
     let partition = Partition::uniform(model.total_cores(), world.ranks);
-    World::run_with_faults(world, Arc::new(TransportMetrics::new()), faults, |ctx| {
-        let block = partition.block(ctx.rank());
-        let configs: Vec<CoreConfig> =
-            model.cores[block.start as usize..block.end as usize].to_vec();
-        run_rank_with(
-            ctx,
-            &partition,
-            configs,
-            &model.initial_deliveries,
-            engine,
-            &opts_for(ctx.rank()),
-        )
-    })
+    World::run_with_recovery(
+        world,
+        Arc::new(TransportMetrics::new()),
+        faults,
+        rely,
+        |ctx| {
+            let block = partition.block(ctx.rank());
+            let configs: Vec<CoreConfig> =
+                model.cores[block.start as usize..block.end as usize].to_vec();
+            run_rank_with(
+                ctx,
+                &partition,
+                configs,
+                &model.initial_deliveries,
+                engine,
+                &opts_for(ctx.rank()),
+            )
+        },
+    )
 }
 
 /// Victim prefix (spikes fired before the checkpoint) + the resumed run's
@@ -91,10 +102,10 @@ fn kill_and_restart_reproduces_the_solo_oracle_across_the_matrix() {
                     record_trace: true,
                     ..EngineConfig::default()
                 };
-                let victims = run_with(&model, world, &engine, None, |_| RunOptions {
+                let victims = run_with(&model, world, &engine, None, None, |_| RunOptions {
                     checkpoint_at: Some(ck_tick),
                     kill_at: Some(kill_tick),
-                    resume: None,
+                    ..RunOptions::default()
                 });
                 // Every rank died at the kill boundary with a checkpoint
                 // in hand, and the checkpoint survives its wire format.
@@ -111,7 +122,7 @@ fn kill_and_restart_reproduces_the_solo_oracle_across_the_matrix() {
                     assert!(v.report.trace.iter().all(|s| s.fired_at < kill_tick));
                 }
 
-                let resumed = run_with(&model, world, &engine, None, |rank| RunOptions {
+                let resumed = run_with(&model, world, &engine, None, None, |rank| RunOptions {
                     resume: Some(cks[rank].clone()),
                     ..RunOptions::default()
                 });
@@ -148,20 +159,25 @@ fn restart_discards_fault_damage_and_matches_the_oracle() {
                 };
                 let plan = FaultPlan::new(seed, kind, 400).after(u64::from(ck_tick));
                 let injector = Arc::new(FaultInjector::new(plan, world.ranks));
-                let victims = run_with(&model, world, &engine, Some(Arc::clone(&injector)), |_| {
-                    RunOptions {
+                let victims = run_with(
+                    &model,
+                    world,
+                    &engine,
+                    Some(Arc::clone(&injector)),
+                    None,
+                    |_| RunOptions {
                         checkpoint_at: Some(ck_tick),
                         kill_at: Some(kill_tick),
-                        resume: None,
-                    }
-                });
+                        ..RunOptions::default()
+                    },
+                );
                 assert!(
                     injector.injected() > 0,
                     "schedule {kind:?}/{seed} never fired — test proves nothing"
                 );
 
                 // Restart in a clean (fault-free) world: bit-exact oracle.
-                let resumed = run_with(&model, world, &engine, None, |rank| RunOptions {
+                let resumed = run_with(&model, world, &engine, None, None, |rank| RunOptions {
                     resume: Some(victims[rank].checkpoint.clone().expect("checkpoint")),
                     ..RunOptions::default()
                 });
@@ -190,6 +206,125 @@ fn restart_discards_fault_damage_and_matches_the_oracle() {
                 }
             }
         }
+
+        // The full mixture — Drop + Duplicate + Delay + Corrupt in one
+        // plan. Corrupt tears frames on the wire, so a reliable layer must
+        // sit under the transports (raw corrupt bytes would poison spike
+        // decoding); the restart then discards whatever the audits could
+        // not hide.
+        for seed in [44u64, 55] {
+            let engine = EngineConfig {
+                ticks,
+                backend,
+                record_trace: true,
+                ..EngineConfig::default()
+            };
+            let plan = FaultPlan::all(seed, 400).after(u64::from(ck_tick));
+            let injector = Arc::new(FaultInjector::new(plan, world.ranks));
+            let rely = Arc::new(ReliableWorld::new(
+                world.ranks,
+                Arc::new(TransportMetrics::new()),
+                ReliableConfig::default(),
+            ));
+            let victims = run_with(
+                &model,
+                world,
+                &engine,
+                Some(Arc::clone(&injector)),
+                Some(rely),
+                |_| RunOptions {
+                    checkpoint_at: Some(ck_tick),
+                    kill_at: Some(kill_tick),
+                    ..RunOptions::default()
+                },
+            );
+            assert!(injector.injected() > 0, "mixed schedule {seed} never fired");
+            let evidence: u64 = victims
+                .iter()
+                .map(|v| v.report.retransmits + v.report.dedup_drops + v.report.crc_rejects)
+                .sum();
+            assert!(
+                evidence > 0,
+                "mixed faults fired but the reliable layer saw nothing"
+            );
+
+            let resumed = run_with(&model, world, &engine, None, None, |rank| RunOptions {
+                resume: Some(victims[rank].checkpoint.clone().expect("checkpoint")),
+                ..RunOptions::default()
+            });
+            assert_eq!(
+                stitch(&victims, &resumed, ck_tick),
+                oracle,
+                "backend {backend:?} mixed plan seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn a_last_tick_delayed_spike_still_arrives() {
+    // Regression for the Delay-leak: bytes the `Delay` fault holds when
+    // the run ends used to vanish, so a spike delayed on the final tick
+    // never reached its delay buffer and end-of-run in-flight accounting
+    // diverged. The engine now flushes held slots at run finalize.
+    //
+    // relay_ring(2, 8, 1) on 2 ranks alternates the wavefront: core 0
+    // fires on odd ticks (sends 0 → 1), core 1 on even ticks (sends
+    // 1 → 0). Over 20 ticks the final tick (19) is a 0 → 1 send with
+    // per-pair sequence number 9, and pair 1 → 0 never reaches seq 9 —
+    // so `after(9)` at rate 1000 delays exactly the final-tick message.
+    let model = NetworkModel::relay_ring(2, 8, 1);
+    let ticks = 20u32;
+    let world = WorldConfig::flat(2);
+
+    for backend in [Backend::Mpi, Backend::Pgas] {
+        let engine = EngineConfig {
+            ticks,
+            backend,
+            record_trace: true,
+            ..EngineConfig::default()
+        };
+        let clean = run_with(&model, world, &engine, None, None, |_| {
+            RunOptions::default()
+        });
+        let injector = Arc::new(FaultInjector::new(
+            FaultPlan::new(3, FaultKind::Delay, 1000).after(9),
+            world.ranks,
+        ));
+        let delayed = run_with(
+            &model,
+            world,
+            &engine,
+            Some(Arc::clone(&injector)),
+            None,
+            |_| RunOptions::default(),
+        );
+        assert_eq!(
+            injector.injected(),
+            1,
+            "exactly the final-tick send must be delayed ({backend:?})"
+        );
+
+        let view = |outs: &[RunOutcome]| {
+            let mut trace: Vec<Spike> = outs
+                .iter()
+                .flat_map(|o| o.report.trace.iter().copied())
+                .collect();
+            trace.sort_by_key(sort_key);
+            let in_flight: u64 = outs.iter().map(|o| o.report.spikes_in_flight).sum();
+            let fires: u64 = outs.iter().map(|o| o.report.fires).sum();
+            (trace, in_flight, fires)
+        };
+        let (clean_trace, clean_in_flight, clean_fires) = view(&clean);
+        assert_eq!(
+            clean_in_flight, 8,
+            "the ring keeps its wavefront in flight ({backend:?})"
+        );
+        assert_eq!(
+            view(&delayed),
+            (clean_trace, clean_in_flight, clean_fires),
+            "flushed final-tick spikes must land ({backend:?})"
+        );
     }
 }
 
@@ -212,9 +347,14 @@ fn a_dropped_message_really_corrupts_an_unrestarted_run() {
         FaultPlan::new(7, FaultKind::Drop, 1000),
         world.ranks,
     ));
-    let faulted = run_with(&model, world, &engine, Some(Arc::clone(&injector)), |_| {
-        RunOptions::default()
-    });
+    let faulted = run_with(
+        &model,
+        world,
+        &engine,
+        Some(Arc::clone(&injector)),
+        None,
+        |_| RunOptions::default(),
+    );
     assert!(injector.injected() > 0);
     let mut trace: Vec<Spike> = faulted
         .iter()
@@ -232,7 +372,7 @@ fn checkpoint_cost_is_accounted_per_rank() {
         ticks: 20,
         ..EngineConfig::default()
     };
-    let outcomes = run_with(&model, world, &engine, None, |_| RunOptions {
+    let outcomes = run_with(&model, world, &engine, None, None, |_| RunOptions {
         checkpoint_at: Some(10),
         ..RunOptions::default()
     });
@@ -243,7 +383,9 @@ fn checkpoint_cost_is_accounted_per_rank() {
         assert!(o.report.checkpoint_bytes > 0);
     }
     // No checkpoint requested → counters stay zero.
-    let plain = run_with(&model, world, &engine, None, |_| RunOptions::default());
+    let plain = run_with(&model, world, &engine, None, None, |_| {
+        RunOptions::default()
+    });
     for o in &plain {
         assert!(o.checkpoint.is_none());
         assert_eq!(o.report.checkpoint_bytes, 0);

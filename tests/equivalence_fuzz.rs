@@ -250,7 +250,7 @@ proptest! {
         let victims = run_with_options(&model, world, &engine, |_| RunOptions {
             checkpoint_at: Some(ck_tick),
             kill_at: Some(kill_tick),
-            resume: None,
+            ..RunOptions::default()
         });
         let resumed = run_with_options(&model, world, &engine, |rank| RunOptions {
             resume: Some(victims[rank].checkpoint.clone().expect("checkpoint")),

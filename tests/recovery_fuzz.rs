@@ -1,0 +1,186 @@
+//! Property-based self-healing: *random* models under *random* mixed
+//! fault schedules, decompositions, and checkpoint cadences must recover
+//! to the solo oracle bit for bit — and whenever a fault actually fired,
+//! the reliable layer must show its work (retransmits, dedup drops, CRC
+//! rejects, or rollbacks).
+
+use compass::comm::{
+    FaultInjector, FaultPlan, ReliableConfig, ReliableWorld, TransportMetrics, World, WorldConfig,
+};
+use compass::sim::{
+    run_rank_with, Backend, EngineConfig, NetworkModel, Partition, RecoveryPolicy, RunOptions,
+    RunOutcome, SoloSimulation,
+};
+use compass::tn::{CoreConfig, NeuronConfig, SpikeTarget};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Builds a random but always-valid model from a compact recipe (the same
+/// generator the equivalence fuzz suite uses).
+fn model_from_recipe(
+    n_cores: u64,
+    synapse_seeds: &[(u8, u8, u8)],
+    neuron_seeds: &[(i8, i8, u8, bool)],
+    inputs: &[(u8, u8, u8)],
+) -> NetworkModel {
+    let cores: Vec<CoreConfig> = (0..n_cores)
+        .map(|id| {
+            let mut cfg = CoreConfig::blank(id, 9);
+            for (k, &(a, n, ty)) in synapse_seeds.iter().enumerate() {
+                let axon = usize::from(a) % 64 + (k % 4) * 64;
+                cfg.crossbar.set(axon, usize::from(n), true);
+                cfg.axon_types[axon] = ty % 4;
+            }
+            for (j, &(w0, leak, thr, stoch)) in neuron_seeds.iter().enumerate() {
+                let neuron = &mut cfg.neurons[j % 256];
+                *neuron = NeuronConfig {
+                    weights: [i16::from(w0), 1, -1, -2],
+                    leak: i16::from(leak),
+                    stochastic_leak: stoch,
+                    threshold: i32::from(thr.max(1)),
+                    floor: -50,
+                    ..NeuronConfig::default()
+                };
+                let tgt_core = (id + 1 + j as u64) % n_cores;
+                let tgt_axon = ((j * 37) % 256) as u16;
+                let delay = 1 + (j % 15) as u8;
+                neuron.target = Some(SpikeTarget::new(tgt_core, tgt_axon, delay));
+            }
+            cfg
+        })
+        .collect();
+    let initial_deliveries = inputs
+        .iter()
+        .map(|&(c, a, t)| (u64::from(c) % n_cores, u16::from(a), u32::from(t % 12) + 1))
+        .collect();
+    NetworkModel {
+        cores,
+        initial_deliveries,
+    }
+}
+
+fn solo_trace(model: &NetworkModel, ticks: u32) -> Vec<compass::tn::Spike> {
+    let mut solo = SoloSimulation::new(model).expect("recipe models are valid");
+    let mut out = Vec::new();
+    for _ in 0..ticks {
+        out.extend(solo.step());
+    }
+    out.sort_by_key(|s| (s.fired_at, s.target.core, s.target.axon, s.target.delay));
+    out
+}
+
+/// Runs `model` under a seeded fault plan with the self-healing stack
+/// installed; returns the per-rank outcomes plus how many faults actually
+/// fired on the wire.
+fn run_healing(
+    model: &NetworkModel,
+    world: WorldConfig,
+    engine: &EngineConfig,
+    plan: FaultPlan,
+    policy: RecoveryPolicy,
+) -> (Vec<RunOutcome>, u64) {
+    let partition = Partition::uniform(model.total_cores(), world.ranks);
+    let metrics = Arc::new(TransportMetrics::new());
+    let injector = Arc::new(FaultInjector::new(plan, world.ranks));
+    let rely = Arc::new(ReliableWorld::new(
+        world.ranks,
+        Arc::clone(&metrics),
+        ReliableConfig::against(&plan),
+    ));
+    let outcomes = World::run_with_recovery(
+        world,
+        metrics,
+        Some(Arc::clone(&injector)),
+        Some(rely),
+        |ctx| {
+            let block = partition.block(ctx.rank());
+            let configs: Vec<CoreConfig> =
+                model.cores[block.start as usize..block.end as usize].to_vec();
+            run_rank_with(
+                ctx,
+                &partition,
+                configs,
+                &model.initial_deliveries,
+                engine,
+                &RunOptions {
+                    recovery: Some(policy),
+                    ..RunOptions::default()
+                },
+            )
+        },
+    );
+    (outcomes, injector.injected())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The tentpole contract, fuzzed: any run under any mixed fault
+    /// schedule completes with a trace bit-identical to the fault-free
+    /// oracle, on either backend, at any decomposition and checkpoint
+    /// cadence — and faults that fired leave forensic evidence.
+    #[test]
+    fn random_faulty_runs_recover_to_the_solo_oracle(
+        n_cores in 2u64..5,
+        synapses in proptest::collection::vec(
+            (proptest::num::u8::ANY, proptest::num::u8::ANY, proptest::num::u8::ANY), 3..24),
+        neurons in proptest::collection::vec(
+            (-3i8..=3, -2i8..=2, 1u8..6, proptest::bool::ANY), 3..24),
+        inputs in proptest::collection::vec(
+            (proptest::num::u8::ANY, proptest::num::u8::ANY, proptest::num::u8::ANY), 1..12),
+        ranks in 1usize..=4,
+        threads in 1usize..=4,
+        fault_seed in proptest::num::u64::ANY,
+        rate in 100u32..=400,
+        cadence in 0usize..3,
+    ) {
+        let model = model_from_recipe(n_cores, &synapses, &neurons, &inputs);
+        model.validate().expect("recipe models are valid");
+        let ticks = 15u32;
+        let reference = solo_trace(&model, ticks);
+        let plan = FaultPlan::all(fault_seed, rate);
+        let policy = RecoveryPolicy::every([1, 3, 7][cadence]);
+
+        for backend in [Backend::Mpi, Backend::Pgas] {
+            let engine = EngineConfig {
+                ticks,
+                backend,
+                record_trace: true,
+                ..EngineConfig::default()
+            };
+            let (outcomes, injected) = run_healing(
+                &model,
+                WorldConfig::new(ranks, threads),
+                &engine,
+                plan,
+                policy,
+            );
+            let mut trace: Vec<compass::tn::Spike> = outcomes
+                .iter()
+                .flat_map(|o| o.report.trace.iter().copied())
+                .collect();
+            trace.sort_by_key(|s| (s.fired_at, s.target.core, s.target.axon, s.target.delay));
+            prop_assert_eq!(&trace, &reference, "{:?} did not recover", backend);
+
+            let evidence: u64 = outcomes
+                .iter()
+                .map(|o| {
+                    o.report.retransmits
+                        + o.report.dedup_drops
+                        + o.report.crc_rejects
+                        + o.report.rollbacks
+                })
+                .sum();
+            if injected > 0 {
+                prop_assert!(
+                    evidence > 0,
+                    "{:?}: {} faults fired but the reliable layer saw nothing",
+                    backend,
+                    injected
+                );
+            } else {
+                prop_assert_eq!(evidence, 0, "evidence without faults");
+            }
+        }
+    }
+}
