@@ -9,10 +9,10 @@
 //!
 //! Run with `cargo run --release -p compass-bench --bin bench_json`.
 
-use compass_comm::{TransportMetrics, World, WorldConfig};
+use compass_comm::{CrashPlan, TransportMetrics, World, WorldConfig};
 use compass_sim::{
-    run, run_rank_with, run_recovering, Backend, EngineConfig, NetworkModel, Partition,
-    RecoveryPolicy, RunOptions,
+    run, run_rank_with, run_recovering, run_surviving, Backend, EngineConfig, NetworkModel,
+    Partition, RecoveryPolicy, RunOptions,
 };
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -310,7 +310,7 @@ fn main() {
         "  \"recovery\": {{\"model\": \"relay_ring(20,8)\", \"ranks\": 2, \
          \"baseline_ns_per_tick\": {base_ns:.1}, \"reliable_ns_per_tick\": {rely_ns:.1}, \
          \"armed_ns_per_tick\": {armed_ns:.1}, \"reliable_overhead\": {rely_over:.3}, \
-         \"armed_overhead\": {armed_over:.3}}}"
+         \"armed_overhead\": {armed_over:.3}}},"
     );
     println!(
         "recovery base={base_ns:.1}ns/tick reliable={rely_ns:.1}ns/tick (+{:.1}%) \
@@ -318,6 +318,84 @@ fn main() {
         rely_over * 100.0,
         armed_over * 100.0
     );
+
+    // Degraded-mode pricing on the same reference model: the steady-state
+    // cost of arming crash survival while nothing crashes (per-tick
+    // heartbeats + buddy replication at every boundary) over the
+    // recovery-armed baseline, and the measured cost of actually losing a
+    // rank mid-run (verdict + adoption + rollback, plus the replayed
+    // interval), on 2- and 4-rank worlds.
+    out.push_str("  \"degraded\": [\n");
+    let mut rows = Vec::new();
+    for ranks in [2usize, 4] {
+        let world = WorldConfig::new(ranks, 1);
+        let armed_ns = per_tick(&|| {
+            run_recovering(
+                &rec_model,
+                world,
+                &rec_engine,
+                None,
+                Some(RecoveryPolicy::every(16)),
+            )
+            .expect("valid model")
+            .total_fires()
+        });
+        let replicating_ns = per_tick(&|| {
+            run_recovering(
+                &rec_model,
+                world,
+                &rec_engine,
+                None,
+                Some(RecoveryPolicy::surviving(16)),
+            )
+            .expect("valid model")
+            .total_fires()
+        });
+        let steady = run_recovering(
+            &rec_model,
+            world,
+            &rec_engine,
+            None,
+            Some(RecoveryPolicy::surviving(16)),
+        )
+        .expect("valid model");
+        let repl_bytes = steady.total_replication_bytes();
+        // Kill the last rank shortly after a boundary: the recovery path
+        // pays a verdict, an adoption, and a 5-tick replay.
+        let kill_tick = 133u32;
+        let mut recover_ns = f64::INFINITY;
+        let mut replayed = 0u64;
+        for _ in 0..5 {
+            let r = run_surviving(
+                &rec_model,
+                world,
+                &rec_engine,
+                None,
+                CrashPlan::new(ranks - 1, kill_tick),
+                RecoveryPolicy::every(16),
+            )
+            .expect("valid model");
+            recover_ns = recover_ns.min(r.recovery_time().as_nanos() as f64);
+            replayed = r.total_replayed_ticks();
+        }
+        let repl_over = (replicating_ns - armed_ns) / armed_ns;
+        rows.push(format!(
+            "    {{\"model\": \"relay_ring(20,8)\", \"ranks\": {ranks}, \
+             \"armed_ns_per_tick\": {armed_ns:.1}, \
+             \"replicating_ns_per_tick\": {replicating_ns:.1}, \
+             \"replication_overhead\": {repl_over:.3}, \
+             \"replication_bytes\": {repl_bytes}, \"kill_tick\": {kill_tick}, \
+             \"time_to_recover_ns\": {recover_ns:.1}, \"replayed_ticks\": {replayed}}}"
+        ));
+        println!(
+            "degraded ranks={ranks} armed={armed_ns:.1}ns/tick \
+             replicating={replicating_ns:.1}ns/tick (+{:.1}%) \
+             repl_bytes={repl_bytes} recover={recover_ns:.1}ns replayed={replayed}",
+            repl_over * 100.0
+        );
+    }
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ]\n");
     out.push_str("}\n");
 
     std::fs::write("BENCH_kernels.json", &out).expect("write BENCH_kernels.json");

@@ -35,13 +35,13 @@ pub trait GlobalBarrier: Send + Sync {
 /// swap barrier implementations for the ablation study.
 #[derive(Debug)]
 pub struct CentralizedBarrier {
-    n: usize,
     state: Mutex<CentralState>,
     cv: Condvar,
 }
 
 #[derive(Debug)]
 struct CentralState {
+    n: usize,
     arrived: usize,
     generation: u64,
 }
@@ -54,12 +54,30 @@ impl CentralizedBarrier {
     pub fn new(n: usize) -> Self {
         assert!(n >= 1, "a barrier needs at least one participant");
         Self {
-            n,
             state: Mutex::new(CentralState {
+                n,
                 arrived: 0,
                 generation: 0,
             }),
             cv: Condvar::new(),
+        }
+    }
+
+    /// Permanently removes one participant from every future episode —
+    /// how a dead rank leaves the PGAS commit barrier so survivors stop
+    /// waiting for it. If the remaining participants have already all
+    /// arrived, the current episode completes immediately.
+    ///
+    /// # Panics
+    /// Panics if the barrier would be left with zero participants.
+    pub fn leave(&self) {
+        let mut st = self.state.lock();
+        assert!(st.n > 1, "a barrier needs at least one participant");
+        st.n -= 1;
+        if st.arrived == st.n {
+            st.arrived = 0;
+            st.generation = st.generation.wrapping_add(1);
+            self.cv.notify_all();
         }
     }
 }
@@ -68,7 +86,7 @@ impl GlobalBarrier for CentralizedBarrier {
     fn wait(&self) -> bool {
         let mut st = self.state.lock();
         st.arrived += 1;
-        if st.arrived == self.n {
+        if st.arrived == st.n {
             st.arrived = 0;
             st.generation = st.generation.wrapping_add(1);
             self.cv.notify_all();
@@ -83,7 +101,7 @@ impl GlobalBarrier for CentralizedBarrier {
     }
 
     fn participants(&self) -> usize {
-        self.n
+        self.state.lock().n
     }
 }
 
@@ -224,6 +242,23 @@ mod tests {
     #[should_panic(expected = "at least one participant")]
     fn zero_participants_rejected() {
         let _ = CentralizedBarrier::new(0);
+    }
+
+    #[test]
+    fn leave_releases_a_waiting_episode() {
+        let b = Arc::new(CentralizedBarrier::new(3));
+        let b2 = Arc::clone(&b);
+        let waiter = std::thread::spawn(move || b2.wait());
+        // One participant arrives, one leaves: the lone waiter's episode
+        // must complete without the third ever showing up.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        b.leave();
+        b.leave();
+        // The episode was completed by `leave`, not by a last arriver, so
+        // the waiter takes the non-leader return path.
+        assert!(!waiter.join().unwrap());
+        assert_eq!(b.participants(), 1);
+        assert!(b.wait(), "later episodes need only the survivors");
     }
 
     #[test]

@@ -25,12 +25,19 @@
 //! and application traffic can never cross-match.
 
 use crate::mailbox::{MailboxSet, Match, Tag};
+use crate::world::Membership;
 use crate::Rank;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Tag-space bit reserved for collective-internal messages. Application
 /// tags must keep this bit clear.
 pub const COLLECTIVE_TAG_BIT: Tag = 1 << 63;
+
+/// Tag-space bit reserved for per-tick liveness heartbeats (see
+/// [`Communicator::heartbeat_round`]). Distinct from both application
+/// tags and the per-episode collective tags, and combined with the tick
+/// number so replayed ticks cannot cross-match with later ones.
+pub const HEARTBEAT_TAG_BIT: Tag = 1 << 61;
 
 /// Per-rank handle for collective operations over a [`MailboxSet`].
 ///
@@ -339,6 +346,128 @@ impl Communicator {
         }
         self.mail.metrics().record_collective(msgs);
         data
+    }
+
+    /// One liveness exchange among `members` at the top of tick `tick`:
+    /// every member sends an empty heartbeat to every other member, then
+    /// waits for each peer's — giving up on a peer the moment the shared
+    /// [`Membership`] says it is dead. Returns the lowest dead member
+    /// found, or `None` when everyone answered.
+    ///
+    /// Deterministic without wall-clock timeouts: a scheduled crash marks
+    /// the membership flag *before* the victim unwinds (and wakes all
+    /// waiters), and a victim that dies at the top of tick `t` never sends
+    /// its tick-`t` heartbeat — so every survivor's verdict is a pure
+    /// function of the crash schedule. Heartbeats ride
+    /// collective-internal sends: never framed, faulted, or counted in
+    /// p2p metrics.
+    pub fn heartbeat_round(
+        &self,
+        members: &[Rank],
+        tick: u32,
+        membership: &Membership,
+    ) -> Option<Rank> {
+        let tag = HEARTBEAT_TAG_BIT | Tag::from(tick);
+        for &peer in members {
+            if peer != self.me {
+                self.send(peer, tag, Vec::new());
+            }
+        }
+        let mut dead = None;
+        // Consume every live peer's heartbeat even after finding a death,
+        // so replayed ticks see a clean channel.
+        for &peer in members {
+            if peer == self.me {
+                continue;
+            }
+            let got = self
+                .mail
+                .mailbox(self.me)
+                .recv_until(Match::from(peer, tag), || !membership.is_alive(peer));
+            if got.is_none() && dead.is_none() {
+                dead = Some(peer);
+            }
+        }
+        dead
+    }
+
+    /// [`Communicator::barrier`] restricted to the `members` subset —
+    /// the degraded-mode tick barrier after a rank death. `members` must
+    /// be identical (same order) on every participating rank and contain
+    /// `self`. Dissemination over virtual indices in `members`.
+    pub fn barrier_among(&self, members: &[Rank]) {
+        let p = members.len();
+        let base = self.next_tags();
+        if p == 1 {
+            self.mail.metrics().record_barrier();
+            return;
+        }
+        let vi = members
+            .iter()
+            .position(|&r| r == self.me)
+            .expect("caller must be a member");
+        let mut msgs = 0u64;
+        let mut dist = 1usize;
+        let mut round: Tag = 0;
+        while dist < p {
+            let to = members[(vi + dist) % p];
+            let from = members[(vi + p - dist) % p];
+            self.send(to, base | round, Vec::new());
+            let _ = self.recv(from, base | round);
+            msgs += 1;
+            dist *= 2;
+            round += 1;
+        }
+        self.mail.metrics().record_barrier();
+        self.mail.metrics().record_collective(msgs);
+    }
+
+    /// [`Communicator::reduce_scatter_sum`] restricted to the `members`
+    /// subset, by direct pairwise exchange. `contrib` stays indexed by
+    /// *absolute* rank (length = world size); entries for non-members are
+    /// ignored. Returns `Σ_{s ∈ members} contrib_s[me]`.
+    pub fn reduce_scatter_sum_among(&self, members: &[Rank], contrib: &[u64]) -> u64 {
+        let p = self.size();
+        assert_eq!(contrib.len(), p, "contribution vector must have P entries");
+        let base = self.next_tags();
+        let mut msgs = 0u64;
+        for &d in members {
+            if d != self.me {
+                self.send(d, base, encode_u64s(&contrib[d..d + 1]));
+                msgs += 1;
+            }
+        }
+        let mut acc = contrib[self.me];
+        for &s in members {
+            if s != self.me {
+                let vals = decode_u64s(&self.recv(s, base));
+                acc = acc.wrapping_add(vals[0]);
+            }
+        }
+        self.mail.metrics().record_collective(msgs);
+        acc
+    }
+
+    /// [`Communicator::allreduce_max`] restricted to the `members`
+    /// subset, by direct exchange — the degraded-mode rollback verdict.
+    pub fn allreduce_max_among(&self, members: &[Rank], mine: u64) -> u64 {
+        let base = self.next_tags();
+        let mut msgs = 0u64;
+        for &d in members {
+            if d != self.me {
+                self.send(d, base, mine.to_le_bytes().to_vec());
+                msgs += 1;
+            }
+        }
+        let mut acc = mine;
+        for &s in members {
+            if s != self.me {
+                let vals = decode_u64s(&self.recv(s, base));
+                acc = acc.max(vals[0]);
+            }
+        }
+        self.mail.metrics().record_collective(msgs);
+        acc
     }
 
     /// Direct personalized all-to-all: sends `bufs[d]` to each rank `d` and
@@ -668,6 +797,82 @@ mod tests {
             assert_eq!(a, 4);
             assert_eq!(b, 6);
             assert_eq!(d, 4);
+        }
+    }
+
+    #[test]
+    fn among_collectives_agree_on_the_survivor_subset() {
+        // World of 4 with rank 2 "dead": the survivors {0, 1, 3} run the
+        // subset collectives; the dead rank runs nothing at all.
+        let members = vec![0usize, 1, 3];
+        let m2 = members.clone();
+        let got = run_world(4, move |c| {
+            if c.rank() == 2 {
+                return (0, 0);
+            }
+            c.barrier_among(&m2);
+            let contrib: Vec<u64> = (0..4).map(|d| 10 * c.rank() as u64 + d).collect();
+            let rs = c.reduce_scatter_sum_among(&m2, &contrib);
+            let mx = c.allreduce_max_among(&m2, c.rank() as u64 * 7);
+            (rs, mx)
+        });
+        for &m in &members {
+            let expect_rs: u64 = members.iter().map(|&s| 10 * s as u64 + m as u64).sum();
+            assert_eq!(got[m].0, expect_rs, "rank {m}");
+            assert_eq!(got[m].1, 21, "rank {m}");
+        }
+        assert_eq!(got[2], (0, 0));
+    }
+
+    #[test]
+    fn heartbeat_round_detects_the_silent_rank() {
+        use crate::world::Membership;
+        let membership = Arc::new(Membership::new(3));
+        let mship = Arc::clone(&membership);
+        let mail = MailboxSet::new(3, Arc::new(TransportMetrics::new()));
+        let members = vec![0usize, 1, 2];
+        let handles: Vec<_> = (0..3)
+            .map(|r| {
+                let mail = mail.clone();
+                let mship = Arc::clone(&mship);
+                let members = members.clone();
+                std::thread::spawn(move || {
+                    let c = Communicator::new(r, mail.clone());
+                    if r == 1 {
+                        // The victim: dies before heartbeating tick 5.
+                        mship.mark_dead(1);
+                        mail.wake_all();
+                        return None;
+                    }
+                    c.heartbeat_round(&members, 5, &mship)
+                })
+            })
+            .collect();
+        let got: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(got, vec![Some(1), None, Some(1)]);
+    }
+
+    #[test]
+    fn heartbeat_round_all_alive_returns_none() {
+        use crate::world::Membership;
+        let membership = Arc::new(Membership::new(4));
+        let mail = MailboxSet::new(4, Arc::new(TransportMetrics::new()));
+        let members = vec![0usize, 1, 2, 3];
+        let handles: Vec<_> = (0..4)
+            .map(|r| {
+                let mail = mail.clone();
+                let mship = Arc::clone(&membership);
+                let members = members.clone();
+                std::thread::spawn(move || {
+                    let c = Communicator::new(r, mail);
+                    (0..10u32)
+                        .map(|t| c.heartbeat_round(&members, t, &mship))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert!(h.join().unwrap().iter().all(|d| d.is_none()));
         }
     }
 

@@ -152,6 +152,45 @@ impl FaultPlan {
     }
 }
 
+/// A deterministic whole-rank failure: rank `rank` dies at the top of
+/// tick `at_tick`, before sending anything for that tick.
+///
+/// Deliberately *not* a [`FaultKind`]: crashes are not sampled from the
+/// seeded message schedule (that would perturb mixed plans' draws), they
+/// are a separate, exactly-scheduled event. The engine answers a crash
+/// with the death-verdict / buddy-adoption protocol rather than the
+/// retransmit/rollback path message faults use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// The rank that dies.
+    pub rank: Rank,
+    /// Tick boundary at which it dies (before any tick-`at_tick` sends).
+    pub at_tick: u32,
+}
+
+impl CrashPlan {
+    /// Kills `rank` at the top of tick `at_tick`.
+    ///
+    /// # Panics
+    /// Panics if `at_tick` is 0 — tick 0 precedes the first checkpoint
+    /// boundary, so there would be nothing for a buddy to adopt from.
+    pub fn new(rank: Rank, at_tick: u32) -> Self {
+        assert!(at_tick >= 1, "a crash needs at least one completed tick");
+        Self { rank, at_tick }
+    }
+}
+
+/// The panic payload a deliberately crashed rank unwinds with, so the
+/// join-side harness ([`crate::World::try_run_with_recovery`]) can tell a
+/// scheduled crash from a genuine bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankCrash {
+    /// The rank that died.
+    pub rank: Rank,
+    /// The tick boundary at which it died.
+    pub tick: u32,
+}
+
 /// Shared runtime state applying a [`FaultPlan`] to a world's transports.
 ///
 /// One instance serves every rank; per-(src, dst) sequence counters and

@@ -44,14 +44,14 @@ pub mod world;
 
 pub use barrier::{CentralizedBarrier, GlobalBarrier, SenseBarrier};
 pub use collectives::Communicator;
-pub use fault::{FaultInjector, FaultKind, FaultPlan};
+pub use fault::{CrashPlan, FaultInjector, FaultKind, FaultPlan, RankCrash};
 pub use mailbox::{Envelope, Mailbox, MailboxSet, RecvRequest, Tag};
 pub use metrics::{MetricsSnapshot, TransportMetrics};
 pub use pgas::PgasWorld;
 pub use reliable::{AuditOutcome, ReliableConfig, ReliableWorld, RelyCounts};
 pub use team::ThreadTeam;
 pub use torus::{LinkLoads, Torus};
-pub use world::{RankCtx, World, WorldConfig};
+pub use world::{Membership, RankCtx, RankFailure, World, WorldConfig};
 
 /// A rank index in `0..P`, the in-process equivalent of an MPI rank.
 pub type Rank = usize;

@@ -187,6 +187,28 @@ impl Mailbox {
         }
     }
 
+    /// Like [`Mailbox::recv`], but gives up (returning `None`) when
+    /// `give_up()` turns true while the queue holds no match.
+    ///
+    /// The queue is always checked *before* the predicate, so a message
+    /// that arrived before the give-up condition became true is still
+    /// delivered — the caller's outcome depends only on the arrival
+    /// order of messages and condition flips, not on wake-up timing.
+    /// Someone must call [`MailboxSet::wake_all`] (or deliver a message)
+    /// after flipping the condition, or the waiter may sleep forever.
+    pub fn recv_until(&self, m: Match, give_up: impl Fn() -> bool) -> Option<Envelope> {
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(idx) = q.iter().position(|e| m.accepts(e)) {
+                return q.remove(idx);
+            }
+            if give_up() {
+                return None;
+            }
+            self.arrived.wait(&mut q);
+        }
+    }
+
     /// Non-destructively reports the `(src, tag, len)` of the first queued
     /// envelope accepted by `m` — the `MPI_Iprobe` + `MPI_Get_count` pair.
     pub fn probe(&self, m: Match) -> Option<(Rank, Tag, usize)> {
@@ -306,6 +328,19 @@ impl MailboxSet {
     /// The mailbox owned by `rank`.
     pub fn mailbox(&self, rank: Rank) -> &Mailbox {
         &self.boxes[rank]
+    }
+
+    /// Wakes every thread blocked in a receive on any mailbox, without
+    /// delivering anything — so waiters re-check their
+    /// [`Mailbox::recv_until`] give-up conditions. A dying rank calls
+    /// this after marking itself dead in the membership view.
+    pub fn wake_all(&self) {
+        for b in self.boxes.iter() {
+            // Take the queue lock so the notify cannot slide between a
+            // waiter's condition check and its wait.
+            let _q = b.queue.lock();
+            b.arrived.notify_all();
+        }
     }
 
     /// Shared metrics block.

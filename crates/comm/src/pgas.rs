@@ -33,6 +33,7 @@ use crate::barrier::{CentralizedBarrier, GlobalBarrier};
 use crate::fault::FaultInjector;
 use crate::metrics::TransportMetrics;
 use crate::reliable::ReliableWorld;
+use crate::sync::Mutex;
 use crate::Rank;
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
@@ -59,6 +60,8 @@ pub struct PgasWorld {
     metrics: Arc<TransportMetrics>,
     faults: Option<Arc<FaultInjector>>,
     rely: Option<Arc<ReliableWorld>>,
+    /// Ranks that have left the commit barrier for good (crash recovery).
+    detached: Mutex<Vec<bool>>,
 }
 
 impl PgasWorld {
@@ -94,6 +97,21 @@ impl PgasWorld {
             metrics,
             faults,
             rely,
+            detached: Mutex::new(vec![false; ranks]),
+        }
+    }
+
+    /// Permanently removes a dead rank from the epoch commit barrier so
+    /// the survivors' `commit()` episodes stop waiting for it. Idempotent
+    /// and safe to call from every survivor: only the first call actually
+    /// shrinks the barrier. The dead rank's windows are left in place —
+    /// drains of a dead source yield whatever it committed before dying,
+    /// and nothing after.
+    pub fn detach(&self, dead: Rank) {
+        let mut detached = self.detached.lock();
+        if !detached[dead] {
+            detached[dead] = true;
+            self.barrier.leave();
         }
     }
 
@@ -150,6 +168,12 @@ impl PgasEndpoint {
     /// Current epoch number (starts at 0, bumps on each `drain`).
     pub fn epoch(&self) -> u64 {
         self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Removes a dead rank from the epoch commit barrier — see
+    /// [`PgasWorld::detach`]. Survivors call this at a death verdict.
+    pub fn detach(&self, dead: Rank) {
+        self.world.detach(dead);
     }
 
     /// One-sided put: appends `bytes` into `dst`'s window for the current
@@ -430,6 +454,29 @@ mod tests {
         ep.drain(|_, _| {});
         ep.commit();
         ep.put(0, &[2]);
+    }
+
+    #[test]
+    fn detach_is_idempotent_and_shrinks_the_barrier() {
+        let w = world(3);
+        w.detach(2);
+        w.detach(2); // every survivor may report the death; only the first shrinks
+        let handles: Vec<_> = (0..2)
+            .map(|r| {
+                let w = Arc::clone(&w);
+                std::thread::spawn(move || {
+                    let ep = w.endpoint(r);
+                    ep.put(1 - r, &[r as u8]);
+                    ep.commit(); // completes without rank 2 ever arriving
+                    let mut got = Vec::new();
+                    ep.drain(|src, bytes| got.push((src, bytes)));
+                    got
+                })
+            })
+            .collect();
+        let got: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(got[0], vec![(1, vec![1])]);
+        assert_eq!(got[1], vec![(0, vec![0])]);
     }
 
     #[test]

@@ -478,6 +478,20 @@ impl ReliableWorld {
         false
     }
 
+    /// Forgets every expectation involving a dead rank: its pair ledgers,
+    /// retained rings, and receiver dedup state are cleared so survivor
+    /// audits never wait on (or retransmit toward) a rank that will never
+    /// speak again. Idempotent — clearing empty state is a no-op.
+    pub fn retire_rank(&self, dead: Rank) {
+        for other in 0..self.ranks {
+            for pair in [dead * self.ranks + other, other * self.ranks + dead] {
+                self.ledger[pair].lock().clear();
+                self.ring[pair].lock().clear();
+                *self.recv[pair].lock() = RecvState::default();
+            }
+        }
+    }
+
     /// This rank's reliable-layer event counters so far.
     pub fn counts(&self, rank: Rank) -> RelyCounts {
         let c = &self.counters[rank];

@@ -8,13 +8,15 @@
 
 use crate::barrier::CentralizedBarrier;
 use crate::collectives::Communicator;
-use crate::fault::FaultInjector;
+use crate::fault::{FaultInjector, RankCrash};
 use crate::mailbox::MailboxSet;
 use crate::metrics::TransportMetrics;
 use crate::pgas::{PgasEndpoint, PgasWorld};
 use crate::reliable::ReliableWorld;
 use crate::team::ThreadTeam;
 use crate::Rank;
+use std::any::Any;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Shape of a simulated machine: `ranks` MPI-process stand-ins, each with a
@@ -59,6 +61,108 @@ impl WorldConfig {
     }
 }
 
+/// The world's shared liveness view: one flag per rank, flipped exactly
+/// once when that rank dies, plus an epoch counting deaths.
+///
+/// A dying rank marks itself dead *before* unwinding (and then wakes all
+/// mailbox waiters), so survivors always observe `dead` no later than the
+/// silence it explains — detection outcomes depend only on the crash
+/// schedule, never on thread timing.
+#[derive(Debug)]
+pub struct Membership {
+    alive: Vec<AtomicBool>,
+    epoch: AtomicU64,
+}
+
+impl Membership {
+    /// All-alive membership for a world of `ranks` ranks.
+    pub fn new(ranks: usize) -> Self {
+        Self {
+            alive: (0..ranks).map(|_| AtomicBool::new(true)).collect(),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// World size this view covers.
+    pub fn ranks(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Whether `rank` is still alive.
+    pub fn is_alive(&self, rank: Rank) -> bool {
+        self.alive[rank].load(Ordering::SeqCst)
+    }
+
+    /// Marks `rank` dead. Idempotent; the epoch bumps only on the actual
+    /// alive → dead transition.
+    pub fn mark_dead(&self, rank: Rank) {
+        if self.alive[rank].swap(false, Ordering::SeqCst) {
+            self.epoch.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Number of deaths recorded so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// The ranks currently alive, ascending.
+    pub fn members(&self) -> Vec<Rank> {
+        (0..self.alive.len())
+            .filter(|&r| self.is_alive(r))
+            .collect()
+    }
+}
+
+/// One rank's terminal failure, observed as data by
+/// [`World::try_run_with_recovery`]: which rank died and what it
+/// unwound with.
+pub struct RankFailure {
+    /// The rank whose closure panicked.
+    pub rank: Rank,
+    payload: Box<dyn Any + Send>,
+}
+
+impl RankFailure {
+    /// The scheduled-crash payload, when the rank died by
+    /// [`CrashPlan`](crate::fault::CrashPlan) rather than by a bug.
+    pub fn crash(&self) -> Option<&RankCrash> {
+        self.payload.downcast_ref::<RankCrash>()
+    }
+
+    /// Best-effort human-readable panic message.
+    pub fn message(&self) -> String {
+        if let Some(c) = self.crash() {
+            return format!("scheduled crash at tick {}", c.tick);
+        }
+        if let Some(s) = self.payload.downcast_ref::<String>() {
+            return s.clone();
+        }
+        if let Some(s) = self.payload.downcast_ref::<&str>() {
+            return (*s).to_string();
+        }
+        "non-string panic payload".to_string()
+    }
+
+    /// Re-raises the failure on the calling thread, with the rank id
+    /// attached so multi-rank test failures are attributable. The resumed
+    /// payload is a `String` containing `"rank panicked"`, preserving the
+    /// substring the pre-existing `should_panic` harnesses expect.
+    pub fn resume(self) -> ! {
+        let msg = format!("rank panicked: rank {}: {}", self.rank, self.message());
+        std::panic::resume_unwind(Box::new(msg))
+    }
+}
+
+impl std::fmt::Debug for RankFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RankFailure")
+            .field("rank", &self.rank)
+            .field("message", &self.message())
+            .finish()
+    }
+}
+
 /// Everything one rank needs: identity, messaging, collectives, one-sided
 /// windows, its thread team, and the shared metrics.
 pub struct RankCtx {
@@ -70,6 +174,7 @@ pub struct RankCtx {
     metrics: Arc<TransportMetrics>,
     faults: Option<Arc<FaultInjector>>,
     rely: Option<Arc<ReliableWorld>>,
+    membership: Arc<Membership>,
 }
 
 impl RankCtx {
@@ -118,6 +223,12 @@ impl RankCtx {
     /// drives its per-tick epoch and end-of-tick audit.
     pub fn reliable(&self) -> Option<&Arc<ReliableWorld>> {
         self.rely.as_ref()
+    }
+
+    /// The world's shared liveness view. All-alive unless a scheduled
+    /// crash has fired.
+    pub fn membership(&self) -> &Arc<Membership> {
+        &self.membership
     }
 }
 
@@ -187,6 +298,31 @@ impl World {
         T: Send,
         F: Fn(&RankCtx) -> T + Sync,
     {
+        let results = Self::try_run_with_recovery(config, metrics, faults, rely, f);
+        results
+            .into_iter()
+            .map(|r| match r {
+                Ok(t) => t,
+                Err(failure) => failure.resume(),
+            })
+            .collect()
+    }
+
+    /// Like [`World::run_with_recovery`], but a panicking rank is returned
+    /// as an `Err(`[`RankFailure`]`)` in its slot instead of aborting the
+    /// harness — the observation point for the rank-crash-survival
+    /// protocol. Every rank is always joined.
+    pub fn try_run_with_recovery<T, F>(
+        config: WorldConfig,
+        metrics: Arc<TransportMetrics>,
+        faults: Option<Arc<FaultInjector>>,
+        rely: Option<Arc<ReliableWorld>>,
+        f: F,
+    ) -> Vec<Result<T, RankFailure>>
+    where
+        T: Send,
+        F: Fn(&RankCtx) -> T + Sync,
+    {
         config.validate();
         let mail = MailboxSet::with_reliability(
             config.ranks,
@@ -200,6 +336,7 @@ impl World {
             faults.clone(),
             rely.clone(),
         ));
+        let membership = Arc::new(Membership::new(config.ranks));
         // Not strictly needed for correctness, but lets ranks start their
         // timing loops together, which tightens benchmark variance.
         let start_line = Arc::new(CentralizedBarrier::new(config.ranks));
@@ -213,6 +350,7 @@ impl World {
                     let start_line = Arc::clone(&start_line);
                     let faults = faults.clone();
                     let rely = rely.clone();
+                    let membership = Arc::clone(&membership);
                     let f = &f;
                     scope.spawn(move || {
                         let ctx = RankCtx {
@@ -224,6 +362,7 @@ impl World {
                             metrics,
                             faults,
                             rely,
+                            membership,
                         };
                         use crate::barrier::GlobalBarrier;
                         start_line.wait();
@@ -233,7 +372,8 @@ impl World {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("rank panicked"))
+                .enumerate()
+                .map(|(rank, h)| h.join().map_err(|payload| RankFailure { rank, payload }))
                 .collect()
         })
     }
@@ -313,6 +453,58 @@ mod tests {
     fn total_threads_product() {
         assert_eq!(WorldConfig::new(4, 8).total_threads(), 32);
         assert_eq!(WorldConfig::flat(5).total_threads(), 5);
+    }
+
+    #[test]
+    fn try_run_reports_the_failed_rank_as_data() {
+        let metrics = Arc::new(TransportMetrics::new());
+        let results =
+            World::try_run_with_recovery(WorldConfig::flat(3), metrics, None, None, |ctx| {
+                if ctx.rank() == 1 {
+                    ctx.membership().mark_dead(1);
+                    ctx.comm().mailboxes().wake_all();
+                    std::panic::panic_any(RankCrash { rank: 1, tick: 5 });
+                }
+                ctx.rank()
+            });
+        assert_eq!(results.len(), 3);
+        assert_eq!(*results[0].as_ref().unwrap(), 0);
+        assert_eq!(*results[2].as_ref().unwrap(), 2);
+        let failure = results[1].as_ref().unwrap_err();
+        assert_eq!(failure.rank, 1);
+        assert_eq!(failure.crash(), Some(&RankCrash { rank: 1, tick: 5 }));
+        assert!(failure.message().contains("tick 5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "rank panicked")]
+    fn run_attributes_the_panicking_rank() {
+        World::run(WorldConfig::flat(2), |ctx| {
+            assert!(ctx.rank() != 1, "rank 1 goes down");
+        });
+    }
+
+    #[test]
+    fn membership_marks_deaths_once() {
+        let m = Membership::new(3);
+        assert_eq!(m.members(), vec![0, 1, 2]);
+        assert_eq!(m.epoch(), 0);
+        m.mark_dead(1);
+        m.mark_dead(1);
+        assert_eq!(m.epoch(), 1, "re-marking must not re-bump the epoch");
+        assert!(!m.is_alive(1));
+        assert_eq!(m.members(), vec![0, 2]);
+    }
+
+    #[test]
+    fn recv_until_gives_up_only_when_empty() {
+        let metrics = Arc::new(TransportMetrics::new());
+        let mail = MailboxSet::new(2, metrics);
+        mail.send(0, 1, 7, vec![3]);
+        // Give-up condition already true, but the queued envelope wins.
+        let got = mail.mailbox(1).recv_until(Match::tag(7), || true);
+        assert_eq!(got.unwrap().payload, vec![3]);
+        assert!(mail.mailbox(1).recv_until(Match::tag(7), || true).is_none());
     }
 
     #[test]

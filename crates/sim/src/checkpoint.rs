@@ -29,10 +29,13 @@
 //! checkpoint written by one build is rejected — never misread — by an
 //! incompatible one.
 
-use tn_core::CORE_SNAPSHOT_BYTES;
+use tn_core::{Spike, CORE_SNAPSHOT_BYTES, SPIKE_WIRE_BYTES};
 
 /// Leading magic of a serialized rank checkpoint.
 pub const CHECKPOINT_MAGIC: [u8; 4] = *b"CKPT";
+
+/// Leading magic of a serialized buddy-replica payload.
+pub const REPLICA_MAGIC: [u8; 4] = *b"RPL1";
 
 /// Current rank-checkpoint format version.
 pub const CHECKPOINT_VERSION: u16 = 1;
@@ -54,6 +57,8 @@ pub enum CheckpointError {
         /// Length received.
         got: usize,
     },
+    /// A spike record inside a replica payload failed its checksum.
+    CorruptSpike,
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -70,6 +75,9 @@ impl std::fmt::Display for CheckpointError {
             }
             CheckpointError::Truncated { expected, got } => {
                 write!(f, "checkpoint is {got} bytes, header implies {expected}")
+            }
+            CheckpointError::CorruptSpike => {
+                write!(f, "replica payload holds a spike with a bad checksum")
             }
         }
     }
@@ -175,6 +183,107 @@ impl RankCheckpoint {
     }
 }
 
+/// Everything a buddy needs to adopt a dead rank's cores: the rank's
+/// newest [`RankCheckpoint`] plus the *observable history* it had already
+/// produced — its recorded spike trace and fires-per-tick counts for ticks
+/// before the checkpoint. The history must travel with the snapshot
+/// because it dies with the victim's thread: adoption restores the cores
+/// from the snapshot, but the merged run report still owes the caller the
+/// victim's pre-crash output.
+///
+/// Shipped to the ring buddy over the ordinary reliable transport at every
+/// auto-checkpoint boundary, so replica bytes enjoy the same CRC framing,
+/// dedup, and retransmit audit as spike traffic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaPayload {
+    /// The replicated checkpoint (rank field = the *original* owner).
+    pub ckpt: RankCheckpoint,
+    /// The owner's recorded spike trace for ticks `< ckpt.start_tick()`
+    /// (empty when the run does not record traces).
+    pub trace: Vec<Spike>,
+    /// The owner's fires-per-tick counts for ticks `< ckpt.start_tick()`.
+    pub fires_per_tick: Vec<u64>,
+}
+
+impl ReplicaPayload {
+    /// Cheap prefix test: is this transport payload a replica frame rather
+    /// than a spike batch? Replica frames are the only non-spike payloads
+    /// on the data channel, and spike batches are raw 20-byte records that
+    /// never start with the [`REPLICA_MAGIC`] ASCII prefix (a spike's
+    /// first 8 bytes are a little-endian core id, and core ids stay far
+    /// below `0x314C_5052`).
+    pub fn looks_like(bytes: &[u8]) -> bool {
+        bytes.len() >= 4 && bytes[..4] == REPLICA_MAGIC
+    }
+
+    /// Serializes: magic, section lengths, checkpoint blob, 20-byte spike
+    /// records, little-endian fire counts.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let ck = self.ckpt.to_bytes();
+        let mut out = Vec::with_capacity(
+            16 + ck.len() + self.trace.len() * SPIKE_WIRE_BYTES + self.fires_per_tick.len() * 8,
+        );
+        out.extend_from_slice(&REPLICA_MAGIC);
+        out.extend_from_slice(&(ck.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.trace.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.fires_per_tick.len() as u32).to_le_bytes());
+        out.extend_from_slice(&ck);
+        for s in &self.trace {
+            s.encode_into(&mut out);
+        }
+        for &f in &self.fires_per_tick {
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes [`ReplicaPayload::to_bytes`], validating sizes before
+    /// touching any payload.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        if !Self::looks_like(bytes) {
+            return Err(CheckpointError::BadMagic);
+        }
+        if bytes.len() < 16 {
+            return Err(CheckpointError::Truncated {
+                expected: 16,
+                got: bytes.len(),
+            });
+        }
+        let word32 = |off: usize| u32::from_le_bytes(bytes[off..off + 4].try_into().expect("len"));
+        let ck_len = word32(4) as usize;
+        let n_trace = word32(8) as usize;
+        let n_fires = word32(12) as usize;
+        let expected = 16 + ck_len + n_trace * SPIKE_WIRE_BYTES + n_fires * 8;
+        if bytes.len() != expected {
+            return Err(CheckpointError::Truncated {
+                expected,
+                got: bytes.len(),
+            });
+        }
+        let ckpt = RankCheckpoint::from_bytes(&bytes[16..16 + ck_len])?;
+        let mut at = 16 + ck_len;
+        let mut trace = Vec::with_capacity(n_trace);
+        for _ in 0..n_trace {
+            let s = Spike::decode(&bytes[at..at + SPIKE_WIRE_BYTES])
+                .ok_or(CheckpointError::CorruptSpike)?;
+            trace.push(s);
+            at += SPIKE_WIRE_BYTES;
+        }
+        let mut fires_per_tick = Vec::with_capacity(n_fires);
+        for _ in 0..n_fires {
+            fires_per_tick.push(u64::from_le_bytes(
+                bytes[at..at + 8].try_into().expect("len"),
+            ));
+            at += 8;
+        }
+        Ok(Self {
+            ckpt,
+            trace,
+            fires_per_tick,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,5 +363,87 @@ mod tests {
             RankCheckpoint::from_bytes(&bad),
             Err(CheckpointError::Truncated { .. })
         ));
+    }
+
+    fn sample_replica() -> ReplicaPayload {
+        use tn_core::SpikeTarget;
+        ReplicaPayload {
+            ckpt: sample(),
+            trace: vec![
+                Spike {
+                    fired_at: 3,
+                    target: SpikeTarget {
+                        core: 7,
+                        axon: 12,
+                        delay: 2,
+                    },
+                },
+                Spike {
+                    fired_at: 9,
+                    target: SpikeTarget {
+                        core: 0,
+                        axon: 255,
+                        delay: 1,
+                    },
+                },
+            ],
+            fires_per_tick: vec![0, 5, 2, 0, 1],
+        }
+    }
+
+    #[test]
+    fn replica_roundtrips_through_bytes() {
+        let r = sample_replica();
+        let bytes = r.to_bytes();
+        assert!(ReplicaPayload::looks_like(&bytes));
+        assert_eq!(ReplicaPayload::from_bytes(&bytes).unwrap(), r);
+        // An empty-history replica (trace recording off) also roundtrips.
+        let r = ReplicaPayload {
+            ckpt: sample(),
+            trace: Vec::new(),
+            fires_per_tick: Vec::new(),
+        };
+        assert_eq!(ReplicaPayload::from_bytes(&r.to_bytes()).unwrap(), r);
+    }
+
+    #[test]
+    fn replica_is_distinguishable_from_spike_batches() {
+        use tn_core::SpikeTarget;
+        let mut batch = Vec::new();
+        for i in 0..4u64 {
+            Spike {
+                fired_at: 1,
+                target: SpikeTarget {
+                    core: i,
+                    axon: 0,
+                    delay: 1,
+                },
+            }
+            .encode_into(&mut batch);
+        }
+        assert!(!ReplicaPayload::looks_like(&batch));
+        assert!(!ReplicaPayload::looks_like(b""));
+        assert!(!ReplicaPayload::looks_like(b"RPL"));
+    }
+
+    #[test]
+    fn malformed_replicas_are_rejected_not_panicked_on() {
+        let good = sample_replica().to_bytes();
+        assert_eq!(
+            ReplicaPayload::from_bytes(b"nope"),
+            Err(CheckpointError::BadMagic)
+        );
+        assert!(matches!(
+            ReplicaPayload::from_bytes(&good[..good.len() - 3]),
+            Err(CheckpointError::Truncated { .. })
+        ));
+        // Flip a bit inside a spike record: its checksum must catch it.
+        let ck_len = sample().to_bytes().len();
+        let mut bad = good.clone();
+        bad[16 + ck_len] ^= 0x40;
+        assert_eq!(
+            ReplicaPayload::from_bytes(&bad),
+            Err(CheckpointError::CorruptSpike)
+        );
     }
 }

@@ -56,16 +56,17 @@
 //! [`EngineConfig::overlap`] (off = Reduce-scatter and local delivery run
 //! sequentially).
 
-use crate::checkpoint::RankCheckpoint;
-use crate::partition::Partition;
+use crate::checkpoint::{RankCheckpoint, ReplicaPayload};
+use crate::partition::{Partition, SurvivorView};
 use crate::recovery::{CheckpointRing, RecoveryPolicy};
 use crate::stats::{PhaseTimes, RankReport};
 use compass_comm::mailbox::Match;
 use compass_comm::team::{chunk_owner, static_chunk};
-use compass_comm::{RankCtx, Tag};
+use compass_comm::{CrashPlan, Rank, RankCrash, RankCtx, Tag};
 use std::cell::UnsafeCell;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use tn_core::{CoreConfig, NeurosynapticCore, Spike};
 
@@ -181,6 +182,30 @@ pub struct RunOptions {
     /// auto-checkpoint instead of panicking, replaying the interval
     /// bit-identically. Every rank of a world must use the same policy.
     pub recovery: Option<RecoveryPolicy>,
+    /// Deterministic crash injection: if this rank is the plan's victim,
+    /// it terminates (via panic, observed as data by
+    /// [`compass_comm::World::try_run_with_recovery`]) at the top of the
+    /// planned tick, after publishing its death in the shared
+    /// [`compass_comm::Membership`] table. Requires
+    /// [`RecoveryPolicy::survive_crashes`]; every rank of the world must
+    /// carry the same plan so survivors know a crash is possible.
+    pub crash: Option<CrashPlan>,
+}
+
+/// A survivor's account of a rank death: everything the harness needs to
+/// rebuild a degraded world and replay from the common checkpoint.
+#[derive(Debug, Clone)]
+pub struct DeathInterrupt {
+    /// The rank all survivors agreed is dead.
+    pub dead: Rank,
+    /// The tick at whose top the death verdict was reached.
+    pub at_tick: u32,
+    /// This survivor's newest auto-checkpoint — the common recovery
+    /// boundary every rank (including the victim's replica) shares.
+    pub resume: RankCheckpoint,
+    /// The victim's buddy-replicated state, present only on the ring
+    /// buddy that will adopt its cores.
+    pub adopted: Option<ReplicaPayload>,
 }
 
 /// What [`run_rank_with`] hands back: the rank report, plus the checkpoint
@@ -193,6 +218,10 @@ pub struct RunOutcome {
     /// The checkpoint taken at [`RunOptions::checkpoint_at`], if reached
     /// before [`RunOptions::kill_at`].
     pub checkpoint: Option<RankCheckpoint>,
+    /// Set when the run stopped because a peer rank died: the survivors'
+    /// unanimous death verdict plus what this rank needs to resume in the
+    /// degraded world. `None` on normal completion.
+    pub interrupt: Option<DeathInterrupt>,
 }
 
 /// Spike-message tag for tick `t` (application tag space; the collective
@@ -436,23 +465,50 @@ pub fn run_rank_with(
     cfg: &EngineConfig,
     opts: &RunOptions,
 ) -> RunOutcome {
+    run_rank_view(
+        ctx,
+        &SurvivorView::identity(partition.clone()),
+        configs,
+        initial_deliveries,
+        cfg,
+        opts,
+    )
+}
+
+/// [`run_rank_with`] generalized over a [`SurvivorView`]: the same main
+/// loop, but core ownership is resolved through the view, so a survivor
+/// can host a dead buddy's cores (degraded mode) while routing tables and
+/// metrics stay sized for the original world. With an identity view this
+/// is exactly [`run_rank_with`]; ranks outside `view.members()` must not
+/// call it.
+///
+/// `configs` must be the view's blocks for this rank, concatenated in
+/// ascending original-rank order (see [`SurvivorView::blocks_of`]).
+pub fn run_rank_view(
+    ctx: &RankCtx,
+    view: &SurvivorView,
+    configs: Vec<CoreConfig>,
+    initial_deliveries: &[(u64, u16, u32)],
+    cfg: &EngineConfig,
+    opts: &RunOptions,
+) -> RunOutcome {
     let me = ctx.rank();
     let world = ctx.world_size();
-    let block = partition.block(me);
     assert_eq!(
         configs.len() as u64,
-        block.end - block.start,
+        view.count(me),
         "rank {me}: config count does not fill partition block"
     );
 
     // Instantiate cores (the paper's PCC hands off to Compass the same way:
     // compile, instantiate, free the compiler structures).
+    let mut expected_ids = view.blocks_of(me).into_iter().flatten();
     let mut memory_bytes = 0u64;
     let mut slots: Vec<CoreSlot> = configs
         .into_iter()
-        .enumerate()
-        .map(|(i, c)| {
-            assert_eq!(c.id, block.start + i as u64, "core ids must be dense");
+        .map(|c| {
+            let want = expected_ids.next().expect("count checked above");
+            assert_eq!(c.id, want, "core ids must be dense");
             memory_bytes += c.memory_footprint() as u64;
             let mut core = NeurosynapticCore::new(c).expect("invalid core config");
             core.set_word_kernels(cfg.kernels);
@@ -496,7 +552,7 @@ pub fn run_rank_with(
     // fed to the cores at the start of their delivery tick.
     let mut inputs: Vec<(u32, u64, u16)> = initial_deliveries
         .iter()
-        .filter(|(core, _, _)| block.contains(core))
+        .filter(|&&(core, _, _)| view.owns(me, core))
         .map(|&(core, axon, tick)| {
             assert!(tick >= 1, "external deliveries start at tick 1");
             (tick, core, axon)
@@ -528,7 +584,7 @@ pub fn run_rank_with(
     // and inbox drains only happen in Synapse regions, never concurrently
     // with Network-phase routing.
     let route = |spike: &Spike, tid: usize, my: &mut [CoreSlot], my_range: &Range<usize>| {
-        let idx = partition.local_index(me, spike.target.core);
+        let idx = view.local_index(me, spike.target.core);
         if my_range.contains(&idx) {
             my[idx - my_range.start]
                 .core
@@ -573,6 +629,49 @@ pub fn run_rank_with(
     let mut recovery_time = Duration::ZERO;
     let mut killed = false;
 
+    // Crash-survival state: the heartbeat/replication machinery is armed
+    // only by `RecoveryPolicy::survive_crashes`, and every replica rides
+    // the reliable data channel, so survival requires a rely layer.
+    let survive = opts.recovery.as_ref().is_some_and(|p| p.survive_crashes);
+    if survive {
+        assert!(
+            rely.is_some(),
+            "rank {me}: crash survival requires a reliable-delivery layer"
+        );
+    }
+    if opts.crash.is_some() {
+        assert!(
+            survive,
+            "rank {me}: a crash plan requires RecoveryPolicy::survive_crashes"
+        );
+    }
+    // Latest buddy replica received, as raw bytes (parsed at a verdict).
+    // A Mutex because receive paths run inside team regions; contention is
+    // nil — at most one replica frame arrives per checkpoint boundary.
+    let replica_store: Mutex<Option<Vec<u8>>> = Mutex::new(None);
+    let mut interrupt: Option<DeathInterrupt> = None;
+    let mut death_verdicts = 0u64;
+    let mut replication_bytes = 0u64;
+    let mut replication_time = Duration::ZERO;
+
+    // Degraded-mode collectives: with an identity view these are the
+    // ordinary full-world operations (bit-identical to the fault-free
+    // engine); after a death they run among the survivors only.
+    let rs_sum = |contrib: &[u64]| {
+        if view.is_identity() {
+            ctx.comm().reduce_scatter_sum(contrib)
+        } else {
+            ctx.comm().reduce_scatter_sum_among(view.members(), contrib)
+        }
+    };
+    let ar_max = |v: u64| {
+        if view.is_identity() {
+            ctx.comm().allreduce_max(v)
+        } else {
+            ctx.comm().allreduce_max_among(view.members(), v)
+        }
+    };
+
     let mut t = start_tick;
     while t < cfg.ticks {
         // Checkpoint/kill at the tick boundary, before this tick's inputs.
@@ -612,6 +711,92 @@ pub fn run_rank_with(
             break;
         }
 
+        // Deterministic crash injection: the victim dies at the top of
+        // its tick, *before* heartbeating it. It first publishes the
+        // death in the shared membership table and wakes every blocked
+        // receiver, so survivor heartbeat rounds for this tick return a
+        // verdict instead of hanging — the in-process stand-in for a
+        // process abort detected by a failure detector.
+        if let Some(plan) = &opts.crash {
+            if plan.rank == me && plan.at_tick == t {
+                ctx.membership().mark_dead(me);
+                ctx.comm().mailboxes().wake_all();
+                std::panic::panic_any(RankCrash { rank: me, tick: t });
+            }
+        }
+
+        // Failure detection: one empty heartbeat per live peer per tick,
+        // tick-tagged so rounds never cross. The verdict is deterministic:
+        // a silent peer is reported dead only via the membership flag the
+        // victim set before dying, never via wall-clock timeouts, so the
+        // verdict tick depends only on the crash plan.
+        if survive {
+            let hb_start = Instant::now();
+            let dead = ctx
+                .comm()
+                .heartbeat_round(view.members(), t, ctx.membership());
+            recovery_time += hb_start.elapsed();
+            if let Some(dead) = dead {
+                // Every survivor reaches this same verdict at the top of
+                // this same tick (the victim heartbeated every earlier
+                // tick), so the recovery below is collective without any
+                // further agreement round. Roll local history back to the
+                // newest auto-checkpoint — the boundary the victim's
+                // replica also sits at — and hand the harness everything
+                // it needs to rebuild a degraded world.
+                let verdict_start = Instant::now();
+                death_verdicts += 1;
+                let resume = ring
+                    .newest()
+                    .expect("starting tick is always snapshotted")
+                    .clone();
+                let back_to = resume.start_tick();
+                report.trace.retain(|s| s.fired_at < back_to);
+                report
+                    .fires_per_tick
+                    .truncate((back_to - start_tick) as usize);
+                for dest in 0..threads {
+                    // SAFETY: master between regions.
+                    unsafe {
+                        inboxes.drain_for(dest, |_| {});
+                    }
+                }
+                // The dead rank will never speak again: forget its pair
+                // ledgers (no audit may wait on it) and shrink the PGAS
+                // commit barrier (no epoch may wait on it).
+                if let Some(r) = &rely {
+                    r.retire_rank(dead);
+                }
+                ctx.pgas().detach(dead);
+                let adopted = if view.buddy_of(dead) == me {
+                    let bytes = replica_store
+                        .lock()
+                        .expect("replica store poisoned")
+                        .take()
+                        .expect("buddy must hold a replica by the first verdict tick");
+                    let rp = ReplicaPayload::from_bytes(&bytes)
+                        .expect("replica payload survived the CRC-checked channel");
+                    assert_eq!(rp.ckpt.rank() as usize, dead, "replica owner mismatch");
+                    assert_eq!(
+                        rp.ckpt.start_tick(),
+                        back_to,
+                        "replica and survivor checkpoints must share a boundary"
+                    );
+                    Some(rp)
+                } else {
+                    None
+                };
+                recovery_time += verdict_start.elapsed();
+                interrupt = Some(DeathInterrupt {
+                    dead,
+                    at_tick: t,
+                    resume,
+                    adopted,
+                });
+                break;
+            }
+        }
+
         // Auto-checkpoint for rollback-recovery: same tick-boundary
         // invariant as `checkpoint_at`, but kept in a bounded in-memory
         // ring. The starting tick is always snapshotted so a rollback
@@ -649,12 +834,49 @@ pub fn run_rank_with(
             r.begin_tick(me, t);
         }
 
+        // Buddy replication: at every auto-checkpoint boundary, ship the
+        // newest checkpoint plus this rank's recorded history to the ring
+        // buddy over the ordinary tick-tagged reliable channel, so the
+        // replica enjoys the same CRC framing, dedup, and retransmit
+        // audit as spike traffic. Deliberately *not* guarded by the ring
+        // push above: a rollback replay re-sends the (identical) replica
+        // with fresh sequence numbers, keeping send/expect counts
+        // symmetric across ranks.
+        let mut replica_flag: Option<Rank> = None;
+        if survive {
+            let pol = opts.recovery.as_ref().expect("survive implies a policy");
+            let due = t == start_tick
+                || (pol.auto_checkpoint_every != 0 && t % pol.auto_checkpoint_every == 0);
+            let buddy = view.buddy_of(me);
+            if due && buddy != me {
+                let rep_start = Instant::now();
+                let payload = ReplicaPayload {
+                    ckpt: ring
+                        .newest()
+                        .expect("boundary snapshot precedes replication")
+                        .clone(),
+                    trace: report.trace.clone(),
+                    fires_per_tick: report.fires_per_tick.clone(),
+                }
+                .to_bytes();
+                replication_bytes += payload.len() as u64;
+                match cfg.backend {
+                    Backend::Mpi => {
+                        ctx.comm().mailboxes().send(me, buddy, tick_tag(t), payload);
+                        replica_flag = Some(buddy);
+                    }
+                    Backend::Pgas => ctx.pgas().put(buddy, &payload),
+                }
+                replication_time += rep_start.elapsed();
+            }
+        }
+
         // Inject external inputs due this tick (before their slot is read).
         // SAFETY: master between regions; no shard slice is live.
         let all = unsafe { shards.all() };
         while input_cursor < inputs.len() && inputs[input_cursor].0 == t {
             let (tick, core, axon) = inputs[input_cursor];
-            all[(core - block.start) as usize].core.deliver(axon, tick);
+            all[view.local_index(me, core)].core.deliver(axon, tick);
             input_cursor += 1;
         }
 
@@ -716,7 +938,7 @@ pub fn run_rank_with(
                     if cfg.record_trace {
                         trace.push(spike);
                     }
-                    let dest = partition.rank_of(spike.target.core);
+                    let dest = view.rank_of(spike.target.core);
                     if dest == me {
                         local.push(spike);
                     } else {
@@ -784,6 +1006,11 @@ pub fn run_rank_with(
                 // overlapped with local delivery.
             }
         }
+        if let Some(b) = replica_flag.take() {
+            // The replica shipped at the top of this tick rides the same
+            // tick-tagged channel; the buddy's receive loop must claim it.
+            send_flags[b] += 1;
+        }
         phases.neuron += t1.elapsed();
 
         // ---------------- Network phase ----------------
@@ -797,7 +1024,7 @@ pub fn run_rank_with(
                     team.parallel(|tc| {
                         let tid = tc.tid();
                         if tc.is_master() {
-                            let v = ctx.comm().reduce_scatter_sum(&send_flags);
+                            let v = rs_sum(&send_flags);
                             expected.store(v, Ordering::Release);
                         } else {
                             // SAFETY: own tid, once per region.
@@ -810,7 +1037,7 @@ pub fn run_rank_with(
                         }
                     });
                 } else {
-                    let v = ctx.comm().reduce_scatter_sum(&send_flags);
+                    let v = rs_sum(&send_flags);
                     expected.store(v, Ordering::Release);
                     let local_ref = &local_all;
                     team.parallel(|tc| {
@@ -856,6 +1083,11 @@ pub fn run_rank_with(
                         // abandoned here and re-delivered by the audit.
                         match &rely {
                             Some(r) => r.receive(env.src, me, &env.payload, |payload| {
+                                if survive && ReplicaPayload::looks_like(payload) {
+                                    *replica_store.lock().expect("replica store poisoned") =
+                                        Some(payload.to_vec());
+                                    return;
+                                }
                                 for spike in Spike::decode_buffer(payload) {
                                     route(&spike, tid, my, &my_range);
                                 }
@@ -903,7 +1135,7 @@ pub fn run_rank_with(
                     // SAFETY: master between regions; no shard slice live.
                     let all = unsafe { shards.all() };
                     for s in local_ref {
-                        let idx = partition.local_index(me, s.target.core);
+                        let idx = view.local_index(me, s.target.core);
                         all[idx].core.deliver(s.target.axon, s.delivery_tick());
                     }
                 }
@@ -917,8 +1149,13 @@ pub fn run_rank_with(
                 let all = unsafe { shards.all() };
                 ctx.pgas().drain(|src, bytes| match &rely {
                     Some(r) => r.receive(src, me, &bytes, |payload| {
+                        if survive && ReplicaPayload::looks_like(payload) {
+                            *replica_store.lock().expect("replica store poisoned") =
+                                Some(payload.to_vec());
+                            return;
+                        }
                         for spike in Spike::decode_buffer(payload) {
-                            let idx = partition.local_index(me, spike.target.core);
+                            let idx = view.local_index(me, spike.target.core);
                             all[idx]
                                 .core
                                 .deliver(spike.target.axon, spike.delivery_tick());
@@ -926,7 +1163,7 @@ pub fn run_rank_with(
                     }),
                     None => {
                         for spike in Spike::decode_buffer(&bytes) {
-                            let idx = partition.local_index(me, spike.target.core);
+                            let idx = view.local_index(me, spike.target.core);
                             all[idx]
                                 .core
                                 .deliver(spike.target.axon, spike.delivery_tick());
@@ -950,8 +1187,12 @@ pub fn run_rank_with(
             // SAFETY: master between regions; no shard slice is live.
             let all = unsafe { shards.all() };
             let outcome = r.audit(me, t, |_, payload| {
+                if survive && ReplicaPayload::looks_like(payload) {
+                    *replica_store.lock().expect("replica store poisoned") = Some(payload.to_vec());
+                    return;
+                }
                 for spike in Spike::decode_buffer(payload) {
-                    let idx = partition.local_index(me, spike.target.core);
+                    let idx = view.local_index(me, spike.target.core);
                     all[idx]
                         .core
                         .deliver(spike.target.axon, spike.delivery_tick());
@@ -963,7 +1204,7 @@ pub fn run_rank_with(
                 // Collective verdict: one bit per rank, max-reduced, so
                 // either every rank rolls back or none does. This is the
                 // whole per-tick overhead of enabling the policy.
-                let any_gap = ctx.comm().allreduce_max(u64::from(!outcome.clean()));
+                let any_gap = ar_max(u64::from(!outcome.clean()));
                 if any_gap != 0 {
                     let rb_start = Instant::now();
                     rollbacks += 1;
@@ -1037,10 +1278,10 @@ pub fn run_rank_with(
     // damage is deliberately discarded by the restart path — and
     // symmetric across ranks (both the Reduce-scatter and the PGAS
     // commit/drain are collective).
-    if !killed {
+    if !killed && interrupt.is_none() {
         if let Some(inj) = ctx.faults() {
             let mut land = |spike: Spike| {
-                let idx = partition.local_index(me, spike.target.core);
+                let idx = view.local_index(me, spike.target.core);
                 all[idx]
                     .core
                     .deliver(spike.target.axon, spike.delivery_tick());
@@ -1050,7 +1291,7 @@ pub fn run_rank_with(
                     let mail = ctx.comm().mailboxes();
                     let mut flush_flags = vec![0u64; world];
                     for (dst, flag) in flush_flags.iter_mut().enumerate() {
-                        if dst == me {
+                        if dst == me || !view.members().contains(&dst) {
                             continue;
                         }
                         let held = inj.take_held(me, dst);
@@ -1059,7 +1300,7 @@ pub fn run_rank_with(
                             *flag = 1;
                         }
                     }
-                    let expected = ctx.comm().reduce_scatter_sum(&flush_flags);
+                    let expected = rs_sum(&flush_flags);
                     for _ in 0..expected {
                         let env = mail.mailbox(me).recv(Match::tag(FLUSH_TAG));
                         // Held bytes went through framing once (when rely
@@ -1068,6 +1309,9 @@ pub fn run_rank_with(
                         // delivering.
                         match &rely {
                             Some(r) => r.receive(env.src, me, &env.payload, |payload| {
+                                if survive && ReplicaPayload::looks_like(payload) {
+                                    return;
+                                }
                                 for spike in Spike::decode_buffer(payload) {
                                     land(spike);
                                 }
@@ -1082,7 +1326,7 @@ pub fn run_rank_with(
                 }
                 Backend::Pgas => {
                     for dst in 0..world {
-                        if dst == me {
+                        if dst == me || !view.members().contains(&dst) {
                             continue;
                         }
                         let held = inj.take_held(me, dst);
@@ -1093,6 +1337,9 @@ pub fn run_rank_with(
                     ctx.pgas().commit();
                     ctx.pgas().drain(|src, bytes| match &rely {
                         Some(r) => r.receive(src, me, &bytes, |payload| {
+                            if survive && ReplicaPayload::looks_like(payload) {
+                                return;
+                            }
                             for spike in Spike::decode_buffer(payload) {
                                 land(spike);
                             }
@@ -1122,6 +1369,9 @@ pub fn run_rank_with(
     report.rollbacks = u64::from(rollbacks);
     report.replayed_ticks = replayed_ticks;
     report.recovery_time = recovery_time;
+    report.death_verdicts = death_verdicts;
+    report.replication_bytes = replication_bytes;
+    report.replication_time = replication_time;
     for tb in thread_bufs.iter_mut() {
         report.synapse_skips += tb.synapse_skips;
         report.neuron_skips += tb.neuron_skips;
@@ -1134,7 +1384,11 @@ pub fn run_rank_with(
         report.activity.add(&slot.core.activity());
         report.kernel.add(&slot.core.kernel_stats());
     }
-    RunOutcome { report, checkpoint }
+    RunOutcome {
+        report,
+        checkpoint,
+        interrupt,
+    }
 }
 
 #[cfg(test)]

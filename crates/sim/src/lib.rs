@@ -46,6 +46,19 @@
 //! unrecoverable gaps by rolling every rank back to the newest in-memory
 //! auto-checkpoint and replaying — the run completes with a trace
 //! bit-identical to the fault-free oracle ([`runner::run_recovering`]).
+//!
+//! ## Degraded mode — surviving rank crashes
+//!
+//! Arming [`recovery::RecoveryPolicy::survive_crashes`] extends
+//! self-healing from lost messages to lost *ranks*: every rank replicates
+//! its newest checkpoint (plus recorded history) to its ring buddy at each
+//! boundary ([`checkpoint::ReplicaPayload`]), heartbeats open every tick,
+//! and when a rank dies mid-run the survivors reach a deterministic,
+//! unanimous death verdict, retire the dead rank from the transport,
+//! rebuild the core-to-rank map as a [`partition::SurvivorView`] in which
+//! the buddy adopts the victim's cores, roll back to the common boundary,
+//! and replay to completion — the final trace is bit-identical to a run
+//! that never crashed ([`runner::run_surviving`]).
 
 pub mod checkpoint;
 pub mod engine;
@@ -56,11 +69,14 @@ pub mod runner;
 pub mod solo;
 pub mod stats;
 
-pub use checkpoint::{CheckpointError, RankCheckpoint};
-pub use engine::{run_rank, run_rank_with, Backend, EngineConfig, RunOptions, RunOutcome};
+pub use checkpoint::{CheckpointError, RankCheckpoint, ReplicaPayload};
+pub use engine::{
+    run_rank, run_rank_view, run_rank_with, Backend, DeathInterrupt, EngineConfig, RunOptions,
+    RunOutcome,
+};
 pub use model::{ModelError, NetworkModel};
-pub use partition::Partition;
+pub use partition::{Partition, SurvivorView};
 pub use recovery::RecoveryPolicy;
-pub use runner::{run, run_recovering};
+pub use runner::{run, run_recovering, run_surviving};
 pub use solo::SoloSimulation;
 pub use stats::{trace_digest, PhaseTimes, RankReport, RunReport};

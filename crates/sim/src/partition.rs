@@ -106,6 +106,163 @@ impl Partition {
     }
 }
 
+/// A [`Partition`] as seen by the survivors of rank crashes: every
+/// original block still has exactly one owner, but dead ranks' blocks have
+/// been adopted by their buddies.
+///
+/// The view keeps the *original* rank-indexed geometry (so spike routing
+/// tables, aggregation buffers, and metrics vectors stay sized for the
+/// original world) and layers an ownership indirection on top: survivor
+/// `m` hosts the cores of every original rank `r` with `owner[r] == m`,
+/// concatenated in ascending original-rank order. `local_index` stays O(1)
+/// via a precomputed per-original-rank offset into that concatenation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SurvivorView {
+    base: Partition,
+    /// `owner[r]`: the surviving rank hosting original rank `r`'s block.
+    owner: Vec<Rank>,
+    /// Surviving ranks, ascending.
+    members: Vec<Rank>,
+    /// `offset[r]`: local-index offset of original rank `r`'s block within
+    /// its owner's merged core list.
+    offset: Vec<u64>,
+}
+
+impl SurvivorView {
+    /// The fault-free view: every rank owns exactly its own block.
+    pub fn identity(base: Partition) -> Self {
+        let ranks = base.ranks();
+        Self {
+            base,
+            owner: (0..ranks).collect(),
+            members: (0..ranks).collect(),
+            offset: vec![0; ranks],
+        }
+    }
+
+    /// The view after `dead` crashes: its block (and any blocks it had
+    /// already adopted) passes to the next surviving rank in ring order.
+    ///
+    /// # Panics
+    /// Panics if `dead` is not a current member or is the last one.
+    pub fn without(&self, dead: Rank) -> Self {
+        assert!(
+            self.members.contains(&dead),
+            "rank {dead} is not a live member"
+        );
+        assert!(self.members.len() > 1, "cannot remove the last survivor");
+        let ranks = self.base.ranks();
+        // Buddy: the next surviving rank after `dead` in ring order.
+        let buddy = (1..ranks)
+            .map(|d| (dead + d) % ranks)
+            .find(|r| self.members.contains(r) && *r != dead)
+            .expect("another member exists");
+        let owner: Vec<Rank> = self
+            .owner
+            .iter()
+            .map(|&o| if o == dead { buddy } else { o })
+            .collect();
+        let members: Vec<Rank> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|&m| m != dead)
+            .collect();
+        // Rebuild offsets: each survivor's merged list concatenates its
+        // owned original blocks in ascending original-rank order.
+        let mut offset = vec![0u64; ranks];
+        for &m in &members {
+            let mut at = 0;
+            for r in 0..ranks {
+                if owner[r] == m {
+                    offset[r] = at;
+                    at += self.base.count(r);
+                }
+            }
+        }
+        Self {
+            base: self.base.clone(),
+            owner,
+            members,
+            offset,
+        }
+    }
+
+    /// The underlying (original) partition.
+    pub fn base(&self) -> &Partition {
+        &self.base
+    }
+
+    /// Original world size — routing tables stay indexed by this.
+    pub fn ranks(&self) -> usize {
+        self.base.ranks()
+    }
+
+    /// Surviving ranks, ascending.
+    pub fn members(&self) -> &[Rank] {
+        &self.members
+    }
+
+    /// True when no rank has died: every method degenerates to the plain
+    /// [`Partition`] behavior and the engine takes the fault-free paths.
+    pub fn is_identity(&self) -> bool {
+        self.members.len() == self.base.ranks()
+    }
+
+    /// The surviving rank that hosts `core` now.
+    #[inline]
+    pub fn rank_of(&self, core: CoreId) -> Rank {
+        self.owner[self.base.rank_of(core)]
+    }
+
+    /// Does survivor `me` currently host `core`?
+    #[inline]
+    pub fn owns(&self, me: Rank, core: CoreId) -> bool {
+        core < self.base.total_cores() && self.rank_of(core) == me
+    }
+
+    /// Total cores survivor `me` hosts (its own block plus adoptions).
+    pub fn count(&self, me: Rank) -> u64 {
+        (0..self.base.ranks())
+            .filter(|&r| self.owner[r] == me)
+            .map(|r| self.base.count(r))
+            .sum()
+    }
+
+    /// The original-rank blocks survivor `me` hosts, in the ascending
+    /// original-rank order its merged core list concatenates them in.
+    pub fn blocks_of(&self, me: Rank) -> Vec<std::ops::Range<CoreId>> {
+        (0..self.base.ranks())
+            .filter(|&r| self.owner[r] == me)
+            .map(|r| self.base.block(r))
+            .filter(|b| !b.is_empty())
+            .collect()
+    }
+
+    /// Converts a global core id to survivor `me`'s local index in its
+    /// merged core list.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `me` does not host `core`.
+    #[inline]
+    pub fn local_index(&self, me: Rank, core: CoreId) -> usize {
+        let r = self.base.rank_of(core);
+        debug_assert_eq!(self.owner[r], me, "core {core} not hosted by rank {me}");
+        (self.offset[r] + (core - self.base.block(r).start)) as usize
+    }
+
+    /// The rank that adopts `r`'s cores if `r` dies now: the next
+    /// surviving member in ring order. Returns `r` itself when it is the
+    /// only member (no buddy exists — replication is pointless).
+    pub fn buddy_of(&self, r: Rank) -> Rank {
+        let ranks = self.base.ranks();
+        (1..ranks)
+            .map(|d| (r + d) % ranks)
+            .find(|b| self.members.contains(b))
+            .unwrap_or(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,6 +363,154 @@ mod tests {
         let p = Partition::uniform(1000, 1);
         assert_eq!(p.block(0), 0..1000);
         assert_eq!(p.rank_of(999), 0);
+    }
+}
+
+#[cfg(test)]
+mod survivor_tests {
+    use super::*;
+
+    /// Every core maps to exactly one live member and each survivor's
+    /// local indices tile `0..count` exactly once.
+    fn check_totality(view: &SurvivorView) {
+        let total = view.base().total_cores();
+        let mut counted = 0u64;
+        for &m in view.members() {
+            let n = view.count(m);
+            let mut seen = vec![false; n as usize];
+            for core in 0..total {
+                if view.owns(m, core) {
+                    let li = view.local_index(m, core);
+                    assert!(!seen[li], "core {core} double-indexed on rank {m}");
+                    seen[li] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "holes in rank {m}'s local index");
+            counted += n;
+        }
+        for core in 0..total {
+            let r = view.rank_of(core);
+            assert!(
+                view.members().contains(&r),
+                "core {core} owned by a dead rank"
+            );
+            assert_eq!(
+                view.members()
+                    .iter()
+                    .filter(|&&m| view.owns(m, core))
+                    .count(),
+                1,
+                "core {core} must have exactly one owner"
+            );
+        }
+        assert_eq!(counted, total, "survivor counts must cover the model");
+    }
+
+    #[test]
+    fn identity_matches_the_plain_partition() {
+        let p = Partition::uniform(10, 3);
+        let v = SurvivorView::identity(p.clone());
+        assert!(v.is_identity());
+        assert_eq!(v.members(), &[0, 1, 2]);
+        for core in 0..10 {
+            assert_eq!(v.rank_of(core), p.rank_of(core));
+            let r = p.rank_of(core);
+            assert_eq!(v.local_index(r, core), p.local_index(r, core));
+        }
+        assert_eq!(v.blocks_of(1), vec![p.block(1)]);
+        check_totality(&v);
+    }
+
+    #[test]
+    fn removal_keeps_ownership_total_and_unique() {
+        for ranks in 2..=5 {
+            for total in [0u64, 1, 7, 24] {
+                let p = Partition::uniform(total, ranks);
+                for dead in 0..ranks {
+                    let v = SurvivorView::identity(p.clone()).without(dead);
+                    assert!(!v.is_identity());
+                    assert_eq!(v.members().len(), ranks - 1);
+                    assert!(!v.members().contains(&dead));
+                    check_totality(&v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn the_ring_buddy_adopts_the_dead_block() {
+        let p = Partition::uniform(12, 4);
+        let v = SurvivorView::identity(p.clone()).without(1);
+        // Rank 2 hosts its own block after rank 1's, in ascending order.
+        assert_eq!(v.blocks_of(2), vec![p.block(1), p.block(2)]);
+        assert_eq!(v.count(2), p.count(1) + p.count(2));
+        for core in p.block(1) {
+            assert_eq!(v.rank_of(core), 2);
+            assert_eq!(v.local_index(2, core), (core - p.block(1).start) as usize);
+        }
+        for core in p.block(2) {
+            let expect = p.count(1) + (core - p.block(2).start);
+            assert_eq!(v.local_index(2, core), expect as usize);
+        }
+        // The last rank's buddy wraps around the ring.
+        let v = SurvivorView::identity(p.clone()).without(3);
+        assert_eq!(v.rank_of(p.block(3).start), 0);
+        assert_eq!(v.blocks_of(0), vec![p.block(0), p.block(3)]);
+        check_totality(&v);
+    }
+
+    #[test]
+    fn zero_count_survivors_are_legal() {
+        // A PCC placement can leave survivor ranks empty; removal must
+        // neither crash on them nor route anything to them incorrectly.
+        let p = Partition::from_counts(&[4, 0, 3]);
+        for dead in 0..3 {
+            let v = SurvivorView::identity(p.clone()).without(dead);
+            check_totality(&v);
+        }
+        // The empty rank 1 dies: nothing actually moves.
+        let v = SurvivorView::identity(p.clone()).without(1);
+        assert_eq!(v.count(0), 4);
+        assert_eq!(v.count(2), 3);
+        // The empty rank 1 inherits rank 0's cores when rank 0 dies.
+        let v = SurvivorView::identity(p).without(0);
+        assert_eq!(v.count(1), 4);
+        assert_eq!(v.count(2), 3);
+    }
+
+    #[test]
+    fn two_rank_world_leaves_a_sole_survivor() {
+        let p = Partition::uniform(9, 2);
+        let v = SurvivorView::identity(p.clone()).without(1);
+        assert_eq!(v.members(), &[0]);
+        assert_eq!(v.count(0), 9);
+        assert_eq!(v.blocks_of(0), vec![p.block(0), p.block(1)]);
+        check_totality(&v);
+        assert_eq!(v.buddy_of(0), 0, "a sole survivor has no buddy");
+    }
+
+    #[test]
+    fn buddy_of_skips_dead_ranks_in_ring_order() {
+        let p = Partition::uniform(8, 4);
+        let v = SurvivorView::identity(p);
+        assert_eq!(v.buddy_of(3), 0, "wraps");
+        assert_eq!(v.buddy_of(0), 1);
+        let v = v.without(1);
+        assert_eq!(v.buddy_of(0), 2, "dead rank 1 is skipped");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a live member")]
+    fn removing_a_dead_rank_twice_is_rejected() {
+        let v = SurvivorView::identity(Partition::uniform(8, 3)).without(1);
+        let _ = v.without(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "last survivor")]
+    fn removing_the_last_survivor_is_rejected() {
+        let v = SurvivorView::identity(Partition::uniform(4, 2)).without(0);
+        let _ = v.without(1);
     }
 }
 

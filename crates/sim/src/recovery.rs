@@ -39,6 +39,13 @@ pub struct RecoveryPolicy {
     /// Hard cap on rollbacks in one run; exceeding it panics, because a
     /// run that cannot outrun its fault rate will never terminate.
     pub max_rollbacks: u32,
+    /// Arms rank-crash survival: every rank replicates its newest
+    /// checkpoint (plus its recorded trace) to its ring buddy at each
+    /// checkpoint boundary, heartbeats open every tick, and a death
+    /// verdict triggers degraded-mode adoption instead of aborting the
+    /// run. Costs replication bandwidth on every boundary, so it is off
+    /// by default.
+    pub survive_crashes: bool,
 }
 
 impl Default for RecoveryPolicy {
@@ -46,6 +53,7 @@ impl Default for RecoveryPolicy {
         Self {
             auto_checkpoint_every: 4,
             max_rollbacks: 64,
+            survive_crashes: false,
         }
     }
 }
@@ -56,6 +64,16 @@ impl RecoveryPolicy {
     pub fn every(n: u32) -> Self {
         Self {
             auto_checkpoint_every: n,
+            ..Self::default()
+        }
+    }
+
+    /// Like [`RecoveryPolicy::every`], additionally armed to survive rank
+    /// crashes via buddy-replicated checkpoints.
+    pub fn surviving(n: u32) -> Self {
+        Self {
+            auto_checkpoint_every: n,
+            survive_crashes: true,
             ..Self::default()
         }
     }

@@ -8,13 +8,15 @@
 //! calls [`crate::engine::run_rank`] directly inside its own world, exactly
 //! as the paper's in-situ compile-then-simulate flow does.
 
-use crate::engine::{run_rank, run_rank_with, EngineConfig, RunOptions};
+use crate::checkpoint::RankCheckpoint;
+use crate::engine::{run_rank, run_rank_view, run_rank_with, EngineConfig, RunOptions};
 use crate::model::{ModelError, NetworkModel};
-use crate::partition::Partition;
+use crate::partition::{Partition, SurvivorView};
 use crate::recovery::RecoveryPolicy;
-use crate::stats::RunReport;
+use crate::stats::{RankReport, RunReport};
 use compass_comm::{
-    FaultInjector, FaultPlan, ReliableConfig, ReliableWorld, TransportMetrics, World, WorldConfig,
+    CrashPlan, FaultInjector, FaultPlan, ReliableConfig, ReliableWorld, TransportMetrics, World,
+    WorldConfig,
 };
 use std::sync::Arc;
 use std::time::Instant;
@@ -113,6 +115,217 @@ pub fn run_recovering(
         ticks: cfg.ticks,
         transport: metrics.snapshot(),
     })
+}
+
+/// Simulates `model` while one rank is killed mid-run, and drives the full
+/// survival protocol to a bit-exact finish.
+///
+/// Every rank runs recovery-armed (`policy.survive_crashes` is forced on,
+/// so buddy replication and per-tick heartbeats are active) with the same
+/// `crash` plan. At the top of `crash.at_tick` the victim publishes its
+/// death and terminates; the survivors reach a unanimous verdict at that
+/// tick's heartbeat, retire the dead rank from the reliable layer and the
+/// PGAS barrier, rebuild a degraded [`SurvivorView`] in which the ring
+/// buddy adopts the victim's cores from its replicated checkpoint, roll
+/// back to the common boundary, and replay to completion. Optional seeded
+/// message faults (`plan`) compose with the crash exactly as in
+/// [`run_recovering`].
+///
+/// The merged [`RunReport`] is bit-identical (trace, fires-per-tick) to a
+/// fault-free run of the same model; the victim's rank slot is empty (its
+/// thread died — its pre-crash fires are accounted by the adopting buddy)
+/// and carries the planned crash as evidence via
+/// [`RunReport::total_death_verdicts`].
+///
+/// # Errors
+/// Returns the first [`ModelError`] if the model is inconsistent.
+///
+/// # Panics
+/// Panics when the crash plan is unsatisfiable (victim outside the world,
+/// no survivor, crash after the last tick) or when a rank other than the
+/// planned victim dies.
+pub fn run_surviving(
+    model: &NetworkModel,
+    world: WorldConfig,
+    cfg: &EngineConfig,
+    plan: Option<FaultPlan>,
+    crash: CrashPlan,
+    policy: RecoveryPolicy,
+) -> Result<RunReport, ModelError> {
+    model.validate()?;
+    assert!(
+        world.ranks >= 2,
+        "crash survival needs at least one survivor"
+    );
+    assert!(
+        crash.rank < world.ranks,
+        "crash plan names rank {} outside a {}-rank world",
+        crash.rank,
+        world.ranks
+    );
+    assert!(
+        crash.at_tick < cfg.ticks,
+        "the victim must die before the run ends"
+    );
+    let policy = RecoveryPolicy {
+        survive_crashes: true,
+        ..policy
+    };
+    let n_ranks = world.ranks;
+    let partition = Partition::uniform(model.total_cores(), n_ranks);
+    let metrics = Arc::new(TransportMetrics::new());
+    let faults = plan.map(|p| Arc::new(FaultInjector::new(p, n_ranks)));
+    let rely_cfg = match &plan {
+        Some(p) => ReliableConfig::against(p),
+        None => ReliableConfig::default(),
+    };
+    let rely = Arc::new(ReliableWorld::new(n_ranks, Arc::clone(&metrics), rely_cfg));
+    let started = Instant::now();
+    let results =
+        World::try_run_with_recovery(world, Arc::clone(&metrics), faults, Some(rely), |ctx| {
+            let me = ctx.rank();
+            let view = SurvivorView::identity(partition.clone());
+            let block = partition.block(me);
+            let configs: Vec<CoreConfig> =
+                model.cores[block.start as usize..block.end as usize].to_vec();
+            let opts = RunOptions {
+                recovery: Some(policy),
+                crash: Some(crash),
+                ..RunOptions::default()
+            };
+            let seg1 = run_rank_view(ctx, &view, configs, &model.initial_deliveries, cfg, &opts);
+            // The victim never reaches this point (it died by panic); every
+            // survivor was interrupted by the unanimous verdict.
+            let int = seg1
+                .interrupt
+                .clone()
+                .expect("a planned crash must interrupt every survivor");
+            let mut rep1 = seg1.report;
+
+            // Degraded world: the buddy adopts the victim's block, everyone
+            // resumes from the common checkpoint boundary and replays.
+            let view2 = view.without(int.dead);
+            let configs2: Vec<CoreConfig> = view2
+                .blocks_of(me)
+                .into_iter()
+                .flat_map(|b| {
+                    model.cores[b.start as usize..b.end as usize]
+                        .iter()
+                        .cloned()
+                })
+                .collect();
+            // Merge own + adopted checkpoint cores in ascending original-
+            // rank order — the layout `view2.local_index` expects.
+            let mut adopted_cores = 0u64;
+            let mut cores: Vec<Vec<u8>> = Vec::new();
+            for r in 0..n_ranks {
+                if r == me {
+                    cores.extend(int.resume.cores.iter().cloned());
+                } else if r == int.dead {
+                    if let Some(rp) = &int.adopted {
+                        adopted_cores = rp.ckpt.core_count() as u64;
+                        cores.extend(rp.ckpt.cores.iter().cloned());
+                        // The victim's recorded history died with its
+                        // thread; its replica carries both, and they join
+                        // this rank's own pre-boundary prefix.
+                        rep1.trace.extend(rp.trace.iter().copied());
+                        for (a, b) in rep1.fires_per_tick.iter_mut().zip(&rp.fires_per_tick) {
+                            *a += b;
+                        }
+                    }
+                }
+            }
+            let merged = RankCheckpoint {
+                rank: me as u32,
+                start_tick: int.resume.start_tick(),
+                cores,
+            };
+            let opts2 = RunOptions {
+                resume: Some(merged),
+                recovery: Some(policy),
+                ..RunOptions::default()
+            };
+            let seg2 = run_rank_view(
+                ctx,
+                &view2,
+                configs2,
+                &model.initial_deliveries,
+                cfg,
+                &opts2,
+            );
+            assert!(
+                seg2.interrupt.is_none(),
+                "one crash per run: the degraded world must finish"
+            );
+            let gap = u64::from(int.at_tick - int.resume.start_tick());
+            let mut out = stitch_segments(rep1, seg2.report, gap);
+            out.adopted_cores = adopted_cores;
+            out
+        });
+
+    let mut ranks = Vec::with_capacity(n_ranks);
+    for (rank, res) in results.into_iter().enumerate() {
+        match res {
+            Ok(report) => ranks.push(report),
+            Err(failure) => {
+                assert_eq!(rank, crash.rank, "only the planned victim may die");
+                let rc = failure
+                    .crash()
+                    .unwrap_or_else(|| panic!("victim died abnormally: {}", failure.message()));
+                assert_eq!((rc.rank, rc.tick), (crash.rank, crash.at_tick));
+                // The victim's thread is gone; its pre-crash history is
+                // accounted by the adopting buddy, so its slot stays empty.
+                ranks.push(RankReport::default());
+            }
+        }
+    }
+    let wall = started.elapsed();
+    Ok(RunReport {
+        ranks,
+        wall,
+        ticks: cfg.ticks,
+        transport: metrics.snapshot(),
+    })
+}
+
+/// Folds a survivor's pre-verdict segment into its degraded-mode segment.
+///
+/// Lifetime, core-derived values (`fires`, `fires_per_core`, `activity`,
+/// `spikes_in_flight`, `kernel`, `cores`, `memory_bytes`) come from the
+/// second segment alone — they travel inside the checkpoints. Reliable-
+/// layer counters (`retransmits`, `dedup_drops`, `crc_rejects`) are
+/// cumulative over the shared [`ReliableWorld`], so the second segment's
+/// values already include the first. Everything else is work actually
+/// done, and sums; `gap` is the verdict-to-boundary distance, charged as
+/// replayed ticks.
+fn stitch_segments(seg1: RankReport, seg2: RankReport, gap: u64) -> RankReport {
+    let mut out = seg2;
+    out.phases.add(&seg1.phases);
+    out.spikes_local += seg1.spikes_local;
+    out.spikes_remote += seg1.spikes_remote;
+    out.messages_sent += seg1.messages_sent;
+    for (a, b) in out.bytes_to.iter_mut().zip(&seg1.bytes_to) {
+        *a += b;
+    }
+    out.critical_wait += seg1.critical_wait;
+    out.critical_hold += seg1.critical_hold;
+    out.synapse_skips += seg1.synapse_skips;
+    out.neuron_skips += seg1.neuron_skips;
+    out.checkpoint_bytes += seg1.checkpoint_bytes;
+    out.checkpoint_time += seg1.checkpoint_time;
+    out.rollbacks += seg1.rollbacks;
+    out.replayed_ticks += seg1.replayed_ticks + gap;
+    out.recovery_time += seg1.recovery_time;
+    out.death_verdicts += seg1.death_verdicts;
+    out.replication_bytes += seg1.replication_bytes;
+    out.replication_time += seg1.replication_time;
+    let mut trace = seg1.trace;
+    trace.append(&mut out.trace);
+    out.trace = trace;
+    let mut fires_per_tick = seg1.fires_per_tick;
+    fires_per_tick.append(&mut out.fires_per_tick);
+    out.fires_per_tick = fires_per_tick;
+    out
 }
 
 #[cfg(test)]

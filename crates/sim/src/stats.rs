@@ -116,6 +116,16 @@ pub struct RankReport {
     /// Wall-clock spent in recovery machinery: auto-checkpoint snapshots,
     /// end-of-tick audits, and rollback restores.
     pub recovery_time: Duration,
+    /// Rank deaths this rank's heartbeat protocol observed and agreed on
+    /// (see [`crate::RecoveryPolicy::survive_crashes`]).
+    pub death_verdicts: u64,
+    /// Cores this rank adopted from a dead buddy in degraded mode.
+    pub adopted_cores: u64,
+    /// Bytes of buddy-replica payloads this rank shipped at checkpoint
+    /// boundaries (0 unless crash survival is armed).
+    pub replication_bytes: u64,
+    /// Wall-clock spent serializing and shipping those replicas.
+    pub replication_time: Duration,
     /// Every spike emitted on this rank, if trace recording was requested.
     pub trace: Vec<Spike>,
 }
@@ -203,6 +213,26 @@ impl RunReport {
             .map(|r| r.replayed_ticks)
             .max()
             .unwrap_or(0)
+    }
+
+    /// Rank deaths the run survived (every survivor reaches the same
+    /// verdict, so this is the per-rank maximum, not a sum).
+    pub fn total_death_verdicts(&self) -> u64 {
+        self.ranks
+            .iter()
+            .map(|r| r.death_verdicts)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Cores adopted from dead ranks across all survivors.
+    pub fn total_adopted_cores(&self) -> u64 {
+        self.ranks.iter().map(|r| r.adopted_cores).sum()
+    }
+
+    /// Total buddy-replica bytes shipped across all ranks.
+    pub fn total_replication_bytes(&self) -> u64 {
+        self.ranks.iter().map(|r| r.replication_bytes).sum()
     }
 
     /// Slowest rank's wall-clock spent in recovery machinery.

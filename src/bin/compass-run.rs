@@ -149,16 +149,36 @@ fn main() -> ExitCode {
                 let net = macaque_network(opts.seed);
                 let object = std::sync::Arc::new(net.object);
                 let started = Instant::now();
+                // Compilation is deterministic across ranks (same object,
+                // same budget), so on failure every rank returns the same
+                // error before any collective — no rank is left blocked.
                 let outs = World::run(world, |ctx| {
-                    let compiled =
-                        compile(ctx, &object, opts.cores).expect("realizable CoCoMac model");
+                    let compiled = compile(ctx, &object, opts.cores)?;
                     let partition = compiled.plan.partition.clone();
                     let report = run_rank(ctx, &partition, compiled.configs, &[], &engine);
-                    (report, compiled.plan)
+                    Ok::<_, compass::pcc::CompileError>((report, compiled.plan))
                 });
                 let wall = started.elapsed();
-                let plan = outs[0].1.clone();
-                let reports: Vec<_> = outs.into_iter().map(|o| o.0).collect();
+                let mut ok = Vec::with_capacity(outs.len());
+                for (rank, out) in outs.into_iter().enumerate() {
+                    match out {
+                        Ok(o) => ok.push(o),
+                        Err(e) => {
+                            eprintln!(
+                                "compass-run: cannot realize the CoCoMac model \
+                                 on {} cores over {} ranks (rank {rank}): {e}",
+                                opts.cores, opts.ranks
+                            );
+                            eprintln!(
+                                "compass-run: raise --cores or lower --ranks \
+                                 and retry"
+                            );
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                let plan = ok[0].1.clone();
+                let reports: Vec<_> = ok.into_iter().map(|o| o.0).collect();
                 let run_report = RunReport {
                     ranks: reports.clone(),
                     wall,
@@ -172,7 +192,7 @@ fn main() -> ExitCode {
                         "region", "cores", "fires", "rate Hz"
                     );
                     let mut regions = region_activity(&plan, &reports, opts.ticks);
-                    regions.sort_by(|a, b| b.rate_hz.partial_cmp(&a.rate_hz).unwrap());
+                    regions.sort_by(|a, b| b.rate_hz.total_cmp(&a.rate_hz));
                     for r in regions.iter().take(20) {
                         println!(
                             "{:<8} {:>6} {:>10} {:>9.1}",
