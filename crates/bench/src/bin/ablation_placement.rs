@@ -8,12 +8,10 @@
 //! CoCoMac model under both placements and compares how much gray-matter
 //! (intra-region) traffic stays on-rank.
 
-use compass_bench::banner;
-use compass_cocomac::macaque_network;
-use compass_comm::{World, WorldConfig};
+use compass_bench::{banner, cocomac_run_placed};
+use compass_comm::WorldConfig;
 use compass_pcc::Placement;
-use compass_sim::{run_rank, Backend, EngineConfig};
-use std::sync::Arc;
+use compass_sim::{Backend, EngineConfig};
 
 fn main() {
     let cores = 308u64;
@@ -30,21 +28,15 @@ fn main() {
     );
     for ranks in [2usize, 4, 8] {
         for placement in [Placement::RegionAligned, Placement::Uniform] {
-            let net = macaque_network(2012);
-            let object = Arc::new(net.object);
-            let reports = World::run(WorldConfig::flat(ranks), |ctx| {
-                // compile() uses the default placement; plan explicitly to
-                // drive the ablation switch.
-                let plan =
-                    compass_pcc::plan_with_placement(&object, cores, ctx.world_size(), placement)
-                        .expect("realizable");
-                let (configs, _) = compass_pcc::wire(ctx, &plan).expect("realizable plan");
-                let engine = EngineConfig::new(ticks, Backend::Mpi);
-                run_rank(ctx, &plan.partition, configs, &[], &engine)
-            });
-            let local: u64 = reports.iter().map(|r| r.spikes_local).sum();
-            let remote: u64 = reports.iter().map(|r| r.spikes_remote).sum();
-            let messages: u64 = reports.iter().map(|r| r.messages_sent).sum();
+            let run = cocomac_run_placed(
+                cores,
+                WorldConfig::flat(ranks),
+                &EngineConfig::new(ticks, Backend::Mpi),
+                placement,
+            );
+            let local: u64 = run.ranks.iter().map(|r| r.spikes_local).sum();
+            let remote: u64 = run.ranks.iter().map(|r| r.spikes_remote).sum();
+            let messages: u64 = run.ranks.iter().map(|r| r.messages_sent).sum();
             println!(
                 "{:>6} {:>16} | {:>12} {:>12} {:>10.1}% | {:>11.1}",
                 ranks,

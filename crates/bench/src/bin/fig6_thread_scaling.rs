@@ -11,9 +11,9 @@
 //! serialized in the Network phase and the per-thread work split of the
 //! compute phases (chunk balance).
 
-use compass_bench::{banner, cocomac_run, secs};
+use compass_bench::{banner, cocomac_run, cocomac_run_with, secs};
 use compass_comm::WorldConfig;
-use compass_sim::Backend;
+use compass_sim::{Backend, EngineConfig};
 
 fn main() {
     let cores = 256u64;
@@ -79,23 +79,14 @@ fn main() {
     for threads in [2usize, 8] {
         let mut network = [0.0f64; 2];
         for (i, critical_recv) in [true, false].into_iter().enumerate() {
-            let net = compass_cocomac::macaque_network(2012);
-            let object = std::sync::Arc::new(net.object);
-            let reports = compass_comm::World::run(WorldConfig::new(2, threads), |ctx| {
-                let compiled = compass_pcc::compile(ctx, &object, cores).expect("realizable");
-                let engine = compass_sim::EngineConfig {
-                    ticks,
-                    backend: Backend::Mpi,
-                    critical_recv,
-                    ..compass_sim::EngineConfig::default()
-                };
-                let partition = compiled.plan.partition.clone();
-                compass_sim::run_rank(ctx, &partition, compiled.configs, &[], &engine)
-            });
-            network[i] = reports
-                .iter()
-                .map(|r| r.phases.network.as_secs_f64())
-                .fold(0.0, f64::max);
+            let engine = EngineConfig {
+                ticks,
+                backend: Backend::Mpi,
+                critical_recv,
+                ..EngineConfig::default()
+            };
+            let run = cocomac_run_with(cores, WorldConfig::new(2, threads), &engine);
+            network[i] = run.phases.network.as_secs_f64();
         }
         println!(
             "{:>8} | {:>9.3} {:>10.2}x",

@@ -1,0 +1,400 @@
+//! Minimal JSON support for the bench artifacts.
+//!
+//! The workspace is offline (no serde), so the figure binaries emit JSON
+//! as hand-built strings; this module provides the other direction — a
+//! small recursive-descent parser — plus the schema check behind
+//! `bench_scaling --check`, so CI can prove the emitted artifact is
+//! well-formed and carries all four sections of the scaling study.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as f64, which covers the bench artifacts).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses `text` as a single JSON value (trailing whitespace allowed).
+    ///
+    /// # Errors
+    /// Returns a message with a byte offset on malformed input.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let b = text.as_bytes();
+        let mut at = 0usize;
+        let v = parse_value(b, &mut at)?;
+        skip_ws(b, &mut at);
+        if at != b.len() {
+            return Err(format!("trailing garbage at byte {at}"));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], at: &mut usize) {
+    while *at < b.len() && matches!(b[*at], b' ' | b'\t' | b'\n' | b'\r') {
+        *at += 1;
+    }
+}
+
+fn parse_value(b: &[u8], at: &mut usize) -> Result<Json, String> {
+    skip_ws(b, at);
+    match b.get(*at) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *at += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, at);
+            if b.get(*at) == Some(&b'}') {
+                *at += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, at);
+                let key = match parse_value(b, at)? {
+                    Json::Str(s) => s,
+                    _ => return Err(format!("object key must be a string at byte {at}")),
+                };
+                skip_ws(b, at);
+                if b.get(*at) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {at}"));
+                }
+                *at += 1;
+                let val = parse_value(b, at)?;
+                fields.push((key, val));
+                skip_ws(b, at);
+                match b.get(*at) {
+                    Some(b',') => *at += 1,
+                    Some(b'}') => {
+                        *at += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {at}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *at += 1;
+            let mut items = Vec::new();
+            skip_ws(b, at);
+            if b.get(*at) == Some(&b']') {
+                *at += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, at)?);
+                skip_ws(b, at);
+                match b.get(*at) {
+                    Some(b',') => *at += 1,
+                    Some(b']') => {
+                        *at += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {at}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *at += 1;
+            let mut s = String::new();
+            loop {
+                match b.get(*at) {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        *at += 1;
+                        return Ok(Json::Str(s));
+                    }
+                    Some(b'\\') => {
+                        *at += 1;
+                        match b.get(*at) {
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            Some(b'/') => s.push('/'),
+                            Some(b'n') => s.push('\n'),
+                            Some(b't') => s.push('\t'),
+                            Some(b'r') => s.push('\r'),
+                            Some(b'u') => {
+                                let hex = b
+                                    .get(*at + 1..*at + 5)
+                                    .ok_or_else(|| "truncated \\u escape".to_string())?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                    16,
+                                )
+                                .map_err(|e| e.to_string())?;
+                                s.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                                *at += 4;
+                            }
+                            other => return Err(format!("bad escape {other:?}")),
+                        }
+                        *at += 1;
+                    }
+                    Some(&c) => {
+                        // Multi-byte UTF-8 passes through byte-wise: the
+                        // input is a &str, so the bytes are valid UTF-8.
+                        let ch_len = utf8_len(c);
+                        let chunk = b
+                            .get(*at..*at + ch_len)
+                            .ok_or_else(|| "truncated UTF-8".to_string())?;
+                        s.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                        *at += ch_len;
+                    }
+                }
+            }
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let start = *at;
+            *at += 1;
+            while *at < b.len() && matches!(b[*at], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+            {
+                *at += 1;
+            }
+            let text = std::str::from_utf8(&b[start..*at]).map_err(|e| e.to_string())?;
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number {text:?} at byte {start}"))
+        }
+        Some(b't') if b[*at..].starts_with(b"true") => {
+            *at += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*at..].starts_with(b"false") => {
+            *at += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*at..].starts_with(b"null") => {
+            *at += 4;
+            Ok(Json::Null)
+        }
+        Some(c) => Err(format!("unexpected byte {c:?} at {at}")),
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// The four sections `BENCH_scaling.json` must carry, with the figure
+/// each one miniaturizes and the per-point keys it must report.
+const SECTIONS: [(&str, &[&str]); 4] = [
+    (
+        "thread_strong_scaling", // Fig. 6
+        &[
+            "threads",
+            "wall_s",
+            "synapse_s",
+            "neuron_s",
+            "network_s",
+            "critical_wait_s",
+            "speedup",
+        ],
+    ),
+    (
+        "rank_weak_scaling", // Fig. 4a
+        &[
+            "ranks",
+            "cores",
+            "wall_s",
+            "fires",
+            "messages_per_tick",
+            "collective_s",
+        ],
+    ),
+    (
+        "mpi_vs_pgas", // Fig. 7
+        &["cores", "mpi_wall_s", "pgas_wall_s", "pgas_over_mpi"],
+    ),
+    (
+        "real_time_threshold", // ticks/sec vs core count
+        &["cores", "ticks_per_s", "slowdown"],
+    ),
+];
+
+/// Validates the scaling artifact's schema: a versioned object carrying
+/// compile accounting and all four study sections, each with a non-empty
+/// `points` array whose entries report the required numeric keys.
+///
+/// # Errors
+/// Returns the first schema violation found, as a human-readable message.
+pub fn validate_scaling_json(text: &str) -> Result<(), String> {
+    let root = Json::parse(text)?;
+    let version = root
+        .get("version")
+        .and_then(Json::as_num)
+        .ok_or("missing numeric \"version\"")?;
+    if version < 1.0 {
+        return Err(format!("bad version {version}"));
+    }
+    for key in ["model", "seed", "max_cores", "ticks", "host_threads"] {
+        if root.get(key).is_none() {
+            return Err(format!("missing top-level {key:?}"));
+        }
+    }
+    let compile = root.get("compile").ok_or("missing \"compile\" section")?;
+    for key in ["cores", "plan_s", "wire_s", "balance_iterations"] {
+        compile
+            .get(key)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("compile section missing numeric {key:?}"))?;
+    }
+    for (section, required) in SECTIONS {
+        let s = root
+            .get(section)
+            .ok_or_else(|| format!("missing section {section:?}"))?;
+        let points = s
+            .get("points")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("section {section:?} missing \"points\" array"))?;
+        if points.is_empty() {
+            return Err(format!("section {section:?} has no points"));
+        }
+        for (i, p) in points.iter().enumerate() {
+            for key in required {
+                let v = p
+                    .get(key)
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| format!("{section}[{i}] missing numeric {key:?}"))?;
+                if !v.is_finite() {
+                    return Err(format!("{section}[{i}].{key} is not finite"));
+                }
+            }
+        }
+    }
+    // The crossover and threshold summaries must be present, though each
+    // may be null when the sweep never reaches it.
+    for (section, key) in [
+        ("mpi_vs_pgas", "crossover_cores"),
+        ("real_time_threshold", "max_real_time_cores"),
+    ] {
+        let v = root
+            .get(section)
+            .and_then(|s| s.get(key))
+            .ok_or_else(|| format!("section {section:?} missing {key:?}"))?;
+        if !matches!(v, Json::Null | Json::Num(_)) {
+            return Err(format!("{section}.{key} must be a number or null"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("-1.5e3").unwrap(), Json::Num(-1500.0));
+        assert_eq!(Json::parse("\"a\\nb\"").unwrap(), Json::Str("a\nb".into()));
+        let v = Json::parse(r#"{"a": [1, {"b": null}], "c": "x"}"#).unwrap();
+        assert_eq!(v.get("c").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 2);
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[1].get("b"),
+            Some(&Json::Null)
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["", "{", "[1,]", "{\"a\" 1}", "tru", "1 2", "\"x"] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parses_unicode_strings() {
+        let v = Json::parse("\"α→β \\u00e9\"").unwrap();
+        assert_eq!(v.as_str(), Some("α→β é"));
+    }
+
+    fn skeleton() -> String {
+        let point = |keys: &[&str]| -> String {
+            let fields: Vec<String> = keys.iter().map(|k| format!("\"{k}\": 1")).collect();
+            format!("{{{}}}", fields.join(", "))
+        };
+        let mut sections = String::new();
+        for (name, keys) in SECTIONS {
+            sections.push_str(&format!(
+                ",\n\"{name}\": {{\"points\": [{}]{}}}",
+                point(keys),
+                match name {
+                    "mpi_vs_pgas" => ", \"crossover_cores\": null",
+                    "real_time_threshold" => ", \"max_real_time_cores\": 1024",
+                    _ => "",
+                }
+            ));
+        }
+        format!(
+            "{{\"version\": 1, \"model\": \"m\", \"seed\": 1, \"max_cores\": 4096, \
+             \"ticks\": 100, \"host_threads\": 1, \
+             \"compile\": {{\"cores\": 4096, \"plan_s\": 0.1, \"wire_s\": 0.2, \
+             \"balance_iterations\": 3}}{sections}}}"
+        )
+    }
+
+    #[test]
+    fn validates_complete_artifact() {
+        validate_scaling_json(&skeleton()).unwrap();
+    }
+
+    #[test]
+    fn rejects_missing_section_and_keys() {
+        let full = skeleton();
+        let e = validate_scaling_json(&full.replace("thread_strong_scaling", "thread_scaling"))
+            .unwrap_err();
+        assert!(e.contains("thread_strong_scaling"), "{e}");
+        let e = validate_scaling_json(&full.replace("\"speedup\": 1", "\"speedup\": \"fast\""))
+            .unwrap_err();
+        assert!(e.contains("speedup"), "{e}");
+        let e = validate_scaling_json(&full.replace("\"version\": 1, ", "")).unwrap_err();
+        assert!(e.contains("version"), "{e}");
+    }
+}

@@ -23,10 +23,12 @@
 
 use compass_cocomac::macaque_network;
 use compass_comm::{MetricsSnapshot, TransportMetrics, World, WorldConfig};
-use compass_pcc::{compile, CompileStats};
+use compass_pcc::{compile_with_placement, CompileStats, Placement};
 use compass_sim::{run_rank, Backend, EngineConfig, PhaseTimes, RankReport};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+pub mod json;
 
 /// Summary of one compile-and-simulate run of the CoCoMac model.
 #[derive(Debug, Clone)]
@@ -84,20 +86,40 @@ impl CocomacRun {
 /// simulates `ticks` ticks with `backend`, collecting everything the
 /// figures need. The model seed is fixed so sweeps are comparable.
 pub fn cocomac_run(cores: u64, world: WorldConfig, ticks: u32, backend: Backend) -> CocomacRun {
+    cocomac_run_with(cores, world, &EngineConfig::new(ticks, backend))
+}
+
+/// [`cocomac_run`] with full control over the engine configuration —
+/// ablations toggle `overlap`, `aggregate`, `critical_recv`, etc. without
+/// re-rolling the compile-and-simulate boilerplate.
+pub fn cocomac_run_with(cores: u64, world: WorldConfig, engine: &EngineConfig) -> CocomacRun {
+    cocomac_run_placed(cores, world, engine, Placement::default())
+}
+
+/// The fully general harness entry: CoCoMac compile-and-simulate with an
+/// explicit engine configuration and placement policy.
+pub fn cocomac_run_placed(
+    cores: u64,
+    world: WorldConfig,
+    engine: &EngineConfig,
+    placement: Placement,
+) -> CocomacRun {
     let net = macaque_network(2012);
     let object = Arc::new(net.object);
     let metrics = Arc::new(TransportMetrics::new());
+    let ticks = engine.ticks;
+    let engine = *engine;
     let compile_t0 = Instant::now();
     // Compile and simulate inside one world, but time them separately and
     // snapshot metrics in between so the figures report simulation traffic
     // only (the paper excludes compilation from its numbers too).
     let metrics_in = Arc::clone(&metrics);
     let results = World::run_with_metrics(world, Arc::clone(&metrics), move |ctx| {
-        let compiled = compile(ctx, &object, cores).expect("CoCoMac model is realizable");
+        let compiled = compile_with_placement(ctx, &object, cores, placement)
+            .expect("CoCoMac model is realizable");
         ctx.comm().barrier();
         let compile_done = Instant::now();
         let before = metrics_in.snapshot();
-        let engine = EngineConfig::new(ticks, backend);
         let partition = compiled.plan.partition.clone();
         let report = run_rank(ctx, &partition, compiled.configs, &[], &engine);
         let sim_done = Instant::now();

@@ -87,6 +87,24 @@ pub fn macaque_network(seed: u64) -> MacaqueNetwork {
     }
 }
 
+/// The scaling study's core-count sweep: powers of two from 1k up to (and
+/// including) `max_cores` — the 1k → 64k ladder of the paper's figures,
+/// clipped to whatever budget the host can hold. A budget below 1k yields
+/// the single point `max_cores` (floored at one core per region, 102) so
+/// smoke runs still produce a sweep.
+pub fn core_budgets(max_cores: u64) -> Vec<u64> {
+    let mut v = Vec::new();
+    let mut c = 1024u64;
+    while c <= max_cores {
+        v.push(c);
+        c *= 2;
+    }
+    if v.is_empty() {
+        v.push(max_cores.max(stats::MERGED_REGIONS as u64));
+    }
+    v
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +166,19 @@ mod tests {
         let b = macaque_network(3);
         assert_eq!(a.object, b.object);
         assert_ne!(a.object, macaque_network(4).object);
+    }
+
+    #[test]
+    fn core_budgets_ladder() {
+        assert_eq!(
+            core_budgets(65_536),
+            vec![1024, 2048, 4096, 8192, 16_384, 32_768, 65_536]
+        );
+        assert_eq!(core_budgets(4096), vec![1024, 2048, 4096]);
+        assert_eq!(core_budgets(5000), vec![1024, 2048, 4096]);
+        // Sub-1k budgets still give one usable point ≥ one core/region.
+        assert_eq!(core_budgets(512), vec![512]);
+        assert_eq!(core_budgets(0), vec![102]);
     }
 
     #[test]

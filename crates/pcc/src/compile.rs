@@ -13,7 +13,7 @@
 //! bench.
 
 use crate::coreobject::CoreObject;
-use crate::layout::{plan, CompilePlan, PlanError};
+use crate::layout::{plan_timed, CompilePlan, Placement, PlanError, PlanStats};
 use crate::wiring::{wire, WiringStats};
 use compass_comm::{RankCtx, World, WorldConfig};
 use compass_sim::NetworkModel;
@@ -69,12 +69,22 @@ impl std::error::Error for CompileError {
 pub struct CompileStats {
     /// Planning (region sizing + IPFP + integerization), replicated.
     pub plan_time: Duration,
+    /// Per-step breakdown of `plan_time` (sizing, IPFP, integerization,
+    /// placement) — the 64k-core scaling study's compile accounting.
+    pub plan_breakdown: PlanStats,
     /// Wiring handshake (including core genesis).
     pub wire_time: Duration,
     /// Wiring traffic statistics.
     pub wiring: WiringStats,
     /// IPFP iterations used.
     pub balance_iterations: usize,
+}
+
+impl CompileStats {
+    /// Total accounted compile wall-clock (plan + wire).
+    pub fn total_time(&self) -> Duration {
+        self.plan_time + self.wire_time
+    }
 }
 
 /// The product of one rank's compile: its cores, ready to hand to
@@ -102,8 +112,23 @@ pub fn compile(
     object: &CoreObject,
     total_cores: u64,
 ) -> Result<CompiledRank, CompileError> {
+    compile_with_placement(ctx, object, total_cores, Placement::default())
+}
+
+/// [`compile`] with an explicit placement policy — the ablation hook the
+/// placement study uses. Must be called collectively with the same policy
+/// on every rank.
+///
+/// # Errors
+/// Returns a [`CompileError`] under the same conditions as [`compile`].
+pub fn compile_with_placement(
+    ctx: &RankCtx,
+    object: &CoreObject,
+    total_cores: u64,
+    placement: Placement,
+) -> Result<CompiledRank, CompileError> {
     let t0 = Instant::now();
-    let plan = plan(object, total_cores, ctx.world_size())?;
+    let (plan, plan_breakdown) = plan_timed(object, total_cores, ctx.world_size(), placement)?;
     let plan_time = t0.elapsed();
     let t1 = Instant::now();
     let (configs, wiring) = wire(ctx, &plan)?;
@@ -111,6 +136,7 @@ pub fn compile(
     Ok(CompiledRank {
         stats: CompileStats {
             plan_time,
+            plan_breakdown,
             wire_time,
             wiring,
             balance_iterations: plan.balance_iterations,
@@ -223,6 +249,33 @@ mod tests {
         let stats = out.pop().unwrap().unwrap();
         assert!(stats.wiring.requests_out > 0);
         assert!(stats.balance_iterations > 0);
+    }
+
+    #[test]
+    fn compile_time_accounting_is_coherent() {
+        // Regression contract for the scaling study's compile accounting:
+        // every step is actually timed, the breakdown never exceeds the
+        // plan time that contains it, and the totals compose.
+        let obj = demo_object();
+        let mut out = World::run(WorldConfig::flat(2), |ctx| {
+            compile(ctx, &obj, 64).map(|c| c.stats)
+        });
+        let stats = out.pop().unwrap().unwrap();
+        let b = stats.plan_breakdown;
+        assert!(b.sizing_time.as_nanos() > 0, "sizing untimed");
+        assert!(b.balance_time.as_nanos() > 0, "IPFP untimed");
+        assert!(b.integerize_time.as_nanos() > 0, "integerization untimed");
+        assert!(
+            b.accounted() <= stats.plan_time,
+            "breakdown {:?} exceeds plan time {:?}",
+            b.accounted(),
+            stats.plan_time
+        );
+        assert_eq!(b.accounted(), {
+            b.sizing_time + b.balance_time + b.integerize_time + b.placement_time
+        });
+        assert_eq!(stats.total_time(), stats.plan_time + stats.wire_time);
+        assert!(stats.wire_time.as_nanos() > 0, "wiring untimed");
     }
 
     #[test]

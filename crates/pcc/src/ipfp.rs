@@ -152,9 +152,11 @@ pub(crate) fn assign_by_largest_remainder(rema: &mut [(f64, usize)], units: u64,
 /// column sums equal the integer targets **exactly**.
 ///
 /// Uses largest-remainder rounding per row (making row sums exact), then
-/// repairs column deviations by moving single units between rows along
-/// positive entries. Requires `Σ row_targets == Σ col_targets`; the repair
-/// loop terminates because total row surplus equals total column surplus.
+/// repairs column deviations by moving single units along row-sum
+/// preserving chains of positive entries (a transportation-style
+/// augmenting path; a direct surplus→deficit move is the length-1 case).
+/// Requires `Σ row_targets == Σ col_targets`; the repair loop terminates
+/// because every executed chain strictly shrinks the total deviation.
 ///
 /// # Panics
 /// Panics if targets mismatch in total, or if the sparsity pattern cannot
@@ -201,8 +203,15 @@ pub fn integerize(matrix: &[f64], row_targets: &[u64], col_targets: &[u64]) -> V
         );
     }
 
-    // Repair column sums: move units from surplus columns to deficit
-    // columns within rows where both entries allow it.
+    // Repair column sums by moving units from surplus columns to deficit
+    // columns along row-sum-preserving paths. A direct move shifts one
+    // unit s → d inside a row holding both a unit in s and support for d;
+    // skewed budgets over sparse patterns (tiny regions next to huge
+    // ones, as the 64k-core sweeps produce) sometimes have no such row,
+    // so the search runs over *chains*: columns are nodes, and c → c'
+    // whenever some row has a unit in c and pattern support for c'.
+    // Executing every hop of a surplus→deficit chain moves one net unit
+    // while leaving all row sums and intermediate columns untouched.
     loop {
         let mut col_sum = vec![0u64; cols];
         for r in 0..rows {
@@ -210,31 +219,49 @@ pub fn integerize(matrix: &[f64], row_targets: &[u64], col_targets: &[u64]) -> V
                 col_sum[c] += out[r * cols + c];
             }
         }
-        let surplus: Vec<usize> = (0..cols).filter(|&c| col_sum[c] > col_targets[c]).collect();
-        let deficit: Vec<usize> = (0..cols).filter(|&c| col_sum[c] < col_targets[c]).collect();
-        if surplus.is_empty() && deficit.is_empty() {
+        if (0..cols).all(|c| col_sum[c] == col_targets[c]) {
             break;
         }
-        let mut moved = false;
-        'outer: for &s in &surplus {
-            for &d in &deficit {
-                // Find a row where we can shift one unit s → d without
-                // breaking the row sum (decrement out[r][s], increment
-                // out[r][d]); requires out[r][s] > 0 and pattern allows d.
-                for r in 0..rows {
-                    if out[r * cols + s] > 0 && matrix[r * cols + d] > 0.0 {
-                        out[r * cols + s] -= 1;
-                        out[r * cols + d] += 1;
-                        moved = true;
-                        break 'outer;
+        // BFS from all surplus columns at once to the nearest deficit.
+        let mut prev: Vec<Option<(usize, usize)>> = vec![None; cols]; // (from col, via row)
+        let mut visited = vec![false; cols];
+        let mut queue = std::collections::VecDeque::new();
+        for c in (0..cols).filter(|&c| col_sum[c] > col_targets[c]) {
+            visited[c] = true;
+            queue.push_back(c);
+        }
+        let mut reached = None;
+        'bfs: while let Some(c) = queue.pop_front() {
+            for r in 0..rows {
+                if out[r * cols + c] == 0 {
+                    continue;
+                }
+                for c2 in 0..cols {
+                    if !visited[c2] && matrix[r * cols + c2] > 0.0 {
+                        visited[c2] = true;
+                        prev[c2] = Some((c, r));
+                        if col_sum[c2] < col_targets[c2] {
+                            reached = Some(c2);
+                            break 'bfs;
+                        }
+                        queue.push_back(c2);
                     }
                 }
             }
         }
-        assert!(
-            moved,
-            "sparsity pattern cannot support the requested margins"
-        );
+        let Some(mut at) = reached else {
+            panic!("sparsity pattern cannot support the requested margins");
+        };
+        // Walk the chain back to its surplus root, executing each hop.
+        // Decremented cells are in distinct columns (BFS visits each
+        // column once) and held a unit when discovered, so every hop is
+        // valid regardless of execution order.
+        while let Some((from, r)) = prev[at] {
+            debug_assert!(out[r * cols + from] > 0);
+            out[r * cols + from] -= 1;
+            out[r * cols + at] += 1;
+            at = from;
+        }
     }
     out
 }
@@ -434,6 +461,41 @@ mod proptests {
             for c in 0..n {
                 prop_assert_eq!((0..n).map(|r| int[r * n + c]).sum::<u64>(), cols[c]);
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod scale_proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The largest-remainder deal at CoCoMac scale — 102 slots, unit
+        /// budgets up to the 64k-core sweep ceiling — is *total* (every
+        /// unit lands somewhere, none invented) and *deterministic*
+        /// (same remainders, same deal), whatever the remainder shape.
+        #[test]
+        fn largest_remainder_total_and_deterministic_at_scale(
+            units in 1024u64..65_537,
+            remainders in proptest::collection::vec(0.0f64..1.0, 102),
+        ) {
+            let mk = || -> Vec<(f64, usize)> {
+                remainders.iter().cloned().zip(0..).collect()
+            };
+            let mut out_a = vec![0u64; 102];
+            let mut out_b = vec![0u64; 102];
+            assign_by_largest_remainder(&mut mk(), units, &mut out_a);
+            assign_by_largest_remainder(&mut mk(), units, &mut out_b);
+            prop_assert_eq!(out_a.iter().sum::<u64>(), units, "units conserved");
+            prop_assert_eq!(&out_a, &out_b, "deal is deterministic");
+            // The deal cycles: no slot is more than ceil(units/slots)
+            // ahead of any other.
+            let hi = *out_a.iter().max().unwrap();
+            let lo = *out_a.iter().min().unwrap();
+            prop_assert!(hi - lo <= units.div_ceil(102), "deal stays cyclic");
         }
     }
 }

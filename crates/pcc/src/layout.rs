@@ -50,6 +50,30 @@ pub struct CompilePlan {
     pub balance_error: f64,
 }
 
+/// Wall-clock breakdown of one [`plan`] invocation — the compile-time
+/// accounting the scaling study tracks as the IPFP/layout path is pushed
+/// to 64k-core models.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlanStats {
+    /// Region sizing (largest-remainder apportionment) plus building the
+    /// stochastic mixing matrix.
+    pub sizing_time: std::time::Duration,
+    /// IPFP (Sinkhorn–Knopp) balancing to the neuron budgets.
+    pub balance_time: std::time::Duration,
+    /// Integerization of the balanced matrix to exact margins.
+    pub integerize_time: std::time::Duration,
+    /// Placement of region blocks onto ranks.
+    pub placement_time: std::time::Duration,
+}
+
+impl PlanStats {
+    /// Sum of the accounted steps (≤ the caller's observed plan time;
+    /// the difference is allocation and bookkeeping).
+    pub fn accounted(&self) -> std::time::Duration {
+        self.sizing_time + self.balance_time + self.integerize_time + self.placement_time
+    }
+}
+
 /// Why planning failed.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PlanError {
@@ -185,6 +209,18 @@ pub fn plan_with_placement(
     ranks: usize,
     placement: Placement,
 ) -> Result<CompilePlan, PlanError> {
+    plan_timed(object, total_cores, ranks, placement).map(|(p, _)| p)
+}
+
+/// [`plan_with_placement`] plus the per-step wall-clock breakdown.
+pub fn plan_timed(
+    object: &CoreObject,
+    total_cores: u64,
+    ranks: usize,
+    placement: Placement,
+) -> Result<(CompilePlan, PlanStats), PlanError> {
+    let mut stats = PlanStats::default();
+    let t_sizing = std::time::Instant::now();
     let regions = object.regions.len();
     if regions == 0 {
         return Err(PlanError::NoRegions);
@@ -253,27 +289,37 @@ pub fn plan_with_placement(
         }
         m
     };
+    stats.sizing_time = t_sizing.elapsed();
+    let t_balance = std::time::Instant::now();
     let BalanceResult {
         matrix,
         iterations,
         max_error,
         converged,
     } = balance(&scaled, &budgets_f, &budgets_f, 1e-6, 20_000);
+    stats.balance_time = t_balance.elapsed();
     if !converged {
         return Err(PlanError::BalanceDiverged { error: max_error });
     }
+    let t_integerize = std::time::Instant::now();
     let conn_counts = integerize(&matrix, &budgets, &budgets);
+    stats.integerize_time = t_integerize.elapsed();
+    let t_place = std::time::Instant::now();
     let partition = place(&region_cores, total_cores, ranks, placement);
+    stats.placement_time = t_place.elapsed();
 
-    Ok(CompilePlan {
-        object: object.clone(),
-        region_cores,
-        region_starts,
-        partition,
-        conn_counts,
-        balance_iterations: iterations,
-        balance_error: max_error,
-    })
+    Ok((
+        CompilePlan {
+            object: object.clone(),
+            region_cores,
+            region_starts,
+            partition,
+            conn_counts,
+            balance_iterations: iterations,
+            balance_error: max_error,
+        },
+        stats,
+    ))
 }
 
 impl CompilePlan {
@@ -667,5 +713,101 @@ mod tests {
         let mut s = ProportionalSchedule::new(vec![1]);
         s.assign_next();
         s.assign_next();
+    }
+}
+
+#[cfg(test)]
+mod scale_proptests {
+    use super::*;
+    use crate::coreobject::{RegionClass, RegionSpec};
+    use proptest::prelude::*;
+
+    /// A 102-region object shaped like the merged CoCoMac parcellation:
+    /// spread volumes, a ring plus skip connections, mixed region classes.
+    fn merged_scale_object(seed: u64, volumes: &[f64]) -> CoreObject {
+        let mut obj = CoreObject::new(seed);
+        let classes = [
+            RegionClass::Cortical,
+            RegionClass::Thalamic,
+            RegionClass::BasalGanglia,
+        ];
+        for (i, &v) in volumes.iter().enumerate() {
+            obj.add_region(RegionSpec {
+                name: format!("M{i:03}"),
+                class: classes[i % classes.len()],
+                volume: v,
+                intra: 0.2 + 0.5 * (i as f64 / volumes.len() as f64),
+                drive_period: if i % 7 == 0 { 125 } else { 0 },
+            });
+        }
+        // Edge density mirrors the merged CoCoMac graph (a few thousand
+        // directed edges over ~100 regions): a ring for connectedness
+        // plus a ~25% pseudo-random fill. Very sparse patterns are out of
+        // contract for `integerize` (see its panic docs).
+        let n = volumes.len();
+        for i in 0..n {
+            obj.connect(i, (i + 1) % n, 1.0 + (i % 5) as f64);
+            for j in 0..n {
+                if i != j && (i as u64 * 31 + j as u64 * 17 + seed).is_multiple_of(4) {
+                    obj.connect(i, j, 0.25 + ((i + j) % 7) as f64 * 0.5);
+                }
+            }
+        }
+        obj
+    }
+
+    proptest! {
+        // Each case plans a 102-region model twice at up to 64k cores;
+        // the 102×102 IPFP dominates, so keep the case count modest.
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// The IPFP/layout path over 102 regions at the 1k–64k core range
+        /// of the scaling sweep is *total* (every core belongs to a
+        /// region, every region meets its minimum), *single-owner* (the
+        /// rank partition tiles the core-id space exactly once and agrees
+        /// with `region_of_core`), and *deterministic* (replanning yields
+        /// the identical plan — the property that lets every rank
+        /// replicate the plan without communication).
+        #[test]
+        fn plan_at_scale_is_total_single_owner_deterministic(
+            log2_cores in 10u32..17,
+            ranks in 1usize..65,
+            volumes in proptest::collection::vec(0.05f64..12.0, 102),
+            seed in 0u64..1000,
+        ) {
+            let total_cores = 1u64 << log2_cores;
+            let obj = merged_scale_object(seed, &volumes);
+            let a = plan(&obj, total_cores, ranks).expect("realizable at scale");
+            // Totality: region blocks tile [0, total_cores) exactly.
+            prop_assert_eq!(a.region_cores.iter().sum::<u64>(), total_cores);
+            prop_assert_eq!(*a.region_starts.last().unwrap(), total_cores);
+            for (r, &c) in a.region_cores.iter().enumerate() {
+                prop_assert!(c >= 1, "region {} starved", r);
+                prop_assert_eq!(a.region_block(r).end - a.region_block(r).start, c);
+            }
+            // Single owner: the partition tiles the same space once, and
+            // spot-checked cores resolve to the region whose block holds
+            // them (every core has exactly one (rank, region) owner).
+            prop_assert_eq!(a.partition.ranks(), ranks);
+            prop_assert_eq!(a.partition.total_cores(), total_cores);
+            let mut at = 0u64;
+            for rk in 0..ranks {
+                let b = a.partition.block(rk);
+                prop_assert_eq!(b.start, at, "rank blocks must be contiguous");
+                at = b.end;
+            }
+            prop_assert_eq!(at, total_cores);
+            for core in [0, total_cores / 3, total_cores / 2, total_cores - 1] {
+                let r = a.region_of_core(core);
+                prop_assert!(a.region_block(r).contains(&core));
+            }
+            // Determinism: the replicated plan is bit-identical.
+            let b = plan(&obj, total_cores, ranks).expect("realizable at scale");
+            prop_assert_eq!(a.region_cores, b.region_cores);
+            prop_assert_eq!(a.region_starts, b.region_starts);
+            prop_assert_eq!(a.conn_counts, b.conn_counts);
+            prop_assert_eq!(a.partition, b.partition);
+            prop_assert_eq!(a.balance_iterations, b.balance_iterations);
+        }
     }
 }

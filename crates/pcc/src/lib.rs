@@ -35,11 +35,13 @@ pub mod layout;
 pub mod wiring;
 
 pub use analysis::{region_activity, RegionActivity};
-pub use compile::{compile, compile_serial, CompileError, CompileStats, CompiledRank};
+pub use compile::{
+    compile, compile_serial, compile_with_placement, CompileError, CompileStats, CompiledRank,
+};
 pub use coreobject::{CoreObject, GlobalParams, ParseError, RegionClass, RegionSpec};
 pub use ipfp::{balance, integerize, BalanceResult};
 pub use layout::{
-    apportion, place, plan, plan_with_placement, CompilePlan, Placement, PlanError,
-    ProportionalSchedule,
+    apportion, place, plan, plan_timed, plan_with_placement, CompilePlan, Placement, PlanError,
+    PlanStats, ProportionalSchedule,
 };
 pub use wiring::{wire, WiringStats};

@@ -583,6 +583,7 @@ pub fn run_rank_view(
     // SAFETY (for the `inboxes.push`): `tid` is the calling thread's own id
     // and inbox drains only happen in Synapse regions, never concurrently
     // with Network-phase routing.
+    let inbox_routed = AtomicU64::new(0);
     let route = |spike: &Spike, tid: usize, my: &mut [CoreSlot], my_range: &Range<usize>| {
         let idx = view.local_index(me, spike.target.core);
         if my_range.contains(&idx) {
@@ -591,6 +592,7 @@ pub fn run_rank_view(
                 .deliver(spike.target.axon, spike.delivery_tick());
         } else {
             let dest = chunk_owner(n_local, threads, idx);
+            inbox_routed.fetch_add(1, Ordering::Relaxed);
             unsafe {
                 inboxes.push(
                     dest,
@@ -657,12 +659,18 @@ pub fn run_rank_view(
     // Degraded-mode collectives: with an identity view these are the
     // ordinary full-world operations (bit-identical to the fault-free
     // engine); after a death they run among the survivors only.
+    // Collective wall-clock (Reduce-scatter / PGAS commit barrier): an
+    // atomic because the call sites sit inside team regions on the master.
+    let collective_ns = AtomicU64::new(0);
     let rs_sum = |contrib: &[u64]| {
-        if view.is_identity() {
+        let t = Instant::now();
+        let v = if view.is_identity() {
             ctx.comm().reduce_scatter_sum(contrib)
         } else {
             ctx.comm().reduce_scatter_sum_among(view.members(), contrib)
-        }
+        };
+        collective_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        v
     };
     let ar_max = |v: u64| {
         if view.is_identity() {
@@ -1119,7 +1127,9 @@ pub fn run_rank_view(
                                 puts.fetch_add(1, Ordering::Relaxed);
                             }
                         }
+                        let tb = Instant::now();
                         ctx.pgas().commit();
+                        collective_ns.fetch_add(tb.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     } else if cfg.overlap && tc.size() > 1 {
                         // SAFETY: own tid, once per region.
                         let my = unsafe { shards.shard(tid) };
@@ -1360,6 +1370,10 @@ pub fn run_rank_view(
     report.critical_wait = wait;
     report.critical_hold = hold;
     report.memory_bytes = memory_bytes;
+    report.collective_time = Duration::from_nanos(collective_ns.load(Ordering::Relaxed));
+    report.inbox_routed = inbox_routed.load(Ordering::Relaxed);
+    report.staging_bytes = (local_all.capacity() * std::mem::size_of::<Spike>()) as u64
+        + agg.iter().map(|b| b.capacity() as u64).sum::<u64>();
     if let Some(r) = &rely {
         let counts = r.counts(me);
         report.retransmits = counts.retransmits;
@@ -1375,6 +1389,9 @@ pub fn run_rank_view(
     for tb in thread_bufs.iter_mut() {
         report.synapse_skips += tb.synapse_skips;
         report.neuron_skips += tb.neuron_skips;
+        report.staging_bytes += ((tb.local.capacity() + tb.trace.capacity())
+            * std::mem::size_of::<Spike>()) as u64
+            + tb.remote.iter().map(|b| b.capacity() as u64).sum::<u64>();
     }
     report.fires_per_core.reserve(slots.len());
     for slot in &slots {

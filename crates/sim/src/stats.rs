@@ -80,6 +80,18 @@ pub struct RankReport {
     pub critical_wait: Duration,
     /// Time spent holding the receive critical section.
     pub critical_hold: Duration,
+    /// Wall-clock spent inside blocking collectives — the Reduce-scatter
+    /// on the MPI path, the commit barrier on the PGAS path. The scaling
+    /// sweeps watch this for cost cliffs as the communicator grows.
+    pub collective_time: Duration,
+    /// Locally delivered spikes that crossed a thread boundary via the
+    /// cross-thread inbox (vs. landing directly in the routing thread's
+    /// own shard) — the intra-rank analogue of white-matter traffic.
+    pub inbox_routed: u64,
+    /// Bytes of reusable staging capacity (per-thread spike buffers,
+    /// per-destination aggregation buffers) held at the end of the run —
+    /// the allocator footprint the main loop's buffer reuse converges to.
+    pub staging_bytes: u64,
     /// Approximate bytes of core state hosted by this rank (the paper's
     /// memory axis: 16 GB/node bounded its 16384 cores/node choice).
     pub memory_bytes: u64,
@@ -249,6 +261,26 @@ impl RunReport {
         self.ranks.iter().map(|r| r.neuron_skips).sum()
     }
 
+    /// Slowest rank's wall-clock inside blocking collectives (phases are
+    /// synchronization-separated, so the slowest rank bounds the run).
+    pub fn collective_time(&self) -> Duration {
+        self.ranks
+            .iter()
+            .map(|r| r.collective_time)
+            .max()
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Total spikes routed across thread boundaries via inboxes.
+    pub fn total_inbox_routed(&self) -> u64 {
+        self.ranks.iter().map(|r| r.inbox_routed).sum()
+    }
+
+    /// Total staging-buffer capacity held across ranks at end of run.
+    pub fn total_staging_bytes(&self) -> u64 {
+        self.ranks.iter().map(|r| r.staging_bytes).sum()
+    }
+
     /// Accumulated word-parallel fast-path counters across all ranks.
     pub fn kernel_stats(&self) -> tn_core::KernelStats {
         let mut total = tn_core::KernelStats::default();
@@ -412,6 +444,32 @@ mod tests {
         assert_eq!(r.total_remote_spikes(), 8);
         assert_eq!(r.total_messages(), 3);
         assert_eq!(r.total_cores(), 16);
+    }
+
+    #[test]
+    fn scaling_counters_roll_up() {
+        let r = report_with(
+            vec![
+                RankReport {
+                    collective_time: ms(7),
+                    inbox_routed: 11,
+                    staging_bytes: 100,
+                    ..Default::default()
+                },
+                RankReport {
+                    collective_time: ms(3),
+                    inbox_routed: 4,
+                    staging_bytes: 50,
+                    ..Default::default()
+                },
+            ],
+            10,
+            ms(20),
+        );
+        // Collective time is slowest-rank, the additive counters sum.
+        assert_eq!(r.collective_time(), ms(7));
+        assert_eq!(r.total_inbox_routed(), 15);
+        assert_eq!(r.total_staging_bytes(), 150);
     }
 
     #[test]

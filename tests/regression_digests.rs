@@ -66,6 +66,108 @@ fn stochastic_model_digest_is_pinned() {
     );
 }
 
+/// Large-model oracles: the merged CoCoMac model, serially compiled at 1k
+/// and 4k cores, pinned end to end — compiler layout (region core budgets
+/// and IPFP iteration count) and simulator semantics (trace digest and
+/// total fires). A change in *any* stage of the stack lands in one of
+/// these numbers.
+mod macaque {
+    use super::*;
+    use compass::cocomac::macaque_network;
+    use compass::pcc::compile_serial;
+
+    const TICKS: u32 = 50;
+
+    /// FNV-1a over a u64 sequence — same construction as the trace digest.
+    fn fnv(xs: impl IntoIterator<Item = u64>) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for x in xs {
+            for b in x.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        }
+        h
+    }
+
+    struct Observed {
+        trace: u64,
+        fires: u64,
+        layout: u64,
+        balance_iterations: usize,
+    }
+
+    fn observe(cores: u64) -> Observed {
+        let net = macaque_network(2012);
+        let (plan, model) = compile_serial(&net.object, cores).expect("CoCoMac is realizable");
+        assert_eq!(model.total_cores(), cores);
+        let report = run(
+            &model,
+            WorldConfig::flat(2),
+            &EngineConfig {
+                ticks: TICKS,
+                backend: Backend::Mpi,
+                record_trace: true,
+                ..EngineConfig::default()
+            },
+        )
+        .expect("valid model");
+        Observed {
+            trace: report.trace_digest(),
+            fires: report.total_fires(),
+            layout: fnv(plan.region_cores.iter().copied()),
+            balance_iterations: plan.balance_iterations,
+        }
+    }
+
+    fn assert_pinned(o: &Observed, trace: u64, fires: u64, layout: u64, iters: usize) {
+        assert_eq!(
+            o.layout, layout,
+            "region layout changed: 0x{:x} (compiler sizing/apportionment)",
+            o.layout
+        );
+        assert_eq!(
+            o.balance_iterations, iters,
+            "IPFP convergence changed: {} iterations",
+            o.balance_iterations
+        );
+        assert_eq!(o.fires, fires, "total fires changed: {}", o.fires);
+        assert_eq!(
+            o.trace, trace,
+            "CoCoMac golden digest changed: 0x{:x}",
+            o.trace
+        );
+    }
+
+    #[test]
+    fn macaque_1k_oracle_is_pinned() {
+        let o = observe(1024);
+        assert_pinned(&o, 0x14565d5bbf5df391, 2042, 0xca3f1d187736a963, 34);
+    }
+
+    #[test]
+    fn macaque_4k_oracle_is_pinned() {
+        let o = observe(4096);
+        assert_pinned(&o, 0xde74e41a1b077ef2, 7844, 0x8d430142a29a0724, 34);
+    }
+
+    #[test]
+    #[ignore = "64k-core smoke; run by the CI scaling job in release"]
+    fn macaque_64k_compiles_and_fires() {
+        let net = macaque_network(2012);
+        let (plan, model) = compile_serial(&net.object, 65_536).expect("realizable at 64k");
+        assert_eq!(model.total_cores(), 65_536);
+        assert_eq!(plan.region_cores.iter().sum::<u64>(), 65_536);
+        let report = run(
+            &model,
+            WorldConfig::flat(4),
+            &EngineConfig::new(10, Backend::Mpi),
+        )
+        .expect("valid model");
+        assert!(report.total_fires() > 0, "64k-core model is silent");
+    }
+}
+
 #[test]
 fn digests_are_decomposition_invariant() {
     // The digest equals the recorded one under ANY decomposition, since

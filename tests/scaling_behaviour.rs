@@ -6,7 +6,11 @@
 //!   stay flat while global totals grow linearly (Fig. 4a's setup);
 //! * message count grows with rank count while spike count stays put when
 //!   the model is fixed (Fig. 4b's numerator/denominator);
-//! * aggregation decouples message count from spike count.
+//! * aggregation decouples message count from spike count;
+//! * on the real CoCoMac model at ≥1k cores, decomposition (backend ×
+//!   ranks × threads) changes performance counters only — global fires,
+//!   the per-tick fire series, and the spike-trace digest are invariant
+//!   (the `macaque_at_scale` module).
 
 use compass::cocomac::{synthetic_realtime, SyntheticParams};
 use compass::comm::WorldConfig;
@@ -161,4 +165,159 @@ fn per_spike_ablation_explodes_message_count() {
         per_spike.total_messages(),
         agg.total_messages()
     );
+}
+
+/// Strong-scaling structure on the real merged-CoCoMac model at 1k cores.
+///
+/// Wiring output depends on the rank count (each rank draws its own delay
+/// stream), so cross-decomposition comparisons hold the *model* fixed:
+/// compile once serially, then sweep how the same `NetworkModel` is run.
+/// The engine's decomposition invariance then makes three observables
+/// exact oracles across {Mpi, Pgas} × ranks × threads: global fires, the
+/// global per-tick fire series, and the canonical spike-trace digest.
+mod macaque_at_scale {
+    use super::*;
+    use compass::cocomac::macaque_network;
+    use compass::pcc::compile_serial;
+    use std::sync::OnceLock;
+    use std::time::Duration;
+
+    const CORES: u64 = 1024;
+    const MTICKS: u32 = 40;
+
+    /// Compiled once per test binary — serial compile of the 1k-core
+    /// CoCoMac model is the expensive part, not the runs.
+    fn model() -> &'static NetworkModel {
+        static MODEL: OnceLock<NetworkModel> = OnceLock::new();
+        MODEL.get_or_init(|| {
+            let net = macaque_network(2012);
+            let (_, model) = compile_serial(&net.object, CORES).expect("CoCoMac is realizable");
+            assert_eq!(model.total_cores(), CORES);
+            model
+        })
+    }
+
+    struct Observed {
+        fires: u64,
+        digest: u64,
+        fires_per_tick: Vec<u64>,
+    }
+
+    fn observe(world: WorldConfig, backend: Backend) -> Observed {
+        let report = run(
+            model(),
+            world,
+            &EngineConfig {
+                ticks: MTICKS,
+                backend,
+                record_trace: true,
+                tick_stats: true,
+                ..EngineConfig::default()
+            },
+        )
+        .expect("valid model");
+        let mut fires_per_tick = vec![0u64; MTICKS as usize];
+        for rank in &report.ranks {
+            for (tick, &f) in rank.fires_per_tick.iter().enumerate() {
+                fires_per_tick[tick] += f;
+            }
+        }
+        Observed {
+            fires: report.total_fires(),
+            digest: report.trace_digest(),
+            fires_per_tick,
+        }
+    }
+
+    fn assert_matches_baseline(o: &Observed, base: &Observed, what: &str) {
+        assert_eq!(o.fires, base.fires, "global fires diverged under {what}");
+        assert_eq!(
+            o.fires_per_tick, base.fires_per_tick,
+            "per-tick fire series diverged under {what}"
+        );
+        assert_eq!(
+            o.digest, base.digest,
+            "spike-trace digest diverged under {what}"
+        );
+    }
+
+    #[test]
+    fn strong_scaling_invariants_hold_on_macaque_1k() {
+        let base = observe(WorldConfig::flat(1), Backend::Mpi);
+        assert!(base.fires > 0, "1k-core CoCoMac must fire within 40 ticks");
+        assert!(
+            base.fires_per_tick.iter().any(|&f| f > 0),
+            "tick stats must see the fires"
+        );
+        // Spot-check the matrix corners; the full sweep is the ignored
+        // release test below.
+        for (ranks, threads, backend) in [
+            (2usize, 1usize, Backend::Mpi),
+            (4, 2, Backend::Mpi),
+            (1, 4, Backend::Mpi),
+            (2, 2, Backend::Pgas),
+            (4, 4, Backend::Pgas),
+        ] {
+            let o = observe(WorldConfig::new(ranks, threads), backend);
+            assert_matches_baseline(
+                &o,
+                &base,
+                &format!("{backend:?} x {ranks} ranks x {threads} threads"),
+            );
+        }
+    }
+
+    #[test]
+    #[ignore = "full 32-combo matrix; run by the CI scaling job in release"]
+    fn macaque_full_matrix_is_decomposition_invariant() {
+        let base = observe(WorldConfig::flat(1), Backend::Mpi);
+        assert!(base.fires > 0);
+        for backend in [Backend::Mpi, Backend::Pgas] {
+            for ranks in 1usize..=4 {
+                for threads in 1usize..=4 {
+                    let o = observe(WorldConfig::new(ranks, threads), backend);
+                    assert_matches_baseline(
+                        &o,
+                        &base,
+                        &format!("{backend:?} x {ranks} ranks x {threads} threads"),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_counters_populate_on_macaque() {
+        // The counters the bench_scaling artifact is built from must
+        // actually move on a real multi-rank multi-thread run.
+        let mpi = run(
+            model(),
+            WorldConfig::new(2, 4),
+            &EngineConfig::new(MTICKS, Backend::Mpi),
+        )
+        .unwrap();
+        assert!(
+            mpi.collective_time() > Duration::ZERO,
+            "Reduce-scatter wall time unaccounted"
+        );
+        assert!(
+            mpi.total_inbox_routed() > 0,
+            "cross-thread inbox traffic unaccounted at 4 threads"
+        );
+        assert!(
+            mpi.total_staging_bytes() > 0,
+            "staging-buffer footprint unaccounted"
+        );
+        // The PGAS path books its commit barrier under the same counter.
+        let pgas = run(
+            model(),
+            WorldConfig::flat(2),
+            &EngineConfig::new(MTICKS, Backend::Pgas),
+        )
+        .unwrap();
+        assert!(
+            pgas.collective_time() > Duration::ZERO,
+            "PGAS commit barrier unaccounted"
+        );
+    }
 }
