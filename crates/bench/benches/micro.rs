@@ -198,7 +198,7 @@ fn bench_synapse_kernel(c: &mut Criterion) {
                         (&mut pending[..]).try_into().expect("length");
                     b.iter(|| {
                         let mut touched = EMPTY_MASK;
-                        let ev = f(&xb, &types, &due, pending, &mut touched);
+                        let ev = f(xb.rows(), &types, &due, pending, &mut touched);
                         kernel::for_each_set(&touched, |n| pending[n] = [0; AXON_TYPES]);
                         black_box(ev)
                     })

@@ -73,7 +73,7 @@ fn time_synapse(
         (&mut pending[..]).try_into().expect("length");
     measure_ns(|| {
         let mut touched = EMPTY_MASK;
-        let ev = kern(xb, types, due, pending, &mut touched);
+        let ev = kern(xb.rows(), types, due, pending, &mut touched);
         kernel::for_each_set(&touched, |n| pending[n] = [0; AXON_TYPES]);
         std::hint::black_box(ev);
     })
@@ -122,7 +122,7 @@ fn main() {
             let events: usize = due.iter().map(|&a| xb.row_degree(usize::from(a))).sum();
             let scalar = time_synapse(kernel::synapse_scalar, &xb, &types, &due);
             let bitsliced = time_synapse(kernel::synapse_bitsliced, &xb, &types, &due);
-            let dispatched = kernel::bitsliced_pays_off(&xb, &due);
+            let dispatched = kernel::bitsliced_pays_off(xb.rows(), &due);
             rows.push(format!(
                 "    {{\"density\": {density}, \"due\": {n_due}, \"events\": {events}, \
                  \"scalar_ns\": {scalar:.1}, \"bitsliced_ns\": {bitsliced:.1}, \

@@ -1,7 +1,7 @@
 //! The scaling study: the merged CoCoMac model swept over core counts and
 //! world shapes, emitted as the versioned `BENCH_scaling.json` artifact.
 //!
-//! Four sections miniaturize the paper's scale argument:
+//! Five sections miniaturize the paper's scale argument:
 //!
 //! * **thread_strong_scaling** — Fig. 6: fixed model, one rank, growing
 //!   team; phase breakdown and the receive-critical-section wait.
@@ -13,6 +13,9 @@
 //! * **real_time_threshold** — ticks/second against core count and the
 //!   largest budget that still meets TrueNorth's 1000 ticks/s real-time
 //!   target (the paper's 388× headline is the other side of this line).
+//! * **memory** — resident bytes/core and snapshot µs/core for the SoA
+//!   core pool against the boxed-core layout it replaced, over the same
+//!   core ladder (the SoA refactor's before/after evidence).
 //!
 //! Later PRs (the SoA rewrite above all) report their effect against this
 //! file instead of microbenches. `--check` re-reads the emitted artifact
@@ -22,10 +25,13 @@
 
 use compass_bench::json::validate_scaling_json;
 use compass_bench::{banner, cocomac_run_with, CocomacRun};
-use compass_cocomac::core_budgets;
+use compass_cocomac::{core_budgets, macaque_network};
 use compass_comm::WorldConfig;
+use compass_pcc::compile_serial;
 use compass_sim::{Backend, EngineConfig};
 use std::fmt::Write as _;
+use std::time::Instant;
+use tn_core::CorePool;
 
 /// Artifact schema version — bump together with the validator.
 const VERSION: u32 = 1;
@@ -109,7 +115,7 @@ fn main() {
     // Largest budget, one rank, growing team. On a small host the wall
     // levels are multiplexed; the phase shape and critical-section wait
     // are the reproducible signal (see the lib docs).
-    println!("\n[1/4] thread strong-scaling at {top} cores (Fig. 6)");
+    println!("\n[1/5] thread strong-scaling at {top} cores (Fig. 6)");
     let mut base_wall = 0.0f64;
     let mut points = Vec::new();
     for threads in [1usize, 2, 4, 8] {
@@ -151,7 +157,7 @@ fn main() {
     // ---- Section 2: rank weak-scaling (Fig. 4a) -----------------------
     // Fixed cores per rank; the communicator grows with the model.
     let per_rank = (top / 8).max(128);
-    println!("\n[2/4] rank weak-scaling at {per_rank} cores/rank (Fig. 4a)");
+    println!("\n[2/5] rank weak-scaling at {per_rank} cores/rank (Fig. 4a)");
     let mut points = Vec::new();
     for ranks in [1usize, 2, 4, 8] {
         let cores = per_rank * ranks as u64;
@@ -188,7 +194,7 @@ fn main() {
     // One sweep feeds both the MPI-vs-PGAS comparison (Fig. 7) and the
     // real-time threshold (ticks/s vs cores).
     const RANKS: usize = 4;
-    println!("\n[3/4] MPI vs PGAS over {budgets:?} cores at {RANKS} ranks (Fig. 7)");
+    println!("\n[3/5] MPI vs PGAS over {budgets:?} cores at {RANKS} ranks (Fig. 7)");
     let mut lad_points = Vec::new();
     let mut rt_points = Vec::new();
     let mut crossover: Option<u64> = None;
@@ -281,7 +287,7 @@ fn main() {
     )
     .unwrap();
 
-    println!("\n[4/4] real-time threshold (1000 ticks/s target)");
+    println!("\n[4/5] real-time threshold (1000 ticks/s target)");
     match max_rt {
         Some(c) => println!("  real time holds through {c} cores on this host"),
         None => println!("  no budget in the sweep runs in real time on this host"),
@@ -292,10 +298,77 @@ fn main() {
     writeln!(out, "    \"points\": [\n{}\n  ],", rt_points.join(",\n")).unwrap();
     writeln!(
         out,
-        "    \"max_real_time_cores\": {}}}",
+        "    \"max_real_time_cores\": {}}},",
         max_rt.map_or("null".into(), |c| c.to_string())
     )
     .unwrap();
+
+    // ---- Section 5: memory & snapshot cost --------------------------
+    // The SoA pool's before/after evidence: resident bytes per core and
+    // snapshot microseconds per core against the boxed-core layout it
+    // replaced. The AoS path re-enacts the old checkpointer (one
+    // allocation + field-by-field serialization per core); the SoA path
+    // is the pool's bounded arena copy into one reused buffer.
+    println!("\n[5/5] memory: SoA pool vs boxed cores over {budgets:?} cores");
+    let net = macaque_network(SEED);
+    let mut mem_points = Vec::new();
+    for &cores in &budgets {
+        let (_plan, model) =
+            compile_serial(&net.object, cores).expect("CoCoMac model is realizable");
+        let mut pool = CorePool::with_capacity(model.cores.len());
+        for c in model.cores {
+            pool.push(c).expect("compiled config is valid");
+        }
+        let n = pool.len().max(1);
+        let aos_bytes = CorePool::aos_core_bytes();
+        let soa_bytes = pool.resident_bytes() / n;
+
+        // Both sides produce the same artifact — the flat rank-checkpoint
+        // body. The AoS side reproduces the boxed-core path the pool
+        // replaced: one owned Vec per core, then each copied into the
+        // blob (`RankCheckpoint` kept `Vec<Vec<u8>>` before the SoA
+        // refactor). The SoA side is the pool's single-pass export.
+        const REPS: u32 = 8;
+        let mut sink = 0usize;
+        let mut buf = Vec::new();
+        let t0 = Instant::now();
+        for _ in 0..REPS {
+            let blobs: Vec<Vec<u8>> = (0..pool.len()).map(|k| pool.snapshot_bytes(k)).collect();
+            buf.clear();
+            for blob in &blobs {
+                buf.extend_from_slice(blob);
+            }
+            sink = sink.wrapping_add(buf.len());
+        }
+        let aos_us = t0.elapsed().as_secs_f64() * 1e6 / f64::from(REPS) / n as f64;
+
+        let t1 = Instant::now();
+        for _ in 0..REPS {
+            buf.clear();
+            pool.snapshot_all_into(&mut buf);
+            sink = sink.wrapping_add(buf.len());
+        }
+        let soa_us = t1.elapsed().as_secs_f64() * 1e6 / f64::from(REPS) / n as f64;
+        std::hint::black_box(sink);
+
+        println!(
+            "  {cores} cores: {aos_bytes} B/core boxed vs {soa_bytes} B/core pooled; \
+             snapshot {aos_us:.3} µs/core per-core vs {soa_us:.3} µs/core arena-copy"
+        );
+        mem_points.push(format!(
+            "    {{\"cores\": {cores}, \"aos_bytes_per_core\": {aos_bytes}, \
+             \"soa_bytes_per_core\": {soa_bytes}, \
+             \"aos_snapshot_us_per_core\": {aos_us:.6}, \
+             \"soa_snapshot_us_per_core\": {soa_us:.6}}}"
+        ));
+    }
+    writeln!(out, "  \"memory\": {{").unwrap();
+    writeln!(
+        out,
+        "    \"figure\": \"soa-vs-aos residency and snapshot cost\","
+    )
+    .unwrap();
+    writeln!(out, "    \"points\": [\n{}\n  ]}}", mem_points.join(",\n")).unwrap();
     writeln!(out, "}}").unwrap();
 
     std::fs::write(&args.out, &out).expect("write artifact");
@@ -304,7 +377,7 @@ fn main() {
     if args.check {
         let text = std::fs::read_to_string(&args.out).expect("re-read artifact");
         match validate_scaling_json(&text) {
-            Ok(()) => println!("schema check: OK (version {VERSION}, all four sections present)"),
+            Ok(()) => println!("schema check: OK (version {VERSION}, all five sections present)"),
             Err(e) => {
                 eprintln!("schema check FAILED: {e}");
                 std::process::exit(1);

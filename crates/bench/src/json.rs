@@ -4,7 +4,7 @@
 //! as hand-built strings; this module provides the other direction — a
 //! small recursive-descent parser — plus the schema check behind
 //! `bench_scaling --check`, so CI can prove the emitted artifact is
-//! well-formed and carries all four sections of the scaling study.
+//! well-formed and carries all five sections of the scaling study.
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -220,9 +220,9 @@ fn utf8_len(first: u8) -> usize {
     }
 }
 
-/// The four sections `BENCH_scaling.json` must carry, with the figure
+/// The five sections `BENCH_scaling.json` must carry, with the figure
 /// each one miniaturizes and the per-point keys it must report.
-const SECTIONS: [(&str, &[&str]); 4] = [
+const SECTIONS: [(&str, &[&str]); 5] = [
     (
         "thread_strong_scaling", // Fig. 6
         &[
@@ -254,10 +254,20 @@ const SECTIONS: [(&str, &[&str]); 4] = [
         "real_time_threshold", // ticks/sec vs core count
         &["cores", "ticks_per_s", "slowdown"],
     ),
+    (
+        "memory", // SoA pool vs boxed-core resident/snapshot cost
+        &[
+            "cores",
+            "aos_bytes_per_core",
+            "soa_bytes_per_core",
+            "aos_snapshot_us_per_core",
+            "soa_snapshot_us_per_core",
+        ],
+    ),
 ];
 
 /// Validates the scaling artifact's schema: a versioned object carrying
-/// compile accounting and all four study sections, each with a non-empty
+/// compile accounting and all five study sections, each with a non-empty
 /// `points` array whose entries report the required numeric keys.
 ///
 /// # Errors
@@ -396,5 +406,12 @@ mod tests {
         assert!(e.contains("speedup"), "{e}");
         let e = validate_scaling_json(&full.replace("\"version\": 1, ", "")).unwrap_err();
         assert!(e.contains("version"), "{e}");
+        let e = validate_scaling_json(&full.replace("\"memory\"", "\"mem\"")).unwrap_err();
+        assert!(e.contains("memory"), "{e}");
+        let e = validate_scaling_json(
+            &full.replace("\"soa_bytes_per_core\": 1", "\"soa_bytes_per_core\": null"),
+        )
+        .unwrap_err();
+        assert!(e.contains("soa_bytes_per_core"), "{e}");
     }
 }

@@ -96,8 +96,10 @@ impl std::error::Error for CheckpointError {}
 pub struct RankCheckpoint {
     pub(crate) rank: u32,
     pub(crate) start_tick: u32,
-    /// Per-core snapshot blobs in local (block) order.
-    pub(crate) cores: Vec<Vec<u8>>,
+    /// Concatenated fixed-size per-core snapshot blobs in local (block)
+    /// order — one flat buffer, filled by a bounded arena copy from the
+    /// rank's core pool rather than per-core serializations.
+    pub(crate) blob: Vec<u8>,
 }
 
 impl RankCheckpoint {
@@ -115,27 +117,31 @@ impl RankCheckpoint {
 
     /// Number of core snapshots held.
     pub fn core_count(&self) -> usize {
-        self.cores.len()
+        debug_assert_eq!(self.blob.len() % CORE_SNAPSHOT_BYTES, 0);
+        self.blob.len() / CORE_SNAPSHOT_BYTES
+    }
+
+    /// The fixed-size per-core snapshot blobs, in local (block) order.
+    pub fn core_blobs(&self) -> impl ExactSizeIterator<Item = &[u8]> + '_ {
+        self.blob.chunks_exact(CORE_SNAPSHOT_BYTES)
     }
 
     /// Total payload size: what a checkpoint of this rank costs on disk.
     pub fn total_bytes(&self) -> u64 {
-        HEADER_BYTES as u64 + self.cores.iter().map(|c| c.len() as u64).sum::<u64>()
+        (HEADER_BYTES + self.blob.len()) as u64
     }
 
     /// Serializes to the versioned on-disk format.
     pub fn to_bytes(&self) -> Vec<u8> {
+        debug_assert_eq!(self.blob.len() % CORE_SNAPSHOT_BYTES, 0);
         let mut out = Vec::with_capacity(self.total_bytes() as usize);
         out.extend_from_slice(&CHECKPOINT_MAGIC);
         out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
         out.extend_from_slice(&0u16.to_le_bytes()); // reserved
         out.extend_from_slice(&self.rank.to_le_bytes());
         out.extend_from_slice(&self.start_tick.to_le_bytes());
-        out.extend_from_slice(&(self.cores.len() as u32).to_le_bytes());
-        for core in &self.cores {
-            debug_assert_eq!(core.len(), CORE_SNAPSHOT_BYTES);
-            out.extend_from_slice(core);
-        }
+        out.extend_from_slice(&(self.core_count() as u32).to_le_bytes());
+        out.extend_from_slice(&self.blob);
         out
     }
 
@@ -169,16 +175,10 @@ impl RankCheckpoint {
                 got: bytes.len(),
             });
         }
-        let cores = (0..n_cores)
-            .map(|i| {
-                let start = HEADER_BYTES + i * CORE_SNAPSHOT_BYTES;
-                bytes[start..start + CORE_SNAPSHOT_BYTES].to_vec()
-            })
-            .collect();
         Ok(Self {
             rank,
             start_tick,
-            cores,
+            blob: bytes[HEADER_BYTES..].to_vec(),
         })
     }
 }
@@ -289,13 +289,12 @@ mod tests {
     use super::*;
 
     fn sample() -> RankCheckpoint {
+        let mut blob = vec![1u8; CORE_SNAPSHOT_BYTES];
+        blob.extend_from_slice(&vec![2u8; CORE_SNAPSHOT_BYTES]);
         RankCheckpoint {
             rank: 3,
             start_tick: 17,
-            cores: vec![
-                vec![1u8; CORE_SNAPSHOT_BYTES],
-                vec![2u8; CORE_SNAPSHOT_BYTES],
-            ],
+            blob,
         }
     }
 
@@ -316,7 +315,7 @@ mod tests {
         let ck = RankCheckpoint {
             rank: 0,
             start_tick: 5,
-            cores: Vec::new(),
+            blob: Vec::new(),
         };
         let back = RankCheckpoint::from_bytes(&ck.to_bytes()).unwrap();
         assert_eq!(back, ck);

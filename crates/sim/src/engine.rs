@@ -28,9 +28,13 @@
 //!
 //! The paper assigns disjoint core sets to OpenMP threads precisely so the
 //! hot Synapse/Neuron phases run lock-free. This engine does the same:
-//! each team thread exclusively owns one contiguous chunk of the rank's
-//! cores (`Shards`) for the whole run — no `Mutex` per core, no lock in
-//! any per-core loop. A spike destined for a core another thread owns is
+//! the rank's cores live in one structure-of-arrays [`tn_core::CorePool`]
+//! (contiguous per-field arenas indexed by local core slot), and each team
+//! thread exclusively owns one contiguous slot range as a
+//! [`tn_core::PoolSlice`] (via [`tn_core::PoolShards`]) for the whole run —
+//! no `Mutex` per core, no lock in any per-core loop, and a tick working
+//! set that is dense in memory instead of scattered across per-core
+//! boxes. A spike destined for a core another thread owns is
 //! never delivered directly; it is routed into that thread's **inbox**
 //! (`Inboxes`) during the Network phase and drained by the owning thread
 //! at the top of the next tick's Synapse phase, before the delay slots for
@@ -42,10 +46,10 @@
 //! Most cores of a sparsely active model do nothing in most ticks. Two
 //! O(1) fast paths exploit that (cf. SuperNeuro's activity-sparse mode):
 //! a core whose delay buffers are empty skips the 256-axon Synapse scan
-//! ([`tn_core::NeurosynapticCore::skip_synapse_phase`]), and a core that
+//! ([`tn_core::PoolSlice::tick_synapse`]), and a core that
 //! reached a fixed point of its zero-input dynamics — and draws no
 //! per-tick randomness — skips the 256-neuron sweep entirely
-//! ([`tn_core::NeurosynapticCore::skip_neuron_phase`]). Both skips leave
+//! ([`tn_core::PoolSlice::tick_neuron`]). Both skips leave
 //! core state (potentials, PRNG stream, activity counters) bit-identical
 //! to the full phases; [`EngineConfig::quiescence`] force-disables them
 //! for A/B verification, and [`RankReport::synapse_skips`] /
@@ -68,7 +72,7 @@ use std::ops::Range;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
-use tn_core::{CoreConfig, NeurosynapticCore, Spike};
+use tn_core::{CoreConfig, CorePool, PoolSlice, Spike, CORE_AXONS, CORE_SNAPSHOT_BYTES};
 
 /// Which communication model drives the Network phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -236,18 +240,6 @@ fn tick_tag(t: u32) -> Tag {
 /// it can never match a tick's spike traffic.
 const FLUSH_TAG: Tag = 1 << 62;
 
-/// One core plus the engine-side activity state driving quiescence.
-struct CoreSlot {
-    core: NeurosynapticCore,
-    /// Synaptic events delivered by this tick's Synapse phase (0 when the
-    /// scan was skipped — an empty delay buffer delivers nothing).
-    events: u64,
-    /// The core's last executed Neuron phase reported a fixed point of its
-    /// zero-input dynamics; stays set while ticks are skipped, cleared by
-    /// arriving input.
-    dormant: bool,
-}
-
 /// One spike delivery routed between team threads, addressed by local core
 /// index — the unit carried by [`Inboxes`].
 #[derive(Clone, Copy)]
@@ -255,64 +247,6 @@ struct Delivery {
     local_idx: u32,
     axon: u16,
     delivery_tick: u32,
-}
-
-/// Hands each team thread exclusive mutable access to its contiguous,
-/// [`static_chunk`]-assigned slice of the rank's cores.
-///
-/// Safety protocol (the engine's phase structure enforces it):
-/// * during a parallel region, thread `tid` obtains only `shard(tid)`, and
-///   at most once — the chunks are disjoint, so no two `&mut` alias;
-/// * between regions (the team is joined), only the master runs, and it
-///   may use `all()` — no shard borrow is live across a region boundary
-///   because shards are re-acquired inside every region closure.
-struct Shards<'a> {
-    ptr: *mut CoreSlot,
-    len: usize,
-    parts: usize,
-    _owner: std::marker::PhantomData<&'a mut [CoreSlot]>,
-}
-
-// SAFETY: see the protocol above — all concurrent access is to disjoint
-// chunks, and whole-array access happens only while the team is joined.
-unsafe impl Sync for Shards<'_> {}
-
-impl<'a> Shards<'a> {
-    fn new(slots: &'a mut [CoreSlot], parts: usize) -> Self {
-        Self {
-            ptr: slots.as_mut_ptr(),
-            len: slots.len(),
-            parts,
-            _owner: std::marker::PhantomData,
-        }
-    }
-
-    /// The local-index range owned by `tid`.
-    fn range(&self, tid: usize) -> Range<usize> {
-        static_chunk(self.len, self.parts, tid)
-    }
-
-    /// Thread `tid`'s exclusive slice.
-    ///
-    /// # Safety
-    /// Caller must be thread `tid` inside a parallel region (or the master
-    /// between regions), must not call this twice for the same `tid` within
-    /// one region, and must not hold the slice across a region boundary.
-    #[allow(clippy::mut_from_ref)] // &self → &mut is the whole point; see protocol
-    unsafe fn shard(&self, tid: usize) -> &mut [CoreSlot] {
-        let r = self.range(tid);
-        std::slice::from_raw_parts_mut(self.ptr.add(r.start), r.len())
-    }
-
-    /// The whole core array.
-    ///
-    /// # Safety
-    /// Caller must be the master thread with no parallel region active and
-    /// no other shard slice live.
-    #[allow(clippy::mut_from_ref)] // &self → &mut is the whole point; see protocol
-    unsafe fn all(&self) -> &mut [CoreSlot] {
-        std::slice::from_raw_parts_mut(self.ptr, self.len)
-    }
 }
 
 /// Per-(destination thread, source thread) delivery queues: the cross-
@@ -407,6 +341,9 @@ struct ThreadBufs {
     remote: Vec<Vec<u8>>,
     /// Trace of all emitted spikes (only if recording).
     trace: Vec<Spike>,
+    /// Due-axon scratch for this thread's [`PoolSlice`] (the Synapse
+    /// gather buffer — one per thread so disjoint slices never alias).
+    due: Vec<u16>,
     /// Synapse scans replaced by the empty-delay-buffer fast path.
     synapse_skips: u64,
     /// Neuron sweeps replaced by the dormant-core fast path.
@@ -500,26 +437,20 @@ pub fn run_rank_view(
         "rank {me}: config count does not fill partition block"
     );
 
-    // Instantiate cores (the paper's PCC hands off to Compass the same way:
-    // compile, instantiate, free the compiler structures).
+    // Instantiate cores into one structure-of-arrays pool (the paper's PCC
+    // hands off to Compass the same way: compile, instantiate, free the
+    // compiler structures).
     let mut expected_ids = view.blocks_of(me).into_iter().flatten();
     let mut memory_bytes = 0u64;
-    let mut slots: Vec<CoreSlot> = configs
-        .into_iter()
-        .map(|c| {
-            let want = expected_ids.next().expect("count checked above");
-            assert_eq!(c.id, want, "core ids must be dense");
-            memory_bytes += c.memory_footprint() as u64;
-            let mut core = NeurosynapticCore::new(c).expect("invalid core config");
-            core.set_word_kernels(cfg.kernels);
-            CoreSlot {
-                core,
-                events: 0,
-                dormant: false,
-            }
-        })
-        .collect();
-    let n_local = slots.len();
+    let mut pool = CorePool::with_capacity(configs.len());
+    for c in configs {
+        let want = expected_ids.next().expect("count checked above");
+        assert_eq!(c.id, want, "core ids must be dense");
+        memory_bytes += c.memory_footprint() as u64;
+        pool.push(c).expect("invalid core config");
+    }
+    pool.set_word_kernels(cfg.kernels);
+    let n_local = pool.len();
 
     // Resume: overwrite the freshly built cores with their checkpointed
     // state. The model (crossbars, parameters) comes from `configs` as
@@ -536,9 +467,9 @@ pub fn run_rank_view(
                 n_local,
                 "checkpoint core count does not match this rank's block"
             );
-            for (slot, blob) in slots.iter_mut().zip(&ck.cores) {
-                slot.core
-                    .restore_bytes(blob)
+            let mut full = pool.full();
+            for (k, blob) in ck.core_blobs().enumerate() {
+                full.restore(k, blob)
                     .expect("checkpoint rejected by core restore");
             }
             ck.start_tick()
@@ -568,10 +499,16 @@ pub fn run_rank_view(
 
     let team = ctx.team();
     let threads = team.size();
-    let shards = Shards::new(&mut slots, threads);
+    let shards = pool.shards();
+    // Slot range owned by thread `tid` — the disjointness contract behind
+    // every `shards.slice` below.
+    let shard_range = |tid: usize| static_chunk(n_local, threads, tid);
+    // Master-owned due-axon scratch for whole-pool slices between regions.
+    let mut master_due = vec![0u16; CORE_AXONS];
     let inboxes = Inboxes::new(threads);
     let mut thread_bufs: PerThread<ThreadBufs> = PerThread::new(threads, || ThreadBufs {
         remote: (0..world).map(|_| Vec::new()).collect(),
+        due: vec![0; CORE_AXONS],
         ..ThreadBufs::default()
     });
 
@@ -584,12 +521,14 @@ pub fn run_rank_view(
     // and inbox drains only happen in Synapse regions, never concurrently
     // with Network-phase routing.
     let inbox_routed = AtomicU64::new(0);
-    let route = |spike: &Spike, tid: usize, my: &mut [CoreSlot], my_range: &Range<usize>| {
+    let route = |spike: &Spike, tid: usize, my: &mut PoolSlice<'_>, my_range: &Range<usize>| {
         let idx = view.local_index(me, spike.target.core);
         if my_range.contains(&idx) {
-            my[idx - my_range.start]
-                .core
-                .deliver(spike.target.axon, spike.delivery_tick());
+            my.deliver(
+                idx - my_range.start,
+                spike.target.axon,
+                spike.delivery_tick(),
+            );
         } else {
             let dest = chunk_owner(n_local, threads, idx);
             inbox_routed.fetch_add(1, Ordering::Relaxed);
@@ -692,20 +631,21 @@ pub fn run_rank_view(
         if opts.checkpoint_at == Some(t) {
             let ck_start = Instant::now();
             // SAFETY: master between regions; no shard slice is live.
-            let all = unsafe { shards.all() };
+            let mut all = unsafe { shards.slice(0..n_local, &mut master_due) };
             for dest in 0..threads {
                 unsafe {
                     inboxes.drain_for(dest, |d| {
-                        all[d.local_idx as usize]
-                            .core
-                            .deliver(d.axon, d.delivery_tick);
+                        all.deliver(d.local_idx as usize, d.axon, d.delivery_tick);
                     });
                 }
             }
+            // One bounded arena copy per field, not a per-core serializer.
+            let mut blob = Vec::with_capacity(n_local * CORE_SNAPSHOT_BYTES);
+            all.snapshot_all_into(&mut blob);
             let ck = RankCheckpoint {
                 rank: me as u32,
                 start_tick: t,
-                cores: all.iter().map(|s| s.core.snapshot_bytes()).collect(),
+                blob,
             };
             report.checkpoint_bytes = ck.total_bytes();
             report.checkpoint_time = ck_start.elapsed();
@@ -817,20 +757,20 @@ pub fn run_rank_view(
             if due && ring.newest_tick() != Some(t) {
                 let ck_start = Instant::now();
                 // SAFETY: master between regions; no shard slice is live.
-                let all = unsafe { shards.all() };
+                let mut all = unsafe { shards.slice(0..n_local, &mut master_due) };
                 for dest in 0..threads {
                     unsafe {
                         inboxes.drain_for(dest, |d| {
-                            all[d.local_idx as usize]
-                                .core
-                                .deliver(d.axon, d.delivery_tick);
+                            all.deliver(d.local_idx as usize, d.axon, d.delivery_tick);
                         });
                     }
                 }
+                let mut blob = Vec::with_capacity(n_local * CORE_SNAPSHOT_BYTES);
+                all.snapshot_all_into(&mut blob);
                 ring.push(RankCheckpoint {
                     rank: me as u32,
                     start_tick: t,
-                    cores: all.iter().map(|s| s.core.snapshot_bytes()).collect(),
+                    blob,
                 });
                 recovery_time += ck_start.elapsed();
             }
@@ -880,41 +820,41 @@ pub fn run_rank_view(
         }
 
         // Inject external inputs due this tick (before their slot is read).
-        // SAFETY: master between regions; no shard slice is live.
-        let all = unsafe { shards.all() };
-        while input_cursor < inputs.len() && inputs[input_cursor].0 == t {
-            let (tick, core, axon) = inputs[input_cursor];
-            all[view.local_index(me, core)].core.deliver(axon, tick);
-            input_cursor += 1;
+        if input_cursor < inputs.len() && inputs[input_cursor].0 == t {
+            // SAFETY: master between regions; no shard slice is live.
+            let mut all = unsafe { shards.slice(0..n_local, &mut master_due) };
+            while input_cursor < inputs.len() && inputs[input_cursor].0 == t {
+                let (tick, core, axon) = inputs[input_cursor];
+                all.deliver(view.local_index(me, core), axon, tick);
+                input_cursor += 1;
+            }
         }
 
         // ---------------- Synapse phase ----------------
         let t0 = Instant::now();
         team.parallel(|tc| {
             let tid = tc.tid();
-            // SAFETY: own tid, once per region, not held across regions.
-            let my = unsafe { shards.shard(tid) };
-            let my_range = shards.range(tid);
-            // SAFETY: own slot, same protocol.
+            // SAFETY: own slot, once per region, not held across regions.
             let bufs = unsafe { thread_bufs.get(tid) };
+            let my_range = shard_range(tid);
+            // SAFETY: own tid's disjoint slot range, same protocol.
+            let mut my = unsafe { shards.slice(my_range.clone(), &mut bufs.due) };
             // Deliveries routed to this thread during the previous tick's
             // Network phase land before this tick's slots are read.
             // SAFETY: own inbox cells; no pushes run in Synapse regions.
             unsafe {
                 inboxes.drain_for(tid, |d| {
-                    my[d.local_idx as usize - my_range.start]
-                        .core
-                        .deliver(d.axon, d.delivery_tick);
+                    my.deliver(
+                        d.local_idx as usize - my_range.start,
+                        d.axon,
+                        d.delivery_tick,
+                    );
                 });
             }
-            for slot in my.iter_mut() {
-                if cfg.quiescence && !slot.core.has_pending_deliveries() {
+            for k in 0..my.len() {
+                if my.tick_synapse(k, t, cfg.quiescence) {
                     // O(1): an empty delay buffer delivers zero events.
-                    slot.core.skip_synapse_phase();
-                    slot.events = 0;
                     bufs.synapse_skips += 1;
-                } else {
-                    slot.events = slot.core.synapse_phase(t);
                 }
             }
         });
@@ -924,25 +864,23 @@ pub fn run_rank_view(
         let t1 = Instant::now();
         team.parallel(|tc| {
             let tid = tc.tid();
-            // SAFETY: own tid / own slot, once per region (see Shards).
-            let my = unsafe { shards.shard(tid) };
+            // SAFETY: own tid / own slot, once per region (see PoolShards).
             let bufs = unsafe { thread_bufs.get(tid) };
             let ThreadBufs {
                 local,
                 remote,
                 trace,
                 neuron_skips,
+                due,
                 ..
             } = bufs;
-            for slot in my.iter_mut() {
-                if cfg.quiescence && slot.dormant && slot.events == 0 {
-                    // Fixed point, zero input, no per-tick randomness: the
-                    // full sweep would be the identity.
-                    slot.core.skip_neuron_phase();
-                    *neuron_skips += 1;
-                    continue;
-                }
-                let changed = slot.core.neuron_phase(t, |spike| {
+            // SAFETY: own tid's disjoint slot range, once per region.
+            let mut my = unsafe { shards.slice(shard_range(tid), due) };
+            // The sweep runs across cores in pool order: one pass over the
+            // rank's contiguous potential arena instead of 256-neuron hops
+            // between boxed cores.
+            for k in 0..my.len() {
+                let skipped = my.tick_neuron(k, t, cfg.quiescence, &mut |spike| {
                     if cfg.record_trace {
                         trace.push(spike);
                     }
@@ -953,7 +891,11 @@ pub fn run_rank_view(
                         spike.encode_into(&mut remote[dest]);
                     }
                 });
-                slot.dormant = !slot.core.autonomous_dynamics() && slot.events == 0 && !changed;
+                if skipped {
+                    // Fixed point, zero input, no per-tick randomness: the
+                    // full sweep would have been the identity.
+                    *neuron_skips += 1;
+                }
             }
         });
 
@@ -1035,12 +977,13 @@ pub fn run_rank_view(
                             let v = rs_sum(&send_flags);
                             expected.store(v, Ordering::Release);
                         } else {
-                            // SAFETY: own tid, once per region.
-                            let my = unsafe { shards.shard(tid) };
-                            let my_range = shards.range(tid);
+                            // SAFETY: own tid / own slot, once per region.
+                            let bufs = unsafe { thread_bufs.get(tid) };
+                            let my_range = shard_range(tid);
+                            let mut my = unsafe { shards.slice(my_range.clone(), &mut bufs.due) };
                             let r = static_chunk(local_ref.len(), tc.size() - 1, tid - 1);
                             for s in &local_ref[r] {
-                                route(s, tid, my, &my_range);
+                                route(s, tid, &mut my, &my_range);
                             }
                         }
                     });
@@ -1050,11 +993,12 @@ pub fn run_rank_view(
                     let local_ref = &local_all;
                     team.parallel(|tc| {
                         let tid = tc.tid();
-                        // SAFETY: own tid, once per region.
-                        let my = unsafe { shards.shard(tid) };
-                        let my_range = shards.range(tid);
+                        // SAFETY: own tid / own slot, once per region.
+                        let bufs = unsafe { thread_bufs.get(tid) };
+                        let my_range = shard_range(tid);
+                        let mut my = unsafe { shards.slice(my_range.clone(), &mut bufs.due) };
                         for i in tc.chunk(local_ref.len()) {
-                            route(&local_ref[i], tid, my, &my_range);
+                            route(&local_ref[i], tid, &mut my, &my_range);
                         }
                     });
                 }
@@ -1066,9 +1010,10 @@ pub fn run_rank_view(
                 let claimed = AtomicUsize::new(0);
                 team.parallel(|tc| {
                     let tid = tc.tid();
-                    // SAFETY: own tid, once per region.
-                    let my = unsafe { shards.shard(tid) };
-                    let my_range = shards.range(tid);
+                    // SAFETY: own tid / own slot, once per region.
+                    let bufs = unsafe { thread_bufs.get(tid) };
+                    let my_range = shard_range(tid);
+                    let mut my = unsafe { shards.slice(my_range.clone(), &mut bufs.due) };
                     loop {
                         let i = claimed.fetch_add(1, Ordering::Relaxed);
                         if i as u64 >= expected {
@@ -1097,12 +1042,12 @@ pub fn run_rank_view(
                                     return;
                                 }
                                 for spike in Spike::decode_buffer(payload) {
-                                    route(&spike, tid, my, &my_range);
+                                    route(&spike, tid, &mut my, &my_range);
                                 }
                             }),
                             None => {
                                 for spike in Spike::decode_buffer(&env.payload) {
-                                    route(&spike, tid, my, &my_range);
+                                    route(&spike, tid, &mut my, &my_range);
                                 }
                             }
                         }
@@ -1131,22 +1076,23 @@ pub fn run_rank_view(
                         ctx.pgas().commit();
                         collective_ns.fetch_add(tb.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     } else if cfg.overlap && tc.size() > 1 {
-                        // SAFETY: own tid, once per region.
-                        let my = unsafe { shards.shard(tid) };
-                        let my_range = shards.range(tid);
+                        // SAFETY: own tid / own slot, once per region.
+                        let bufs = unsafe { thread_bufs.get(tid) };
+                        let my_range = shard_range(tid);
+                        let mut my = unsafe { shards.slice(my_range.clone(), &mut bufs.due) };
                         let r = static_chunk(local_ref.len(), tc.size() - 1, tid - 1);
                         for s in &local_ref[r] {
-                            route(s, tid, my, &my_range);
+                            route(s, tid, &mut my, &my_range);
                         }
                     }
                 });
                 report.messages_sent += puts.load(Ordering::Relaxed);
                 if !(cfg.overlap && threads > 1) {
                     // SAFETY: master between regions; no shard slice live.
-                    let all = unsafe { shards.all() };
+                    let mut all = unsafe { shards.slice(0..n_local, &mut master_due) };
                     for s in local_ref {
                         let idx = view.local_index(me, s.target.core);
-                        all[idx].core.deliver(s.target.axon, s.delivery_tick());
+                        all.deliver(idx, s.target.axon, s.delivery_tick());
                     }
                 }
                 local_all.clear();
@@ -1156,7 +1102,7 @@ pub fn run_rank_view(
                 // Drain the committed epoch: every incoming window, spikes
                 // delivered by the master directly — no tag matching, no
                 // probe. SAFETY: master between regions.
-                let all = unsafe { shards.all() };
+                let mut all = unsafe { shards.slice(0..n_local, &mut master_due) };
                 ctx.pgas().drain(|src, bytes| match &rely {
                     Some(r) => r.receive(src, me, &bytes, |payload| {
                         if survive && ReplicaPayload::looks_like(payload) {
@@ -1166,17 +1112,13 @@ pub fn run_rank_view(
                         }
                         for spike in Spike::decode_buffer(payload) {
                             let idx = view.local_index(me, spike.target.core);
-                            all[idx]
-                                .core
-                                .deliver(spike.target.axon, spike.delivery_tick());
+                            all.deliver(idx, spike.target.axon, spike.delivery_tick());
                         }
                     }),
                     None => {
                         for spike in Spike::decode_buffer(&bytes) {
                             let idx = view.local_index(me, spike.target.core);
-                            all[idx]
-                                .core
-                                .deliver(spike.target.axon, spike.delivery_tick());
+                            all.deliver(idx, spike.target.axon, spike.delivery_tick());
                         }
                     }
                 });
@@ -1195,7 +1137,7 @@ pub fn run_rank_view(
         if let Some(r) = &rely {
             let audit_start = Instant::now();
             // SAFETY: master between regions; no shard slice is live.
-            let all = unsafe { shards.all() };
+            let mut all = unsafe { shards.slice(0..n_local, &mut master_due) };
             let outcome = r.audit(me, t, |_, payload| {
                 if survive && ReplicaPayload::looks_like(payload) {
                     *replica_store.lock().expect("replica store poisoned") = Some(payload.to_vec());
@@ -1203,9 +1145,7 @@ pub fn run_rank_view(
                 }
                 for spike in Spike::decode_buffer(payload) {
                     let idx = view.local_index(me, spike.target.core);
-                    all[idx]
-                        .core
-                        .deliver(spike.target.axon, spike.delivery_tick());
+                    all.deliver(idx, spike.target.axon, spike.delivery_tick());
                 }
             });
             recovery_time += audit_start.elapsed();
@@ -1236,12 +1176,12 @@ pub fn run_rank_view(
                             inboxes.drain_for(dest, |_| {});
                         }
                     }
-                    for (slot, blob) in all.iter_mut().zip(&ck.cores) {
-                        slot.core
-                            .restore_bytes(blob)
+                    // `restore` also clears the per-slot activity state
+                    // (`events`, `dormant`) — the first replayed phases
+                    // recompute it exactly.
+                    for (k, blob) in ck.core_blobs().enumerate() {
+                        all.restore(k, blob)
                             .expect("in-memory checkpoint rejected by core restore");
-                        slot.events = 0;
-                        slot.dormant = false;
                     }
                     report.trace.retain(|s| s.fired_at < back_to);
                     report
@@ -1270,13 +1210,11 @@ pub fn run_rank_view(
     // in inboxes; land them so end-of-run in-flight accounting matches a
     // run that delivered straight into the delay buffers.
     // SAFETY: master after the last region; no shard slice live.
-    let all = unsafe { shards.all() };
+    let mut all = unsafe { shards.slice(0..n_local, &mut master_due) };
     for dest in 0..threads {
         unsafe {
             inboxes.drain_for(dest, |d| {
-                all[d.local_idx as usize]
-                    .core
-                    .deliver(d.axon, d.delivery_tick);
+                all.deliver(d.local_idx as usize, d.axon, d.delivery_tick);
             });
         }
     }
@@ -1292,9 +1230,7 @@ pub fn run_rank_view(
         if let Some(inj) = ctx.faults() {
             let mut land = |spike: Spike| {
                 let idx = view.local_index(me, spike.target.core);
-                all[idx]
-                    .core
-                    .deliver(spike.target.axon, spike.delivery_tick());
+                all.deliver(idx, spike.target.axon, spike.delivery_tick());
             };
             match cfg.backend {
                 Backend::Mpi => {
@@ -1374,6 +1310,16 @@ pub fn run_rank_view(
     report.inbox_routed = inbox_routed.load(Ordering::Relaxed);
     report.staging_bytes = (local_all.capacity() * std::mem::size_of::<Spike>()) as u64
         + agg.iter().map(|b| b.capacity() as u64).sum::<u64>();
+    // Checkpoint and replica staging is rank-resident memory too: the
+    // explicit checkpoint, the in-memory recovery ring, and the newest
+    // buddy replica all pin flat arena copies for the rest of the run.
+    report.staging_bytes += checkpoint.as_ref().map_or(0, RankCheckpoint::total_bytes)
+        + ring.resident_bytes()
+        + replica_store
+            .lock()
+            .expect("replica store poisoned")
+            .as_ref()
+            .map_or(0, |b| b.capacity() as u64);
     if let Some(r) = &rely {
         let counts = r.counts(me);
         report.retransmits = counts.retransmits;
@@ -1393,13 +1339,13 @@ pub fn run_rank_view(
             * std::mem::size_of::<Spike>()) as u64
             + tb.remote.iter().map(|b| b.capacity() as u64).sum::<u64>();
     }
-    report.fires_per_core.reserve(slots.len());
-    for slot in &slots {
-        report.fires += slot.core.total_fires();
-        report.fires_per_core.push(slot.core.total_fires());
-        report.spikes_in_flight += slot.core.spikes_in_flight() as u64;
-        report.activity.add(&slot.core.activity());
-        report.kernel.add(&slot.core.kernel_stats());
+    report.fires_per_core.reserve(pool.len());
+    for k in 0..pool.len() {
+        report.fires += pool.total_fires(k);
+        report.fires_per_core.push(pool.total_fires(k));
+        report.spikes_in_flight += u64::from(pool.spikes_in_flight(k));
+        report.activity.add(&pool.activity(k));
+        report.kernel.add(&pool.kernel_stats(k));
     }
     RunOutcome {
         report,
@@ -2005,6 +1951,42 @@ mod tests {
             resumed_reports.iter().map(|r| r.fires).sum::<u64>(),
             99 + 40 + 10,
             "tick-60 and tick-90 streams must still start on time"
+        );
+    }
+
+    #[test]
+    fn staging_bytes_charge_checkpoint_and_replica_buffers() {
+        // The recovery ring pins two full-rank arena copies in memory;
+        // `staging_bytes` must charge them (regression: they used to be
+        // invisible next to the spike buffers).
+        let model = NetworkModel::relay_ring(4, 4, 1);
+        let engine = EngineConfig {
+            ticks: 12,
+            ..Default::default()
+        };
+        let plain = run_model_with(&model, WorldConfig::flat(1), engine, |_| {
+            RunOptions::default()
+        });
+        let ring = run_model_with(&model, WorldConfig::flat(1), engine, |_| RunOptions {
+            recovery: Some(RecoveryPolicy::every(2)),
+            ..RunOptions::default()
+        });
+        let base = plain[0].report.staging_bytes;
+        let with_ring = ring[0].report.staging_bytes;
+        assert!(
+            with_ring >= base + 2 * (4 * tn_core::CORE_SNAPSHOT_BYTES) as u64,
+            "two ring checkpoints of 4 cores must be charged: {with_ring} vs base {base}"
+        );
+
+        // An explicit checkpoint is charged too.
+        let explicit = run_model_with(&model, WorldConfig::flat(1), engine, |_| RunOptions {
+            checkpoint_at: Some(6),
+            ..RunOptions::default()
+        });
+        let with_ck = explicit[0].report.staging_bytes;
+        assert!(
+            with_ck >= base + (4 * tn_core::CORE_SNAPSHOT_BYTES) as u64,
+            "the kept checkpoint must be charged: {with_ck} vs base {base}"
         );
     }
 

@@ -117,6 +117,12 @@ impl CheckpointRing {
     pub(crate) fn newest_tick(&self) -> Option<u32> {
         self.ring.back().map(|ck| ck.start_tick())
     }
+
+    /// Bytes the ring currently pins in memory — checkpoint staging the
+    /// engine charges to [`crate::RankReport::staging_bytes`].
+    pub(crate) fn resident_bytes(&self) -> u64 {
+        self.ring.iter().map(RankCheckpoint::total_bytes).sum()
+    }
 }
 
 #[cfg(test)]
@@ -127,7 +133,7 @@ mod tests {
         RankCheckpoint {
             rank: 0,
             start_tick: tick,
-            cores: Vec::new(),
+            blob: Vec::new(),
         }
     }
 
@@ -141,6 +147,18 @@ mod tests {
         assert_eq!(ring.newest_tick(), Some(8));
         assert_eq!(ring.ring.len(), 2);
         assert_eq!(ring.ring[0].start_tick(), 4, "oldest evicted");
+    }
+
+    #[test]
+    fn resident_bytes_track_ring_contents() {
+        let mut ring = CheckpointRing::new(2);
+        assert_eq!(ring.resident_bytes(), 0);
+        ring.push(ck(0));
+        let one = ring.resident_bytes();
+        assert!(one > 0, "even an empty-rank checkpoint has a header");
+        ring.push(ck(4));
+        ring.push(ck(8));
+        assert_eq!(ring.resident_bytes(), 2 * one, "bounded by depth");
     }
 
     #[test]

@@ -215,16 +215,17 @@ pub fn run_surviving(
                 })
                 .collect();
             // Merge own + adopted checkpoint cores in ascending original-
-            // rank order — the layout `view2.local_index` expects.
+            // rank order — the layout `view2.local_index` expects. With the
+            // flat-blob checkpoints this is a pair of arena-range copies.
             let mut adopted_cores = 0u64;
-            let mut cores: Vec<Vec<u8>> = Vec::new();
+            let mut blob: Vec<u8> = Vec::new();
             for r in 0..n_ranks {
                 if r == me {
-                    cores.extend(int.resume.cores.iter().cloned());
+                    blob.extend_from_slice(&int.resume.blob);
                 } else if r == int.dead {
                     if let Some(rp) = &int.adopted {
                         adopted_cores = rp.ckpt.core_count() as u64;
-                        cores.extend(rp.ckpt.cores.iter().cloned());
+                        blob.extend_from_slice(&rp.ckpt.blob);
                         // The victim's recorded history died with its
                         // thread; its replica carries both, and they join
                         // this rank's own pre-boundary prefix.
@@ -238,7 +239,7 @@ pub fn run_surviving(
             let merged = RankCheckpoint {
                 rank: me as u32,
                 start_tick: int.resume.start_tick(),
-                cores,
+                blob,
             };
             let opts2 = RunOptions {
                 resume: Some(merged),

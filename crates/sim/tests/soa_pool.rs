@@ -1,0 +1,551 @@
+//! SoA pool equivalence suite.
+//!
+//! The structure-of-arrays `CorePool` replaced per-core boxed state
+//! without changing a single observable bit. This file pins that claim
+//! from three directions:
+//!
+//! * **Wire compatibility** — the pool's flat arena export reproduces the
+//!   pre-pool `TNCS`/`CKPT` byte layouts exactly, and a checkpoint
+//!   serialized the old way (one allocation per core, field by field)
+//!   restores into a pooled rank bit-identically.
+//! * **Bit identity** (proptest) — pooled and boxed cores agree spike for
+//!   spike and snapshot byte for snapshot byte across random models,
+//!   shard decompositions, snapshot/restore into dirty slots, engine
+//!   kill/resume, and the buddy-adoption crash path.
+//! * **Slot edges** — zero-core ranks, single-core pools, and
+//!   non-power-of-two counts behave.
+
+use compass_comm::{CrashPlan, World, WorldConfig};
+use compass_sim::checkpoint::{CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
+use compass_sim::{
+    run, run_rank_with, run_surviving, Backend, EngineConfig, NetworkModel, Partition,
+    RankCheckpoint, RankReport, RecoveryPolicy, RunOptions, RunOutcome,
+};
+use proptest::prelude::*;
+use tn_core::snapshot::{CORE_SNAPSHOT_MAGIC, CORE_SNAPSHOT_VERSION};
+use tn_core::{
+    CoreConfig, CorePool, NeurosynapticCore, Spike, AXON_TYPES, CORE_AXONS, CORE_NEURONS,
+    CORE_SNAPSHOT_BYTES,
+};
+
+// ---------------------------------------------------------------------
+// Harness helpers
+// ---------------------------------------------------------------------
+
+fn run_model_with(
+    model: &NetworkModel,
+    world: WorldConfig,
+    engine: EngineConfig,
+    opts_for: impl Fn(usize) -> RunOptions + Send + Sync,
+) -> Vec<RunOutcome> {
+    let partition = Partition::uniform(model.total_cores(), world.ranks);
+    World::run(world, |ctx| {
+        let block = partition.block(ctx.rank());
+        let configs: Vec<CoreConfig> =
+            model.cores[block.start as usize..block.end as usize].to_vec();
+        run_rank_with(
+            ctx,
+            &partition,
+            configs,
+            &model.initial_deliveries,
+            &engine,
+            &opts_for(ctx.rank()),
+        )
+    })
+}
+
+fn sorted_trace(reports: &[RankReport]) -> Vec<Spike> {
+    let mut t: Vec<Spike> = reports.iter().flat_map(|r| r.trace.clone()).collect();
+    t.sort_by_key(|s| (s.fired_at, s.target.core, s.target.axon));
+    t
+}
+
+/// Builds a pool from a closed model's core configs.
+fn pool_of(model: &NetworkModel, kernels: bool) -> CorePool {
+    let mut pool = CorePool::with_capacity(model.cores.len());
+    for c in &model.cores {
+        pool.push(c.clone()).expect("model config is valid");
+    }
+    pool.set_word_kernels(kernels);
+    pool
+}
+
+/// Ticks a pool through `ticks` in two shards split at `split`, routing
+/// every emitted spike back into the pool — the engine's team-slice
+/// choreography (synapse barrier, neuron barrier, network delivery)
+/// without the engine. Returns the spikes of each tick, in emit order.
+fn drive_pool(
+    pool: &mut CorePool,
+    split: usize,
+    ticks: std::ops::RangeInclusive<u32>,
+    quiescence: bool,
+) -> Vec<Vec<Spike>> {
+    let n = pool.len();
+    assert!(split <= n);
+    let shards = pool.shards();
+    let mut due_a = vec![0u16; CORE_AXONS];
+    let mut due_b = vec![0u16; CORE_AXONS];
+    let mut per_tick = Vec::new();
+    for t in ticks {
+        for (range, due) in [(0..split, &mut due_a), (split..n, &mut due_b)] {
+            let mut shard = unsafe { shards.slice(range, due) };
+            for k in 0..shard.len() {
+                shard.tick_synapse(k, t, quiescence);
+            }
+        }
+        let mut spikes = Vec::new();
+        for (range, due) in [(0..split, &mut due_a), (split..n, &mut due_b)] {
+            let mut shard = unsafe { shards.slice(range, due) };
+            for k in 0..shard.len() {
+                shard.tick_neuron(k, t, quiescence, &mut |s| spikes.push(s));
+            }
+        }
+        let mut all = unsafe { shards.slice(0..n, &mut due_a) };
+        for s in &spikes {
+            all.deliver(s.target.core as usize, s.target.axon, s.delivery_tick());
+        }
+        per_tick.push(spikes);
+    }
+    per_tick
+}
+
+/// The boxed-core reference driver: same phase order, one core at a time.
+/// (Per-core `tick` completes both phases before the next core starts;
+/// that is equivalent because deliveries land at `t + delay ≥ t + 1` and
+/// the Neuron phase reads no cross-core state.)
+fn drive_boxed(
+    cores: &mut [NeurosynapticCore],
+    ticks: std::ops::RangeInclusive<u32>,
+) -> Vec<Vec<Spike>> {
+    let mut per_tick = Vec::new();
+    for t in ticks {
+        let mut spikes = Vec::new();
+        for c in cores.iter_mut() {
+            c.tick(t, |s| spikes.push(s));
+        }
+        for s in &spikes {
+            cores[s.target.core as usize].deliver(s.target.axon, s.delivery_tick());
+        }
+        per_tick.push(spikes);
+    }
+    per_tick
+}
+
+fn pool_snapshots(pool: &CorePool) -> Vec<Vec<u8>> {
+    (0..pool.len()).map(|k| pool.snapshot_bytes(k)).collect()
+}
+
+// ---------------------------------------------------------------------
+// Wire compatibility (the PR 3-era formats)
+// ---------------------------------------------------------------------
+
+/// Re-serializes a checkpoint exactly the way the pre-pool code did: one
+/// allocation per core, each field parsed from the documented offsets and
+/// emitted in documented order. If the pool's flat export ever drifted
+/// from the `TNCS`/`CKPT` layout tables, this reconstruction would differ.
+fn pr3_era_bytes(ck: &RankCheckpoint) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&CHECKPOINT_MAGIC);
+    out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes()); // reserved
+    out.extend_from_slice(&ck.rank().to_le_bytes());
+    out.extend_from_slice(&ck.start_tick().to_le_bytes());
+    out.extend_from_slice(&(ck.core_count() as u32).to_le_bytes());
+    for blob in ck.core_blobs() {
+        let u64_at = |off: usize| u64::from_le_bytes(blob[off..off + 8].try_into().unwrap());
+        let u16_at = |off: usize| u16::from_le_bytes(blob[off..off + 2].try_into().unwrap());
+        let i32_at = |off: usize| i32::from_le_bytes(blob[off..off + 4].try_into().unwrap());
+        let mut core = Vec::with_capacity(CORE_SNAPSHOT_BYTES);
+        core.extend_from_slice(&CORE_SNAPSHOT_MAGIC);
+        core.extend_from_slice(&CORE_SNAPSHOT_VERSION.to_le_bytes());
+        core.extend_from_slice(&0u16.to_le_bytes()); // reserved
+        core.extend_from_slice(&u64_at(8).to_le_bytes()); // core id
+        core.extend_from_slice(&u64_at(16).to_le_bytes()); // ticks
+        core.extend_from_slice(&u64_at(24).to_le_bytes()); // fires
+        core.extend_from_slice(&u64_at(32).to_le_bytes()); // synaptic events
+        core.extend_from_slice(&u64_at(40).to_le_bytes()); // PRNG state
+        for n in 0..CORE_NEURONS {
+            core.extend_from_slice(&i32_at(48 + n * 4).to_le_bytes());
+        }
+        for a in 0..CORE_AXONS {
+            core.extend_from_slice(&u16_at(1072 + a * 2).to_le_bytes());
+        }
+        for n in 0..CORE_NEURONS {
+            for g in 0..AXON_TYPES {
+                core.extend_from_slice(&u16_at(1584 + (n * AXON_TYPES + g) * 2).to_le_bytes());
+            }
+        }
+        assert_eq!(core.len(), CORE_SNAPSHOT_BYTES);
+        out.extend_from_slice(&core);
+    }
+    out
+}
+
+#[test]
+fn pr3_era_checkpoint_restores_into_pooled_rank() {
+    let model = NetworkModel::stochastic_field(5, 40, 11);
+    let (ck_tick, kill_tick) = (25u32, 40u32);
+    for (world, backend) in [
+        (WorldConfig::flat(1), Backend::Mpi),
+        (WorldConfig::new(2, 2), Backend::Pgas),
+    ] {
+        let engine = EngineConfig {
+            ticks: 60,
+            backend,
+            record_trace: true,
+            ..Default::default()
+        };
+        let oracle = run_model_with(&model, world, engine, |_| RunOptions::default());
+        let oracle_reports: Vec<RankReport> = oracle.iter().map(|o| o.report.clone()).collect();
+
+        let victims = run_model_with(&model, world, engine, |_| RunOptions {
+            checkpoint_at: Some(ck_tick),
+            kill_at: Some(kill_tick),
+            ..RunOptions::default()
+        });
+
+        // The pool's flat arena export is byte-identical to the old
+        // field-by-field serializer on both layers of the format.
+        let resurrected: Vec<RankCheckpoint> = victims
+            .iter()
+            .map(|v| {
+                let ck = v.checkpoint.as_ref().expect("checkpoint taken");
+                let old_style = pr3_era_bytes(ck);
+                assert_eq!(
+                    old_style,
+                    ck.to_bytes(),
+                    "pool export drifted from the documented TNCS/CKPT layout"
+                );
+                RankCheckpoint::from_bytes(&old_style).expect("old-style bytes decode")
+            })
+            .collect();
+
+        // A checkpoint that took the full serialize → old-style bytes →
+        // decode round trip resumes a pooled rank bit-identically.
+        let resumed = run_model_with(&model, world, engine, |rank| RunOptions {
+            resume: Some(resurrected[rank].clone()),
+            ..RunOptions::default()
+        });
+        let mut stitched: Vec<Spike> = victims
+            .iter()
+            .flat_map(|v| v.report.trace.iter().copied())
+            .filter(|s| s.fired_at < ck_tick)
+            .collect();
+        stitched.extend(resumed.iter().flat_map(|r| r.report.trace.iter().copied()));
+        stitched.sort_by_key(|s| (s.fired_at, s.target.core, s.target.axon));
+        assert_eq!(stitched, sorted_trace(&oracle_reports), "world {world:?}");
+    }
+}
+
+/// A hand-built `TNCS` blob with distinctive values at every documented
+/// offset.
+fn golden_blob(core_id: u64) -> Vec<u8> {
+    let mut b = Vec::with_capacity(CORE_SNAPSHOT_BYTES);
+    b.extend_from_slice(&CORE_SNAPSHOT_MAGIC);
+    b.extend_from_slice(&CORE_SNAPSHOT_VERSION.to_le_bytes());
+    b.extend_from_slice(&0u16.to_le_bytes());
+    b.extend_from_slice(&core_id.to_le_bytes());
+    b.extend_from_slice(&123u64.to_le_bytes()); // ticks
+    b.extend_from_slice(&45u64.to_le_bytes()); // fires
+    b.extend_from_slice(&678u64.to_le_bytes()); // synaptic events
+    b.extend_from_slice(&0x9E37_79B9_7F4A_7C15u64.to_le_bytes()); // PRNG
+    for n in 0..CORE_NEURONS as i32 {
+        b.extend_from_slice(&((n * 37) % 4001 - 2000).to_le_bytes());
+    }
+    for a in 0..CORE_AXONS as u16 {
+        b.extend_from_slice(&(a.rotate_left(5) ^ 0x5A5A).to_le_bytes());
+    }
+    for n in 0..CORE_NEURONS as u16 {
+        for g in 0..AXON_TYPES as u16 {
+            b.extend_from_slice(&((n + g * 7) % 9).to_le_bytes());
+        }
+    }
+    assert_eq!(b.len(), CORE_SNAPSHOT_BYTES);
+    b
+}
+
+#[test]
+fn pool_restore_and_export_match_boxed_on_a_golden_blob() {
+    let model = NetworkModel::relay_ring(2, 4, 3);
+    let mut pool = pool_of(&model, true);
+    let blob = golden_blob(1);
+
+    let mut full = pool.full();
+    full.restore(1, &blob).expect("golden blob restores");
+
+    assert_eq!(pool.total_fires(1), 45);
+    for n in 0..CORE_NEURONS {
+        assert_eq!(pool.potential(1, n), (n as i32 * 37) % 4001 - 2000);
+    }
+    // Round trip: the pooled slot re-exports the exact bytes.
+    assert_eq!(pool.snapshot_bytes(1), blob);
+    let mut all = Vec::new();
+    pool.snapshot_all_into(&mut all);
+    assert_eq!(&all[CORE_SNAPSHOT_BYTES..], &blob[..]);
+
+    // The boxed core agrees on the wire format in both directions.
+    let mut boxed = NeurosynapticCore::new(model.cores[1].clone()).unwrap();
+    boxed.restore_bytes(&blob).expect("golden blob restores");
+    assert_eq!(boxed.snapshot_bytes(), blob);
+}
+
+#[test]
+fn pool_restore_validates_in_the_documented_order() {
+    use tn_core::SnapshotError;
+    let model = NetworkModel::relay_ring(1, 4, 3);
+    let mut pool = pool_of(&model, true);
+    let good = golden_blob(0);
+    let mut full = pool.full();
+
+    let mut bad = good.clone();
+    bad[0] = b'X';
+    assert_eq!(full.restore(0, &bad), Err(SnapshotError::BadMagic));
+
+    let mut bad = good.clone();
+    bad[4] = 99;
+    assert_eq!(
+        full.restore(0, &bad),
+        Err(SnapshotError::UnsupportedVersion(99))
+    );
+
+    assert_eq!(
+        full.restore(0, &good[..100]),
+        Err(SnapshotError::WrongLength {
+            expected: CORE_SNAPSHOT_BYTES,
+            got: 100,
+        })
+    );
+
+    assert_eq!(
+        full.restore(0, &golden_blob(7)),
+        Err(SnapshotError::WrongCore {
+            expected: 0,
+            got: 7
+        })
+    );
+
+    let mut bad = good.clone();
+    bad[40..48].fill(0);
+    assert_eq!(full.restore(0, &bad), Err(SnapshotError::CorruptPrngState));
+
+    // The slot was untouched by every rejection.
+    assert_eq!(pool.total_fires(0), 0);
+}
+
+// ---------------------------------------------------------------------
+// Proptest: pooled vs boxed bit identity
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random closed models × random shard splits × quiescence/kernels
+    /// settings: the pooled driver and the boxed reference emit the same
+    /// spikes every tick and end in byte-identical state; a mid-run arena
+    /// snapshot restored over *dirty* slots replays the suffix to the
+    /// same final bytes (slot reuse).
+    #[test]
+    fn pooled_and_boxed_cores_stay_bit_identical(
+        n_cores in 1u64..8,
+        leak in 1i16..=80,
+        seed in proptest::num::u64::ANY,
+        ticks in 6u32..32,
+        split_frac in 0u64..=8,
+        quiescence in proptest::bool::ANY,
+        kernels in proptest::bool::ANY,
+    ) {
+        let model = NetworkModel::stochastic_field(n_cores, leak, seed);
+        let split = (n_cores * split_frac / 8) as usize;
+        let mid = ticks / 2;
+
+        let mut pool = pool_of(&model, kernels);
+        let mut boxed: Vec<NeurosynapticCore> = model
+            .cores
+            .iter()
+            .map(|c| {
+                let mut core = NeurosynapticCore::new(c.clone()).unwrap();
+                core.set_word_kernels(kernels);
+                core
+            })
+            .collect();
+
+        // Prefix, then a boundary snapshot (state at the top of mid+1).
+        let pool_prefix = drive_pool(&mut pool, split, 1..=mid, quiescence);
+        let boxed_prefix = drive_boxed(&mut boxed, 1..=mid);
+        prop_assert_eq!(&pool_prefix, &boxed_prefix);
+        let mut boundary = Vec::new();
+        pool.snapshot_all_into(&mut boundary);
+
+        // Suffix to the end; final states must agree byte for byte.
+        let pool_suffix = drive_pool(&mut pool, split, mid + 1..=ticks, quiescence);
+        let boxed_suffix = drive_boxed(&mut boxed, mid + 1..=ticks);
+        prop_assert_eq!(&pool_suffix, &boxed_suffix);
+        let final_snaps = pool_snapshots(&pool);
+        for (k, core) in boxed.iter().enumerate() {
+            prop_assert_eq!(&final_snaps[k], &core.snapshot_bytes());
+        }
+
+        // Slot reuse: restore the boundary over the now-dirty slots and
+        // replay — same spikes, same final bytes. The model is closed, so
+        // the replay needs no recorded inputs.
+        let mut full = pool.full();
+        for (k, chunk) in boundary.chunks_exact(CORE_SNAPSHOT_BYTES).enumerate() {
+            full.restore(k, chunk).expect("boundary snapshot restores");
+        }
+        let replay = drive_pool(&mut pool, split, mid + 1..=ticks, quiescence);
+        prop_assert_eq!(&replay, &pool_suffix);
+        prop_assert_eq!(&pool_snapshots(&pool), &final_snaps);
+    }
+
+    /// Engine-level: checkpoint at T, die at K, resume — prefix + resumed
+    /// equals an uninterrupted run, across random models, world shapes,
+    /// and backends. (PR 2's methodology re-proven over the pooled engine.)
+    #[test]
+    fn kill_resume_is_bit_identical_across_random_models(
+        n_cores in 2u64..6,
+        leak in 20i16..=60,
+        seed in proptest::num::u64::ANY,
+        ranks in 1usize..=2,
+        threads in 1usize..=2,
+        pgas in proptest::bool::ANY,
+        ck_tick in 5u32..10,
+        kill_tick in 11u32..15,
+    ) {
+        let model = NetworkModel::stochastic_field(n_cores, leak, seed);
+        let world = WorldConfig::new(ranks, threads);
+        let engine = EngineConfig {
+            ticks: 20,
+            backend: if pgas { Backend::Pgas } else { Backend::Mpi },
+            record_trace: true,
+            ..Default::default()
+        };
+        let oracle = run_model_with(&model, world, engine, |_| RunOptions::default());
+        let oracle_reports: Vec<RankReport> = oracle.iter().map(|o| o.report.clone()).collect();
+
+        let victims = run_model_with(&model, world, engine, |_| RunOptions {
+            checkpoint_at: Some(ck_tick),
+            kill_at: Some(kill_tick),
+            ..RunOptions::default()
+        });
+        let resumed = run_model_with(&model, world, engine, |rank| RunOptions {
+            resume: Some(victims[rank].checkpoint.clone().expect("checkpoint taken")),
+            ..RunOptions::default()
+        });
+
+        let mut stitched: Vec<Spike> = victims
+            .iter()
+            .flat_map(|v| v.report.trace.iter().copied())
+            .filter(|s| s.fired_at < ck_tick)
+            .collect();
+        stitched.extend(resumed.iter().flat_map(|r| r.report.trace.iter().copied()));
+        stitched.sort_by_key(|s| (s.fired_at, s.target.core, s.target.axon));
+        prop_assert_eq!(stitched, sorted_trace(&oracle_reports));
+
+        let fires = |os: &[RunOutcome]| os.iter().map(|o| o.report.fires).sum::<u64>();
+        prop_assert_eq!(fires(&resumed), fires(&oracle));
+    }
+
+    /// The PR 5 buddy-adoption path over the pooled engine: a planned
+    /// rank death mid-run ends bit-identical to a fault-free run, for
+    /// random victims, crash ticks, and checkpoint cadences.
+    #[test]
+    fn buddy_adoption_survives_bit_identically(
+        leak in 20i16..=60,
+        seed in proptest::num::u64::ANY,
+        victim in 0usize..3,
+        at_tick in 3u32..12,
+        every in 2u32..6,
+    ) {
+        let model = NetworkModel::stochastic_field(6, leak, seed);
+        let world = WorldConfig::flat(3);
+        let engine = EngineConfig {
+            ticks: 16,
+            record_trace: true,
+            tick_stats: true,
+            ..Default::default()
+        };
+        let oracle = run(&model, world, &engine).unwrap();
+        let survived = run_surviving(
+            &model,
+            world,
+            &engine,
+            None,
+            CrashPlan::new(victim, at_tick),
+            RecoveryPolicy::every(every),
+        )
+        .unwrap();
+
+        prop_assert_eq!(sorted_trace(&survived.ranks), sorted_trace(&oracle.ranks));
+        let fires = |r: &compass_sim::RunReport| r.ranks.iter().map(|x| x.fires).sum::<u64>();
+        prop_assert_eq!(fires(&survived), fires(&oracle));
+        let per_tick = |r: &compass_sim::RunReport| {
+            let mut v = vec![0u64; engine.ticks as usize];
+            for rank in &r.ranks {
+                for (a, b) in v.iter_mut().zip(&rank.fires_per_tick) {
+                    *a += b;
+                }
+            }
+            v
+        };
+        prop_assert_eq!(per_tick(&survived), per_tick(&oracle));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Slot edges
+// ---------------------------------------------------------------------
+
+#[test]
+fn zero_core_pool_is_harmless() {
+    let mut pool = CorePool::new();
+    assert_eq!(pool.len(), 0);
+    assert!(pool.is_empty());
+    let mut out = Vec::new();
+    pool.snapshot_all_into(&mut out);
+    assert!(out.is_empty());
+    let shards = pool.shards();
+    let mut due = vec![0u16; CORE_AXONS];
+    let slice = unsafe { shards.slice(0..0, &mut due) };
+    assert_eq!(slice.len(), 0);
+    let full = pool.full();
+    assert!(full.is_empty());
+}
+
+#[test]
+fn zero_core_ranks_in_a_wide_world_run_clean() {
+    // 3 cores over 5 ranks: two ranks own nothing and must still follow
+    // the collective protocol tick for tick.
+    let model = NetworkModel::relay_ring(3, 2, 1);
+    let engine = EngineConfig {
+        ticks: 30,
+        record_trace: true,
+        ..Default::default()
+    };
+    let narrow = run(&model, WorldConfig::flat(1), &engine).unwrap();
+    let wide = run(&model, WorldConfig::flat(5), &engine).unwrap();
+    assert_eq!(sorted_trace(&wide.ranks), sorted_trace(&narrow.ranks));
+    assert_eq!(wide.ranks.iter().filter(|r| r.cores == 0).count(), 2);
+}
+
+#[test]
+fn single_core_and_non_power_of_two_pools_match_boxed() {
+    for (n, split) in [(1u64, 0usize), (7, 3), (13, 5)] {
+        let model = NetworkModel::stochastic_field(n, 40, 29);
+        let mut pool = pool_of(&model, true);
+        let mut boxed: Vec<NeurosynapticCore> = model
+            .cores
+            .iter()
+            .map(|c| NeurosynapticCore::new(c.clone()).unwrap())
+            .collect();
+        let pooled_spikes = drive_pool(&mut pool, split, 1..=24, true);
+        let boxed_spikes = drive_boxed(&mut boxed, 1..=24);
+        assert_eq!(pooled_spikes, boxed_spikes, "n={n} split={split}");
+        for (k, core) in boxed.iter().enumerate() {
+            assert_eq!(pool.snapshot_bytes(k), core.snapshot_bytes(), "core {k}");
+        }
+        assert!(
+            pool.total_fires(0) > 0 || n > 1,
+            "stochastic field should fire"
+        );
+    }
+}

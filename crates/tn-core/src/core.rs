@@ -26,17 +26,10 @@
 //! [`NeurosynapticCore::set_word_kernels`] for A/B verification.
 
 use crate::config::{CoreConfig, CoreConfigError};
-use crate::crossbar::Crossbar;
-use crate::delay::DelayBuffer;
-use crate::kernel::{self, NeuronMask, EMPTY_MASK};
-use crate::neuron::NeuronConfig;
-use crate::prng::CorePrng;
-use crate::snapshot::{
-    read_i32, read_u16, read_u64, SnapshotError, CORE_SNAPSHOT_BYTES, CORE_SNAPSHOT_MAGIC,
-    CORE_SNAPSHOT_VERSION,
-};
+use crate::pool::CorePool;
+use crate::snapshot::SnapshotError;
 use crate::spike::Spike;
-use crate::{CoreId, AXON_TYPES, CORE_AXONS, CORE_NEURONS, ROW_WORDS};
+use crate::CoreId;
 
 /// Fast-path instrumentation for one core: how often each word-parallel
 /// kernel actually engaged. Purely observational — the counters never feed
@@ -61,53 +54,15 @@ impl KernelStats {
 }
 
 /// A fully instantiated, runnable TrueNorth core.
+///
+/// Since the structure-of-arrays refactor this is a *pool of one*: all
+/// state lives in a single-slot [`CorePool`] and every method delegates
+/// to slot 0. Rank-scale simulation packs many cores into one shared
+/// [`CorePool`] instead (see [`crate::pool`]); this handle remains the
+/// per-core API for the solo oracle, tests, and small models, and is
+/// bit-identical to a pooled slot by construction — it *is* one.
 pub struct NeurosynapticCore {
-    id: CoreId,
-    axon_types: [u8; CORE_AXONS],
-    crossbar: Crossbar,
-    neurons: Box<[NeuronConfig]>,
-    potentials: Box<[i32; CORE_NEURONS]>,
-    delay: DelayBuffer,
-    prng: CorePrng,
-    /// Per-neuron, per-axon-type delivered spike counts for the tick in
-    /// progress (the "buffered for integration" state between phases).
-    pending: Box<[[u16; AXON_TYPES]; CORE_NEURONS]>,
-    /// Lifetime fire count, for rate statistics (the paper reports a mean
-    /// spiking rate of 8.1 Hz at full scale).
-    fires: u64,
-    /// Lifetime synaptic events (deliveries through set crossbar bits),
-    /// the dominant term of the energy estimate (paper purpose (e)).
-    synaptic_events: u64,
-    /// Ticks this core has simulated.
-    ticks: u64,
-    /// Whether any neuron draws the PRNG on a zero-input tick
-    /// (`stochastic_leak` with a nonzero leak). Such a core can never be
-    /// treated as dormant: its zero-input Neuron phase is not the identity.
-    autonomous: bool,
-    /// Neurons whose zero-input step draws the core PRNG
-    /// ([`NeuronConfig::draws_prng_at_rest`]) — the per-neuron refinement
-    /// of `autonomous`. The masked Neuron sweep steps these every tick so
-    /// the PRNG stream stays identical to a full sweep; `autonomous` is
-    /// exactly "this mask is nonempty".
-    always_step: NeuronMask,
-    /// Neurons not yet proven to sit at their zero-input fixed point. A
-    /// neuron leaves the mask only after a zero-input step that neither
-    /// fired nor moved its potential; it re-enters whenever it receives
-    /// input, fires, or moves. Starts all-ones (nothing proven).
-    restless: NeuronMask,
-    /// OR of the crossbar rows processed by the last Synapse phase: the
-    /// neurons with possibly-nonzero pending counts this tick.
-    touched: NeuronMask,
-    /// Scratch for gathering the due axon indices of one tick.
-    due: Box<[u16; CORE_AXONS]>,
-    /// Whether the word-parallel fast paths are enabled (bit-sliced
-    /// Synapse dispatch + masked Neuron sweep). Off = the scalar reference
-    /// paths, bit-identical by contract.
-    word_kernels: bool,
-    kernel_synapse_ticks: u64,
-    neurons_stepped: u64,
-    #[cfg(debug_assertions)]
-    synapse_done: bool,
+    pool: CorePool,
 }
 
 impl NeurosynapticCore {
@@ -116,52 +71,14 @@ impl NeurosynapticCore {
     /// # Errors
     /// Returns the first [`CoreConfigError`] if the config is invalid.
     pub fn new(config: CoreConfig) -> Result<Self, CoreConfigError> {
-        config.validate()?;
-        let CoreConfig {
-            id,
-            seed,
-            axon_types,
-            crossbar,
-            neurons,
-        } = config;
-        let mut potentials = Box::new([0; CORE_NEURONS]);
-        for (v, n) in potentials.iter_mut().zip(&neurons) {
-            *v = n.initial_potential;
-        }
-        let mut always_step = EMPTY_MASK;
-        for (n, cfg) in neurons.iter().enumerate() {
-            if cfg.draws_prng_at_rest() {
-                always_step[n / 64] |= 1 << (n % 64);
-            }
-        }
-        Ok(Self {
-            id,
-            axon_types,
-            crossbar,
-            neurons: neurons.into_boxed_slice(),
-            potentials,
-            delay: DelayBuffer::new(),
-            prng: CorePrng::for_core(seed, id),
-            pending: Box::new([[0; AXON_TYPES]; CORE_NEURONS]),
-            fires: 0,
-            synaptic_events: 0,
-            ticks: 0,
-            autonomous: always_step != EMPTY_MASK,
-            always_step,
-            restless: [u64::MAX; ROW_WORDS],
-            touched: EMPTY_MASK,
-            due: Box::new([0; CORE_AXONS]),
-            word_kernels: true,
-            kernel_synapse_ticks: 0,
-            neurons_stepped: 0,
-            #[cfg(debug_assertions)]
-            synapse_done: false,
-        })
+        let mut pool = CorePool::with_capacity(1);
+        pool.push(config)?;
+        Ok(Self { pool })
     }
 
     /// Globally unique core id.
     pub fn id(&self) -> CoreId {
-        self.id
+        self.pool.id(0)
     }
 
     /// Enables or disables the word-parallel fast paths (on by default).
@@ -170,21 +87,17 @@ impl NeurosynapticCore {
     /// Toggling conservatively marks every neuron restless again, so the
     /// masked sweep re-proves each zero-input fixed point.
     pub fn set_word_kernels(&mut self, on: bool) {
-        self.word_kernels = on;
-        self.restless = [u64::MAX; ROW_WORDS];
+        self.pool.set_word_kernels(on);
     }
 
     /// Whether the word-parallel fast paths are enabled.
     pub fn word_kernels(&self) -> bool {
-        self.word_kernels
+        self.pool.word_kernels()
     }
 
     /// Fast-path instrumentation counters for this core's lifetime.
     pub fn kernel_stats(&self) -> KernelStats {
-        KernelStats {
-            kernel_synapse_ticks: self.kernel_synapse_ticks,
-            neurons_stepped: self.neurons_stepped,
-        }
+        self.pool.kernel_stats(0)
     }
 
     /// Delivers an incoming spike to `axon`, scheduling it in the delay
@@ -192,7 +105,7 @@ impl NeurosynapticCore {
     /// Order-insensitive and idempotent per (axon, tick) slot.
     #[inline]
     pub fn deliver(&mut self, axon: u16, delivery_tick: u32) {
-        self.delay.schedule(usize::from(axon), delivery_tick);
+        self.pool.full().deliver(0, axon, delivery_tick);
     }
 
     /// Synapse phase for tick `t`: drains every axon whose buffered spike
@@ -201,40 +114,13 @@ impl NeurosynapticCore {
     /// engine uses `0` as one of the conditions for core dormancy.
     ///
     /// With word kernels on, ticks whose due axons carry enough synaptic
-    /// events (the measured [`kernel::bitsliced_pays_off`] crossover)
-    /// dispatch to the bit-sliced accumulator
-    /// ([`kernel::synapse_bitsliced`]); sparser ticks keep the per-bit row
-    /// walk. Either way the phase records the `touched` neuron mask that
-    /// drives the masked Neuron sweep.
+    /// events (the measured [`crate::kernel::bitsliced_pays_off`]
+    /// crossover) dispatch to the bit-sliced accumulator
+    /// ([`crate::kernel::synapse_bitsliced`]); sparser ticks keep the
+    /// per-bit row walk. Either way the phase records the `touched` neuron
+    /// mask that drives the masked Neuron sweep.
     pub fn synapse_phase(&mut self, t: u32) -> u64 {
-        self.touched = EMPTY_MASK;
-        let n_due = self.delay.take_due(t, &mut self.due);
-        let due = &self.due[..n_due];
-        let events = if self.word_kernels && kernel::bitsliced_pays_off(&self.crossbar, due) {
-            self.kernel_synapse_ticks += 1;
-            kernel::synapse_bitsliced(
-                &self.crossbar,
-                &self.axon_types,
-                due,
-                &mut self.pending,
-                &mut self.touched,
-            )
-        } else {
-            kernel::synapse_scalar(
-                &self.crossbar,
-                &self.axon_types,
-                due,
-                &mut self.pending,
-                &mut self.touched,
-            )
-        };
-        self.synaptic_events += events;
-        self.ticks += 1;
-        #[cfg(debug_assertions)]
-        {
-            self.synapse_done = true;
-        }
-        events
+        self.pool.full().synapse_phase(0, t)
     }
 
     /// O(1) Synapse-phase fast path for a core with an empty delay buffer:
@@ -245,17 +131,7 @@ impl NeurosynapticCore {
     /// guaranteed to deliver zero events.
     #[inline]
     pub fn skip_synapse_phase(&mut self) {
-        debug_assert!(
-            !self.has_pending_deliveries(),
-            "skip_synapse_phase with spikes in flight on core {}",
-            self.id
-        );
-        self.touched = EMPTY_MASK;
-        self.ticks += 1;
-        #[cfg(debug_assertions)]
-        {
-            self.synapse_done = true;
-        }
+        self.pool.full().skip_synapse_phase(0);
     }
 
     /// Neuron phase for tick `t`: integrate–leak–fire, invoking `emit` for
@@ -276,88 +152,7 @@ impl NeurosynapticCore {
     /// phase is the identity (no fires, no potential change, no PRNG
     /// draws) and may be skipped via [`Self::skip_neuron_phase`].
     pub fn neuron_phase(&mut self, t: u32, mut emit: impl FnMut(Spike)) -> bool {
-        #[cfg(debug_assertions)]
-        {
-            debug_assert!(
-                self.synapse_done,
-                "neuron_phase before synapse_phase at tick {t}"
-            );
-            self.synapse_done = false;
-        }
-        let changed = if self.word_kernels {
-            self.neuron_phase_masked(t, &mut emit)
-        } else {
-            self.neuron_phase_full(t, &mut emit)
-        };
-        #[cfg(debug_assertions)]
-        debug_assert!(
-            self.pending.iter().all(|c| *c == [0; AXON_TYPES]),
-            "pending counts survived the sweep (mask incomplete?)"
-        );
-        changed
-    }
-
-    /// The scalar reference sweep: all 256 neurons, unconditional clear.
-    fn neuron_phase_full(&mut self, t: u32, emit: &mut impl FnMut(Spike)) -> bool {
-        self.neurons_stepped += CORE_NEURONS as u64;
-        let mut changed = false;
-        for n in 0..CORE_NEURONS {
-            let counts = &mut self.pending[n];
-            let before = self.potentials[n];
-            let fired = self.neurons[n].step(&mut self.potentials[n], counts, &mut self.prng);
-            *counts = [0; AXON_TYPES];
-            changed |= fired || self.potentials[n] != before;
-            if fired {
-                self.fires += 1;
-                if let Some(target) = self.neurons[n].target {
-                    emit(Spike {
-                        fired_at: t,
-                        target,
-                    });
-                }
-            }
-        }
-        changed
-    }
-
-    /// The masked sweep: steps and clears only `touched | always_step |
-    /// restless`, maintaining `restless` incrementally — a neuron is
-    /// removed only by a zero-input step that neither fired nor moved the
-    /// potential (the one observation that proves its zero-input fixed
-    /// point), and re-added on any input, fire, or movement.
-    fn neuron_phase_masked(&mut self, t: u32, emit: &mut impl FnMut(Spike)) -> bool {
-        let mut changed = false;
-        for w in 0..ROW_WORDS {
-            let mut bits = self.touched[w] | self.always_step[w] | self.restless[w];
-            self.neurons_stepped += u64::from(bits.count_ones());
-            while bits != 0 {
-                let n = w * 64 + bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                let counts = &mut self.pending[n];
-                let had_input = *counts != [0; AXON_TYPES];
-                let before = self.potentials[n];
-                let fired = self.neurons[n].step(&mut self.potentials[n], counts, &mut self.prng);
-                *counts = [0; AXON_TYPES];
-                let moved = fired || self.potentials[n] != before;
-                changed |= moved;
-                let bit = 1u64 << (n % 64);
-                if moved || had_input {
-                    self.restless[w] |= bit;
-                } else {
-                    self.restless[w] &= !bit;
-                }
-                if fired {
-                    self.fires += 1;
-                    if let Some(target) = self.neurons[n].target {
-                        emit(Spike {
-                            fired_at: t,
-                            target,
-                        });
-                    }
-                }
-            }
-        }
-        changed
+        self.pool.full().neuron_phase(0, t, &mut emit)
     }
 
     /// O(1) Neuron-phase fast path for a dormant core. Only legal when the
@@ -369,38 +164,33 @@ impl NeurosynapticCore {
     /// bit-identical to having run it.
     #[inline]
     pub fn skip_neuron_phase(&mut self) {
-        debug_assert!(!self.autonomous, "skip_neuron_phase on autonomous core");
-        #[cfg(debug_assertions)]
-        {
-            debug_assert!(self.synapse_done, "skip_neuron_phase before synapse phase");
-            self.synapse_done = false;
-        }
+        self.pool.full().skip_neuron_phase(0);
     }
 
     /// Convenience: both on-core phases back to back.
-    pub fn tick(&mut self, t: u32, emit: impl FnMut(Spike)) {
-        self.synapse_phase(t);
-        self.neuron_phase(t, emit);
+    pub fn tick(&mut self, t: u32, mut emit: impl FnMut(Spike)) {
+        let mut slice = self.pool.full();
+        slice.synapse_phase(0, t);
+        slice.neuron_phase(0, t, &mut emit);
     }
 
     /// Current membrane potential of neuron `n` (observability for tests
     /// and for the paper's use of Compass in "studying TrueNorth
     /// dynamics").
     pub fn potential(&self, n: usize) -> i32 {
-        self.potentials[n]
+        self.pool.potential(0, n)
     }
 
     /// Overwrites neuron `n`'s membrane potential (used to set initial
     /// conditions in applications). Marks the neuron restless: its
     /// zero-input fixed point, if previously proven, no longer holds.
     pub fn set_potential(&mut self, n: usize, v: i32) {
-        self.potentials[n] = v;
-        self.restless[n / 64] |= 1 << (n % 64);
+        self.pool.full().set_potential(0, n, v);
     }
 
     /// Lifetime spike count across all neurons of this core.
     pub fn total_fires(&self) -> u64 {
-        self.fires
+        self.pool.total_fires(0)
     }
 
     /// Hardware-event counts for energy estimation (paper purpose (e)).
@@ -412,17 +202,12 @@ impl NeurosynapticCore {
     /// never the energy estimate. (The simulator-side execution count
     /// lives in [`KernelStats::neurons_stepped`].)
     pub fn activity(&self) -> crate::energy::ActivityCounts {
-        crate::energy::ActivityCounts {
-            core_ticks: self.ticks,
-            neuron_updates: self.ticks * CORE_NEURONS as u64,
-            synaptic_events: self.synaptic_events,
-            spikes: self.fires,
-        }
+        self.pool.activity(0)
     }
 
     /// Spikes currently waiting in the delay buffers.
     pub fn spikes_in_flight(&self) -> usize {
-        self.delay.in_flight()
+        self.pool.spikes_in_flight(0) as usize
     }
 
     /// Whether any spike is waiting in the delay buffers (O(1)). When
@@ -430,7 +215,7 @@ impl NeurosynapticCore {
     /// and may be replaced by [`Self::skip_synapse_phase`].
     #[inline]
     pub fn has_pending_deliveries(&self) -> bool {
-        self.delay.in_flight() > 0
+        self.pool.has_pending_deliveries(0)
     }
 
     /// Whether this core draws randomness even on zero-input ticks (any
@@ -442,7 +227,7 @@ impl NeurosynapticCore {
     /// fixed points.
     #[inline]
     pub fn autonomous_dynamics(&self) -> bool {
-        self.autonomous
+        self.pool.autonomous_dynamics(0)
     }
 
     /// Serializes this core's mutable state into the versioned fixed-size
@@ -458,28 +243,7 @@ impl NeurosynapticCore {
     /// restored core continues bit-identically — traces, counters, and
     /// PRNG stream.
     pub fn snapshot_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(CORE_SNAPSHOT_BYTES);
-        out.extend_from_slice(&CORE_SNAPSHOT_MAGIC);
-        out.extend_from_slice(&CORE_SNAPSHOT_VERSION.to_le_bytes());
-        out.extend_from_slice(&0u16.to_le_bytes()); // reserved
-        out.extend_from_slice(&self.id.to_le_bytes());
-        out.extend_from_slice(&self.ticks.to_le_bytes());
-        out.extend_from_slice(&self.fires.to_le_bytes());
-        out.extend_from_slice(&self.synaptic_events.to_le_bytes());
-        out.extend_from_slice(&self.prng.raw_state().to_le_bytes());
-        for v in self.potentials.iter() {
-            out.extend_from_slice(&v.to_le_bytes());
-        }
-        for b in self.delay.bits() {
-            out.extend_from_slice(&b.to_le_bytes());
-        }
-        for counts in self.pending.iter() {
-            for c in counts {
-                out.extend_from_slice(&c.to_le_bytes());
-            }
-        }
-        debug_assert_eq!(out.len(), CORE_SNAPSHOT_BYTES);
-        out
+        self.pool.snapshot_bytes(0)
     }
 
     /// Restores the mutable state captured by [`Self::snapshot_bytes`]
@@ -494,87 +258,26 @@ impl NeurosynapticCore {
     /// sweep re-proves each zero-input fixed point, exactly as after
     /// [`Self::set_word_kernels`].
     pub fn restore_bytes(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
-        if bytes.len() >= 4 && bytes[..4] != CORE_SNAPSHOT_MAGIC {
-            return Err(SnapshotError::BadMagic);
-        }
-        if bytes.len() < 8 {
-            return Err(SnapshotError::WrongLength {
-                expected: CORE_SNAPSHOT_BYTES,
-                got: bytes.len(),
-            });
-        }
-        let version = read_u16(bytes, 4);
-        if version != CORE_SNAPSHOT_VERSION {
-            return Err(SnapshotError::UnsupportedVersion(version));
-        }
-        if bytes.len() != CORE_SNAPSHOT_BYTES {
-            return Err(SnapshotError::WrongLength {
-                expected: CORE_SNAPSHOT_BYTES,
-                got: bytes.len(),
-            });
-        }
-        let id = read_u64(bytes, 8);
-        if id != self.id {
-            return Err(SnapshotError::WrongCore {
-                expected: self.id,
-                got: id,
-            });
-        }
-        let prng_state = read_u64(bytes, 40);
-        if prng_state == 0 {
-            return Err(SnapshotError::CorruptPrngState);
-        }
-        self.ticks = read_u64(bytes, 16);
-        self.fires = read_u64(bytes, 24);
-        self.synaptic_events = read_u64(bytes, 32);
-        self.prng.set_raw_state(prng_state);
-        for (n, v) in self.potentials.iter_mut().enumerate() {
-            *v = read_i32(bytes, 48 + n * 4);
-        }
-        let mut ring = [0u16; CORE_AXONS];
-        for (a, b) in ring.iter_mut().enumerate() {
-            *b = read_u16(bytes, 1072 + a * 2);
-        }
-        self.delay.set_bits(&ring);
-        for (n, counts) in self.pending.iter_mut().enumerate() {
-            for (ty, c) in counts.iter_mut().enumerate() {
-                *c = read_u16(bytes, 1584 + (n * AXON_TYPES + ty) * 2);
-            }
-        }
-        self.restless = [u64::MAX; ROW_WORDS];
-        self.touched = EMPTY_MASK;
-        #[cfg(debug_assertions)]
-        {
-            self.synapse_done = false;
-        }
-        Ok(())
-    }
-
-    /// Read-only view of the neuron configurations.
-    pub fn neurons(&self) -> &[NeuronConfig] {
-        &self.neurons
-    }
-
-    /// Read-only view of the crossbar.
-    pub fn crossbar(&self) -> &Crossbar {
-        &self.crossbar
+        self.pool.full().restore(0, bytes)
     }
 }
 
 impl std::fmt::Debug for NeurosynapticCore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NeurosynapticCore")
-            .field("id", &self.id)
-            .field("fires", &self.fires)
-            .field("in_flight", &self.delay.in_flight())
+            .field("id", &self.pool.id(0))
+            .field("fires", &self.pool.total_fires(0))
+            .field("in_flight", &self.pool.spikes_in_flight(0))
             .finish()
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::crossbar::Crossbar;
+    use crate::snapshot::CORE_SNAPSHOT_BYTES;
     use crate::spike::SpikeTarget;
+    use crate::{AXON_TYPES, CORE_AXONS, CORE_NEURONS};
 
     /// A core where axon `a` connects straight through to neuron `a`, all
     /// weights +1, threshold 1: every delivered spike refires next tick.

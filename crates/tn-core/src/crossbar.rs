@@ -109,6 +109,13 @@ impl Crossbar {
         self.rows[axon] = words;
     }
 
+    /// All 256 rows as one dense array — the view the word-parallel
+    /// kernels and the pooled arenas consume.
+    #[inline]
+    pub fn rows(&self) -> &[[u64; ROW_WORDS]; CORE_AXONS] {
+        &self.rows
+    }
+
     /// Number of set synapses on one row (an axon's fan-out within the core).
     pub fn row_degree(&self, axon: usize) -> usize {
         self.rows[axon]

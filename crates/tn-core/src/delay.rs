@@ -122,13 +122,15 @@ impl DelayBuffer {
     }
 
     /// The raw ring bits, axon-major — the checkpointable representation.
-    pub(crate) fn bits(&self) -> &[u16; CORE_AXONS] {
+    /// (The pooled layout keeps the same per-axon `u16` bitplanes in a
+    /// flat arena; this accessor is the boxed counterpart.)
+    pub fn bits(&self) -> &[u16; CORE_AXONS] {
         &self.bits
     }
 
     /// Overwrites the ring bits wholesale, recomputing `live` by popcount
     /// — the restore side of [`Self::bits`].
-    pub(crate) fn set_bits(&mut self, bits: &[u16; CORE_AXONS]) {
+    pub fn set_bits(&mut self, bits: &[u16; CORE_AXONS]) {
         *self.bits = *bits;
         self.live = bits.iter().map(|b| b.count_ones()).sum();
     }

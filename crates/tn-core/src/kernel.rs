@@ -2,7 +2,7 @@
 //!
 //! The Synapse phase's inner loop — deliver every due axon's crossbar row
 //! into per-neuron pending counts — is the dominant cost of the whole
-//! simulator, and the per-bit row walk ([`Crossbar::for_each_in_row`]) pays
+//! simulator, and the per-bit row walk ([`crate::Crossbar::for_each_in_row`]) pays
 //! one dependent iteration per *set synapse*. This module replaces it, when
 //! enough axons are due, with a **bit-sliced carry-save accumulator**: the
 //! 4×`u64` rows of all due axons of one axon type are folded into
@@ -28,8 +28,19 @@
 //! for SIMD sweeps, and SuperNeuro (Date et al. 2023) on matrix-shaped,
 //! activity-masked updates.
 
-use crate::crossbar::Crossbar;
 use crate::{AXON_TYPES, CORE_AXONS, CORE_NEURONS, ROW_WORDS};
+
+/// The dense 256-row crossbar geometry the kernels consume: one
+/// [`ROW_WORDS`]-word bitmask per axon. Both [`crate::Crossbar::rows`]
+/// and a [`crate::pool::CorePool`] slot's row arena produce this shape,
+/// so the kernels serve the boxed and pooled layouts alike.
+pub type SynapseRows = [[u64; ROW_WORDS]; CORE_AXONS];
+
+/// Set synapses on one row (an axon's fan-out within the core).
+#[inline]
+fn row_degree(row: &[u64; ROW_WORDS]) -> usize {
+    row.iter().map(|w| w.count_ones() as usize).sum()
+}
 
 /// Bit planes per accumulator: at most [`CORE_AXONS`] = 256 due rows can
 /// fold into one accumulator, so counts fit in 9 bits (2⁹ = 512 > 256).
@@ -168,18 +179,18 @@ impl BitPlanes {
 ///
 /// The event total it thresholds is exact, not an estimate — each due row
 /// is delivered exactly once, so the tick's events are the summed
-/// [`Crossbar::row_degree`]s — and the scan is O(due) with early exit, a
+/// [`crate::Crossbar::row_degree`]s — and the scan is O(due) with early exit, a
 /// few ns against kernels costing hundreds. Sparse wavefronts (an
 /// identity-crossbar relay carries 1 event per due axon) and spikes
 /// landing on unconnected axons stay on the walk no matter how wide the
 /// burst; dense bursts dispatch from [`SYNAPSE_KERNEL_MIN_DUE`] rows up.
-pub fn bitsliced_pays_off(crossbar: &Crossbar, due: &[u16]) -> bool {
+pub fn bitsliced_pays_off(rows: &SynapseRows, due: &[u16]) -> bool {
     if due.len() < SYNAPSE_KERNEL_MIN_DUE {
         return false;
     }
     let mut events = 0usize;
     for &axon in due {
-        events += crossbar.row_degree(usize::from(axon));
+        events += row_degree(&rows[usize::from(axon)]);
         // Strictly above the threshold: a full-width identity wavefront
         // lands on exactly one event per neuron and must stay scalar.
         if events > SYNAPSE_KERNEL_MIN_EVENTS {
@@ -193,7 +204,7 @@ pub fn bitsliced_pays_off(crossbar: &Crossbar, due: &[u16]) -> bool {
 /// harnesses (benches, the crossover sweep) can treat the two
 /// interchangeably.
 pub type SynapseKernel = fn(
-    &Crossbar,
+    &SynapseRows,
     &[u8; CORE_AXONS],
     &[u16],
     &mut [[u16; AXON_TYPES]; CORE_NEURONS],
@@ -218,7 +229,7 @@ pub fn for_each_set(mask: &NeuronMask, mut f: impl FnMut(usize)) {
 /// into `pending`, ORs the processed rows into `touched`, and returns the
 /// number of synaptic events.
 pub fn synapse_scalar(
-    crossbar: &Crossbar,
+    rows: &SynapseRows,
     axon_types: &[u8; CORE_AXONS],
     due: &[u16],
     pending: &mut [[u16; AXON_TYPES]; CORE_NEURONS],
@@ -228,7 +239,7 @@ pub fn synapse_scalar(
     for &axon in due {
         let a = usize::from(axon);
         let g = usize::from(axon_types[a]);
-        let row = crossbar.row_words(a);
+        let row = &rows[a];
         for (w, &word) in row.iter().enumerate() {
             touched[w] |= word;
             let mut bits = word;
@@ -248,7 +259,7 @@ pub fn synapse_scalar(
 /// neurons. Exactly equivalent to [`synapse_scalar`] (same `pending`, same
 /// `touched`, same event total); faster whenever [`bitsliced_pays_off`].
 pub fn synapse_bitsliced(
-    crossbar: &Crossbar,
+    rows: &SynapseRows,
     axon_types: &[u8; CORE_AXONS],
     due: &[u16],
     pending: &mut [[u16; AXON_TYPES]; CORE_NEURONS],
@@ -262,7 +273,7 @@ pub fn synapse_bitsliced(
     ];
     for &axon in due {
         let a = usize::from(axon);
-        accs[usize::from(axon_types[a])].add_row(crossbar.row_words(a));
+        accs[usize::from(axon_types[a])].add_row(&rows[a]);
     }
     let mut events = 0u64;
     for (g, acc) in accs.iter().enumerate() {
@@ -297,6 +308,7 @@ pub fn synapse_bitsliced(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Crossbar;
 
     #[test]
     fn empty_accumulator_is_zero_everywhere() {
@@ -371,8 +383,8 @@ mod tests {
         let mut pend_b = pend_a.clone();
         let mut touch_a = EMPTY_MASK;
         let mut touch_b = EMPTY_MASK;
-        let ev_a = synapse_scalar(xb, types, due, &mut pend_a, &mut touch_a);
-        let ev_b = synapse_bitsliced(xb, types, due, &mut pend_b, &mut touch_b);
+        let ev_a = synapse_scalar(xb.rows(), types, due, &mut pend_a, &mut touch_a);
+        let ev_b = synapse_bitsliced(xb.rows(), types, due, &mut pend_b, &mut touch_b);
         assert_eq!(ev_a, ev_b, "event totals differ");
         assert_eq!(touch_a, touch_b, "touched masks differ");
         assert_eq!(pend_a, pend_b, "pending counts differ");
@@ -401,30 +413,35 @@ mod tests {
         // wavefront must not dispatch.
         let identity = Crossbar::from_fn(|a, n| a == n);
         let all: Vec<u16> = (0..CORE_AXONS as u16).collect();
-        assert!(!bitsliced_pays_off(&identity, &all));
+        assert!(!bitsliced_pays_off(identity.rows(), &all));
 
         // Empty crossbar (spikes landing on unconnected axons): never.
-        assert!(!bitsliced_pays_off(&Crossbar::new(), &all));
+        let empty = Crossbar::new();
+        assert!(!bitsliced_pays_off(empty.rows(), &all));
 
         // Full crossbar: 256 events per row, but still below the due-axon
         // floor at 3 rows; from the floor up it dispatches.
         let full = Crossbar::from_fn(|_, _| true);
         assert!(!bitsliced_pays_off(
-            &full,
+            full.rows(),
             &all[..SYNAPSE_KERNEL_MIN_DUE - 1]
         ));
-        assert!(bitsliced_pays_off(&full, &all[..SYNAPSE_KERNEL_MIN_DUE]));
+        assert!(bitsliced_pays_off(
+            full.rows(),
+            &all[..SYNAPSE_KERNEL_MIN_DUE]
+        ));
 
         // Half-dense: 128 events per row crosses the 256-event line at
         // exactly 2 rows, gated to the 4-row floor.
         let half = Crossbar::from_fn(|_, n| n < 128);
-        assert!(bitsliced_pays_off(&half, &all[..4]));
+        assert!(bitsliced_pays_off(half.rows(), &all[..4]));
     }
 }
 
 #[cfg(test)]
 mod proptests {
     use super::*;
+    use crate::Crossbar;
     use proptest::prelude::*;
 
     /// Crossbar densities the issue calls out: empty, sparse, half, full.
@@ -458,8 +475,8 @@ mod proptests {
             let mut pend_b = pend_a.clone();
             let mut touch_a = EMPTY_MASK;
             let mut touch_b = EMPTY_MASK;
-            let ev_a = synapse_scalar(&xb, &types, &due, &mut pend_a, &mut touch_a);
-            let ev_b = synapse_bitsliced(&xb, &types, &due, &mut pend_b, &mut touch_b);
+            let ev_a = synapse_scalar(xb.rows(), &types, &due, &mut pend_a, &mut touch_a);
+            let ev_b = synapse_bitsliced(xb.rows(), &types, &due, &mut pend_b, &mut touch_b);
             prop_assert_eq!(ev_a, ev_b);
             prop_assert_eq!(touch_a, touch_b);
             prop_assert_eq!(pend_a, pend_b);

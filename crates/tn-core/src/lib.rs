@@ -40,6 +40,7 @@ pub mod delay;
 pub mod energy;
 pub mod kernel;
 pub mod neuron;
+pub mod pool;
 pub mod prng;
 pub mod snapshot;
 pub mod spike;
@@ -49,8 +50,11 @@ pub use core::{KernelStats, NeurosynapticCore};
 pub use crossbar::Crossbar;
 pub use delay::DelayBuffer;
 pub use energy::{ActivityCounts, EnergyEstimate, EnergyModel};
-pub use kernel::{BitPlanes, NeuronMask, SYNAPSE_KERNEL_MIN_DUE, SYNAPSE_KERNEL_MIN_EVENTS};
+pub use kernel::{
+    BitPlanes, NeuronMask, SynapseRows, SYNAPSE_KERNEL_MIN_DUE, SYNAPSE_KERNEL_MIN_EVENTS,
+};
 pub use neuron::{NeuronConfig, ResetMode};
+pub use pool::{CorePool, PoolShards, PoolSlice};
 pub use prng::CorePrng;
 pub use snapshot::{SnapshotError, CORE_SNAPSHOT_BYTES};
 pub use spike::{Spike, SpikeTarget, SPIKE_WIRE_BYTES};

@@ -1,0 +1,1539 @@
+//! Per-rank structure-of-arrays core pool.
+//!
+//! [`CorePool`] replaces per-core `Box`ed state with contiguous per-field
+//! arenas indexed by a local *slot*: all 256 potentials of slot 0, then all
+//! 256 of slot 1, and so on. The layout buys three things at rank scale:
+//!
+//! * **cross-core sweeps** — the Neuron phase walks one flat `i32` arena in
+//!   pool order instead of chasing a `Box` per core, extending the masked
+//!   word-parallel kernel from one core's 4×u64 rows to the whole rank;
+//! * **flat snapshots** — a rank checkpoint is a bounded sequence of arena
+//!   reads serialized slot-by-slot into the existing 3632-byte `TNCS`
+//!   wire format (byte-compatible with pre-pool checkpoints), with no
+//!   per-core `Vec` allocation;
+//! * **a smaller working set** — config arenas (weights, thresholds,
+//!   crossbar rows) are packed per field, so a tick touches dense runs
+//!   instead of 29 KB `NeurosynapticCore` structs.
+//!
+//! The tick-phase semantics are a bit-for-bit transcription of the
+//! per-core code: same PRNG draw order, same masked-sweep visit order,
+//! same counters. `NeurosynapticCore` remains the public per-core type as
+//! a pool-of-one wrapper, and the solo oracle keeps using it, so the
+//! equivalence matrix pins the transcription.
+//!
+//! # Aliasing and ownership
+//!
+//! Multi-threaded ticks use [`PoolShards`]: a capture of the raw arena
+//! base pointers that hands out [`PoolSlice`]s over *disjoint* slot
+//! ranges. Each slice only ever touches arena elements belonging to its
+//! slots (slot `k` owns `[k*256, (k+1)*256)` of per-neuron and per-axon
+//! arenas and element `k` of per-slot arenas), so disjoint slot ranges
+//! never alias. The engine's static team decomposition guarantees
+//! disjointness; `PoolShards::slice` is `unsafe` to make that contract
+//! explicit at the call site.
+
+use crate::config::{CoreConfig, CoreConfigError};
+use crate::core::KernelStats;
+use crate::kernel::{self, NeuronMask, EMPTY_MASK};
+use crate::neuron::{NeuronConfig, ResetMode};
+use crate::prng::CorePrng;
+use crate::snapshot::{
+    read_i32, read_u16, read_u64, SnapshotError, CORE_SNAPSHOT_MAGIC, CORE_SNAPSHOT_VERSION,
+};
+use crate::spike::{Spike, SpikeTarget};
+use crate::{
+    ActivityCounts, CoreId, AXON_TYPES, CORE_AXONS, CORE_NEURONS, CORE_SNAPSHOT_BYTES, DELAY_SLOTS,
+    ROW_WORDS,
+};
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Flag bit: neuron treats weight for axon type `g` stochastically.
+const FLAG_STOCH_W: [u8; AXON_TYPES] = [1 << 0, 1 << 1, 1 << 2, 1 << 3];
+/// Flag bit: stochastic leak.
+const FLAG_STOCH_LEAK: u8 = 1 << 4;
+/// Flag bit: linear reset mode (absolute otherwise, with `reset_to`).
+const FLAG_LINEAR: u8 = 1 << 5;
+
+/// Structure-of-arrays storage for every core owned by one rank.
+///
+/// Slots are assigned in [`CorePool::push`] order and never move. Config
+/// arenas are written once at push time; state arenas evolve tick by
+/// tick. Per-neuron arenas hold `len() * 256` elements, per-axon arenas
+/// `len() * 256`, per-slot arenas `len()`.
+#[derive(Clone)]
+pub struct CorePool {
+    // --- config: per slot ---
+    ids: Vec<CoreId>,
+    always_step: Vec<NeuronMask>,
+    autonomous: Vec<bool>,
+    // --- config: per axon (slot-major, 256 per slot) ---
+    axon_types: Vec<u8>,
+    rows: Vec<[u64; ROW_WORDS]>,
+    // --- config: per neuron (slot-major, 256 per slot) ---
+    weights: Vec<[i16; AXON_TYPES]>,
+    flags: Vec<u8>,
+    leaks: Vec<i16>,
+    thresholds: Vec<i32>,
+    reset_to: Vec<i32>,
+    floors: Vec<i32>,
+    target_core: Vec<CoreId>,
+    target_axon: Vec<u16>,
+    /// 0 = no target; valid delays are 1..=15.
+    target_delay: Vec<u8>,
+    // --- state: per neuron ---
+    potentials: Vec<i32>,
+    pending: Vec<[u16; AXON_TYPES]>,
+    // --- state: per axon ---
+    delay_bits: Vec<u16>,
+    /// Due-axon scratch, reused across ticks; not part of snapshots.
+    due: Vec<u16>,
+    // --- state: per slot ---
+    delay_live: Vec<u32>,
+    prng: Vec<CorePrng>,
+    ticks: Vec<u64>,
+    fires: Vec<u64>,
+    syn_events: Vec<u64>,
+    restless: Vec<NeuronMask>,
+    touched: Vec<NeuronMask>,
+    kernel_ticks: Vec<u64>,
+    stepped: Vec<u64>,
+    /// Engine quiescence bookkeeping: events delivered this tick.
+    events: Vec<u64>,
+    /// Engine quiescence bookkeeping: core produced no activity last tick.
+    dormant: Vec<bool>,
+    #[cfg(debug_assertions)]
+    synapse_done: Vec<bool>,
+    word_kernels: bool,
+}
+
+impl CorePool {
+    /// An empty pool (word-parallel kernels enabled, as for cores).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// An empty pool with arena capacity for `n` slots.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            ids: Vec::with_capacity(n),
+            always_step: Vec::with_capacity(n),
+            autonomous: Vec::with_capacity(n),
+            axon_types: Vec::with_capacity(n * CORE_AXONS),
+            rows: Vec::with_capacity(n * CORE_AXONS),
+            weights: Vec::with_capacity(n * CORE_NEURONS),
+            flags: Vec::with_capacity(n * CORE_NEURONS),
+            leaks: Vec::with_capacity(n * CORE_NEURONS),
+            thresholds: Vec::with_capacity(n * CORE_NEURONS),
+            reset_to: Vec::with_capacity(n * CORE_NEURONS),
+            floors: Vec::with_capacity(n * CORE_NEURONS),
+            target_core: Vec::with_capacity(n * CORE_NEURONS),
+            target_axon: Vec::with_capacity(n * CORE_NEURONS),
+            target_delay: Vec::with_capacity(n * CORE_NEURONS),
+            potentials: Vec::with_capacity(n * CORE_NEURONS),
+            pending: Vec::with_capacity(n * CORE_NEURONS),
+            delay_bits: Vec::with_capacity(n * CORE_AXONS),
+            due: vec![0; CORE_AXONS],
+            delay_live: Vec::with_capacity(n),
+            prng: Vec::with_capacity(n),
+            ticks: Vec::with_capacity(n),
+            fires: Vec::with_capacity(n),
+            syn_events: Vec::with_capacity(n),
+            restless: Vec::with_capacity(n),
+            touched: Vec::with_capacity(n),
+            kernel_ticks: Vec::with_capacity(n),
+            stepped: Vec::with_capacity(n),
+            events: Vec::with_capacity(n),
+            dormant: Vec::with_capacity(n),
+            #[cfg(debug_assertions)]
+            synapse_done: Vec::with_capacity(n),
+            word_kernels: true,
+        }
+    }
+
+    /// Validates `config` and appends it as a new slot, returning the
+    /// slot index.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`CoreConfigError`] if the configuration is invalid;
+    /// the pool is unchanged in that case.
+    pub fn push(&mut self, config: CoreConfig) -> Result<usize, CoreConfigError> {
+        config.validate()?;
+        let slot = self.ids.len();
+        let CoreConfig {
+            id,
+            seed,
+            axon_types,
+            crossbar,
+            neurons,
+        } = config;
+
+        let mut always = EMPTY_MASK;
+        for (n, cfg) in neurons.iter().enumerate() {
+            if cfg.draws_prng_at_rest() {
+                always[n / 64] |= 1u64 << (n % 64);
+            }
+        }
+        self.always_step.push(always);
+        self.autonomous.push(always != EMPTY_MASK);
+
+        self.ids.push(id);
+        self.axon_types.extend_from_slice(&axon_types);
+        self.rows.extend_from_slice(crossbar.rows());
+        self.potentials
+            .extend(neurons.iter().map(|cfg| cfg.initial_potential));
+        for cfg in &neurons {
+            self.weights.push(cfg.weights);
+            let mut flags = 0u8;
+            for (bit, stochastic) in FLAG_STOCH_W.iter().zip(cfg.stochastic_weight) {
+                if stochastic {
+                    flags |= bit;
+                }
+            }
+            if cfg.stochastic_leak {
+                flags |= FLAG_STOCH_LEAK;
+            }
+            let reset_to = match cfg.reset {
+                ResetMode::Absolute(r) => r,
+                ResetMode::Linear => {
+                    flags |= FLAG_LINEAR;
+                    0
+                }
+            };
+            self.flags.push(flags);
+            self.leaks.push(cfg.leak);
+            self.thresholds.push(cfg.threshold);
+            self.reset_to.push(reset_to);
+            self.floors.push(cfg.floor);
+            match cfg.target {
+                Some(t) => {
+                    self.target_core.push(t.core);
+                    self.target_axon.push(t.axon);
+                    self.target_delay.push(t.delay);
+                }
+                None => {
+                    self.target_core.push(0);
+                    self.target_axon.push(0);
+                    self.target_delay.push(0);
+                }
+            }
+        }
+
+        self.pending
+            .extend(std::iter::repeat_n([0u16; AXON_TYPES], CORE_NEURONS));
+        self.delay_bits.extend(std::iter::repeat_n(0, CORE_AXONS));
+        self.delay_live.push(0);
+        self.prng.push(CorePrng::for_core(seed, id));
+        self.ticks.push(0);
+        self.fires.push(0);
+        self.syn_events.push(0);
+        self.restless.push([u64::MAX; ROW_WORDS]);
+        self.touched.push(EMPTY_MASK);
+        self.kernel_ticks.push(0);
+        self.stepped.push(0);
+        self.events.push(0);
+        self.dormant.push(false);
+        #[cfg(debug_assertions)]
+        self.synapse_done.push(false);
+        Ok(slot)
+    }
+
+    /// Number of slots in the pool.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the pool has no slots.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Core id of slot `k`.
+    #[must_use]
+    pub fn id(&self, k: usize) -> CoreId {
+        self.ids[k]
+    }
+
+    /// Whether the word-parallel kernels are enabled (pool-wide).
+    #[must_use]
+    pub fn word_kernels(&self) -> bool {
+        self.word_kernels
+    }
+
+    /// Enables or disables the word-parallel kernels pool-wide. Resets
+    /// every slot's restless mask so the next masked sweep is complete.
+    pub fn set_word_kernels(&mut self, on: bool) {
+        self.word_kernels = on;
+        for m in &mut self.restless {
+            *m = [u64::MAX; ROW_WORDS];
+        }
+    }
+
+    /// Membrane potential of neuron `n` on slot `k`.
+    #[must_use]
+    pub fn potential(&self, k: usize, neuron: usize) -> i32 {
+        self.potentials[k * CORE_NEURONS + neuron]
+    }
+
+    /// Lifetime fire count of slot `k`.
+    #[must_use]
+    pub fn total_fires(&self, k: usize) -> u64 {
+        self.fires[k]
+    }
+
+    /// Activity counters of slot `k` (the paper's Table 2 numbers).
+    #[must_use]
+    pub fn activity(&self, k: usize) -> ActivityCounts {
+        ActivityCounts {
+            core_ticks: self.ticks[k],
+            neuron_updates: self.ticks[k] * CORE_NEURONS as u64,
+            synaptic_events: self.syn_events[k],
+            spikes: self.fires[k],
+        }
+    }
+
+    /// Number of scheduled-but-undelivered spikes on slot `k`.
+    #[must_use]
+    pub fn spikes_in_flight(&self, k: usize) -> u32 {
+        self.delay_live[k]
+    }
+
+    /// Whether slot `k` has any scheduled deliveries pending.
+    #[must_use]
+    pub fn has_pending_deliveries(&self, k: usize) -> bool {
+        self.delay_live[k] != 0
+    }
+
+    /// Whether slot `k` evolves without input (stochastic leak at rest).
+    #[must_use]
+    pub fn autonomous_dynamics(&self, k: usize) -> bool {
+        self.autonomous[k]
+    }
+
+    /// Kernel instrumentation for slot `k`.
+    #[must_use]
+    pub fn kernel_stats(&self, k: usize) -> KernelStats {
+        KernelStats {
+            kernel_synapse_ticks: self.kernel_ticks[k],
+            neurons_stepped: self.stepped[k],
+        }
+    }
+
+    /// Serializes slot `k` into the versioned 3632-byte `TNCS` snapshot.
+    #[must_use]
+    pub fn snapshot_bytes(&self, k: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(CORE_SNAPSHOT_BYTES);
+        self.snapshot_into(k, &mut out);
+        out
+    }
+
+    /// Appends slot `k`'s 3632-byte `TNCS` snapshot to `out`.
+    pub fn snapshot_into(&self, k: usize, out: &mut Vec<u8>) {
+        let nb = k * CORE_NEURONS;
+        let ab = k * CORE_AXONS;
+        encode_slot(
+            out,
+            self.ids[k],
+            self.ticks[k],
+            self.fires[k],
+            self.syn_events[k],
+            self.prng[k].raw_state(),
+            &self.potentials[nb..nb + CORE_NEURONS],
+            &self.delay_bits[ab..ab + CORE_AXONS],
+            &self.pending[nb..nb + CORE_NEURONS],
+        );
+    }
+
+    /// Appends every slot's snapshot to `out` in slot order — the flat
+    /// rank-checkpoint body.
+    pub fn snapshot_all_into(&self, out: &mut Vec<u8>) {
+        out.reserve(self.len() * CORE_SNAPSHOT_BYTES);
+        for k in 0..self.len() {
+            self.snapshot_into(k, out);
+        }
+    }
+
+    /// Bytes resident in the pool's arenas (including `Vec` headers and
+    /// the scratch buffer) — the SoA side of the bytes/core comparison.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.ids.capacity() * std::mem::size_of::<CoreId>()
+            + self.always_step.capacity() * std::mem::size_of::<NeuronMask>()
+            + self.autonomous.capacity()
+            + self.axon_types.capacity()
+            + self.rows.capacity() * std::mem::size_of::<[u64; ROW_WORDS]>()
+            + self.weights.capacity() * std::mem::size_of::<[i16; AXON_TYPES]>()
+            + self.flags.capacity()
+            + self.leaks.capacity() * 2
+            + self.thresholds.capacity() * 4
+            + self.reset_to.capacity() * 4
+            + self.floors.capacity() * 4
+            + self.target_core.capacity() * std::mem::size_of::<CoreId>()
+            + self.target_axon.capacity() * 2
+            + self.target_delay.capacity()
+            + self.potentials.capacity() * 4
+            + self.pending.capacity() * std::mem::size_of::<[u16; AXON_TYPES]>()
+            + self.delay_bits.capacity() * 2
+            + self.due.capacity() * 2
+            + self.delay_live.capacity() * 4
+            + self.prng.capacity() * std::mem::size_of::<CorePrng>()
+            + (self.ticks.capacity() + self.fires.capacity() + self.syn_events.capacity()) * 8
+            + (self.restless.capacity() + self.touched.capacity())
+                * std::mem::size_of::<NeuronMask>()
+            + (self.kernel_ticks.capacity() + self.stepped.capacity() + self.events.capacity()) * 8
+            + self.dormant.capacity()
+    }
+
+    /// Bytes one boxed `NeurosynapticCore` used to keep resident — the
+    /// AoS side of the bytes/core comparison. Accounts the crossbar,
+    /// per-neuron configs, potentials, delay buffer, pending counts, the
+    /// per-core due scratch, and inline fields.
+    #[must_use]
+    pub fn aos_core_bytes() -> usize {
+        CORE_AXONS * ROW_WORDS * 8                                 // crossbar rows
+            + CORE_NEURONS * std::mem::size_of::<NeuronConfig>()   // neuron configs
+            + CORE_NEURONS * 4                                     // potentials
+            + CORE_AXONS * 2                                       // delay bitplanes
+            + CORE_NEURONS * AXON_TYPES * 2                        // pending counts
+            + CORE_AXONS * 2                                       // due scratch
+            + CORE_AXONS                                           // axon types
+            + 8 * 8                                                // id/prng/counters
+            + 4 * ROW_WORDS * 8                                    // four neuron masks
+            + 6 * 8 // box pointers + flags (approx.)
+    }
+
+    /// A mutable view over the whole pool — the single-threaded tick
+    /// path and the restore path.
+    pub fn full(&mut self) -> PoolSlice<'_> {
+        PoolSlice {
+            base: 0,
+            ids: &self.ids,
+            always_step: &self.always_step,
+            autonomous: &self.autonomous,
+            axon_types: &self.axon_types,
+            rows: &self.rows,
+            weights: &self.weights,
+            flags: &self.flags,
+            leaks: &self.leaks,
+            thresholds: &self.thresholds,
+            reset_to: &self.reset_to,
+            floors: &self.floors,
+            target_core: &self.target_core,
+            target_axon: &self.target_axon,
+            target_delay: &self.target_delay,
+            potentials: &mut self.potentials,
+            pending: &mut self.pending,
+            delay_bits: &mut self.delay_bits,
+            due: &mut self.due,
+            delay_live: &mut self.delay_live,
+            prng: &mut self.prng,
+            ticks: &mut self.ticks,
+            fires: &mut self.fires,
+            syn_events: &mut self.syn_events,
+            restless: &mut self.restless,
+            touched: &mut self.touched,
+            kernel_ticks: &mut self.kernel_ticks,
+            stepped: &mut self.stepped,
+            events: &mut self.events,
+            dormant: &mut self.dormant,
+            #[cfg(debug_assertions)]
+            synapse_done: &mut self.synapse_done,
+            word_kernels: self.word_kernels,
+        }
+    }
+
+    /// Captures the arena pointers for multi-threaded slicing. The
+    /// returned shards borrow the pool mutably for `'p`, so no other
+    /// access can race them.
+    pub fn shards(&mut self) -> PoolShards<'_> {
+        PoolShards::new(self)
+    }
+}
+
+impl Default for CorePool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for CorePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CorePool")
+            .field("slots", &self.len())
+            .field("word_kernels", &self.word_kernels)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A mutable view over a contiguous range of pool slots.
+///
+/// All methods index slots *relative to the slice*: a slice over pool
+/// slots `8..16` addresses them as `0..8`. Constructed safely via
+/// [`CorePool::full`] or (for disjoint ranges across threads) via
+/// [`PoolShards::slice`].
+pub struct PoolSlice<'a> {
+    /// Absolute slot index of this slice's slot 0 (for diagnostics).
+    base: usize,
+    ids: &'a [CoreId],
+    always_step: &'a [NeuronMask],
+    autonomous: &'a [bool],
+    axon_types: &'a [u8],
+    rows: &'a [[u64; ROW_WORDS]],
+    weights: &'a [[i16; AXON_TYPES]],
+    flags: &'a [u8],
+    leaks: &'a [i16],
+    thresholds: &'a [i32],
+    reset_to: &'a [i32],
+    floors: &'a [i32],
+    target_core: &'a [CoreId],
+    target_axon: &'a [u16],
+    target_delay: &'a [u8],
+    potentials: &'a mut [i32],
+    pending: &'a mut [[u16; AXON_TYPES]],
+    delay_bits: &'a mut [u16],
+    due: &'a mut [u16],
+    delay_live: &'a mut [u32],
+    prng: &'a mut [CorePrng],
+    ticks: &'a mut [u64],
+    fires: &'a mut [u64],
+    syn_events: &'a mut [u64],
+    restless: &'a mut [NeuronMask],
+    touched: &'a mut [NeuronMask],
+    kernel_ticks: &'a mut [u64],
+    stepped: &'a mut [u64],
+    events: &'a mut [u64],
+    dormant: &'a mut [bool],
+    #[cfg(debug_assertions)]
+    synapse_done: &'a mut [bool],
+    word_kernels: bool,
+}
+
+impl<'a> PoolSlice<'a> {
+    /// Number of slots in this slice.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the slice covers no slots.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Core id of slice-local slot `k`.
+    #[must_use]
+    pub fn id(&self, k: usize) -> CoreId {
+        self.ids[k]
+    }
+
+    /// Whether slot `k` has scheduled deliveries pending.
+    #[must_use]
+    pub fn has_pending_deliveries(&self, k: usize) -> bool {
+        self.delay_live[k] != 0
+    }
+
+    /// Whether slot `k` evolves without input.
+    #[must_use]
+    pub fn autonomous_dynamics(&self, k: usize) -> bool {
+        self.autonomous[k]
+    }
+
+    /// Events delivered to slot `k` this tick (engine bookkeeping).
+    #[must_use]
+    pub fn events(&self, k: usize) -> u64 {
+        self.events[k]
+    }
+
+    /// Sets slot `k`'s delivered-events count (engine bookkeeping).
+    pub fn set_events(&mut self, k: usize, events: u64) {
+        self.events[k] = events;
+    }
+
+    /// Whether slot `k` was dormant after its last tick.
+    #[must_use]
+    pub fn dormant(&self, k: usize) -> bool {
+        self.dormant[k]
+    }
+
+    /// Sets slot `k`'s dormant flag (engine bookkeeping).
+    pub fn set_dormant(&mut self, k: usize, dormant: bool) {
+        self.dormant[k] = dormant;
+    }
+
+    /// Schedules a delivered spike on slot `k`, axon `axon`, for
+    /// `delivery_tick`. Idempotent per (axon, slot) pair, mirroring the
+    /// per-core delay buffer.
+    pub fn deliver(&mut self, k: usize, axon: u16, delivery_tick: u32) {
+        let a = k * CORE_AXONS + axon as usize;
+        let mask = 1u16 << (delivery_tick as usize % DELAY_SLOTS);
+        if self.delay_bits[a] & mask == 0 {
+            self.delay_live[k] += 1;
+        }
+        self.delay_bits[a] |= mask;
+    }
+
+    /// Synapse phase for slot `k` at tick `t`: drains due deliveries into
+    /// the pending counts. Returns the number of synaptic events.
+    pub fn synapse_phase(&mut self, k: usize, tick: u32) -> u64 {
+        let nb = k * CORE_NEURONS;
+        let ab = k * CORE_AXONS;
+        self.touched[k] = EMPTY_MASK;
+        let n_due = take_due(
+            &mut self.delay_bits[ab..ab + CORE_AXONS],
+            &mut self.delay_live[k],
+            tick,
+            self.due,
+        );
+        let due = &self.due[..n_due];
+        let rows: &[[u64; ROW_WORDS]; CORE_AXONS] = (&self.rows[ab..ab + CORE_AXONS])
+            .try_into()
+            .expect("arena stride");
+        let types: &[u8; CORE_AXONS] = (&self.axon_types[ab..ab + CORE_AXONS])
+            .try_into()
+            .expect("arena stride");
+        let pending: &mut [[u16; AXON_TYPES]; CORE_NEURONS] = (&mut self.pending
+            [nb..nb + CORE_NEURONS])
+            .try_into()
+            .expect("arena stride");
+        let events = if self.word_kernels && kernel::bitsliced_pays_off(rows, due) {
+            self.kernel_ticks[k] += 1;
+            kernel::synapse_bitsliced(rows, types, due, pending, &mut self.touched[k])
+        } else {
+            kernel::synapse_scalar(rows, types, due, pending, &mut self.touched[k])
+        };
+        self.syn_events[k] += events;
+        self.ticks[k] += 1;
+        #[cfg(debug_assertions)]
+        {
+            self.synapse_done[k] = true;
+        }
+        events
+    }
+
+    /// Skips the synapse phase for a slot with no pending deliveries.
+    pub fn skip_synapse_phase(&mut self, k: usize) {
+        debug_assert!(
+            !self.has_pending_deliveries(k),
+            "skip_synapse_phase with spikes in flight on core {}",
+            self.ids[k]
+        );
+        self.touched[k] = EMPTY_MASK;
+        self.ticks[k] += 1;
+        #[cfg(debug_assertions)]
+        {
+            self.synapse_done[k] = true;
+        }
+    }
+
+    /// Neuron phase for slot `k` at tick `t`. Returns whether any neuron
+    /// changed state (fired or moved its potential).
+    pub fn neuron_phase(&mut self, k: usize, tick: u32, emit: &mut dyn FnMut(Spike)) -> bool {
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(
+                self.synapse_done[k],
+                "neuron_phase before synapse_phase at tick {tick}"
+            );
+            self.synapse_done[k] = false;
+        }
+        let changed = if self.word_kernels {
+            self.masked_sweep(k, tick, emit)
+        } else {
+            self.full_sweep(k, tick, emit)
+        };
+        #[cfg(debug_assertions)]
+        {
+            let nb = k * CORE_NEURONS;
+            debug_assert!(
+                self.pending[nb..nb + CORE_NEURONS]
+                    .iter()
+                    .all(|c| *c == [0u16; AXON_TYPES]),
+                "pending counts survived the sweep (mask incomplete?)"
+            );
+        }
+        changed
+    }
+
+    fn masked_sweep(&mut self, k: usize, tick: u32, emit: &mut dyn FnMut(Spike)) -> bool {
+        let nb = k * CORE_NEURONS;
+        let mut changed = false;
+        let prng = &mut self.prng[k];
+        for w in 0..ROW_WORDS {
+            let mut bits = self.touched[k][w] | self.always_step[k][w] | self.restless[k][w];
+            self.stepped[k] += u64::from(bits.count_ones());
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let n = w * 64 + b;
+                let i = nb + n;
+                let counts = self.pending[i];
+                let had_input = counts != [0u16; AXON_TYPES];
+                let before = self.potentials[i];
+                let fired = step_neuron(
+                    &self.weights[i],
+                    self.flags[i],
+                    self.leaks[i],
+                    self.thresholds[i],
+                    self.reset_to[i],
+                    self.floors[i],
+                    &mut self.potentials[i],
+                    &counts,
+                    prng,
+                );
+                self.pending[i] = [0; AXON_TYPES];
+                let moved = fired || self.potentials[i] != before;
+                changed |= moved;
+                let bit = 1u64 << b;
+                if moved || had_input {
+                    self.restless[k][w] |= bit;
+                } else {
+                    self.restless[k][w] &= !bit;
+                }
+                if fired {
+                    self.fires[k] += 1;
+                    if self.target_delay[i] != 0 {
+                        emit(Spike {
+                            fired_at: tick,
+                            target: SpikeTarget {
+                                core: self.target_core[i],
+                                axon: self.target_axon[i],
+                                delay: self.target_delay[i],
+                            },
+                        });
+                    }
+                }
+            }
+        }
+        changed
+    }
+
+    fn full_sweep(&mut self, k: usize, tick: u32, emit: &mut dyn FnMut(Spike)) -> bool {
+        let nb = k * CORE_NEURONS;
+        let mut changed = false;
+        let prng = &mut self.prng[k];
+        self.stepped[k] += CORE_NEURONS as u64;
+        for n in 0..CORE_NEURONS {
+            let i = nb + n;
+            let counts = self.pending[i];
+            let before = self.potentials[i];
+            let fired = step_neuron(
+                &self.weights[i],
+                self.flags[i],
+                self.leaks[i],
+                self.thresholds[i],
+                self.reset_to[i],
+                self.floors[i],
+                &mut self.potentials[i],
+                &counts,
+                prng,
+            );
+            self.pending[i] = [0; AXON_TYPES];
+            changed |= fired || self.potentials[i] != before;
+            if fired {
+                self.fires[k] += 1;
+                if self.target_delay[i] != 0 {
+                    emit(Spike {
+                        fired_at: tick,
+                        target: SpikeTarget {
+                            core: self.target_core[i],
+                            axon: self.target_axon[i],
+                            delay: self.target_delay[i],
+                        },
+                    });
+                }
+            }
+        }
+        changed
+    }
+
+    /// Skips the neuron phase for a quiescent, non-autonomous slot.
+    pub fn skip_neuron_phase(&mut self, k: usize) {
+        debug_assert!(
+            !self.autonomous[k],
+            "skip_neuron_phase on autonomous core {}",
+            self.ids[k]
+        );
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(
+                self.synapse_done[k],
+                "skip_neuron_phase before synapse phase"
+            );
+            self.synapse_done[k] = false;
+        }
+    }
+
+    /// Full tick for slot `k`: synapse then neuron phase.
+    pub fn tick(&mut self, k: usize, tick: u32, emit: &mut dyn FnMut(Spike)) -> u64 {
+        let events = self.synapse_phase(k, tick);
+        self.neuron_phase(k, tick, emit);
+        events
+    }
+
+    /// Engine synapse step with quiescence: skips the phase when nothing
+    /// is in flight and records delivered events for the neuron step.
+    /// Returns `true` when the phase was skipped.
+    pub fn tick_synapse(&mut self, k: usize, tick: u32, quiescence: bool) -> bool {
+        if quiescence && !self.has_pending_deliveries(k) {
+            self.skip_synapse_phase(k);
+            self.events[k] = 0;
+            true
+        } else {
+            self.events[k] = self.synapse_phase(k, tick);
+            false
+        }
+    }
+
+    /// Engine neuron step with quiescence: skips the sweep for dormant
+    /// slots with no delivered events, otherwise sweeps and refreshes the
+    /// dormant flag. Returns `true` when the sweep was skipped.
+    pub fn tick_neuron(
+        &mut self,
+        k: usize,
+        tick: u32,
+        quiescence: bool,
+        emit: &mut dyn FnMut(Spike),
+    ) -> bool {
+        if self.events[k] > 0 {
+            self.dormant[k] = false;
+        }
+        if quiescence && self.dormant[k] && self.events[k] == 0 {
+            self.skip_neuron_phase(k);
+            true
+        } else {
+            let changed = self.neuron_phase(k, tick, emit);
+            self.dormant[k] = !self.autonomous[k] && self.events[k] == 0 && !changed;
+            false
+        }
+    }
+
+    /// Membrane potential of neuron `n` on slot `k`.
+    #[must_use]
+    pub fn potential(&self, k: usize, neuron: usize) -> i32 {
+        self.potentials[k * CORE_NEURONS + neuron]
+    }
+
+    /// Forces neuron `n`'s membrane potential (testing hook) and marks it
+    /// restless so the next masked sweep visits it.
+    pub fn set_potential(&mut self, k: usize, neuron: usize, v: i32) {
+        self.potentials[k * CORE_NEURONS + neuron] = v;
+        self.restless[k][neuron / 64] |= 1u64 << (neuron % 64);
+    }
+
+    /// Lifetime fire count of slot `k`.
+    #[must_use]
+    pub fn total_fires(&self, k: usize) -> u64 {
+        self.fires[k]
+    }
+
+    /// Appends slot `k`'s 3632-byte `TNCS` snapshot to `out`.
+    pub fn snapshot_into(&self, k: usize, out: &mut Vec<u8>) {
+        let nb = k * CORE_NEURONS;
+        let ab = k * CORE_AXONS;
+        encode_slot(
+            out,
+            self.ids[k],
+            self.ticks[k],
+            self.fires[k],
+            self.syn_events[k],
+            self.prng[k].raw_state(),
+            &self.potentials[nb..nb + CORE_NEURONS],
+            &self.delay_bits[ab..ab + CORE_AXONS],
+            &self.pending[nb..nb + CORE_NEURONS],
+        );
+    }
+
+    /// Appends every slot's snapshot to `out` in slot order.
+    pub fn snapshot_all_into(&self, out: &mut Vec<u8>) {
+        out.reserve(self.len() * CORE_SNAPSHOT_BYTES);
+        for k in 0..self.len() {
+            self.snapshot_into(k, out);
+        }
+    }
+
+    /// Restores slot `k` from a `TNCS` snapshot, with the same validation
+    /// (and validation order) as the per-core restore. On success also
+    /// clears the engine quiescence bookkeeping so the slot re-enters the
+    /// tick loop conservatively.
+    ///
+    /// # Errors
+    ///
+    /// See [`SnapshotError`]; the slot is unchanged on error.
+    pub fn restore(&mut self, k: usize, bytes: &[u8]) -> Result<(), SnapshotError> {
+        if bytes.len() >= 4 && bytes[..4] != CORE_SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        if bytes.len() < 8 {
+            return Err(SnapshotError::WrongLength {
+                expected: CORE_SNAPSHOT_BYTES,
+                got: bytes.len(),
+            });
+        }
+        let version = read_u16(bytes, 4);
+        if version != CORE_SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        if bytes.len() != CORE_SNAPSHOT_BYTES {
+            return Err(SnapshotError::WrongLength {
+                expected: CORE_SNAPSHOT_BYTES,
+                got: bytes.len(),
+            });
+        }
+        let id = read_u64(bytes, 8);
+        if id != self.ids[k] {
+            return Err(SnapshotError::WrongCore {
+                expected: self.ids[k],
+                got: id,
+            });
+        }
+        let prng_state = read_u64(bytes, 40);
+        if prng_state == 0 {
+            return Err(SnapshotError::CorruptPrngState);
+        }
+
+        self.ticks[k] = read_u64(bytes, 16);
+        self.fires[k] = read_u64(bytes, 24);
+        self.syn_events[k] = read_u64(bytes, 32);
+        self.prng[k].set_raw_state(prng_state);
+        let nb = k * CORE_NEURONS;
+        let ab = k * CORE_AXONS;
+        for n in 0..CORE_NEURONS {
+            self.potentials[nb + n] = read_i32(bytes, 48 + n * 4);
+        }
+        let mut live = 0u32;
+        for a in 0..CORE_AXONS {
+            let bits = read_u16(bytes, 1072 + a * 2);
+            self.delay_bits[ab + a] = bits;
+            live += bits.count_ones();
+        }
+        self.delay_live[k] = live;
+        for n in 0..CORE_NEURONS {
+            for g in 0..AXON_TYPES {
+                self.pending[nb + n][g] = read_u16(bytes, 1584 + (n * AXON_TYPES + g) * 2);
+            }
+        }
+        self.restless[k] = [u64::MAX; ROW_WORDS];
+        self.touched[k] = EMPTY_MASK;
+        self.events[k] = 0;
+        self.dormant[k] = false;
+        #[cfg(debug_assertions)]
+        {
+            self.synapse_done[k] = false;
+        }
+        Ok(())
+    }
+
+    /// Absolute pool slot of slice-local slot 0.
+    #[must_use]
+    pub fn base(&self) -> usize {
+        self.base
+    }
+}
+
+impl std::fmt::Debug for PoolSlice<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolSlice")
+            .field("base", &self.base)
+            .field("slots", &self.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Raw arena pointers for handing disjoint [`PoolSlice`]s to worker
+/// threads. Construction borrows the pool mutably for `'p`; the borrow
+/// checker therefore guarantees nothing else touches the pool while
+/// shards exist. Disjointness *between* slices is the caller's contract
+/// (see [`PoolShards::slice`]).
+pub struct PoolShards<'p> {
+    slots: usize,
+    ids: *const CoreId,
+    always_step: *const NeuronMask,
+    autonomous: *const bool,
+    axon_types: *const u8,
+    rows: *const [u64; ROW_WORDS],
+    weights: *const [i16; AXON_TYPES],
+    flags: *const u8,
+    leaks: *const i16,
+    thresholds: *const i32,
+    reset_to: *const i32,
+    floors: *const i32,
+    target_core: *const CoreId,
+    target_axon: *const u16,
+    target_delay: *const u8,
+    potentials: *mut i32,
+    pending: *mut [u16; AXON_TYPES],
+    delay_bits: *mut u16,
+    delay_live: *mut u32,
+    prng: *mut CorePrng,
+    ticks: *mut u64,
+    fires: *mut u64,
+    syn_events: *mut u64,
+    restless: *mut NeuronMask,
+    touched: *mut NeuronMask,
+    kernel_ticks: *mut u64,
+    stepped: *mut u64,
+    events: *mut u64,
+    dormant: *mut bool,
+    #[cfg(debug_assertions)]
+    synapse_done: *mut bool,
+    word_kernels: bool,
+    _marker: PhantomData<&'p mut CorePool>,
+}
+
+// SAFETY: the shards only expose state through `slice`, whose contract
+// requires disjoint slot ranges; config pointers are read-only. The
+// `'p` mutable borrow of the pool prevents any concurrent safe access.
+unsafe impl Send for PoolShards<'_> {}
+unsafe impl Sync for PoolShards<'_> {}
+
+impl<'p> PoolShards<'p> {
+    fn new(pool: &'p mut CorePool) -> Self {
+        Self {
+            slots: pool.ids.len(),
+            ids: pool.ids.as_ptr(),
+            always_step: pool.always_step.as_ptr(),
+            autonomous: pool.autonomous.as_ptr(),
+            axon_types: pool.axon_types.as_ptr(),
+            rows: pool.rows.as_ptr(),
+            weights: pool.weights.as_ptr(),
+            flags: pool.flags.as_ptr(),
+            leaks: pool.leaks.as_ptr(),
+            thresholds: pool.thresholds.as_ptr(),
+            reset_to: pool.reset_to.as_ptr(),
+            floors: pool.floors.as_ptr(),
+            target_core: pool.target_core.as_ptr(),
+            target_axon: pool.target_axon.as_ptr(),
+            target_delay: pool.target_delay.as_ptr(),
+            potentials: pool.potentials.as_mut_ptr(),
+            pending: pool.pending.as_mut_ptr(),
+            delay_bits: pool.delay_bits.as_mut_ptr(),
+            delay_live: pool.delay_live.as_mut_ptr(),
+            prng: pool.prng.as_mut_ptr(),
+            ticks: pool.ticks.as_mut_ptr(),
+            fires: pool.fires.as_mut_ptr(),
+            syn_events: pool.syn_events.as_mut_ptr(),
+            restless: pool.restless.as_mut_ptr(),
+            touched: pool.touched.as_mut_ptr(),
+            kernel_ticks: pool.kernel_ticks.as_mut_ptr(),
+            stepped: pool.stepped.as_mut_ptr(),
+            events: pool.events.as_mut_ptr(),
+            dormant: pool.dormant.as_mut_ptr(),
+            #[cfg(debug_assertions)]
+            synapse_done: pool.synapse_done.as_mut_ptr(),
+            word_kernels: pool.word_kernels,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of slots in the underlying pool.
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// A mutable slice over pool slots `range`, with a caller-provided
+    /// (typically thread-local) due-axon scratch buffer of at least
+    /// [`CORE_AXONS`] entries.
+    ///
+    /// # Safety
+    ///
+    /// Live slices must cover pairwise-disjoint slot ranges, and `range`
+    /// must be within `0..self.slots()`. Each slice gets its own due
+    /// scratch, so slices over disjoint ranges never alias.
+    #[must_use]
+    pub unsafe fn slice<'s>(&'s self, range: Range<usize>, due: &'s mut [u16]) -> PoolSlice<'s>
+    where
+        'p: 's,
+    {
+        debug_assert!(range.start <= range.end && range.end <= self.slots);
+        debug_assert!(due.len() >= CORE_AXONS);
+        let n = range.end - range.start;
+        let s = range.start;
+        let nn = n * CORE_NEURONS;
+        let na = n * CORE_AXONS;
+        let sn = s * CORE_NEURONS;
+        let sa = s * CORE_AXONS;
+        // SAFETY: caller guarantees `range` is in bounds and disjoint
+        // from every other live slice; arena strides are n×1, n×256.
+        unsafe {
+            PoolSlice {
+                base: s,
+                ids: std::slice::from_raw_parts(self.ids.add(s), n),
+                always_step: std::slice::from_raw_parts(self.always_step.add(s), n),
+                autonomous: std::slice::from_raw_parts(self.autonomous.add(s), n),
+                axon_types: std::slice::from_raw_parts(self.axon_types.add(sa), na),
+                rows: std::slice::from_raw_parts(self.rows.add(sa), na),
+                weights: std::slice::from_raw_parts(self.weights.add(sn), nn),
+                flags: std::slice::from_raw_parts(self.flags.add(sn), nn),
+                leaks: std::slice::from_raw_parts(self.leaks.add(sn), nn),
+                thresholds: std::slice::from_raw_parts(self.thresholds.add(sn), nn),
+                reset_to: std::slice::from_raw_parts(self.reset_to.add(sn), nn),
+                floors: std::slice::from_raw_parts(self.floors.add(sn), nn),
+                target_core: std::slice::from_raw_parts(self.target_core.add(sn), nn),
+                target_axon: std::slice::from_raw_parts(self.target_axon.add(sn), nn),
+                target_delay: std::slice::from_raw_parts(self.target_delay.add(sn), nn),
+                potentials: std::slice::from_raw_parts_mut(self.potentials.add(sn), nn),
+                pending: std::slice::from_raw_parts_mut(self.pending.add(sn), nn),
+                delay_bits: std::slice::from_raw_parts_mut(self.delay_bits.add(sa), na),
+                due,
+                delay_live: std::slice::from_raw_parts_mut(self.delay_live.add(s), n),
+                prng: std::slice::from_raw_parts_mut(self.prng.add(s), n),
+                ticks: std::slice::from_raw_parts_mut(self.ticks.add(s), n),
+                fires: std::slice::from_raw_parts_mut(self.fires.add(s), n),
+                syn_events: std::slice::from_raw_parts_mut(self.syn_events.add(s), n),
+                restless: std::slice::from_raw_parts_mut(self.restless.add(s), n),
+                touched: std::slice::from_raw_parts_mut(self.touched.add(s), n),
+                kernel_ticks: std::slice::from_raw_parts_mut(self.kernel_ticks.add(s), n),
+                stepped: std::slice::from_raw_parts_mut(self.stepped.add(s), n),
+                events: std::slice::from_raw_parts_mut(self.events.add(s), n),
+                dormant: std::slice::from_raw_parts_mut(self.dormant.add(s), n),
+                #[cfg(debug_assertions)]
+                synapse_done: std::slice::from_raw_parts_mut(self.synapse_done.add(s), n),
+                word_kernels: self.word_kernels,
+            }
+        }
+    }
+}
+
+/// Drains the deliveries due at `tick` from one slot's delay bitplanes
+/// into `out`, returning the count — the arena form of the per-core
+/// delay buffer's `take_due`.
+fn take_due(bits: &mut [u16], live: &mut u32, tick: u32, out: &mut [u16]) -> usize {
+    let mask = 1u16 << (tick as usize % DELAY_SLOTS);
+    if *live == 0 {
+        return 0;
+    }
+    let mut n_due = 0;
+    for (axon, b) in bits.iter_mut().enumerate() {
+        if *b & mask != 0 {
+            *b &= !mask;
+            *live -= 1;
+            out[n_due] = axon as u16;
+            n_due += 1;
+            if *live == 0 {
+                break;
+            }
+        }
+    }
+    n_due
+}
+
+/// Integrate-leak-fire for one neuron over pooled per-field state — an
+/// exact transcription of `NeuronConfig::step` (same saturating
+/// arithmetic, same PRNG draw order).
+#[allow(clippy::too_many_arguments)]
+fn step_neuron(
+    weights: &[i16; AXON_TYPES],
+    flags: u8,
+    leak: i16,
+    threshold: i32,
+    reset_to: i32,
+    floor: i32,
+    potential: &mut i32,
+    counts: &[u16; AXON_TYPES],
+    prng: &mut CorePrng,
+) -> bool {
+    let mut v = *potential;
+    for g in 0..AXON_TYPES {
+        let n = counts[g];
+        if n == 0 {
+            continue;
+        }
+        let w = weights[g];
+        if flags & FLAG_STOCH_W[g] != 0 {
+            let p = w.unsigned_abs();
+            let unit = if w >= 0 { 1 } else { -1 };
+            for _ in 0..n {
+                if prng.bernoulli_u8(p) {
+                    v = v.saturating_add(unit);
+                }
+            }
+        } else {
+            v = v.saturating_add(i32::from(w) * i32::from(n));
+        }
+    }
+    if flags & FLAG_STOCH_LEAK != 0 {
+        if leak != 0 && prng.bernoulli_u8(leak.unsigned_abs()) {
+            v = v.saturating_add(if leak >= 0 { 1 } else { -1 });
+        }
+    } else {
+        v = v.saturating_add(i32::from(leak));
+    }
+    let fired = v >= threshold;
+    if fired {
+        v = if flags & FLAG_LINEAR != 0 {
+            v - threshold
+        } else {
+            reset_to
+        };
+    }
+    if v < floor {
+        v = floor;
+    }
+    *potential = v;
+    fired
+}
+
+/// Serializes one slot's state into the 3632-byte `TNCS` wire format
+/// (identical to the pre-pool per-core serializer, byte for byte).
+#[allow(clippy::too_many_arguments)]
+fn encode_slot(
+    out: &mut Vec<u8>,
+    id: CoreId,
+    ticks: u64,
+    fires: u64,
+    syn_events: u64,
+    prng_raw: u64,
+    potentials: &[i32],
+    delay_bits: &[u16],
+    pending: &[[u16; AXON_TYPES]],
+) {
+    out.reserve(CORE_SNAPSHOT_BYTES);
+    out.extend_from_slice(&CORE_SNAPSHOT_MAGIC);
+    out.extend_from_slice(&CORE_SNAPSHOT_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes()); // reserved
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(&ticks.to_le_bytes());
+    out.extend_from_slice(&fires.to_le_bytes());
+    out.extend_from_slice(&syn_events.to_le_bytes());
+    out.extend_from_slice(&prng_raw.to_le_bytes());
+    #[cfg(target_endian = "little")]
+    {
+        // SAFETY: i32/u16 arrays are plain-old-data; on little-endian
+        // targets their in-memory bytes are exactly the wire bytes.
+        out.extend_from_slice(unsafe {
+            std::slice::from_raw_parts(potentials.as_ptr().cast::<u8>(), potentials.len() * 4)
+        });
+        out.extend_from_slice(unsafe {
+            std::slice::from_raw_parts(delay_bits.as_ptr().cast::<u8>(), delay_bits.len() * 2)
+        });
+        out.extend_from_slice(unsafe {
+            std::slice::from_raw_parts(
+                pending.as_ptr().cast::<u8>(),
+                pending.len() * AXON_TYPES * 2,
+            )
+        });
+    }
+    #[cfg(not(target_endian = "little"))]
+    {
+        for v in potentials {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for b in delay_bits {
+            out.extend_from_slice(&b.to_le_bytes());
+        }
+        for counts in pending {
+            for c in counts {
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::NeurosynapticCore;
+    use crate::crossbar::Crossbar;
+
+    fn gauntlet_config(id: CoreId) -> CoreConfig {
+        let mut config = CoreConfig::blank(id, 31);
+        config.crossbar = Crossbar::from_fn(|a, n| (a * 7 + n) % 11 == 0);
+        for a in 0..CORE_AXONS {
+            config.axon_types[a] = (a % 4) as u8;
+        }
+        for (n, cfg) in config.neurons.iter_mut().enumerate() {
+            cfg.weights = [2, 120, -1, 3];
+            cfg.stochastic_weight = [false, true, false, false];
+            cfg.threshold = 4;
+            cfg.leak = -1;
+            cfg.floor = -3;
+            cfg.target = Some(SpikeTarget::new(0, (n % 256) as u16, 1 + (n % 5) as u8));
+            if n % 61 == 0 {
+                cfg.stochastic_leak = true;
+                cfg.leak = 30;
+                cfg.threshold = 50;
+            }
+            if n == 200 {
+                cfg.weights = [0, 0, 0, 0];
+                cfg.leak = 3;
+                cfg.threshold = 3;
+                cfg.reset = ResetMode::Linear;
+            }
+        }
+        config
+    }
+
+    /// A multi-slot pool must tick bit-identically to independent
+    /// per-core handles over the same configs.
+    #[test]
+    fn pool_matches_independent_cores() {
+        let n_cores = 5usize;
+        let mut pool = CorePool::new();
+        let mut cores: Vec<NeurosynapticCore> = Vec::new();
+        for c in 0..n_cores {
+            let cfg = gauntlet_config(c as CoreId);
+            pool.push(cfg.clone()).unwrap();
+            cores.push(NeurosynapticCore::new(cfg).unwrap());
+        }
+        // Seed identical input spikes.
+        let mut slice = pool.full();
+        for (k, core) in cores.iter_mut().enumerate() {
+            for a in (0u16..60).step_by(3) {
+                slice.deliver(k, a, 1 + u32::from(a) % 7);
+                core.deliver(a, 1 + u32::from(a) % 7);
+            }
+        }
+        for t in 0..40u32 {
+            for (k, core) in cores.iter_mut().enumerate() {
+                let mut pool_spikes = Vec::new();
+                let mut core_spikes = Vec::new();
+                let ev_p = slice.synapse_phase(k, t);
+                slice.neuron_phase(k, t, &mut |s| pool_spikes.push(s));
+                let ev_c = core.synapse_phase(t);
+                core.neuron_phase(t, |s| core_spikes.push(s));
+                assert_eq!(ev_p, ev_c, "core {k} tick {t} events");
+                assert_eq!(pool_spikes, core_spikes, "core {k} tick {t} spikes");
+            }
+        }
+        for (k, core) in cores.iter().enumerate() {
+            assert_eq!(pool.snapshot_bytes(k), core.snapshot_bytes(), "core {k}");
+            assert_eq!(pool.activity(k), core.activity());
+            assert_eq!(pool.kernel_stats(k), core.kernel_stats());
+        }
+    }
+
+    /// The scalar path (kernels off) must match too, including the
+    /// restless-mask reset semantics of toggling.
+    #[test]
+    fn pool_matches_cores_with_kernels_off() {
+        let mut pool = CorePool::new();
+        let cfg = gauntlet_config(7);
+        pool.push(cfg.clone()).unwrap();
+        pool.set_word_kernels(false);
+        let mut core = NeurosynapticCore::new(cfg).unwrap();
+        core.set_word_kernels(false);
+        let mut slice = pool.full();
+        for a in 0..32u16 {
+            slice.deliver(0, a * 8, 1);
+            core.deliver(a * 8, 1);
+        }
+        for t in 0..30u32 {
+            let mut ps = Vec::new();
+            let mut cs = Vec::new();
+            slice.tick(0, t, &mut |s| ps.push(s));
+            core.tick(t, |s| cs.push(s));
+            assert_eq!(ps, cs, "tick {t}");
+        }
+        assert_eq!(pool.snapshot_bytes(0), core.snapshot_bytes());
+        assert_eq!(pool.kernel_stats(0).kernel_synapse_ticks, 0);
+    }
+
+    #[test]
+    fn empty_pool_is_well_formed() {
+        let mut pool = CorePool::new();
+        assert_eq!(pool.len(), 0);
+        assert!(pool.is_empty());
+        let mut out = Vec::new();
+        pool.snapshot_all_into(&mut out);
+        assert!(out.is_empty());
+        let slice = pool.full();
+        assert!(slice.is_empty());
+        let shards = pool.shards();
+        assert_eq!(shards.slots(), 0);
+    }
+
+    #[test]
+    fn snapshot_all_equals_concatenated_singles() {
+        let mut pool = CorePool::new();
+        for c in 0..3 {
+            pool.push(gauntlet_config(c)).unwrap();
+        }
+        let mut slice = pool.full();
+        for k in 0..3 {
+            slice.deliver(k, (k * 17) as u16, 2);
+            for t in 0..10 {
+                slice.tick(k, t, &mut |_| {});
+            }
+        }
+        let mut flat = Vec::new();
+        pool.snapshot_all_into(&mut flat);
+        let mut concat = Vec::new();
+        for k in 0..3 {
+            concat.extend_from_slice(&pool.snapshot_bytes(k));
+        }
+        assert_eq!(flat, concat);
+        assert_eq!(flat.len(), 3 * CORE_SNAPSHOT_BYTES);
+    }
+
+    #[test]
+    fn pooled_restore_validation_order_matches_core() {
+        let mut pool = CorePool::new();
+        pool.push(gauntlet_config(33)).unwrap();
+        let good = pool.snapshot_bytes(0);
+        let mut slice = pool.full();
+
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert_eq!(slice.restore(0, &bad), Err(SnapshotError::BadMagic));
+
+        let mut bad = good.clone();
+        bad[4] = 99;
+        assert_eq!(
+            slice.restore(0, &bad),
+            Err(SnapshotError::UnsupportedVersion(99))
+        );
+
+        assert_eq!(
+            slice.restore(0, &good[..100]),
+            Err(SnapshotError::WrongLength {
+                expected: CORE_SNAPSHOT_BYTES,
+                got: 100
+            })
+        );
+        assert_eq!(
+            slice.restore(0, &[]),
+            Err(SnapshotError::WrongLength {
+                expected: CORE_SNAPSHOT_BYTES,
+                got: 0
+            })
+        );
+
+        let mut bad = good.clone();
+        bad[8..16].copy_from_slice(&32u64.to_le_bytes());
+        assert_eq!(
+            slice.restore(0, &bad),
+            Err(SnapshotError::WrongCore {
+                expected: 33,
+                got: 32
+            })
+        );
+
+        let mut bad = good.clone();
+        bad[40..48].fill(0);
+        assert_eq!(slice.restore(0, &bad), Err(SnapshotError::CorruptPrngState));
+
+        assert_eq!(slice.restore(0, &good), Ok(()));
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        let cfg = gauntlet_config(12);
+        let mut pool = CorePool::new();
+        pool.push(cfg.clone()).unwrap();
+        let mut slice = pool.full();
+        for a in 0..40 {
+            slice.deliver(0, a * 5, 1 + u32::from(a) % 9);
+        }
+        for t in 0..25u32 {
+            slice.tick(0, t, &mut |_| {});
+        }
+        let snap = pool.snapshot_bytes(0);
+
+        // Branch A: continue the original pool.
+        let mut a_spikes = Vec::new();
+        let mut slice = pool.full();
+        for t in 25..60u32 {
+            slice.tick(0, t, &mut |s| a_spikes.push(s));
+        }
+
+        // Branch B: restore into a freshly-built pool and continue.
+        let mut pool_b = CorePool::new();
+        pool_b.push(cfg).unwrap();
+        let mut slice = pool_b.full();
+        slice.restore(0, &snap).unwrap();
+        let mut b_spikes = Vec::new();
+        for t in 25..60u32 {
+            slice.tick(0, t, &mut |s| b_spikes.push(s));
+        }
+
+        assert_eq!(a_spikes, b_spikes);
+        assert_eq!(pool.snapshot_bytes(0), pool_b.snapshot_bytes(0));
+    }
+
+    #[test]
+    fn shards_tick_disjoint_ranges_in_parallel() {
+        let n_cores = 6usize;
+        let build = || {
+            let mut pool = CorePool::new();
+            for c in 0..n_cores {
+                pool.push(gauntlet_config(c as CoreId)).unwrap();
+            }
+            let mut slice = pool.full();
+            for k in 0..n_cores {
+                for a in 0..50u16 {
+                    slice.deliver(k, a * 5, 1 + u32::from(a) % 6);
+                }
+            }
+            pool
+        };
+
+        // Serial reference.
+        let mut serial = build();
+        let mut slice = serial.full();
+        for t in 0..30u32 {
+            for k in 0..n_cores {
+                slice.tick(k, t, &mut |_| {});
+            }
+        }
+
+        // Two threads over slots 0..3 and 3..6.
+        let mut sharded = build();
+        {
+            let shards = sharded.shards();
+            for t in 0..30u32 {
+                std::thread::scope(|scope| {
+                    for (lo, hi) in [(0usize, 3usize), (3, 6)] {
+                        let shards = &shards;
+                        scope.spawn(move || {
+                            let mut due = vec![0u16; CORE_AXONS];
+                            // SAFETY: the two ranges are disjoint.
+                            let mut s = unsafe { shards.slice(lo..hi, &mut due) };
+                            for k in 0..(hi - lo) {
+                                s.tick(k, t, &mut |_| {});
+                            }
+                        });
+                    }
+                });
+            }
+        }
+
+        let mut a = Vec::new();
+        serial.snapshot_all_into(&mut a);
+        let mut b = Vec::new();
+        sharded.snapshot_all_into(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_and_pool_unchanged() {
+        let mut pool = CorePool::new();
+        pool.push(gauntlet_config(1)).unwrap();
+        let mut bad = gauntlet_config(2);
+        bad.neurons.truncate(10);
+        assert!(pool.push(bad).is_err());
+        assert_eq!(pool.len(), 1);
+        assert_eq!(pool.potentials.len(), CORE_NEURONS);
+    }
+
+    #[test]
+    fn resident_bytes_beat_aos_accounting() {
+        let mut pool = CorePool::with_capacity(64);
+        for c in 0..64 {
+            pool.push(gauntlet_config(c)).unwrap();
+        }
+        let soa_per_core = pool.resident_bytes() / 64;
+        let aos_per_core = CorePool::aos_core_bytes();
+        assert!(
+            soa_per_core < aos_per_core,
+            "SoA {soa_per_core} B/core should beat AoS {aos_per_core} B/core"
+        );
+    }
+}
