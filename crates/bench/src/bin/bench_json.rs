@@ -9,10 +9,11 @@
 //!
 //! Run with `cargo run --release -p compass-bench --bin bench_json`.
 
+use compass_bench::json::validate_kernels_json;
 use compass_comm::{CrashPlan, TransportMetrics, World, WorldConfig};
 use compass_sim::{
-    run, run_rank_with, run_recovering, run_surviving, Backend, EngineConfig, NetworkModel,
-    Partition, RecoveryPolicy, RunOptions,
+    run, run_rank_with, run_recovering, run_surviving, Backend, BatchedSimulation, EngineConfig,
+    NetworkModel, Partition, RecoveryPolicy, RunOptions,
 };
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -100,7 +101,35 @@ fn time_engine(model: &NetworkModel, kernels: bool) -> f64 {
     best
 }
 
+/// Per-session drive for the replica-batching bench: lane `k` injects a
+/// full-width burst into core `k % n` at a lane-specific phase, so each
+/// lane carries its own extra wavefront and the lanes genuinely diverge.
+fn batched_sessions(model: &NetworkModel, lanes: usize) -> Vec<Vec<(u64, u16, u32)>> {
+    let n = model.cores.len() as u64;
+    (0..lanes)
+        .map(|lane| {
+            let core = lane as u64 % n;
+            let phase = 1 + (lane as u32 % 16);
+            (0..CORE_AXONS as u16).map(|a| (core, a, phase)).collect()
+        })
+        .collect()
+}
+
 fn main() {
+    // `--check` validates the existing artifact against the schema and
+    // exits — the CI contract for the committed BENCH_kernels.json.
+    if std::env::args().any(|a| a == "--check") {
+        let text = std::fs::read_to_string("BENCH_kernels.json").unwrap_or_else(|e| {
+            eprintln!("bench_json --check: cannot read BENCH_kernels.json: {e}");
+            std::process::exit(1);
+        });
+        if let Err(e) = validate_kernels_json(&text) {
+            eprintln!("bench_json --check: schema violation: {e}");
+            std::process::exit(1);
+        }
+        println!("BENCH_kernels.json: schema ok");
+        return;
+    }
     let mut out = String::new();
     out.push_str("{\n  \"bench\": \"kernels\",\n");
     let _ = writeln!(
@@ -395,9 +424,70 @@ fn main() {
         );
     }
     out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ],\n");
+
+    // Replica batching: N sessions of the dense reference model advanced
+    // through one lane-parallel sweep, against the honest baseline of N
+    // sequential solo runs of the same sessions. Sessions carry
+    // phase-shifted drive so the lanes genuinely diverge; lane-exact
+    // equivalence is enforced by the oracle suite, so this section only
+    // prices it.
+    out.push_str("  \"batched\": [\n");
+    let mut rows = Vec::new();
+    let batch_model = NetworkModel::dense_ring(4, 5);
+    let batch_ticks = 256u32;
+    for lanes in [32usize, 64] {
+        let sessions = batched_sessions(&batch_model, lanes);
+        let mut batched_ns = f64::INFINITY;
+        for _ in 0..5 {
+            let t = Instant::now();
+            let mut sim = BatchedSimulation::new(&batch_model, &sessions).expect("valid model");
+            sim.run(batch_ticks);
+            let ns = t.elapsed().as_nanos() as f64;
+            std::hint::black_box(sim.total_fires(lanes - 1));
+            batched_ns = batched_ns.min(ns);
+        }
+        let mut solo_ns = f64::INFINITY;
+        for _ in 0..3 {
+            let t = Instant::now();
+            let mut fires = 0u64;
+            for schedule in &sessions {
+                let mut m = batch_model.clone();
+                m.initial_deliveries.extend_from_slice(schedule);
+                let mut solo = compass_sim::SoloSimulation::new(&m).expect("valid model");
+                for _ in 0..batch_ticks {
+                    solo.step();
+                }
+                fires += solo.total_fires();
+            }
+            std::hint::black_box(fires);
+            solo_ns = solo_ns.min(t.elapsed().as_nanos() as f64);
+        }
+        let denom = batch_model.cores.len() as f64 * f64::from(batch_ticks) * lanes as f64;
+        let per_replica = batched_ns / denom;
+        let solo_per_run = solo_ns / denom;
+        let speedup = solo_ns / batched_ns;
+        let sessions_per_s = lanes as f64 / (batched_ns * 1e-9);
+        rows.push(format!(
+            "    {{\"model\": \"dense_ring(4)\", \"ticks\": {batch_ticks}, \"lanes\": {lanes}, \
+             \"batched_ns_per_core_tick_replica\": {per_replica:.1}, \
+             \"solo_ns_per_core_tick_run\": {solo_per_run:.1}, \
+             \"sessions_per_s\": {sessions_per_s:.1}, \"speedup\": {speedup:.2}}}"
+        ));
+        println!(
+            "batched dense_ring(4) lanes={lanes:<3} batched={per_replica:>7.1}ns/(core·tick·replica) \
+             solo={solo_per_run:>7.1}ns/(core·tick·run) sessions/s={sessions_per_s:>8.1} \
+             speedup={speedup:.2}x"
+        );
+    }
+    out.push_str(&rows.join(",\n"));
     out.push_str("\n  ]\n");
     out.push_str("}\n");
 
+    if let Err(e) = validate_kernels_json(&out) {
+        eprintln!("bench_json: emitted artifact fails its own schema: {e}");
+        std::process::exit(1);
+    }
     std::fs::write("BENCH_kernels.json", &out).expect("write BENCH_kernels.json");
     println!("wrote BENCH_kernels.json");
 }

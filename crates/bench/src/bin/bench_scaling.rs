@@ -22,6 +22,8 @@
 //! and validates the schema, so CI proves the contract holds.
 //!
 //! Usage: `bench_scaling [--max-cores N] [--ticks T] [--out PATH] [--check]`
+//! (`--help` prints the full contract; malformed arguments exit 2 with
+//! usage, never a panic.)
 
 use compass_bench::json::validate_scaling_json;
 use compass_bench::{banner, cocomac_run_with, CocomacRun};
@@ -44,7 +46,35 @@ struct Args {
     check: bool,
 }
 
-fn parse_args() -> Args {
+const USAGE: &str = "\
+Usage: bench_scaling [--max-cores N] [--ticks T] [--out PATH] [--check]
+
+  --max-cores N   Top of the core-budget ladder (default 4096). The sweep
+                  runs the power-of-two ladder 1024, 2048, ... clamped to
+                  the largest rung <= N — non-power-of-two budgets are
+                  clamped down, e.g. --max-cores 5000 sweeps [1024, 2048,
+                  4096]. Budgets below 1024 fall back to the merged
+                  102-region model.
+  --ticks T       Ticks simulated per run (default 250).
+  --out PATH      Artifact path (default BENCH_scaling.json).
+  --check         Re-read the emitted artifact and validate its schema.
+  --help          Print this help.
+
+Malformed arguments exit with status 2 after printing usage.";
+
+/// A structured CLI error: what was wrong, and with which argument.
+struct ArgError {
+    flag: &'static str,
+    problem: String,
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bench_scaling: {}: {}", self.flag, self.problem)
+    }
+}
+
+fn parse_args() -> Result<Args, ArgError> {
     let mut args = Args {
         max_cores: 4096,
         ticks: 250,
@@ -53,19 +83,42 @@ fn parse_args() -> Args {
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
-        let mut take = |name: &str| {
-            it.next()
-                .unwrap_or_else(|| panic!("{name} requires a value"))
+        let mut take = |flag: &'static str| {
+            it.next().ok_or(ArgError {
+                flag,
+                problem: "requires a value".into(),
+            })
         };
         match a.as_str() {
-            "--max-cores" => args.max_cores = take("--max-cores").parse().expect("core count"),
-            "--ticks" => args.ticks = take("--ticks").parse().expect("tick count"),
-            "--out" => args.out = take("--out"),
+            "--max-cores" => {
+                let v = take("--max-cores")?;
+                args.max_cores = v.parse().map_err(|e| ArgError {
+                    flag: "--max-cores",
+                    problem: format!("{v:?} is not a core count ({e})"),
+                })?;
+            }
+            "--ticks" => {
+                let v = take("--ticks")?;
+                args.ticks = v.parse().map_err(|e| ArgError {
+                    flag: "--ticks",
+                    problem: format!("{v:?} is not a tick count ({e})"),
+                })?;
+            }
+            "--out" => args.out = take("--out")?,
             "--check" => args.check = true,
-            other => panic!("unknown argument {other:?}"),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => {
+                return Err(ArgError {
+                    flag: "argument",
+                    problem: format!("unknown argument {other:?}"),
+                })
+            }
         }
     }
-    args
+    Ok(args)
 }
 
 fn collective_s(run: &CocomacRun) -> f64 {
@@ -87,7 +140,10 @@ fn critical_wait_s(run: &CocomacRun) -> f64 {
 }
 
 fn main() {
-    let args = parse_args();
+    let args = parse_args().unwrap_or_else(|e| {
+        eprintln!("{e}\n\n{USAGE}");
+        std::process::exit(2);
+    });
     let budgets = core_budgets(args.max_cores);
     let top = *budgets.last().expect("non-empty ladder");
     banner(

@@ -155,16 +155,46 @@ fn parse_value(b: &[u8], at: &mut usize) -> Result<Json, String> {
                             Some(b't') => s.push('\t'),
                             Some(b'r') => s.push('\r'),
                             Some(b'u') => {
-                                let hex = b
-                                    .get(*at + 1..*at + 5)
-                                    .ok_or_else(|| "truncated \\u escape".to_string())?;
-                                let code = u32::from_str_radix(
-                                    std::str::from_utf8(hex).map_err(|e| e.to_string())?,
-                                    16,
-                                )
-                                .map_err(|e| e.to_string())?;
-                                s.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                                let esc_at = *at - 1; // the backslash
+                                let hi = parse_hex4(b, *at + 1)?;
                                 *at += 4;
+                                // UTF-16 surrogate halves are not scalar
+                                // values: a high surrogate must combine
+                                // with the low surrogate escaped right
+                                // after it (RFC 8259 §7), and either half
+                                // alone is malformed.
+                                let ch = match hi {
+                                    0xD800..=0xDBFF => {
+                                        if b.get(*at + 1..*at + 3) != Some(b"\\u".as_slice()) {
+                                            return Err(format!(
+                                                "lone high surrogate \\u{hi:04X} at byte {esc_at} \
+                                                 (expected a \\uDC00-\\uDFFF low surrogate next)"
+                                            ));
+                                        }
+                                        let lo = parse_hex4(b, *at + 3)?;
+                                        if !(0xDC00..=0xDFFF).contains(&lo) {
+                                            return Err(format!(
+                                                "high surrogate \\u{hi:04X} at byte {esc_at} \
+                                                 followed by \\u{lo:04X}, not a low surrogate"
+                                            ));
+                                        }
+                                        *at += 6;
+                                        let c = 0x10000
+                                            + ((u32::from(hi) - 0xD800) << 10)
+                                            + (u32::from(lo) - 0xDC00);
+                                        char::from_u32(c)
+                                            .expect("surrogate pairs cover 0x10000..=0x10FFFF")
+                                    }
+                                    0xDC00..=0xDFFF => {
+                                        return Err(format!(
+                                            "lone low surrogate \\u{hi:04X} at byte {esc_at} \
+                                             (low surrogates only follow a high surrogate)"
+                                        ));
+                                    }
+                                    code => char::from_u32(u32::from(code))
+                                        .expect("non-surrogate BMP code point"),
+                                };
+                                s.push(ch);
                             }
                             other => return Err(format!("bad escape {other:?}")),
                         }
@@ -209,6 +239,15 @@ fn parse_value(b: &[u8], at: &mut usize) -> Result<Json, String> {
         }
         Some(c) => Err(format!("unexpected byte {c:?} at {at}")),
     }
+}
+
+/// Reads the four hex digits of a `\u` escape starting at `at`.
+fn parse_hex4(b: &[u8], at: usize) -> Result<u16, String> {
+    let hex = b
+        .get(at..at + 4)
+        .ok_or_else(|| format!("truncated \\u escape at byte {at}"))?;
+    let text = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+    u16::from_str_radix(text, 16).map_err(|_| format!("bad \\u escape {text:?} at byte {at}"))
 }
 
 fn utf8_len(first: u8) -> usize {
@@ -333,6 +372,151 @@ pub fn validate_scaling_json(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// The array sections `BENCH_kernels.json` must carry and the numeric
+/// keys every point of each must report.
+const KERNEL_ARRAY_SECTIONS: [(&str, &[&str]); 4] = [
+    (
+        "synapse_kernel",
+        &[
+            "density",
+            "due",
+            "events",
+            "scalar_ns",
+            "bitsliced_ns",
+            "speedup",
+        ],
+    ),
+    (
+        "tick_loop",
+        &[
+            "kernels_on_ns_per_core_tick",
+            "kernels_off_ns_per_core_tick",
+            "speedup",
+        ],
+    ),
+    (
+        "degraded",
+        &[
+            "ranks",
+            "armed_ns_per_tick",
+            "replicating_ns_per_tick",
+            "replication_overhead",
+            "replication_bytes",
+            "kill_tick",
+            "time_to_recover_ns",
+            "replayed_ticks",
+        ],
+    ),
+    (
+        "batched",
+        &[
+            "ticks",
+            "lanes",
+            "batched_ns_per_core_tick_replica",
+            "solo_ns_per_core_tick_run",
+            "sessions_per_s",
+            "speedup",
+        ],
+    ),
+];
+
+/// Validates the kernels artifact's schema: the dispatch constants, the
+/// Synapse crossover sweep, the Neuron sweep pair, the engine tick loops,
+/// checkpoint and recovery pricing, degraded-mode rows, and the replica
+/// `batched` section (which must report a measured ≥ 1 sessions/sec
+/// throughput per point).
+///
+/// # Errors
+/// Returns the first schema violation found, as a human-readable message.
+pub fn validate_kernels_json(text: &str) -> Result<(), String> {
+    let root = Json::parse(text)?;
+    if root.get("bench").and_then(Json::as_str) != Some("kernels") {
+        return Err("missing \"bench\": \"kernels\" tag".into());
+    }
+    let dispatch = root.get("dispatch").ok_or("missing \"dispatch\" section")?;
+    for key in ["min_due", "min_events"] {
+        dispatch
+            .get(key)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("dispatch section missing numeric {key:?}"))?;
+    }
+    for (section, keys) in [
+        (
+            "neuron_sweep",
+            &["full_ns", "masked_ns", "speedup"] as &[&str],
+        ),
+        (
+            "checkpoint",
+            &[
+                "core_snapshot_bytes",
+                "snapshot_ns_per_core",
+                "restore_ns_per_core",
+            ],
+        ),
+        (
+            "recovery",
+            &[
+                "baseline_ns_per_tick",
+                "reliable_ns_per_tick",
+                "armed_ns_per_tick",
+            ],
+        ),
+    ] {
+        let s = root
+            .get(section)
+            .ok_or_else(|| format!("missing section {section:?}"))?;
+        for key in keys {
+            let v = s
+                .get(key)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("{section} missing numeric {key:?}"))?;
+            if !v.is_finite() {
+                return Err(format!("{section}.{key} is not finite"));
+            }
+        }
+    }
+    for (section, required) in KERNEL_ARRAY_SECTIONS {
+        let points = root
+            .get(section)
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("missing array section {section:?}"))?;
+        if points.is_empty() {
+            return Err(format!("section {section:?} has no points"));
+        }
+        for (i, p) in points.iter().enumerate() {
+            for key in required {
+                let v = p
+                    .get(key)
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| format!("{section}[{i}] missing numeric {key:?}"))?;
+                if !v.is_finite() {
+                    return Err(format!("{section}[{i}].{key} is not finite"));
+                }
+            }
+        }
+    }
+    // The batched section's throughput claims must be actual measurements,
+    // not placeholders.
+    for (i, p) in root
+        .get("batched")
+        .and_then(Json::as_arr)
+        .unwrap_or_default()
+        .iter()
+        .enumerate()
+    {
+        let rate = p
+            .get("sessions_per_s")
+            .and_then(Json::as_num)
+            .unwrap_or(0.0);
+        if rate < 1.0 {
+            return Err(format!(
+                "batched[{i}].sessions_per_s = {rate} is not a measurement"
+            ));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,6 +549,72 @@ mod tests {
         assert_eq!(v.as_str(), Some("α→β é"));
     }
 
+    #[test]
+    fn surrogate_pairs_decode_to_one_scalar() {
+        // U+1F600 😀 is \uD83D\uDE00 in UTF-16 — one char, not two U+FFFD.
+        assert_eq!(
+            Json::parse("\"\\uD83D\\uDE00\"").unwrap().as_str(),
+            Some("😀")
+        );
+        // Case-insensitive hex, surrounded by other content.
+        assert_eq!(
+            Json::parse("\"a\\ud83d\\ude00b \\uD834\\uDD1E\"")
+                .unwrap()
+                .as_str(),
+            Some("a😀b 𝄞")
+        );
+        // Extremes of the supplementary range.
+        assert_eq!(
+            Json::parse("\"\\uD800\\uDC00\"").unwrap().as_str(),
+            Some("\u{10000}")
+        );
+        assert_eq!(
+            Json::parse("\"\\uDBFF\\uDFFF\"").unwrap().as_str(),
+            Some("\u{10FFFF}")
+        );
+    }
+
+    #[test]
+    fn supplementary_chars_round_trip_through_escapes() {
+        // What a UTF-16-escaping emitter would write for "😀𝄞" parses
+        // back to the literal string, and the literal passes through raw.
+        for text in ["😀", "😀𝄞", "mixed 😀 α \u{10FFFF}"] {
+            let mut escaped = String::from('"');
+            for u in text.encode_utf16() {
+                escaped.push_str(&format!("\\u{u:04X}"));
+            }
+            escaped.push('"');
+            assert_eq!(Json::parse(&escaped).unwrap().as_str(), Some(text));
+            assert_eq!(
+                Json::parse(&format!("\"{text}\"")).unwrap().as_str(),
+                Some(text)
+            );
+        }
+    }
+
+    #[test]
+    fn lone_surrogates_are_rejected_with_position() {
+        // Lone high surrogate at end of string.
+        let e = Json::parse("\"\\uD83D\"").unwrap_err();
+        assert!(e.contains("lone high surrogate \\uD83D"), "{e}");
+        assert!(e.contains("byte 1"), "{e}");
+        // Lone low surrogate.
+        let e = Json::parse("\"x\\uDE00\"").unwrap_err();
+        assert!(e.contains("lone low surrogate \\uDE00"), "{e}");
+        // High surrogate followed by a non-surrogate escape.
+        let e = Json::parse("\"\\uD83D\\u0041\"").unwrap_err();
+        assert!(e.contains("not a low surrogate"), "{e}");
+        // High surrogate followed by a literal character.
+        let e = Json::parse("\"\\uD83Dz\"").unwrap_err();
+        assert!(e.contains("lone high surrogate"), "{e}");
+        // Two high surrogates in a row.
+        let e = Json::parse("\"\\uD83D\\uD83D\"").unwrap_err();
+        assert!(e.contains("not a low surrogate"), "{e}");
+        // Truncated pair tail.
+        assert!(Json::parse("\"\\uD83D\\uDE\"").is_err());
+        assert!(Json::parse("\"\\uD8\"").is_err());
+    }
+
     fn skeleton() -> String {
         let point = |keys: &[&str]| -> String {
             let fields: Vec<String> = keys.iter().map(|k| format!("\"{k}\": 1")).collect();
@@ -393,6 +643,58 @@ mod tests {
     #[test]
     fn validates_complete_artifact() {
         validate_scaling_json(&skeleton()).unwrap();
+    }
+
+    fn kernels_skeleton() -> String {
+        let point = |keys: &[&str]| -> String {
+            let fields: Vec<String> = keys
+                .iter()
+                .map(|k| {
+                    if *k == "sessions_per_s" {
+                        format!("\"{k}\": 250.0")
+                    } else {
+                        format!("\"{k}\": 1")
+                    }
+                })
+                .collect();
+            format!("{{{}}}", fields.join(", "))
+        };
+        let mut sections = String::new();
+        for (name, keys) in KERNEL_ARRAY_SECTIONS {
+            sections.push_str(&format!(",\n\"{name}\": [{}]", point(keys)));
+        }
+        format!(
+            "{{\"bench\": \"kernels\", \
+             \"dispatch\": {{\"min_due\": 4, \"min_events\": 256}}, \
+             \"neuron_sweep\": {{\"full_ns\": 1, \"masked_ns\": 1, \"speedup\": 1}}, \
+             \"checkpoint\": {{\"core_snapshot_bytes\": 3632, \
+             \"snapshot_ns_per_core\": 1, \"restore_ns_per_core\": 1}}, \
+             \"recovery\": {{\"baseline_ns_per_tick\": 1, \"reliable_ns_per_tick\": 1, \
+             \"armed_ns_per_tick\": 1}}{sections}}}"
+        )
+    }
+
+    #[test]
+    fn validates_complete_kernels_artifact() {
+        validate_kernels_json(&kernels_skeleton()).unwrap();
+    }
+
+    #[test]
+    fn kernels_validator_rejects_missing_batched_section_and_fake_rates() {
+        let full = kernels_skeleton();
+        let e = validate_kernels_json(&full.replace("\"batched\"", "\"batch\"")).unwrap_err();
+        assert!(e.contains("batched"), "{e}");
+        let e =
+            validate_kernels_json(&full.replace("\"lanes\": 1", "\"lanes\": \"64\"")).unwrap_err();
+        assert!(e.contains("lanes"), "{e}");
+        let e = validate_kernels_json(
+            &full.replace("\"sessions_per_s\": 250.0", "\"sessions_per_s\": 0"),
+        )
+        .unwrap_err();
+        assert!(e.contains("sessions_per_s"), "{e}");
+        let e = validate_kernels_json(&full.replace("\"bench\": \"kernels\"", "\"bench\": \"x\""))
+            .unwrap_err();
+        assert!(e.contains("kernels"), "{e}");
     }
 
     #[test]

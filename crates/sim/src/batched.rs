@@ -1,0 +1,589 @@
+//! Replica-batched stepping: one model, up to 64 independent sessions.
+//!
+//! [`BatchedSimulation`] is the serving-throughput counterpart of
+//! [`crate::SoloSimulation`]: it advances N replicas ("sessions") of one
+//! compiled model through a single lane-parallel sweep per core
+//! ([`tn_core::ReplicaBatch`]), with per-lane input injection, per-lane
+//! spike traces and fires-per-tick, and lane checkpoints that round-trip
+//! to solo-compatible snapshots.
+//!
+//! The semantics are *exactly* `SoloSimulation`, per lane: the model's
+//! pre-scheduled deliveries are honored on the ticks they name (in every
+//! lane), each lane's session schedule and closed-loop injections land on
+//! their lanes only, each tick runs the Synapse and Neuron phases per core
+//! in core order and then routes every fired spike into its target delay
+//! buffer. Lane `k` therefore stays bit-identical — trace, fires-per-tick,
+//! counters, PRNG stream, snapshot bytes — to a `SoloSimulation` of the
+//! same model whose extra deliveries are session `k`'s.
+
+use crate::checkpoint::{BatchCheckpoint, CheckpointError};
+use crate::model::{ModelError, NetworkModel};
+use tn_core::{BatchError, ReplicaBatch, Spike, CORE_AXONS, MAX_LANES};
+
+/// Why a [`BatchedSimulation`] could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchRunError {
+    /// The model failed validation.
+    Model(ModelError),
+    /// The session count is outside `1..=64`, or a session schedule names
+    /// a core/axon outside the model.
+    Sessions(String),
+}
+
+impl std::fmt::Display for BatchRunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchRunError::Model(e) => write!(f, "invalid model: {e}"),
+            BatchRunError::Sessions(msg) => write!(f, "invalid sessions: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BatchRunError {}
+
+impl From<ModelError> for BatchRunError {
+    fn from(e: ModelError) -> Self {
+        BatchRunError::Model(e)
+    }
+}
+
+/// A lane-parallel, tick-stepped simulation of N sessions of one model.
+pub struct BatchedSimulation {
+    batch: ReplicaBatch,
+    lanes: usize,
+    tick: u32,
+    /// Model-wide pre-scheduled deliveries `(tick, core, axon)`, sorted —
+    /// delivered to *every* lane on the tick they name.
+    scheduled_all: Vec<(u32, u64, u16)>,
+    cursor_all: usize,
+    /// Per-session pre-scheduled deliveries `(tick, lane, core, axon)`,
+    /// sorted — each lands on its lane only.
+    scheduled_lane: Vec<(u32, u32, u64, u16)>,
+    cursor_lane: usize,
+    /// External injections queued for the next step, `(lane, core, axon)`.
+    pending_inputs: Vec<(u32, u64, u16)>,
+    record_trace: bool,
+    traces: Vec<Vec<Spike>>,
+    fires_per_tick: Vec<Vec<u64>>,
+    /// Scratch: this tick's fire count per lane.
+    tick_fires: Vec<u64>,
+    /// Scratch: this tick's fired spikes with their lane masks.
+    outbox: Vec<(Spike, u64)>,
+}
+
+impl BatchedSimulation {
+    /// Instantiates `sessions.len()` replicas of the model. Session `k`'s
+    /// schedule (entries `(core, axon, tick)`, same shape as
+    /// [`NetworkModel::initial_deliveries`]) is delivered to lane `k` on
+    /// the ticks it names, on top of the model's own pre-scheduled
+    /// deliveries which every lane receives.
+    ///
+    /// # Errors
+    ///
+    /// [`BatchRunError::Model`] if the model is inconsistent;
+    /// [`BatchRunError::Sessions`] if there are 0 or more than 64
+    /// sessions, or a schedule entry names a core or axon outside the
+    /// model.
+    pub fn new(
+        model: &NetworkModel,
+        sessions: &[Vec<(u64, u16, u32)>],
+    ) -> Result<BatchedSimulation, BatchRunError> {
+        model.validate()?;
+        let lanes = sessions.len();
+        let n_cores = model.cores.len() as u64;
+        let batch = ReplicaBatch::new(&model.cores, lanes).map_err(|e| match e {
+            BatchError::LaneCount(n) => {
+                BatchRunError::Sessions(format!("{n} sessions (need 1..={MAX_LANES})"))
+            }
+            BatchError::Config(c) => BatchRunError::Model(ModelError::BadCore(c.to_string())),
+        })?;
+        let mut scheduled_all: Vec<(u32, u64, u16)> = model
+            .initial_deliveries
+            .iter()
+            .map(|&(c, a, t)| (t, c, a))
+            .collect();
+        scheduled_all.sort_unstable();
+        let mut scheduled_lane = Vec::new();
+        for (lane, schedule) in sessions.iter().enumerate() {
+            for &(core, axon, t) in schedule {
+                if core >= n_cores {
+                    return Err(BatchRunError::Sessions(format!(
+                        "session {lane} schedules core {core}, model has {n_cores}"
+                    )));
+                }
+                if usize::from(axon) >= CORE_AXONS {
+                    return Err(BatchRunError::Sessions(format!(
+                        "session {lane} schedules axon {axon} (axons are 0..{CORE_AXONS})"
+                    )));
+                }
+                scheduled_lane.push((t, lane as u32, core, axon));
+            }
+        }
+        scheduled_lane.sort_unstable();
+        Ok(BatchedSimulation {
+            batch,
+            lanes,
+            tick: 0,
+            scheduled_all,
+            cursor_all: 0,
+            scheduled_lane,
+            cursor_lane: 0,
+            pending_inputs: Vec::new(),
+            record_trace: false,
+            traces: vec![Vec::new(); lanes],
+            fires_per_tick: vec![Vec::new(); lanes],
+            tick_fires: vec![0; lanes],
+            outbox: Vec::new(),
+        })
+    }
+
+    /// Number of sessions (lanes).
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Current tick (the next `step` simulates this tick).
+    #[must_use]
+    pub fn tick(&self) -> u32 {
+        self.tick
+    }
+
+    /// Enables or disables per-lane spike trace recording (off by
+    /// default; fires-per-tick is always recorded).
+    pub fn set_record_trace(&mut self, on: bool) {
+        self.record_trace = on;
+    }
+
+    /// Enables or disables the grouped word-parallel Synapse fold.
+    pub fn set_word_kernels(&mut self, on: bool) {
+        self.batch.set_word_kernels(on);
+    }
+
+    /// Lane `k`'s recorded spike trace (empty unless recording is on).
+    #[must_use]
+    pub fn trace(&self, lane: usize) -> &[Spike] {
+        &self.traces[lane]
+    }
+
+    /// Lane `k`'s fire count for every simulated tick.
+    #[must_use]
+    pub fn fires_per_tick(&self, lane: usize) -> &[u64] {
+        &self.fires_per_tick[lane]
+    }
+
+    /// Lane `k`'s lifetime fires across all cores.
+    #[must_use]
+    pub fn total_fires(&self, lane: usize) -> u64 {
+        (0..self.batch.len())
+            .map(|k| self.batch.total_fires(k, lane))
+            .sum()
+    }
+
+    /// Membrane potential probe for one lane (observability parity with
+    /// [`crate::SoloSimulation::potential`]).
+    #[must_use]
+    pub fn potential(&self, lane: usize, core: u64, neuron: usize) -> i32 {
+        self.batch.potential(core as usize, lane, neuron)
+    }
+
+    /// Queues an external spike into `(core, axon)` of lane `lane` for
+    /// delivery at the *next* `step` — the per-session sensory port.
+    ///
+    /// # Panics
+    /// Panics if `lane`, `core`, or `axon` is out of range.
+    pub fn inject(&mut self, lane: usize, core: u64, axon: u16) {
+        assert!(lane < self.lanes, "lane {lane} outside batch");
+        assert!(
+            (core as usize) < self.batch.len(),
+            "core {core} outside model"
+        );
+        assert!(usize::from(axon) < CORE_AXONS, "axon {axon} out of range");
+        self.pending_inputs.push((lane as u32, core, axon));
+    }
+
+    /// Simulates one tick for every lane: delivers queued injections and
+    /// due scheduled inputs, runs the Synapse and Neuron phases on every
+    /// core, routes all fired spikes, and returns the fired spikes with
+    /// the mask of lanes each fired in.
+    pub fn step(&mut self) -> &[(Spike, u64)] {
+        let t = self.tick;
+        for (lane, core, axon) in self.pending_inputs.drain(..) {
+            self.batch.deliver(core as usize, lane as usize, axon, t);
+        }
+        while self.cursor_all < self.scheduled_all.len()
+            && self.scheduled_all[self.cursor_all].0 == t
+        {
+            let (st, core, axon) = self.scheduled_all[self.cursor_all];
+            self.batch.deliver_all(core as usize, axon, st);
+            self.cursor_all += 1;
+        }
+        while self.cursor_lane < self.scheduled_lane.len()
+            && self.scheduled_lane[self.cursor_lane].0 == t
+        {
+            let (st, lane, core, axon) = self.scheduled_lane[self.cursor_lane];
+            self.batch.deliver(core as usize, lane as usize, axon, st);
+            self.cursor_lane += 1;
+        }
+
+        self.outbox.clear();
+        self.tick_fires.fill(0);
+        let outbox = &mut self.outbox;
+        for k in 0..self.batch.len() {
+            self.batch
+                .tick(k, t, &mut self.tick_fires, &mut |spike, mask| {
+                    outbox.push((spike, mask));
+                });
+        }
+        // Network phase: each fired spike lands in its target's delay
+        // buffer, in exactly the lanes that fired it.
+        for &(spike, mask) in self.outbox.iter() {
+            self.batch.deliver_lanes(
+                spike.target.core as usize,
+                mask,
+                spike.target.axon,
+                spike.delivery_tick(),
+            );
+        }
+        for (lane, fires) in self.tick_fires.iter().enumerate() {
+            self.fires_per_tick[lane].push(*fires);
+        }
+        if self.record_trace {
+            for &(spike, mask) in self.outbox.iter() {
+                let mut lm = mask;
+                while lm != 0 {
+                    let lane = lm.trailing_zeros() as usize;
+                    lm &= lm - 1;
+                    self.traces[lane].push(spike);
+                }
+            }
+        }
+        self.tick = t + 1;
+        &self.outbox
+    }
+
+    /// Runs `ticks` steps.
+    pub fn run(&mut self, ticks: u32) {
+        for _ in 0..ticks {
+            self.step();
+        }
+    }
+
+    /// The standard solo `TNCS` snapshot of one lane of one core —
+    /// byte-identical to the snapshot a `SoloSimulation` of that session
+    /// would take at the same tick boundary.
+    #[must_use]
+    pub fn lane_core_snapshot(&self, core: u64, lane: usize) -> Vec<u8> {
+        self.batch.lane_snapshot_bytes(core as usize, lane)
+    }
+
+    /// Checkpoints every lane at the current tick boundary. The result
+    /// round-trips to N solo-compatible snapshots
+    /// ([`BatchCheckpoint::extract_lane`]).
+    #[must_use]
+    pub fn checkpoint(&self) -> BatchCheckpoint {
+        let cores = self.batch.len();
+        let mut blob = Vec::with_capacity(self.lanes * cores * tn_core::CORE_SNAPSHOT_BYTES);
+        for lane in 0..self.lanes {
+            for k in 0..cores {
+                self.batch.lane_snapshot_into(k, lane, &mut blob);
+            }
+        }
+        BatchCheckpoint::assemble(self.lanes as u16, self.tick, cores as u32, blob)
+    }
+
+    /// Restores one lane from a solo-format core-snapshot sequence (the
+    /// `core_blobs` of a [`crate::RankCheckpoint`] covering the whole
+    /// model, or a [`BatchCheckpoint::extract_lane`] row). The
+    /// simulation's clock must already sit at the checkpoint's boundary
+    /// (checkpoints are per tick boundary; the clock is shared across
+    /// lanes).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Truncated`] if the blob count differs from the
+    /// model's core count; a snapshot-level error (mapped to
+    /// [`CheckpointError::BadMagic`]) if any core blob fails validation.
+    pub fn restore_lane<'a>(
+        &mut self,
+        lane: usize,
+        blobs: impl ExactSizeIterator<Item = &'a [u8]>,
+    ) -> Result<(), CheckpointError> {
+        if blobs.len() != self.batch.len() {
+            return Err(CheckpointError::Truncated {
+                expected: self.batch.len(),
+                got: blobs.len(),
+            });
+        }
+        for (k, blob) in blobs.enumerate() {
+            self.batch
+                .lane_restore(k, lane, blob)
+                .map_err(|_| CheckpointError::BadMagic)?;
+        }
+        Ok(())
+    }
+
+    /// Restores every lane from a batch checkpoint and moves the clock to
+    /// its boundary. Queued injections are dropped; pre-scheduled inputs
+    /// for ticks at or after the boundary will still be delivered.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Truncated`] on lane/core shape mismatch; see
+    /// [`Self::restore_lane`] for per-blob validation.
+    pub fn restore(&mut self, ckpt: &BatchCheckpoint) -> Result<(), CheckpointError> {
+        if ckpt.lanes() as usize != self.lanes || ckpt.core_count() as usize != self.batch.len() {
+            return Err(CheckpointError::Truncated {
+                expected: self.lanes * self.batch.len(),
+                got: ckpt.lanes() as usize * ckpt.core_count() as usize,
+            });
+        }
+        for lane in 0..self.lanes {
+            self.restore_lane(lane, ckpt.lane_blobs(lane as u16))?;
+        }
+        self.seek(ckpt.start_tick());
+        Ok(())
+    }
+
+    /// Moves the clock to `tick` and re-aims the scheduled-input cursors
+    /// (used after a restore). Recorded traces and fires-per-tick are
+    /// cleared — a snapshot holds no pre-boundary history, so recording
+    /// restarts at the boundary ([`Self::trace`] entry 0 and
+    /// [`Self::fires_per_tick`] entry 0 then describe tick `tick`).
+    fn seek(&mut self, tick: u32) {
+        self.tick = tick;
+        self.pending_inputs.clear();
+        self.cursor_all = self.scheduled_all.partition_point(|&(t, _, _)| t < tick);
+        self.cursor_lane = self
+            .scheduled_lane
+            .partition_point(|&(t, _, _, _)| t < tick);
+        for trace in &mut self.traces {
+            trace.clear();
+        }
+        for fpt in &mut self.fires_per_tick {
+            fpt.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solo::SoloSimulation;
+
+    /// Session k's extra drive: a phase-shifted stripe so lanes diverge.
+    fn session_schedules(model: &NetworkModel, lanes: usize) -> Vec<Vec<(u64, u16, u32)>> {
+        let n_cores = model.cores.len() as u64;
+        (0..lanes)
+            .map(|lane| {
+                (0..24u32)
+                    .map(|i| {
+                        let core = (u64::from(i) + lane as u64) % n_cores;
+                        let axon = ((i * 11 + lane as u32 * 29) % 256) as u16;
+                        let tick = 1 + (i * 3 + lane as u32) % 17;
+                        (core, axon, tick)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn solo_for_session(model: &NetworkModel, schedule: &[(u64, u16, u32)]) -> SoloSimulation {
+        let mut m = model.clone();
+        m.initial_deliveries.extend_from_slice(schedule);
+        SoloSimulation::new(&m).unwrap()
+    }
+
+    fn assert_batch_matches_solos(model: &NetworkModel, lanes: usize, ticks: u32) {
+        let sessions = session_schedules(model, lanes);
+        let mut batched = BatchedSimulation::new(model, &sessions).unwrap();
+        batched.set_record_trace(true);
+        batched.run(ticks);
+        for (lane, schedule) in sessions.iter().enumerate() {
+            let mut solo = solo_for_session(model, schedule);
+            let mut solo_trace = Vec::new();
+            let mut solo_fpt = Vec::new();
+            for _ in 0..ticks {
+                let out = solo.step();
+                solo_fpt.push(out.len() as u64);
+                solo_trace.extend(out);
+            }
+            assert_eq!(batched.trace(lane), solo_trace, "lane {lane} trace");
+            assert_eq!(
+                batched.fires_per_tick(lane),
+                solo_fpt,
+                "lane {lane} fires-per-tick"
+            );
+            assert_eq!(batched.total_fires(lane), solo.total_fires());
+        }
+    }
+
+    #[test]
+    fn relay_ring_lanes_match_solo_sessions() {
+        assert_batch_matches_solos(&NetworkModel::relay_ring(4, 6, 3), 5, 40);
+    }
+
+    #[test]
+    fn dense_ring_lanes_match_solo_sessions() {
+        assert_batch_matches_solos(&NetworkModel::dense_ring(3, 7), 4, 30);
+    }
+
+    #[test]
+    fn stochastic_field_lanes_match_solo_sessions() {
+        assert_batch_matches_solos(&NetworkModel::stochastic_field(3, 4, 11), 6, 30);
+    }
+
+    #[test]
+    fn single_and_63_lane_partial_batches_match() {
+        assert_batch_matches_solos(&NetworkModel::relay_ring(3, 4, 5), 1, 25);
+        assert_batch_matches_solos(&NetworkModel::relay_ring(2, 3, 9), 63, 12);
+    }
+
+    #[test]
+    fn closed_loop_injection_lands_on_one_lane_only() {
+        let model = NetworkModel {
+            initial_deliveries: Vec::new(),
+            ..NetworkModel::relay_ring(2, 1, 0)
+        };
+        let sessions = vec![Vec::new(), Vec::new(), Vec::new()];
+        let mut batched = BatchedSimulation::new(&model, &sessions).unwrap();
+        for _ in 0..5 {
+            assert!(batched.step().is_empty());
+        }
+        batched.inject(1, 0, 0);
+        let out = batched.step().to_vec();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1, 0b010, "only lane 1 fired");
+        assert_eq!(batched.total_fires(0), 0);
+        assert_eq!(batched.total_fires(1), 1);
+        assert_eq!(batched.total_fires(2), 0);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_through_solo_snapshots() {
+        let model = NetworkModel::relay_ring(3, 5, 2);
+        let lanes = 4usize;
+        let sessions = session_schedules(&model, lanes);
+        let mut batched = BatchedSimulation::new(&model, &sessions).unwrap();
+        batched.set_record_trace(true);
+        batched.run(15);
+        let ckpt = batched.checkpoint();
+        assert_eq!(ckpt.start_tick(), 15);
+        assert_eq!(ckpt.lanes(), lanes as u16);
+
+        // Each extracted lane is byte-identical to the solo session's own
+        // snapshot at the same boundary.
+        for (lane, schedule) in sessions.iter().enumerate() {
+            let mut solo = solo_for_session(&model, schedule);
+            for _ in 0..15 {
+                solo.step();
+            }
+            let solo_ckpt = solo.snapshot();
+            let extracted = ckpt.extract_lane(lane as u16);
+            assert_eq!(extracted, solo_ckpt, "lane {lane} extract");
+        }
+
+        // Wire round-trip, then restore into a fresh batch and continue:
+        // bit-identical to the uninterrupted run.
+        let wire = BatchCheckpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+        batched.run(15);
+        let mut resumed = BatchedSimulation::new(&model, &sessions).unwrap();
+        resumed.set_record_trace(true);
+        resumed.run(3); // scribble some state to prove restore overwrites it
+        resumed.restore(&wire).unwrap();
+        assert_eq!(resumed.tick(), 15);
+        resumed.run(15);
+        for lane in 0..lanes {
+            // Restore clears recorded history, so the resumed run's
+            // record starts at the boundary — compare against the
+            // uninterrupted run's ticks 15..30.
+            assert_eq!(
+                resumed.fires_per_tick(lane),
+                &batched.fires_per_tick(lane)[15..],
+                "lane {lane} fires-per-tick after resume"
+            );
+            let t: Vec<_> = batched
+                .trace(lane)
+                .iter()
+                .filter(|s| s.fired_at >= 15)
+                .copied()
+                .collect();
+            assert_eq!(resumed.trace(lane), t, "lane {lane} trace after resume");
+            for core in 0..model.cores.len() as u64 {
+                assert_eq!(
+                    resumed.lane_core_snapshot(core, lane),
+                    batched.lane_core_snapshot(core, lane)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_checkpoint_assembles_from_solo_snapshots() {
+        let model = NetworkModel::relay_ring(2, 4, 8);
+        let sessions = session_schedules(&model, 3);
+        let mut solos: Vec<SoloSimulation> = sessions
+            .iter()
+            .map(|s| solo_for_session(&model, s))
+            .collect();
+        for solo in &mut solos {
+            for _ in 0..10 {
+                solo.step();
+            }
+        }
+        let snaps: Vec<_> = solos.iter().map(SoloSimulation::snapshot).collect();
+        let ckpt = BatchCheckpoint::from_solo(&snaps).unwrap();
+        let mut batched = BatchedSimulation::new(&model, &sessions).unwrap();
+        batched.restore(&ckpt).unwrap();
+        assert_eq!(batched.tick(), 10);
+        // Continue both sides in lockstep: per-lane spikes must agree
+        // tick for tick, and so must the end-state snapshots.
+        for t in 0..8u32 {
+            let solo_out: Vec<Vec<Spike>> = solos.iter_mut().map(SoloSimulation::step).collect();
+            let out = batched.step().to_vec();
+            for (lane, expect) in solo_out.iter().enumerate() {
+                let got: Vec<Spike> = out
+                    .iter()
+                    .filter(|(_, m)| m & (1 << lane) != 0)
+                    .map(|&(s, _)| s)
+                    .collect();
+                assert_eq!(&got, expect, "lane {lane} resumed tick {t}");
+            }
+        }
+        for (lane, solo) in solos.iter().enumerate() {
+            assert_eq!(
+                batched.checkpoint().extract_lane(lane as u16),
+                solo.snapshot(),
+                "lane {lane} end state"
+            );
+        }
+    }
+
+    #[test]
+    fn session_validation_rejects_bad_shapes() {
+        let model = NetworkModel::relay_ring(2, 1, 0);
+        assert!(matches!(
+            BatchedSimulation::new(&model, &[]),
+            Err(BatchRunError::Sessions(_))
+        ));
+        let too_many = vec![Vec::new(); 65];
+        assert!(matches!(
+            BatchedSimulation::new(&model, &too_many),
+            Err(BatchRunError::Sessions(_))
+        ));
+        assert!(matches!(
+            BatchedSimulation::new(&model, &[vec![(9, 0, 1)]]),
+            Err(BatchRunError::Sessions(_))
+        ));
+        assert!(matches!(
+            BatchedSimulation::new(&model, &[vec![(0, 300, 1)]]),
+            Err(BatchRunError::Sessions(_))
+        ));
+        let mut bad = model.clone();
+        bad.cores[0].id = 9;
+        assert!(matches!(
+            BatchedSimulation::new(&bad, &[Vec::new()]),
+            Err(BatchRunError::Model(_))
+        ));
+    }
+}

@@ -59,6 +59,9 @@ pub enum CheckpointError {
     },
     /// A spike record inside a replica payload failed its checksum.
     CorruptSpike,
+    /// A batch checkpoint's lanes disagree on shape (tick boundary or
+    /// core count), or the lane count is outside `1..=64`.
+    LaneMismatch,
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -78,6 +81,12 @@ impl std::fmt::Display for CheckpointError {
             }
             CheckpointError::CorruptSpike => {
                 write!(f, "replica payload holds a spike with a bad checksum")
+            }
+            CheckpointError::LaneMismatch => {
+                write!(
+                    f,
+                    "batch checkpoint lanes disagree on shape or lane count is outside 1..=64"
+                )
             }
         }
     }
@@ -284,6 +293,181 @@ impl ReplicaPayload {
     }
 }
 
+/// A replica-batched run's state at a tick boundary: one solo-format
+/// `TNCS` snapshot per `(lane, core)`, lane-major.
+///
+/// The lane axis round-trips losslessly to solo checkpoints:
+/// [`BatchCheckpoint::extract_lane`] yields a [`RankCheckpoint`] whose
+/// core blobs are byte-identical to what a [`crate::SoloSimulation`] of
+/// that session would snapshot at the same boundary, and
+/// [`BatchCheckpoint::from_solo`] reassembles a batch checkpoint from N
+/// such solo checkpoints — so sessions can leave the batch, continue
+/// solo, and come back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchCheckpoint {
+    lanes: u16,
+    start_tick: u32,
+    cores: u32,
+    /// Lane-major concatenated fixed-size core snapshots: lane 0's cores
+    /// in block order, then lane 1's, ...
+    blob: Vec<u8>,
+}
+
+/// Leading magic of a serialized batch checkpoint.
+pub const BATCH_CHECKPOINT_MAGIC: [u8; 4] = *b"BCK1";
+
+const BATCH_HEADER_BYTES: usize = 20;
+
+impl BatchCheckpoint {
+    pub(crate) fn assemble(lanes: u16, start_tick: u32, cores: u32, blob: Vec<u8>) -> Self {
+        debug_assert_eq!(
+            blob.len(),
+            lanes as usize * cores as usize * CORE_SNAPSHOT_BYTES
+        );
+        BatchCheckpoint {
+            lanes,
+            start_tick,
+            cores,
+            blob,
+        }
+    }
+
+    /// Number of replica lanes held.
+    pub fn lanes(&self) -> u16 {
+        self.lanes
+    }
+
+    /// Cores per lane.
+    pub fn core_count(&self) -> u32 {
+        self.cores
+    }
+
+    /// The tick boundary this checkpoint was taken at (exclusive; a
+    /// resumed run continues here).
+    pub fn start_tick(&self) -> u32 {
+        self.start_tick
+    }
+
+    /// Total serialized size.
+    pub fn total_bytes(&self) -> u64 {
+        (BATCH_HEADER_BYTES + self.blob.len()) as u64
+    }
+
+    /// Lane `lane`'s per-core snapshot blobs, in block order.
+    ///
+    /// # Panics
+    /// Panics if `lane` is out of range.
+    pub fn lane_blobs(&self, lane: u16) -> impl ExactSizeIterator<Item = &[u8]> + '_ {
+        assert!(lane < self.lanes, "lane {lane} of {}", self.lanes);
+        let stride = self.cores as usize * CORE_SNAPSHOT_BYTES;
+        let at = lane as usize * stride;
+        self.blob[at..at + stride].chunks_exact(CORE_SNAPSHOT_BYTES)
+    }
+
+    /// Extracts one lane as a solo-compatible [`RankCheckpoint`]
+    /// (rank 0): the session leaves the batch and can resume under
+    /// [`crate::SoloSimulation::restore`] or the single-rank engine.
+    ///
+    /// # Panics
+    /// Panics if `lane` is out of range.
+    pub fn extract_lane(&self, lane: u16) -> RankCheckpoint {
+        assert!(lane < self.lanes, "lane {lane} of {}", self.lanes);
+        let stride = self.cores as usize * CORE_SNAPSHOT_BYTES;
+        let at = lane as usize * stride;
+        RankCheckpoint {
+            rank: 0,
+            start_tick: self.start_tick,
+            blob: self.blob[at..at + stride].to_vec(),
+        }
+    }
+
+    /// Reassembles a batch checkpoint from per-session solo checkpoints
+    /// (lane `k` = `lanes[k]`). Every lane must sit at the same tick
+    /// boundary and hold the same number of cores.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::LaneMismatch`] if there are 0 or more than 64
+    /// lanes, or the lanes disagree on boundary or core count.
+    pub fn from_solo(lanes: &[RankCheckpoint]) -> Result<Self, CheckpointError> {
+        let Some(first) = lanes.first() else {
+            return Err(CheckpointError::LaneMismatch);
+        };
+        if lanes.len() > 64 {
+            return Err(CheckpointError::LaneMismatch);
+        }
+        let mut blob = Vec::with_capacity(lanes.len() * first.blob.len());
+        for lane in lanes {
+            if lane.start_tick != first.start_tick || lane.blob.len() != first.blob.len() {
+                return Err(CheckpointError::LaneMismatch);
+            }
+            blob.extend_from_slice(&lane.blob);
+        }
+        Ok(BatchCheckpoint {
+            lanes: lanes.len() as u16,
+            start_tick: first.start_tick,
+            cores: first.core_count() as u32,
+            blob,
+        })
+    }
+
+    /// Serializes to the versioned on-disk format: `BCK1` magic, version,
+    /// lane count, start tick, cores per lane, lane-major blobs.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.total_bytes() as usize);
+        out.extend_from_slice(&BATCH_CHECKPOINT_MAGIC);
+        out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.lanes.to_le_bytes());
+        out.extend_from_slice(&self.start_tick.to_le_bytes());
+        out.extend_from_slice(&self.cores.to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes()); // reserved
+        out.extend_from_slice(&self.blob);
+        out
+    }
+
+    /// Decodes [`BatchCheckpoint::to_bytes`], validating magic, version,
+    /// and length before touching any payload.
+    ///
+    /// # Errors
+    /// See [`CheckpointError`]; never panics on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        if bytes.len() >= 4 && bytes[..4] != BATCH_CHECKPOINT_MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        if bytes.len() < BATCH_HEADER_BYTES {
+            return Err(CheckpointError::Truncated {
+                expected: BATCH_HEADER_BYTES,
+                got: bytes.len(),
+            });
+        }
+        let word16 = |off: usize| u16::from_le_bytes(bytes[off..off + 2].try_into().expect("len"));
+        let word32 = |off: usize| u32::from_le_bytes(bytes[off..off + 4].try_into().expect("len"));
+        let version = word16(4);
+        if version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        let lanes = word16(6);
+        let start_tick = word32(8);
+        let cores = word32(12);
+        if lanes == 0 || lanes > 64 {
+            return Err(CheckpointError::LaneMismatch);
+        }
+        let expected = BATCH_HEADER_BYTES + lanes as usize * cores as usize * CORE_SNAPSHOT_BYTES;
+        if bytes.len() != expected {
+            return Err(CheckpointError::Truncated {
+                expected,
+                got: bytes.len(),
+            });
+        }
+        Ok(BatchCheckpoint {
+            lanes,
+            start_tick,
+            cores,
+            blob: bytes[BATCH_HEADER_BYTES..].to_vec(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -443,6 +627,82 @@ mod tests {
         assert_eq!(
             ReplicaPayload::from_bytes(&bad),
             Err(CheckpointError::CorruptSpike)
+        );
+    }
+
+    #[test]
+    fn batch_checkpoint_round_trips_and_extracts_lanes() {
+        let lane0 = sample();
+        let lane1 = RankCheckpoint {
+            rank: 5, // rank is irrelevant to lane assembly
+            blob: {
+                let mut b = vec![7u8; CORE_SNAPSHOT_BYTES];
+                b.extend_from_slice(&vec![9u8; CORE_SNAPSHOT_BYTES]);
+                b
+            },
+            ..sample()
+        };
+        let ckpt = BatchCheckpoint::from_solo(&[lane0.clone(), lane1.clone()]).unwrap();
+        assert_eq!(ckpt.lanes(), 2);
+        assert_eq!(ckpt.core_count(), 2);
+        assert_eq!(ckpt.start_tick(), 17);
+        let wire = BatchCheckpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+        assert_eq!(wire, ckpt);
+        // Extraction is solo-compatible: rank 0, original blobs.
+        assert_eq!(wire.extract_lane(0).blob, lane0.blob);
+        assert_eq!(wire.extract_lane(1).blob, lane1.blob);
+        assert_eq!(wire.extract_lane(1).rank(), 0);
+        assert_eq!(wire.extract_lane(1).start_tick(), 17);
+        assert_eq!(wire.lane_blobs(1).len(), 2);
+    }
+
+    #[test]
+    fn batch_checkpoint_rejects_mismatched_or_malformed_lanes() {
+        assert_eq!(
+            BatchCheckpoint::from_solo(&[]),
+            Err(CheckpointError::LaneMismatch)
+        );
+        let differing_tick = RankCheckpoint {
+            start_tick: 3,
+            ..sample()
+        };
+        assert_eq!(
+            BatchCheckpoint::from_solo(&[sample(), differing_tick]),
+            Err(CheckpointError::LaneMismatch)
+        );
+        let differing_cores = RankCheckpoint {
+            blob: vec![0u8; CORE_SNAPSHOT_BYTES],
+            ..sample()
+        };
+        assert_eq!(
+            BatchCheckpoint::from_solo(&[sample(), differing_cores]),
+            Err(CheckpointError::LaneMismatch)
+        );
+        assert_eq!(
+            BatchCheckpoint::from_solo(&vec![sample(); 65]),
+            Err(CheckpointError::LaneMismatch)
+        );
+
+        let good = BatchCheckpoint::from_solo(&[sample()]).unwrap().to_bytes();
+        assert_eq!(
+            BatchCheckpoint::from_bytes(b"nope"),
+            Err(CheckpointError::BadMagic)
+        );
+        let mut bad = good.clone();
+        bad[4] = 99;
+        assert_eq!(
+            BatchCheckpoint::from_bytes(&bad),
+            Err(CheckpointError::UnsupportedVersion(99))
+        );
+        assert!(matches!(
+            BatchCheckpoint::from_bytes(&good[..good.len() - 1]),
+            Err(CheckpointError::Truncated { .. })
+        ));
+        let mut bad = good;
+        bad[6..8].copy_from_slice(&0u16.to_le_bytes());
+        assert_eq!(
+            BatchCheckpoint::from_bytes(&bad),
+            Err(CheckpointError::LaneMismatch)
         );
     }
 }

@@ -60,6 +60,7 @@
 //! and replay to completion — the final trace is bit-identical to a run
 //! that never crashed ([`runner::run_surviving`]).
 
+pub mod batched;
 pub mod checkpoint;
 pub mod engine;
 pub mod model;
@@ -69,7 +70,8 @@ pub mod runner;
 pub mod solo;
 pub mod stats;
 
-pub use checkpoint::{CheckpointError, RankCheckpoint, ReplicaPayload};
+pub use batched::{BatchRunError, BatchedSimulation};
+pub use checkpoint::{BatchCheckpoint, CheckpointError, RankCheckpoint, ReplicaPayload};
 pub use engine::{
     run_rank, run_rank_view, run_rank_with, Backend, DeathInterrupt, EngineConfig, RunOptions,
     RunOutcome,

@@ -16,8 +16,9 @@
 //! in the loop transfers unchanged to the parallel runs and, per the
 //! paper's contract, to hardware.
 
+use crate::checkpoint::{CheckpointError, RankCheckpoint};
 use crate::model::{ModelError, NetworkModel};
-use tn_core::{NeurosynapticCore, Spike};
+use tn_core::{NeurosynapticCore, Spike, CORE_SNAPSHOT_BYTES};
 
 /// A single-process, tick-stepped simulation of a whole model.
 pub struct SoloSimulation {
@@ -119,6 +120,51 @@ impl SoloSimulation {
     pub fn potential(&self, core: u64, neuron: usize) -> i32 {
         self.cores[core as usize].potential(neuron)
     }
+
+    /// Snapshots the whole simulation at the current tick boundary as a
+    /// single-rank checkpoint (rank 0, all cores in model order). The
+    /// per-core blobs are the standard `TNCS` snapshots, so a solo
+    /// checkpoint interchanges with one lane of a
+    /// [`crate::checkpoint::BatchCheckpoint`].
+    pub fn snapshot(&self) -> RankCheckpoint {
+        let mut blob = Vec::with_capacity(self.cores.len() * CORE_SNAPSHOT_BYTES);
+        for core in &self.cores {
+            blob.extend_from_slice(&core.snapshot_bytes());
+        }
+        RankCheckpoint {
+            rank: 0,
+            start_tick: self.tick,
+            blob,
+        }
+    }
+
+    /// Restores every core from `ckpt` and moves the clock to its
+    /// boundary. Queued injections are dropped; pre-scheduled deliveries
+    /// for ticks at or after the boundary will still be honored.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Truncated`] if the core count differs from the
+    /// model's; [`CheckpointError::BadMagic`] if a per-core blob fails
+    /// snapshot validation. Cores restored before the failing one keep
+    /// their restored state — re-restore or discard on error.
+    pub fn restore(&mut self, ckpt: &RankCheckpoint) -> Result<(), CheckpointError> {
+        if ckpt.core_count() != self.cores.len() {
+            return Err(CheckpointError::Truncated {
+                expected: self.cores.len(),
+                got: ckpt.core_count(),
+            });
+        }
+        for (core, blob) in self.cores.iter_mut().zip(ckpt.core_blobs()) {
+            core.restore_bytes(blob)
+                .map_err(|_| CheckpointError::BadMagic)?;
+        }
+        self.tick = ckpt.start_tick();
+        self.pending_inputs.clear();
+        let tick = self.tick;
+        self.cursor = self.scheduled.partition_point(|&(t, _, _)| t < tick);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -216,6 +262,53 @@ mod tests {
         let mut model = NetworkModel::relay_ring(2, 1, 0);
         model.cores[0].id = 7;
         assert!(SoloSimulation::new(&model).is_err());
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        let model = NetworkModel::relay_ring(3, 5, 2);
+        let mut solo = SoloSimulation::new(&model).unwrap();
+        for _ in 0..12 {
+            solo.step();
+        }
+        let ckpt = solo.snapshot();
+        assert_eq!(ckpt.start_tick(), 12);
+        assert_eq!(ckpt.core_count(), 3);
+        let mut rest: Vec<Spike> = Vec::new();
+        for _ in 0..20 {
+            rest.extend(solo.step());
+        }
+
+        let mut resumed = SoloSimulation::new(&model).unwrap();
+        resumed.step(); // scribble, restore must overwrite
+        resumed.inject(0, 3); // queued input, restore must drop it
+        resumed.restore(&ckpt).unwrap();
+        assert_eq!(resumed.tick(), 12);
+        let mut rest2: Vec<Spike> = Vec::new();
+        for _ in 0..20 {
+            rest2.extend(resumed.step());
+        }
+        assert_eq!(rest, rest2);
+        assert_eq!(resumed.snapshot(), solo.snapshot());
+    }
+
+    #[test]
+    fn restore_rejects_shape_and_payload_mismatches() {
+        use crate::checkpoint::CheckpointError;
+        let model = NetworkModel::relay_ring(2, 1, 0);
+        let mut solo = SoloSimulation::new(&model).unwrap();
+        let mut ckpt = solo.snapshot();
+        ckpt.blob.truncate(tn_core::CORE_SNAPSHOT_BYTES);
+        assert_eq!(
+            solo.restore(&ckpt),
+            Err(CheckpointError::Truncated {
+                expected: 2,
+                got: 1
+            })
+        );
+        let mut ckpt = solo.snapshot();
+        ckpt.blob[0] = b'X';
+        assert_eq!(solo.restore(&ckpt), Err(CheckpointError::BadMagic));
     }
 
     #[test]

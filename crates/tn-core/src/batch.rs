@@ -1,0 +1,1163 @@
+//! Replica-batched cores: up to 64 independent sessions per u64 lane.
+//!
+//! The TrueNorth crossbar is binary, so a core's Synapse fold and Neuron
+//! sweep can advance many *independent replicas* of the same compiled
+//! model at once: [`ReplicaBatch`] packs up to [`crate::MAX_LANES`] = 64
+//! sessions into the bit-lanes of one word sweep. One configuration
+//! arena (crossbar rows, weights, thresholds, targets — shared, since
+//! every lane runs the same model) is paired with lane-striped *state*
+//! arenas:
+//!
+//! * membrane potentials and pending counts live at
+//!   `(slot·256 + neuron)·lanes + lane`, so one neuron's 64 replicas are
+//!   contiguous and the deterministic integrate-leak-fire step is a
+//!   straight-line lane loop the vectorizer can chew on;
+//! * the per-axon delay rings become **lane planes**: a `u64` mask per
+//!   `(slot, axon, delay slot)` whose bit `l` says "lane `l` has a spike
+//!   due here" — delivering one spike to 64 sessions is a single OR;
+//! * every `(slot, lane)` keeps its own [`CorePrng`] stream and its own
+//!   lifetime fire/event counters, seeded and advanced exactly as a solo
+//!   run of that session would.
+//!
+//! # The lane-equivalence contract
+//!
+//! Lane `k` of a batched run is **bit-identical** to a solo run of
+//! session `k`: same spike trace, same fires-per-tick, same activity
+//! counters, same PRNG stream, same 3632-byte `TNCS` snapshot at every
+//! tick boundary. The argument, per phase:
+//!
+//! * *Synapse* — each due `(axon, lane)` bit delivers the same crossbar
+//!   row into that lane's pending counts, whether by the per-lane scalar
+//!   walk or by the grouped fold (axons sharing a type and an identical
+//!   due-lane mask fold through one [`kernel::BitPlanes`] accumulator and
+//!   scatter to exactly the lanes in the mask). Counts are commutative
+//!   sums, so grouping order is invisible.
+//! * *Neuron* — the sweep visits `touched | always_step | restless`,
+//!   where `touched` and `restless` are OR-combined over lanes. A lane
+//!   swept only because *another* lane is live is, in this lane, a
+//!   neuron at its zero-input fixed point with no pending input and no
+//!   at-rest PRNG draw: stepping it is the identity and draws nothing,
+//!   so per-lane state and PRNG streams match the solo masked sweep
+//!   bit for bit. (`always_step` is config-derived and lane-invariant;
+//!   neurons with stochastic weights draw only per pending count, which
+//!   is zero in a settled lane.)
+//! * *Reset/fire* — per-lane thresholds, resets, and floor clamps are the
+//!   exact scalar operation sequence (see
+//!   [`kernel::step_lanes_deterministic`]); neurons that need the PRNG
+//!   (stochastic weights with input, stochastic nonzero leak) take the
+//!   per-lane scalar path through the same `step_neuron` the pool uses.
+//!
+//! Partial batches (1..=63 lanes) use the same layout with a shorter
+//! lane stride. The equivalence matrix in `tests/replica_batch.rs` and
+//! the proptests below pin the contract.
+
+use crate::config::{CoreConfig, CoreConfigError};
+use crate::kernel::{self, BitPlanes, LanePlanes, NeuronMask, EMPTY_MASK};
+use crate::pool::{
+    encode_slot, step_neuron, FLAG_ANY_STOCH_W, FLAG_LINEAR, FLAG_STOCH_LEAK, FLAG_STOCH_W,
+};
+use crate::prng::CorePrng;
+use crate::snapshot::{
+    read_i32, read_u16, read_u64, SnapshotError, CORE_SNAPSHOT_MAGIC, CORE_SNAPSHOT_VERSION,
+};
+use crate::spike::{Spike, SpikeTarget};
+use crate::{
+    CoreId, AXON_TYPES, CORE_AXONS, CORE_NEURONS, CORE_SNAPSHOT_BYTES, DELAY_SLOTS, MAX_LANES,
+    ROW_WORDS,
+};
+
+/// Why a [`ReplicaBatch`] could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchError {
+    /// The requested lane count is outside `1..=MAX_LANES`.
+    LaneCount(usize),
+    /// A core configuration failed validation.
+    Config(CoreConfigError),
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchError::LaneCount(n) => {
+                write!(f, "lane count {n} outside 1..={MAX_LANES}")
+            }
+            BatchError::Config(e) => write!(f, "invalid core config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+impl From<CoreConfigError> for BatchError {
+    fn from(e: CoreConfigError) -> Self {
+        BatchError::Config(e)
+    }
+}
+
+/// Lane-striped storage for up to 64 replicas of a set of cores.
+///
+/// Indexing conventions (`L` = lane count):
+/// per-neuron-lane arenas at `(slot·256 + n)·L + lane`, per-slot-lane
+/// arenas at `slot·L + lane`, delay lane planes at
+/// `(slot·256 + axon)·16 + delay_slot`.
+pub struct ReplicaBatch {
+    lanes: usize,
+    /// `(1 << lanes) - 1`: every lane.
+    full_mask: u64,
+    // --- config: per slot ---
+    ids: Vec<CoreId>,
+    always_step: Vec<NeuronMask>,
+    // --- config: per axon (slot-major) ---
+    axon_types: Vec<u8>,
+    rows: Vec<[u64; ROW_WORDS]>,
+    // --- config: per neuron (slot-major) ---
+    weights: Vec<[i16; AXON_TYPES]>,
+    flags: Vec<u8>,
+    leaks: Vec<i16>,
+    thresholds: Vec<i32>,
+    reset_to: Vec<i32>,
+    floors: Vec<i32>,
+    target_core: Vec<CoreId>,
+    target_axon: Vec<u16>,
+    /// 0 = no target; valid delays are 1..=15.
+    target_delay: Vec<u8>,
+    // --- state: per (neuron, lane) ---
+    potentials: Vec<i32>,
+    pending: Vec<[u16; AXON_TYPES]>,
+    // --- state: per (axon, delay slot), one lane bit each ---
+    delay_planes: Vec<u64>,
+    // --- state: per (slot, lane) ---
+    prng: Vec<CorePrng>,
+    fires: Vec<u64>,
+    syn_events: Vec<u64>,
+    // --- state: per slot ---
+    /// Total set lane bits across the slot's delay planes (O(1) pending
+    /// check, like the pool's `delay_live`).
+    live: Vec<u64>,
+    ticks: Vec<u64>,
+    restless: Vec<NeuronMask>,
+    touched: Vec<NeuronMask>,
+    kernel_ticks: Vec<u64>,
+    // --- scratch, reused across ticks; never part of snapshots ---
+    due_axons: Vec<u16>,
+    due_masks: Vec<u64>,
+    due_order: Vec<u16>,
+    fire_acc: LanePlanes,
+    #[cfg(debug_assertions)]
+    synapse_done: Vec<bool>,
+    word_kernels: bool,
+}
+
+impl ReplicaBatch {
+    /// Builds a batch of `lanes` replicas of `configs`. Every lane starts
+    /// from the same configured state — identical initial potentials and
+    /// identically seeded per-core PRNG streams (`CorePrng::for_core`,
+    /// exactly as a solo run seeds them) — and diverges only through
+    /// per-lane input injection.
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError::LaneCount`] unless `1 <= lanes <= 64`;
+    /// [`BatchError::Config`] if any core config fails validation.
+    pub fn new(configs: &[CoreConfig], lanes: usize) -> Result<Self, BatchError> {
+        if lanes == 0 || lanes > MAX_LANES {
+            return Err(BatchError::LaneCount(lanes));
+        }
+        let n = configs.len();
+        let mut batch = ReplicaBatch {
+            lanes,
+            full_mask: if lanes == 64 {
+                u64::MAX
+            } else {
+                (1u64 << lanes) - 1
+            },
+            ids: Vec::with_capacity(n),
+            always_step: Vec::with_capacity(n),
+            axon_types: Vec::with_capacity(n * CORE_AXONS),
+            rows: Vec::with_capacity(n * CORE_AXONS),
+            weights: Vec::with_capacity(n * CORE_NEURONS),
+            flags: Vec::with_capacity(n * CORE_NEURONS),
+            leaks: Vec::with_capacity(n * CORE_NEURONS),
+            thresholds: Vec::with_capacity(n * CORE_NEURONS),
+            reset_to: Vec::with_capacity(n * CORE_NEURONS),
+            floors: Vec::with_capacity(n * CORE_NEURONS),
+            target_core: Vec::with_capacity(n * CORE_NEURONS),
+            target_axon: Vec::with_capacity(n * CORE_NEURONS),
+            target_delay: Vec::with_capacity(n * CORE_NEURONS),
+            potentials: Vec::with_capacity(n * CORE_NEURONS * lanes),
+            pending: Vec::with_capacity(n * CORE_NEURONS * lanes),
+            delay_planes: vec![0; n * CORE_AXONS * DELAY_SLOTS],
+            prng: Vec::with_capacity(n * lanes),
+            fires: vec![0; n * lanes],
+            syn_events: vec![0; n * lanes],
+            live: vec![0; n],
+            ticks: vec![0; n],
+            restless: vec![[u64::MAX; ROW_WORDS]; n],
+            touched: vec![EMPTY_MASK; n],
+            kernel_ticks: vec![0; n],
+            due_axons: Vec::with_capacity(CORE_AXONS),
+            due_masks: Vec::with_capacity(CORE_AXONS),
+            due_order: Vec::with_capacity(CORE_AXONS),
+            fire_acc: LanePlanes::new(),
+            #[cfg(debug_assertions)]
+            synapse_done: vec![false; n],
+            word_kernels: true,
+        };
+        for config in configs {
+            config.validate()?;
+            let mut always = EMPTY_MASK;
+            for (i, cfg) in config.neurons.iter().enumerate() {
+                if cfg.draws_prng_at_rest() {
+                    always[i / 64] |= 1u64 << (i % 64);
+                }
+            }
+            batch.always_step.push(always);
+            batch.ids.push(config.id);
+            batch.axon_types.extend_from_slice(&config.axon_types);
+            batch.rows.extend_from_slice(config.crossbar.rows());
+            for cfg in &config.neurons {
+                batch.weights.push(cfg.weights);
+                let mut flags = 0u8;
+                for (bit, stochastic) in FLAG_STOCH_W.iter().zip(cfg.stochastic_weight) {
+                    if stochastic {
+                        flags |= bit;
+                    }
+                }
+                if cfg.stochastic_leak {
+                    flags |= FLAG_STOCH_LEAK;
+                }
+                let reset_to = match cfg.reset {
+                    crate::neuron::ResetMode::Absolute(r) => r,
+                    crate::neuron::ResetMode::Linear => {
+                        flags |= FLAG_LINEAR;
+                        0
+                    }
+                };
+                batch.flags.push(flags);
+                batch.leaks.push(cfg.leak);
+                batch.thresholds.push(cfg.threshold);
+                batch.reset_to.push(reset_to);
+                batch.floors.push(cfg.floor);
+                match cfg.target {
+                    Some(t) => {
+                        batch.target_core.push(t.core);
+                        batch.target_axon.push(t.axon);
+                        batch.target_delay.push(t.delay);
+                    }
+                    None => {
+                        batch.target_core.push(0);
+                        batch.target_axon.push(0);
+                        batch.target_delay.push(0);
+                    }
+                }
+                batch
+                    .potentials
+                    .extend(std::iter::repeat_n(cfg.initial_potential, lanes));
+                batch
+                    .pending
+                    .extend(std::iter::repeat_n([0u16; AXON_TYPES], lanes));
+            }
+            for _ in 0..lanes {
+                batch.prng.push(CorePrng::for_core(config.seed, config.id));
+            }
+        }
+        Ok(batch)
+    }
+
+    /// Number of replica lanes.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Number of core slots (cores per replica).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the batch holds no cores.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Core id of slot `k`.
+    #[must_use]
+    pub fn id(&self, k: usize) -> CoreId {
+        self.ids[k]
+    }
+
+    /// Whether the grouped word-parallel Synapse fold is enabled.
+    #[must_use]
+    pub fn word_kernels(&self) -> bool {
+        self.word_kernels
+    }
+
+    /// Enables or disables the grouped Synapse fold (the per-lane scalar
+    /// walk is the reference path). Resets every slot's restless mask so
+    /// the next masked sweep is complete, mirroring the pool toggle.
+    pub fn set_word_kernels(&mut self, on: bool) {
+        self.word_kernels = on;
+        for m in &mut self.restless {
+            *m = [u64::MAX; ROW_WORDS];
+        }
+    }
+
+    /// Grouped-fold Synapse dispatches on slot `k` so far.
+    #[must_use]
+    pub fn kernel_ticks(&self, k: usize) -> u64 {
+        self.kernel_ticks[k]
+    }
+
+    /// Lifetime fires of `(slot, lane)`.
+    #[must_use]
+    pub fn total_fires(&self, k: usize, lane: usize) -> u64 {
+        self.fires[k * self.lanes + lane]
+    }
+
+    /// Lifetime synaptic events of `(slot, lane)`.
+    #[must_use]
+    pub fn total_syn_events(&self, k: usize, lane: usize) -> u64 {
+        self.syn_events[k * self.lanes + lane]
+    }
+
+    /// Membrane potential of neuron `n` on `(slot, lane)`.
+    #[must_use]
+    pub fn potential(&self, k: usize, lane: usize, neuron: usize) -> i32 {
+        self.potentials[(k * CORE_NEURONS + neuron) * self.lanes + lane]
+    }
+
+    /// Whether slot `k` has any scheduled delivery pending in any lane.
+    #[must_use]
+    pub fn has_pending_deliveries(&self, k: usize) -> bool {
+        self.live[k] != 0
+    }
+
+    /// Schedules a spike on one lane of slot `k`, axon `axon`, for
+    /// `delivery_tick`. Idempotent per `(axon, lane, slot)`, exactly as
+    /// the per-core delay buffer is per `(axon, slot)`.
+    pub fn deliver(&mut self, k: usize, lane: usize, axon: u16, delivery_tick: u32) {
+        debug_assert!(lane < self.lanes);
+        self.deliver_lanes(k, 1u64 << lane, axon, delivery_tick);
+    }
+
+    /// Schedules a spike on every lane set in `lane_mask` with a single
+    /// OR into the delay lane plane — the batched Network phase.
+    pub fn deliver_lanes(&mut self, k: usize, lane_mask: u64, axon: u16, delivery_tick: u32) {
+        debug_assert_eq!(lane_mask & !self.full_mask, 0, "mask beyond lane count");
+        let idx =
+            (k * CORE_AXONS + axon as usize) * DELAY_SLOTS + (delivery_tick as usize % DELAY_SLOTS);
+        let new = lane_mask & !self.delay_planes[idx];
+        self.live[k] += u64::from(new.count_ones());
+        self.delay_planes[idx] |= lane_mask;
+    }
+
+    /// Schedules a spike on every lane (model-wide pre-scheduled input).
+    pub fn deliver_all(&mut self, k: usize, axon: u16, delivery_tick: u32) {
+        self.deliver_lanes(k, self.full_mask, axon, delivery_tick);
+    }
+
+    /// Synapse phase for slot `k` at tick `t`: drains the due lane planes
+    /// into per-lane pending counts. Returns the total synaptic events
+    /// across all lanes this tick.
+    pub fn synapse_phase(&mut self, k: usize, tick: u32) -> u64 {
+        self.touched[k] = EMPTY_MASK;
+        self.ticks[k] += 1;
+        #[cfg(debug_assertions)]
+        {
+            self.synapse_done[k] = true;
+        }
+        self.due_axons.clear();
+        self.due_masks.clear();
+        if self.live[k] != 0 {
+            let ds = tick as usize % DELAY_SLOTS;
+            let base = k * CORE_AXONS * DELAY_SLOTS + ds;
+            for a in 0..CORE_AXONS {
+                let idx = base + a * DELAY_SLOTS;
+                let m = self.delay_planes[idx];
+                if m != 0 {
+                    self.delay_planes[idx] = 0;
+                    self.live[k] -= u64::from(m.count_ones());
+                    self.due_axons.push(a as u16);
+                    self.due_masks.push(m);
+                    if self.live[k] == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+        if self.due_axons.is_empty() {
+            return 0;
+        }
+        let ab = k * CORE_AXONS;
+        let rows: &[[u64; ROW_WORDS]; CORE_AXONS] = (&self.rows[ab..ab + CORE_AXONS])
+            .try_into()
+            .expect("arena stride");
+        if self.word_kernels && kernel::bitsliced_pays_off(rows, &self.due_axons) {
+            self.kernel_ticks[k] += 1;
+            self.synapse_grouped(k)
+        } else {
+            self.synapse_scalar(k)
+        }
+    }
+
+    /// Per-lane scalar Synapse walk: the reference path the grouped fold
+    /// is verified against. Delivers each due `(axon, lane)` bit's row
+    /// into that lane's pending counts.
+    fn synapse_scalar(&mut self, k: usize) -> u64 {
+        let lanes = self.lanes;
+        let ab = k * CORE_AXONS;
+        let sl = k * lanes;
+        let mut total = 0u64;
+        for (&axon, &m) in self.due_axons.iter().zip(&self.due_masks) {
+            let a = ab + axon as usize;
+            let g = usize::from(self.axon_types[a]);
+            let row = &self.rows[a];
+            let deg = kernel::row_degree(row) as u64;
+            let mut lm = m;
+            while lm != 0 {
+                let lane = lm.trailing_zeros() as usize;
+                lm &= lm - 1;
+                self.syn_events[sl + lane] += deg;
+                total += deg;
+            }
+            for (w, &word) in row.iter().enumerate() {
+                self.touched[k][w] |= word;
+                let mut bits = word;
+                while bits != 0 {
+                    let n = w * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let base = (k * CORE_NEURONS + n) * lanes;
+                    let mut lm = m;
+                    while lm != 0 {
+                        let lane = lm.trailing_zeros() as usize;
+                        lm &= lm - 1;
+                        self.pending[base + lane][g] += 1;
+                    }
+                }
+            }
+        }
+        total
+    }
+
+    /// Grouped word-parallel Synapse: due axons sharing an axon type and
+    /// an identical due-lane mask fold through one carry-save accumulator
+    /// (64 neuron counters per word op), then scatter once per set count
+    /// bit to exactly the lanes in the mask. Exactly equivalent to
+    /// [`Self::synapse_scalar`]; collapses to near-solo-kernel cost per
+    /// lane when sessions' wavefronts coincide, and degrades gracefully
+    /// to per-axon folds when they diverge.
+    fn synapse_grouped(&mut self, k: usize) -> u64 {
+        let lanes = self.lanes;
+        let ab = k * CORE_AXONS;
+        let sl = k * lanes;
+        let n_due = self.due_axons.len();
+        self.due_order.clear();
+        self.due_order.extend(0..n_due as u16);
+        let (types, due_axons, due_masks) = (&self.axon_types, &self.due_axons, &self.due_masks);
+        self.due_order.sort_unstable_by_key(|&i| {
+            let ii = usize::from(i);
+            (types[ab + usize::from(due_axons[ii])], due_masks[ii])
+        });
+        let mut total = 0u64;
+        let mut acc = BitPlanes::new();
+        let mut i = 0usize;
+        while i < n_due {
+            let first = usize::from(self.due_order[i]);
+            let g = usize::from(self.axon_types[ab + usize::from(self.due_axons[first])]);
+            let m = self.due_masks[first];
+            let mut j = i;
+            while j < n_due {
+                let idx = usize::from(self.due_order[j]);
+                let a = usize::from(self.due_axons[idx]);
+                if usize::from(self.axon_types[ab + a]) != g || self.due_masks[idx] != m {
+                    break;
+                }
+                acc.add_row(&self.rows[ab + a]);
+                j += 1;
+            }
+            i = j;
+
+            // Per-lane bookkeeping: every lane in the mask sees the same
+            // event count (the group's fold total for one lane).
+            let events = acc.total();
+            let n_lanes = u64::from(m.count_ones());
+            total += events * n_lanes;
+            let mut lm = m;
+            while lm != 0 {
+                let lane = lm.trailing_zeros() as usize;
+                lm &= lm - 1;
+                self.syn_events[sl + lane] += events;
+            }
+            let touched = acc.touched();
+            for (dst, src) in self.touched[k].iter_mut().zip(touched) {
+                *dst |= src;
+            }
+            // Every lane in the mask receives the *identical* per-neuron
+            // contribution (same axons, same rows), so materialize the
+            // group's counts once and lane-broadcast — a contiguous
+            // constant add per neuron instead of a per-plane-bit scatter.
+            let mut counts = [0u16; CORE_NEURONS];
+            acc.scatter(|n, weight| counts[n] += weight);
+            let full = m == self.full_mask;
+            for (w, &word) in touched.iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let n = w * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let c = counts[n];
+                    let base = (k * CORE_NEURONS + n) * lanes;
+                    if full {
+                        for p in &mut self.pending[base..base + lanes] {
+                            p[g] += c;
+                        }
+                    } else {
+                        let mut lm = m;
+                        while lm != 0 {
+                            let lane = lm.trailing_zeros() as usize;
+                            lm &= lm - 1;
+                            self.pending[base + lane][g] += c;
+                        }
+                    }
+                }
+            }
+            acc = BitPlanes::new();
+        }
+        total
+    }
+
+    /// Neuron phase for slot `k` at tick `t`: the lane-masked
+    /// integrate-leak-fire-reset sweep over `touched | always_step |
+    /// restless`. Calls `emit` once per firing neuron with a target,
+    /// carrying the u64 mask of lanes that fired; adds each lane's fire
+    /// count for this tick into `tick_fires` (length ≥ lane count).
+    pub fn neuron_phase(
+        &mut self,
+        k: usize,
+        tick: u32,
+        tick_fires: &mut [u64],
+        emit: &mut dyn FnMut(Spike, u64),
+    ) {
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(
+                self.synapse_done[k],
+                "neuron_phase before synapse_phase at tick {tick}"
+            );
+            self.synapse_done[k] = false;
+        }
+        debug_assert!(tick_fires.len() >= self.lanes);
+        let lanes = self.lanes;
+        let nb = k * CORE_NEURONS;
+        for w in 0..ROW_WORDS {
+            let mut bits = self.touched[k][w] | self.always_step[k][w] | self.restless[k][w];
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let ci = nb + w * 64 + b;
+                let sb = ci * lanes;
+                let flags = self.flags[ci];
+                let needs_prng = flags & FLAG_ANY_STOCH_W != 0
+                    || (flags & FLAG_STOCH_LEAK != 0 && self.leaks[ci] != 0);
+                let (fired_mask, live) = if needs_prng {
+                    let mut fired_mask = 0u64;
+                    let mut live = false;
+                    for lane in 0..lanes {
+                        let i = sb + lane;
+                        let counts = self.pending[i];
+                        let had_input = counts != [0u16; AXON_TYPES];
+                        let before = self.potentials[i];
+                        let fired = step_neuron(
+                            &self.weights[ci],
+                            flags,
+                            self.leaks[ci],
+                            self.thresholds[ci],
+                            self.reset_to[ci],
+                            self.floors[ci],
+                            &mut self.potentials[i],
+                            &counts,
+                            &mut self.prng[k * lanes + lane],
+                        );
+                        self.pending[i] = [0; AXON_TYPES];
+                        fired_mask |= u64::from(fired) << lane;
+                        live |= fired || self.potentials[i] != before || had_input;
+                    }
+                    (fired_mask, live)
+                } else {
+                    kernel::step_lanes_deterministic(
+                        &self.weights[ci],
+                        self.leaks[ci],
+                        self.thresholds[ci],
+                        self.reset_to[ci],
+                        self.floors[ci],
+                        flags & FLAG_LINEAR != 0,
+                        &mut self.potentials[sb..sb + lanes],
+                        &mut self.pending[sb..sb + lanes],
+                    )
+                };
+                let bit = 1u64 << b;
+                if live {
+                    self.restless[k][w] |= bit;
+                } else {
+                    self.restless[k][w] &= !bit;
+                }
+                if fired_mask != 0 {
+                    self.fire_acc.add_mask(fired_mask);
+                    if self.target_delay[ci] != 0 {
+                        emit(
+                            Spike {
+                                fired_at: tick,
+                                target: SpikeTarget {
+                                    core: self.target_core[ci],
+                                    axon: self.target_axon[ci],
+                                    delay: self.target_delay[ci],
+                                },
+                            },
+                            fired_mask,
+                        );
+                    }
+                }
+            }
+        }
+        // Drain the vertical fire counters into lifetime and per-tick
+        // tallies — O(set plane bits) instead of 64 increments per neuron.
+        let sl = k * lanes;
+        let fires = &mut self.fires[sl..sl + lanes];
+        self.fire_acc.drain_into2(fires, tick_fires);
+        #[cfg(debug_assertions)]
+        {
+            let lo = nb * lanes;
+            debug_assert!(
+                self.pending[lo..lo + CORE_NEURONS * lanes]
+                    .iter()
+                    .all(|c| *c == [0u16; AXON_TYPES]),
+                "pending counts survived the sweep (mask incomplete?)"
+            );
+        }
+    }
+
+    /// Full tick for slot `k`: Synapse then Neuron phase. Returns the
+    /// total synaptic events across lanes.
+    pub fn tick(
+        &mut self,
+        k: usize,
+        tick: u32,
+        tick_fires: &mut [u64],
+        emit: &mut dyn FnMut(Spike, u64),
+    ) -> u64 {
+        let events = self.synapse_phase(k, tick);
+        self.neuron_phase(k, tick, tick_fires, emit);
+        events
+    }
+
+    /// Serializes `(slot, lane)` into the standard 3632-byte `TNCS`
+    /// snapshot — byte-identical to what a solo run of that session
+    /// would produce at the same tick boundary.
+    #[must_use]
+    pub fn lane_snapshot_bytes(&self, k: usize, lane: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(CORE_SNAPSHOT_BYTES);
+        self.lane_snapshot_into(k, lane, &mut out);
+        out
+    }
+
+    /// Appends `(slot, lane)`'s `TNCS` snapshot to `out`.
+    pub fn lane_snapshot_into(&self, k: usize, lane: usize, out: &mut Vec<u8>) {
+        let lanes = self.lanes;
+        let mut pots = [0i32; CORE_NEURONS];
+        let mut pend = [[0u16; AXON_TYPES]; CORE_NEURONS];
+        for n in 0..CORE_NEURONS {
+            let i = (k * CORE_NEURONS + n) * lanes + lane;
+            pots[n] = self.potentials[i];
+            pend[n] = self.pending[i];
+        }
+        let mut dbits = [0u16; CORE_AXONS];
+        for (a, d) in dbits.iter_mut().enumerate() {
+            let base = (k * CORE_AXONS + a) * DELAY_SLOTS;
+            let mut bits = 0u16;
+            for ds in 0..DELAY_SLOTS {
+                bits |= (((self.delay_planes[base + ds] >> lane) & 1) as u16) << ds;
+            }
+            *d = bits;
+        }
+        encode_slot(
+            out,
+            self.ids[k],
+            self.ticks[k],
+            self.fires[k * lanes + lane],
+            self.syn_events[k * lanes + lane],
+            self.prng[k * lanes + lane].raw_state(),
+            &pots,
+            &dbits,
+            &pend,
+        );
+    }
+
+    /// Restores `(slot, lane)` from a `TNCS` snapshot, with the same
+    /// validation (and validation order) as the pool restore. The other
+    /// lanes are untouched; the slot's sweep masks reset conservatively.
+    ///
+    /// # Errors
+    ///
+    /// See [`SnapshotError`]; the lane is unchanged on error.
+    pub fn lane_restore(
+        &mut self,
+        k: usize,
+        lane: usize,
+        bytes: &[u8],
+    ) -> Result<(), SnapshotError> {
+        if bytes.len() >= 4 && bytes[..4] != CORE_SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        if bytes.len() < 8 {
+            return Err(SnapshotError::WrongLength {
+                expected: CORE_SNAPSHOT_BYTES,
+                got: bytes.len(),
+            });
+        }
+        let version = read_u16(bytes, 4);
+        if version != CORE_SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        if bytes.len() != CORE_SNAPSHOT_BYTES {
+            return Err(SnapshotError::WrongLength {
+                expected: CORE_SNAPSHOT_BYTES,
+                got: bytes.len(),
+            });
+        }
+        let id = read_u64(bytes, 8);
+        if id != self.ids[k] {
+            return Err(SnapshotError::WrongCore {
+                expected: self.ids[k],
+                got: id,
+            });
+        }
+        let prng_state = read_u64(bytes, 40);
+        if prng_state == 0 {
+            return Err(SnapshotError::CorruptPrngState);
+        }
+
+        let lanes = self.lanes;
+        self.ticks[k] = read_u64(bytes, 16);
+        self.fires[k * lanes + lane] = read_u64(bytes, 24);
+        self.syn_events[k * lanes + lane] = read_u64(bytes, 32);
+        self.prng[k * lanes + lane].set_raw_state(prng_state);
+        for n in 0..CORE_NEURONS {
+            let i = (k * CORE_NEURONS + n) * lanes + lane;
+            self.potentials[i] = read_i32(bytes, 48 + n * 4);
+            for g in 0..AXON_TYPES {
+                self.pending[i][g] = read_u16(bytes, 1584 + (n * AXON_TYPES + g) * 2);
+            }
+        }
+        let bit = 1u64 << lane;
+        for a in 0..CORE_AXONS {
+            let want = read_u16(bytes, 1072 + a * 2);
+            let base = (k * CORE_AXONS + a) * DELAY_SLOTS;
+            for (ds, plane) in self.delay_planes[base..base + DELAY_SLOTS]
+                .iter_mut()
+                .enumerate()
+            {
+                let had = *plane & bit != 0;
+                let has = want & (1u16 << ds) != 0;
+                match (had, has) {
+                    (false, true) => {
+                        *plane |= bit;
+                        self.live[k] += 1;
+                    }
+                    (true, false) => {
+                        *plane &= !bit;
+                        self.live[k] -= 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        self.restless[k] = [u64::MAX; ROW_WORDS];
+        self.touched[k] = EMPTY_MASK;
+        #[cfg(debug_assertions)]
+        {
+            self.synapse_done[k] = false;
+        }
+        Ok(())
+    }
+
+    /// Bytes resident in the batch's arenas — the memory side of the
+    /// sessions-per-byte story (shared config amortizes over lanes).
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.ids.capacity() * 8
+            + self.always_step.capacity() * std::mem::size_of::<NeuronMask>()
+            + self.axon_types.capacity()
+            + self.rows.capacity() * ROW_WORDS * 8
+            + self.weights.capacity() * AXON_TYPES * 2
+            + self.flags.capacity()
+            + self.leaks.capacity() * 2
+            + (self.thresholds.capacity() + self.reset_to.capacity() + self.floors.capacity()) * 4
+            + self.target_core.capacity() * 8
+            + self.target_axon.capacity() * 2
+            + self.target_delay.capacity()
+            + self.potentials.capacity() * 4
+            + self.pending.capacity() * AXON_TYPES * 2
+            + self.delay_planes.capacity() * 8
+            + self.prng.capacity() * std::mem::size_of::<CorePrng>()
+            + (self.fires.capacity() + self.syn_events.capacity()) * 8
+            + (self.live.capacity() + self.ticks.capacity() + self.kernel_ticks.capacity()) * 8
+            + (self.restless.capacity() + self.touched.capacity())
+                * std::mem::size_of::<NeuronMask>()
+    }
+}
+
+impl std::fmt::Debug for ReplicaBatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicaBatch")
+            .field("slots", &self.len())
+            .field("lanes", &self.lanes)
+            .field("word_kernels", &self.word_kernels)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::NeurosynapticCore;
+    use crate::crossbar::Crossbar;
+    use crate::neuron::ResetMode;
+
+    /// The pool test gauntlet: stochastic weights, sparse stochastic-leak
+    /// neurons, a Linear-reset refire loop, mixed delays.
+    fn gauntlet_config(id: CoreId) -> CoreConfig {
+        let mut config = CoreConfig::blank(id, 31);
+        config.crossbar = Crossbar::from_fn(|a, n| (a * 7 + n) % 11 == 0);
+        for a in 0..CORE_AXONS {
+            config.axon_types[a] = (a % 4) as u8;
+        }
+        for (n, cfg) in config.neurons.iter_mut().enumerate() {
+            cfg.weights = [2, 120, -1, 3];
+            cfg.stochastic_weight = [false, true, false, false];
+            cfg.threshold = 4;
+            cfg.leak = -1;
+            cfg.floor = -3;
+            cfg.target = Some(SpikeTarget::new(0, (n % 256) as u16, 1 + (n % 5) as u8));
+            if n % 61 == 0 {
+                cfg.stochastic_leak = true;
+                cfg.leak = 30;
+                cfg.threshold = 50;
+            }
+            if n == 200 {
+                cfg.weights = [0, 0, 0, 0];
+                cfg.leak = 3;
+                cfg.threshold = 3;
+                cfg.reset = ResetMode::Linear;
+            }
+        }
+        config
+    }
+
+    /// Distinct per-lane input schedule: lane `l` gets its own phase and
+    /// stride so sessions genuinely diverge.
+    fn lane_deliveries(lane: usize) -> Vec<(u16, u32)> {
+        (0..40u16)
+            .map(|i| {
+                let axon = (i * 5 + lane as u16 * 13) % 256;
+                let tick = 1 + (u32::from(i) + lane as u32) % 9;
+                (axon, tick)
+            })
+            .collect()
+    }
+
+    fn run_oracle(cfg: &CoreConfig, lane: usize, ticks: u32) -> (NeurosynapticCore, Vec<Spike>) {
+        let mut core = NeurosynapticCore::new(cfg.clone()).unwrap();
+        for &(axon, tick) in &lane_deliveries(lane) {
+            core.deliver(axon, tick);
+        }
+        let mut spikes = Vec::new();
+        for t in 0..ticks {
+            core.synapse_phase(t);
+            core.neuron_phase(t, |s| spikes.push(s));
+        }
+        (core, spikes)
+    }
+
+    fn run_batch(
+        cfg: &CoreConfig,
+        lanes: usize,
+        ticks: u32,
+        kernels: bool,
+    ) -> (ReplicaBatch, Vec<Vec<Spike>>, Vec<Vec<u64>>) {
+        let mut batch = ReplicaBatch::new(std::slice::from_ref(cfg), lanes).unwrap();
+        batch.set_word_kernels(kernels);
+        for lane in 0..lanes {
+            for &(axon, tick) in &lane_deliveries(lane) {
+                batch.deliver(0, lane, axon, tick);
+            }
+        }
+        let mut traces = vec![Vec::new(); lanes];
+        let mut fires_per_tick = vec![Vec::new(); lanes];
+        let mut tick_fires = vec![0u64; lanes];
+        for t in 0..ticks {
+            tick_fires.fill(0);
+            batch.synapse_phase(0, t);
+            batch.neuron_phase(0, t, &mut tick_fires, &mut |spike, mask| {
+                let mut lm = mask;
+                while lm != 0 {
+                    let lane = lm.trailing_zeros() as usize;
+                    lm &= lm - 1;
+                    traces[lane].push(spike);
+                }
+            });
+            for (lane, f) in tick_fires.iter().enumerate() {
+                fires_per_tick[lane].push(*f);
+            }
+        }
+        (batch, traces, fires_per_tick)
+    }
+
+    fn assert_lanes_match_oracles(lanes: usize, ticks: u32, kernels: bool) {
+        let cfg = gauntlet_config(0);
+        let (batch, traces, fires_per_tick) = run_batch(&cfg, lanes, ticks, kernels);
+        for lane in 0..lanes {
+            let (core, solo_spikes) = run_oracle(&cfg, lane, ticks);
+            assert_eq!(traces[lane], solo_spikes, "lane {lane} trace");
+            assert_eq!(
+                batch.lane_snapshot_bytes(0, lane),
+                core.snapshot_bytes(),
+                "lane {lane} snapshot (potentials/delays/pending/PRNG/counters)"
+            );
+            let total: u64 = fires_per_tick[lane].iter().sum();
+            assert_eq!(total, core.total_fires(), "lane {lane} fires-per-tick sum");
+        }
+    }
+
+    #[test]
+    fn single_lane_matches_solo_core() {
+        assert_lanes_match_oracles(1, 40, true);
+    }
+
+    #[test]
+    fn five_divergent_lanes_match_solo_cores() {
+        assert_lanes_match_oracles(5, 40, true);
+    }
+
+    #[test]
+    fn full_64_lane_batch_matches_solo_cores() {
+        assert_lanes_match_oracles(64, 25, true);
+    }
+
+    #[test]
+    fn partial_63_lane_batch_matches_solo_cores() {
+        assert_lanes_match_oracles(63, 20, true);
+    }
+
+    #[test]
+    fn scalar_path_matches_solo_cores() {
+        assert_lanes_match_oracles(7, 30, false);
+    }
+
+    #[test]
+    fn grouped_and_scalar_paths_agree_bit_for_bit() {
+        let cfg = gauntlet_config(3);
+        let (a, ta, fa) = run_batch(&cfg, 9, 35, true);
+        let (b, tb, fb) = run_batch(&cfg, 9, 35, false);
+        assert_eq!(ta, tb);
+        assert_eq!(fa, fb);
+        for lane in 0..9 {
+            assert_eq!(
+                a.lane_snapshot_bytes(0, lane),
+                b.lane_snapshot_bytes(0, lane)
+            );
+        }
+        assert!(a.kernel_ticks(0) > 0, "kernel path must have dispatched");
+        assert_eq!(b.kernel_ticks(0), 0);
+    }
+
+    #[test]
+    fn lane_restore_resumes_bit_identically() {
+        let cfg = gauntlet_config(5);
+        let lanes = 6usize;
+        let (mut batch, _, _) = run_batch(&cfg, lanes, 20, true);
+        let snaps: Vec<Vec<u8>> = (0..lanes)
+            .map(|l| batch.lane_snapshot_bytes(0, l))
+            .collect();
+
+        // Branch A: continue the original batch.
+        let mut tick_fires = vec![0u64; lanes];
+        let mut a_spikes: Vec<(usize, Spike)> = Vec::new();
+        for t in 20..45u32 {
+            batch.tick(0, t, &mut tick_fires, &mut |s, mask| {
+                let mut lm = mask;
+                while lm != 0 {
+                    let lane = lm.trailing_zeros() as usize;
+                    lm &= lm - 1;
+                    a_spikes.push((lane, s));
+                }
+            });
+        }
+
+        // Branch B: restore every lane into a fresh batch and continue.
+        let mut fresh = ReplicaBatch::new(std::slice::from_ref(&cfg), lanes).unwrap();
+        for (l, snap) in snaps.iter().enumerate() {
+            fresh.lane_restore(0, l, snap).unwrap();
+        }
+        let mut b_spikes: Vec<(usize, Spike)> = Vec::new();
+        for t in 20..45u32 {
+            fresh.tick(0, t, &mut tick_fires, &mut |s, mask| {
+                let mut lm = mask;
+                while lm != 0 {
+                    let lane = lm.trailing_zeros() as usize;
+                    lm &= lm - 1;
+                    b_spikes.push((lane, s));
+                }
+            });
+        }
+        assert_eq!(a_spikes, b_spikes);
+        for l in 0..lanes {
+            assert_eq!(
+                batch.lane_snapshot_bytes(0, l),
+                fresh.lane_snapshot_bytes(0, l)
+            );
+        }
+    }
+
+    #[test]
+    fn lane_restore_validates_like_the_pool() {
+        let cfg = gauntlet_config(33);
+        let mut batch = ReplicaBatch::new(std::slice::from_ref(&cfg), 2).unwrap();
+        let good = batch.lane_snapshot_bytes(0, 1);
+
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert_eq!(batch.lane_restore(0, 1, &bad), Err(SnapshotError::BadMagic));
+
+        let mut bad = good.clone();
+        bad[4] = 99;
+        assert_eq!(
+            batch.lane_restore(0, 1, &bad),
+            Err(SnapshotError::UnsupportedVersion(99))
+        );
+
+        assert_eq!(
+            batch.lane_restore(0, 1, &good[..100]),
+            Err(SnapshotError::WrongLength {
+                expected: CORE_SNAPSHOT_BYTES,
+                got: 100
+            })
+        );
+
+        let mut bad = good.clone();
+        bad[8..16].copy_from_slice(&99u64.to_le_bytes());
+        assert_eq!(
+            batch.lane_restore(0, 1, &bad),
+            Err(SnapshotError::WrongCore {
+                expected: 33,
+                got: 99
+            })
+        );
+
+        let mut bad = good.clone();
+        bad[40..48].fill(0);
+        assert_eq!(
+            batch.lane_restore(0, 1, &bad),
+            Err(SnapshotError::CorruptPrngState)
+        );
+
+        assert_eq!(batch.lane_restore(0, 1, &good), Ok(()));
+    }
+
+    #[test]
+    fn lane_count_is_validated() {
+        let cfg = gauntlet_config(0);
+        assert_eq!(
+            ReplicaBatch::new(std::slice::from_ref(&cfg), 0).err(),
+            Some(BatchError::LaneCount(0))
+        );
+        assert_eq!(
+            ReplicaBatch::new(std::slice::from_ref(&cfg), 65).err(),
+            Some(BatchError::LaneCount(65))
+        );
+        assert!(ReplicaBatch::new(std::slice::from_ref(&cfg), 64).is_ok());
+        let mut bad = gauntlet_config(1);
+        bad.neurons.truncate(3);
+        assert!(matches!(
+            ReplicaBatch::new(&[bad], 2),
+            Err(BatchError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn delivery_is_idempotent_per_lane() {
+        let cfg = gauntlet_config(0);
+        let mut batch = ReplicaBatch::new(std::slice::from_ref(&cfg), 3).unwrap();
+        batch.deliver(0, 1, 10, 4);
+        batch.deliver(0, 1, 10, 4);
+        batch.deliver_lanes(0, 0b111, 10, 4);
+        assert!(batch.has_pending_deliveries(0));
+        assert_eq!(batch.live[0], 3, "OR-delivery counts each lane bit once");
+        let mut tick_fires = [0u64; 3];
+        for t in 0..DELAY_SLOTS as u32 {
+            batch.tick(0, t, &mut tick_fires, &mut |_, _| {});
+        }
+        assert!(!batch.has_pending_deliveries(0));
+    }
+
+    #[test]
+    fn multi_slot_batch_keeps_slots_independent() {
+        let cfgs: Vec<CoreConfig> = (0..3).map(gauntlet_config).collect();
+        let lanes = 4usize;
+        let mut batch = ReplicaBatch::new(&cfgs, lanes).unwrap();
+        let mut cores: Vec<Vec<NeurosynapticCore>> = (0..lanes)
+            .map(|lane| {
+                cfgs.iter()
+                    .map(|c| {
+                        let mut core = NeurosynapticCore::new(c.clone()).unwrap();
+                        for &(axon, tick) in &lane_deliveries(lane) {
+                            core.deliver((axon + c.id as u16) % 256, tick);
+                        }
+                        core
+                    })
+                    .collect()
+            })
+            .collect();
+        for (lane, per_lane) in cores.iter().enumerate() {
+            for (k, _) in per_lane.iter().enumerate() {
+                for &(axon, tick) in &lane_deliveries(lane) {
+                    batch.deliver(k, lane, (axon + k as u16) % 256, tick);
+                }
+            }
+        }
+        let mut tick_fires = vec![0u64; lanes];
+        for t in 0..30u32 {
+            for k in 0..cfgs.len() {
+                batch.tick(k, t, &mut tick_fires, &mut |_, _| {});
+                for lane_cores in cores.iter_mut() {
+                    let core = &mut lane_cores[k];
+                    core.synapse_phase(t);
+                    core.neuron_phase(t, |_| {});
+                }
+            }
+        }
+        for k in 0..cfgs.len() {
+            for (lane, lane_cores) in cores.iter().enumerate() {
+                assert_eq!(
+                    batch.lane_snapshot_bytes(k, lane),
+                    lane_cores[k].snapshot_bytes(),
+                    "slot {k} lane {lane}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shared_config_amortizes_memory_over_lanes() {
+        let cfg = gauntlet_config(0);
+        let one = ReplicaBatch::new(std::slice::from_ref(&cfg), 1).unwrap();
+        let full = ReplicaBatch::new(std::slice::from_ref(&cfg), 64).unwrap();
+        let per_lane_full = full.resident_bytes() / 64;
+        assert!(
+            per_lane_full * 2 < one.resident_bytes(),
+            "64-lane batch must amortize config: {per_lane_full} vs {}",
+            one.resident_bytes()
+        );
+    }
+}

@@ -38,7 +38,7 @@ pub type SynapseRows = [[u64; ROW_WORDS]; CORE_AXONS];
 
 /// Set synapses on one row (an axon's fan-out within the core).
 #[inline]
-fn row_degree(row: &[u64; ROW_WORDS]) -> usize {
+pub(crate) fn row_degree(row: &[u64; ROW_WORDS]) -> usize {
     row.iter().map(|w| w.count_ones() as usize).sum()
 }
 
@@ -158,6 +158,26 @@ impl BitPlanes {
         m
     }
 
+    /// Visits every set plane bit as `(neuron, weight)` with `weight` the
+    /// bit's binary contribution (`1 << plane`) — summing the weights a
+    /// neuron is visited with yields its count. This is the scatter order
+    /// [`synapse_bitsliced`] materializes with, exposed so callers with a
+    /// different destination layout (e.g. the replica batch's
+    /// lane-striped pending arena) can reuse the fold.
+    #[inline]
+    pub fn scatter(&self, mut f: impl FnMut(usize, u16)) {
+        for (p, plane) in self.planes[..self.used].iter().enumerate() {
+            let weight = 1u16 << p;
+            for (w, &word) in plane.iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    f(w * 64 + bits.trailing_zeros() as usize, weight);
+                    bits &= bits - 1;
+                }
+            }
+        }
+    }
+
     /// Sum of all counts: Σₚ popcount(planeₚ) · 2ᵖ — the synaptic-event
     /// total of the rows folded in, without materializing any count.
     #[inline]
@@ -172,6 +192,196 @@ impl BitPlanes {
         }
         t
     }
+}
+
+/// Carry-save counter bank over the **lane** axis: `planes[p]` holds bit
+/// `p` of a 9-bit count for each of up to [`crate::MAX_LANES`] = 64
+/// replica lanes — the transpose of [`BitPlanes`], which counts over
+/// neurons. Replica batching (see [`crate::batch::ReplicaBatch`]) uses it
+/// to tally per-lane fire counts without 64 scalar increments per neuron.
+#[derive(Debug, Clone)]
+pub struct LanePlanes {
+    planes: [u64; COUNT_PLANES],
+    /// Planes `0..used` may hold nonzero bits; higher planes are zero.
+    used: usize,
+}
+
+impl Default for LanePlanes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LanePlanes {
+    /// An empty accumulator (all lane counts zero).
+    pub const fn new() -> Self {
+        Self {
+            planes: [0; COUNT_PLANES],
+            used: 0,
+        }
+    }
+
+    /// Resets every lane count to zero.
+    #[inline]
+    pub fn clear(&mut self) {
+        for p in &mut self.planes[..self.used] {
+            *p = 0;
+        }
+        self.used = 0;
+    }
+
+    /// Adds 1 to every lane set in `mask` — the same ripple-carry full
+    /// adder as [`BitPlanes::add_row`], over one word.
+    #[inline]
+    pub fn add_mask(&mut self, mask: u64) {
+        let mut carry = mask;
+        for p in 0..self.used {
+            let sum = self.planes[p] ^ carry;
+            carry &= self.planes[p];
+            self.planes[p] = sum;
+            if carry == 0 {
+                return;
+            }
+        }
+        debug_assert!(
+            self.used < COUNT_PLANES,
+            "more than {CORE_AXONS} masks folded into one lane accumulator"
+        );
+        self.planes[self.used] = carry;
+        self.used += 1;
+    }
+
+    /// The materialized count for lane `lane`.
+    #[inline]
+    #[must_use]
+    pub fn count(&self, lane: usize) -> u16 {
+        let mut c = 0u16;
+        for p in 0..self.used {
+            c |= (((self.planes[p] >> lane) & 1) as u16) << p;
+        }
+        c
+    }
+
+    /// Union of all planes: the lanes with a nonzero count.
+    #[inline]
+    #[must_use]
+    pub fn touched(&self) -> u64 {
+        let mut m = 0u64;
+        for p in 0..self.used {
+            m |= self.planes[p];
+        }
+        m
+    }
+
+    /// Sum of all lane counts: Σₚ popcount(planeₚ) · 2ᵖ.
+    #[inline]
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        let mut t = 0u64;
+        for p in 0..self.used {
+            t += u64::from(self.planes[p].count_ones()) << p;
+        }
+        t
+    }
+
+    /// Adds each lane's count into its slot of `out` (`out[lane] +=
+    /// count(lane)`), visiting only set plane bits, then clears the
+    /// accumulator — the cheap drain for per-lane lifetime counters.
+    #[inline]
+    pub fn drain_into(&mut self, out: &mut [u64]) {
+        for p in 0..self.used {
+            let weight = 1u64 << p;
+            let mut bits = self.planes[p];
+            while bits != 0 {
+                let lane = bits.trailing_zeros() as usize;
+                out[lane] += weight;
+                bits &= bits - 1;
+            }
+            self.planes[p] = 0;
+        }
+        self.used = 0;
+    }
+
+    /// Like [`Self::drain_into`], but adds each lane's count into two
+    /// destinations at once (`a[lane] += c; b[lane] += c`) — lifetime
+    /// fires and this tick's fires-per-tick tally in one pass.
+    #[inline]
+    pub fn drain_into2(&mut self, a: &mut [u64], b: &mut [u64]) {
+        for p in 0..self.used {
+            let weight = 1u64 << p;
+            let mut bits = self.planes[p];
+            while bits != 0 {
+                let lane = bits.trailing_zeros() as usize;
+                a[lane] += weight;
+                b[lane] += weight;
+                bits &= bits - 1;
+            }
+            self.planes[p] = 0;
+        }
+        self.used = 0;
+    }
+}
+
+/// Lane-masked deterministic integrate-leak-fire-reset: steps one
+/// neuron's worth of state for every replica lane at once, assuming the
+/// neuron draws no PRNG (no stochastic weight in play, no stochastic
+/// leak) — the hot path of the replica-batched Neuron sweep.
+///
+/// `potentials` and `pending` are the neuron's lane-contiguous state
+/// slices (`lanes` entries each). The arithmetic is, per lane, the exact
+/// operation sequence of the scalar `step_neuron` (saturating adds in
+/// type order, leak, threshold compare, linear-or-absolute reset, floor
+/// clamp), so each lane stays bit-identical to a solo run; the lane loop
+/// merely exposes the independence to the vectorizer.
+///
+/// Returns `(fired, moved_or_input)`: bit `l` of `fired` marks lane `l`
+/// firing; `moved_or_input` is set if *any* lane fired, moved its
+/// potential, or had pending input — the slot-combined restless signal.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn step_lanes_deterministic(
+    weights: &[i16; AXON_TYPES],
+    leak: i16,
+    threshold: i32,
+    reset_to: i32,
+    floor: i32,
+    linear: bool,
+    potentials: &mut [i32],
+    pending: &mut [[u16; AXON_TYPES]],
+) -> (u64, bool) {
+    debug_assert_eq!(potentials.len(), pending.len());
+    debug_assert!(potentials.len() <= 64);
+    let mut fired_mask = 0u64;
+    let mut restless = false;
+    let w = [
+        i32::from(weights[0]),
+        i32::from(weights[1]),
+        i32::from(weights[2]),
+        i32::from(weights[3]),
+    ];
+    let leak = i32::from(leak);
+    for (lane, (v, counts)) in potentials.iter_mut().zip(pending.iter_mut()).enumerate() {
+        let before = *v;
+        let had_input = *counts != [0u16; AXON_TYPES];
+        let mut p = *v;
+        p = p.saturating_add(w[0] * i32::from(counts[0]));
+        p = p.saturating_add(w[1] * i32::from(counts[1]));
+        p = p.saturating_add(w[2] * i32::from(counts[2]));
+        p = p.saturating_add(w[3] * i32::from(counts[3]));
+        p = p.saturating_add(leak);
+        let fired = p >= threshold;
+        if fired {
+            p = if linear { p - threshold } else { reset_to };
+        }
+        if p < floor {
+            p = floor;
+        }
+        *v = p;
+        *counts = [0; AXON_TYPES];
+        fired_mask |= u64::from(fired) << lane;
+        restless |= fired || p != before || had_input;
+    }
+    (fired_mask, restless)
 }
 
 /// The adaptive dispatch predicate: whether [`synapse_bitsliced`] is
@@ -375,6 +585,110 @@ mod tests {
         let mut seen = Vec::new();
         for_each_set(&mask, |n| seen.push(n));
         assert_eq!(seen, vec![5, 64, 255]);
+    }
+
+    #[test]
+    fn lane_planes_count_exactly() {
+        let mut acc = LanePlanes::new();
+        // Lane l is hit by masks { m : m > l } over k masks.
+        let k = 20usize;
+        for m in 0..k {
+            acc.add_mask(u64::MAX << m);
+        }
+        for lane in 0..64 {
+            assert_eq!(acc.count(lane), (lane + 1).min(k) as u16, "lane {lane}");
+        }
+        assert_eq!(acc.touched(), u64::MAX);
+        let expect_total: u64 = (0..64u64).map(|l| (l + 1).min(k as u64)).sum();
+        assert_eq!(acc.total(), expect_total);
+
+        let mut out = [7u64; 64];
+        acc.drain_into(&mut out);
+        for (lane, &o) in out.iter().enumerate() {
+            assert_eq!(o, 7 + (lane + 1).min(k) as u64);
+        }
+        assert_eq!(acc.total(), 0);
+        assert_eq!(acc.touched(), 0);
+        for lane in 0..64 {
+            assert_eq!(acc.count(lane), 0);
+        }
+    }
+
+    #[test]
+    fn lane_planes_saturate_at_256_masks() {
+        let mut acc = LanePlanes::new();
+        for _ in 0..CORE_AXONS {
+            acc.add_mask(u64::MAX);
+        }
+        for lane in 0..64 {
+            assert_eq!(acc.count(lane), 256);
+        }
+        assert_eq!(acc.total(), 256 * 64);
+        acc.clear();
+        assert_eq!(acc.total(), 0);
+    }
+
+    #[test]
+    fn deterministic_lane_step_fires_and_resets_per_lane() {
+        // Three lanes: below threshold, exactly at it (absolute reset),
+        // and over it with input.
+        let mut potentials = [0i32, 2, 5];
+        let mut pending = [[0u16; AXON_TYPES]; 3];
+        pending[2] = [3, 0, 0, 0];
+        let (fired, restless) = step_lanes_deterministic(
+            &[2, 0, 0, 0],
+            1,  // leak
+            3,  // threshold
+            -1, // reset_to
+            -5, // floor
+            false,
+            &mut potentials,
+            &mut pending,
+        );
+        // Lane 0: 0+1 = 1 < 3. Lane 1: 2+1 = 3 fires → -1.
+        // Lane 2: 5+6+1 = 12 fires → -1.
+        assert_eq!(fired, 0b110);
+        assert!(restless);
+        assert_eq!(potentials, [1, -1, -1]);
+        assert_eq!(pending, [[0; AXON_TYPES]; 3]);
+    }
+
+    #[test]
+    fn deterministic_lane_step_linear_reset_and_floor() {
+        let mut potentials = [10i32, -8];
+        let mut pending = [[0u16; AXON_TYPES]; 2];
+        let (fired, _) = step_lanes_deterministic(
+            &[0; AXON_TYPES],
+            -1,
+            4,
+            0,
+            -6,
+            true, // linear: v - threshold
+            &mut potentials,
+            &mut pending,
+        );
+        assert_eq!(fired, 0b01);
+        // Lane 0: 10-1 = 9 fires → 9-4 = 5. Lane 1: -9 clamps to -6.
+        assert_eq!(potentials, [5, -6]);
+    }
+
+    #[test]
+    fn settled_lanes_report_not_restless() {
+        let mut potentials = [3i32, 3];
+        let mut pending = [[0u16; AXON_TYPES]; 2];
+        let (fired, restless) = step_lanes_deterministic(
+            &[1, 1, 1, 1],
+            0,
+            100,
+            0,
+            -1,
+            false,
+            &mut potentials,
+            &mut pending,
+        );
+        assert_eq!(fired, 0);
+        assert!(!restless, "zero-input fixed point must settle");
+        assert_eq!(potentials, [3, 3]);
     }
 
     /// Applies both kernels to the same inputs and checks full agreement.

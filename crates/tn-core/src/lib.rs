@@ -33,6 +33,7 @@
 //! synapse is a single crossbar bit, which the paper credits with a 32×
 //! storage reduction over the earlier C2 simulator.
 
+pub mod batch;
 pub mod config;
 pub mod core;
 pub mod crossbar;
@@ -45,13 +46,15 @@ pub mod prng;
 pub mod snapshot;
 pub mod spike;
 
+pub use batch::{BatchError, ReplicaBatch};
 pub use config::{CoreConfig, CoreConfigError};
 pub use core::{KernelStats, NeurosynapticCore};
 pub use crossbar::Crossbar;
 pub use delay::DelayBuffer;
 pub use energy::{ActivityCounts, EnergyEstimate, EnergyModel};
 pub use kernel::{
-    BitPlanes, NeuronMask, SynapseRows, SYNAPSE_KERNEL_MIN_DUE, SYNAPSE_KERNEL_MIN_EVENTS,
+    step_lanes_deterministic, BitPlanes, LanePlanes, NeuronMask, SynapseRows,
+    SYNAPSE_KERNEL_MIN_DUE, SYNAPSE_KERNEL_MIN_EVENTS,
 };
 pub use neuron::{NeuronConfig, ResetMode};
 pub use pool::{CorePool, PoolShards, PoolSlice};
@@ -87,3 +90,7 @@ pub type CoreId = u64;
 
 /// Synapses per core (the 256×256 binary crossbar).
 pub const CORE_SYNAPSES: usize = CORE_AXONS * CORE_NEURONS;
+
+/// Maximum replica lanes in a [`ReplicaBatch`]: one session per bit of
+/// the `u64` lane masks that thread the batched Synapse/Neuron sweep.
+pub const MAX_LANES: usize = 64;

@@ -49,11 +49,16 @@ use std::marker::PhantomData;
 use std::ops::Range;
 
 /// Flag bit: neuron treats weight for axon type `g` stochastically.
-const FLAG_STOCH_W: [u8; AXON_TYPES] = [1 << 0, 1 << 1, 1 << 2, 1 << 3];
+pub(crate) const FLAG_STOCH_W: [u8; AXON_TYPES] = [1 << 0, 1 << 1, 1 << 2, 1 << 3];
 /// Flag bit: stochastic leak.
-const FLAG_STOCH_LEAK: u8 = 1 << 4;
+pub(crate) const FLAG_STOCH_LEAK: u8 = 1 << 4;
 /// Flag bit: linear reset mode (absolute otherwise, with `reset_to`).
-const FLAG_LINEAR: u8 = 1 << 5;
+pub(crate) const FLAG_LINEAR: u8 = 1 << 5;
+/// Union of the flag bits that make a neuron draw the core PRNG when it
+/// has input (stochastic weights) — the replica batch's dispatch test
+/// between the lane-vectorized step and the exact per-lane scalar step.
+pub(crate) const FLAG_ANY_STOCH_W: u8 =
+    FLAG_STOCH_W[0] | FLAG_STOCH_W[1] | FLAG_STOCH_W[2] | FLAG_STOCH_W[3];
 
 /// Structure-of-arrays storage for every core owned by one rank.
 ///
@@ -1129,7 +1134,7 @@ fn take_due(bits: &mut [u16], live: &mut u32, tick: u32, out: &mut [u16]) -> usi
 /// exact transcription of `NeuronConfig::step` (same saturating
 /// arithmetic, same PRNG draw order).
 #[allow(clippy::too_many_arguments)]
-fn step_neuron(
+pub(crate) fn step_neuron(
     weights: &[i16; AXON_TYPES],
     flags: u8,
     leak: i16,
@@ -1184,7 +1189,7 @@ fn step_neuron(
 /// Serializes one slot's state into the 3632-byte `TNCS` wire format
 /// (identical to the pre-pool per-core serializer, byte for byte).
 #[allow(clippy::too_many_arguments)]
-fn encode_slot(
+pub(crate) fn encode_slot(
     out: &mut Vec<u8>,
     id: CoreId,
     ticks: u64,

@@ -1,0 +1,339 @@
+//! Lane-equivalence oracle for replica-batched inference: every lane of a
+//! [`BatchedSimulation`] must be bit-identical — trace, fires-per-tick,
+//! counters, and TNCS snapshot (which embeds the PRNG stream) — to a solo
+//! run of that lane's session. The solo side is checked twice over: against
+//! [`SoloSimulation`] (the transparent sequential stepper) and against the
+//! full parallel engine across {Mpi, Pgas} × ranks 1..3 × threads 1..3,
+//! so batching is proven equivalent to every decomposition the repo
+//! already proves equivalent to itself.
+
+use compass::comm::WorldConfig;
+use compass::sim::{run, Backend, BatchedSimulation, EngineConfig, NetworkModel, SoloSimulation};
+use compass::tn::{CoreConfig, NeuronConfig, ResetMode, Spike, SpikeTarget};
+use proptest::prelude::*;
+
+/// Canonical spike order, matching `RunReport::sorted_trace`.
+fn canonical(mut spikes: Vec<Spike>) -> Vec<Spike> {
+    spikes.sort_by_key(|s| (s.fired_at, s.target.core, s.target.axon, s.target.delay));
+    spikes
+}
+
+/// Deterministic per-lane input schedules, phase-shifted so every lane
+/// drives a genuinely different session.
+fn session_schedules(model: &NetworkModel, lanes: usize, ticks: u32) -> Vec<Vec<(u64, u16, u32)>> {
+    let n_cores = model.cores.len() as u64;
+    let span = ticks.saturating_sub(2).max(1);
+    (0..lanes)
+        .map(|lane| {
+            (0..16u32)
+                .map(|i| {
+                    let core = (u64::from(i) + lane as u64 * 3) % n_cores;
+                    let axon = ((i * 13 + lane as u32 * 7) % 256) as u16;
+                    let tick = 1 + (i * 2 + lane as u32) % span;
+                    (core, axon, tick)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The model lane `k` simulates on its own: the shared model plus that
+/// session's input schedule.
+fn session_model(model: &NetworkModel, schedule: &[(u64, u16, u32)]) -> NetworkModel {
+    let mut m = model.clone();
+    m.initial_deliveries.extend_from_slice(schedule);
+    m
+}
+
+/// Runs lane `k`'s session through the parallel engine on `world` and
+/// returns its canonical trace and per-tick fire counts.
+fn engine_oracle(
+    model: &NetworkModel,
+    world: WorldConfig,
+    backend: Backend,
+    ticks: u32,
+) -> (Vec<Spike>, Vec<u64>) {
+    let report = run(
+        model,
+        world,
+        &EngineConfig {
+            ticks,
+            backend,
+            record_trace: true,
+            tick_stats: true,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("session models are valid");
+    let mut fires_per_tick = vec![0u64; ticks as usize];
+    for rank in &report.ranks {
+        for (t, &f) in rank.fires_per_tick.iter().enumerate() {
+            fires_per_tick[t] += f;
+        }
+    }
+    (report.sorted_trace(), fires_per_tick)
+}
+
+/// Non-ignored spot matrix: one batched run, each lane checked against the
+/// parallel engine across every backend × ranks × threads combination.
+#[test]
+fn lanes_match_engine_across_backend_rank_thread_matrix() {
+    const TICKS: u32 = 20;
+    let model = NetworkModel::relay_ring(3, 5, 2);
+    let lanes = 3usize;
+    let sessions = session_schedules(&model, lanes, TICKS);
+    let mut batched = BatchedSimulation::new(&model, &sessions).unwrap();
+    batched.set_record_trace(true);
+    batched.run(TICKS);
+
+    for (lane, schedule) in sessions.iter().enumerate() {
+        let session = session_model(&model, schedule);
+        let lane_trace = canonical(batched.trace(lane).to_vec());
+        let lane_fpt = batched.fires_per_tick(lane);
+        for backend in [Backend::Mpi, Backend::Pgas] {
+            for ranks in 1..=3usize {
+                for threads in 1..=3usize {
+                    let (trace, fpt) =
+                        engine_oracle(&session, WorldConfig::new(ranks, threads), backend, TICKS);
+                    assert_eq!(
+                        lane_trace, trace,
+                        "lane {lane} trace vs {backend:?} ranks={ranks} threads={threads}"
+                    );
+                    assert_eq!(
+                        lane_fpt, fpt,
+                        "lane {lane} fires-per-tick vs {backend:?} ranks={ranks} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Partial batches: a single-lane batch and a 63-lane batch (one short of
+/// the u64 plane) both stay lane-exact; sampled lanes of the wide batch
+/// are additionally checked against the parallel engine.
+#[test]
+fn partial_batches_stay_lane_exact() {
+    const TICKS: u32 = 14;
+    for lanes in [1usize, 63] {
+        let model = NetworkModel::relay_ring(2, 4, 6);
+        let sessions = session_schedules(&model, lanes, TICKS);
+        let mut batched = BatchedSimulation::new(&model, &sessions).unwrap();
+        batched.set_record_trace(true);
+        batched.run(TICKS);
+        for (lane, schedule) in sessions.iter().enumerate() {
+            let session = session_model(&model, schedule);
+            let mut solo = SoloSimulation::new(&session).unwrap();
+            let mut solo_trace = Vec::new();
+            let mut solo_fpt = Vec::new();
+            for _ in 0..TICKS {
+                let before = solo.total_fires();
+                solo_trace.extend(solo.step());
+                solo_fpt.push(solo.total_fires() - before);
+            }
+            assert_eq!(batched.trace(lane), solo_trace, "lanes={lanes} lane {lane}");
+            assert_eq!(batched.fires_per_tick(lane), solo_fpt);
+            // End state, including the PRNG stream, is bit-identical.
+            assert_eq!(
+                batched.checkpoint().extract_lane(lane as u16),
+                solo.snapshot(),
+                "lanes={lanes} lane {lane} end snapshot"
+            );
+        }
+        // Engine spot-checks on the first, a middle, and the last lane.
+        for &lane in &[0, lanes / 2, lanes - 1] {
+            let session = session_model(&model, &sessions[lane]);
+            let (trace, fpt) =
+                engine_oracle(&session, WorldConfig::new(2, 2), Backend::Pgas, TICKS);
+            assert_eq!(canonical(batched.trace(lane).to_vec()), trace);
+            assert_eq!(batched.fires_per_tick(lane), fpt);
+        }
+    }
+}
+
+/// Mid-run lane checkpoint/extract: a lane pulled out of a running batch
+/// restores into a solo simulation and continues bit-identically, and the
+/// remaining batch is unaffected by the observation.
+#[test]
+fn mid_run_lane_extract_resumes_solo_bit_identically() {
+    const HALF: u32 = 12;
+    let model = NetworkModel::stochastic_field(3, 4, 11);
+    let lanes = 5usize;
+    let sessions = session_schedules(&model, lanes, 2 * HALF);
+    let mut batched = BatchedSimulation::new(&model, &sessions).unwrap();
+    batched.set_record_trace(true);
+    batched.run(HALF);
+    let ckpt = batched.checkpoint();
+    batched.run(HALF);
+
+    for (lane, schedule) in sessions.iter().enumerate() {
+        let session = session_model(&model, schedule);
+        // Adopt the mid-run lane state into a fresh solo simulation. The
+        // session's pre-boundary inputs are already baked into the
+        // snapshot; restore clears pending deliveries and re-aims the
+        // schedule cursor at the boundary.
+        let mut solo = SoloSimulation::new(&session).unwrap();
+        solo.restore(&ckpt.extract_lane(lane as u16)).unwrap();
+        assert_eq!(solo.tick(), HALF);
+        let mut solo_fpt = Vec::new();
+        let mut solo_trace = Vec::new();
+        for _ in 0..HALF {
+            let before = solo.total_fires();
+            solo_trace.extend(solo.step());
+            solo_fpt.push(solo.total_fires() - before);
+        }
+        assert_eq!(
+            &batched.fires_per_tick(lane)[HALF as usize..],
+            solo_fpt,
+            "lane {lane} fires-per-tick after extract"
+        );
+        let tail: Vec<Spike> = batched
+            .trace(lane)
+            .iter()
+            .filter(|s| s.fired_at >= HALF)
+            .copied()
+            .collect();
+        assert_eq!(tail, solo_trace, "lane {lane} trace after extract");
+        assert_eq!(
+            batched.checkpoint().extract_lane(lane as u16),
+            solo.snapshot(),
+            "lane {lane} end snapshot after extract"
+        );
+    }
+}
+
+/// Builds a random but always-valid model from a compact recipe, exercising
+/// stochastic weights, stochastic leaks, both reset modes, and all four
+/// axon types — the paths where lane batching could silently diverge.
+fn model_from_recipe(
+    n_cores: u64,
+    synapse_seeds: &[(u8, u8, u8)],
+    neuron_seeds: &[(i8, i8, u8, bool, bool)],
+) -> NetworkModel {
+    let cores: Vec<CoreConfig> = (0..n_cores)
+        .map(|id| {
+            let mut cfg = CoreConfig::blank(id, 17 + id);
+            for (k, &(a, n, ty)) in synapse_seeds.iter().enumerate() {
+                let axon = usize::from(a) % 64 + (k % 4) * 64;
+                cfg.crossbar.set(axon, usize::from(n), true);
+                cfg.axon_types[axon] = ty % 4;
+            }
+            for (j, &(w0, leak, thr, stoch_w, linear)) in neuron_seeds.iter().enumerate() {
+                let neuron = &mut cfg.neurons[j % 256];
+                *neuron = NeuronConfig {
+                    weights: [i16::from(w0), 2, -1, -2],
+                    stochastic_weight: [stoch_w, false, j % 3 == 0, false],
+                    leak: i16::from(leak),
+                    stochastic_leak: j % 5 == 0,
+                    threshold: i32::from(thr.max(1)),
+                    reset: if linear {
+                        ResetMode::Linear
+                    } else {
+                        ResetMode::Absolute(0)
+                    },
+                    floor: -40,
+                    ..NeuronConfig::default()
+                };
+                let tgt_core = (id + 1 + j as u64) % n_cores;
+                let tgt_axon = ((j * 37) % 256) as u16;
+                let delay = 1 + (j % 15) as u8;
+                neuron.target = Some(SpikeTarget::new(tgt_core, tgt_axon, delay));
+            }
+            cfg
+        })
+        .collect();
+    NetworkModel {
+        cores,
+        initial_deliveries: Vec::new(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random models × horizon × lane count × per-lane random schedules:
+    /// every lane must match its solo session bit-for-bit, including the
+    /// final per-core TNCS snapshots (which embed the PRNG state).
+    #[test]
+    fn random_batches_are_lane_exact(
+        n_cores in 2u64..4,
+        ticks in 6u32..24,
+        lanes in 1usize..=8,
+        synapses in proptest::collection::vec(
+            (proptest::num::u8::ANY, proptest::num::u8::ANY, proptest::num::u8::ANY), 8..48),
+        neurons in proptest::collection::vec(
+            (-3i8..=3, -2i8..=2, 1u8..6, proptest::bool::ANY, proptest::bool::ANY), 8..48),
+        raw_inputs in proptest::collection::vec(
+            (proptest::num::u8::ANY, proptest::num::u8::ANY, proptest::num::u8::ANY), 1..40),
+    ) {
+        let model = model_from_recipe(n_cores, &synapses, &neurons);
+        model.validate().expect("recipe models are valid");
+        // Deal the random inputs round-robin onto lanes so sessions differ.
+        let mut sessions = vec![Vec::new(); lanes];
+        for (i, &(c, a, t)) in raw_inputs.iter().enumerate() {
+            sessions[i % lanes].push((
+                u64::from(c) % n_cores,
+                u16::from(a),
+                1 + u32::from(t) % ticks.max(2),
+            ));
+        }
+        let mut batched = BatchedSimulation::new(&model, &sessions).unwrap();
+        batched.set_record_trace(true);
+        batched.run(ticks);
+        for (lane, schedule) in sessions.iter().enumerate() {
+            let session = session_model(&model, schedule);
+            let mut solo = SoloSimulation::new(&session).unwrap();
+            let mut solo_trace = Vec::new();
+            let mut solo_fpt = Vec::new();
+            for _ in 0..ticks {
+                let before = solo.total_fires();
+                solo_trace.extend(solo.step());
+                solo_fpt.push(solo.total_fires() - before);
+            }
+            prop_assert_eq!(batched.trace(lane), &solo_trace[..]);
+            prop_assert_eq!(batched.fires_per_tick(lane), &solo_fpt[..]);
+            prop_assert_eq!(batched.total_fires(lane), solo.total_fires());
+            prop_assert_eq!(
+                batched.checkpoint().extract_lane(lane as u16),
+                solo.snapshot()
+            );
+        }
+    }
+}
+
+/// 64-lane soak on the compiled CoCoMac macaque network: the full-width
+/// batch over a biologically structured model stays lane-exact over a
+/// long horizon. Expensive; run with `cargo test -- --ignored`.
+#[test]
+#[ignore = "64-lane CoCoMac soak; minutes in debug builds"]
+fn cocomac_64_lane_soak_is_lane_exact() {
+    use compass::cocomac::macaque_network;
+    use compass::pcc::compile_serial;
+
+    const TICKS: u32 = 100;
+    let net = macaque_network(42);
+    let (_plan, model) = compile_serial(&net.object, 154).expect("realizable");
+    let sessions = session_schedules(&model, 64, TICKS);
+    let mut batched = BatchedSimulation::new(&model, &sessions).unwrap();
+    batched.set_record_trace(true);
+    batched.run(TICKS);
+    let ckpt = batched.checkpoint();
+    for (lane, schedule) in sessions.iter().enumerate() {
+        let session = session_model(&model, schedule);
+        let mut solo = SoloSimulation::new(&session).unwrap();
+        let mut solo_trace = Vec::new();
+        let mut solo_fpt = Vec::new();
+        for _ in 0..TICKS {
+            let before = solo.total_fires();
+            solo_trace.extend(solo.step());
+            solo_fpt.push(solo.total_fires() - before);
+        }
+        assert_eq!(batched.trace(lane), solo_trace, "lane {lane} trace");
+        assert_eq!(batched.fires_per_tick(lane), solo_fpt, "lane {lane} fpt");
+        assert_eq!(
+            ckpt.extract_lane(lane as u16),
+            solo.snapshot(),
+            "lane {lane} snapshot"
+        );
+    }
+}
