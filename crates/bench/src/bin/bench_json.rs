@@ -12,8 +12,8 @@
 use compass_bench::json::validate_kernels_json;
 use compass_comm::{CrashPlan, TransportMetrics, World, WorldConfig};
 use compass_sim::{
-    run, run_rank_with, run_recovering, run_surviving, Backend, BatchedSimulation, EngineConfig,
-    NetworkModel, Partition, RecoveryPolicy, RunOptions,
+    run, run_elastic, run_rank_with, run_recovering, run_surviving, Backend, BatchedSimulation,
+    ElasticPlan, ElasticStep, EngineConfig, NetworkModel, Partition, RecoveryPolicy, RunOptions,
 };
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -481,7 +481,127 @@ fn main() {
         );
     }
     out.push_str(&rows.join(",\n"));
-    out.push_str("\n  ]\n");
+    out.push_str("\n  ],\n");
+
+    // Elastic membership priced at CoCoMac scale (1024 cores — the
+    // production shape, not the 20-core toy): the steady-state cost of
+    // staying elastically armed with delta vs full replica payloads, the
+    // measured replica bytes shipped per auto-checkpoint boundary under
+    // each policy, and the cost of an actual scale-out — a standby rank
+    // admitted mid-run, priced per migrated core. Trace equivalence
+    // across all of these is enforced by tests/elastic.rs; this section
+    // only prices it.
+    out.push_str("  \"elastic\": [\n");
+    let el_net = compass_cocomac::macaque_network(2012);
+    let (_el_plan, el_model) =
+        compass_pcc::compile_serial(&el_net.object, 1024).expect("CoCoMac model is realizable");
+    let el_ticks = 48u32;
+    let el_every = 8u32;
+    let el_engine = EngineConfig {
+        ticks: el_ticks,
+        backend: Backend::Mpi,
+        ..EngineConfig::default()
+    };
+    let el_world = WorldConfig::new(3, 1);
+    let el_per_tick = |f: &dyn Fn() -> u64| {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            best = best.min(t.elapsed().as_nanos() as f64 / f64::from(el_ticks));
+        }
+        best
+    };
+    let delta_pol = RecoveryPolicy::surviving(el_every);
+    let full_pol = RecoveryPolicy {
+        delta_replicas: false,
+        ..RecoveryPolicy::surviving(el_every)
+    };
+    let armed_ns = el_per_tick(&|| {
+        run_recovering(
+            &el_model,
+            el_world,
+            &el_engine,
+            None,
+            Some(RecoveryPolicy::every(el_every)),
+        )
+        .expect("valid model")
+        .total_fires()
+    });
+    let delta_ns = el_per_tick(&|| {
+        run_recovering(&el_model, el_world, &el_engine, None, Some(delta_pol))
+            .expect("valid model")
+            .total_fires()
+    });
+    let full_ns = el_per_tick(&|| {
+        run_recovering(&el_model, el_world, &el_engine, None, Some(full_pol))
+            .expect("valid model")
+            .total_fires()
+    });
+    // Replica traffic per boundary under each payload policy: every rank
+    // ships to its buddy once per auto-checkpoint boundary.
+    let boundaries = u64::from(el_ticks / el_every);
+    let delta_run = run_recovering(&el_model, el_world, &el_engine, None, Some(delta_pol))
+        .expect("valid model");
+    let full_run =
+        run_recovering(&el_model, el_world, &el_engine, None, Some(full_pol)).expect("valid model");
+    let delta_bytes_per_boundary = delta_run.total_replication_bytes() as f64 / boundaries as f64;
+    let full_bytes_per_boundary = full_run.total_replication_bytes() as f64 / boundaries as f64;
+    // A real scale-out: two ranks run the model, a warm standby is
+    // admitted at a boundary and takes its third of the cores over the
+    // migration channel.
+    let grow = ElasticPlan::new(vec![0, 1], vec![ElasticStep::join(17, 2)]);
+    let mut mig_ns = f64::INFINITY;
+    let mut mig_cores = 0u64;
+    let mut mig_bytes = 0u64;
+    for _ in 0..3 {
+        let r = run_elastic(
+            &el_model,
+            el_world,
+            &el_engine,
+            None,
+            None,
+            &grow,
+            RecoveryPolicy::surviving(el_every),
+        )
+        .expect("valid model");
+        mig_ns = mig_ns.min(r.migration_time().as_nanos() as f64);
+        mig_cores = r.total_migrated_cores();
+        mig_bytes = r.total_migration_bytes();
+    }
+    let delta_over = (delta_ns - armed_ns) / armed_ns;
+    let full_over = (full_ns - armed_ns) / armed_ns;
+    let delta_reduction = 1.0 - delta_bytes_per_boundary / full_bytes_per_boundary;
+    let migration_ns_per_core = mig_ns / mig_cores.max(1) as f64;
+    let migration_bytes_per_core = mig_bytes as f64 / mig_cores.max(1) as f64;
+    let _ = writeln!(
+        out,
+        "    {{\"model\": \"cocomac(1024)\", \"cores\": 1024, \"ranks\": {ranks}, \
+         \"ticks\": {el_ticks}, \"boundary_every\": {el_every}, \
+         \"armed_ns_per_tick\": {armed_ns:.1}, \
+         \"replicating_delta_ns_per_tick\": {delta_ns:.1}, \
+         \"replicating_full_ns_per_tick\": {full_ns:.1}, \
+         \"delta_overhead\": {delta_over:.3}, \"full_overhead\": {full_over:.3}, \
+         \"delta_bytes_per_boundary\": {delta_bytes_per_boundary:.0}, \
+         \"full_bytes_per_boundary\": {full_bytes_per_boundary:.0}, \
+         \"delta_reduction\": {delta_reduction:.3}, \
+         \"migrated_cores\": {mig_cores}, \
+         \"migration_ns_per_core\": {migration_ns_per_core:.1}, \
+         \"migration_bytes_per_core\": {migration_bytes_per_core:.1}}}",
+        ranks = el_world.ranks
+    );
+    println!(
+        "elastic cocomac(1024) ranks={} armed={armed_ns:.1}ns/tick \
+         delta={delta_ns:.1}ns/tick (+{:.1}%) full={full_ns:.1}ns/tick (+{:.1}%) \
+         bytes/boundary delta={delta_bytes_per_boundary:.0} full={full_bytes_per_boundary:.0} \
+         (-{:.1}%) migration={migration_ns_per_core:.1}ns/core \
+         ({migration_bytes_per_core:.0}B/core over {mig_cores} cores)",
+        el_world.ranks,
+        delta_over * 100.0,
+        full_over * 100.0,
+        delta_reduction * 100.0
+    );
+    out.push_str("  ]\n");
     out.push_str("}\n");
 
     if let Err(e) = validate_kernels_json(&out) {

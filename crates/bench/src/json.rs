@@ -374,7 +374,7 @@ pub fn validate_scaling_json(text: &str) -> Result<(), String> {
 
 /// The array sections `BENCH_kernels.json` must carry and the numeric
 /// keys every point of each must report.
-const KERNEL_ARRAY_SECTIONS: [(&str, &[&str]); 4] = [
+const KERNEL_ARRAY_SECTIONS: [(&str, &[&str]); 5] = [
     (
         "synapse_kernel",
         &[
@@ -416,6 +416,24 @@ const KERNEL_ARRAY_SECTIONS: [(&str, &[&str]); 4] = [
             "solo_ns_per_core_tick_run",
             "sessions_per_s",
             "speedup",
+        ],
+    ),
+    (
+        "elastic",
+        &[
+            "cores",
+            "ranks",
+            "armed_ns_per_tick",
+            "replicating_delta_ns_per_tick",
+            "replicating_full_ns_per_tick",
+            "delta_overhead",
+            "full_overhead",
+            "delta_bytes_per_boundary",
+            "full_bytes_per_boundary",
+            "delta_reduction",
+            "migrated_cores",
+            "migration_ns_per_core",
+            "migration_bytes_per_core",
         ],
     ),
 ];
@@ -511,6 +529,40 @@ pub fn validate_kernels_json(text: &str) -> Result<(), String> {
         if rate < 1.0 {
             return Err(format!(
                 "batched[{i}].sessions_per_s = {rate} is not a measurement"
+            ));
+        }
+    }
+    // The elastic section's reason to exist: delta replication must ship
+    // measurably fewer bytes per boundary than full payloads, on real
+    // migrated cores.
+    for (i, p) in root
+        .get("elastic")
+        .and_then(Json::as_arr)
+        .unwrap_or_default()
+        .iter()
+        .enumerate()
+    {
+        let delta = p
+            .get("delta_bytes_per_boundary")
+            .and_then(Json::as_num)
+            .unwrap_or(f64::INFINITY);
+        let full = p
+            .get("full_bytes_per_boundary")
+            .and_then(Json::as_num)
+            .unwrap_or(0.0);
+        if delta >= full {
+            return Err(format!(
+                "elastic[{i}]: delta replicas ship {delta} bytes/boundary, \
+                 not less than full's {full}"
+            ));
+        }
+        let migrated = p
+            .get("migrated_cores")
+            .and_then(Json::as_num)
+            .unwrap_or(0.0);
+        if migrated < 1.0 {
+            return Err(format!(
+                "elastic[{i}].migrated_cores = {migrated} — the scale-out never moved a core"
             ));
         }
     }
@@ -649,12 +701,11 @@ mod tests {
         let point = |keys: &[&str]| -> String {
             let fields: Vec<String> = keys
                 .iter()
-                .map(|k| {
-                    if *k == "sessions_per_s" {
-                        format!("\"{k}\": 250.0")
-                    } else {
-                        format!("\"{k}\": 1")
-                    }
+                .map(|k| match *k {
+                    "sessions_per_s" => format!("\"{k}\": 250.0"),
+                    // The elastic validator checks delta < full.
+                    "full_bytes_per_boundary" => format!("\"{k}\": 2"),
+                    _ => format!("\"{k}\": 1"),
                 })
                 .collect();
             format!("{{{}}}", fields.join(", "))
@@ -695,6 +746,26 @@ mod tests {
         let e = validate_kernels_json(&full.replace("\"bench\": \"kernels\"", "\"bench\": \"x\""))
             .unwrap_err();
         assert!(e.contains("kernels"), "{e}");
+    }
+
+    #[test]
+    fn kernels_validator_pins_the_elastic_claims() {
+        let full = kernels_skeleton();
+        let e = validate_kernels_json(&full.replace("\"elastic\"", "\"elasticity\"")).unwrap_err();
+        assert!(e.contains("elastic"), "{e}");
+        // Delta payloads that don't beat full payloads are a regression,
+        // not a measurement.
+        let e = validate_kernels_json(&full.replace(
+            "\"full_bytes_per_boundary\": 2",
+            "\"full_bytes_per_boundary\": 1",
+        ))
+        .unwrap_err();
+        assert!(e.contains("bytes/boundary"), "{e}");
+        // A scale-out that moved nothing measured nothing.
+        let e =
+            validate_kernels_json(&full.replace("\"migrated_cores\": 1", "\"migrated_cores\": 0"))
+                .unwrap_err();
+        assert!(e.contains("migrated_cores"), "{e}");
     }
 
     #[test]

@@ -80,6 +80,17 @@ impl CentralizedBarrier {
             self.cv.notify_all();
         }
     }
+
+    /// The inverse of [`CentralizedBarrier::leave`]: adds one participant
+    /// to every future episode — how an admitted rank joins the PGAS
+    /// commit barrier. The caller must guarantee no episode is in flight
+    /// whose arrival count already assumed the old size (the elastic
+    /// admission protocol orders the join after every incumbent's last
+    /// commit and before any incumbent's next one).
+    pub fn join(&self) {
+        let mut st = self.state.lock();
+        st.n += 1;
+    }
 }
 
 impl GlobalBarrier for CentralizedBarrier {
@@ -259,6 +270,22 @@ mod tests {
         assert!(!waiter.join().unwrap());
         assert_eq!(b.participants(), 1);
         assert!(b.wait(), "later episodes need only the survivors");
+    }
+
+    #[test]
+    fn join_reverses_leave() {
+        let b = Arc::new(CentralizedBarrier::new(2));
+        b.leave();
+        assert_eq!(b.participants(), 1);
+        assert!(b.wait(), "lone participant is leader");
+        b.join();
+        assert_eq!(b.participants(), 2);
+        // Later episodes need both participants again.
+        let b2 = Arc::clone(&b);
+        let waiter = std::thread::spawn(move || b2.wait());
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        b.wait();
+        waiter.join().unwrap();
     }
 
     #[test]

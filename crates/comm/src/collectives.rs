@@ -39,6 +39,21 @@ pub const COLLECTIVE_TAG_BIT: Tag = 1 << 63;
 /// number so replayed ticks cannot cross-match with later ones.
 pub const HEARTBEAT_TAG_BIT: Tag = 1 << 61;
 
+/// Tag-space bit for the fused flags + liveness-verdict exchange (see
+/// [`Communicator::reduce_scatter_flags_verdict`]), combined with the
+/// tick number like heartbeats.
+pub const VERDICT_TAG_BIT: Tag = 1 << 60;
+
+/// Tag-space bit for elastic-membership control traffic exchanged at
+/// segment boundaries (see [`Communicator::ctrl_send`]). The message
+/// kind and boundary tick are folded into the tag so consecutive
+/// boundaries and different protocol rounds can never cross-match.
+pub const ELASTIC_TAG_BIT: Tag = 1 << 59;
+
+fn elastic_tag(kind: u8, tick: u32) -> Tag {
+    ELASTIC_TAG_BIT | ((kind as Tag) << 40) | Tag::from(tick)
+}
+
 /// Per-rank handle for collective operations over a [`MailboxSet`].
 ///
 /// `Sync` so the rank's master thread can drive collectives from inside a
@@ -83,6 +98,22 @@ impl Communicator {
     fn next_tags(&self) -> Tag {
         let s = self.seq.fetch_add(1, Ordering::Relaxed);
         COLLECTIVE_TAG_BIT | (s << 8)
+    }
+
+    /// Number of collective episodes this rank has started. Every rank in
+    /// a world that calls collectives in lock-step has the same value at
+    /// the same program point — which is what lets an elastic joiner adopt
+    /// the incumbents' count via [`Communicator::sync_seq`].
+    pub fn seq(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Fast-forwards this rank's collective sequence counter to `seq` —
+    /// called by an elastic joiner with the incumbents' advertised count
+    /// so its first collective episode tags match theirs. Must only be
+    /// called while no collective involving this rank is in flight.
+    pub fn sync_seq(&self, seq: u64) {
+        self.seq.store(seq, Ordering::Relaxed);
     }
 
     fn send(&self, dst: Rank, tag: Tag, payload: Vec<u8>) {
@@ -389,6 +420,93 @@ impl Communicator {
             }
         }
         dead
+    }
+
+    /// The fused flags + liveness round: [`reduce_scatter_sum_among`]
+    /// (`contrib` indexed by *absolute* rank) with the heartbeat verdict
+    /// piggybacked onto the same exchange, replacing the dedicated
+    /// [`Communicator::heartbeat_round`] on the MPI tick path. Each
+    /// member's single-word contribution doubles as its heartbeat; a
+    /// receive gives up the moment the shared [`Membership`] marks the
+    /// peer dead. Returns `(sum over answering members, lowest dead
+    /// member or None)`.
+    ///
+    /// Determinism matches `heartbeat_round`: a victim that dies at the
+    /// top of tick `t` never sends its tick-`t` contribution, and the
+    /// crash hook marks the membership flag before the victim unwinds —
+    /// so every survivor's verdict is a pure function of the crash
+    /// schedule. All live contributions are consumed even after a death
+    /// is found, leaving the channel clean for replay.
+    ///
+    /// [`reduce_scatter_sum_among`]: Communicator::reduce_scatter_sum_among
+    pub fn reduce_scatter_flags_verdict(
+        &self,
+        members: &[Rank],
+        contrib: &[u64],
+        tick: u32,
+        membership: &Membership,
+    ) -> (u64, Option<Rank>) {
+        let p = self.size();
+        assert_eq!(contrib.len(), p, "contribution vector must have P entries");
+        let tag = VERDICT_TAG_BIT | Tag::from(tick);
+        let mut msgs = 0u64;
+        for &d in members {
+            if d != self.me {
+                self.send(d, tag, encode_u64s(&contrib[d..d + 1]));
+                msgs += 1;
+            }
+        }
+        let mut acc = contrib[self.me];
+        let mut dead = None;
+        for &s in members {
+            if s == self.me {
+                continue;
+            }
+            let got = self
+                .mail
+                .mailbox(self.me)
+                .recv_until(Match::from(s, tag), || !membership.is_alive(s));
+            match got {
+                Some(env) => acc = acc.wrapping_add(decode_u64s(&env.payload)[0]),
+                None if dead.is_none() => dead = Some(s),
+                None => {}
+            }
+        }
+        self.mail.metrics().record_collective(msgs);
+        (acc, dead)
+    }
+
+    /// Sends one elastic-membership control message for boundary `tick`.
+    /// Control traffic rides collective-internal sends (never framed,
+    /// faulted, or counted as p2p) and is exchanged only *between*
+    /// engine segments, when no rank is draining its inbox with broad
+    /// matches — the two properties the admission protocol relies on.
+    pub fn ctrl_send(&self, dst: Rank, kind: u8, tick: u32, payload: Vec<u8>) {
+        self.send(dst, elastic_tag(kind, tick), payload);
+    }
+
+    /// Receives the control message `kind` for boundary `tick` from
+    /// `src`, blocking until it arrives.
+    pub fn ctrl_recv(&self, src: Rank, kind: u8, tick: u32) -> Vec<u8> {
+        self.recv(src, elastic_tag(kind, tick))
+    }
+
+    /// [`Communicator::ctrl_recv`] that gives up (returning `None`) as
+    /// soon as the shared [`Membership`] marks `src` dead — so a joiner
+    /// waiting for an incumbent's welcome cannot hang on a crashed one.
+    pub fn ctrl_recv_until(
+        &self,
+        src: Rank,
+        kind: u8,
+        tick: u32,
+        membership: &Membership,
+    ) -> Option<Vec<u8>> {
+        self.mail
+            .mailbox(self.me)
+            .recv_until(Match::from(src, elastic_tag(kind, tick)), || {
+                !membership.is_alive(src)
+            })
+            .map(|env| env.payload)
     }
 
     /// [`Communicator::barrier`] restricted to the `members` subset —
@@ -874,6 +992,117 @@ mod tests {
         for h in handles {
             assert!(h.join().unwrap().iter().all(|d| d.is_none()));
         }
+    }
+
+    #[test]
+    fn flags_verdict_matches_reduce_scatter_when_all_alive() {
+        use crate::world::Membership;
+        let membership = Arc::new(Membership::new(4));
+        let mail = MailboxSet::new(4, Arc::new(TransportMetrics::new()));
+        let members = vec![0usize, 1, 2, 3];
+        let handles: Vec<_> = (0..4)
+            .map(|r| {
+                let mail = mail.clone();
+                let mship = Arc::clone(&membership);
+                let members = members.clone();
+                std::thread::spawn(move || {
+                    let c = Communicator::new(r, mail);
+                    (0..6u32)
+                        .map(|t| {
+                            let contrib: Vec<u64> =
+                                (0..4).map(|d| 10 * r as u64 + d + u64::from(t)).collect();
+                            c.reduce_scatter_flags_verdict(&members, &contrib, t, &mship)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let got: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for (me, rounds) in got.iter().enumerate() {
+            for (t, (sum, dead)) in rounds.iter().enumerate() {
+                let expect: u64 = (0..4).map(|s| 10 * s + me as u64 + t as u64).sum();
+                assert_eq!(*sum, expect, "rank {me} tick {t}");
+                assert_eq!(*dead, None);
+            }
+        }
+    }
+
+    #[test]
+    fn flags_verdict_detects_the_silent_rank_and_sums_survivors() {
+        use crate::world::Membership;
+        let membership = Arc::new(Membership::new(3));
+        let mail = MailboxSet::new(3, Arc::new(TransportMetrics::new()));
+        let members = vec![0usize, 1, 2];
+        let handles: Vec<_> = (0..3)
+            .map(|r| {
+                let mail = mail.clone();
+                let mship = Arc::clone(&membership);
+                let members = members.clone();
+                std::thread::spawn(move || {
+                    let c = Communicator::new(r, mail.clone());
+                    if r == 1 {
+                        // The victim: dies before contributing at tick 7.
+                        mship.mark_dead(1);
+                        mail.wake_all();
+                        return (0, None);
+                    }
+                    let contrib: Vec<u64> = (0..3).map(|d| 100 * r as u64 + d).collect();
+                    c.reduce_scatter_flags_verdict(&members, &contrib, 7, &mship)
+                })
+            })
+            .collect();
+        let got: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Survivors 0 and 2 hear only each other: sum over {0, 2}.
+        assert_eq!(got[0], (200, Some(1)));
+        assert_eq!(got[2], (2 + 202, Some(1)));
+    }
+
+    #[test]
+    fn ctrl_messages_route_by_kind_and_tick() {
+        let mail = MailboxSet::new(2, Arc::new(TransportMetrics::new()));
+        let m2 = mail.clone();
+        let h = std::thread::spawn(move || {
+            let c = Communicator::new(1, m2);
+            // Send out of order; the receiver matches by (kind, tick).
+            c.ctrl_send(0, 4, 20, b"done-20".to_vec());
+            c.ctrl_send(0, 1, 10, b"welcome-10".to_vec());
+            c.ctrl_send(0, 2, 10, b"cost-10".to_vec());
+        });
+        let c = Communicator::new(0, mail);
+        assert_eq!(c.ctrl_recv(1, 1, 10), b"welcome-10");
+        assert_eq!(c.ctrl_recv(1, 2, 10), b"cost-10");
+        assert_eq!(c.ctrl_recv(1, 4, 20), b"done-20");
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn ctrl_recv_until_gives_up_on_a_dead_sender() {
+        use crate::world::Membership;
+        let membership = Membership::new(2);
+        let mail = MailboxSet::new(2, Arc::new(TransportMetrics::new()));
+        membership.mark_dead(1);
+        let c = Communicator::new(0, mail);
+        assert_eq!(c.ctrl_recv_until(1, 1, 0, &membership), None);
+    }
+
+    #[test]
+    fn sync_seq_aligns_a_joiner_with_incumbents() {
+        let mail = MailboxSet::new(2, Arc::new(TransportMetrics::new()));
+        let m2 = mail.clone();
+        // Rank 0 runs some solo "collectives" (seq advances); rank 1 joins
+        // late, adopts the count, and a two-rank collective then matches.
+        let c0 = Communicator::new(0, mail.clone());
+        for _ in 0..5 {
+            let _ = c0.next_tags();
+        }
+        let h = std::thread::spawn(move || {
+            let c1 = Communicator::new(1, m2);
+            c1.sync_seq(5);
+            c1.allreduce_sum(10)
+        });
+        assert_eq!(c0.allreduce_sum(1), 11);
+        assert_eq!(h.join().unwrap(), 11);
+        assert_eq!(c0.seq(), 6);
     }
 
     #[test]

@@ -115,6 +115,34 @@ impl PgasWorld {
         }
     }
 
+    /// The inverse of [`PgasWorld::detach`]: re-adds a detached rank to
+    /// the epoch commit barrier and clears its windows in both directions
+    /// — the transport half of elastic admission. Idempotent: only the
+    /// actual detached → attached transition grows the barrier.
+    ///
+    /// The caller must guarantee no commit episode is in flight (the
+    /// admission protocol orders the attach after every incumbent's last
+    /// commit of the old epoch and before any incumbent's next one);
+    /// under that quiescence the window wipe cannot race a put or drain.
+    pub fn attach(&self, rank: Rank) {
+        let mut detached = self.detached.lock();
+        if detached[rank] {
+            detached[rank] = false;
+            self.barrier.join();
+            for parity in 0..2 {
+                for other in 0..self.ranks {
+                    for (src, dst) in [(rank, other), (other, rank)] {
+                        let w = self.window(parity, src, dst);
+                        // SAFETY: admission-time quiescence (doc above) —
+                        // no rank is putting or draining while the joiner
+                        // attaches, so no window access can race this.
+                        unsafe { (*w.buf.get()).clear() };
+                    }
+                }
+            }
+        }
+    }
+
     /// Number of ranks.
     pub fn ranks(&self) -> usize {
         self.ranks
@@ -174,6 +202,23 @@ impl PgasEndpoint {
     /// [`PgasWorld::detach`]. Survivors call this at a death verdict.
     pub fn detach(&self, dead: Rank) {
         self.world.detach(dead);
+    }
+
+    /// Re-adds a detached rank to the commit barrier — see
+    /// [`PgasWorld::attach`]. The joiner calls this on itself once the
+    /// admission protocol has quiesced every incumbent.
+    pub fn attach(&self, rank: Rank) {
+        self.world.attach(rank);
+    }
+
+    /// Forces this endpoint's epoch counter (and the write phase) — how
+    /// an admitted rank aligns its window parity with the incumbents'
+    /// before its first put. The epoch value travels in the admission
+    /// WELCOME message; only the parity matters for window selection, but
+    /// carrying the full counter keeps `epoch()` meaningful everywhere.
+    pub fn set_epoch(&self, epoch: u64) {
+        self.epoch.store(epoch, Ordering::Relaxed);
+        self.phase.store(PHASE_WRITING, Ordering::Relaxed);
     }
 
     /// One-sided put: appends `bytes` into `dst`'s window for the current
@@ -477,6 +522,50 @@ mod tests {
         let got: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         assert_eq!(got[0], vec![(1, vec![1])]);
         assert_eq!(got[1], vec![(0, vec![0])]);
+    }
+
+    #[test]
+    fn attach_reverses_detach_and_aligns_the_epoch() {
+        let w = world(3);
+        w.detach(2);
+        // Two incumbents run an epoch without rank 2.
+        let handles: Vec<_> = (0..2)
+            .map(|r| {
+                let w = Arc::clone(&w);
+                std::thread::spawn(move || {
+                    let ep = w.endpoint(r);
+                    ep.commit();
+                    ep.drain(|_, _| {});
+                    ep.epoch()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 1);
+        }
+        // Rank 2 attaches (idempotently) and aligns its epoch; the next
+        // epoch then needs all three ranks and delivers its put.
+        w.attach(2);
+        w.attach(2);
+        let handles: Vec<_> = (0..3)
+            .map(|r| {
+                let w = Arc::clone(&w);
+                std::thread::spawn(move || {
+                    let ep = w.endpoint(r);
+                    ep.set_epoch(1);
+                    if r == 2 {
+                        ep.put(0, &[7]);
+                    }
+                    ep.commit();
+                    let mut got = Vec::new();
+                    ep.drain(|src, bytes| got.push((src, bytes)));
+                    got
+                })
+            })
+            .collect();
+        let got: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(got[0], vec![(2, vec![7])]);
+        assert!(got[1].is_empty() && got[2].is_empty());
     }
 
     #[test]

@@ -481,10 +481,31 @@ impl ReliableWorld {
     /// Forgets every expectation involving a dead rank: its pair ledgers,
     /// retained rings, and receiver dedup state are cleared so survivor
     /// audits never wait on (or retransmit toward) a rank that will never
-    /// speak again. Idempotent — clearing empty state is a no-op.
+    /// speak again. Idempotent — clearing empty state is a no-op, so a
+    /// double verdict (each survivor retires the victim, and a verdict
+    /// can race an in-flight admission of another rank) is harmless.
     pub fn retire_rank(&self, dead: Rank) {
         for other in 0..self.ranks {
             for pair in [dead * self.ranks + other, other * self.ranks + dead] {
+                self.ledger[pair].lock().clear();
+                self.ring[pair].lock().clear();
+                *self.recv[pair].lock() = RecvState::default();
+            }
+        }
+    }
+
+    /// The inverse of [`ReliableWorld::retire_rank`]: resets every pair
+    /// involving `rank` to a pristine stream — sequence numbers restart at
+    /// zero in *both* directions and the receiver dedup state forgets the
+    /// old watermark, so the admitted rank's first frame (seq 0) is not
+    /// dropped as a duplicate of a retired stream. Also clears the pair
+    /// ledgers and retained rings (a retired rank's were already empty;
+    /// admission makes that unconditional). Idempotent.
+    pub fn admit_rank(&self, rank: Rank) {
+        self.tick_of[rank].store(0, Ordering::Relaxed);
+        for other in 0..self.ranks {
+            for pair in [rank * self.ranks + other, other * self.ranks + rank] {
+                self.send_seq[pair].store(0, Ordering::Relaxed);
                 self.ledger[pair].lock().clear();
                 self.ring[pair].lock().clear();
                 *self.recv[pair].lock() = RecvState::default();
@@ -690,6 +711,56 @@ mod tests {
         let mut n = 0;
         let out = rw.audit(1, 1, |_, _| n += 1);
         assert_eq!((out.missing, n), (1, 1));
+    }
+
+    #[test]
+    fn admit_rank_restarts_the_pair_streams_from_seq_zero() {
+        let rw = world(2, ReliableConfig::default());
+        rw.begin_tick(0, 7);
+        // A pre-departure stream advances the seq and the dedup watermark.
+        for i in 0..3u8 {
+            let f = rw.frame(0, 1, vec![i]);
+            rw.receive(0, 1, &f, |_| {});
+        }
+        assert!(rw.audit(1, 7, |_, _| {}).clean());
+        rw.retire_rank(0);
+        rw.admit_rank(0);
+        // The re-admitted rank's first frame carries seq 0 again and must
+        // deliver — not dedup against the retired stream's watermark.
+        let f = rw.frame(0, 1, vec![42]);
+        let mut got = Vec::new();
+        rw.receive(0, 1, &f, |p| got.push(p.to_vec()));
+        assert_eq!(got, vec![vec![42]], "fresh seq-0 stream must deliver");
+        assert_eq!(rw.counts(1).dedup_drops, 0);
+        assert!(rw.audit(1, 0, |_, _| panic!("fully delivered")).clean());
+    }
+
+    #[test]
+    fn double_verdict_racing_an_admission_is_idempotent() {
+        // Regression for the elastic double-verdict race: every survivor
+        // retires the victim independently, and a retire can interleave
+        // with an in-flight admission of a *different* rank. Neither the
+        // repeated retire nor the interleaving may corrupt pair state.
+        let rw = world(3, ReliableConfig::default());
+        let _ = rw.frame(2, 1, vec![9]); // victim traffic, never received
+        rw.retire_rank(2);
+        rw.admit_rank(0); // admission of another rank, mid-verdict
+        rw.retire_rank(2); // second survivor's verdict lands late
+                           // The victim's abandoned ledger entry must be gone: the audit has
+                           // nothing to wait on and reports clean.
+        assert!(rw.audit(1, 0, |_, _| panic!("retired")).clean());
+        // The admitted rank's streams are pristine in both directions.
+        let f = rw.frame(0, 1, vec![1]);
+        let mut n = 0;
+        rw.receive(0, 1, &f, |_| n += 1);
+        assert_eq!(n, 1);
+        // And a second admission of the same rank is a no-op.
+        rw.retire_rank(2);
+        rw.admit_rank(2);
+        rw.admit_rank(2);
+        let f = rw.frame(2, 1, vec![3]);
+        rw.receive(2, 1, &f, |_| n += 1);
+        assert_eq!(n, 2);
     }
 
     #[test]

@@ -101,7 +101,19 @@ impl Membership {
         }
     }
 
-    /// Number of deaths recorded so far.
+    /// Marks `rank` alive again — the membership half of elastic
+    /// admission, inverse of [`Membership::mark_dead`]. Idempotent; the
+    /// epoch bumps only on the actual dead → alive transition, so a
+    /// double admission (an admission racing a concurrent verdict on
+    /// another rank) is harmless.
+    pub fn admit(&self, rank: Rank) {
+        if !self.alive[rank].swap(true, Ordering::SeqCst) {
+            self.epoch.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Number of membership transitions (deaths and admissions) recorded
+    /// so far.
     pub fn epoch(&self) -> u64 {
         self.epoch.load(Ordering::SeqCst)
     }
@@ -494,6 +506,21 @@ mod tests {
         assert_eq!(m.epoch(), 1, "re-marking must not re-bump the epoch");
         assert!(!m.is_alive(1));
         assert_eq!(m.members(), vec![0, 2]);
+    }
+
+    #[test]
+    fn membership_admit_reverses_death_idempotently() {
+        let m = Membership::new(3);
+        m.mark_dead(2);
+        assert_eq!(m.members(), vec![0, 1]);
+        m.admit(2);
+        m.admit(2);
+        assert_eq!(m.epoch(), 2, "re-admitting must not re-bump the epoch");
+        assert!(m.is_alive(2));
+        assert_eq!(m.members(), vec![0, 1, 2]);
+        // Admitting an already-alive rank is a no-op.
+        m.admit(0);
+        assert_eq!(m.epoch(), 2);
     }
 
     #[test]

@@ -148,6 +148,57 @@ pub(crate) fn assign_by_largest_remainder(rema: &mut [(f64, usize)], units: u64,
     }
 }
 
+/// Largest-remainder apportionment of `total` indivisible units
+/// proportional to `weights` — exact (`Σ out == total`), deterministic
+/// (ties break to the lowest index), and monotone in each weight.
+///
+/// This is the cost-weighted split shared by the compiler's region
+/// layout ([`crate::layout::apportion`] adds a minimum-one-unit floor on
+/// top) and the elastic rebalancer's measured-cost partitioning
+/// (`compass_sim::Partition::by_cost` is its contiguity-preserving
+/// counterpart over per-core costs): anywhere a measured weight vector
+/// must become an integer allocation without drift, the same rule
+/// applies, so every rank computing it independently lands on the same
+/// answer.
+///
+/// Zero weights are allowed and receive units only through the cyclic
+/// leftover deal (when `total` exceeds what positive shares account for,
+/// which requires `total > 0` with an all-zero weight vector).
+///
+/// # Panics
+/// Panics if `weights` is empty with `total > 0`, or any weight is
+/// negative or non-finite.
+pub fn apportion_weighted(weights: &[f64], total: u64) -> Vec<u64> {
+    assert!(
+        weights.iter().all(|&w| w >= 0.0 && w.is_finite()),
+        "weights must be non-negative and finite"
+    );
+    if total == 0 {
+        return vec![0; weights.len()];
+    }
+    assert!(
+        !weights.is_empty(),
+        "no entries to apportion {total} units over"
+    );
+    let wsum: f64 = weights.iter().sum();
+    let mut out = vec![0u64; weights.len()];
+    let mut assigned = 0u64;
+    let mut rema: Vec<(f64, usize)> = Vec::with_capacity(weights.len());
+    for (i, &w) in weights.iter().enumerate() {
+        let share = if wsum > 0.0 {
+            w / wsum * total as f64
+        } else {
+            total as f64 / weights.len() as f64
+        };
+        let fl = share.floor() as u64;
+        out[i] += fl;
+        assigned += fl;
+        rema.push((share - fl as f64, i));
+    }
+    assign_by_largest_remainder(&mut rema, total - assigned, &mut out);
+    out
+}
+
 /// Rounds a balanced non-negative matrix to integer counts whose row and
 /// column sums equal the integer targets **exactly**.
 ///
@@ -269,6 +320,25 @@ pub fn integerize(matrix: &[f64], row_targets: &[u64], col_targets: &[u64]) -> V
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn apportion_weighted_is_exact_and_proportional() {
+        assert_eq!(apportion_weighted(&[3.0, 1.0, 2.0], 12), vec![6, 2, 4]);
+        assert_eq!(apportion_weighted(&[1.0, 1.0, 1.0], 10), vec![4, 3, 3]);
+        assert_eq!(apportion_weighted(&[5.0, 0.0], 5), vec![5, 0]);
+        assert_eq!(apportion_weighted(&[2.0], 7), vec![7]);
+        assert_eq!(apportion_weighted(&[1.0, 9.0], 0), vec![0, 0]);
+        // All-zero weights fall back to an even deal, still exact.
+        assert_eq!(apportion_weighted(&[0.0, 0.0, 0.0], 7), vec![3, 2, 2]);
+    }
+
+    #[test]
+    fn apportion_weighted_totals_always_match() {
+        for total in 0..50u64 {
+            let out = apportion_weighted(&[0.3, 7.1, 0.0, 2.6], total);
+            assert_eq!(out.iter().sum::<u64>(), total, "total {total}");
+        }
+    }
 
     fn row_sums(m: &[u64], rows: usize, cols: usize) -> Vec<u64> {
         (0..rows)

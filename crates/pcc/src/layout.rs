@@ -406,19 +406,13 @@ pub fn apportion(weights: &[f64], total: u64) -> Vec<u64> {
         weights.iter().all(|&w| w > 0.0 && w.is_finite()),
         "weights must be positive"
     );
-    let spare = total - n as u64; // after the minimum 1 each
-    let wsum: f64 = weights.iter().sum();
-    let mut out = vec![1u64; n];
-    let mut assigned = 0u64;
-    let mut rema: Vec<(f64, usize)> = Vec::with_capacity(n);
-    for (i, &w) in weights.iter().enumerate() {
-        let share = w / wsum * spare as f64;
-        let fl = share.floor() as u64;
-        out[i] += fl;
-        assigned += fl;
-        rema.push((share - fl as f64, i));
+    // Minimum one unit each, then the shared cost-weighted rule on the
+    // spare — the same split the elastic rebalancer applies to measured
+    // per-core costs.
+    let mut out = crate::ipfp::apportion_weighted(weights, total - n as u64);
+    for x in &mut out {
+        *x += 1;
     }
-    crate::ipfp::assign_by_largest_remainder(&mut rema, spare - assigned, &mut out);
     out
 }
 

@@ -39,7 +39,7 @@ pub use compile::{
     compile, compile_serial, compile_with_placement, CompileError, CompileStats, CompiledRank,
 };
 pub use coreobject::{CoreObject, GlobalParams, ParseError, RegionClass, RegionSpec};
-pub use ipfp::{balance, integerize, BalanceResult};
+pub use ipfp::{apportion_weighted, balance, integerize, BalanceResult};
 pub use layout::{
     apportion, place, plan, plan_timed, plan_with_placement, CompilePlan, Placement, PlanError,
     PlanStats, ProportionalSchedule,

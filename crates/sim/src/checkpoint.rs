@@ -37,6 +37,19 @@ pub const CHECKPOINT_MAGIC: [u8; 4] = *b"CKPT";
 /// Leading magic of a serialized buddy-replica payload.
 pub const REPLICA_MAGIC: [u8; 4] = *b"RPL1";
 
+/// Leading magic of a serialized *delta* replica payload.
+pub const DELTA_REPLICA_MAGIC: [u8; 4] = *b"RPLD";
+
+/// Leading magic of a serialized core-migration envelope.
+pub const MIGRATION_MAGIC: [u8; 4] = *b"MIG1";
+
+/// Cheap prefix test covering both replica wire formats (full `RPL1`
+/// and delta `RPLD`) — the data-channel dispatch test between replica
+/// frames and raw spike batches.
+pub fn is_replica_frame(bytes: &[u8]) -> bool {
+    bytes.len() >= 4 && (bytes[..4] == REPLICA_MAGIC || bytes[..4] == DELTA_REPLICA_MAGIC)
+}
+
 /// Current rank-checkpoint format version.
 pub const CHECKPOINT_VERSION: u16 = 1;
 
@@ -62,6 +75,10 @@ pub enum CheckpointError {
     /// A batch checkpoint's lanes disagree on shape (tick boundary or
     /// core count), or the lane count is outside `1..=64`.
     LaneMismatch,
+    /// A delta replica does not apply to the receiver's mirror: the
+    /// mirror's boundary is not the delta's base tick, the core counts
+    /// disagree, or a dirty index is out of range.
+    DeltaMismatch,
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -87,6 +104,9 @@ impl std::fmt::Display for CheckpointError {
                     f,
                     "batch checkpoint lanes disagree on shape or lane count is outside 1..=64"
                 )
+            }
+            CheckpointError::DeltaMismatch => {
+                write!(f, "delta replica does not apply to the receiver's mirror")
             }
         }
     }
@@ -290,6 +310,429 @@ impl ReplicaPayload {
             trace,
             fires_per_tick,
         })
+    }
+}
+
+const DELTA_HEADER_BYTES: usize = 32;
+
+/// Chunk granularity for delta payloads: a dirty core's snapshot is
+/// diffed against the sender's image of the buddy's mirror in fixed
+/// 64-byte chunks, and only the chunks that changed travel (a per-core
+/// `u64` bitmap says which). 64 bytes separates a snapshot's hot header
+/// and potential words from its mostly-quiescent delay-ring and
+/// pending-count tail, so dense-activity models — where nearly every
+/// core is dirty in every epoch — still ship a fraction of the image.
+pub(crate) const DELTA_CHUNK_BYTES: usize = 64;
+/// Chunks per `TNCS` snapshot; the final chunk may be short.
+pub(crate) const DELTA_CHUNKS_PER_CORE: usize = CORE_SNAPSHOT_BYTES.div_ceil(DELTA_CHUNK_BYTES);
+// The per-core chunk bitmap is a single u64 on the wire.
+const _: () = assert!(DELTA_CHUNKS_PER_CORE <= u64::BITS as usize);
+
+/// Byte span of chunk `ci` within one core snapshot.
+fn chunk_span(ci: usize) -> core::ops::Range<usize> {
+    let start = ci * DELTA_CHUNK_BYTES;
+    start..(start + DELTA_CHUNK_BYTES).min(CORE_SNAPSHOT_BYTES)
+}
+
+/// Serialized bytes of the chunks selected by `mask`.
+fn mask_bytes(mask: u64) -> usize {
+    (0..DELTA_CHUNKS_PER_CORE)
+        .filter(|&ci| mask & (1 << ci) != 0)
+        .map(|ci| chunk_span(ci).len())
+        .sum()
+}
+
+/// The incremental form of [`ReplicaPayload`]: only cores dirtied since
+/// the previous replica boundary — and within each, only their changed
+/// 64-byte chunks — plus the trace/fires suffix recorded in between. The
+/// receiver holds the previous payload as a materialized *mirror* and
+/// applies the delta in place:
+///
+/// * dirty slots have the shipped chunks patched over them; chunks
+///   absent from the bitmap are bytewise unchanged on the sender, so the
+///   mirror's copy is already exact;
+/// * clean slots advance arithmetically — the only bytes a skip-path
+///   tick changes in a snapshot are the tick counter at `[16..24)`, so
+///   the mirror adds `boundary - base_tick` to each clean slot's counter
+///   (the *dirty-epoch invariant*; a rollback inside the epoch restores
+///   and therefore dirties every slot, so clean slots provably took the
+///   skip path on every tick of the epoch exactly once).
+///
+/// A delta only applies to a mirror sitting exactly at `base_tick`;
+/// anything else is a [`CheckpointError::DeltaMismatch`] and the receiver
+/// drops the delta, waiting for the sender's next full payload to
+/// re-anchor (senders re-anchor on every segment start, every buddy
+/// change, and every `FULL_EVERY`-th boundary).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaReplica {
+    /// Boundary the receiver's mirror must sit at for this delta to apply.
+    pub(crate) base_tick: u32,
+    /// Boundary the mirror sits at after application.
+    pub(crate) boundary: u32,
+    /// Total cores of the owning rank (mirror shape check).
+    pub(crate) core_count: u32,
+    /// Slot indices dirtied during the epoch, ascending.
+    pub(crate) dirty: Vec<u32>,
+    /// Per dirty slot, the bitmap of changed 64-byte chunks.
+    pub(crate) masks: Vec<u64>,
+    /// Concatenated changed chunks, in `dirty` order then chunk order.
+    pub(crate) chunks: Vec<u8>,
+    /// Spikes recorded in `base_tick..boundary`.
+    pub(crate) trace_delta: Vec<Spike>,
+    /// Fires-per-tick counts for `base_tick..boundary`.
+    pub(crate) fires_delta: Vec<u64>,
+}
+
+impl DeltaReplica {
+    /// Cheap prefix test for the delta wire format.
+    pub fn looks_like(bytes: &[u8]) -> bool {
+        bytes.len() >= 4 && bytes[..4] == DELTA_REPLICA_MAGIC
+    }
+
+    /// Builds a delta by diffing the boundary blob `cur` against `base`
+    /// (the sender's image of the buddy's mirror — the blob it shipped
+    /// at `base_tick`) over the given dirty slots, chunk by chunk. Both
+    /// blobs are full rank images of the same core count; only slots in
+    /// `dirty` are examined — clean slots are reconstructed
+    /// arithmetically on the mirror and must not appear here.
+    pub fn diff(
+        base_tick: u32,
+        boundary: u32,
+        dirty: Vec<u32>,
+        base: &[u8],
+        cur: &[u8],
+        trace_delta: Vec<Spike>,
+        fires_delta: Vec<u64>,
+    ) -> Self {
+        debug_assert_eq!(base.len(), cur.len());
+        debug_assert_eq!(cur.len() % CORE_SNAPSHOT_BYTES, 0);
+        let core_count = (cur.len() / CORE_SNAPSHOT_BYTES) as u32;
+        let mut masks = Vec::with_capacity(dirty.len());
+        let mut chunks = Vec::new();
+        for &slot in &dirty {
+            let at = slot as usize * CORE_SNAPSHOT_BYTES;
+            let old = &base[at..at + CORE_SNAPSHOT_BYTES];
+            let new = &cur[at..at + CORE_SNAPSHOT_BYTES];
+            let mut mask = 0u64;
+            for ci in 0..DELTA_CHUNKS_PER_CORE {
+                let span = chunk_span(ci);
+                if new[span.clone()] != old[span.clone()] {
+                    mask |= 1 << ci;
+                    chunks.extend_from_slice(&new[span]);
+                }
+            }
+            masks.push(mask);
+        }
+        Self {
+            base_tick,
+            boundary,
+            core_count,
+            dirty,
+            masks,
+            chunks,
+            trace_delta,
+            fires_delta,
+        }
+    }
+
+    /// Serialized size of this delta — what it costs on the wire.
+    pub fn total_bytes(&self) -> u64 {
+        (DELTA_HEADER_BYTES
+            + self.dirty.len() * 12
+            + self.chunks.len()
+            + self.trace_delta.len() * SPIKE_WIRE_BYTES
+            + self.fires_delta.len() * 8) as u64
+    }
+
+    /// Serializes: magic, version, base/boundary/shape words, per-slot
+    /// (index, chunk bitmap) pairs, changed chunks, spike records, fire
+    /// counts.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        debug_assert_eq!(self.masks.len(), self.dirty.len());
+        debug_assert_eq!(
+            self.chunks.len(),
+            self.masks.iter().map(|&m| mask_bytes(m)).sum::<usize>()
+        );
+        let mut out = Vec::with_capacity(self.total_bytes() as usize);
+        out.extend_from_slice(&DELTA_REPLICA_MAGIC);
+        out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes()); // reserved
+        out.extend_from_slice(&self.base_tick.to_le_bytes());
+        out.extend_from_slice(&self.boundary.to_le_bytes());
+        out.extend_from_slice(&self.core_count.to_le_bytes());
+        out.extend_from_slice(&(self.dirty.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.trace_delta.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.fires_delta.len() as u32).to_le_bytes());
+        for (&d, &m) in self.dirty.iter().zip(&self.masks) {
+            out.extend_from_slice(&d.to_le_bytes());
+            out.extend_from_slice(&m.to_le_bytes());
+        }
+        out.extend_from_slice(&self.chunks);
+        for s in &self.trace_delta {
+            s.encode_into(&mut out);
+        }
+        for &f in &self.fires_delta {
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes [`DeltaReplica::to_bytes`], validating sizes before
+    /// touching any payload.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        if !Self::looks_like(bytes) {
+            return Err(CheckpointError::BadMagic);
+        }
+        if bytes.len() < DELTA_HEADER_BYTES {
+            return Err(CheckpointError::Truncated {
+                expected: DELTA_HEADER_BYTES,
+                got: bytes.len(),
+            });
+        }
+        let word16 = |off: usize| u16::from_le_bytes(bytes[off..off + 2].try_into().expect("len"));
+        let word32 = |off: usize| u32::from_le_bytes(bytes[off..off + 4].try_into().expect("len"));
+        let version = word16(4);
+        if version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        let base_tick = word32(8);
+        let boundary = word32(12);
+        let core_count = word32(16);
+        let n_dirty = word32(20) as usize;
+        let n_trace = word32(24) as usize;
+        let n_fires = word32(28) as usize;
+        // The chunk payload length depends on the bitmaps, so the pairs
+        // must be readable before the full length can be checked.
+        let meta_end = DELTA_HEADER_BYTES + n_dirty * 12;
+        if bytes.len() < meta_end {
+            return Err(CheckpointError::Truncated {
+                expected: meta_end,
+                got: bytes.len(),
+            });
+        }
+        let mut at = DELTA_HEADER_BYTES;
+        let mut dirty = Vec::with_capacity(n_dirty);
+        let mut masks = Vec::with_capacity(n_dirty);
+        for _ in 0..n_dirty {
+            dirty.push(word32(at));
+            let mask = u64::from_le_bytes(bytes[at + 4..at + 12].try_into().expect("len"));
+            if mask >> DELTA_CHUNKS_PER_CORE != 0 {
+                return Err(CheckpointError::DeltaMismatch);
+            }
+            masks.push(mask);
+            at += 12;
+        }
+        let chunk_total: usize = masks.iter().map(|&m| mask_bytes(m)).sum();
+        let expected = meta_end + chunk_total + n_trace * SPIKE_WIRE_BYTES + n_fires * 8;
+        if bytes.len() != expected {
+            return Err(CheckpointError::Truncated {
+                expected,
+                got: bytes.len(),
+            });
+        }
+        let chunks = bytes[at..at + chunk_total].to_vec();
+        at += chunk_total;
+        let mut trace_delta = Vec::with_capacity(n_trace);
+        for _ in 0..n_trace {
+            let s = Spike::decode(&bytes[at..at + SPIKE_WIRE_BYTES])
+                .ok_or(CheckpointError::CorruptSpike)?;
+            trace_delta.push(s);
+            at += SPIKE_WIRE_BYTES;
+        }
+        let mut fires_delta = Vec::with_capacity(n_fires);
+        for _ in 0..n_fires {
+            fires_delta.push(u64::from_le_bytes(
+                bytes[at..at + 8].try_into().expect("len"),
+            ));
+            at += 8;
+        }
+        Ok(Self {
+            base_tick,
+            boundary,
+            core_count,
+            dirty,
+            masks,
+            chunks,
+            trace_delta,
+            fires_delta,
+        })
+    }
+
+    /// Applies this delta to the buddy's materialized `mirror` in place,
+    /// advancing it from `base_tick` to `boundary`. On error the mirror
+    /// is unchanged (all checks precede the first write).
+    ///
+    /// # Errors
+    /// [`CheckpointError::DeltaMismatch`] when the mirror is not at
+    /// `base_tick`, the core counts disagree, or a dirty index is out of
+    /// range or out of order.
+    pub fn apply(&self, mirror: &mut ReplicaPayload) -> Result<(), CheckpointError> {
+        if mirror.ckpt.start_tick != self.base_tick
+            || mirror.ckpt.core_count() != self.core_count as usize
+        {
+            return Err(CheckpointError::DeltaMismatch);
+        }
+        let n = self.core_count;
+        let ascending = self.dirty.windows(2).all(|w| w[0] < w[1]);
+        if !ascending || self.dirty.iter().any(|&d| d >= n) {
+            return Err(CheckpointError::DeltaMismatch);
+        }
+        if self.masks.len() != self.dirty.len()
+            || self.masks.iter().any(|&m| m >> DELTA_CHUNKS_PER_CORE != 0)
+            || self.chunks.len() != self.masks.iter().map(|&m| mask_bytes(m)).sum::<usize>()
+        {
+            return Err(CheckpointError::DeltaMismatch);
+        }
+        let elapsed = u64::from(self.boundary - self.base_tick);
+        let mut next_dirty = 0usize;
+        let mut chunk_at = 0usize;
+        for (slot, image) in mirror
+            .ckpt
+            .blob
+            .chunks_exact_mut(CORE_SNAPSHOT_BYTES)
+            .enumerate()
+        {
+            if next_dirty < self.dirty.len() && self.dirty[next_dirty] as usize == slot {
+                // Dirty slot: patch the shipped chunks; unshipped chunks
+                // are bytewise unchanged on the sender, so the mirror's
+                // copy is already exact.
+                let mask = self.masks[next_dirty];
+                for ci in 0..DELTA_CHUNKS_PER_CORE {
+                    if mask & (1 << ci) != 0 {
+                        let span = chunk_span(ci);
+                        let len = span.len();
+                        image[span].copy_from_slice(&self.chunks[chunk_at..chunk_at + len]);
+                        chunk_at += len;
+                    }
+                }
+                next_dirty += 1;
+            } else {
+                // Clean slot: only the tick counter moved (see type doc).
+                let ticks = u64::from_le_bytes(image[16..24].try_into().expect("len"));
+                image[16..24].copy_from_slice(&(ticks + elapsed).to_le_bytes());
+            }
+        }
+        mirror.ckpt.start_tick = self.boundary;
+        mirror.trace.extend_from_slice(&self.trace_delta);
+        mirror.fires_per_tick.extend_from_slice(&self.fires_delta);
+        Ok(())
+    }
+}
+
+const MIGRATION_HEADER_BYTES: usize = 16;
+
+/// One contiguous run of migrating cores: `count` consecutive global
+/// core ids starting at `global_start`, with their `TNCS` snapshots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationRun {
+    /// Global core id of the run's first core.
+    pub(crate) global_start: u64,
+    /// Concatenated fixed-size snapshots of the run's cores.
+    pub(crate) blob: Vec<u8>,
+}
+
+impl MigrationRun {
+    /// Number of cores in the run.
+    pub fn core_count(&self) -> usize {
+        debug_assert_eq!(self.blob.len() % CORE_SNAPSHOT_BYTES, 0);
+        self.blob.len() / CORE_SNAPSHOT_BYTES
+    }
+}
+
+/// The elastic-rebalance wire format: the runs of checkpointed cores one
+/// rank ships to one other rank at a migration boundary. Receivers sort
+/// incoming runs by `global_start` and concatenate them into the resumed
+/// rank's [`RankCheckpoint`] blob — a pure splice-out/splice-in over the
+/// existing `TNCS` snapshots, with no per-core re-serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationEnvelope {
+    /// The tick boundary the snapshots sit at.
+    pub(crate) boundary: u32,
+    /// Migrating runs, ascending by `global_start`.
+    pub(crate) runs: Vec<MigrationRun>,
+}
+
+impl MigrationEnvelope {
+    /// Total cores across all runs.
+    pub fn core_count(&self) -> usize {
+        self.runs.iter().map(MigrationRun::core_count).sum()
+    }
+
+    /// Serialized size — the migration's wire cost.
+    pub fn total_bytes(&self) -> u64 {
+        (MIGRATION_HEADER_BYTES + self.runs.iter().map(|r| 12 + r.blob.len()).sum::<usize>()) as u64
+    }
+
+    /// Serializes: magic, version, boundary, run count, then per run its
+    /// global start, core count, and snapshot blob.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.total_bytes() as usize);
+        out.extend_from_slice(&MIGRATION_MAGIC);
+        out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes()); // reserved
+        out.extend_from_slice(&self.boundary.to_le_bytes());
+        out.extend_from_slice(&(self.runs.len() as u32).to_le_bytes());
+        for run in &self.runs {
+            debug_assert_eq!(run.blob.len() % CORE_SNAPSHOT_BYTES, 0);
+            out.extend_from_slice(&run.global_start.to_le_bytes());
+            out.extend_from_slice(&(run.core_count() as u32).to_le_bytes());
+            out.extend_from_slice(&run.blob);
+        }
+        out
+    }
+
+    /// Decodes [`MigrationEnvelope::to_bytes`], validating structure
+    /// before touching any payload.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        if bytes.len() >= 4 && bytes[..4] != MIGRATION_MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        if bytes.len() < MIGRATION_HEADER_BYTES {
+            return Err(CheckpointError::Truncated {
+                expected: MIGRATION_HEADER_BYTES,
+                got: bytes.len(),
+            });
+        }
+        let word16 = |off: usize| u16::from_le_bytes(bytes[off..off + 2].try_into().expect("len"));
+        let word32 = |off: usize| u32::from_le_bytes(bytes[off..off + 4].try_into().expect("len"));
+        let version = word16(4);
+        if version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        let boundary = word32(8);
+        let n_runs = word32(12) as usize;
+        let mut at = MIGRATION_HEADER_BYTES;
+        let mut runs = Vec::with_capacity(n_runs);
+        for _ in 0..n_runs {
+            if bytes.len() < at + 12 {
+                return Err(CheckpointError::Truncated {
+                    expected: at + 12,
+                    got: bytes.len(),
+                });
+            }
+            let global_start = u64::from_le_bytes(bytes[at..at + 8].try_into().expect("len"));
+            let count = word32(at + 8) as usize;
+            at += 12;
+            let blob_len = count * CORE_SNAPSHOT_BYTES;
+            if bytes.len() < at + blob_len {
+                return Err(CheckpointError::Truncated {
+                    expected: at + blob_len,
+                    got: bytes.len(),
+                });
+            }
+            runs.push(MigrationRun {
+                global_start,
+                blob: bytes[at..at + blob_len].to_vec(),
+            });
+            at += blob_len;
+        }
+        if at != bytes.len() {
+            return Err(CheckpointError::Truncated {
+                expected: at,
+                got: bytes.len(),
+            });
+        }
+        Ok(Self { boundary, runs })
     }
 }
 
@@ -628,6 +1071,211 @@ mod tests {
             ReplicaPayload::from_bytes(&bad),
             Err(CheckpointError::CorruptSpike)
         );
+    }
+
+    fn sample_delta() -> DeltaReplica {
+        use tn_core::SpikeTarget;
+        // Slot 1 dirty with two changed chunks: the header chunk (whose
+        // ticks word the apply must take verbatim) and the short tail
+        // chunk; everything in between stays whatever the mirror holds.
+        let mut chunks = vec![9u8; DELTA_CHUNK_BYTES];
+        chunks[16..24].copy_from_slice(&777u64.to_le_bytes());
+        chunks.extend(vec![6u8; chunk_span(DELTA_CHUNKS_PER_CORE - 1).len()]);
+        DeltaReplica {
+            base_tick: 17,
+            boundary: 21,
+            core_count: 2,
+            dirty: vec![1],
+            masks: vec![1 | (1 << (DELTA_CHUNKS_PER_CORE - 1))],
+            chunks,
+            trace_delta: vec![Spike {
+                fired_at: 19,
+                target: SpikeTarget {
+                    core: 1,
+                    axon: 4,
+                    delay: 1,
+                },
+            }],
+            fires_delta: vec![3, 0, 1, 2],
+        }
+    }
+
+    #[test]
+    fn delta_replica_roundtrips_through_bytes() {
+        let d = sample_delta();
+        let bytes = d.to_bytes();
+        assert_eq!(bytes.len() as u64, d.total_bytes());
+        assert!(DeltaReplica::looks_like(&bytes));
+        assert!(is_replica_frame(&bytes));
+        assert!(!ReplicaPayload::looks_like(&bytes));
+        assert_eq!(DeltaReplica::from_bytes(&bytes).unwrap(), d);
+    }
+
+    #[test]
+    fn delta_apply_patches_clean_slots_and_overwrites_dirty_ones() {
+        // Mirror at tick 17 with two slots whose ticks words are 17.
+        let mut mirror = sample_replica();
+        mirror.ckpt.blob[16..24].copy_from_slice(&17u64.to_le_bytes());
+        let off = CORE_SNAPSHOT_BYTES;
+        mirror.ckpt.blob[off + 16..off + 24].copy_from_slice(&17u64.to_le_bytes());
+        let trace_before = mirror.trace.len();
+
+        let d = sample_delta();
+        d.apply(&mut mirror).unwrap();
+        assert_eq!(mirror.ckpt.start_tick(), 21);
+        // Clean slot 0: ticks advanced by boundary - base = 4, rest intact.
+        let t0 = u64::from_le_bytes(mirror.ckpt.blob[16..24].try_into().unwrap());
+        assert_eq!(t0, 21);
+        assert_eq!(mirror.ckpt.blob[24], 1u8, "clean slot body untouched");
+        // Dirty slot 1: shipped chunks patched in — ticks taken from the
+        // header chunk, tail chunk overwritten — while the unshipped
+        // middle keeps the mirror's bytes.
+        let t1 = u64::from_le_bytes(mirror.ckpt.blob[off + 16..off + 24].try_into().unwrap());
+        assert_eq!(t1, 777);
+        assert_eq!(mirror.ckpt.blob[off + 24], 9u8, "header chunk patched");
+        assert_eq!(
+            mirror.ckpt.blob[off + DELTA_CHUNK_BYTES],
+            2u8,
+            "unshipped chunk keeps the mirror's bytes"
+        );
+        assert_eq!(
+            mirror.ckpt.blob[off + CORE_SNAPSHOT_BYTES - 1],
+            6u8,
+            "tail chunk patched"
+        );
+        // History extended.
+        assert_eq!(mirror.trace.len(), trace_before + 1);
+        assert_eq!(mirror.fires_per_tick.len(), 5 + 4);
+    }
+
+    #[test]
+    fn delta_apply_rejects_mismatched_mirrors() {
+        let d = sample_delta();
+        // Wrong base tick.
+        let mut mirror = sample_replica();
+        mirror.ckpt.start_tick = 16;
+        assert_eq!(d.apply(&mut mirror), Err(CheckpointError::DeltaMismatch));
+        // Wrong core count.
+        let mut mirror = sample_replica();
+        mirror.ckpt.blob.truncate(CORE_SNAPSHOT_BYTES);
+        assert_eq!(d.apply(&mut mirror), Err(CheckpointError::DeltaMismatch));
+        // Out-of-range dirty index.
+        let mut mirror = sample_replica();
+        let mut bad = sample_delta();
+        bad.dirty = vec![2];
+        assert_eq!(bad.apply(&mut mirror), Err(CheckpointError::DeltaMismatch));
+        // A chunk bit past the per-core chunk count.
+        let mut mirror = sample_replica();
+        let mut bad = sample_delta();
+        bad.masks = vec![1 << 63];
+        assert_eq!(bad.apply(&mut mirror), Err(CheckpointError::DeltaMismatch));
+        // Chunk payload length disagreeing with the bitmaps.
+        let mut mirror = sample_replica();
+        let mut bad = sample_delta();
+        bad.chunks.pop();
+        assert_eq!(bad.apply(&mut mirror), Err(CheckpointError::DeltaMismatch));
+    }
+
+    #[test]
+    fn delta_diff_ships_only_changed_chunks_and_reproduces_the_sender() {
+        // Sender state at the new boundary: slot 1 ran hot (new ticks
+        // word plus one mutated body byte), slot 0 took the skip path on
+        // every tick, so only its ticks word moved.
+        let base = sample().blob;
+        let mut cur = base.clone();
+        let t0 = u64::from_le_bytes(base[16..24].try_into().unwrap());
+        cur[16..24].copy_from_slice(&(t0 + 4).to_le_bytes());
+        let off = CORE_SNAPSHOT_BYTES;
+        cur[off + 16..off + 24].copy_from_slice(&2121u64.to_le_bytes());
+        cur[off + 200] = 0xAB;
+
+        let d = DeltaReplica::diff(17, 21, vec![1], &base, &cur, Vec::new(), vec![0; 4]);
+        // Two changed 64-byte chunks (header + the byte at offset 200)
+        // instead of a whole 3.5 KiB snapshot.
+        assert_eq!(d.masks, vec![1 | (1 << (200 / DELTA_CHUNK_BYTES))]);
+        assert_eq!(d.chunks.len(), 2 * DELTA_CHUNK_BYTES);
+        assert!(d.total_bytes() < CORE_SNAPSHOT_BYTES as u64 / 2);
+
+        // Round-trip through the wire and a mirror at the base boundary:
+        // the mirror must land bytewise on the sender's boundary blob.
+        let d = DeltaReplica::from_bytes(&d.to_bytes()).unwrap();
+        let mut mirror = ReplicaPayload {
+            ckpt: RankCheckpoint {
+                rank: 3,
+                start_tick: 17,
+                blob: base,
+            },
+            trace: Vec::new(),
+            fires_per_tick: Vec::new(),
+        };
+        d.apply(&mut mirror).unwrap();
+        assert_eq!(mirror.ckpt.start_tick(), 21);
+        assert_eq!(mirror.ckpt.blob, cur);
+    }
+
+    #[test]
+    fn malformed_deltas_are_rejected_not_panicked_on() {
+        let good = sample_delta().to_bytes();
+        assert_eq!(
+            DeltaReplica::from_bytes(b"nope"),
+            Err(CheckpointError::BadMagic)
+        );
+        assert!(matches!(
+            DeltaReplica::from_bytes(&good[..good.len() - 1]),
+            Err(CheckpointError::Truncated { .. })
+        ));
+        let mut bad = good.clone();
+        bad[4] = 77;
+        assert_eq!(
+            DeltaReplica::from_bytes(&bad),
+            Err(CheckpointError::UnsupportedVersion(77))
+        );
+        // A chunk bitmap with a bit past the per-core chunk count.
+        let mut bad = good;
+        bad[DELTA_HEADER_BYTES + 4 + 7] = 0x80;
+        assert_eq!(
+            DeltaReplica::from_bytes(&bad),
+            Err(CheckpointError::DeltaMismatch)
+        );
+    }
+
+    #[test]
+    fn migration_envelope_roundtrips_through_bytes() {
+        let env = MigrationEnvelope {
+            boundary: 40,
+            runs: vec![
+                MigrationRun {
+                    global_start: 3,
+                    blob: vec![1u8; 2 * CORE_SNAPSHOT_BYTES],
+                },
+                MigrationRun {
+                    global_start: 11,
+                    blob: vec![2u8; CORE_SNAPSHOT_BYTES],
+                },
+            ],
+        };
+        let bytes = env.to_bytes();
+        assert_eq!(bytes.len() as u64, env.total_bytes());
+        assert_eq!(env.core_count(), 3);
+        assert_eq!(MigrationEnvelope::from_bytes(&bytes).unwrap(), env);
+        // Empty envelopes (nothing migrates between this pair) roundtrip.
+        let empty = MigrationEnvelope {
+            boundary: 40,
+            runs: Vec::new(),
+        };
+        assert_eq!(
+            MigrationEnvelope::from_bytes(&empty.to_bytes()).unwrap(),
+            empty
+        );
+        // Malformed inputs are rejected.
+        assert_eq!(
+            MigrationEnvelope::from_bytes(b"nope"),
+            Err(CheckpointError::BadMagic)
+        );
+        assert!(matches!(
+            MigrationEnvelope::from_bytes(&bytes[..bytes.len() - 1]),
+            Err(CheckpointError::Truncated { .. })
+        ));
     }
 
     #[test]

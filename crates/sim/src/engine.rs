@@ -60,7 +60,7 @@
 //! [`EngineConfig::overlap`] (off = Reduce-scatter and local delivery run
 //! sequentially).
 
-use crate::checkpoint::{RankCheckpoint, ReplicaPayload};
+use crate::checkpoint::{is_replica_frame, DeltaReplica, RankCheckpoint, ReplicaPayload};
 use crate::partition::{Partition, SurvivorView};
 use crate::recovery::{CheckpointRing, RecoveryPolicy};
 use crate::stats::{PhaseTimes, RankReport};
@@ -194,6 +194,16 @@ pub struct RunOptions {
     /// [`RecoveryPolicy::survive_crashes`]; every rank of the world must
     /// carry the same plan so survivors know a crash is possible.
     pub crash: Option<CrashPlan>,
+    /// Seeds the report's recorded trace and per-tick fire counts with
+    /// this rank's history from *before* the resume point. Elastic
+    /// segments need this: a rank's replica payload must carry its full
+    /// observable history (so a later crash hands the buddy everything),
+    /// but a resumed engine only records the segment it executes. The
+    /// fires vector must cover exactly the ticks before
+    /// [`RankCheckpoint::start_tick`] (or be empty when per-tick stats
+    /// are off); rollback and death-verdict truncations preserve the
+    /// seeded prefix.
+    pub seed_history: Option<(Vec<Spike>, Vec<u64>)>,
 }
 
 /// A survivor's account of a rank death: everything the harness needs to
@@ -551,7 +561,26 @@ pub fn run_rank_view(
         bytes_to: vec![0; world],
         ..RankReport::default()
     };
+    // Seeded history (elastic segments): the engine records as if it had
+    // run from tick 0, so replica payloads ship the rank's full observable
+    // past. Every truncation below is offset by the seeded fires prefix.
+    let seed_fires = match &opts.seed_history {
+        Some((trace, fires)) => {
+            assert!(
+                fires.is_empty() || fires.len() == start_tick as usize,
+                "rank {me}: seeded fires must cover exactly the ticks before the resume point"
+            );
+            report.trace = trace.clone();
+            report.fires_per_tick = fires.clone();
+            fires.len()
+        }
+        None => 0,
+    };
     let mut phases = PhaseTimes::default();
+    // EWMA of one tick's Synapse+Neuron wall-clock on this rank — the
+    // measured signal behind the elastic rebalancer's per-core costs
+    // (attributed across cores by activity weight at finalization).
+    let mut tick_ns_ewma = 0u64;
 
     // Master-owned staging, reused across ticks.
     let mut agg: Vec<Vec<u8>> = (0..world).map(|_| Vec::new()).collect();
@@ -586,14 +615,63 @@ pub fn run_rank_view(
             "rank {me}: a crash plan requires RecoveryPolicy::survive_crashes"
         );
     }
-    // Latest buddy replica received, as raw bytes (parsed at a verdict).
-    // A Mutex because receive paths run inside team regions; contention is
+    // The buddy mirror: the latest replica of the rank this one backs,
+    // materialized on receipt. Full payloads (`RPL1`) replace it wholesale;
+    // delta payloads (`RPLD`) patch it in place — dirty slots overwritten,
+    // clean slots' tick counters advanced arithmetically (the dirty-epoch
+    // invariant: a clean slot provably took the skip path every tick). A
+    // Mutex because receive paths run inside team regions; contention is
     // nil — at most one replica frame arrives per checkpoint boundary.
-    let replica_store: Mutex<Option<Vec<u8>>> = Mutex::new(None);
+    let replica_store: Mutex<Option<ReplicaPayload>> = Mutex::new(None);
+    // Absorbs a replica frame into the mirror; false if `payload` is
+    // ordinary spike traffic. A delta whose base boundary does not match
+    // the mirror is dropped — the periodic full-payload epoch re-anchors
+    // the stream (the reliable channel makes this unreachable in practice;
+    // the guard exists so a protocol bug degrades, not corrupts).
+    let absorb_replica = |payload: &[u8]| -> bool {
+        if !(survive && is_replica_frame(payload)) {
+            return false;
+        }
+        let mut store = replica_store.lock().expect("replica store poisoned");
+        if ReplicaPayload::looks_like(payload) {
+            *store = Some(
+                ReplicaPayload::from_bytes(payload)
+                    .expect("replica payload survived the CRC-checked channel"),
+            );
+        } else {
+            let delta = DeltaReplica::from_bytes(payload)
+                .expect("delta replica survived the CRC-checked channel");
+            if let Some(mirror) = store.as_mut() {
+                let _ = delta.apply(mirror);
+            }
+        }
+        true
+    };
+    // Sender-side delta state: what the buddy's mirror looked like after
+    // the last ship. Local to this call on purpose — a fresh segment (or a
+    // degraded re-run) starts with `None` and therefore ships a full
+    // payload, re-anchoring the new buddy's mirror unconditionally.
+    struct ShipState {
+        boundary: u32,
+        buddy: Rank,
+        trace_len: usize,
+        fires_len: usize,
+        ships: u64,
+        /// The blob the buddy's mirror holds after the last ship — the
+        /// diff base for chunk-level deltas. Kept current on full ships
+        /// too, so a fallback re-anchor resumes the delta stream cleanly.
+        base: Vec<u8>,
+    }
+    // Re-anchor the mirror with a full payload every this-many ships, so
+    // a (theoretically) lost delta cannot starve recovery forever.
+    const FULL_EVERY: u64 = 8;
+    let mut last_ship: Option<ShipState> = None;
     let mut interrupt: Option<DeathInterrupt> = None;
     let mut death_verdicts = 0u64;
     let mut replication_bytes = 0u64;
     let mut replication_time = Duration::ZERO;
+    let mut delta_replica_ships = 0u64;
+    let mut full_replica_ships = 0u64;
 
     // Degraded-mode collectives: with an identity view these are the
     // ordinary full-world operations (bit-identical to the fault-free
@@ -673,12 +751,17 @@ pub fn run_rank_view(
             }
         }
 
-        // Failure detection: one empty heartbeat per live peer per tick,
-        // tick-tagged so rounds never cross. The verdict is deterministic:
-        // a silent peer is reported dead only via the membership flag the
-        // victim set before dying, never via wall-clock timeouts, so the
-        // verdict tick depends only on the crash plan.
-        if survive {
+        // Failure detection, PGAS path only: one empty heartbeat per live
+        // peer per tick, tick-tagged so rounds never cross. The verdict is
+        // deterministic: a silent peer is reported dead only via the
+        // membership flag the victim set before dying, never via
+        // wall-clock timeouts, so the verdict tick depends only on the
+        // crash plan. The MPI path needs no dedicated round at all — its
+        // verdict bits piggyback on the per-tick Reduce-scatter of send
+        // flags (see the Network phase below); PGAS keeps the heartbeat
+        // because its commit barrier is not tick-scoped and cannot carry
+        // a per-tick verdict.
+        if survive && cfg.backend == Backend::Pgas {
             let hb_start = Instant::now();
             let dead = ctx
                 .comm()
@@ -702,7 +785,7 @@ pub fn run_rank_view(
                 report.trace.retain(|s| s.fired_at < back_to);
                 report
                     .fires_per_tick
-                    .truncate((back_to - start_tick) as usize);
+                    .truncate(seed_fires + (back_to - start_tick) as usize);
                 for dest in 0..threads {
                     // SAFETY: master between regions.
                     unsafe {
@@ -717,13 +800,11 @@ pub fn run_rank_view(
                 }
                 ctx.pgas().detach(dead);
                 let adopted = if view.buddy_of(dead) == me {
-                    let bytes = replica_store
+                    let rp = replica_store
                         .lock()
                         .expect("replica store poisoned")
                         .take()
                         .expect("buddy must hold a replica by the first verdict tick");
-                    let rp = ReplicaPayload::from_bytes(&bytes)
-                        .expect("replica payload survived the CRC-checked channel");
                     assert_eq!(rp.ckpt.rank() as usize, dead, "replica owner mismatch");
                     assert_eq!(
                         rp.ckpt.start_tick(),
@@ -798,15 +879,60 @@ pub fn run_rank_view(
             let buddy = view.buddy_of(me);
             if due && buddy != me {
                 let rep_start = Instant::now();
-                let payload = ReplicaPayload {
-                    ckpt: ring
-                        .newest()
-                        .expect("boundary snapshot precedes replication")
-                        .clone(),
-                    trace: report.trace.clone(),
-                    fires_per_tick: report.fires_per_tick.clone(),
-                }
-                .to_bytes();
+                let ck = ring
+                    .newest()
+                    .expect("boundary snapshot precedes replication");
+                // Full payload whenever the mirror needs (re-)anchoring:
+                // the first ship of this engine call (a fresh or degraded
+                // segment), a buddy change, the periodic fallback epoch,
+                // or deltas disabled by policy. Otherwise only the cores
+                // dirtied since the previous ship travel — and of those,
+                // only the 64-byte chunks that differ from the blob the
+                // buddy already mirrors. Clean cores provably took the
+                // skip path every tick, so the buddy reconstructs their
+                // tick counters arithmetically.
+                let full = match &last_ship {
+                    Some(ls) => {
+                        !pol.delta_replicas || ls.buddy != buddy || ls.ships % FULL_EVERY == 0
+                    }
+                    None => true,
+                };
+                let payload = if full {
+                    full_replica_ships += 1;
+                    ReplicaPayload {
+                        ckpt: ck.clone(),
+                        trace: report.trace.clone(),
+                        fires_per_tick: report.fires_per_tick.clone(),
+                    }
+                    .to_bytes()
+                } else {
+                    let ls = last_ship.as_ref().expect("the None case ships full");
+                    delta_replica_ships += 1;
+                    // The pool state equals the boundary checkpoint taken
+                    // just above (nothing mutates cores in between), so
+                    // diffing `ck`'s blob against the last-shipped blob is
+                    // diffing live state against the buddy's mirror.
+                    let dirty: Vec<u32> = {
+                        // SAFETY: master between regions; no slice live.
+                        let all = unsafe { shards.slice(0..n_local, &mut master_due) };
+                        (0..n_local)
+                            .filter(|&k| all.dirty(k))
+                            .map(|k| k as u32)
+                            .collect()
+                    };
+                    let trace_from = ls.trace_len.min(report.trace.len());
+                    let fires_from = ls.fires_len.min(report.fires_per_tick.len());
+                    DeltaReplica::diff(
+                        ls.boundary,
+                        t,
+                        dirty,
+                        &ls.base,
+                        &ck.blob,
+                        report.trace[trace_from..].to_vec(),
+                        report.fires_per_tick[fires_from..].to_vec(),
+                    )
+                    .to_bytes()
+                };
                 replication_bytes += payload.len() as u64;
                 match cfg.backend {
                     Backend::Mpi => {
@@ -815,6 +941,21 @@ pub fn run_rank_view(
                     }
                     Backend::Pgas => ctx.pgas().put(buddy, &payload),
                 }
+                // Dirty bits now mean "mutated since this ship": the next
+                // delta's base is exactly the state the buddy mirrors.
+                {
+                    // SAFETY: master between regions; no shard slice live.
+                    let mut all = unsafe { shards.slice(0..n_local, &mut master_due) };
+                    all.clear_dirty();
+                }
+                last_ship = Some(ShipState {
+                    boundary: t,
+                    buddy,
+                    trace_len: report.trace.len(),
+                    fires_len: report.fires_per_tick.len(),
+                    ships: last_ship.as_ref().map_or(1, |ls| ls.ships + 1),
+                    base: ck.blob.clone(),
+                });
                 replication_time += rep_start.elapsed();
             }
         }
@@ -858,7 +999,8 @@ pub fn run_rank_view(
                 }
             }
         });
-        phases.synapse += t0.elapsed();
+        let synapse_elapsed = t0.elapsed();
+        phases.synapse += synapse_elapsed;
 
         // ---------------- Neuron phase ----------------
         let t1 = Instant::now();
@@ -961,10 +1103,47 @@ pub fn run_rank_view(
             // tick-tagged channel; the buddy's receive loop must claim it.
             send_flags[b] += 1;
         }
-        phases.neuron += t1.elapsed();
+        let neuron_elapsed = t1.elapsed();
+        phases.neuron += neuron_elapsed;
+        // One EWMA step per tick (~1/8 weight on the new sample): smooth
+        // enough to damp scheduler noise, responsive enough that a shift
+        // in activity shows up within a few checkpoint boundaries.
+        let sample = (synapse_elapsed + neuron_elapsed).as_nanos() as u64;
+        tick_ns_ewma = if tick_ns_ewma == 0 {
+            sample
+        } else {
+            tick_ns_ewma - tick_ns_ewma / 8 + sample / 8
+        };
 
         // ---------------- Network phase ----------------
         let t2 = Instant::now();
+        // With crash survival armed on the MPI path, the per-tick
+        // Reduce-scatter of send flags doubles as the death-verdict round
+        // — the verdict bits piggyback on a collective the tick performs
+        // anyway, replacing the dedicated heartbeat round. A verdict, if
+        // any, parks here and is handled after the audit below; every
+        // survivor sees the identical verdict on the identical tick (the
+        // victim died at the top of this tick, before contributing), so
+        // the handling is collective without a further agreement round.
+        let flags_verdict = AtomicUsize::new(usize::MAX);
+        let rs_flags = |contrib: &[u64]| -> u64 {
+            if survive {
+                let tk = Instant::now();
+                let (v, dead) = ctx.comm().reduce_scatter_flags_verdict(
+                    view.members(),
+                    contrib,
+                    t,
+                    ctx.membership(),
+                );
+                collective_ns.fetch_add(tk.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                if let Some(d) = dead {
+                    flags_verdict.store(d, Ordering::Release);
+                }
+                v
+            } else {
+                rs_sum(contrib)
+            }
+        };
         match cfg.backend {
             Backend::Mpi => {
                 let expected = AtomicU64::new(0);
@@ -974,7 +1153,7 @@ pub fn run_rank_view(
                     team.parallel(|tc| {
                         let tid = tc.tid();
                         if tc.is_master() {
-                            let v = rs_sum(&send_flags);
+                            let v = rs_flags(&send_flags);
                             expected.store(v, Ordering::Release);
                         } else {
                             // SAFETY: own tid / own slot, once per region.
@@ -988,7 +1167,7 @@ pub fn run_rank_view(
                         }
                     });
                 } else {
-                    let v = rs_sum(&send_flags);
+                    let v = rs_flags(&send_flags);
                     expected.store(v, Ordering::Release);
                     let local_ref = &local_all;
                     team.parallel(|tc| {
@@ -1036,9 +1215,7 @@ pub fn run_rank_view(
                         // abandoned here and re-delivered by the audit.
                         match &rely {
                             Some(r) => r.receive(env.src, me, &env.payload, |payload| {
-                                if survive && ReplicaPayload::looks_like(payload) {
-                                    *replica_store.lock().expect("replica store poisoned") =
-                                        Some(payload.to_vec());
+                                if absorb_replica(payload) {
                                     return;
                                 }
                                 for spike in Spike::decode_buffer(payload) {
@@ -1105,9 +1282,7 @@ pub fn run_rank_view(
                 let mut all = unsafe { shards.slice(0..n_local, &mut master_due) };
                 ctx.pgas().drain(|src, bytes| match &rely {
                     Some(r) => r.receive(src, me, &bytes, |payload| {
-                        if survive && ReplicaPayload::looks_like(payload) {
-                            *replica_store.lock().expect("replica store poisoned") =
-                                Some(payload.to_vec());
+                        if absorb_replica(payload) {
                             return;
                         }
                         for spike in Spike::decode_buffer(payload) {
@@ -1139,8 +1314,7 @@ pub fn run_rank_view(
             // SAFETY: master between regions; no shard slice is live.
             let mut all = unsafe { shards.slice(0..n_local, &mut master_due) };
             let outcome = r.audit(me, t, |_, payload| {
-                if survive && ReplicaPayload::looks_like(payload) {
-                    *replica_store.lock().expect("replica store poisoned") = Some(payload.to_vec());
+                if absorb_replica(payload) {
                     return;
                 }
                 for spike in Spike::decode_buffer(payload) {
@@ -1149,6 +1323,82 @@ pub fn run_rank_view(
                 }
             });
             recovery_time += audit_start.elapsed();
+
+            // Fused death verdict (MPI path): this tick's flags round
+            // flagged a dead member. Wind down to the common boundary
+            // strictly before this tick — that is where the victim's
+            // buddy mirror sits, because the victim died at the top of
+            // this tick, before shipping this boundary's replica. The
+            // any-gap collective below is skipped by every survivor
+            // unanimously, so no rank is left blocked in it; any frames
+            // genuinely lost this tick are regenerated by the degraded
+            // replay from the same boundary.
+            let fused = flags_verdict.load(Ordering::Acquire);
+            if fused != usize::MAX {
+                let dead = fused;
+                let verdict_start = Instant::now();
+                death_verdicts += 1;
+                let resume = ring
+                    .newest_before(t)
+                    .expect("a snapshot boundary precedes any verdict tick")
+                    .clone();
+                let back_to = resume.start_tick();
+                report.trace.retain(|s| s.fired_at < back_to);
+                report
+                    .fires_per_tick
+                    .truncate(seed_fires + (back_to - start_tick) as usize);
+                for dest in 0..threads {
+                    // SAFETY: master between regions.
+                    unsafe {
+                        inboxes.drain_for(dest, |_| {});
+                    }
+                }
+                // The dead rank will never speak again: forget its pair
+                // ledgers (no audit may wait on it) and shrink the PGAS
+                // commit barrier (no epoch may wait on it).
+                r.retire_rank(dead);
+                ctx.pgas().detach(dead);
+                // Survivors exit this segment at skewed times (the verdict
+                // lands mid-tick, after live traffic), so a fast rank could
+                // start the degraded segment — and ship frames with ticks
+                // <= t — while a slow one is still inside this tick's
+                // audit, which would wrongly drain them. Hold everyone here
+                // until every survivor's audit is done; only then may any
+                // rank speak in the next segment. The heartbeat verdict
+                // (PGAS) needs no such fence: it lands at the top of the
+                // tick, before any of the tick's sends.
+                let survivors: Vec<Rank> = view
+                    .members()
+                    .iter()
+                    .copied()
+                    .filter(|&m| m != dead)
+                    .collect();
+                ctx.comm().allreduce_max_among(&survivors, 0);
+                let adopted = if view.buddy_of(dead) == me {
+                    let rp = replica_store
+                        .lock()
+                        .expect("replica store poisoned")
+                        .take()
+                        .expect("buddy must hold a replica by the first verdict tick");
+                    assert_eq!(rp.ckpt.rank() as usize, dead, "replica owner mismatch");
+                    assert_eq!(
+                        rp.ckpt.start_tick(),
+                        back_to,
+                        "replica and survivor checkpoints must share a boundary"
+                    );
+                    Some(rp)
+                } else {
+                    None
+                };
+                recovery_time += verdict_start.elapsed();
+                interrupt = Some(DeathInterrupt {
+                    dead,
+                    at_tick: t,
+                    resume,
+                    adopted,
+                });
+                break;
+            }
 
             if let Some(pol) = &opts.recovery {
                 // Collective verdict: one bit per rank, max-reduced, so
@@ -1186,7 +1436,7 @@ pub fn run_rank_view(
                     report.trace.retain(|s| s.fired_at < back_to);
                     report
                         .fires_per_tick
-                        .truncate((back_to - start_tick) as usize);
+                        .truncate(seed_fires + (back_to - start_tick) as usize);
                     input_cursor = inputs.partition_point(|&(tick, _, _)| tick < back_to);
                     replayed_ticks += u64::from(t + 1 - back_to);
                     recovery_time += rb_start.elapsed();
@@ -1255,7 +1505,7 @@ pub fn run_rank_view(
                         // delivering.
                         match &rely {
                             Some(r) => r.receive(env.src, me, &env.payload, |payload| {
-                                if survive && ReplicaPayload::looks_like(payload) {
+                                if survive && is_replica_frame(payload) {
                                     return;
                                 }
                                 for spike in Spike::decode_buffer(payload) {
@@ -1283,7 +1533,7 @@ pub fn run_rank_view(
                     ctx.pgas().commit();
                     ctx.pgas().drain(|src, bytes| match &rely {
                         Some(r) => r.receive(src, me, &bytes, |payload| {
-                            if survive && ReplicaPayload::looks_like(payload) {
+                            if survive && is_replica_frame(payload) {
                                 return;
                             }
                             for spike in Spike::decode_buffer(payload) {
@@ -1319,7 +1569,11 @@ pub fn run_rank_view(
             .lock()
             .expect("replica store poisoned")
             .as_ref()
-            .map_or(0, |b| b.capacity() as u64);
+            .map_or(0, |rp| {
+                rp.ckpt.total_bytes()
+                    + (rp.trace.capacity() * std::mem::size_of::<Spike>()) as u64
+                    + (rp.fires_per_tick.capacity() * std::mem::size_of::<u64>()) as u64
+            });
     if let Some(r) = &rely {
         let counts = r.counts(me);
         report.retransmits = counts.retransmits;
@@ -1332,6 +1586,8 @@ pub fn run_rank_view(
     report.death_verdicts = death_verdicts;
     report.replication_bytes = replication_bytes;
     report.replication_time = replication_time;
+    report.delta_replica_ships = delta_replica_ships;
+    report.full_replica_ships = full_replica_ships;
     for tb in thread_bufs.iter_mut() {
         report.synapse_skips += tb.synapse_skips;
         report.neuron_skips += tb.neuron_skips;
@@ -1347,6 +1603,24 @@ pub fn run_rank_view(
         report.activity.add(&pool.activity(k));
         report.kernel.add(&pool.kernel_stats(k));
     }
+    // Measured per-core tick cost: the rank's per-tick Synapse+Neuron
+    // EWMA attributed across cores by activity weight (a dormant core
+    // costs about a skip check; a busy one in proportion to its events).
+    // Any attribution is trace-safe — partitions only move cores, never
+    // change their dynamics — so this one just needs to balance well.
+    let total_weight: u128 = (0..pool.len())
+        .map(|k| {
+            let a = pool.activity(k);
+            1 + u128::from(a.spikes) + u128::from(a.synaptic_events)
+        })
+        .sum();
+    report.core_tick_ns = (0..pool.len())
+        .map(|k| {
+            let a = pool.activity(k);
+            let w = 1 + u128::from(a.spikes) + u128::from(a.synaptic_events);
+            (u128::from(tick_ns_ewma) * w / total_weight.max(1)) as u64
+        })
+        .collect();
     RunOutcome {
         report,
         checkpoint,

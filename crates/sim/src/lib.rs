@@ -79,6 +79,8 @@ pub use engine::{
 pub use model::{ModelError, NetworkModel};
 pub use partition::{Partition, SurvivorView};
 pub use recovery::RecoveryPolicy;
-pub use runner::{run, run_recovering, run_surviving};
+pub use runner::{
+    run, run_elastic, run_recovering, run_surviving, ElasticEvent, ElasticPlan, ElasticStep,
+};
 pub use solo::SoloSimulation;
 pub use stats::{trace_digest, PhaseTimes, RankReport, RunReport};

@@ -55,6 +55,48 @@ impl Partition {
         Self { starts }
     }
 
+    /// Splits cores over `parts` contiguous blocks balancing *measured*
+    /// per-core cost instead of raw counts — the elastic rebalancer's
+    /// layout step. Boundary `p` is placed where the cost prefix first
+    /// reaches `p/parts` of the total, so each block's summed cost tracks
+    /// the ideal share; when there are at least `parts` cores every block
+    /// is non-empty (operators scaling out expect every rank to host
+    /// work, and an empty block would leave the newcomer idle).
+    ///
+    /// Deterministic: a pure function of `costs`, so every rank that
+    /// exchanges the same cost vector computes the identical layout.
+    ///
+    /// # Panics
+    /// Panics if `parts == 0`.
+    pub fn by_cost(costs: &[u64], parts: usize) -> Self {
+        assert!(parts > 0, "cannot partition over zero ranks");
+        let n = costs.len() as u64;
+        let total: u128 = costs.iter().map(|&c| u128::from(c)).sum();
+        let mut starts = Vec::with_capacity(parts + 1);
+        starts.push(0u64);
+        let mut core = 0u64;
+        let mut acc: u128 = 0;
+        for p in 1..parts {
+            let target = total * p as u128 / parts as u128;
+            // Each earlier block keeps >= 1 core and each later block is
+            // left >= 1 core, whenever the model is big enough.
+            let prev = *starts.last().expect("starts never empty");
+            let floor = if n >= parts as u64 { prev + 1 } else { prev };
+            let ceiling = if n >= parts as u64 {
+                n - (parts - p) as u64
+            } else {
+                n
+            };
+            while core < ceiling && (acc < target || core < floor) {
+                acc += u128::from(costs[core as usize]);
+                core += 1;
+            }
+            starts.push(core);
+        }
+        starts.push(n);
+        Self { starts }
+    }
+
     /// Number of ranks.
     pub fn ranks(&self) -> usize {
         self.starts.len() - 1
@@ -185,6 +227,43 @@ impl SurvivorView {
             owner,
             members,
             offset,
+        }
+    }
+
+    /// The view for an elastic segment: `base` is a fresh world-granular
+    /// layout (one block per *world* rank, empty blocks for ranks outside
+    /// `members`) and every member owns exactly its own block. Standby,
+    /// departed, and dead ranks keep their slots in the rank-indexed
+    /// geometry — routing tables and metrics vectors stay sized for the
+    /// full world — but host no cores, so no spike ever routes to them.
+    ///
+    /// Crash adoption composes on top: [`SurvivorView::without`] and
+    /// [`SurvivorView::buddy_of`] walk the *world* ring filtered through
+    /// the member set, so a remapped view degrades exactly like the
+    /// identity view does.
+    ///
+    /// # Panics
+    /// Panics if `members` is empty, unsorted, duplicated, or out of
+    /// range, or if a non-member rank owns a non-empty block of `base`.
+    pub fn remap(base: Partition, members: Vec<Rank>) -> Self {
+        let ranks = base.ranks();
+        assert!(!members.is_empty(), "an elastic segment needs a member");
+        assert!(
+            members.windows(2).all(|w| w[0] < w[1]),
+            "members must be ascending and unique"
+        );
+        assert!(*members.last().expect("non-empty") < ranks);
+        for r in 0..ranks {
+            assert!(
+                members.contains(&r) || base.count(r) == 0,
+                "non-member rank {r} owns cores"
+            );
+        }
+        Self {
+            base,
+            owner: (0..ranks).collect(),
+            members,
+            offset: vec![0; ranks],
         }
     }
 
@@ -511,6 +590,133 @@ mod survivor_tests {
     fn removing_the_last_survivor_is_rejected() {
         let v = SurvivorView::identity(Partition::uniform(4, 2)).without(0);
         let _ = v.without(1);
+    }
+
+    #[test]
+    fn remap_hosts_members_only_and_composes_with_crashes() {
+        // World of 4 ranks, but only {0, 2, 3} are active this segment:
+        // rank 1 is a standby with an empty block.
+        let p = Partition::from_counts(&[4, 0, 3, 2]);
+        let v = SurvivorView::remap(p.clone(), vec![0, 2, 3]);
+        assert!(
+            !v.is_identity(),
+            "a standby keeps the view collective-scoped"
+        );
+        assert_eq!(v.members(), &[0, 2, 3]);
+        assert_eq!(v.ranks(), 4, "geometry stays world-granular");
+        assert_eq!(v.count(0), 4);
+        assert_eq!(v.count(2), 3);
+        check_totality(&v);
+        // Buddy ring skips the standby exactly like it skips the dead.
+        assert_eq!(v.buddy_of(0), 2);
+        assert_eq!(v.buddy_of(3), 0, "wraps past the standby");
+        // A crash mid-segment degrades the remapped view like any other.
+        let crashed = v.without(2);
+        assert_eq!(crashed.members(), &[0, 3]);
+        assert_eq!(crashed.count(3), 3 + 2, "buddy 3 adopts rank 2's block");
+        check_totality(&crashed);
+    }
+
+    #[test]
+    fn remap_of_the_full_world_is_the_identity() {
+        let p = Partition::from_counts(&[3, 3, 4]);
+        let v = SurvivorView::remap(p.clone(), vec![0, 1, 2]);
+        assert!(v.is_identity());
+        assert_eq!(v, SurvivorView::identity(p));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-member rank 1 owns cores")]
+    fn remap_rejects_cores_on_a_non_member() {
+        let p = Partition::from_counts(&[4, 1, 3]);
+        let _ = SurvivorView::remap(p, vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn remap_rejects_unsorted_members() {
+        let p = Partition::from_counts(&[4, 0, 3]);
+        let _ = SurvivorView::remap(p, vec![2, 0]);
+    }
+}
+
+#[cfg(test)]
+mod by_cost_tests {
+    use super::*;
+
+    #[test]
+    fn uniform_costs_reduce_to_uniform_partition() {
+        let costs = vec![10u64; 12];
+        let p = Partition::by_cost(&costs, 3);
+        assert_eq!(p, Partition::uniform(12, 3));
+    }
+
+    #[test]
+    fn skewed_costs_shift_the_boundaries() {
+        // One hot core at the front: it fills rank 0's share alone, and
+        // the remaining cheap cores split between the other two ranks.
+        let mut costs = vec![1u64; 9];
+        costs[0] = 1000;
+        let p = Partition::by_cost(&costs, 3);
+        assert_eq!(p.count(0), 1, "the hot core is a block of its own");
+        assert_eq!(p.total_cores(), 9);
+        assert!(p.count(1) >= 1 && p.count(2) >= 1);
+    }
+
+    #[test]
+    fn every_block_is_non_empty_when_cores_suffice() {
+        // Zero-cost tails and fronts must not starve any rank.
+        for costs in [
+            vec![0u64; 7],
+            vec![5, 0, 0, 0, 0, 0, 0],
+            vec![0, 0, 0, 0, 0, 0, 5],
+            vec![100, 100, 1, 1, 1, 1, 1],
+        ] {
+            for parts in 1..=7 {
+                let p = Partition::by_cost(&costs, parts);
+                assert_eq!(p.total_cores(), costs.len() as u64);
+                for r in 0..parts {
+                    assert!(p.count(r) >= 1, "rank {r} starved for {costs:?}/{parts}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_parts_than_cores_leaves_trailing_ranks_empty() {
+        let p = Partition::by_cost(&[1, 1], 4);
+        assert_eq!(p.ranks(), 4);
+        assert_eq!(p.total_cores(), 2);
+        assert_eq!(
+            (0..4).filter(|&r| p.count(r) > 0).count(),
+            2,
+            "each core lands somewhere"
+        );
+    }
+
+    #[test]
+    fn cost_balance_tracks_the_ideal_share() {
+        // Pseudo-random-ish but deterministic cost vector.
+        let costs: Vec<u64> = (0..64u64).map(|i| (i * 37 + 11) % 97 + 1).collect();
+        let total: u64 = costs.iter().sum();
+        let parts = 4;
+        let p = Partition::by_cost(&costs, parts);
+        let max_cost = (0..parts)
+            .map(|r| p.block(r).map(|c| costs[c as usize]).sum::<u64>())
+            .max()
+            .unwrap();
+        let ideal = total / parts as u64;
+        let hottest = *costs.iter().max().unwrap();
+        assert!(
+            max_cost <= ideal + hottest,
+            "greedy split is off by at most one core's cost: {max_cost} vs {ideal}+{hottest}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "zero ranks")]
+    fn zero_parts_is_rejected() {
+        let _ = Partition::by_cost(&[1], 0);
     }
 }
 

@@ -8,19 +8,19 @@
 //! calls [`crate::engine::run_rank`] directly inside its own world, exactly
 //! as the paper's in-situ compile-then-simulate flow does.
 
-use crate::checkpoint::RankCheckpoint;
+use crate::checkpoint::{MigrationEnvelope, MigrationRun, RankCheckpoint};
 use crate::engine::{run_rank, run_rank_view, run_rank_with, EngineConfig, RunOptions};
 use crate::model::{ModelError, NetworkModel};
 use crate::partition::{Partition, SurvivorView};
 use crate::recovery::RecoveryPolicy;
 use crate::stats::{RankReport, RunReport};
 use compass_comm::{
-    CrashPlan, FaultInjector, FaultPlan, ReliableConfig, ReliableWorld, TransportMetrics, World,
-    WorldConfig,
+    CrashPlan, FaultInjector, FaultPlan, Rank, RankCtx, ReliableConfig, ReliableWorld,
+    TransportMetrics, World, WorldConfig,
 };
 use std::sync::Arc;
-use std::time::Instant;
-use tn_core::CoreConfig;
+use std::time::{Duration, Instant};
+use tn_core::{CoreConfig, Spike, CORE_SNAPSHOT_BYTES};
 
 /// Simulates `model` on a world of shape `world` with engine options `cfg`.
 ///
@@ -320,6 +320,8 @@ fn stitch_segments(seg1: RankReport, seg2: RankReport, gap: u64) -> RankReport {
     out.death_verdicts += seg1.death_verdicts;
     out.replication_bytes += seg1.replication_bytes;
     out.replication_time += seg1.replication_time;
+    out.delta_replica_ships += seg1.delta_replica_ships;
+    out.full_replica_ships += seg1.full_replica_ships;
     let mut trace = seg1.trace;
     trace.append(&mut out.trace);
     out.trace = trace;
@@ -327,6 +329,815 @@ fn stitch_segments(seg1: RankReport, seg2: RankReport, gap: u64) -> RankReport {
     fires_per_tick.append(&mut out.fires_per_tick);
     out.fires_per_tick = fires_per_tick;
     out
+}
+
+// ---------------------------------------------------------------------------
+// Elastic ranks: live scale-out/in and measured rebalancing.
+// ---------------------------------------------------------------------------
+
+/// One membership transition of an [`ElasticPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElasticEvent {
+    /// A standby (or previously departed) rank joins the simulation and
+    /// receives a share of the cores.
+    Join(Rank),
+    /// An active rank hands its cores to the remaining members and parks.
+    Leave(Rank),
+    /// Membership is unchanged; the core layout is recomputed from the
+    /// measured per-core tick cost exchanged at the boundary.
+    Rebalance,
+}
+
+/// An [`ElasticEvent`] pinned to a tick boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElasticStep {
+    /// The tick boundary the transition executes at (top of this tick).
+    pub at_tick: u32,
+    /// What happens there.
+    pub event: ElasticEvent,
+}
+
+impl ElasticStep {
+    /// `rank` joins at the top of `at_tick`.
+    pub fn join(at_tick: u32, rank: Rank) -> Self {
+        Self {
+            at_tick,
+            event: ElasticEvent::Join(rank),
+        }
+    }
+
+    /// `rank` leaves at the top of `at_tick`.
+    pub fn leave(at_tick: u32, rank: Rank) -> Self {
+        Self {
+            at_tick,
+            event: ElasticEvent::Leave(rank),
+        }
+    }
+
+    /// The members rebalance their core layout at the top of `at_tick`.
+    pub fn rebalance(at_tick: u32) -> Self {
+        Self {
+            at_tick,
+            event: ElasticEvent::Rebalance,
+        }
+    }
+}
+
+/// A deterministic schedule of membership transitions: which ranks start
+/// active and what happens at each boundary. Every rank of the world knows
+/// the full plan (the in-process stand-in for a resource manager's
+/// scale-out/in directives), so the *when* and *who* of each transition
+/// need no agreement round — only dynamic values (collective sequence
+/// numbers, the PGAS epoch, measured costs, core state) travel on the
+/// wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElasticPlan {
+    /// Ranks active from tick 0, ascending. The rest of the world starts
+    /// parked as standbys.
+    pub initial: Vec<Rank>,
+    /// Transitions, strictly ascending by `at_tick`.
+    pub steps: Vec<ElasticStep>,
+}
+
+impl ElasticPlan {
+    /// A plan starting with `initial` active ranks.
+    pub fn new(initial: Vec<Rank>, steps: Vec<ElasticStep>) -> Self {
+        Self { initial, steps }
+    }
+
+    /// Validates the plan against a world of `world` ranks, `ticks` ticks
+    /// and an optional crash, returning the membership after every step.
+    ///
+    /// # Panics
+    /// Panics on an unsatisfiable plan: unknown or duplicate ranks,
+    /// non-monotonic boundaries, joining an active or crashed rank,
+    /// removing the last member, or a crash that falls on a boundary or
+    /// on a parked/buddyless victim.
+    fn validate(&self, world: usize, ticks: u32, crash: Option<&CrashPlan>) {
+        assert!(!self.initial.is_empty(), "need at least one initial rank");
+        assert!(
+            self.initial.windows(2).all(|w| w[0] < w[1]),
+            "initial members must be ascending and unique"
+        );
+        assert!(
+            self.initial.iter().all(|&r| r < world),
+            "initial member outside the world"
+        );
+        let mut members = self.initial.clone();
+        let mut last = 0u32;
+        for (i, step) in self.steps.iter().enumerate() {
+            assert!(
+                step.at_tick > last || (i == 0 && step.at_tick > 0),
+                "boundaries must be strictly ascending and nonzero"
+            );
+            assert!(
+                step.at_tick > 0 && step.at_tick < ticks,
+                "boundary outside the run"
+            );
+            last = step.at_tick;
+            if let Some(cp) = crash {
+                assert_ne!(
+                    cp.at_tick, step.at_tick,
+                    "a crash cannot fall exactly on an elastic boundary"
+                );
+            }
+            match step.event {
+                ElasticEvent::Join(r) => {
+                    assert!(r < world, "joining rank outside the world");
+                    assert!(!members.contains(&r), "rank {r} is already a member");
+                    if let Some(cp) = crash {
+                        assert!(
+                            !(cp.rank == r && cp.at_tick < step.at_tick),
+                            "rank {r} crashed before its join boundary"
+                        );
+                    }
+                    members.push(r);
+                    members.sort_unstable();
+                }
+                ElasticEvent::Leave(r) => {
+                    assert!(members.contains(&r), "rank {r} is not a member");
+                    assert!(members.len() > 1, "the last member cannot leave");
+                    if let Some(cp) = crash {
+                        assert!(
+                            !(cp.rank == r && cp.at_tick >= step.at_tick),
+                            "the crash victim must still be active at its crash tick"
+                        );
+                    }
+                    members.retain(|&m| m != r);
+                }
+                ElasticEvent::Rebalance => {}
+            }
+        }
+        if let Some(cp) = crash {
+            assert!(
+                cp.at_tick > 0 && cp.at_tick < ticks,
+                "crash outside the run"
+            );
+            // The victim must be active with at least one buddy over the
+            // segment containing the crash tick.
+            let mut m = self.initial.clone();
+            for step in &self.steps {
+                if step.at_tick > cp.at_tick {
+                    break;
+                }
+                match step.event {
+                    ElasticEvent::Join(r) => {
+                        m.push(r);
+                        m.sort_unstable();
+                    }
+                    ElasticEvent::Leave(r) => m.retain(|&x| x != r),
+                    ElasticEvent::Rebalance => {}
+                }
+            }
+            assert!(
+                m.contains(&cp.rank),
+                "the crash victim is parked at its crash tick"
+            );
+            assert!(m.len() >= 2, "the crash victim needs a surviving buddy");
+        }
+    }
+}
+
+/// Control-message kinds on the elastic channel (`ctrl_send`/`ctrl_recv`
+/// tag space). One protocol round each; all tagged with the boundary tick
+/// so rounds of different boundaries can never cross.
+const ELASTIC_WELCOME: u8 = 1;
+const ELASTIC_COST: u8 = 2;
+const ELASTIC_MIG: u8 = 3;
+const ELASTIC_DONE: u8 = 4;
+
+/// The world-sized [`Partition`] hosting `total` cores on `members` only:
+/// member blocks split by `costs` (measured per-core tick cost; `None`
+/// means uniform), every non-member block empty — the shape
+/// [`SurvivorView::remap`] expects.
+fn member_partition(
+    total: u64,
+    world: usize,
+    members: &[Rank],
+    costs: Option<&[u64]>,
+) -> Partition {
+    let blocks = match costs {
+        Some(c) => Partition::by_cost(c, members.len()),
+        None => Partition::uniform(total, members.len()),
+    };
+    let mut counts = vec![0u64; world];
+    for (i, &m) in members.iter().enumerate() {
+        counts[m] = blocks.count(i);
+    }
+    Partition::from_counts(&counts)
+}
+
+/// Ascending intersections of two ascending block lists — the contiguous
+/// core runs one old owner must ship to one new owner. Each run falls
+/// inside exactly one block of either side, so its snapshot bytes are
+/// contiguous in both hosts' flat checkpoint blobs.
+fn intersect_blocks(
+    a: &[std::ops::Range<u64>],
+    b: &[std::ops::Range<u64>],
+) -> Vec<std::ops::Range<u64>> {
+    let mut out = Vec::new();
+    for ra in a {
+        for rb in b {
+            let start = ra.start.max(rb.start);
+            let end = ra.end.min(rb.end);
+            if start < end {
+                out.push(start..end);
+            }
+        }
+    }
+    out.sort_by_key(|r| r.start);
+    out
+}
+
+/// Slices the snapshot bytes of global core range `run` out of `host`'s
+/// boundary checkpoint under `view`.
+fn slice_run(
+    view: &SurvivorView,
+    host: Rank,
+    ck: &RankCheckpoint,
+    run: &std::ops::Range<u64>,
+) -> Vec<u8> {
+    let lo = view.local_index(host, run.start) * CORE_SNAPSHOT_BYTES;
+    let hi = lo + (run.end - run.start) as usize * CORE_SNAPSHOT_BYTES;
+    ck.blob[lo..hi].to_vec()
+}
+
+/// What one rank carries out of a segment run (including any in-segment
+/// crash recovery): its stitched report, its boundary checkpoint (when
+/// the segment ended at an elastic boundary), the possibly degraded view,
+/// and the rank that died, if one did.
+struct SegmentOutcome {
+    report: RankReport,
+    checkpoint: Option<RankCheckpoint>,
+    view: SurvivorView,
+    dead: Option<Rank>,
+}
+
+/// Runs one elastic segment `[start of resume .. seg_end)` on this rank,
+/// driving the in-segment crash-survival protocol if a peer dies: the
+/// survivors' verdict interrupts the run, the buddy adopts the victim's
+/// cores from its replica, and the degraded segment replays from the
+/// common boundary to the same segment end. `seed` is the rank's recorded
+/// history up to the segment start (so replicas shipped inside the
+/// segment carry the full observable past).
+#[allow(clippy::too_many_arguments)]
+fn run_segment(
+    ctx: &RankCtx,
+    view: &SurvivorView,
+    model: &NetworkModel,
+    cfg: &EngineConfig,
+    policy: RecoveryPolicy,
+    crash: Option<CrashPlan>,
+    resume: Option<RankCheckpoint>,
+    seed: (Vec<Spike>, Vec<u64>),
+    seg_end: Option<u32>,
+) -> SegmentOutcome {
+    let me = ctx.rank();
+    let configs: Vec<CoreConfig> = view
+        .blocks_of(me)
+        .into_iter()
+        .flat_map(|b| {
+            model.cores[b.start as usize..b.end as usize]
+                .iter()
+                .cloned()
+        })
+        .collect();
+    let opts = RunOptions {
+        checkpoint_at: seg_end,
+        kill_at: seg_end,
+        resume,
+        recovery: Some(policy),
+        crash,
+        seed_history: Some(seed),
+    };
+    let mut out = run_rank_view(ctx, view, configs, &model.initial_deliveries, cfg, &opts);
+    let Some(int) = out.interrupt.take() else {
+        return SegmentOutcome {
+            report: out.report,
+            checkpoint: out.checkpoint,
+            view: view.clone(),
+            dead: None,
+        };
+    };
+
+    // A peer died inside this segment: adopt, merge, and replay the rest
+    // of the segment in the degraded view. The engine already wound the
+    // report back to the common boundary.
+    let mut rep1 = out.report;
+    let view2 = view.without(int.dead);
+    let configs2: Vec<CoreConfig> = view2
+        .blocks_of(me)
+        .into_iter()
+        .flat_map(|b| {
+            model.cores[b.start as usize..b.end as usize]
+                .iter()
+                .cloned()
+        })
+        .collect();
+    // Merge own + adopted cores in ascending global order — the layout
+    // `view2.local_index` expects. Each original-rank block is contiguous
+    // in its old host's checkpoint, so this is a sequence of range copies.
+    let mut adopted_cores = 0u64;
+    let mut pieces: Vec<(std::ops::Range<u64>, bool)> =
+        view.blocks_of(me).into_iter().map(|b| (b, false)).collect();
+    if let Some(rp) = &int.adopted {
+        adopted_cores = rp.ckpt.core_count() as u64;
+        pieces.extend(view.blocks_of(int.dead).into_iter().map(|b| (b, true)));
+        // The victim's recorded history died with its thread; its replica
+        // carries it, and it joins this rank's own pre-boundary history.
+        rep1.trace.extend(rp.trace.iter().copied());
+        if rep1.fires_per_tick.len() < rp.fires_per_tick.len() {
+            rep1.fires_per_tick.resize(rp.fires_per_tick.len(), 0);
+        }
+        for (a, b) in rep1.fires_per_tick.iter_mut().zip(&rp.fires_per_tick) {
+            *a += b;
+        }
+    }
+    pieces.sort_by_key(|(r, _)| r.start);
+    let mut blob = Vec::new();
+    for (run, from_dead) in &pieces {
+        let (host, ck) = if *from_dead {
+            (
+                int.dead,
+                &int.adopted
+                    .as_ref()
+                    .expect("adopted pieces imply a replica")
+                    .ckpt,
+            )
+        } else {
+            (me, &int.resume)
+        };
+        blob.extend_from_slice(&slice_run(view, host, ck, run));
+    }
+    let merged = RankCheckpoint {
+        rank: me as u32,
+        start_tick: int.resume.start_tick(),
+        blob,
+    };
+    let seed2 = (
+        rep1.trace.clone(),
+        if cfg.tick_stats {
+            rep1.fires_per_tick.clone()
+        } else {
+            Vec::new()
+        },
+    );
+    let opts2 = RunOptions {
+        checkpoint_at: seg_end,
+        kill_at: seg_end,
+        resume: Some(merged),
+        recovery: Some(policy),
+        crash: None,
+        seed_history: Some(seed2),
+    };
+    let out2 = run_rank_view(
+        ctx,
+        &view2,
+        configs2,
+        &model.initial_deliveries,
+        cfg,
+        &opts2,
+    );
+    assert!(
+        out2.interrupt.is_none(),
+        "one crash per run: the degraded segment must finish"
+    );
+    let gap = u64::from(int.at_tick - int.resume.start_tick());
+    let mut report = fold_segments(rep1, out2.report);
+    report.replayed_ticks += gap;
+    report.adopted_cores += adopted_cores;
+    SegmentOutcome {
+        report,
+        checkpoint: out2.checkpoint,
+        view: view2,
+        dead: Some(int.dead),
+    }
+}
+
+/// Folds an earlier segment's report into a later one whose history was
+/// *seeded* with the earlier segment's (so trace and per-tick fires come
+/// from the later report alone — they are already cumulative). Lifetime
+/// core-derived values travel inside the checkpoints and come from the
+/// later segment; reliable-layer counters are cumulative over the shared
+/// world and come from the later segment; everything else is work done,
+/// and sums.
+fn fold_segments(prev: RankReport, next: RankReport) -> RankReport {
+    let mut out = next;
+    out.phases.add(&prev.phases);
+    out.spikes_local += prev.spikes_local;
+    out.spikes_remote += prev.spikes_remote;
+    out.messages_sent += prev.messages_sent;
+    for (a, b) in out.bytes_to.iter_mut().zip(&prev.bytes_to) {
+        *a += b;
+    }
+    out.critical_wait += prev.critical_wait;
+    out.critical_hold += prev.critical_hold;
+    out.synapse_skips += prev.synapse_skips;
+    out.neuron_skips += prev.neuron_skips;
+    out.checkpoint_bytes += prev.checkpoint_bytes;
+    out.checkpoint_time += prev.checkpoint_time;
+    out.rollbacks += prev.rollbacks;
+    out.replayed_ticks += prev.replayed_ticks;
+    out.recovery_time += prev.recovery_time;
+    out.death_verdicts += prev.death_verdicts;
+    out.replication_bytes += prev.replication_bytes;
+    out.replication_time += prev.replication_time;
+    out.delta_replica_ships += prev.delta_replica_ships;
+    out.full_replica_ships += prev.full_replica_ships;
+    out.adopted_cores += prev.adopted_cores;
+    out.migrated_cores += prev.migrated_cores;
+    out.migration_bytes += prev.migration_bytes;
+    out.migration_time += prev.migration_time;
+    out
+}
+
+/// Simulates `model` under a deterministic schedule of live membership
+/// transitions: ranks join and leave the running world at tick
+/// boundaries, cores migrate between ranks over checkpoint splices, and
+/// the spike trace stays bit-identical to a run that never scaled.
+///
+/// Every segment runs crash-survival-armed (`policy.survive_crashes` is
+/// forced on), so buddy replication is live throughout and an optional
+/// `crash` composes with the schedule: the victim's cores are adopted
+/// mid-segment exactly as in [`run_surviving`], and later transitions
+/// proceed among the survivors. Optional message faults (`plan`) compose
+/// as in [`run_recovering`].
+///
+/// At each boundary the active ranks exit their segment holding a
+/// checkpoint of that boundary, then run the admission protocol over the
+/// control channel: WELCOME (a joiner aligns its collective sequence
+/// number and PGAS epoch with the incumbents'), COST (rebalance only —
+/// every member publishes its measured per-core tick cost so all ranks
+/// compute the identical [`Partition::by_cost`] layout), MIG (each old
+/// owner ships the checkpoint runs that intersect each new owner's
+/// block), and DONE (the collective admission verdict — an all-to-all
+/// barrier no rank passes until every participant finished migrating).
+///
+/// # Errors
+/// Returns the first [`ModelError`] if the model is inconsistent.
+///
+/// # Panics
+/// Panics when the plan is unsatisfiable (see [`ElasticPlan`]) or a rank
+/// other than the planned crash victim dies.
+#[allow(clippy::too_many_lines)]
+pub fn run_elastic(
+    model: &NetworkModel,
+    world: WorldConfig,
+    cfg: &EngineConfig,
+    plan: Option<FaultPlan>,
+    crash: Option<CrashPlan>,
+    elastic: &ElasticPlan,
+    policy: RecoveryPolicy,
+) -> Result<RunReport, ModelError> {
+    model.validate()?;
+    elastic.validate(world.ranks, cfg.ticks, crash.as_ref());
+    let policy = RecoveryPolicy {
+        survive_crashes: true,
+        ..policy
+    };
+    let n_world = world.ranks;
+    let total = model.total_cores();
+    let metrics = Arc::new(TransportMetrics::new());
+    let faults = plan.map(|p| Arc::new(FaultInjector::new(p, n_world)));
+    let rely_cfg = match &plan {
+        Some(p) => ReliableConfig::against(p),
+        None => ReliableConfig::default(),
+    };
+    let rely = Arc::new(ReliableWorld::new(n_world, Arc::clone(&metrics), rely_cfg));
+    let elastic = elastic.clone();
+    let started = Instant::now();
+    let results =
+        World::try_run_with_recovery(world, Arc::clone(&metrics), faults, Some(rely), |ctx| {
+            let me = ctx.rank();
+            let mut members = elastic.initial.clone();
+            let mut part = member_partition(total, n_world, &members, None);
+            let mut view = SurvivorView::remap(part.clone(), members.clone());
+            // Standbys sit outside the PGAS commit barrier until admitted.
+            if !members.contains(&me) {
+                ctx.pgas().detach(me);
+            }
+            let mut acc: Option<RankReport> = None;
+            let mut resume: Option<RankCheckpoint> = None;
+            let mut history: (Vec<Spike>, Vec<u64>) = (Vec::new(), Vec::new());
+            let mut dead: Option<Rank> = None;
+            let mut start = 0u32;
+            let mut adopted_total = 0u64;
+            let mut mig_cores = 0u64;
+            let mut mig_bytes = 0u64;
+            let mut mig_time = Duration::ZERO;
+
+            for i in 0..=elastic.steps.len() {
+                let step = elastic.steps.get(i);
+                let seg_end = step.map(|s| s.at_tick);
+
+                // ---- Run the segment (active ranks only) ----
+                let mut boundary_ck: Option<RankCheckpoint> = None;
+                if members.contains(&me) {
+                    let seg = run_segment(
+                        ctx,
+                        &view,
+                        model,
+                        cfg,
+                        policy,
+                        crash,
+                        resume.take(),
+                        (
+                            if cfg.record_trace {
+                                history.0.clone()
+                            } else {
+                                Vec::new()
+                            },
+                            if cfg.tick_stats {
+                                history.1.clone()
+                            } else {
+                                Vec::new()
+                            },
+                        ),
+                        seg_end,
+                    );
+                    if let Some(d) = seg.dead {
+                        let cp = crash.expect("an unplanned rank death");
+                        assert_eq!(d, cp.rank, "only the planned victim may die");
+                        dead = Some(d);
+                        members.retain(|&m| m != d);
+                        adopted_total += seg.report.adopted_cores;
+                    }
+                    view = seg.view;
+                    history = (seg.report.trace.clone(), seg.report.fires_per_tick.clone());
+                    boundary_ck = seg.checkpoint;
+                    acc = Some(match acc.take() {
+                        None => seg.report,
+                        Some(a) => fold_segments(a, seg.report),
+                    });
+                } else if let Some(cp) = &crash {
+                    // Parked ranks track deaths from the (shared) plan so
+                    // their view of membership stays in lockstep.
+                    let in_window = cp.at_tick >= start && seg_end.is_none_or(|e| cp.at_tick < e);
+                    if in_window && members.contains(&cp.rank) {
+                        dead = Some(cp.rank);
+                        members.retain(|&m| m != cp.rank);
+                        view = view.without(cp.rank);
+                    }
+                }
+
+                let Some(step) = step else { break };
+                let b = step.at_tick;
+
+                // ---- Boundary protocol ----
+                let old_members = members.clone();
+                let mut new_members = members.clone();
+                let mut joiner: Option<Rank> = None;
+                let mut leaver: Option<Rank> = None;
+                match step.event {
+                    ElasticEvent::Join(r) => {
+                        assert_ne!(Some(r), dead, "cannot admit a crashed rank");
+                        joiner = Some(r);
+                        new_members.push(r);
+                        new_members.sort_unstable();
+                    }
+                    ElasticEvent::Leave(r) => {
+                        if Some(r) == dead {
+                            // The planned leaver already crashed; the
+                            // boundary degenerates to a rebalance among
+                            // the survivors.
+                        } else {
+                            leaver = Some(r);
+                            new_members.retain(|&m| m != r);
+                        }
+                    }
+                    ElasticEvent::Rebalance => {}
+                }
+                assert!(!new_members.is_empty(), "the world emptied out");
+                let participants: Vec<Rank> = {
+                    let mut p = old_members.clone();
+                    if let Some(j) = joiner {
+                        p.push(j);
+                        p.sort_unstable();
+                    }
+                    p
+                };
+                let involved = participants.contains(&me);
+                let rebalance = matches!(step.event, ElasticEvent::Rebalance);
+                let t0 = Instant::now();
+
+                // WELCOME: the incumbents' leader hands the joiner the
+                // dynamic state a parked rank cannot know — the collective
+                // sequence counter and the PGAS epoch.
+                if let Some(j) = joiner {
+                    let leader = old_members[0];
+                    if me == leader {
+                        let mut payload = Vec::with_capacity(16);
+                        payload.extend_from_slice(&ctx.comm().seq().to_le_bytes());
+                        payload.extend_from_slice(&ctx.pgas().epoch().to_le_bytes());
+                        ctx.comm().ctrl_send(j, ELASTIC_WELCOME, b, payload);
+                    }
+                    if me == j {
+                        let w = ctx
+                            .comm()
+                            .ctrl_recv_until(leader, ELASTIC_WELCOME, b, ctx.membership())
+                            .expect("the welcoming leader died before the join boundary");
+                        let seq = u64::from_le_bytes(w[0..8].try_into().expect("welcome seq"));
+                        let epoch = u64::from_le_bytes(w[8..16].try_into().expect("welcome epoch"));
+                        ctx.comm().sync_seq(seq);
+                        ctx.pgas().set_epoch(epoch);
+                        // Collective admission: fresh pair state on the
+                        // reliable layer, liveness flag on, and a seat in
+                        // the PGAS commit barrier (quiescent here — every
+                        // incumbent is inside the boundary protocol).
+                        ctx.reliable()
+                            .expect("elastic worlds install a reliable layer")
+                            .admit_rank(me);
+                        ctx.membership().admit(me);
+                        ctx.pgas().attach(me);
+                        // Parked ticks observed no fires.
+                        if cfg.tick_stats {
+                            history.1.resize(b as usize, 0);
+                        }
+                    }
+                }
+
+                // COST: every member publishes its measured per-core tick
+                // cost to the whole world (parked ranks track the layout
+                // too — they need it to compute intersections when they
+                // later join). All ranks then assemble the identical
+                // global cost vector and compute the identical layout.
+                let new_part = if rebalance {
+                    let my_costs: Vec<u64> = if old_members.contains(&me) {
+                        let rep = acc.as_ref().expect("active ranks have a report");
+                        assert_eq!(
+                            rep.core_tick_ns.len() as u64,
+                            view.count(me),
+                            "rank {me}: cost vector does not cover the hosted cores"
+                        );
+                        rep.core_tick_ns.clone()
+                    } else {
+                        Vec::new()
+                    };
+                    if old_members.contains(&me) {
+                        let mut payload = Vec::with_capacity(8 * my_costs.len());
+                        for c in &my_costs {
+                            payload.extend_from_slice(&c.to_le_bytes());
+                        }
+                        for dst in 0..n_world {
+                            if dst != me && Some(dst) != dead {
+                                ctx.comm().ctrl_send(dst, ELASTIC_COST, b, payload.clone());
+                            }
+                        }
+                    }
+                    let mut global = vec![0u64; total as usize];
+                    for &o in &old_members {
+                        let costs: Vec<u64> = if o == me {
+                            my_costs.clone()
+                        } else {
+                            let raw = ctx.comm().ctrl_recv(o, ELASTIC_COST, b);
+                            raw.chunks_exact(8)
+                                .map(|c| u64::from_le_bytes(c.try_into().expect("cost word")))
+                                .collect()
+                        };
+                        let mut at = 0usize;
+                        for block in view.blocks_of(o) {
+                            for core in block {
+                                global[core as usize] = costs[at];
+                                at += 1;
+                            }
+                        }
+                    }
+                    member_partition(total, n_world, &new_members, Some(&global))
+                } else {
+                    member_partition(total, n_world, &new_members, None)
+                };
+                let new_view = SurvivorView::remap(new_part.clone(), new_members.clone());
+
+                // MIG: old owners ship the checkpoint runs that intersect
+                // each new owner's layout; receivers splice them (plus
+                // their own kept runs) into the resumed checkpoint.
+                if involved {
+                    let mut my_runs: Vec<MigrationRun> = Vec::new();
+                    if old_members.contains(&me) {
+                        let ck = boundary_ck
+                            .as_ref()
+                            .expect("an active rank exits a boundary with its checkpoint");
+                        assert_eq!(ck.start_tick(), b, "boundary checkpoint tick mismatch");
+                        let mine = view.blocks_of(me);
+                        for &m in &new_members {
+                            let runs = intersect_blocks(&mine, &new_view.blocks_of(m));
+                            if m == me {
+                                for run in &runs {
+                                    my_runs.push(MigrationRun {
+                                        global_start: run.start,
+                                        blob: slice_run(&view, me, ck, run),
+                                    });
+                                }
+                            } else if !runs.is_empty() {
+                                let env = MigrationEnvelope {
+                                    boundary: b,
+                                    runs: runs
+                                        .iter()
+                                        .map(|run| MigrationRun {
+                                            global_start: run.start,
+                                            blob: slice_run(&view, me, ck, run),
+                                        })
+                                        .collect(),
+                                };
+                                mig_bytes += env.total_bytes();
+                                ctx.comm().ctrl_send(m, ELASTIC_MIG, b, env.to_bytes());
+                            }
+                        }
+                    }
+                    if new_members.contains(&me) {
+                        let mine_new = new_view.blocks_of(me);
+                        for &o in &old_members {
+                            if o == me {
+                                continue;
+                            }
+                            let expected = intersect_blocks(&view.blocks_of(o), &mine_new);
+                            if expected.is_empty() {
+                                continue;
+                            }
+                            let raw = ctx.comm().ctrl_recv(o, ELASTIC_MIG, b);
+                            let env = MigrationEnvelope::from_bytes(&raw)
+                                .expect("migration envelope survived the internal channel");
+                            assert_eq!(env.boundary, b, "migration boundary mismatch");
+                            mig_cores += env.core_count() as u64;
+                            my_runs.extend(env.runs);
+                        }
+                        my_runs.sort_by_key(|r| r.global_start);
+                        let mut blob =
+                            Vec::with_capacity(my_runs.iter().map(|r| r.blob.len()).sum());
+                        for run in &my_runs {
+                            blob.extend_from_slice(&run.blob);
+                        }
+                        assert_eq!(
+                            blob.len(),
+                            new_view.count(me) as usize * CORE_SNAPSHOT_BYTES,
+                            "rank {me}: spliced checkpoint does not fill the new block"
+                        );
+                        resume = Some(RankCheckpoint {
+                            rank: me as u32,
+                            start_tick: b,
+                            blob,
+                        });
+                    } else {
+                        resume = None;
+                    }
+
+                    // DONE: the collective admission verdict — an
+                    // all-to-all no participant passes until every other
+                    // has finished migrating, so no rank can leak traffic
+                    // from the next segment into this boundary.
+                    for &p in &participants {
+                        if p != me {
+                            ctx.comm().ctrl_send(p, ELASTIC_DONE, b, Vec::new());
+                        }
+                    }
+                    for &p in &participants {
+                        if p != me {
+                            let _ = ctx.comm().ctrl_recv(p, ELASTIC_DONE, b);
+                        }
+                    }
+                    if leaver == Some(me) {
+                        ctx.pgas().detach(me);
+                    }
+                    mig_time += t0.elapsed();
+                }
+
+                members = new_members;
+                part = new_part;
+                view = new_view;
+                start = b;
+            }
+            let _ = (start, &part);
+
+            let mut out = acc.unwrap_or_default();
+            out.adopted_cores = adopted_total;
+            out.migrated_cores += mig_cores;
+            out.migration_bytes += mig_bytes;
+            out.migration_time += mig_time;
+            out
+        });
+
+    let mut ranks = Vec::with_capacity(n_world);
+    for (rank, res) in results.into_iter().enumerate() {
+        match res {
+            Ok(report) => ranks.push(report),
+            Err(failure) => {
+                let cp = crash.expect("a rank died with no crash planned");
+                assert_eq!(rank, cp.rank, "only the planned victim may die");
+                let rc = failure
+                    .crash()
+                    .unwrap_or_else(|| panic!("victim died abnormally: {}", failure.message()));
+                assert_eq!((rc.rank, rc.tick), (cp.rank, cp.at_tick));
+                ranks.push(RankReport::default());
+            }
+        }
+    }
+    let wall = started.elapsed();
+    Ok(RunReport {
+        ranks,
+        wall,
+        ticks: cfg.ticks,
+        transport: metrics.snapshot(),
+    })
 }
 
 #[cfg(test)]

@@ -138,6 +138,24 @@ pub struct RankReport {
     pub replication_bytes: u64,
     /// Wall-clock spent serializing and shipping those replicas.
     pub replication_time: Duration,
+    /// Delta replica payloads shipped (only dirtied cores travelled; see
+    /// [`crate::RecoveryPolicy::delta_replicas`]).
+    pub delta_replica_ships: u64,
+    /// Full replica payloads shipped (first boundary per segment, buddy
+    /// changes, and periodic re-anchoring epochs).
+    pub full_replica_ships: u64,
+    /// Measured per-core tick cost, in EWMA-smoothed nanoseconds, indexed
+    /// like [`RankReport::fires_per_core`] — the elastic rebalancer's
+    /// input signal (empty unless an elastic run requested it).
+    pub core_tick_ns: Vec<u64>,
+    /// Cores this rank shipped to or received from peers at elastic
+    /// boundaries (joins, leaves, and rebalances).
+    pub migrated_cores: u64,
+    /// Bytes of migration envelopes this rank sent at elastic boundaries.
+    pub migration_bytes: u64,
+    /// Wall-clock this rank spent packing, shipping, and splicing
+    /// migration envelopes at elastic boundaries.
+    pub migration_time: Duration,
     /// Every spike emitted on this rank, if trace recording was requested.
     pub trace: Vec<Spike>,
 }
@@ -245,6 +263,36 @@ impl RunReport {
     /// Total buddy-replica bytes shipped across all ranks.
     pub fn total_replication_bytes(&self) -> u64 {
         self.ranks.iter().map(|r| r.replication_bytes).sum()
+    }
+
+    /// Total delta replica payloads shipped across all ranks.
+    pub fn total_delta_replica_ships(&self) -> u64 {
+        self.ranks.iter().map(|r| r.delta_replica_ships).sum()
+    }
+
+    /// Total full replica payloads shipped across all ranks.
+    pub fn total_full_replica_ships(&self) -> u64 {
+        self.ranks.iter().map(|r| r.full_replica_ships).sum()
+    }
+
+    /// Total cores migrated at elastic boundaries across all ranks
+    /// (senders only, so a migrated core counts once).
+    pub fn total_migrated_cores(&self) -> u64 {
+        self.ranks.iter().map(|r| r.migrated_cores).sum()
+    }
+
+    /// Total migration-envelope bytes shipped across all ranks.
+    pub fn total_migration_bytes(&self) -> u64 {
+        self.ranks.iter().map(|r| r.migration_bytes).sum()
+    }
+
+    /// Slowest rank's wall-clock spent on elastic migration.
+    pub fn migration_time(&self) -> Duration {
+        self.ranks
+            .iter()
+            .map(|r| r.migration_time)
+            .max()
+            .unwrap_or(Duration::ZERO)
     }
 
     /// Slowest rank's wall-clock spent in recovery machinery.
@@ -470,6 +518,37 @@ mod tests {
         assert_eq!(r.collective_time(), ms(7));
         assert_eq!(r.total_inbox_routed(), 15);
         assert_eq!(r.total_staging_bytes(), 150);
+    }
+
+    #[test]
+    fn elastic_counters_roll_up() {
+        let r = report_with(
+            vec![
+                RankReport {
+                    delta_replica_ships: 6,
+                    full_replica_ships: 2,
+                    migrated_cores: 3,
+                    migration_bytes: 1000,
+                    migration_time: ms(4),
+                    ..Default::default()
+                },
+                RankReport {
+                    delta_replica_ships: 1,
+                    full_replica_ships: 1,
+                    migrated_cores: 0,
+                    migration_bytes: 0,
+                    migration_time: ms(9),
+                    ..Default::default()
+                },
+            ],
+            10,
+            ms(20),
+        );
+        assert_eq!(r.total_delta_replica_ships(), 7);
+        assert_eq!(r.total_full_replica_ships(), 3);
+        assert_eq!(r.total_migrated_cores(), 3);
+        assert_eq!(r.total_migration_bytes(), 1000);
+        assert_eq!(r.migration_time(), ms(9), "slowest rank bounds the run");
     }
 
     #[test]

@@ -107,6 +107,13 @@ pub struct CorePool {
     events: Vec<u64>,
     /// Engine quiescence bookkeeping: core produced no activity last tick.
     dormant: Vec<bool>,
+    /// Slot state mutated since the last [`CorePool::clear_dirty`] —
+    /// the delta-replication bitmap. Set by every snapshot-visible
+    /// mutation path (deliver, phases, restore, `set_potential`); the
+    /// skip paths leave it clear because a skipped slot's snapshot
+    /// changes only in its tick counter, which the delta receiver
+    /// reconstructs arithmetically.
+    dirty: Vec<bool>,
     #[cfg(debug_assertions)]
     synapse_done: Vec<bool>,
     word_kernels: bool,
@@ -152,6 +159,7 @@ impl CorePool {
             stepped: Vec::with_capacity(n),
             events: Vec::with_capacity(n),
             dormant: Vec::with_capacity(n),
+            dirty: Vec::with_capacity(n),
             #[cfg(debug_assertions)]
             synapse_done: Vec::with_capacity(n),
             word_kernels: true,
@@ -241,6 +249,7 @@ impl CorePool {
         self.stepped.push(0);
         self.events.push(0);
         self.dormant.push(false);
+        self.dirty.push(true);
         #[cfg(debug_assertions)]
         self.synapse_done.push(false);
         Ok(slot)
@@ -329,6 +338,25 @@ impl CorePool {
         }
     }
 
+    /// Whether slot `k` has been mutated since the last
+    /// [`CorePool::clear_dirty`].
+    #[must_use]
+    pub fn dirty(&self, k: usize) -> bool {
+        self.dirty[k]
+    }
+
+    /// Number of slots currently marked dirty.
+    #[must_use]
+    pub fn dirty_count(&self) -> usize {
+        self.dirty.iter().filter(|&&d| d).count()
+    }
+
+    /// Clears every slot's dirty flag — called after shipping a delta
+    /// replica, opening the next dirty epoch.
+    pub fn clear_dirty(&mut self) {
+        self.dirty.fill(false);
+    }
+
     /// Serializes slot `k` into the versioned 3632-byte `TNCS` snapshot.
     #[must_use]
     pub fn snapshot_bytes(&self, k: usize) -> Vec<u8> {
@@ -393,6 +421,7 @@ impl CorePool {
                 * std::mem::size_of::<NeuronMask>()
             + (self.kernel_ticks.capacity() + self.stepped.capacity() + self.events.capacity()) * 8
             + self.dormant.capacity()
+            + self.dirty.capacity()
     }
 
     /// Bytes one boxed `NeurosynapticCore` used to keep resident — the
@@ -447,6 +476,7 @@ impl CorePool {
             stepped: &mut self.stepped,
             events: &mut self.events,
             dormant: &mut self.dormant,
+            dirty: &mut self.dirty,
             #[cfg(debug_assertions)]
             synapse_done: &mut self.synapse_done,
             word_kernels: self.word_kernels,
@@ -514,6 +544,7 @@ pub struct PoolSlice<'a> {
     stepped: &'a mut [u64],
     events: &'a mut [u64],
     dormant: &'a mut [bool],
+    dirty: &'a mut [bool],
     #[cfg(debug_assertions)]
     synapse_done: &'a mut [bool],
     word_kernels: bool,
@@ -556,6 +587,25 @@ impl<'a> PoolSlice<'a> {
         self.events[k]
     }
 
+    /// Whether slice-local slot `k` took a snapshot-visible mutation since
+    /// the dirty bitmap was last cleared (see [`CorePool::dirty`]).
+    #[must_use]
+    pub fn dirty(&self, k: usize) -> bool {
+        self.dirty[k]
+    }
+
+    /// Dirtied slots in this slice since the last clear.
+    #[must_use]
+    pub fn dirty_count(&self) -> usize {
+        self.dirty.iter().filter(|&&d| d).count()
+    }
+
+    /// Clears the slice's dirty bits — call after shipping a delta
+    /// replica, so the next delta covers exactly the mutations since.
+    pub fn clear_dirty(&mut self) {
+        self.dirty.fill(false);
+    }
+
     /// Sets slot `k`'s delivered-events count (engine bookkeeping).
     pub fn set_events(&mut self, k: usize, events: u64) {
         self.events[k] = events;
@@ -582,6 +632,7 @@ impl<'a> PoolSlice<'a> {
             self.delay_live[k] += 1;
         }
         self.delay_bits[a] |= mask;
+        self.dirty[k] = true;
     }
 
     /// Synapse phase for slot `k` at tick `t`: drains due deliveries into
@@ -615,6 +666,7 @@ impl<'a> PoolSlice<'a> {
         };
         self.syn_events[k] += events;
         self.ticks[k] += 1;
+        self.dirty[k] = true;
         #[cfg(debug_assertions)]
         {
             self.synapse_done[k] = true;
@@ -648,6 +700,7 @@ impl<'a> PoolSlice<'a> {
             );
             self.synapse_done[k] = false;
         }
+        self.dirty[k] = true;
         let changed = if self.word_kernels {
             self.masked_sweep(k, tick, emit)
         } else {
@@ -830,6 +883,7 @@ impl<'a> PoolSlice<'a> {
     pub fn set_potential(&mut self, k: usize, neuron: usize, v: i32) {
         self.potentials[k * CORE_NEURONS + neuron] = v;
         self.restless[k][neuron / 64] |= 1u64 << (neuron % 64);
+        self.dirty[k] = true;
     }
 
     /// Lifetime fire count of slot `k`.
@@ -928,6 +982,7 @@ impl<'a> PoolSlice<'a> {
         self.touched[k] = EMPTY_MASK;
         self.events[k] = 0;
         self.dormant[k] = false;
+        self.dirty[k] = true;
         #[cfg(debug_assertions)]
         {
             self.synapse_done[k] = false;
@@ -986,6 +1041,7 @@ pub struct PoolShards<'p> {
     stepped: *mut u64,
     events: *mut u64,
     dormant: *mut bool,
+    dirty: *mut bool,
     #[cfg(debug_assertions)]
     synapse_done: *mut bool,
     word_kernels: bool,
@@ -1030,6 +1086,7 @@ impl<'p> PoolShards<'p> {
             stepped: pool.stepped.as_mut_ptr(),
             events: pool.events.as_mut_ptr(),
             dormant: pool.dormant.as_mut_ptr(),
+            dirty: pool.dirty.as_mut_ptr(),
             #[cfg(debug_assertions)]
             synapse_done: pool.synapse_done.as_mut_ptr(),
             word_kernels: pool.word_kernels,
@@ -1099,6 +1156,7 @@ impl<'p> PoolShards<'p> {
                 stepped: std::slice::from_raw_parts_mut(self.stepped.add(s), n),
                 events: std::slice::from_raw_parts_mut(self.events.add(s), n),
                 dormant: std::slice::from_raw_parts_mut(self.dormant.add(s), n),
+                dirty: std::slice::from_raw_parts_mut(self.dirty.add(s), n),
                 #[cfg(debug_assertions)]
                 synapse_done: std::slice::from_raw_parts_mut(self.synapse_done.add(s), n),
                 word_kernels: self.word_kernels,
@@ -1526,6 +1584,79 @@ mod tests {
         assert!(pool.push(bad).is_err());
         assert_eq!(pool.len(), 1);
         assert_eq!(pool.potentials.len(), CORE_NEURONS);
+    }
+
+    #[test]
+    fn dirty_bitmap_tracks_mutations_not_skips() {
+        let mut pool = CorePool::new();
+        pool.push(gauntlet_config(0)).unwrap();
+        pool.push(CoreConfig::blank(1, 9)).unwrap();
+        assert_eq!(pool.dirty_count(), 2, "freshly pushed slots start dirty");
+        pool.clear_dirty();
+        assert_eq!(pool.dirty_count(), 0);
+
+        // A delivery dirties its slot only.
+        let mut slice = pool.full();
+        slice.deliver(0, 3, 1);
+        assert!(pool.dirty(0));
+        assert!(!pool.dirty(1));
+        pool.clear_dirty();
+
+        // Real phases dirty; the quiescence skip paths do not.
+        let mut slice = pool.full();
+        assert!(!slice.tick_synapse(0, 1, true), "in-flight spike: no skip");
+        slice.tick_neuron(0, 1, true, &mut |_| {});
+        assert!(slice.tick_synapse(1, 1, true), "idle blank core skips");
+        slice.tick_neuron(1, 1, true, &mut |_| {});
+        assert!(pool.dirty(0));
+        // Slot 1's first neuron sweep runs (dormancy not yet established),
+        // so it is dirty this tick...
+        assert!(pool.dirty(1));
+        pool.clear_dirty();
+        // ...but from the next tick on both phases skip and it stays clean.
+        let mut slice = pool.full();
+        assert!(slice.tick_synapse(1, 2, true));
+        assert!(slice.tick_neuron(1, 2, true, &mut |_| {}));
+        assert!(!pool.dirty(1));
+
+        // Restore and set_potential both dirty their slot.
+        let snap = pool.snapshot_bytes(1);
+        let mut slice = pool.full();
+        slice.restore(1, &snap).unwrap();
+        assert!(pool.dirty(1));
+        pool.clear_dirty();
+        let mut slice = pool.full();
+        slice.set_potential(1, 0, 5);
+        assert!(pool.dirty(1));
+    }
+
+    /// A clean (skip-path) slot's snapshot differs from its epoch-base
+    /// snapshot *only* in the tick counter at bytes `[16..24)` — the
+    /// invariant that lets a delta replica patch clean mirror slots
+    /// arithmetically instead of shipping them.
+    #[test]
+    fn clean_slot_snapshot_differs_only_in_ticks() {
+        let mut pool = CorePool::new();
+        pool.push(CoreConfig::blank(7, 3)).unwrap();
+        // Establish dormancy with one real tick.
+        let mut slice = pool.full();
+        slice.tick_synapse(0, 0, true);
+        slice.tick_neuron(0, 0, true, &mut |_| {});
+        let base = pool.snapshot_bytes(0);
+        pool.clear_dirty();
+
+        let mut slice = pool.full();
+        for t in 1..=5u32 {
+            assert!(slice.tick_synapse(0, t, true), "must stay on skip path");
+            assert!(slice.tick_neuron(0, t, true, &mut |_| {}));
+        }
+        assert!(!pool.dirty(0));
+        let now = pool.snapshot_bytes(0);
+        assert_eq!(&base[..16], &now[..16]);
+        assert_eq!(&base[24..], &now[24..]);
+        let base_ticks = u64::from_le_bytes(base[16..24].try_into().unwrap());
+        let now_ticks = u64::from_le_bytes(now[16..24].try_into().unwrap());
+        assert_eq!(now_ticks, base_ticks + 5);
     }
 
     #[test]
