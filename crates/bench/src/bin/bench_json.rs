@@ -12,8 +12,9 @@
 use compass_bench::json::validate_kernels_json;
 use compass_comm::{CrashPlan, TransportMetrics, World, WorldConfig};
 use compass_sim::{
-    run, run_elastic, run_rank_with, run_recovering, run_surviving, Backend, BatchedSimulation,
-    ElasticPlan, ElasticStep, EngineConfig, NetworkModel, Partition, RecoveryPolicy, RunOptions,
+    run, run_durable, run_elastic, run_rank_with, run_recovering, run_surviving, Backend,
+    BatchedSimulation, CheckpointStore, DurabilityPolicy, ElasticPlan, ElasticStep, EngineConfig,
+    GenKind, NetworkModel, Partition, RecoveryPolicy, RunOptions,
 };
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -601,7 +602,123 @@ fn main() {
         full_over * 100.0,
         delta_reduction * 100.0
     );
-    out.push_str("  ]\n");
+    out.push_str("  ],\n");
+
+    // Durable checkpointing priced on the reference ring and at CoCoMac
+    // scale: the same run bare, with the store writer on but the OS page
+    // cache trusted (fsync off), and with the full crash-safe discipline
+    // (fsync file + directory at every commit step). Restart equivalence
+    // is enforced by tests/durability.rs; this section only prices the
+    // writer and the full-vs-delta footprint per generation.
+    out.push_str("  \"durable\": [\n");
+    let mut rows = Vec::new();
+    let tmp_root =
+        std::env::temp_dir().join(format!("compass-bench-durable-{}", std::process::id()));
+    for (name, model, du_ticks) in [
+        (
+            "relay_ring(20,8)",
+            NetworkModel::relay_ring(20, 8, 0),
+            256u32,
+        ),
+        ("cocomac(1024)", el_model.clone(), 48),
+    ] {
+        let du_every = 8u32;
+        let du_world = WorldConfig::new(2, 1);
+        let du_engine = EngineConfig {
+            ticks: du_ticks,
+            backend: Backend::Mpi,
+            ..EngineConfig::default()
+        };
+        let dir = tmp_root.join(name.replace(['(', ')', ','], "_"));
+        // Every timed run starts from an empty store — a leftover
+        // generation would turn the run into a (much shorter) resume.
+        let fresh = |sync: bool| -> DurabilityPolicy {
+            let _ = std::fs::remove_dir_all(&dir);
+            DurabilityPolicy {
+                every: du_every,
+                retain: 0, // keep all generations: the footprint is the datum
+                sync,
+                ..DurabilityPolicy::new(&dir)
+            }
+        };
+        let du_per_tick = |f: &dyn Fn() -> u64| {
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                let t = Instant::now();
+                std::hint::black_box(f());
+                best = best.min(t.elapsed().as_nanos() as f64 / f64::from(du_ticks));
+            }
+            best
+        };
+        let base_ns = du_per_tick(&|| {
+            run(&model, du_world, &du_engine)
+                .expect("valid model")
+                .total_fires()
+        });
+        let nosync_ns = du_per_tick(&|| {
+            run_durable(&model, du_world, &du_engine, fresh(false), None, None, None)
+                .expect("durable run")
+                .total_fires()
+        });
+        let fsync_ns = du_per_tick(&|| {
+            run_durable(&model, du_world, &du_engine, fresh(true), None, None, None)
+                .expect("durable run")
+                .total_fires()
+        });
+        // One more (unsynced) run whose store survives, to read the
+        // full-vs-delta footprint off the committed generations.
+        let report = run_durable(&model, du_world, &du_engine, fresh(false), None, None, None)
+            .expect("durable run");
+        let store = CheckpointStore::open(&dir, false).expect("store opens");
+        let manifests = store.manifests().expect("store scans");
+        let (mut full_bytes, mut full_n, mut delta_bytes, mut delta_n) = (0u64, 0u64, 0u64, 0u64);
+        for m in &manifests {
+            let bytes = store.generation_bytes(m);
+            match m.kind {
+                GenKind::Full => {
+                    full_bytes += bytes;
+                    full_n += 1;
+                }
+                GenKind::Delta => {
+                    delta_bytes += bytes;
+                    delta_n += 1;
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        let full_per_gen = full_bytes as f64 / full_n.max(1) as f64;
+        let delta_per_gen = delta_bytes as f64 / delta_n.max(1) as f64;
+        let nosync_over = (nosync_ns - base_ns) / base_ns;
+        let fsync_over = (fsync_ns - base_ns) / base_ns;
+        let delta_reduction = 1.0 - delta_per_gen / full_per_gen;
+        let generations = manifests.len();
+        let durable_bytes = report.total_durable_bytes();
+        let cores = model.cores.len();
+        rows.push(format!(
+            "    {{\"model\": \"{name}\", \"cores\": {cores}, \"ranks\": {ranks}, \
+             \"ticks\": {du_ticks}, \"every\": {du_every}, \
+             \"base_ns_per_tick\": {base_ns:.1}, \
+             \"nosync_ns_per_tick\": {nosync_ns:.1}, \
+             \"fsync_ns_per_tick\": {fsync_ns:.1}, \
+             \"nosync_overhead\": {nosync_over:.3}, \"fsync_overhead\": {fsync_over:.3}, \
+             \"generations\": {generations}, \"durable_bytes\": {durable_bytes}, \
+             \"full_bytes_per_generation\": {full_per_gen:.0}, \
+             \"delta_bytes_per_generation\": {delta_per_gen:.0}, \
+             \"delta_reduction\": {delta_reduction:.3}}}",
+            ranks = du_world.ranks
+        ));
+        println!(
+            "durable {name:<17} base={base_ns:.1}ns/tick nosync={nosync_ns:.1}ns/tick \
+             (+{:.1}%) fsync={fsync_ns:.1}ns/tick (+{:.1}%) gens={generations} \
+             bytes/gen full={full_per_gen:.0} delta={delta_per_gen:.0} (-{:.1}%)",
+            nosync_over * 100.0,
+            fsync_over * 100.0,
+            delta_reduction * 100.0
+        );
+    }
+    let _ = std::fs::remove_dir_all(&tmp_root);
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ]\n");
     out.push_str("}\n");
 
     if let Err(e) = validate_kernels_json(&out) {

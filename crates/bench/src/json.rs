@@ -374,7 +374,7 @@ pub fn validate_scaling_json(text: &str) -> Result<(), String> {
 
 /// The array sections `BENCH_kernels.json` must carry and the numeric
 /// keys every point of each must report.
-const KERNEL_ARRAY_SECTIONS: [(&str, &[&str]); 5] = [
+const KERNEL_ARRAY_SECTIONS: [(&str, &[&str]); 6] = [
     (
         "synapse_kernel",
         &[
@@ -436,13 +436,34 @@ const KERNEL_ARRAY_SECTIONS: [(&str, &[&str]); 5] = [
             "migration_bytes_per_core",
         ],
     ),
+    (
+        "durable",
+        &[
+            "cores",
+            "ranks",
+            "ticks",
+            "every",
+            "base_ns_per_tick",
+            "nosync_ns_per_tick",
+            "fsync_ns_per_tick",
+            "nosync_overhead",
+            "fsync_overhead",
+            "generations",
+            "durable_bytes",
+            "full_bytes_per_generation",
+            "delta_bytes_per_generation",
+            "delta_reduction",
+        ],
+    ),
 ];
 
 /// Validates the kernels artifact's schema: the dispatch constants, the
 /// Synapse crossover sweep, the Neuron sweep pair, the engine tick loops,
-/// checkpoint and recovery pricing, degraded-mode rows, and the replica
+/// checkpoint and recovery pricing, degraded-mode rows, the replica
 /// `batched` section (which must report a measured ≥ 1 sessions/sec
-/// throughput per point).
+/// throughput per point), and the `durable` checkpoint-store section
+/// (which must have committed generations whose deltas undercut the
+/// full anchors).
 ///
 /// # Errors
 /// Returns the first schema violation found, as a human-readable message.
@@ -563,6 +584,37 @@ pub fn validate_kernels_json(text: &str) -> Result<(), String> {
         if migrated < 1.0 {
             return Err(format!(
                 "elastic[{i}].migrated_cores = {migrated} — the scale-out never moved a core"
+            ));
+        }
+    }
+    // The durable section's reason to exist: the job must have committed
+    // generations on disk, and delta generations must be measurably
+    // smaller than the full anchors they diff against.
+    for (i, p) in root
+        .get("durable")
+        .and_then(Json::as_arr)
+        .unwrap_or_default()
+        .iter()
+        .enumerate()
+    {
+        let gens = p.get("generations").and_then(Json::as_num).unwrap_or(0.0);
+        if gens < 1.0 {
+            return Err(format!(
+                "durable[{i}].generations = {gens} — the run never committed a generation"
+            ));
+        }
+        let delta = p
+            .get("delta_bytes_per_generation")
+            .and_then(Json::as_num)
+            .unwrap_or(f64::INFINITY);
+        let full = p
+            .get("full_bytes_per_generation")
+            .and_then(Json::as_num)
+            .unwrap_or(0.0);
+        if delta >= full {
+            return Err(format!(
+                "durable[{i}]: delta generations cost {delta} bytes, \
+                 not less than full's {full}"
             ));
         }
     }
@@ -703,8 +755,9 @@ mod tests {
                 .iter()
                 .map(|k| match *k {
                     "sessions_per_s" => format!("\"{k}\": 250.0"),
-                    // The elastic validator checks delta < full.
+                    // The elastic and durable validators check delta < full.
                     "full_bytes_per_boundary" => format!("\"{k}\": 2"),
+                    "full_bytes_per_generation" => format!("\"{k}\": 2"),
                     _ => format!("\"{k}\": 1"),
                 })
                 .collect();
@@ -766,6 +819,24 @@ mod tests {
             validate_kernels_json(&full.replace("\"migrated_cores\": 1", "\"migrated_cores\": 0"))
                 .unwrap_err();
         assert!(e.contains("migrated_cores"), "{e}");
+    }
+
+    #[test]
+    fn kernels_validator_pins_the_durable_claims() {
+        let full = kernels_skeleton();
+        let e = validate_kernels_json(&full.replace("\"durable\"", "\"durability\"")).unwrap_err();
+        assert!(e.contains("durable"), "{e}");
+        // A durable run that committed nothing measured nothing.
+        let e = validate_kernels_json(&full.replace("\"generations\": 1", "\"generations\": 0"))
+            .unwrap_err();
+        assert!(e.contains("generations"), "{e}");
+        // Delta generations that don't beat full anchors are a regression.
+        let e = validate_kernels_json(&full.replace(
+            "\"full_bytes_per_generation\": 2",
+            "\"full_bytes_per_generation\": 1",
+        ))
+        .unwrap_err();
+        assert!(e.contains("delta generations"), "{e}");
     }
 
     #[test]

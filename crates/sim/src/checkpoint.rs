@@ -114,6 +114,44 @@ impl std::fmt::Display for CheckpointError {
 
 impl std::error::Error for CheckpointError {}
 
+/// Reads a little-endian `u16` at `off`, degrading an out-of-bounds read
+/// to [`CheckpointError::Truncated`]: decoders call these on wire bytes
+/// whose every length field is attacker-controlled, so no read may panic.
+fn read_u16(bytes: &[u8], off: usize) -> Result<u16, CheckpointError> {
+    let w = bytes
+        .get(off..off + 2)
+        .and_then(|w| w.try_into().ok())
+        .ok_or(CheckpointError::Truncated {
+            expected: off + 2,
+            got: bytes.len(),
+        })?;
+    Ok(u16::from_le_bytes(w))
+}
+
+/// Reads a little-endian `u32` at `off`; see [`read_u16`].
+fn read_u32(bytes: &[u8], off: usize) -> Result<u32, CheckpointError> {
+    let w = bytes
+        .get(off..off + 4)
+        .and_then(|w| w.try_into().ok())
+        .ok_or(CheckpointError::Truncated {
+            expected: off + 4,
+            got: bytes.len(),
+        })?;
+    Ok(u32::from_le_bytes(w))
+}
+
+/// Reads a little-endian `u64` at `off`; see [`read_u16`].
+fn read_u64(bytes: &[u8], off: usize) -> Result<u64, CheckpointError> {
+    let w = bytes
+        .get(off..off + 8)
+        .and_then(|w| w.try_into().ok())
+        .ok_or(CheckpointError::Truncated {
+            expected: off + 8,
+            got: bytes.len(),
+        })?;
+    Ok(u64::from_le_bytes(w))
+}
+
 /// One rank's complete simulation state at a tick boundary: the snapshot
 /// of every core it hosts, plus where to resume.
 ///
@@ -188,16 +226,22 @@ impl RankCheckpoint {
                 got: bytes.len(),
             });
         }
-        let word16 = |off: usize| u16::from_le_bytes(bytes[off..off + 2].try_into().expect("len"));
-        let word32 = |off: usize| u32::from_le_bytes(bytes[off..off + 4].try_into().expect("len"));
-        let version = word16(4);
+        let version = read_u16(bytes, 4)?;
         if version != CHECKPOINT_VERSION {
             return Err(CheckpointError::UnsupportedVersion(version));
         }
-        let rank = word32(8);
-        let start_tick = word32(12);
-        let n_cores = word32(16) as usize;
-        let expected = HEADER_BYTES + n_cores * CORE_SNAPSHOT_BYTES;
+        let rank = read_u32(bytes, 8)?;
+        let start_tick = read_u32(bytes, 12)?;
+        let n_cores = read_u32(bytes, 16)? as usize;
+        // Checked: a hostile core count must degrade to `Truncated`, not
+        // overflow into a bogus (possibly passing) length check.
+        let expected = n_cores
+            .checked_mul(CORE_SNAPSHOT_BYTES)
+            .and_then(|b| b.checked_add(HEADER_BYTES))
+            .ok_or(CheckpointError::Truncated {
+                expected: usize::MAX,
+                got: bytes.len(),
+            })?;
         if bytes.len() != expected {
             return Err(CheckpointError::Truncated {
                 expected,
@@ -278,31 +322,47 @@ impl ReplicaPayload {
                 got: bytes.len(),
             });
         }
-        let word32 = |off: usize| u32::from_le_bytes(bytes[off..off + 4].try_into().expect("len"));
-        let ck_len = word32(4) as usize;
-        let n_trace = word32(8) as usize;
-        let n_fires = word32(12) as usize;
-        let expected = 16 + ck_len + n_trace * SPIKE_WIRE_BYTES + n_fires * 8;
+        let ck_len = read_u32(bytes, 4)? as usize;
+        let n_trace = read_u32(bytes, 8)? as usize;
+        let n_fires = read_u32(bytes, 12)? as usize;
+        // Checked: each length field is attacker-controlled on the wire;
+        // an overflowing sum must degrade to `Truncated`, and the
+        // checkpoint slice below is only taken once `len == expected`
+        // proves `16 + ck_len` is in bounds.
+        let expected = n_trace
+            .checked_mul(SPIKE_WIRE_BYTES)
+            .and_then(|t| n_fires.checked_mul(8).and_then(|f| t.checked_add(f)))
+            .and_then(|tail| tail.checked_add(ck_len))
+            .and_then(|body| body.checked_add(16))
+            .ok_or(CheckpointError::Truncated {
+                expected: usize::MAX,
+                got: bytes.len(),
+            })?;
         if bytes.len() != expected {
             return Err(CheckpointError::Truncated {
                 expected,
                 got: bytes.len(),
             });
         }
-        let ckpt = RankCheckpoint::from_bytes(&bytes[16..16 + ck_len])?;
+        let ckpt = RankCheckpoint::from_bytes(bytes.get(16..16 + ck_len).ok_or(
+            CheckpointError::Truncated {
+                expected: 16 + ck_len,
+                got: bytes.len(),
+            },
+        )?)?;
         let mut at = 16 + ck_len;
         let mut trace = Vec::with_capacity(n_trace);
         for _ in 0..n_trace {
-            let s = Spike::decode(&bytes[at..at + SPIKE_WIRE_BYTES])
+            let s = bytes
+                .get(at..at + SPIKE_WIRE_BYTES)
+                .and_then(Spike::decode)
                 .ok_or(CheckpointError::CorruptSpike)?;
             trace.push(s);
             at += SPIKE_WIRE_BYTES;
         }
         let mut fires_per_tick = Vec::with_capacity(n_fires);
         for _ in 0..n_fires {
-            fires_per_tick.push(u64::from_le_bytes(
-                bytes[at..at + 8].try_into().expect("len"),
-            ));
+            fires_per_tick.push(read_u64(bytes, at)?);
             at += 8;
         }
         Ok(Self {
@@ -489,21 +549,26 @@ impl DeltaReplica {
                 got: bytes.len(),
             });
         }
-        let word16 = |off: usize| u16::from_le_bytes(bytes[off..off + 2].try_into().expect("len"));
-        let word32 = |off: usize| u32::from_le_bytes(bytes[off..off + 4].try_into().expect("len"));
-        let version = word16(4);
+        let version = read_u16(bytes, 4)?;
         if version != CHECKPOINT_VERSION {
             return Err(CheckpointError::UnsupportedVersion(version));
         }
-        let base_tick = word32(8);
-        let boundary = word32(12);
-        let core_count = word32(16);
-        let n_dirty = word32(20) as usize;
-        let n_trace = word32(24) as usize;
-        let n_fires = word32(28) as usize;
+        let base_tick = read_u32(bytes, 8)?;
+        let boundary = read_u32(bytes, 12)?;
+        let core_count = read_u32(bytes, 16)?;
+        let n_dirty = read_u32(bytes, 20)? as usize;
+        let n_trace = read_u32(bytes, 24)? as usize;
+        let n_fires = read_u32(bytes, 28)? as usize;
         // The chunk payload length depends on the bitmaps, so the pairs
-        // must be readable before the full length can be checked.
-        let meta_end = DELTA_HEADER_BYTES + n_dirty * 12;
+        // must be readable before the full length can be checked. Checked
+        // arithmetic throughout: every count is attacker-controlled.
+        let meta_end = n_dirty
+            .checked_mul(12)
+            .and_then(|p| p.checked_add(DELTA_HEADER_BYTES))
+            .ok_or(CheckpointError::Truncated {
+                expected: usize::MAX,
+                got: bytes.len(),
+            })?;
         if bytes.len() < meta_end {
             return Err(CheckpointError::Truncated {
                 expected: meta_end,
@@ -514,36 +579,48 @@ impl DeltaReplica {
         let mut dirty = Vec::with_capacity(n_dirty);
         let mut masks = Vec::with_capacity(n_dirty);
         for _ in 0..n_dirty {
-            dirty.push(word32(at));
-            let mask = u64::from_le_bytes(bytes[at + 4..at + 12].try_into().expect("len"));
+            dirty.push(read_u32(bytes, at)?);
+            let mask = read_u64(bytes, at + 4)?;
             if mask >> DELTA_CHUNKS_PER_CORE != 0 {
                 return Err(CheckpointError::DeltaMismatch);
             }
             masks.push(mask);
             at += 12;
         }
-        let chunk_total: usize = masks.iter().map(|&m| mask_bytes(m)).sum();
-        let expected = meta_end + chunk_total + n_trace * SPIKE_WIRE_BYTES + n_fires * 8;
+        let truncated = CheckpointError::Truncated {
+            expected: usize::MAX,
+            got: bytes.len(),
+        };
+        let chunk_total: usize = masks
+            .iter()
+            .try_fold(0usize, |acc, &m| acc.checked_add(mask_bytes(m)))
+            .ok_or(truncated)?;
+        let expected = n_trace
+            .checked_mul(SPIKE_WIRE_BYTES)
+            .and_then(|t| n_fires.checked_mul(8).and_then(|f| t.checked_add(f)))
+            .and_then(|tail| tail.checked_add(chunk_total))
+            .and_then(|body| body.checked_add(meta_end))
+            .ok_or(truncated)?;
         if bytes.len() != expected {
             return Err(CheckpointError::Truncated {
                 expected,
                 got: bytes.len(),
             });
         }
-        let chunks = bytes[at..at + chunk_total].to_vec();
+        let chunks = bytes.get(at..at + chunk_total).ok_or(truncated)?.to_vec();
         at += chunk_total;
         let mut trace_delta = Vec::with_capacity(n_trace);
         for _ in 0..n_trace {
-            let s = Spike::decode(&bytes[at..at + SPIKE_WIRE_BYTES])
+            let s = bytes
+                .get(at..at + SPIKE_WIRE_BYTES)
+                .and_then(Spike::decode)
                 .ok_or(CheckpointError::CorruptSpike)?;
             trace_delta.push(s);
             at += SPIKE_WIRE_BYTES;
         }
         let mut fires_delta = Vec::with_capacity(n_fires);
         for _ in 0..n_fires {
-            fires_delta.push(u64::from_le_bytes(
-                bytes[at..at + 8].try_into().expect("len"),
-            ));
+            fires_delta.push(read_u64(bytes, at)?);
             at += 8;
         }
         Ok(Self {
@@ -608,7 +685,7 @@ impl DeltaReplica {
                 next_dirty += 1;
             } else {
                 // Clean slot: only the tick counter moved (see type doc).
-                let ticks = u64::from_le_bytes(image[16..24].try_into().expect("len"));
+                let ticks = read_u64(image, 16)?;
                 image[16..24].copy_from_slice(&(ticks + elapsed).to_le_bytes());
             }
         }
@@ -693,14 +770,12 @@ impl MigrationEnvelope {
                 got: bytes.len(),
             });
         }
-        let word16 = |off: usize| u16::from_le_bytes(bytes[off..off + 2].try_into().expect("len"));
-        let word32 = |off: usize| u32::from_le_bytes(bytes[off..off + 4].try_into().expect("len"));
-        let version = word16(4);
+        let version = read_u16(bytes, 4)?;
         if version != CHECKPOINT_VERSION {
             return Err(CheckpointError::UnsupportedVersion(version));
         }
-        let boundary = word32(8);
-        let n_runs = word32(12) as usize;
+        let boundary = read_u32(bytes, 8)?;
+        let n_runs = read_u32(bytes, 12)? as usize;
         let mut at = MIGRATION_HEADER_BYTES;
         let mut runs = Vec::with_capacity(n_runs);
         for _ in 0..n_runs {
@@ -710,13 +785,22 @@ impl MigrationEnvelope {
                     got: bytes.len(),
                 });
             }
-            let global_start = u64::from_le_bytes(bytes[at..at + 8].try_into().expect("len"));
-            let count = word32(at + 8) as usize;
+            let global_start = read_u64(bytes, at)?;
+            let count = read_u32(bytes, at + 8)? as usize;
             at += 12;
-            let blob_len = count * CORE_SNAPSHOT_BYTES;
-            if bytes.len() < at + blob_len {
+            // Checked: a hostile run count must not overflow past the
+            // length check into the unchecked slice below.
+            let run_end = count
+                .checked_mul(CORE_SNAPSHOT_BYTES)
+                .and_then(|b| b.checked_add(at))
+                .ok_or(CheckpointError::Truncated {
+                    expected: usize::MAX,
+                    got: bytes.len(),
+                })?;
+            let blob_len = run_end - at;
+            if bytes.len() < run_end {
                 return Err(CheckpointError::Truncated {
-                    expected: at + blob_len,
+                    expected: run_end,
                     got: bytes.len(),
                 });
             }
@@ -883,19 +967,25 @@ impl BatchCheckpoint {
                 got: bytes.len(),
             });
         }
-        let word16 = |off: usize| u16::from_le_bytes(bytes[off..off + 2].try_into().expect("len"));
-        let word32 = |off: usize| u32::from_le_bytes(bytes[off..off + 4].try_into().expect("len"));
-        let version = word16(4);
+        let version = read_u16(bytes, 4)?;
         if version != CHECKPOINT_VERSION {
             return Err(CheckpointError::UnsupportedVersion(version));
         }
-        let lanes = word16(6);
-        let start_tick = word32(8);
-        let cores = word32(12);
+        let lanes = read_u16(bytes, 6)?;
+        let start_tick = read_u32(bytes, 8)?;
+        let cores = read_u32(bytes, 12)?;
         if lanes == 0 || lanes > 64 {
             return Err(CheckpointError::LaneMismatch);
         }
-        let expected = BATCH_HEADER_BYTES + lanes as usize * cores as usize * CORE_SNAPSHOT_BYTES;
+        // Checked: `lanes` is capped at 64 but `cores` is wire-controlled.
+        let expected = (lanes as usize)
+            .checked_mul(cores as usize)
+            .and_then(|n| n.checked_mul(CORE_SNAPSHOT_BYTES))
+            .and_then(|b| b.checked_add(BATCH_HEADER_BYTES))
+            .ok_or(CheckpointError::Truncated {
+                expected: usize::MAX,
+                got: bytes.len(),
+            })?;
         if bytes.len() != expected {
             return Err(CheckpointError::Truncated {
                 expected,
@@ -1352,5 +1442,104 @@ mod tests {
             BatchCheckpoint::from_bytes(&bad),
             Err(CheckpointError::LaneMismatch)
         );
+    }
+
+    /// Systematic adversarial sweep over *every* wire format in the crate
+    /// plus the `TNCS` core snapshot beneath them: every proper prefix of
+    /// a valid frame must decode to an error (truncated buffers), a frame
+    /// with one trailing byte must too (oversized buffers), and flipping
+    /// any single bit anywhere must never panic — decoders may accept a
+    /// flip inside raw payload bytes, but must keep every length field
+    /// honest on the way there.
+    #[test]
+    fn every_wire_format_survives_truncation_and_bit_flips() {
+        use tn_core::{CoreConfig, CorePool};
+
+        // A real `TNCS` snapshot (the blank-core fill used by `sample()`
+        // is not one): snapshot slot 0 of a one-core pool.
+        let mut pool = CorePool::with_capacity(1);
+        pool.push(CoreConfig::blank(0, 7)).expect("blank is valid");
+        let mut tncs = Vec::new();
+        pool.snapshot_all_into(&mut tncs);
+
+        type Decode = Box<dyn Fn(&[u8]) -> bool>;
+        let mut restore_pool = CorePool::with_capacity(1);
+        restore_pool
+            .push(CoreConfig::blank(0, 7))
+            .expect("blank is valid");
+        let restore_pool = std::cell::RefCell::new(restore_pool);
+        let frames: Vec<(&str, Vec<u8>, Decode)> = vec![
+            (
+                "CKPT",
+                sample().to_bytes(),
+                Box::new(|b| RankCheckpoint::from_bytes(b).is_ok()),
+            ),
+            (
+                "RPL1",
+                sample_replica().to_bytes(),
+                Box::new(|b| ReplicaPayload::from_bytes(b).is_ok()),
+            ),
+            (
+                "RPLD",
+                sample_delta().to_bytes(),
+                Box::new(|b| DeltaReplica::from_bytes(b).is_ok()),
+            ),
+            (
+                "MIG1",
+                MigrationEnvelope {
+                    boundary: 9,
+                    runs: vec![MigrationRun {
+                        global_start: 2,
+                        blob: vec![5u8; CORE_SNAPSHOT_BYTES],
+                    }],
+                }
+                .to_bytes(),
+                Box::new(|b| MigrationEnvelope::from_bytes(b).is_ok()),
+            ),
+            (
+                "BCK1",
+                BatchCheckpoint {
+                    lanes: 2,
+                    start_tick: 3,
+                    cores: 1,
+                    blob: {
+                        let mut blob = tncs.clone();
+                        blob.extend_from_slice(&tncs);
+                        blob
+                    },
+                }
+                .to_bytes(),
+                Box::new(|b| BatchCheckpoint::from_bytes(b).is_ok()),
+            ),
+            (
+                "TNCS",
+                tncs,
+                Box::new(move |b| restore_pool.borrow_mut().full().restore(0, b).is_ok()),
+            ),
+        ];
+
+        for (name, good, decode) in &frames {
+            assert!(decode(good), "{name}: the reference frame must decode");
+            // Every truncation point, plus one byte of trailing garbage.
+            for cut in 0..good.len() {
+                assert!(
+                    !decode(&good[..cut]),
+                    "{name}: accepted a {cut}-byte prefix of {} bytes",
+                    good.len()
+                );
+            }
+            let mut long = good.clone();
+            long.push(0);
+            assert!(!decode(&long), "{name}: accepted a trailing extra byte");
+            // Every single-bit flip: decoding may succeed or fail, but it
+            // must return — a panic fails the test by unwinding.
+            for at in 0..good.len() {
+                for bit in 0..8 {
+                    let mut bad = good.clone();
+                    bad[at] ^= 1 << bit;
+                    let _ = decode(&bad);
+                }
+            }
+        }
     }
 }

@@ -64,6 +64,9 @@ use crate::checkpoint::{is_replica_frame, DeltaReplica, RankCheckpoint, ReplicaP
 use crate::partition::{Partition, SurvivorView};
 use crate::recovery::{CheckpointRing, RecoveryPolicy};
 use crate::stats::{PhaseTimes, RankReport};
+use crate::store::{
+    CheckpointStore, DurabilityPolicy, GenKind, Manifest, StoreError, DURABLE_FULL_EVERY,
+};
 use compass_comm::mailbox::Match;
 use compass_comm::team::{chunk_owner, static_chunk};
 use compass_comm::{CrashPlan, Rank, RankCrash, RankCtx, Tag};
@@ -204,6 +207,13 @@ pub struct RunOptions {
     /// are off); rollback and death-verdict truncations preserve the
     /// seeded prefix.
     pub seed_history: Option<(Vec<Spike>, Vec<u64>)>,
+    /// Durable persistence: snapshot at the policy's cadence (same
+    /// inbox-drained tick boundaries as the recovery ring) and hand the
+    /// staged copy to a per-rank background writer that persists it into
+    /// a [`CheckpointStore`] — the tick loop never blocks on I/O. Every
+    /// rank of a world must carry the same policy; a restarted job
+    /// resumes from the store via [`crate::runner::run_durable`].
+    pub durability: Option<DurabilityPolicy>,
 }
 
 /// A survivor's account of a rank death: everything the harness needs to
@@ -236,6 +246,11 @@ pub struct RunOutcome {
     /// unanimous death verdict plus what this rank needs to resume in the
     /// degraded world. `None` on normal completion.
     pub interrupt: Option<DeathInterrupt>,
+    /// The first failure the durable-checkpoint path hit (store open,
+    /// background write, commit), rendered for reporting. `None` when
+    /// durability was off or every generation persisted cleanly; the
+    /// simulation itself completed either way.
+    pub durable_error: Option<String>,
 }
 
 /// Spike-message tag for tick `t` (application tag space; the collective
@@ -626,21 +641,20 @@ pub fn run_rank_view(
     // Absorbs a replica frame into the mirror; false if `payload` is
     // ordinary spike traffic. A delta whose base boundary does not match
     // the mirror is dropped — the periodic full-payload epoch re-anchors
-    // the stream (the reliable channel makes this unreachable in practice;
-    // the guard exists so a protocol bug degrades, not corrupts).
+    // the stream — and a frame that fails to decode outright is consumed
+    // and ignored, leaving the mirror at its previous state (the CRC-
+    // checked channel makes both unreachable in practice; the guards
+    // exist so a protocol bug degrades, never panics or corrupts).
     let absorb_replica = |payload: &[u8]| -> bool {
         if !(survive && is_replica_frame(payload)) {
             return false;
         }
         let mut store = replica_store.lock().expect("replica store poisoned");
         if ReplicaPayload::looks_like(payload) {
-            *store = Some(
-                ReplicaPayload::from_bytes(payload)
-                    .expect("replica payload survived the CRC-checked channel"),
-            );
-        } else {
-            let delta = DeltaReplica::from_bytes(payload)
-                .expect("delta replica survived the CRC-checked channel");
+            if let Ok(full) = ReplicaPayload::from_bytes(payload) {
+                *store = Some(full);
+            }
+        } else if let Ok(delta) = DeltaReplica::from_bytes(payload) {
             if let Some(mirror) = store.as_mut() {
                 let _ = delta.apply(mirror);
             }
@@ -672,6 +686,101 @@ pub fn run_rank_view(
     let mut replication_time = Duration::ZERO;
     let mut delta_replica_ships = 0u64;
     let mut full_replica_ships = 0u64;
+
+    // Durable persistence: one background writer thread per rank owns all
+    // store I/O, fed staged boundary snapshots over a channel so the tick
+    // loop never blocks on disk. The writer commits each generation's
+    // manifest once every rank's file is visible (racing committers are
+    // idempotent — identical bytes through distinct temps) and garbage-
+    // collects per policy after its own successful commits.
+    struct DurableJob {
+        manifest: Manifest,
+        payload: Vec<u8>,
+    }
+    struct DurableWriter {
+        tx: std::sync::mpsc::Sender<DurableJob>,
+        handle: std::thread::JoinHandle<(u64, u64, Option<StoreError>)>,
+        every: u32,
+        /// Generations staged so far by this engine call; the first (and
+        /// every [`DURABLE_FULL_EVERY`]-th) ships full, bounding chains.
+        ships: u64,
+        /// Tick of the previous staged generation — the delta base.
+        prev_tick: u32,
+        /// The blob the previous generation persisted (delta diff base).
+        prev: Vec<u8>,
+        /// Reusable staging buffer for the current boundary's arena copy.
+        cur: Vec<u8>,
+        /// Recorded history already covered by the previous generation.
+        trace_len: usize,
+        fires_len: usize,
+        /// Tick-loop time spent staging (the writer's I/O overlaps).
+        time: Duration,
+    }
+    let mut durable_error: Option<String> = None;
+    let mut durable: Option<DurableWriter> = match &opts.durability {
+        Some(pol) => match CheckpointStore::open(&pol.dir, pol.sync) {
+            Ok(store) => {
+                let (tx, rx) = std::sync::mpsc::channel::<DurableJob>();
+                let retain = pol.retain;
+                let me_u32 = me as u32;
+                let spawned = std::thread::Builder::new()
+                    .name(format!("durable-writer-{me}"))
+                    .spawn(move || {
+                        let mut bytes = 0u64;
+                        let mut gens = 0u64;
+                        let mut err: Option<StoreError> = None;
+                        for DurableJob { manifest, payload } in rx {
+                            if err.is_some() {
+                                continue; // keep draining; the first error wins
+                            }
+                            match store.write_rank(manifest.gen, me_u32, &payload) {
+                                Ok(n) => {
+                                    bytes += n;
+                                    gens += 1;
+                                }
+                                Err(e) => {
+                                    err = Some(e);
+                                    continue;
+                                }
+                            }
+                            match store.try_commit(manifest) {
+                                // Best-effort GC: a failed sweep never loses
+                                // data, it only leaves extra files behind.
+                                Ok(true) if retain != 0 => {
+                                    let _ = store.gc(retain);
+                                }
+                                Ok(_) => {}
+                                Err(e) => err = Some(e),
+                            }
+                        }
+                        (bytes, gens, err)
+                    });
+                match spawned {
+                    Ok(handle) => Some(DurableWriter {
+                        tx,
+                        handle,
+                        every: pol.every,
+                        ships: 0,
+                        prev_tick: 0,
+                        prev: Vec::new(),
+                        cur: Vec::new(),
+                        trace_len: 0,
+                        fires_len: 0,
+                        time: Duration::ZERO,
+                    }),
+                    Err(e) => {
+                        durable_error = Some(format!("rank {me}: spawn durable writer: {e}"));
+                        None
+                    }
+                }
+            }
+            Err(e) => {
+                durable_error = Some(format!("rank {me}: {e}"));
+                None
+            }
+        },
+        None => None,
+    };
 
     // Degraded-mode collectives: with an identity view these are the
     // ordinary full-world operations (bit-identical to the fault-free
@@ -957,6 +1066,108 @@ pub fn run_rank_view(
                     base: ck.blob.clone(),
                 });
                 replication_time += rep_start.elapsed();
+            }
+        }
+
+        // Durable persistence: at the policy's own cadence, stage the
+        // boundary snapshot (same inbox-drain invariant as the ring) and
+        // hand it to the background writer. The first generation of this
+        // engine call and every DURABLE_FULL_EVERY-th after it is a
+        // self-contained full payload; the rest ship only the 64-byte
+        // chunks that changed since the previous generation. A rollback
+        // replay re-stages boundaries it already passed (`t <=
+        // prev_tick`), which forces a full payload — the store just
+        // overwrites those generations with re-anchored state.
+        if let Some(ds) = durable.as_mut() {
+            let due = t == start_tick || (ds.every != 0 && t % ds.every == 0);
+            if due {
+                let d_start = Instant::now();
+                // SAFETY: master between regions; no shard slice is live.
+                let mut all = unsafe { shards.slice(0..n_local, &mut master_due) };
+                for dest in 0..threads {
+                    unsafe {
+                        inboxes.drain_for(dest, |d| {
+                            all.deliver(d.local_idx as usize, d.axon, d.delivery_tick);
+                        });
+                    }
+                }
+                ds.cur.clear();
+                ds.cur.reserve(n_local * CORE_SNAPSHOT_BYTES);
+                all.snapshot_all_into(&mut ds.cur);
+                let full = ds.ships == 0 || ds.ships % DURABLE_FULL_EVERY == 0 || t <= ds.prev_tick;
+                let ranks = world as u32;
+                let (manifest, payload) = if full {
+                    (
+                        Manifest {
+                            gen: u64::from(t),
+                            kind: GenKind::Full,
+                            base: u64::from(t),
+                            ranks,
+                        },
+                        ReplicaPayload {
+                            ckpt: RankCheckpoint {
+                                rank: me as u32,
+                                start_tick: t,
+                                blob: ds.cur.clone(),
+                            },
+                            trace: report.trace.clone(),
+                            fires_per_tick: report.fires_per_tick.clone(),
+                        }
+                        .to_bytes(),
+                    )
+                } else {
+                    // Exact bytewise dirty classification against the
+                    // previous generation (independent of the buddy path's
+                    // shared dirty bits): a slot is clean iff its bytes
+                    // match except for a tick counter that advanced by
+                    // exactly the boundary gap — precisely the arithmetic
+                    // the delta's apply replays on clean mirror slots.
+                    let elapsed = u64::from(t - ds.prev_tick);
+                    let word = |b: &[u8]| {
+                        u64::from_le_bytes(b[16..24].try_into().expect("snapshot header"))
+                    };
+                    let dirty: Vec<u32> = ds
+                        .cur
+                        .chunks_exact(CORE_SNAPSHOT_BYTES)
+                        .zip(ds.prev.chunks_exact(CORE_SNAPSHOT_BYTES))
+                        .enumerate()
+                        .filter(|(_, (cur, prev))| {
+                            !(cur[..16] == prev[..16]
+                                && cur[24..] == prev[24..]
+                                && word(cur) == word(prev) + elapsed)
+                        })
+                        .map(|(k, _)| k as u32)
+                        .collect();
+                    let trace_from = ds.trace_len.min(report.trace.len());
+                    let fires_from = ds.fires_len.min(report.fires_per_tick.len());
+                    (
+                        Manifest {
+                            gen: u64::from(t),
+                            kind: GenKind::Delta,
+                            base: u64::from(ds.prev_tick),
+                            ranks,
+                        },
+                        DeltaReplica::diff(
+                            ds.prev_tick,
+                            t,
+                            dirty,
+                            &ds.prev,
+                            &ds.cur,
+                            report.trace[trace_from..].to_vec(),
+                            report.fires_per_tick[fires_from..].to_vec(),
+                        )
+                        .to_bytes(),
+                    )
+                };
+                // A closed channel means the writer already died on an
+                // I/O error; the error surfaces at join time either way.
+                let _ = ds.tx.send(DurableJob { manifest, payload });
+                ds.ships += 1;
+                ds.prev_tick = t;
+                std::mem::swap(&mut ds.prev, &mut ds.cur);
+                ds.trace_len = report.trace.len();
+                ds.fires_len = report.fires_per_tick.len();
+                ds.time += d_start.elapsed();
             }
         }
 
@@ -1588,6 +1799,25 @@ pub fn run_rank_view(
     report.replication_time = replication_time;
     report.delta_replica_ships = delta_replica_ships;
     report.full_replica_ships = full_replica_ships;
+    // Drain the durable writer: closing the channel lets it finish the
+    // queued generations, then its counters (and first error, if any)
+    // fold into the report. The join wait is the only durable I/O ever
+    // charged to the run's critical path.
+    if let Some(ds) = durable.take() {
+        let join_start = Instant::now();
+        drop(ds.tx);
+        match ds.handle.join() {
+            Ok((bytes, gens, err)) => {
+                report.durable_bytes = bytes;
+                report.durable_generations = gens;
+                if let Some(e) = err {
+                    durable_error = Some(format!("rank {me}: {e}"));
+                }
+            }
+            Err(_) => durable_error = Some(format!("rank {me}: durable writer panicked")),
+        }
+        report.durable_time = ds.time + join_start.elapsed();
+    }
     for tb in thread_bufs.iter_mut() {
         report.synapse_skips += tb.synapse_skips;
         report.neuron_skips += tb.neuron_skips;
@@ -1625,6 +1855,7 @@ pub fn run_rank_view(
         report,
         checkpoint,
         interrupt,
+        durable_error,
     }
 }
 

@@ -69,6 +69,7 @@ pub mod recovery;
 pub mod runner;
 pub mod solo;
 pub mod stats;
+pub mod store;
 
 pub use batched::{BatchRunError, BatchedSimulation};
 pub use checkpoint::{BatchCheckpoint, CheckpointError, RankCheckpoint, ReplicaPayload};
@@ -80,7 +81,12 @@ pub use model::{ModelError, NetworkModel};
 pub use partition::{Partition, SurvivorView};
 pub use recovery::RecoveryPolicy;
 pub use runner::{
-    run, run_elastic, run_recovering, run_surviving, ElasticEvent, ElasticPlan, ElasticStep,
+    run, run_durable, run_elastic, run_recovering, run_surviving, DurableError, ElasticEvent,
+    ElasticPlan, ElasticStep,
 };
 pub use solo::SoloSimulation;
 pub use stats::{trace_digest, PhaseTimes, RankReport, RunReport};
+pub use store::{
+    CheckpointStore, DurabilityPolicy, FsckReport, GcReport, GenKind, Manifest, ResumePoint,
+    StoreError,
+};

@@ -14,10 +14,12 @@ use crate::model::{ModelError, NetworkModel};
 use crate::partition::{Partition, SurvivorView};
 use crate::recovery::RecoveryPolicy;
 use crate::stats::{RankReport, RunReport};
+use crate::store::{CheckpointStore, DurabilityPolicy, StoreError};
 use compass_comm::{
     CrashPlan, FaultInjector, FaultPlan, Rank, RankCtx, ReliableConfig, ReliableWorld,
     TransportMetrics, World, WorldConfig,
 };
+use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tn_core::{CoreConfig, Spike, CORE_SNAPSHOT_BYTES};
@@ -322,6 +324,9 @@ fn stitch_segments(seg1: RankReport, seg2: RankReport, gap: u64) -> RankReport {
     out.replication_time += seg1.replication_time;
     out.delta_replica_ships += seg1.delta_replica_ships;
     out.full_replica_ships += seg1.full_replica_ships;
+    out.durable_bytes += seg1.durable_bytes;
+    out.durable_time += seg1.durable_time;
+    out.durable_generations += seg1.durable_generations;
     let mut trace = seg1.trace;
     trace.append(&mut out.trace);
     out.trace = trace;
@@ -329,6 +334,270 @@ fn stitch_segments(seg1: RankReport, seg2: RankReport, gap: u64) -> RankReport {
     fires_per_tick.append(&mut out.fires_per_tick);
     out.fires_per_tick = fires_per_tick;
     out
+}
+
+// ---------------------------------------------------------------------------
+// Durable checkpoints: whole-job restart from an on-disk store.
+// ---------------------------------------------------------------------------
+
+/// Everything that can go wrong launching or finishing a durable run.
+#[derive(Debug)]
+pub enum DurableError {
+    /// The model failed validation.
+    Model(ModelError),
+    /// The checkpoint store could not be opened or scanned at startup.
+    Store(StoreError),
+    /// The simulation completed, but a rank's background writer failed to
+    /// persist its generations — the store may lag the run's final state.
+    Write(String),
+}
+
+impl fmt::Display for DurableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurableError::Model(e) => write!(f, "model error: {e}"),
+            DurableError::Store(e) => write!(f, "checkpoint store: {e}"),
+            DurableError::Write(e) => write!(f, "durable write failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DurableError::Model(e) => Some(e),
+            DurableError::Store(e) => Some(e),
+            DurableError::Write(_) => None,
+        }
+    }
+}
+
+impl From<ModelError> for DurableError {
+    fn from(e: ModelError) -> Self {
+        DurableError::Model(e)
+    }
+}
+
+impl From<StoreError> for DurableError {
+    fn from(e: StoreError) -> Self {
+        DurableError::Store(e)
+    }
+}
+
+/// Simulates `model` with durable on-disk checkpoints, resuming from the
+/// newest fully-committed generation if the store already holds one.
+///
+/// At startup the store under `policy.dir` is scanned
+/// ([`CheckpointStore::recover`]): an empty (or entirely torn) store
+/// starts the job from tick 0, while a store left behind by an earlier
+/// process — even one killed mid-write — resumes every rank from the
+/// newest generation whose manifest committed, with the trace and
+/// per-tick fire counts seeded so the merged report is indistinguishable
+/// from an uninterrupted run. During the run each rank snapshots at the
+/// policy's cadence and hands the staged bytes to a background writer;
+/// the tick loop never blocks on I/O.
+///
+/// Seeded message faults (`plan`), rollback recovery (`recovery`), and a
+/// planned rank crash (`crash`) compose exactly as in
+/// [`run_recovering`] / [`run_surviving`]: a pending crash forces
+/// `survive_crashes` on, the survivors adopt and replay the degraded
+/// segment (without durability — generations past the victim's death can
+/// never commit anyway), and a restart after the crash re-fires the plan
+/// so the trace stays bit-identical to the fault-free oracle.
+///
+/// # Errors
+/// [`DurableError::Model`] for an inconsistent model,
+/// [`DurableError::Store`] when the store cannot be opened or names a
+/// different world size, and [`DurableError::Write`] when the simulation
+/// finished but some rank's writer could not persist its generations.
+///
+/// # Panics
+/// Panics when a pending crash plan is unsatisfiable (victim outside the
+/// world, no survivor, crash after the last tick) or a rank dies that no
+/// plan named.
+pub fn run_durable(
+    model: &NetworkModel,
+    world: WorldConfig,
+    cfg: &EngineConfig,
+    policy: DurabilityPolicy,
+    plan: Option<FaultPlan>,
+    recovery: Option<RecoveryPolicy>,
+    crash: Option<CrashPlan>,
+) -> Result<RunReport, DurableError> {
+    model.validate()?;
+    let store = CheckpointStore::open(&policy.dir, policy.sync)?;
+    let resume = store.recover(world.ranks as u32)?;
+    // A committed generation never postdates a planned crash (the victim
+    // stops writing when it dies), so a pending crash always re-fires on
+    // restart; filter only guards a plan from an already-survived past.
+    let crash = crash.filter(|c| resume.as_ref().is_none_or(|rp| c.at_tick >= rp.tick));
+    if let Some(c) = crash {
+        assert!(
+            world.ranks >= 2,
+            "crash survival needs at least one survivor"
+        );
+        assert!(
+            c.rank < world.ranks,
+            "crash plan names rank {} outside a {}-rank world",
+            c.rank,
+            world.ranks
+        );
+        // Unlike `run_surviving`, a crash at or past `cfg.ticks` is legal
+        // here: a prefix run (a job that dies before the victim does)
+        // simply never reaches the planned tick, and the relaunch re-fires
+        // the still-pending plan.
+    }
+    let recovery = match (recovery, crash.is_some()) {
+        (Some(p), true) => Some(RecoveryPolicy {
+            survive_crashes: true,
+            ..p
+        }),
+        (None, true) => Some(RecoveryPolicy {
+            survive_crashes: true,
+            ..RecoveryPolicy::default()
+        }),
+        (r, false) => r,
+    };
+    let n_ranks = world.ranks;
+    let partition = Partition::uniform(model.total_cores(), n_ranks);
+    let metrics = Arc::new(TransportMetrics::new());
+    let faults = plan.map(|p| Arc::new(FaultInjector::new(p, n_ranks)));
+    let rely_cfg = match &plan {
+        Some(p) => ReliableConfig::against(p),
+        None => ReliableConfig::default(),
+    };
+    let rely = Arc::new(ReliableWorld::new(n_ranks, Arc::clone(&metrics), rely_cfg));
+    let started = Instant::now();
+    let results =
+        World::try_run_with_recovery(world, Arc::clone(&metrics), faults, Some(rely), |ctx| {
+            let me = ctx.rank();
+            let view = SurvivorView::identity(partition.clone());
+            let block = partition.block(me);
+            let configs: Vec<CoreConfig> =
+                model.cores[block.start as usize..block.end as usize].to_vec();
+            // A resumed rank restores its own slice of the generation and
+            // seeds the history the dead process had already recorded.
+            let (resume_ckpt, seed) = match &resume {
+                Some(rp) => {
+                    let p = &rp.payloads[me];
+                    (
+                        Some(p.ckpt.clone()),
+                        Some((p.trace.clone(), p.fires_per_tick.clone())),
+                    )
+                }
+                None => (None, None),
+            };
+            let opts = RunOptions {
+                resume: resume_ckpt,
+                recovery,
+                crash,
+                seed_history: seed,
+                durability: Some(policy.clone()),
+                ..RunOptions::default()
+            };
+            let mut seg1 =
+                run_rank_view(ctx, &view, configs, &model.initial_deliveries, cfg, &opts);
+            let durable_error = seg1.durable_error.take();
+            let Some(int) = seg1.interrupt.take() else {
+                return (seg1.report, durable_error);
+            };
+            let mut rep1 = seg1.report;
+
+            // A peer died: adopt and replay in the degraded world, exactly
+            // as `run_surviving` does — but without durability. Generations
+            // past the victim's death can never commit (committing needs
+            // every rank's file), so a later restart resumes before the
+            // crash and re-fires the plan deterministically.
+            let view2 = view.without(int.dead);
+            let configs2: Vec<CoreConfig> = view2
+                .blocks_of(me)
+                .into_iter()
+                .flat_map(|b| {
+                    model.cores[b.start as usize..b.end as usize]
+                        .iter()
+                        .cloned()
+                })
+                .collect();
+            let mut adopted_cores = 0u64;
+            let mut blob: Vec<u8> = Vec::new();
+            for r in 0..n_ranks {
+                if r == me {
+                    blob.extend_from_slice(&int.resume.blob);
+                } else if r == int.dead {
+                    if let Some(rp) = &int.adopted {
+                        adopted_cores = rp.ckpt.core_count() as u64;
+                        blob.extend_from_slice(&rp.ckpt.blob);
+                        rep1.trace.extend(rp.trace.iter().copied());
+                        for (a, b) in rep1.fires_per_tick.iter_mut().zip(&rp.fires_per_tick) {
+                            *a += b;
+                        }
+                    }
+                }
+            }
+            let merged = RankCheckpoint {
+                rank: me as u32,
+                start_tick: int.resume.start_tick(),
+                blob,
+            };
+            let opts2 = RunOptions {
+                resume: Some(merged),
+                recovery,
+                ..RunOptions::default()
+            };
+            let seg2 = run_rank_view(
+                ctx,
+                &view2,
+                configs2,
+                &model.initial_deliveries,
+                cfg,
+                &opts2,
+            );
+            assert!(
+                seg2.interrupt.is_none(),
+                "one crash per run: the degraded world must finish"
+            );
+            let gap = u64::from(int.at_tick - int.resume.start_tick());
+            let mut out = stitch_segments(rep1, seg2.report, gap);
+            out.adopted_cores = adopted_cores;
+            (out, durable_error)
+        });
+
+    let mut ranks = Vec::with_capacity(n_ranks);
+    let mut write_error: Option<String> = None;
+    for (rank, res) in results.into_iter().enumerate() {
+        match res {
+            Ok((report, derr)) => {
+                if write_error.is_none() {
+                    write_error = derr;
+                }
+                ranks.push(report);
+            }
+            Err(failure) => {
+                let planned = crash.unwrap_or_else(|| {
+                    panic!(
+                        "rank {rank} died with no crash planned: {}",
+                        failure.message()
+                    )
+                });
+                assert_eq!(rank, planned.rank, "only the planned victim may die");
+                let rc = failure
+                    .crash()
+                    .unwrap_or_else(|| panic!("victim died abnormally: {}", failure.message()));
+                assert_eq!((rc.rank, rc.tick), (planned.rank, planned.at_tick));
+                ranks.push(RankReport::default());
+            }
+        }
+    }
+    if let Some(e) = write_error {
+        return Err(DurableError::Write(e));
+    }
+    let wall = started.elapsed();
+    Ok(RunReport {
+        ranks,
+        wall,
+        ticks: cfg.ticks,
+        transport: metrics.snapshot(),
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -609,6 +878,7 @@ fn run_segment(
         recovery: Some(policy),
         crash,
         seed_history: Some(seed),
+        durability: None,
     };
     let mut out = run_rank_view(ctx, view, configs, &model.initial_deliveries, cfg, &opts);
     let Some(int) = out.interrupt.take() else {
@@ -689,6 +959,7 @@ fn run_segment(
         recovery: Some(policy),
         crash: None,
         seed_history: Some(seed2),
+        durability: None,
     };
     let out2 = run_rank_view(
         ctx,
@@ -748,6 +1019,9 @@ fn fold_segments(prev: RankReport, next: RankReport) -> RankReport {
     out.migrated_cores += prev.migrated_cores;
     out.migration_bytes += prev.migration_bytes;
     out.migration_time += prev.migration_time;
+    out.durable_bytes += prev.durable_bytes;
+    out.durable_time += prev.durable_time;
+    out.durable_generations += prev.durable_generations;
     out
 }
 

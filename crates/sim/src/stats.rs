@@ -156,6 +156,15 @@ pub struct RankReport {
     /// Wall-clock this rank spent packing, shipping, and splicing
     /// migration envelopes at elastic boundaries.
     pub migration_time: Duration,
+    /// Bytes this rank's durable-checkpoint writer put on disk (payloads
+    /// plus footers; 0 unless [`crate::RunOptions::durability`] is set).
+    pub durable_bytes: u64,
+    /// Tick-loop wall-clock charged to durable persistence: boundary
+    /// staging plus the end-of-run writer join. The writer's actual I/O
+    /// overlaps simulation and is not in here.
+    pub durable_time: Duration,
+    /// Durable generations this rank persisted (full + delta).
+    pub durable_generations: u64,
     /// Every spike emitted on this rank, if trace recording was requested.
     pub trace: Vec<Spike>,
 }
@@ -291,6 +300,30 @@ impl RunReport {
         self.ranks
             .iter()
             .map(|r| r.migration_time)
+            .max()
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Total durable-checkpoint bytes written across all ranks.
+    pub fn total_durable_bytes(&self) -> u64 {
+        self.ranks.iter().map(|r| r.durable_bytes).sum()
+    }
+
+    /// Durable generations persisted (every rank writes each generation,
+    /// so this is the per-rank maximum, not a sum).
+    pub fn total_durable_generations(&self) -> u64 {
+        self.ranks
+            .iter()
+            .map(|r| r.durable_generations)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Slowest rank's tick-loop wall-clock charged to durable staging.
+    pub fn durable_time(&self) -> Duration {
+        self.ranks
+            .iter()
+            .map(|r| r.durable_time)
             .max()
             .unwrap_or(Duration::ZERO)
     }
@@ -549,6 +582,33 @@ mod tests {
         assert_eq!(r.total_migrated_cores(), 3);
         assert_eq!(r.total_migration_bytes(), 1000);
         assert_eq!(r.migration_time(), ms(9), "slowest rank bounds the run");
+    }
+
+    #[test]
+    fn durable_counters_roll_up() {
+        let r = report_with(
+            vec![
+                RankReport {
+                    durable_bytes: 4000,
+                    durable_generations: 5,
+                    durable_time: ms(3),
+                    ..Default::default()
+                },
+                RankReport {
+                    durable_bytes: 1000,
+                    durable_generations: 5,
+                    durable_time: ms(8),
+                    ..Default::default()
+                },
+            ],
+            10,
+            ms(20),
+        );
+        // Bytes sum; every rank writes each generation, so generations
+        // are a per-rank max; staging time is bounded by the slowest rank.
+        assert_eq!(r.total_durable_bytes(), 5000);
+        assert_eq!(r.total_durable_generations(), 5);
+        assert_eq!(r.durable_time(), ms(8));
     }
 
     #[test]

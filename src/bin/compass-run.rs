@@ -6,6 +6,7 @@
 //! compass-run --workload synthetic [--cores N] [--ranks R] ...
 //! compass-run --workload ring      [--cores N] ...
 //! compass-run --model model.cmps   [--ranks R] ...
+//!             [--checkpoint-dir DIR [--resume]]
 //! ```
 //!
 //! Workloads: `cocomac` compiles the §V macaque test network in situ (the
@@ -13,11 +14,21 @@
 //! `ring` is the quickstart relay ring, and `--model` loads an expanded
 //! model written by `pcc-compile`. Prints the run report; `--regions` adds
 //! the per-region activity table for compiled workloads.
+//!
+//! `--checkpoint-dir DIR` persists crash-safe checkpoints to `DIR` while
+//! the job runs (see `compass-ckpt` for maintenance). `--resume` allows
+//! picking up an interrupted job from the newest committed generation in
+//! `DIR`; without it a non-empty store is refused so two jobs cannot mix
+//! state by accident. Not available for the in-situ `cocomac` flow, which
+//! compiles on-rank instead of loading a model.
 
 use compass::cocomac::{macaque_network, synthetic_realtime, SyntheticParams};
 use compass::comm::{World, WorldConfig};
 use compass::pcc::{compile, expanded, region_activity};
-use compass::sim::{run, run_rank, Backend, EngineConfig, NetworkModel, RunReport};
+use compass::sim::{
+    run, run_durable, run_rank, Backend, CheckpointStore, DurabilityPolicy, EngineConfig,
+    NetworkModel, RunReport,
+};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -31,13 +42,16 @@ struct Opts {
     backend: Backend,
     seed: u64,
     regions: bool,
+    checkpoint_dir: Option<String>,
+    resume: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: compass-run (--workload cocomac|synthetic|ring | --model FILE)\n\
          \x20      [--cores N] [--ranks R] [--threads T] [--ticks K]\n\
-         \x20      [--backend mpi|pgas] [--seed S] [--regions]"
+         \x20      [--backend mpi|pgas] [--seed S] [--regions]\n\
+         \x20      [--checkpoint-dir DIR [--resume]]"
     );
     ExitCode::from(2)
 }
@@ -53,6 +67,8 @@ fn parse() -> Result<Opts, ExitCode> {
         backend: Backend::Mpi,
         seed: 2012,
         regions: false,
+        checkpoint_dir: None,
+        resume: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -92,6 +108,8 @@ fn parse() -> Result<Opts, ExitCode> {
                 }
             }
             "--regions" => o.regions = true,
+            "--checkpoint-dir" => o.checkpoint_dir = Some(next("--checkpoint-dir")?),
+            "--resume" => o.resume = true,
             "--help" | "-h" => return Err(usage()),
             other => {
                 eprintln!("compass-run: unknown argument '{other}'");
@@ -107,7 +125,73 @@ fn parse() -> Result<Opts, ExitCode> {
         eprintln!("compass-run: ranks and threads must be at least 1");
         return Err(usage());
     }
+    if o.resume && o.checkpoint_dir.is_none() {
+        eprintln!("compass-run: --resume needs --checkpoint-dir");
+        return Err(usage());
+    }
+    if o.checkpoint_dir.is_some() && o.workload.as_deref() == Some("cocomac") {
+        eprintln!(
+            "compass-run: --checkpoint-dir is not available for the in-situ \
+             cocomac flow; compile with pcc-compile and use --model"
+        );
+        return Err(usage());
+    }
     Ok(o)
+}
+
+/// Runs `model`, either plainly or — when `--checkpoint-dir` was given —
+/// durably, resuming from the store's newest committed generation when
+/// `--resume` allows it. Prints the report on success.
+fn execute(
+    model: &NetworkModel,
+    world: WorldConfig,
+    engine: &EngineConfig,
+    opts: &Opts,
+) -> Result<(), ExitCode> {
+    let fail = |e: &dyn std::fmt::Display| {
+        eprintln!("compass-run: {e}");
+        ExitCode::FAILURE
+    };
+    let report = match &opts.checkpoint_dir {
+        Some(dir) => {
+            if !opts.resume {
+                // A fresh job must not silently graft itself onto another
+                // job's generations; `--resume` is the explicit opt-in.
+                let store = CheckpointStore::open(dir.as_str(), false).map_err(|e| fail(&e))?;
+                let manifests = store.manifests().map_err(|e| fail(&e))?;
+                if !manifests.is_empty() {
+                    eprintln!(
+                        "compass-run: {dir} already holds {} committed generation(s); \
+                         pass --resume to continue that job, or point \
+                         --checkpoint-dir at an empty directory",
+                        manifests.len()
+                    );
+                    return Err(ExitCode::FAILURE);
+                }
+            }
+            run_durable(
+                model,
+                world,
+                engine,
+                DurabilityPolicy::new(dir),
+                None,
+                None,
+                None,
+            )
+            .map_err(|e| fail(&e))?
+        }
+        None => run(model, world, engine).map_err(|e| fail(&e))?,
+    };
+    print_report(&report);
+    if opts.checkpoint_dir.is_some() {
+        println!(
+            "durable: {} generations | {} bytes | writer overhead {:?}",
+            report.total_durable_generations(),
+            report.total_durable_bytes(),
+            report.durable_time()
+        );
+    }
+    Ok(())
 }
 
 fn print_report(report: &RunReport) {
@@ -212,22 +296,14 @@ fn main() -> ExitCode {
                     rate_hz: 10,
                     seed: opts.seed,
                 });
-                match run(&model, world, &engine) {
-                    Ok(report) => print_report(&report),
-                    Err(e) => {
-                        eprintln!("compass-run: {e}");
-                        return ExitCode::FAILURE;
-                    }
+                if let Err(code) = execute(&model, world, &engine, &opts) {
+                    return code;
                 }
             }
             "ring" => {
                 let model = NetworkModel::relay_ring(opts.cores.max(1), 16, opts.seed);
-                match run(&model, world, &engine) {
-                    Ok(report) => print_report(&report),
-                    Err(e) => {
-                        eprintln!("compass-run: {e}");
-                        return ExitCode::FAILURE;
-                    }
+                if let Err(code) = execute(&model, world, &engine, &opts) {
+                    return code;
                 }
             }
             other => {
@@ -243,12 +319,8 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        match run(&model, world, &engine) {
-            Ok(report) => print_report(&report),
-            Err(e) => {
-                eprintln!("compass-run: {e}");
-                return ExitCode::FAILURE;
-            }
+        if let Err(code) = execute(&model, world, &engine, &opts) {
+            return code;
         }
     }
     ExitCode::SUCCESS

@@ -1,0 +1,484 @@
+//! Durable checkpoints and whole-job restart: a run that dies — cleanly,
+//! mid-write, or by losing a rank — and is relaunched over the same store
+//! must finish with a spike trace bit-identical to the solo oracle.
+//!
+//! The "kill" is modeled by running `run_durable` for a prefix of the
+//! ticks (exactly what a job that died at that tick leaves on disk) and
+//! then relaunching with the full tick count; torn writes are modeled by
+//! corrupting the store between the two launches with the same primitives
+//! a crash mid-`write(2)` produces: truncated temp files, truncated
+//! manifests, bit flips, and missing renames.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use compass::comm::{CrashPlan, FaultPlan, WorldConfig};
+use compass::sim::{
+    run_durable, Backend, CheckpointStore, DurabilityPolicy, EngineConfig, GenKind, NetworkModel,
+    RecoveryPolicy, RunReport, SoloSimulation,
+};
+use compass::tn::Spike;
+
+fn sort_key(s: &Spike) -> (u32, u64, u16, u8) {
+    (s.fired_at, s.target.core, s.target.axon, s.target.delay)
+}
+
+/// The independent reference: sequential, unpartitioned, no messaging.
+fn solo_oracle(model: &NetworkModel, ticks: u32) -> (Vec<Spike>, Vec<u64>) {
+    let mut solo = SoloSimulation::new(model).expect("test model must be valid");
+    let mut trace = Vec::new();
+    let mut fires = Vec::with_capacity(ticks as usize);
+    for _ in 0..ticks {
+        let step = solo.step();
+        fires.push(step.len() as u64);
+        trace.extend(step);
+    }
+    trace.sort_by_key(sort_key);
+    (trace, fires)
+}
+
+fn fires_per_tick(report: &RunReport, ticks: u32) -> Vec<u64> {
+    let mut acc = vec![0u64; ticks as usize];
+    for rank in &report.ranks {
+        for (slot, n) in acc.iter_mut().zip(&rank.fires_per_tick) {
+            *slot += n;
+        }
+    }
+    acc
+}
+
+fn engine(ticks: u32, backend: Backend) -> EngineConfig {
+    EngineConfig {
+        ticks,
+        backend,
+        record_trace: true,
+        tick_stats: true,
+        ..EngineConfig::default()
+    }
+}
+
+/// A fresh scratch store directory, unique per test and process.
+fn scratch(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("compass-durability-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn policy(dir: &Path) -> DurabilityPolicy {
+    DurabilityPolicy {
+        sync: false, // tmpfs in tests; the sync path is covered separately
+        ..DurabilityPolicy::new(dir)
+    }
+}
+
+/// All store files with the given extension, sorted by name (= by
+/// generation, thanks to the zero-padded naming scheme).
+fn store_files(dir: &Path, ext: &str) -> Vec<PathBuf> {
+    let mut v: Vec<PathBuf> = fs::read_dir(dir)
+        .expect("store dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == ext))
+        .collect();
+    v.sort();
+    v
+}
+
+fn truncate(path: &Path, to: u64) {
+    let f = fs::OpenOptions::new()
+        .write(true)
+        .open(path)
+        .expect("open for truncate");
+    f.set_len(to).expect("truncate");
+}
+
+fn flip_byte(path: &Path, at: usize) {
+    let mut bytes = fs::read(path).expect("read for flip");
+    let at = at % bytes.len();
+    bytes[at] ^= 0x40;
+    fs::write(path, bytes).expect("write flipped");
+}
+
+/// Asserts the durable path actually ran and the store is coherent.
+fn assert_durable_evidence(report: &RunReport, dir: &Path, ctx: &str) {
+    assert!(
+        report.total_durable_generations() > 0,
+        "{ctx}: no durable generations persisted"
+    );
+    assert!(
+        report.total_durable_bytes() > 0,
+        "{ctx}: no durable bytes written"
+    );
+    let store = CheckpointStore::open(dir, false).expect("reopen store");
+    let fsck = store.fsck().expect("fsck");
+    assert!(
+        fsck.clean(),
+        "{ctx}: store failed fsck after a clean run: {:?}",
+        fsck.generations
+            .iter()
+            .filter(|g| !g.ok)
+            .map(|g| (g.manifest.gen, g.detail.clone()))
+            .collect::<Vec<_>>()
+    );
+}
+
+/// Both backends × ranks 1..4 × threads 1..4, message faults layered on:
+/// a job killed mid-run and relaunched over its store must converge to
+/// the solo oracle bit for bit, and the steady state must ship deltas.
+#[test]
+fn restart_matrix_matches_the_solo_oracle() {
+    let model = NetworkModel::relay_ring(8, 8, 1);
+    let ticks = 30u32;
+    let kill = 13u32;
+    let (oracle, oracle_fires) = solo_oracle(&model, ticks);
+    assert!(!oracle.is_empty());
+
+    for backend in [Backend::Mpi, Backend::Pgas] {
+        for (ranks, threads) in [(1, 1), (1, 2), (2, 3), (3, 2), (4, 1), (4, 4)] {
+            let ctx = format!("{backend:?} ranks {ranks} threads {threads}");
+            let dir = scratch(&format!("matrix-{backend:?}-{ranks}-{threads}"));
+            let world = || WorldConfig::new(ranks, threads);
+            let plan = Some(FaultPlan::all(4242, 100));
+            let pol = Some(RecoveryPolicy::every(4));
+
+            // Phase 1: the job dies at tick `kill`; its partial trace is
+            // lost with the process, only the store survives.
+            let dead = run_durable(
+                &model,
+                world(),
+                &engine(kill, backend),
+                policy(&dir),
+                plan,
+                pol,
+                None,
+            )
+            .expect("phase 1 must persist cleanly");
+            assert_durable_evidence(&dead, &dir, &format!("{ctx} phase 1"));
+
+            // The store must hold full anchors *and* delta generations.
+            let store = CheckpointStore::open(&dir, false).expect("reopen");
+            let manifests = store.manifests().expect("manifests");
+            assert!(
+                manifests.iter().any(|m| matches!(m.kind, GenKind::Full)),
+                "{ctx}: no full generation on disk"
+            );
+            assert!(
+                manifests.iter().any(|m| matches!(m.kind, GenKind::Delta)),
+                "{ctx}: no delta generation on disk"
+            );
+
+            // Phase 2: relaunch over the same store, run to completion.
+            let report = run_durable(
+                &model,
+                world(),
+                &engine(ticks, backend),
+                policy(&dir),
+                plan,
+                pol,
+                None,
+            )
+            .expect("restart must persist cleanly");
+            assert_eq!(report.sorted_trace(), oracle, "{ctx}: trace diverged");
+            assert_eq!(
+                fires_per_tick(&report, ticks),
+                oracle_fires,
+                "{ctx}: per-tick fire counts diverged"
+            );
+            assert_durable_evidence(&report, &dir, &format!("{ctx} phase 2"));
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// Every torn-write shape a mid-write kill can leave behind — a stray
+/// temp file, a truncated manifest, a truncated rank file, a bit flip
+/// under the CRC, a manifest whose rank file never got renamed — must
+/// degrade the restart to the previous committed generation, never to a
+/// panic or a wrong trace.
+#[test]
+fn torn_writes_degrade_to_the_previous_generation() {
+    let model = NetworkModel::relay_ring(8, 8, 1);
+    let ticks = 30u32;
+    let kill = 14u32;
+    let (oracle, oracle_fires) = solo_oracle(&model, ticks);
+
+    type Corruptor = fn(&Path);
+    let variants: [(&str, Corruptor); 5] = [
+        ("stray-temp", |dir| {
+            fs::write(
+                dir.join(".tmp-g000000000099-r0000.ckpt"),
+                b"partial garbage",
+            )
+            .expect("write stray temp");
+        }),
+        ("torn-manifest", |dir| {
+            let m = store_files(dir, "mft");
+            let newest = m.last().expect("at least one manifest");
+            truncate(newest, 11);
+        }),
+        ("torn-rank-file", |dir| {
+            let c = store_files(dir, "ckpt");
+            let newest = c.last().expect("at least one rank file");
+            let len = fs::metadata(newest).expect("meta").len();
+            truncate(newest, len / 2);
+        }),
+        ("bit-flip", |dir| {
+            let c = store_files(dir, "ckpt");
+            let newest = c.last().expect("at least one rank file");
+            flip_byte(newest, 40);
+        }),
+        ("missing-rename", |dir| {
+            // The manifest committed but a rank file vanished — the shape
+            // of a directory that lost an entry before its fsync landed.
+            let c = store_files(dir, "ckpt");
+            let newest = c.last().expect("at least one rank file");
+            fs::remove_file(newest).expect("remove rank file");
+        }),
+    ];
+
+    for backend in [Backend::Mpi, Backend::Pgas] {
+        for (name, corrupt) in &variants {
+            let ctx = format!("{backend:?} {name}");
+            let dir = scratch(&format!("torn-{backend:?}-{name}"));
+            run_durable(
+                &model,
+                WorldConfig::new(2, 2),
+                &engine(kill, backend),
+                policy(&dir),
+                None,
+                None,
+                None,
+            )
+            .expect("phase 1 must persist cleanly");
+            let before = CheckpointStore::open(&dir, false)
+                .expect("reopen")
+                .recover(2)
+                .expect("recover")
+                .expect("phase 1 left generations")
+                .gen;
+
+            corrupt(&dir);
+
+            // The wound must be visible to fsck — as a broken generation
+            // or as an orphaned file (stray temps and the rank files of a
+            // decommitted torn manifest surface as orphans) — and
+            // invisible to recovery.
+            let store = CheckpointStore::open(&dir, false).expect("reopen");
+            let fsck = store.fsck().expect("fsck");
+            assert!(
+                !fsck.clean() || !fsck.orphans.is_empty(),
+                "{ctx}: fsck missed the corruption"
+            );
+            let resumed = store
+                .recover(2)
+                .expect("recover must degrade, not fail")
+                .expect("an older generation must survive");
+            if *name != "stray-temp" {
+                assert!(
+                    resumed.gen < before,
+                    "{ctx}: recovery did not fall back (gen {} vs {before})",
+                    resumed.gen
+                );
+            }
+
+            let report = run_durable(
+                &model,
+                WorldConfig::new(2, 2),
+                &engine(ticks, backend),
+                policy(&dir),
+                None,
+                None,
+                None,
+            )
+            .expect("restart over a torn store must succeed");
+            assert_eq!(report.sorted_trace(), oracle, "{ctx}: trace diverged");
+            assert_eq!(
+                fires_per_tick(&report, ticks),
+                oracle_fires,
+                "{ctx}: per-tick fire counts diverged"
+            );
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// Durability composes with the crash-survival protocol: a rank dies
+/// mid-run (with message faults layered on), the survivors adopt and
+/// finish, and a *restart* of the same job — whose store predates the
+/// crash, since generations past the victim's death can never commit —
+/// re-fires the plan and still converges to the oracle.
+#[test]
+fn crash_composes_with_durable_restart() {
+    let model = NetworkModel::relay_ring(8, 8, 1);
+    let ticks = 30u32;
+    let crash = CrashPlan::new(1, 11);
+    let (oracle, oracle_fires) = solo_oracle(&model, ticks);
+
+    for backend in [Backend::Mpi, Backend::Pgas] {
+        // One-shot: empty store, crash mid-run, survivors finish durable.
+        let ctx = format!("{backend:?} one-shot crash");
+        let dir = scratch(&format!("crash-{backend:?}"));
+        let report = run_durable(
+            &model,
+            WorldConfig::new(3, 2),
+            &engine(ticks, backend),
+            policy(&dir),
+            Some(FaultPlan::all(1213, 100)),
+            Some(RecoveryPolicy::every(4)),
+            Some(crash),
+        )
+        .expect("crash run must complete");
+        assert_eq!(report.sorted_trace(), oracle, "{ctx}: trace diverged");
+        assert_eq!(
+            fires_per_tick(&report, ticks),
+            oracle_fires,
+            "{ctx}: per-tick fire counts diverged"
+        );
+        assert_eq!(report.total_death_verdicts(), 1, "{ctx}: no verdict");
+        assert!(report.total_durable_generations() > 0, "{ctx}");
+
+        // Restarted: the job died before the victim did (its store holds
+        // only pre-crash generations), so the relaunch must re-fire the
+        // crash plan and survive it again.
+        let ctx = format!("{backend:?} restart + crash");
+        let dir2 = scratch(&format!("crash-restart-{backend:?}"));
+        run_durable(
+            &model,
+            WorldConfig::new(3, 2),
+            &engine(9, backend),
+            policy(&dir2),
+            None,
+            Some(RecoveryPolicy::every(4)),
+            Some(crash), // pending: tick 11 is past this prefix
+        )
+        .expect("pre-crash prefix must persist");
+        let report = run_durable(
+            &model,
+            WorldConfig::new(3, 2),
+            &engine(ticks, backend),
+            policy(&dir2),
+            Some(FaultPlan::all(77, 100)),
+            Some(RecoveryPolicy::every(4)),
+            Some(crash),
+        )
+        .expect("restarted crash run must complete");
+        assert_eq!(report.sorted_trace(), oracle, "{ctx}: trace diverged");
+        assert_eq!(
+            fires_per_tick(&report, ticks),
+            oracle_fires,
+            "{ctx}: per-tick fire counts diverged"
+        );
+        assert_eq!(report.total_death_verdicts(), 1, "{ctx}: no verdict");
+        let _ = fs::remove_dir_all(&dir);
+        let _ = fs::remove_dir_all(&dir2);
+    }
+}
+
+/// Relaunching a job that already ran to completion is a no-op replay of
+/// the tail: same trace, no errors, and the fsync-on discipline holds.
+#[test]
+fn completed_job_relaunch_is_idempotent() {
+    let model = NetworkModel::relay_ring(6, 8, 1);
+    let ticks = 24u32;
+    let (oracle, _) = solo_oracle(&model, ticks);
+    let dir = scratch("idempotent");
+    // Real fsync discipline on this one.
+    let pol = DurabilityPolicy::new(&dir);
+    for round in 0..2 {
+        let report = run_durable(
+            &model,
+            WorldConfig::new(2, 2),
+            &engine(ticks, Backend::Mpi),
+            pol.clone(),
+            None,
+            None,
+            None,
+        )
+        .unwrap_or_else(|e| panic!("round {round}: {e}"));
+        assert_eq!(report.sorted_trace(), oracle, "round {round}");
+        assert_durable_evidence(&report, &dir, &format!("round {round}"));
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Release-mode soak for CI: randomized mid-write wounds. Each round
+/// kills the job at a seeded tick, then truncates or corrupts a seeded
+/// store file at a seeded byte offset — the shapes `kill -9` during
+/// `write(2)`/`rename(2)` produces — and the relaunch must still match
+/// the oracle bit for bit. 3 seeds × both backends.
+#[test]
+#[ignore = "release-mode soak; run with --ignored in the durability CI job"]
+fn soak_randomized_torn_writes() {
+    let model = NetworkModel::relay_ring(10, 10, 1);
+    let ticks = 60u32;
+    let (oracle, oracle_fires) = solo_oracle(&model, ticks);
+    assert!(!oracle.is_empty());
+
+    for seed in [0xA5A5_0001u64, 0xA5A5_0002, 0xA5A5_0003] {
+        let mut lcg = seed;
+        let mut draw = |bound: u64| {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (lcg >> 33) % bound
+        };
+        for backend in [Backend::Mpi, Backend::Pgas] {
+            let kill = 6 + draw(u64::from(ticks) - 12) as u32;
+            let ctx = format!("{backend:?} seed {seed:#x} kill {kill}");
+            let dir = scratch(&format!("soak-{backend:?}-{seed:x}"));
+            run_durable(
+                &model,
+                WorldConfig::new(3, 2),
+                &engine(kill, backend),
+                policy(&dir),
+                Some(FaultPlan::all(seed, 100)),
+                Some(RecoveryPolicy::every(4)),
+                None,
+            )
+            .expect("phase 1 must persist cleanly");
+
+            // Wound 1..=3 files: torn temp, truncation, or bit flip at a
+            // drawn offset.
+            for _ in 0..=draw(3) {
+                let kind = draw(3);
+                match kind {
+                    0 => {
+                        let tmp = dir.join(format!(".tmp-g{:012}-r0000.ckpt", draw(1 << 20)));
+                        fs::write(tmp, vec![0xEE; draw(4096) as usize + 1]).expect("stray temp");
+                    }
+                    1 => {
+                        let mut files = store_files(&dir, "mft");
+                        files.extend(store_files(&dir, "ckpt"));
+                        let f = &files[draw(files.len() as u64) as usize];
+                        let len = fs::metadata(f).expect("meta").len();
+                        truncate(f, draw(len.max(1)));
+                    }
+                    _ => {
+                        let files = store_files(&dir, "ckpt");
+                        let f = &files[draw(files.len() as u64) as usize];
+                        flip_byte(f, draw(1 << 16) as usize);
+                    }
+                }
+            }
+
+            let report = run_durable(
+                &model,
+                WorldConfig::new(3, 2),
+                &engine(ticks, backend),
+                policy(&dir),
+                Some(FaultPlan::all(seed ^ 0xFF, 100)),
+                Some(RecoveryPolicy::every(4)),
+                None,
+            )
+            .expect("restart over the wounded store must succeed");
+            assert_eq!(report.sorted_trace(), oracle, "{ctx}: trace diverged");
+            assert_eq!(
+                fires_per_tick(&report, ticks),
+                oracle_fires,
+                "{ctx}: per-tick fire counts diverged"
+            );
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+}

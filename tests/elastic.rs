@@ -264,7 +264,7 @@ fn leave_then_rejoin_round_trips() {
 /// boundary applies a join/leave/rebalance that is legal for the
 /// membership simulated so far, so the plan always validates.
 fn plan_from_decisions(world: usize, decisions: &[u8]) -> ElasticPlan {
-    let initial: Vec<usize> = if decisions[0] % 2 == 0 {
+    let initial: Vec<usize> = if decisions[0].is_multiple_of(2) {
         (0..world).collect()
     } else {
         vec![usize::from(decisions[0]) % world]
